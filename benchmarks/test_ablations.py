@@ -1,0 +1,39 @@
+"""Benchmarks for the extra design-choice ablations DESIGN.md calls out."""
+
+from repro.experiments import ablations
+from repro.experiments.common import get_scale
+
+
+def test_reverse_layer_ablation(once):
+    rows = once(ablations.reverse_layer_ablation, get_scale("smoke"))
+    print()
+    print(ablations.format_table(rows))
+    errors = {r.variant: r.error for r in rows}
+    assert set(errors) == {"forward+reverse", "forward only"}
+    for e in errors.values():
+        assert 0.0 <= e <= 0.6
+
+
+def test_input_mode_ablation(once):
+    rows = once(ablations.input_mode_ablation, get_scale("smoke"))
+    print()
+    print(ablations.format_table(rows))
+    assert {r.variant for r in rows} == {"fixed x_v input", "x_v as h0 only"}
+
+
+def test_attention_on_reconvergence(once):
+    rows = once(ablations.attention_on_reconvergence_ablation, get_scale("smoke"))
+    print()
+    print(ablations.format_table(rows))
+    assert len(rows) == 3
+
+
+def test_cop_baseline(once):
+    rows = once(ablations.cop_baseline, get_scale("smoke"))
+    print()
+    print(ablations.format_table(rows))
+    errors = {r.variant: r.error for r in rows}
+    # COP ignores reconvergence; a trained DeepGate should not be
+    # dramatically worse even at smoke scale, and both are bounded
+    assert errors["COP (no learning)"] > 0.0
+    assert errors["DeepGate"] <= 0.6

@@ -1,0 +1,29 @@
+"""Benchmark regenerating the §IV-D.2 figure: error vs iterations T.
+
+Shape target: error decreases with T, converges around the trained
+iteration count (the paper trains at T=10 and sees convergence near 10),
+and over-iterating well past the trained horizon does not blow the
+prediction up.
+"""
+
+from repro.experiments import t_sweep
+
+
+def test_figure_t_sweep(once):
+    t_values = (1, 2, 3, 5, 8, 12, 20, 30)
+    points = once(t_sweep.run, "smoke", t_values)
+    print()
+    print(t_sweep.format_table(points))
+
+    errors = {p.num_iterations: p.error for p in points}
+    assert len(points) == len(t_values)
+    best = min(errors.values())
+    # T=1 is the worst: one pass cannot integrate recurrent context
+    assert errors[1] == max(errors.values())
+    # error must drop substantially from T=1 to the trained T
+    assert errors[8] < errors[1] * 0.6
+    # converged tail: far beyond the trained T the error stays in the
+    # same regime as the best (paper: flat from 10 to 50)
+    assert errors[30] <= best + 0.03
+    conv = t_sweep.convergence_iteration(points, tolerance=0.01)
+    assert conv <= 12

@@ -1,0 +1,93 @@
+"""Micro-benchmarks for the substrates: synthesis, simulation, analysis,
+model inference.  These use repeated rounds (they are cheap and stable)
+and guard the throughput that makes the paper-scale experiments feasible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import generators as gen
+from repro.graphdata import from_aig, prepare
+from repro.models import DeepGate
+from repro.nn import no_grad
+from repro.sim import (
+    find_reconvergences,
+    monte_carlo_probabilities,
+    random_patterns,
+    simulate_aig,
+)
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="module")
+def multiplier_aig():
+    return synthesize(gen.multiplier(8))
+
+
+@pytest.fixture(scope="module")
+def adder_batch():
+    graphs = [
+        from_aig(synthesize(gen.ripple_adder(8)), num_patterns=1024, seed=0),
+        from_aig(synthesize(gen.comparator(8)), num_patterns=1024, seed=1),
+    ]
+    return prepare(graphs)
+
+
+def test_synthesize_multiplier(benchmark):
+    aig = benchmark(synthesize, gen.multiplier(6))
+    assert aig.num_ands > 50
+
+
+def test_bitparallel_simulation_throughput(benchmark, multiplier_aig):
+    """64k patterns through an 8x8 multiplier per round."""
+    patterns = random_patterns(
+        multiplier_aig.num_pis, 65_536, np.random.default_rng(0)
+    )
+    values = benchmark(simulate_aig, multiplier_aig, patterns)
+    assert values.shape[0] == multiplier_aig.num_vars
+
+
+def test_probability_estimation(benchmark, multiplier_aig):
+    probs = benchmark(
+        monte_carlo_probabilities, multiplier_aig, 16_384, 0
+    )
+    assert 0.0 <= probs.min() and probs.max() <= 1.0
+
+
+def test_reconvergence_detection(benchmark, multiplier_aig):
+    graph = multiplier_aig.to_gate_graph()
+    edges = benchmark(find_reconvergences, graph)
+    assert len(edges) > 0
+
+
+def test_gate_graph_expansion(benchmark, multiplier_aig):
+    graph = benchmark(multiplier_aig.to_gate_graph)
+    assert graph.num_nodes > multiplier_aig.num_ands
+
+
+def test_deepgate_inference(benchmark, adder_batch):
+    model = DeepGate(dim=32, num_iterations=5, rng=np.random.default_rng(0))
+
+    def infer():
+        with no_grad():
+            return model(adder_batch)
+
+    pred = benchmark(infer)
+    assert pred.shape == (adder_batch.num_nodes,)
+
+
+def test_deepgate_training_step(benchmark, adder_batch):
+    from repro.nn import Adam, l1_loss
+
+    model = DeepGate(dim=32, num_iterations=3, rng=np.random.default_rng(0))
+    opt = Adam(model.parameters(), lr=1e-3)
+
+    def step():
+        opt.zero_grad()
+        loss = l1_loss(model(adder_batch), adder_batch.labels)
+        loss.backward()
+        opt.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Table I: dataset construction statistics."""
+
+from repro.experiments import table1
+from repro.datagen.suites import SUITE_NAMES
+
+
+def test_table1_dataset_statistics(once):
+    rows = once(table1.run, "smoke")
+    print()
+    print(table1.format_table(rows))
+
+    assert [r.suite for r in rows] == list(SUITE_NAMES)
+    for row in rows:
+        # the reproduction keeps the paper's size window
+        assert row.node_range[0] >= 30
+        assert row.node_range[1] <= 3000
+        assert row.subcircuits > 0
+        # level ranges in the same order of magnitude as the paper's 3-24
+        assert row.level_range[1] <= 80

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Table II: the 13-model comparison grid.
+
+The assertion targets are the paper's *shape*, not its absolute numbers:
+non-topological / non-recurrent baselines (GCN) sit in a clearly worse
+error tier than the recurrent models, and DeepGate is competitive with the
+best baseline.  Absolute errors differ (generated circuits, scaled-down
+training budget, from-scratch substrate).
+"""
+
+import numpy as np
+
+from repro.experiments import table2
+
+
+def test_table2_model_grid(once):
+    rows = once(table2.run, "smoke")
+    print()
+    print(table2.format_table(rows))
+
+    errors = {r.label: r.error for r in rows}
+    assert len(rows) == 13
+    for err in errors.values():
+        assert 0.0 <= err <= 0.6
+
+    gcn = [e for label, e in errors.items() if label.startswith("GCN")]
+    recurrent = [
+        e
+        for label, e in errors.items()
+        if label.startswith(("DAG-RecGNN", "DeepGate"))
+    ]
+    # the paper's core finding: undirected GCN trails the recurrent
+    # topological models (paper: 0.14-0.25 vs 0.020-0.033)
+    assert min(gcn) > min(recurrent)
+    assert float(np.mean(gcn)) > float(np.mean(recurrent))

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Signal-probability analysis: why reconvergence makes learning necessary.
+
+Compares three probability estimators on reconvergence-light and
+reconvergence-heavy circuits:
+
+* exhaustive truth-table enumeration (exact, tiny circuits only),
+* Monte-Carlo logic simulation (the paper's label generator),
+* COP, the classical analytic estimator that assumes fan-in independence.
+
+COP is exact on trees but degrades precisely where fanout branches
+reconverge — the motivation for DeepGate's skip connections (§III-D).
+"""
+
+import numpy as np
+
+from repro.datagen import generators as gen
+from repro.sim import (
+    cop_probabilities,
+    exact_probabilities,
+    find_reconvergences,
+    monte_carlo_probabilities,
+)
+from repro.synth import has_constant_outputs, strip_constant_outputs, synthesize
+
+
+def analyse(name: str, netlist) -> None:
+    aig = synthesize(netlist)
+    if has_constant_outputs(aig):
+        aig = strip_constant_outputs(aig)
+    graph = aig.to_gate_graph()
+    reconv = find_reconvergences(graph)
+
+    exact = exact_probabilities(aig)
+    cop = cop_probabilities(aig)
+    cop_err = np.abs(cop - exact).mean()
+
+    print(f"\n{name}: {aig.num_ands} ANDs, depth {aig.depth()}, "
+          f"{len(reconv)} reconvergence nodes")
+    print(f"  COP avg error vs exact:          {cop_err:.4f}")
+    for patterns in (256, 4096, 65_536):
+        mc = monte_carlo_probabilities(aig, patterns, seed=0)
+        print(f"  Monte-Carlo ({patterns:6d} patterns): "
+              f"{np.abs(mc - exact).mean():.4f}")
+
+
+def main() -> None:
+    print("=== Reconvergence-light circuits (COP nearly exact) ===")
+    analyse("parity tree (16 inputs)", gen.parity(16))
+    analyse("decoder (3 select bits)", gen.decoder(3))
+
+    print("\n=== Reconvergence-heavy circuits (COP breaks down) ===")
+    analyse("ripple adder (8 bits)", gen.ripple_adder(8))
+    analyse("squarer (6 bits)", gen.squarer(6))
+    analyse("round-robin arbiter (4 req)", gen.round_robin_arbiter(4))
+
+    print(
+        "\nMonte-Carlo converges everywhere as patterns grow; COP's error "
+        "is structural.\nDeepGate learns the reconvergence corrections COP "
+        "cannot express."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: circuit -> AIG -> probabilities -> DeepGate in ~30 seconds.
+
+Builds an 8-bit ripple adder, lowers it to an And-Inverter Graph, labels
+every gate with its logic-simulated signal probability, trains a small
+DeepGate model on a handful of circuits, and compares its predictions on a
+circuit it has never seen against ground-truth simulation.
+"""
+
+import numpy as np
+
+from repro.datagen import generators as gen
+from repro.graphdata import CircuitDataset, from_aig, prepare
+from repro.models import DeepGate
+from repro.nn import no_grad
+from repro.synth import synthesize
+from repro.train import TrainConfig, Trainer, average_prediction_error
+
+
+def main() -> None:
+    # 1. build a gate-level netlist and lower it to an AIG
+    netlist = gen.ripple_adder(8)
+    aig = synthesize(netlist)
+    print(f"netlist: {netlist.num_gates()} gates -> {aig}")
+
+    # 2. expand to the PI/AND/NOT gate graph and label it by simulation
+    graph = from_aig(aig, num_patterns=20_000, seed=0)
+    print(
+        f"gate graph: {graph.num_nodes} nodes, {graph.num_edges} edges, "
+        f"{len(graph.skip_edges)} reconvergence skip edges"
+    )
+
+    # 3. assemble a small training set of related circuits
+    train_graphs = []
+    for k, nl in enumerate(
+        [gen.ripple_adder(w) for w in (4, 5, 6, 7, 10)]
+        + [gen.comparator(w) for w in (4, 6, 8)]
+        + [gen.parity(w) for w in (6, 10, 14)]
+    ):
+        train_graphs.append(
+            from_aig(synthesize(nl), num_patterns=20_000, seed=k + 1)
+        )
+    train = CircuitDataset(train_graphs, "quickstart-train")
+
+    # 4. train DeepGate (attention aggregation + skip connections)
+    model = DeepGate(dim=32, num_iterations=5, rng=np.random.default_rng(0))
+    trainer = Trainer(model, TrainConfig(epochs=30, batch_size=4, lr=1e-3))
+    history = trainer.fit(train)
+    print(f"training L1 loss: {history.train_loss[0]:.4f} -> "
+          f"{history.train_loss[-1]:.4f}")
+
+    # 5. predict on the unseen 8-bit adder and compare with simulation
+    batch = prepare([graph])
+    with no_grad():
+        predictions = model(batch).numpy()
+    error = average_prediction_error(predictions, graph.labels)
+    print(f"avg prediction error on unseen 8-bit adder: {error:.4f}")
+
+    worst = np.argsort(np.abs(predictions - graph.labels))[-3:]
+    for v in worst[::-1]:
+        print(
+            f"  node {v:4d} ({graph.type_names[graph.node_type[v]]:3s}) "
+            f"simulated={graph.labels[v]:.3f} predicted={predictions[v]:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""DeepGate (DAC 2022) reproduction.
+
+Learning neural representations of logic gates: circuits are lowered to
+And-Inverter Graphs, labelled with logic-simulated signal probabilities, and
+a dedicated recurrent DAG-GNN with attention aggregation and reconvergence
+skip connections learns to predict those probabilities per gate.
+
+Public API tour
+---------------
+>>> from repro import datagen, synth, sim
+>>> netlist = datagen.generators.ripple_adder(8)
+>>> aig = synth.synthesize(netlist)
+>>> graph = aig.to_gate_graph()
+>>> probs = sim.gate_graph_probabilities(graph, num_patterns=10_000, seed=0)
+
+See :mod:`repro.models` for the DeepGate model and baselines, and
+:mod:`repro.experiments` for the paper's tables and figures.
+"""
+
+from . import (
+    aig,
+    datagen,
+    experiments,
+    graphdata,
+    models,
+    nn,
+    sat,
+    sim,
+    synth,
+    testability,
+    train,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "aig",
+    "datagen",
+    "experiments",
+    "graphdata",
+    "models",
+    "nn",
+    "sat",
+    "sim",
+    "synth",
+    "testability",
+    "train",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Circuit data structures: gate-level netlists, AIGs and gate graphs."""
+
+from .graph import (
+    AIG,
+    AIGBuilder,
+    GateGraph,
+    PI,
+    AND,
+    NOT,
+    NODE_TYPE_NAMES,
+    CONST0_LIT,
+    CONST1_LIT,
+    lit_is_negated,
+    lit_make,
+    lit_negate,
+    lit_var,
+)
+from .netlist import Gate, GateType, Netlist, NetlistError
+from . import aiger, bench, verilog
+
+__all__ = [
+    "AIG",
+    "AIGBuilder",
+    "GateGraph",
+    "PI",
+    "AND",
+    "NOT",
+    "NODE_TYPE_NAMES",
+    "CONST0_LIT",
+    "CONST1_LIT",
+    "lit_is_negated",
+    "lit_make",
+    "lit_negate",
+    "lit_var",
+    "Gate",
+    "GateType",
+    "Netlist",
+    "NetlistError",
+    "aiger",
+    "bench",
+    "verilog",
+]

@@ -1,0 +1,97 @@
+"""ASCII AIGER (``.aag``) reader and writer.
+
+AIGER is the standard interchange format for And-Inverter Graphs produced by
+ABC and consumed by model checkers and SAT flows.  Only the combinational
+subset is supported (no latches), matching the paper's combinational setting.
+
+Header: ``aag M I L O A`` with ``M`` = max variable index, ``I`` inputs,
+``L`` latches (must be 0), ``O`` outputs, ``A`` AND gates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .graph import AIG
+
+__all__ = ["loads", "dumps", "load", "dump", "AigerError"]
+
+
+class AigerError(ValueError):
+    """Raised for malformed AIGER input."""
+
+
+def loads(text: str, name: str = "aiger") -> AIG:
+    """Parse ASCII AIGER text into an :class:`AIG`.
+
+    Input variables must be numbered ``1..I`` and AND variables
+    ``I+1..I+A`` in topological order (the normal form ABC emits).
+    """
+    lines = [ln.strip() for ln in text.splitlines()]
+    for k, ln in enumerate(lines):
+        if ln == "c":  # comment section runs to end of file
+            lines = lines[:k]
+            break
+    lines = [ln for ln in lines if ln]
+    if not lines:
+        raise AigerError("empty AIGER input")
+    header = lines[0].split()
+    if len(header) != 6 or header[0] != "aag":
+        raise AigerError(f"bad header {lines[0]!r} (binary 'aig' not supported)")
+    m, i, l, o, a = (int(x) for x in header[1:])
+    if l != 0:
+        raise AigerError("sequential AIGER (latches) not supported")
+    if m < i + a:
+        raise AigerError(f"header M={m} smaller than I+A={i + a}")
+    body = lines[1:]
+    if len(body) < i + o + a:
+        raise AigerError("truncated AIGER body")
+
+    input_lits = [int(body[k]) for k in range(i)]
+    for k, lit in enumerate(input_lits):
+        if lit != 2 * (k + 1):
+            raise AigerError(
+                f"input {k} has literal {lit}; expected canonical {2 * (k + 1)}"
+            )
+    outputs = [int(body[i + k]) for k in range(o)]
+    ands: List[List[int]] = []
+    for k in range(a):
+        parts = body[i + o + k].split()
+        if len(parts) != 3:
+            raise AigerError(f"bad AND line {body[i + o + k]!r}")
+        lhs, rhs0, rhs1 = (int(x) for x in parts)
+        if lhs != 2 * (i + 1 + k):
+            raise AigerError(
+                f"AND {k} has literal {lhs}; expected canonical {2 * (i + 1 + k)}"
+            )
+        ands.append([rhs0, rhs1])
+    return AIG(i, np.asarray(ands, dtype=np.int64).reshape(-1, 2), outputs, name)
+
+
+def dumps(aig: AIG) -> str:
+    """Serialise an :class:`AIG` to ASCII AIGER text."""
+    i, a, o = aig.num_pis, aig.num_ands, aig.num_outputs
+    lines = [f"aag {i + a} {i} 0 {o} {a}"]
+    for k in range(i):
+        lines.append(str(2 * (k + 1)))
+    for lit in aig.outputs:
+        lines.append(str(lit))
+    for k in range(a):
+        lhs = 2 * (i + 1 + k)
+        lines.append(f"{lhs} {int(aig.ands[k, 0])} {int(aig.ands[k, 1])}")
+    lines.append(f"c\n{aig.name}")
+    return "\n".join(lines) + "\n"
+
+
+def load(path) -> AIG:
+    """Read an ``.aag`` file from ``path``."""
+    with open(path, "r", encoding="utf-8") as f:
+        return loads(f.read(), name=str(path))
+
+
+def dump(aig: AIG, path) -> None:
+    """Write ``aig`` to ``path`` in ASCII AIGER format."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(dumps(aig))

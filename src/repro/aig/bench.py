@@ -1,0 +1,118 @@
+"""ISCAS-89 ``.bench`` format reader and writer for gate-level netlists.
+
+The ``.bench`` format is the lingua franca of the benchmark suites the paper
+draws circuits from (ISCAS, ITC'99 distributions).  Example::
+
+    # half adder
+    INPUT(a)
+    INPUT(b)
+    OUTPUT(sum)
+    OUTPUT(carry)
+    sum = XOR(a, b)
+    carry = AND(a, b)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+from .netlist import GateType, Netlist, NetlistError
+
+__all__ = ["loads", "dumps", "load", "dump"]
+
+_LINE_RE = re.compile(
+    r"^\s*(?:"
+    r"(?P<io>INPUT|OUTPUT)\s*\(\s*(?P<io_name>[^\s()]+)\s*\)"
+    r"|(?P<lhs>[^\s=]+)\s*=\s*(?P<op>[A-Za-z01]+)\s*\(\s*(?P<args>[^()]*)\)"
+    r")\s*$"
+)
+
+#: .bench operator name -> GateType (both directions are 1:1 except aliases)
+_OP_TO_TYPE = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "MUX": GateType.MUX,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+    "GND": GateType.CONST0,
+    "VDD": GateType.CONST1,
+}
+
+_TYPE_TO_OP = {
+    GateType.AND: "AND",
+    GateType.NAND: "NAND",
+    GateType.OR: "OR",
+    GateType.NOR: "NOR",
+    GateType.XOR: "XOR",
+    GateType.XNOR: "XNOR",
+    GateType.NOT: "NOT",
+    GateType.BUF: "BUFF",
+    GateType.MUX: "MUX",
+    GateType.CONST0: "CONST0",
+    GateType.CONST1: "CONST1",
+}
+
+
+def loads(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` source text into a :class:`Netlist`."""
+    netlist = Netlist(name)
+    outputs: List[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _LINE_RE.match(line)
+        if not m:
+            raise NetlistError(f"line {lineno}: cannot parse {raw.strip()!r}")
+        if m.group("io"):
+            if m.group("io") == "INPUT":
+                netlist.add_input(m.group("io_name"))
+            else:
+                outputs.append(m.group("io_name"))
+            continue
+        op = m.group("op").upper()
+        gate_type = _OP_TO_TYPE.get(op)
+        if gate_type is None:
+            raise NetlistError(f"line {lineno}: unknown operator {op!r}")
+        args = [a.strip() for a in m.group("args").split(",") if a.strip()]
+        netlist.add_gate(m.group("lhs"), gate_type, args)
+    netlist.set_outputs(outputs)
+    netlist.validate()
+    return netlist
+
+
+def dumps(netlist: Netlist) -> str:
+    """Serialise a :class:`Netlist` to ``.bench`` source text."""
+    lines = [f"# {netlist.name}"]
+    for i in netlist.inputs:
+        lines.append(f"INPUT({i})")
+    for o in netlist.outputs:
+        lines.append(f"OUTPUT({o})")
+    for name in netlist.topological_order():
+        gate = netlist.gate(name)
+        if gate.gate_type == GateType.INPUT:
+            continue
+        op = _TYPE_TO_OP[gate.gate_type]
+        lines.append(f"{name} = {op}({', '.join(gate.fanins)})")
+    return "\n".join(lines) + "\n"
+
+
+def load(path) -> Netlist:
+    """Read a ``.bench`` file from ``path``."""
+    with open(path, "r", encoding="utf-8") as f:
+        return loads(f.read(), name=str(path))
+
+
+def dump(netlist: Netlist, path) -> None:
+    """Write ``netlist`` to ``path`` in ``.bench`` format."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(dumps(netlist))

@@ -1,0 +1,186 @@
+"""Structural gate-level Verilog reader and writer.
+
+Real benchmark distributions (IWLS'05, OpenCores) ship gate-level Verilog;
+this module handles the structural subset those files use:
+
+* one ``module`` with ``input`` / ``output`` / ``wire`` declarations
+  (scalar nets only — vectors must be bit-blasted upstream);
+* gate primitive instances: ``and/or/nand/nor/xor/xnor/not/buf
+  (out, in...);``
+* continuous assignments of the form ``assign y = x;``.
+
+Behavioural constructs are rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .netlist import GateType, Netlist, NetlistError
+
+__all__ = ["loads", "dumps", "load", "dump", "VerilogError"]
+
+
+class VerilogError(ValueError):
+    """Raised for Verilog outside the supported structural subset."""
+
+
+_PRIMITIVES = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+}
+
+_TYPE_TO_PRIMITIVE = {v: k for k, v in _PRIMITIVES.items()}
+
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>[A-Za-z_][\w$]*)\s*\((?P<ports>[^)]*)\)\s*;",
+    re.S,
+)
+_DECL_RE = re.compile(
+    r"\b(?P<kind>input|output|wire)\s+(?P<nets>[^;]+);",
+    re.S,
+)
+_GATE_RE = re.compile(
+    r"\b(?P<prim>and|nand|or|nor|xor|xnor|not|buf)\s+"
+    r"(?:(?P<inst>[A-Za-z_][\w$]*)\s+)?\(\s*(?P<conns>[^;]*?)\s*\)\s*;",
+    re.S,
+)
+_ASSIGN_RE = re.compile(
+    r"\bassign\s+(?P<lhs>[A-Za-z_][\w$]*)\s*=\s*(?P<rhs>[^;]+);",
+    re.S,
+)
+
+_UNSUPPORTED = re.compile(r"\b(always|reg|if|case|initial|posedge|negedge)\b")
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+
+def loads(text: str) -> Netlist:
+    """Parse structural Verilog source into a :class:`Netlist`."""
+    text = _strip_comments(text)
+    if _UNSUPPORTED.search(text):
+        keyword = _UNSUPPORTED.search(text).group(0)
+        raise VerilogError(
+            f"behavioural construct {keyword!r} not supported; this reader "
+            "handles the structural gate-level subset only"
+        )
+    m = _MODULE_RE.search(text)
+    if m is None:
+        raise VerilogError("no module declaration found")
+    netlist = Netlist(m.group("name"))
+    body = text[m.end() :]
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    for decl in _DECL_RE.finditer(body):
+        nets = [n.strip() for n in decl.group("nets").split(",") if n.strip()]
+        for net in nets:
+            if not re.fullmatch(r"[A-Za-z_][\w$]*", net):
+                raise VerilogError(
+                    f"unsupported net declaration {net!r} (vectors must be "
+                    "bit-blasted)"
+                )
+        if decl.group("kind") == "input":
+            inputs.extend(nets)
+        elif decl.group("kind") == "output":
+            outputs.extend(nets)
+
+    for name in inputs:
+        netlist.add_input(name)
+
+    for gate in _GATE_RE.finditer(body):
+        prim = gate.group("prim")
+        conns = [c.strip() for c in gate.group("conns").split(",")]
+        if len(conns) < 2:
+            raise VerilogError(f"gate {prim} needs an output and inputs")
+        out, ins = conns[0], conns[1:]
+        gate_type = _PRIMITIVES[prim]
+        if gate_type in (GateType.NOT, GateType.BUF) and len(ins) != 1:
+            raise VerilogError(f"{prim} takes exactly one input")
+        netlist.add_gate(out, gate_type, ins)
+
+    for assign in _ASSIGN_RE.finditer(body):
+        rhs = assign.group("rhs").strip()
+        lhs = assign.group("lhs")
+        if rhs == "1'b0":
+            netlist.add_gate(lhs, GateType.CONST0)
+        elif rhs == "1'b1":
+            netlist.add_gate(lhs, GateType.CONST1)
+        elif re.fullmatch(r"[A-Za-z_][\w$]*", rhs):
+            netlist.add_gate(lhs, GateType.BUF, [rhs])
+        elif re.fullmatch(r"[~!]\s*[A-Za-z_][\w$]*", rhs):
+            netlist.add_gate(lhs, GateType.NOT, [rhs.lstrip("~!").strip()])
+        else:
+            raise VerilogError(
+                f"unsupported assign expression {rhs!r} (structural subset)"
+            )
+
+    netlist.set_outputs(outputs)
+    netlist.validate()
+    return netlist
+
+
+def dumps(netlist: Netlist) -> str:
+    """Serialise a :class:`Netlist` to structural Verilog."""
+    module_name = re.sub(r"[^\w$]", "_", netlist.name) or "top"
+    inputs = netlist.inputs
+    outputs = netlist.outputs
+    ports = inputs + [o for o in outputs if o not in inputs]
+    wires = [
+        g.name
+        for g in netlist.gates
+        if g.gate_type != GateType.INPUT and g.name not in outputs
+    ]
+    lines = [f"module {module_name} ({', '.join(ports)});"]
+    if inputs:
+        lines.append(f"  input {', '.join(inputs)};")
+    declared_out = [o for o in outputs if o not in inputs]
+    if declared_out:
+        lines.append(f"  output {', '.join(declared_out)};")
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    lines.append("")
+    counter = 0
+    for name in netlist.topological_order():
+        gate = netlist.gate(name)
+        t = gate.gate_type
+        if t == GateType.INPUT:
+            continue
+        if t == GateType.CONST0:
+            lines.append(f"  assign {name} = 1'b0;")
+        elif t == GateType.CONST1:
+            lines.append(f"  assign {name} = 1'b1;")
+        elif t == GateType.MUX:
+            raise VerilogError(
+                "MUX gates have no Verilog primitive; run "
+                "datagen.normalize.normalize_to_library first"
+            )
+        else:
+            prim = _TYPE_TO_PRIMITIVE[t]
+            counter += 1
+            conns = ", ".join([name] + list(gate.fanins))
+            lines.append(f"  {prim} g{counter} ({conns});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def load(path) -> Netlist:
+    """Read structural Verilog from ``path``."""
+    with open(path, "r", encoding="utf-8") as f:
+        return loads(f.read())
+
+
+def dump(netlist: Netlist, path) -> None:
+    """Write ``netlist`` to ``path`` as structural Verilog."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(dumps(netlist))

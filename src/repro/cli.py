@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the library's workflow end to end::
+
+    python -m repro generate ripple_adder --width 8 -o adder.bench
+    python -m repro synth adder.bench -o adder.aag
+    python -m repro stats adder.aag
+    python -m repro sim adder.aag --patterns 100000
+    python -m repro equiv adder.bench adder.aag
+    python -m repro faults adder.aag --patterns 4096
+    python -m repro experiment table2 --scale smoke
+
+Circuit formats are chosen by suffix: ``.bench`` (ISCAS), ``.v``
+(structural Verilog) and ``.aag`` (ASCII AIGER).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Union
+
+import numpy as np
+
+from .aig import AIG, Netlist, aiger, bench, verilog
+from .datagen.generators import GENERATOR_CATALOG
+from .sat import check_equivalence
+from .sim import find_reconvergences, monte_carlo_probabilities
+from .synth import has_constant_outputs, strip_constant_outputs, synthesize
+from .testability import run_fault_simulation
+
+__all__ = ["main", "build_parser"]
+
+Circuit = Union[Netlist, AIG]
+
+
+def _read_circuit(path: str) -> Circuit:
+    if path.endswith(".bench"):
+        return bench.load(path)
+    if path.endswith(".v"):
+        return verilog.load(path)
+    if path.endswith(".aag"):
+        return aiger.load(path)
+    raise SystemExit(f"unsupported circuit format: {path} (.bench/.v/.aag)")
+
+
+def _write_circuit(circuit: Circuit, path: str) -> None:
+    if path.endswith(".aag"):
+        aig = circuit if isinstance(circuit, AIG) else synthesize(circuit)
+        aiger.dump(aig, path)
+    elif path.endswith(".bench"):
+        if isinstance(circuit, AIG):
+            raise SystemExit("writing AIGs as .bench is not supported; use .aag")
+        bench.dump(circuit, path)
+    elif path.endswith(".v"):
+        if isinstance(circuit, AIG):
+            raise SystemExit("writing AIGs as .v is not supported; use .aag")
+        verilog.dump(circuit, path)
+    else:
+        raise SystemExit(f"unsupported output format: {path}")
+
+
+def _as_aig(circuit: Circuit) -> AIG:
+    return circuit if isinstance(circuit, AIG) else synthesize(circuit)
+
+
+# ---------------------------------------------------------------------------
+# subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.family not in GENERATOR_CATALOG:
+        raise SystemExit(
+            f"unknown family {args.family!r}; choose from "
+            f"{sorted(GENERATOR_CATALOG)}"
+        )
+    factory, defaults = GENERATOR_CATALOG[args.family]
+    kwargs = dict(defaults)
+    for override in args.param or []:
+        key, _, value = override.partition("=")
+        if not value:
+            raise SystemExit(f"bad --param {override!r}; use key=value")
+        kwargs[key] = int(value)
+    netlist = factory(**kwargs)
+    _write_circuit(netlist, args.output)
+    print(f"wrote {netlist.num_gates()} gates to {args.output}")
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    circuit = _read_circuit(args.input)
+    aig = synthesize(circuit, rounds=args.rounds)
+    stats = aig.stats()
+    print(
+        f"synthesised: {stats['ands']} ANDs, depth {stats['depth']}, "
+        f"{stats['pis']} PIs, {stats['outputs']} outputs"
+    )
+    if args.output:
+        _write_circuit(aig, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    aig = _as_aig(_read_circuit(args.input))
+    if has_constant_outputs(aig):
+        aig = strip_constant_outputs(aig)
+    graph = aig.to_gate_graph()
+    counts = graph.type_counts()
+    reconv = find_reconvergences(graph)
+    print(f"name:        {aig.name}")
+    print(f"PIs:         {aig.num_pis}")
+    print(f"outputs:     {aig.num_outputs}")
+    print(f"AND nodes:   {counts['AND']}")
+    print(f"NOT nodes:   {counts['NOT']}")
+    print(f"graph nodes: {graph.num_nodes}")
+    print(f"levels:      {graph.depth()}")
+    print(f"reconvergence nodes: {len(reconv)}")
+    return 0
+
+
+def cmd_sim(args: argparse.Namespace) -> int:
+    aig = _as_aig(_read_circuit(args.input))
+    probs = monte_carlo_probabilities(aig, args.patterns, seed=args.seed)
+    order = np.argsort(np.minimum(probs, 1 - probs))
+    print(f"signal probabilities over {args.patterns} random patterns")
+    print("most skewed nodes (hardest to excite randomly):")
+    shown = 0
+    for var in order:
+        if var == 0 or (1 <= var <= aig.num_pis):
+            continue
+        print(f"  var {int(var):6d}  p = {probs[var]:.5f}")
+        shown += 1
+        if shown >= args.top:
+            break
+    return 0
+
+
+def cmd_equiv(args: argparse.Namespace) -> int:
+    left = _as_aig(_read_circuit(args.left))
+    right = _as_aig(_read_circuit(args.right))
+    result = check_equivalence(left, right)
+    if result.equivalent:
+        print("EQUIVALENT")
+        return 0
+    pattern = "".join("1" if b else "0" for b in result.counterexample)
+    print(f"DIFFERENT (counterexample inputs, PI0 first: {pattern})")
+    return 1
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    aig = _as_aig(_read_circuit(args.input))
+    if has_constant_outputs(aig):
+        aig = strip_constant_outputs(aig)
+    graph = aig.to_gate_graph()
+    report = run_fault_simulation(graph, num_patterns=args.patterns, seed=args.seed)
+    print(f"faults:    {len(report.faults)}")
+    print(f"patterns:  {report.num_patterns}")
+    print(f"coverage:  {100 * report.coverage:.2f}%")
+    undetected = report.undetected()
+    if undetected:
+        print(f"undetected ({len(undetected)} shown up to 10):")
+        for fault in undetected[:10]:
+            print(f"  {fault}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import ablations, t_sweep, table1, table2, table3, table4
+
+    modules = {
+        "table1": table1,
+        "table2": table2,
+        "table3": table3,
+        "table4": table4,
+        "tsweep": t_sweep,
+        "ablations": ablations,
+    }
+    module = modules[args.name]
+    print(module.format_table(module.run(args.scale)))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DeepGate reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="emit a benchmark-family circuit")
+    p.add_argument("family", help=f"one of {sorted(GENERATOR_CATALOG)}")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--param", action="append", help="override, e.g. width=16")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("synth", help="synthesise a circuit into an AIG")
+    p.add_argument("input")
+    p.add_argument("-o", "--output")
+    p.add_argument("--rounds", type=int, default=2)
+    p.set_defaults(func=cmd_synth)
+
+    p = sub.add_parser("stats", help="structural statistics incl. reconvergence")
+    p.add_argument("input")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("sim", help="Monte-Carlo signal probabilities")
+    p.add_argument("input")
+    p.add_argument("--patterns", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_sim)
+
+    p = sub.add_parser("equiv", help="SAT equivalence check of two circuits")
+    p.add_argument("left")
+    p.add_argument("right")
+    p.set_defaults(func=cmd_equiv)
+
+    p = sub.add_parser("faults", help="stuck-at fault simulation report")
+    p.add_argument("input")
+    p.add_argument("--patterns", type=int, default=4096)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument(
+        "name",
+        choices=["table1", "table2", "table3", "table4", "tsweep", "ablations"],
+    )
+    p.add_argument("--scale", default="smoke", choices=["smoke", "default", "paper"])
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Benchmark circuit generation: families, suite pools, extraction."""
+
+from . import generators
+from .extraction import extract_cone, extract_subcircuits
+from .suites import (
+    SUITE_NAMES,
+    TABLE1_PAPER_ROWS,
+    build_all_suites,
+    build_suite_dataset,
+    suite_pool,
+)
+
+__all__ = [
+    "generators",
+    "extract_cone",
+    "extract_subcircuits",
+    "SUITE_NAMES",
+    "TABLE1_PAPER_ROWS",
+    "build_all_suites",
+    "build_suite_dataset",
+    "suite_pool",
+]

@@ -1,0 +1,619 @@
+"""Parameterised combinational circuit generators.
+
+These stand in for the paper's benchmark suites (EPFL, ITC'99, IWLS'05,
+OpenCores): each function builds a gate-level :class:`Netlist` of a family
+that appears in those suites — arithmetic datapaths (adders, multipliers,
+squarers), control logic (arbiters, decoders, comparators), routing (mux
+trees, barrel shifters) and code/parity networks (CRC, gray code, voters).
+
+Arithmetic circuits contribute deep reconvergent structure (carry chains,
+partial-product trees); control circuits contribute wide fanout stems — the
+two structural regimes the paper's dataset spans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..aig.netlist import GateType, Netlist
+
+__all__ = [
+    "ripple_adder",
+    "carry_select_adder",
+    "multiplier",
+    "squarer",
+    "comparator",
+    "alu",
+    "priority_arbiter",
+    "round_robin_arbiter",
+    "decoder",
+    "mux_tree",
+    "barrel_shifter",
+    "parity",
+    "crc",
+    "gray_to_binary",
+    "majority_voter",
+    "incrementer",
+    "random_control",
+    "processor_like",
+    "GENERATOR_CATALOG",
+]
+
+
+# ---------------------------------------------------------------------------
+# small shared building blocks
+# ---------------------------------------------------------------------------
+
+
+def _full_adder(
+    nl: Netlist, a: str, b: str, cin: Optional[str], prefix: str
+) -> Tuple[str, str]:
+    """Add a full (or half) adder; returns (sum, carry-out) net names."""
+    if cin is None:
+        s = nl.add_gate(f"{prefix}_s", GateType.XOR, [a, b])
+        c = nl.add_gate(f"{prefix}_c", GateType.AND, [a, b])
+        return s, c
+    t = nl.add_gate(f"{prefix}_t", GateType.XOR, [a, b])
+    s = nl.add_gate(f"{prefix}_s", GateType.XOR, [t, cin])
+    c1 = nl.add_gate(f"{prefix}_c1", GateType.AND, [a, b])
+    c2 = nl.add_gate(f"{prefix}_c2", GateType.AND, [t, cin])
+    c = nl.add_gate(f"{prefix}_c", GateType.OR, [c1, c2])
+    return s, c
+
+
+def _mux2(nl: Netlist, sel: str, if_false: str, if_true: str, name: str) -> str:
+    return nl.add_gate(name, GateType.MUX, [sel, if_false, if_true])
+
+
+def _reduce_tree(nl: Netlist, op: str, nets: Sequence[str], prefix: str) -> str:
+    """Balanced reduction of ``nets`` with a 2-input gate type."""
+    layer = list(nets)
+    round_no = 0
+    while len(layer) > 1:
+        nxt = []
+        for k in range(0, len(layer) - 1, 2):
+            nxt.append(
+                nl.add_gate(f"{prefix}_r{round_no}_{k // 2}", op, layer[k : k + 2])
+            )
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+        round_no += 1
+    return layer[0]
+
+
+# ---------------------------------------------------------------------------
+# arithmetic (EPFL-arithmetic / OpenCores style)
+# ---------------------------------------------------------------------------
+
+
+def ripple_adder(width: int, with_carry_in: bool = False) -> Netlist:
+    """``width``-bit ripple-carry adder: deep carry chain, heavy reconvergence."""
+    nl = Netlist(f"ripple_adder{width}")
+    a = [nl.add_input(f"a{k}") for k in range(width)]
+    b = [nl.add_input(f"b{k}") for k in range(width)]
+    carry = nl.add_input("cin") if with_carry_in else None
+    sums: List[str] = []
+    for k in range(width):
+        s, carry = _full_adder(nl, a[k], b[k], carry, f"fa{k}")
+        sums.append(s)
+    nl.set_outputs(sums + [carry])
+    return nl
+
+
+def carry_select_adder(width: int, block: int = 4) -> Netlist:
+    """Carry-select adder: duplicated blocks + mux chains (wide, shallower)."""
+    nl = Netlist(f"carry_select_adder{width}")
+    a = [nl.add_input(f"a{k}") for k in range(width)]
+    b = [nl.add_input(f"b{k}") for k in range(width)]
+    outs: List[str] = []
+    carry: Optional[str] = None
+    for start in range(0, width, block):
+        stop = min(start + block, width)
+        if start == 0:
+            for k in range(start, stop):
+                s, carry = _full_adder(nl, a[k], b[k], carry, f"b0_fa{k}")
+                outs.append(s)
+            continue
+        # speculative block for carry-in = 0 and = 1
+        c0: Optional[str] = None
+        c1: Optional[str] = None
+        s0s, s1s = [], []
+        for k in range(start, stop):
+            if c0 is None:
+                s0, c0 = _full_adder(nl, a[k], b[k], None, f"s0_fa{k}")
+                t = nl.add_gate(f"s1_t{k}", GateType.XOR, [a[k], b[k]])
+                s1 = nl.add_gate(f"s1_s{k}", GateType.NOT, [t])
+                g = nl.add_gate(f"s1_g{k}", GateType.AND, [a[k], b[k]])
+                c1 = nl.add_gate(f"s1_c{k}", GateType.OR, [g, t])
+            else:
+                s0, c0 = _full_adder(nl, a[k], b[k], c0, f"s0_fa{k}")
+                s1, c1 = _full_adder(nl, a[k], b[k], c1, f"s1_fa{k}")
+            s0s.append(s0)
+            s1s.append(s1)
+        for k, (s0, s1) in enumerate(zip(s0s, s1s)):
+            outs.append(_mux2(nl, carry, s0, s1, f"sel_s{start + k}"))
+        carry = _mux2(nl, carry, c0, c1, f"sel_c{start}")
+    nl.set_outputs(outs + [carry])
+    return nl
+
+
+def multiplier(width: int, width_b: Optional[int] = None) -> Netlist:
+    """Array multiplier: AND partial products + ripple adder rows."""
+    wb = width_b or width
+    nl = Netlist(f"multiplier{width}x{wb}")
+    a = [nl.add_input(f"a{k}") for k in range(width)]
+    b = [nl.add_input(f"b{k}") for k in range(wb)]
+    return _finish_product(nl, a, b, shared_operand=False)
+
+
+def squarer(width: int) -> Netlist:
+    """Squarer: multiplier with both operands tied to one input vector.
+
+    Every input bit fans out into two partial-product rows — maximal
+    reconvergence (the paper's Table III evaluates exactly this family).
+    """
+    nl = Netlist(f"squarer{width}")
+    a = [nl.add_input(f"a{k}") for k in range(width)]
+    return _finish_product(nl, a, a, shared_operand=True)
+
+
+def _finish_product(
+    nl: Netlist, a: Sequence[str], b: Sequence[str], shared_operand: bool
+) -> Netlist:
+    rows: List[List[Tuple[int, str]]] = []  # (bit position, net)
+    for j, bj in enumerate(b):
+        row = []
+        for i, ai in enumerate(a):
+            if shared_operand and ai == bj:
+                row.append((i + j, ai))  # a_i & a_i = a_i
+                continue
+            pp = nl.add_gate(f"pp_{i}_{j}", GateType.AND, [ai, bj])
+            row.append((i + j, pp))
+        rows.append(row)
+    # accumulate rows with ripple adders per bit position
+    acc: dict = {}
+    for row in rows:
+        for pos, net in row:
+            acc.setdefault(pos, []).append(net)
+    outs: List[str] = []
+    counter = 0
+    pos = 0
+    while pos in acc:
+        column = acc[pos]
+        while len(column) > 1:
+            if len(column) == 2:
+                s, c = _full_adder(nl, column[0], column[1], None, f"acc{counter}")
+            else:
+                s, c = _full_adder(
+                    nl, column[0], column[1], column[2], f"acc{counter}"
+                )
+                del column[2]
+            counter += 1
+            column[0:2] = [s]
+            acc.setdefault(pos + 1, []).append(c)
+        outs.append(column[0])
+        pos += 1
+    nl.set_outputs(outs)
+    return nl
+
+
+def incrementer(width: int) -> Netlist:
+    """x + 1: the next-state logic of a counter (ITC'99-style block)."""
+    nl = Netlist(f"incrementer{width}")
+    x = [nl.add_input(f"x{k}") for k in range(width)]
+    carry = x[0]
+    outs = [nl.add_gate("s0", GateType.NOT, [x[0]])]
+    for k in range(1, width):
+        outs.append(nl.add_gate(f"s{k}", GateType.XOR, [x[k], carry]))
+        if k < width - 1:
+            carry = nl.add_gate(f"c{k}", GateType.AND, [x[k], carry])
+    nl.set_outputs(outs)
+    return nl
+
+
+# ---------------------------------------------------------------------------
+# comparison / control (ITC'99 / EPFL-control style)
+# ---------------------------------------------------------------------------
+
+
+def comparator(width: int) -> Netlist:
+    """Equality and less-than comparison of two vectors."""
+    nl = Netlist(f"comparator{width}")
+    a = [nl.add_input(f"a{k}") for k in range(width)]
+    b = [nl.add_input(f"b{k}") for k in range(width)]
+    eq_bits = [
+        nl.add_gate(f"eq{k}", GateType.XNOR, [a[k], b[k]]) for k in range(width)
+    ]
+    eq = _reduce_tree(nl, GateType.AND, eq_bits, "eq_all")
+    # a < b: highest differing bit has a=0, b=1
+    lt_terms: List[str] = []
+    for k in range(width - 1, -1, -1):
+        na = nl.add_gate(f"na{k}", GateType.NOT, [a[k]])
+        bit_lt = nl.add_gate(f"lt{k}", GateType.AND, [na, b[k]])
+        if k == width - 1:
+            lt_terms.append(bit_lt)
+        else:
+            higher_eq = _reduce_tree(
+                nl, GateType.AND, eq_bits[k + 1 :], f"he{k}"
+            )
+            lt_terms.append(
+                nl.add_gate(f"ltc{k}", GateType.AND, [bit_lt, higher_eq])
+            )
+    lt = _reduce_tree(nl, GateType.OR, lt_terms, "lt_any")
+    nl.set_outputs([eq, lt])
+    return nl
+
+
+def priority_arbiter(num_requests: int) -> Netlist:
+    """Fixed-priority arbiter: grant_i = req_i & !req_0 & ... & !req_{i-1}.
+
+    Low-index requests fan out into every higher grant — the repetitive,
+    reconvergence-dense structure the paper highlights for its Arbiter
+    result (73.6% error reduction, Table III).
+    """
+    nl = Netlist(f"priority_arbiter{num_requests}")
+    reqs = [nl.add_input(f"req{k}") for k in range(num_requests)]
+    neg = [
+        nl.add_gate(f"nreq{k}", GateType.NOT, [reqs[k]])
+        for k in range(num_requests - 1)
+    ]
+    grants: List[str] = [
+        nl.add_gate("grant0", GateType.BUF, [reqs[0]])
+    ]
+    for k in range(1, num_requests):
+        mask = _reduce_tree(nl, GateType.AND, neg[:k], f"mask{k}")
+        grants.append(nl.add_gate(f"grant{k}", GateType.AND, [reqs[k], mask]))
+    any_grant = _reduce_tree(nl, GateType.OR, reqs, "busy")
+    nl.set_outputs(grants + [any_grant])
+    return nl
+
+
+def round_robin_arbiter(num_requests: int) -> Netlist:
+    """Arbiter with a rotating priority pointer (one-hot pointer inputs)."""
+    nl = Netlist(f"rr_arbiter{num_requests}")
+    reqs = [nl.add_input(f"req{k}") for k in range(num_requests)]
+    ptr = [nl.add_input(f"ptr{k}") for k in range(num_requests)]
+    grants: List[str] = []
+    for k in range(num_requests):
+        terms: List[str] = []
+        for start in range(num_requests):
+            # grant k when pointer at `start` and k is the first request
+            # (scanning from start) that is asserted
+            offset = (k - start) % num_requests
+            scan = [reqs[(start + j) % num_requests] for j in range(offset)]
+            parts = [ptr[start], reqs[k]]
+            for j, r in enumerate(scan):
+                parts.append(
+                    nl.add_gate(f"n_{k}_{start}_{j}", GateType.NOT, [r])
+                )
+            terms.append(
+                _reduce_tree(nl, GateType.AND, parts, f"t_{k}_{start}")
+            )
+        grants.append(_reduce_tree(nl, GateType.OR, terms, f"grant{k}_or"))
+    nl.set_outputs(grants)
+    return nl
+
+
+def decoder(select_bits: int) -> Netlist:
+    """``select_bits``-to-``2**select_bits`` one-hot decoder with enable."""
+    nl = Netlist(f"decoder{select_bits}")
+    sel = [nl.add_input(f"s{k}") for k in range(select_bits)]
+    en = nl.add_input("en")
+    neg = [nl.add_gate(f"ns{k}", GateType.NOT, [s]) for k, s in enumerate(sel)]
+    outs: List[str] = []
+    for code in range(1 << select_bits):
+        terms = [en] + [
+            sel[k] if (code >> k) & 1 else neg[k] for k in range(select_bits)
+        ]
+        outs.append(_reduce_tree(nl, GateType.AND, terms, f"d{code}"))
+    nl.set_outputs(outs)
+    return nl
+
+
+def mux_tree(select_bits: int) -> Netlist:
+    """``2**select_bits``-to-1 multiplexer tree."""
+    nl = Netlist(f"mux_tree{select_bits}")
+    data = [nl.add_input(f"d{k}") for k in range(1 << select_bits)]
+    sel = [nl.add_input(f"s{k}") for k in range(select_bits)]
+    layer = data
+    for level, s in enumerate(sel):
+        layer = [
+            _mux2(nl, s, layer[2 * k], layer[2 * k + 1], f"m{level}_{k}")
+            for k in range(len(layer) // 2)
+        ]
+    nl.set_outputs([layer[0]])
+    return nl
+
+
+def barrel_shifter(width_bits: int) -> Netlist:
+    """Logarithmic left-rotate of a ``2**width_bits``-bit word."""
+    nl = Netlist(f"barrel_shifter{width_bits}")
+    width = 1 << width_bits
+    word = [nl.add_input(f"d{k}") for k in range(width)]
+    amount = [nl.add_input(f"sh{k}") for k in range(width_bits)]
+    layer = word
+    for stage, s in enumerate(amount):
+        shift = 1 << stage
+        layer = [
+            _mux2(nl, s, layer[k], layer[(k - shift) % width], f"b{stage}_{k}")
+            for k in range(width)
+        ]
+    nl.set_outputs(layer)
+    return nl
+
+
+# ---------------------------------------------------------------------------
+# codes and parity (IWLS / OpenCores style)
+# ---------------------------------------------------------------------------
+
+
+def parity(width: int) -> Netlist:
+    """XOR parity tree over ``width`` inputs."""
+    nl = Netlist(f"parity{width}")
+    xs = [nl.add_input(f"x{k}") for k in range(width)]
+    nl.set_outputs([_reduce_tree(nl, GateType.XOR, xs, "p")])
+    return nl
+
+
+def crc(data_width: int, polynomial: int = 0x07, crc_width: int = 8) -> Netlist:
+    """Combinational CRC over a data word (serial LFSR unrolled).
+
+    ``polynomial`` gives the feedback taps (low ``crc_width`` bits); the
+    default 0x07 is CRC-8-CCITT.
+    """
+    nl = Netlist(f"crc{crc_width}_d{data_width}")
+    data = [nl.add_input(f"d{k}") for k in range(data_width)]
+    state = [nl.add_input(f"c{k}") for k in range(crc_width)]
+    regs: List[str] = list(state)
+    for step, bit in enumerate(data):
+        feedback = nl.add_gate(
+            f"fb{step}", GateType.XOR, [bit, regs[crc_width - 1]]
+        )
+        nxt: List[str] = []
+        for k in range(crc_width):
+            prev = regs[k - 1] if k else None
+            if (polynomial >> k) & 1:
+                if k == 0:
+                    nxt.append(
+                        nl.add_gate(f"s{step}_{k}", GateType.BUF, [feedback])
+                    )
+                else:
+                    nxt.append(
+                        nl.add_gate(
+                            f"s{step}_{k}", GateType.XOR, [prev, feedback]
+                        )
+                    )
+            else:
+                nxt.append(
+                    nl.add_gate(f"s{step}_{k}", GateType.BUF, [prev])
+                    if k
+                    else nl.add_gate(f"s{step}_{k}", GateType.BUF, [feedback])
+                )
+        regs = nxt
+    nl.set_outputs(regs)
+    return nl
+
+
+def gray_to_binary(width: int) -> Netlist:
+    """Gray-code to binary: prefix-XOR chain."""
+    nl = Netlist(f"gray_to_binary{width}")
+    g = [nl.add_input(f"g{k}") for k in range(width)]
+    outs = [nl.add_gate(f"b{width - 1}", GateType.BUF, [g[width - 1]])]
+    for k in range(width - 2, -1, -1):
+        outs.append(nl.add_gate(f"b{k}", GateType.XOR, [g[k], outs[-1]]))
+    nl.set_outputs(list(reversed(outs)))
+    return nl
+
+
+def majority_voter(width: int) -> Netlist:
+    """1 when more than half of the inputs are 1 (EPFL 'voter' family).
+
+    Counts ones with a full-adder tree, then compares against width/2.
+    """
+    if width % 2 == 0:
+        raise ValueError("majority needs an odd number of inputs")
+    nl = Netlist(f"majority{width}")
+    xs = [nl.add_input(f"x{k}") for k in range(width)]
+    # column-compression popcount: repeatedly full-add triples per weight
+    columns: dict = {0: list(xs)}
+    counter = 0
+    weight = 0
+    sum_bits: List[str] = []
+    while weight in columns:
+        col = columns[weight]
+        while len(col) > 2:
+            s, c = _full_adder(nl, col[0], col[1], col[2], f"v{counter}")
+            counter += 1
+            col[0:3] = [s]
+            columns.setdefault(weight + 1, []).append(c)
+        if len(col) == 2:
+            s, c = _full_adder(nl, col[0], col[1], None, f"v{counter}")
+            counter += 1
+            col[0:2] = [s]
+            columns.setdefault(weight + 1, []).append(c)
+        sum_bits.append(col[0])
+        weight += 1
+    # majority: popcount >= (width+1)/2; compare against the constant
+    threshold = (width + 1) // 2
+    terms: List[str] = []
+    # popcount > t-1  <=>  OR over bits of (popcount AND mask >= ...) — use
+    # direct comparison: popcount >= threshold via subtract-free compare
+    # against fixed constant: scan from MSB.
+    gt_terms: List[str] = []
+    eq_so_far: Optional[str] = None
+    for k in range(len(sum_bits) - 1, -1, -1):
+        t_bit = (threshold >> k) & 1
+        bit = sum_bits[k]
+        if t_bit == 0:
+            # popcount bit 1 where threshold bit 0 (higher bits equal) -> greater
+            term = bit if eq_so_far is None else nl.add_gate(
+                f"gt{k}", GateType.AND, [eq_so_far, bit]
+            )
+            gt_terms.append(term)
+            eq_bit = nl.add_gate(f"eqb{k}", GateType.NOT, [bit])
+        else:
+            eq_bit = bit
+        eq_so_far = (
+            eq_bit
+            if eq_so_far is None
+            else nl.add_gate(f"eqs{k}", GateType.AND, [eq_so_far, eq_bit])
+        )
+    # >= threshold: strictly greater OR exactly equal
+    terms = gt_terms + [eq_so_far]
+    nl.set_outputs([_reduce_tree(nl, GateType.OR, terms, "maj")])
+    return nl
+
+
+# ---------------------------------------------------------------------------
+# random control logic and composite "processor-like" designs
+# ---------------------------------------------------------------------------
+
+_RANDOM_BINARY = (
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+)
+
+
+def random_control(
+    rng: np.random.Generator,
+    num_inputs: int = 8,
+    num_gates: int = 60,
+    num_outputs: int = 4,
+    include_mux: bool = True,
+    locality: int = 12,
+) -> Netlist:
+    """Random combinational control logic (ITC'99 next-state style).
+
+    Gates draw fan-ins from recently created nets (window ``locality``),
+    giving layered, fanout-sharing structure rather than a shapeless blob.
+    """
+    nl = Netlist(f"random_control_{num_inputs}x{num_gates}")
+    nets = [nl.add_input(f"i{k}") for k in range(num_inputs)]
+    for g in range(num_gates):
+        window = nets[-locality:]
+        choice = int(rng.integers(0, 12))
+        name = f"g{g}"
+        if choice == 0:
+            nl.add_gate(name, GateType.NOT, [str(rng.choice(window))])
+        elif include_mux and choice == 1 and len(window) >= 3:
+            picks = rng.choice(len(window), size=3, replace=False)
+            nl.add_gate(name, GateType.MUX, [window[p] for p in picks])
+        else:
+            t = _RANDOM_BINARY[int(rng.integers(0, len(_RANDOM_BINARY)))]
+            k = min(len(window), int(rng.integers(2, 4)))
+            picks = rng.choice(len(window), size=k, replace=False)
+            nl.add_gate(name, t, [window[p] for p in picks])
+        nets.append(name)
+    pool = nets[num_inputs:]
+    step = max(1, len(pool) // num_outputs)
+    outs = [pool[min(len(pool) - 1, (k + 1) * step - 1)] for k in range(num_outputs)]
+    nl.set_outputs(outs)
+    return nl
+
+
+def alu(width: int) -> Netlist:
+    """Small ALU: add, and, or, xor selected by two opcode bits."""
+    nl = Netlist(f"alu{width}")
+    a = [nl.add_input(f"a{k}") for k in range(width)]
+    b = [nl.add_input(f"b{k}") for k in range(width)]
+    op0 = nl.add_input("op0")
+    op1 = nl.add_input("op1")
+    carry: Optional[str] = None
+    add_bits: List[str] = []
+    for k in range(width):
+        s, carry = _full_adder(nl, a[k], b[k], carry, f"add{k}")
+        add_bits.append(s)
+    outs: List[str] = []
+    for k in range(width):
+        and_k = nl.add_gate(f"and{k}", GateType.AND, [a[k], b[k]])
+        or_k = nl.add_gate(f"or{k}", GateType.OR, [a[k], b[k]])
+        xor_k = nl.add_gate(f"xor{k}", GateType.XOR, [a[k], b[k]])
+        lo = _mux2(nl, op0, add_bits[k], and_k, f"lo{k}")
+        hi = _mux2(nl, op0, or_k, xor_k, f"hi{k}")
+        outs.append(_mux2(nl, op1, lo, hi, f"out{k}"))
+    zero_terms = [nl.add_gate(f"nz{k}", GateType.NOT, [outs[k]]) for k in range(width)]
+    zero = _reduce_tree(nl, GateType.AND, zero_terms, "zero")
+    nl.set_outputs(outs + [zero, carry])
+    return nl
+
+
+def processor_like(width: int, rng: Optional[np.random.Generator] = None) -> Netlist:
+    """A processor-datapath slice: ALU + comparator + shifter + control.
+
+    Stands in for the paper's "80386 / Viper processor" designs: a mix of
+    arithmetic depth and control fanout in one netlist.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    nl = Netlist(f"processor_like{width}")
+    a = [nl.add_input(f"a{k}") for k in range(width)]
+    b = [nl.add_input(f"b{k}") for k in range(width)]
+    op = [nl.add_input(f"op{k}") for k in range(3)]
+
+    # ALU core (add / logic ops)
+    carry: Optional[str] = None
+    add_bits: List[str] = []
+    for k in range(width):
+        s, carry = _full_adder(nl, a[k], b[k], carry, f"p_add{k}")
+        add_bits.append(s)
+    logic_bits = [
+        nl.add_gate(f"p_logic{k}", GateType.XOR, [a[k], b[k]]) for k in range(width)
+    ]
+    # rotate-by-one unit
+    rot_bits = [a[(k - 1) % width] for k in range(width)]
+    stage1 = [
+        _mux2(nl, op[0], add_bits[k], logic_bits[k], f"p_s1_{k}")
+        for k in range(width)
+    ]
+    stage2 = [
+        _mux2(nl, op[1], stage1[k], rot_bits[k], f"p_s2_{k}") for k in range(width)
+    ]
+    # conditional invert (sub-like path)
+    result = [
+        _mux2(
+            nl,
+            op[2],
+            stage2[k],
+            nl.add_gate(f"p_inv{k}", GateType.NOT, [stage2[k]]),
+            f"p_res{k}",
+        )
+        for k in range(width)
+    ]
+    # flags
+    nres = [nl.add_gate(f"p_nr{k}", GateType.NOT, [result[k]]) for k in range(width)]
+    zero = _reduce_tree(nl, GateType.AND, nres, "p_zero")
+    sign = nl.add_gate("p_sign", GateType.BUF, [result[-1]])
+    eq_bits = [
+        nl.add_gate(f"p_eq{k}", GateType.XNOR, [a[k], b[k]]) for k in range(width)
+    ]
+    equal = _reduce_tree(nl, GateType.AND, eq_bits, "p_equal")
+    nl.set_outputs(result + [zero, sign, equal, carry])
+    return nl
+
+
+#: name -> (factory, default kwargs); used by suites and the CLI examples
+GENERATOR_CATALOG = {
+    "ripple_adder": (ripple_adder, {"width": 8}),
+    "carry_select_adder": (carry_select_adder, {"width": 8}),
+    "multiplier": (multiplier, {"width": 4}),
+    "squarer": (squarer, {"width": 4}),
+    "comparator": (comparator, {"width": 8}),
+    "alu": (alu, {"width": 4}),
+    "priority_arbiter": (priority_arbiter, {"num_requests": 8}),
+    "round_robin_arbiter": (round_robin_arbiter, {"num_requests": 4}),
+    "decoder": (decoder, {"select_bits": 3}),
+    "mux_tree": (mux_tree, {"select_bits": 3}),
+    "barrel_shifter": (barrel_shifter, {"width_bits": 3}),
+    "parity": (parity, {"width": 16}),
+    "crc": (crc, {"data_width": 8}),
+    "gray_to_binary": (gray_to_binary, {"width": 8}),
+    "majority_voter": (majority_voter, {"width": 9}),
+    "incrementer": (incrementer, {"width": 8}),
+    "processor_like": (processor_like, {"width": 4}),
+}

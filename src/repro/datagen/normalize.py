@@ -1,0 +1,185 @@
+"""Netlist normalisation and technology variegation (Table IV substrate).
+
+The "w/o transformation" arm of Table IV trains directly on original
+netlists whose vocabulary is {AND, NAND, OR, NOR, XOR, NOT} plus inputs.
+
+:func:`normalize_to_library` rewrites generator-only gate types into that
+library without changing functionality (BUF removed, XNOR -> XOR + NOT,
+MUX -> AND/OR/NOT network).
+
+:func:`variegate` emulates what diverse technology libraries and design
+styles do to real netlists — the heterogeneity the paper's §III-B calls "a
+challenge for GNN model development".  Every gate is rewritten into a
+randomly chosen functionally equivalent form (direct, inverted-output
+NAND/NOR, De Morgan dual, chain vs tree decomposition), yielding mixed,
+imbalanced gate-type distributions; logic synthesis collapses all variants
+back to the same optimised AIG, which is exactly the paper's argument for
+the unified representation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..aig.netlist import GateType, Netlist, NetlistError
+
+__all__ = ["normalize_to_library", "variegate"]
+
+_LIBRARY = {
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.NOT,
+}
+
+
+def normalize_to_library(netlist: Netlist) -> Netlist:
+    """Return an equivalent netlist using only the 6-type gate library."""
+    netlist.validate()
+    out = Netlist(netlist.name)
+    alias: Dict[str, str] = {}
+
+    def resolve(name: str) -> str:
+        while name in alias:
+            name = alias[name]
+        return name
+
+    for pin in netlist.inputs:  # keep the declared PI order
+        out.add_input(pin)
+    for name in netlist.topological_order():
+        gate = netlist.gate(name)
+        t = gate.gate_type
+        fanins = [resolve(f) for f in gate.fanins]
+        if t == GateType.INPUT:
+            pass  # declared above
+        elif t in _LIBRARY:
+            out.add_gate(name, t, fanins)
+        elif t == GateType.BUF:
+            alias[name] = fanins[0]
+        elif t == GateType.XNOR:
+            out.add_gate(f"{name}__x", GateType.XOR, fanins)
+            out.add_gate(name, GateType.NOT, [f"{name}__x"])
+        elif t == GateType.MUX:
+            sel, if_false, if_true = fanins
+            out.add_gate(f"{name}__ns", GateType.NOT, [sel])
+            out.add_gate(f"{name}__t0", GateType.AND, [f"{name}__ns", if_false])
+            out.add_gate(f"{name}__t1", GateType.AND, [sel, if_true])
+            out.add_gate(name, GateType.OR, [f"{name}__t0", f"{name}__t1"])
+        else:
+            raise NetlistError(
+                f"cannot normalise gate type {t!r} (constants unsupported)"
+            )
+
+    outputs = []
+    for o in netlist.outputs:
+        resolved = resolve(o)
+        if resolved not in out:
+            raise NetlistError(f"output {o!r} lost during normalisation")
+        outputs.append(resolved)
+    out.set_outputs(outputs)
+    out.validate()
+    return out
+
+
+def variegate(netlist: Netlist, rng: np.random.Generator) -> Netlist:
+    """Rewrite every gate into a random functionally equivalent form.
+
+    Input must already use the 6-type library (run
+    :func:`normalize_to_library` first).  The output uses the same library
+    but with a mixed, imbalanced type distribution: ANDs may become
+    inverted NANDs or De Morgan NOR forms, multi-input gates may become
+    chains instead of trees, and so on.
+    """
+    netlist.validate()
+    out = Netlist(netlist.name)
+    counter = [0]
+
+    def fresh(tag: str) -> str:
+        counter[0] += 1
+        return f"v{counter[0]}_{tag}"
+
+    def emit_not(x: str) -> str:
+        return out.add_gate(fresh("n"), GateType.NOT, [x])
+
+    def emit_and2(a: str, b: str) -> str:
+        style = int(rng.integers(0, 3))
+        if style == 0:
+            return out.add_gate(fresh("a"), GateType.AND, [a, b])
+        if style == 1:  # !(a nand b)
+            return emit_not(out.add_gate(fresh("na"), GateType.NAND, [a, b]))
+        return out.add_gate(fresh("dm"), GateType.NOR, [emit_not(a), emit_not(b)])
+
+    def emit_or2(a: str, b: str) -> str:
+        style = int(rng.integers(0, 3))
+        if style == 0:
+            return out.add_gate(fresh("o"), GateType.OR, [a, b])
+        if style == 1:
+            return emit_not(out.add_gate(fresh("no"), GateType.NOR, [a, b]))
+        return out.add_gate(fresh("dm"), GateType.NAND, [emit_not(a), emit_not(b)])
+
+    def emit_xor2(a: str, b: str) -> str:
+        # real technology-mapped netlists use XOR cells sparingly (the
+        # paper's §IV-D.1 observes exactly this imbalance); most parities
+        # appear as AND/OR decompositions
+        draw = rng.random()
+        if draw < 0.3:
+            return out.add_gate(fresh("x"), GateType.XOR, [a, b])
+        if draw < 0.65:  # (a | b) & !(a & b)
+            return emit_and2(emit_or2(a, b), emit_not(emit_and2(a, b)))
+        # (a & !b) | (!a & b)
+        return emit_or2(
+            emit_and2(a, emit_not(b)), emit_and2(emit_not(a), b)
+        )
+
+    def reduce_many(op, fanins: List[str]) -> str:
+        """Random chain (ripple) or tree reduction of 3+ fan-ins."""
+        items = list(fanins)
+        if rng.integers(0, 2):  # chain
+            acc = items[0]
+            for nxt in items[1:]:
+                acc = op(acc, nxt)
+            return acc
+        while len(items) > 1:  # tree
+            nxt_items = []
+            for k in range(0, len(items) - 1, 2):
+                nxt_items.append(op(items[k], items[k + 1]))
+            if len(items) % 2:
+                nxt_items.append(items[-1])
+            items = nxt_items
+        return items[0]
+
+    _BASE = {
+        GateType.AND: emit_and2,
+        GateType.OR: emit_or2,
+        GateType.XOR: emit_xor2,
+    }
+    _INVERTED = {GateType.NAND: emit_and2, GateType.NOR: emit_or2}
+
+    name_map: Dict[str, str] = {}
+    for pin in netlist.inputs:  # keep the declared PI order
+        name_map[pin] = out.add_input(pin)
+    for name in netlist.topological_order():
+        gate = netlist.gate(name)
+        t = gate.gate_type
+        fanins = [name_map[f] for f in gate.fanins]
+        if t == GateType.INPUT:
+            continue
+        if t == GateType.NOT:
+            name_map[name] = emit_not(fanins[0])
+        elif t in _BASE:
+            name_map[name] = reduce_many(_BASE[t], fanins)
+        elif t in _INVERTED:
+            name_map[name] = emit_not(reduce_many(_INVERTED[t], fanins))
+        else:
+            raise NetlistError(
+                f"variegate expects the 6-type library, got {t!r} "
+                "(run normalize_to_library first)"
+            )
+
+    out.set_outputs([name_map[o] for o in netlist.outputs])
+    out.validate()
+    return out

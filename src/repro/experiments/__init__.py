@@ -1,0 +1,29 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+* :mod:`.table1` — dataset statistics
+* :mod:`.table2` — model comparison grid (13 configurations)
+* :mod:`.table3` — generalisation to large circuits
+* :mod:`.table4` — AIG transformation ablation
+* :mod:`.t_sweep` — error vs recurrence iterations (the §IV-D.2 figure)
+* :mod:`.ablations` — extra design-choice ablations
+
+Each module exposes ``run(scale)`` returning structured rows,
+``format_table(rows)`` rendering the paper-style table, and a CLI
+(``python -m repro.experiments.table2 --scale default``).
+"""
+
+from . import ablations, common, t_sweep, table1, table2, table3, table4
+from .common import SCALES, Scale, get_scale
+
+__all__ = [
+    "ablations",
+    "common",
+    "t_sweep",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "SCALES",
+    "Scale",
+    "get_scale",
+]

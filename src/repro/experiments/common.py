@@ -1,0 +1,169 @@
+"""Shared experiment infrastructure: scales, dataset caching, formatting.
+
+Every experiment runs at a named *scale*:
+
+``smoke``    seconds; used by the pytest benchmarks so the whole harness
+             regenerates every table in one CI run
+``default``  minutes on a laptop CPU; big enough for the paper's relative
+             orderings to emerge
+``paper``    the paper's hyper-parameters (10,824 circuits, d=64, T=10,
+             60 epochs, 100k simulation patterns) — hours to days on CPU;
+             provided for completeness
+
+Numbers will not match the paper exactly (different circuits, from-scratch
+substrate, smaller budgets) — the *shape* of each table (who wins, by what
+rough factor) is the reproduction target.  EXPERIMENTS.md records both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..datagen.suites import SUITE_NAMES, build_suite_dataset
+from ..graphdata.dataset import CircuitDataset
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "get_scale",
+    "cached_suites",
+    "merged_dataset",
+    "format_rows",
+]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All knobs that trade fidelity for runtime."""
+
+    name: str
+    circuits_per_suite: Tuple[Tuple[str, int], ...]
+    num_patterns: int
+    dim: int
+    num_iterations: int  # T for recurrent models
+    num_layers: int  # L for layered baselines
+    epochs: int
+    batch_size: int
+    lr: float
+    min_nodes: int = 30
+    max_nodes: int = 3000
+    max_levels: int = 80
+    seed: int = 0
+
+    def suite_counts(self) -> Dict[str, int]:
+        return dict(self.circuits_per_suite)
+
+
+SCALES: Dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        circuits_per_suite=(("EPFL", 3), ("ITC99", 4), ("IWLS", 3), ("OpenCores", 3)),
+        num_patterns=4096,
+        dim=24,
+        num_iterations=4,
+        num_layers=2,
+        epochs=24,
+        batch_size=4,
+        lr=2e-3,
+        max_nodes=400,
+        max_levels=50,
+    ),
+    "default": Scale(
+        name="default",
+        circuits_per_suite=(
+            ("EPFL", 10),
+            ("ITC99", 14),
+            ("IWLS", 10),
+            ("OpenCores", 10),
+        ),
+        num_patterns=15_000,
+        dim=32,
+        num_iterations=5,
+        num_layers=3,
+        epochs=40,
+        batch_size=8,
+        lr=1e-3,
+        max_nodes=1200,
+        max_levels=70,
+    ),
+    "paper": Scale(
+        name="paper",
+        circuits_per_suite=(
+            ("EPFL", 828),
+            ("ITC99", 7560),
+            ("IWLS", 1281),
+            ("OpenCores", 1155),
+        ),
+        num_patterns=100_000,
+        dim=64,
+        num_iterations=10,
+        num_layers=4,
+        epochs=60,
+        batch_size=32,
+        lr=1e-4,
+    ),
+}
+
+
+def get_scale(scale: str) -> Scale:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+# one dataset build per (scale, seed) per process: experiments share it
+_SUITE_CACHE: Dict[Tuple[str, int], Dict[str, CircuitDataset]] = {}
+
+
+def cached_suites(scale: Scale) -> Dict[str, CircuitDataset]:
+    """Build (or fetch) the per-suite datasets for a scale."""
+    key = (scale.name, scale.seed)
+    if key not in _SUITE_CACHE:
+        suites: Dict[str, CircuitDataset] = {}
+        for k, (name, count) in enumerate(scale.circuits_per_suite):
+            suites[name] = build_suite_dataset(
+                name,
+                count,
+                seed=scale.seed + 1000 * k,
+                num_patterns=scale.num_patterns,
+                min_nodes=scale.min_nodes,
+                max_nodes=scale.max_nodes,
+                max_levels=scale.max_levels,
+            )
+        _SUITE_CACHE[key] = suites
+    return _SUITE_CACHE[key]
+
+
+def merged_dataset(scale: Scale) -> CircuitDataset:
+    """All suites merged into one dataset (the paper's training pool)."""
+    suites = cached_suites(scale)
+    graphs = [g for name in sorted(suites) for g in suites[name]]
+    return CircuitDataset(graphs, name=f"all[{scale.name}]")
+
+
+def format_rows(
+    headers: List[str], rows: List[List[object]], title: str = ""
+) -> str:
+    """Plain-text table formatting for experiment reports."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)

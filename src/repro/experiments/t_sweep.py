@@ -1,0 +1,96 @@
+"""Figure (§IV-D.2) — impact of the number of recurrence iterations T.
+
+The paper trains DeepGate with T=10 and sweeps inference-time T from 1 to
+50, observing that prediction error drops with T and converges around
+T = 10 regardless of circuit size.  This harness trains once and evaluates
+the same trained model at every requested T, producing the error-vs-T
+series (the "figure" as data rows).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..models.deepgate import DeepGate
+from ..train.trainer import TrainConfig, Trainer, evaluate_model
+from .common import format_rows, get_scale, merged_dataset
+
+__all__ = ["TSweepPoint", "run", "format_table", "main", "DEFAULT_T_VALUES"]
+
+DEFAULT_T_VALUES = (1, 2, 3, 5, 8, 10, 15, 20, 30, 50)
+
+
+@dataclass
+class TSweepPoint:
+    num_iterations: int
+    error: float
+
+
+def run(
+    scale: str = "default",
+    t_values: Optional[Sequence[int]] = None,
+    train_iterations: Optional[int] = None,
+) -> List[TSweepPoint]:
+    """Train once (at ``train_iterations``, default 8+) and sweep inference T.
+
+    The paper trains at T=10; sweeping a model trained with very small T
+    diverges beyond the trained horizon, so the sweep trains with at least
+    8 iterations regardless of the scale's default.
+    """
+    cfg = get_scale(scale)
+    dataset = merged_dataset(cfg)
+    train, test = dataset.split(0.9, seed=cfg.seed)
+    model = DeepGate(
+        dim=cfg.dim,
+        num_iterations=train_iterations or max(cfg.num_iterations, 8),
+        rng=np.random.default_rng(cfg.seed),
+    )
+    Trainer(
+        model,
+        TrainConfig(
+            epochs=cfg.epochs, batch_size=cfg.batch_size, lr=cfg.lr, seed=cfg.seed
+        ),
+    ).fit(train)
+    batches = test.prepared_batches(cfg.batch_size)
+    values = list(t_values) if t_values is not None else list(DEFAULT_T_VALUES)
+    return [
+        TSweepPoint(t, evaluate_model(model, batches, num_iterations=t))
+        for t in values
+    ]
+
+
+def convergence_iteration(
+    points: List[TSweepPoint], tolerance: float = 0.002
+) -> int:
+    """Smallest T whose error is within ``tolerance`` of the best error."""
+    best = min(p.error for p in points)
+    for p in sorted(points, key=lambda q: q.num_iterations):
+        if p.error <= best + tolerance:
+            return p.num_iterations
+    return points[-1].num_iterations  # pragma: no cover - unreachable
+
+
+def format_table(points: List[TSweepPoint]) -> str:
+    body = [[p.num_iterations, p.error] for p in points]
+    table = format_rows(
+        ["T", "Avg. Pred. Error"],
+        body,
+        title="Figure (T-sweep): prediction error vs recurrence iterations",
+    )
+    conv = convergence_iteration(points)
+    return table + f"\nconverges by T = {conv} (paper: around T = 10)"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="default", choices=["smoke", "default", "paper"])
+    args = parser.parse_args()
+    print(format_table(run(args.scale)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Table I — statistics of the circuit training dataset.
+
+Reproduces the paper's dataset-construction flow (suite pools -> AIG ->
+sub-circuit window -> labels) and reports, per suite: number of
+sub-circuits, node-count range and logic-level range, next to the published
+values.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..datagen.suites import SUITE_NAMES, TABLE1_PAPER_ROWS
+from .common import Scale, cached_suites, format_rows, get_scale
+
+__all__ = ["Table1Row", "run", "format_table", "main"]
+
+
+@dataclass
+class Table1Row:
+    suite: str
+    subcircuits: int
+    node_range: Tuple[int, int]
+    level_range: Tuple[int, int]
+    paper_subcircuits: int
+    paper_node_range: Tuple[int, int]
+    paper_level_range: Tuple[int, int]
+
+
+def run(scale: str = "default") -> List[Table1Row]:
+    """Build every suite at the given scale and collect its statistics."""
+    cfg = get_scale(scale)
+    suites = cached_suites(cfg)
+    rows: List[Table1Row] = []
+    for name in SUITE_NAMES:
+        if name not in suites:
+            continue
+        ds = suites[name]
+        paper_n, paper_nodes, paper_levels = TABLE1_PAPER_ROWS[name]
+        rows.append(
+            Table1Row(
+                suite=name,
+                subcircuits=len(ds),
+                node_range=ds.node_count_range(),
+                level_range=ds.level_range(),
+                paper_subcircuits=paper_n,
+                paper_node_range=paper_nodes,
+                paper_level_range=paper_levels,
+            )
+        )
+    return rows
+
+
+def format_table(rows: List[Table1Row]) -> str:
+    total = sum(r.subcircuits for r in rows)
+    lo_n = min(r.node_range[0] for r in rows)
+    hi_n = max(r.node_range[1] for r in rows)
+    lo_l = min(r.level_range[0] for r in rows)
+    hi_l = max(r.level_range[1] for r in rows)
+    body = [
+        [
+            r.suite,
+            r.subcircuits,
+            f"[{r.node_range[0]}-{r.node_range[1]}]",
+            f"[{r.level_range[0]}-{r.level_range[1]}]",
+            r.paper_subcircuits,
+            f"[{r.paper_node_range[0]}-{r.paper_node_range[1]}]",
+            f"[{r.paper_level_range[0]}-{r.paper_level_range[1]}]",
+        ]
+        for r in rows
+    ]
+    body.append(
+        ["Total", total, f"[{lo_n}-{hi_n}]", f"[{lo_l}-{hi_l}]", 10824,
+         "[36-3214]", "[3-24]"]
+    )
+    return format_rows(
+        ["Benchmark", "#Subcircuits", "#Node", "#Level",
+         "paper#Sub", "paper#Node", "paper#Level"],
+        body,
+        title="Table I: circuit training dataset statistics (ours vs paper)",
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="default", choices=["smoke", "default", "paper"])
+    args = parser.parse_args()
+    print(format_table(run(args.scale)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Circuit-to-graph data pipeline: features, batching, datasets."""
+
+from .batching import LevelGroup, LevelSchedule, merge
+from .dataset import CircuitDataset, PreparedBatch, prepare
+from .positional import positional_encoding
+from .features import (
+    AIG_TYPE_NAMES,
+    NETLIST_TYPE_NAMES,
+    CircuitGraph,
+    from_aig,
+    from_netlist,
+)
+
+__all__ = [
+    "positional_encoding",
+    "LevelGroup",
+    "LevelSchedule",
+    "merge",
+    "CircuitDataset",
+    "PreparedBatch",
+    "prepare",
+    "AIG_TYPE_NAMES",
+    "NETLIST_TYPE_NAMES",
+    "CircuitGraph",
+    "from_aig",
+    "from_netlist",
+]

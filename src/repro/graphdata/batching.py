@@ -1,0 +1,175 @@
+"""Graph batching and topological level schedules.
+
+Two pieces of machinery the models rely on:
+
+* :func:`merge` — combine several :class:`CircuitGraph` objects into one
+  disjoint batched graph with offset node ids, so one forward pass trains on
+  a whole mini-batch of circuits.
+* :class:`LevelSchedule` — the *topological batching* of Thost & Chen
+  (paper §IV-B): nodes are grouped by logic level, and message passing
+  processes one level at a time with all of the level's nodes updated in a
+  single vectorised step.  Forward schedules walk levels upward, reverse
+  schedules walk them downward (the paper's reversed propagation layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .features import CircuitGraph
+from .positional import positional_encoding
+
+__all__ = ["merge", "LevelGroup", "LevelSchedule"]
+
+
+def merge(graphs: Sequence[CircuitGraph]) -> CircuitGraph:
+    """Disjoint union of circuit graphs (the mini-batch collate function)."""
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("cannot merge an empty list of graphs")
+    type_names = graphs[0].type_names
+    for g in graphs[1:]:
+        if g.type_names != type_names:
+            raise ValueError("cannot merge graphs with different type vocabularies")
+    offsets = np.cumsum([0] + [g.num_nodes for g in graphs])
+    node_type = np.concatenate([g.node_type for g in graphs])
+    levels = np.concatenate([g.levels for g in graphs])
+    labels = np.concatenate([g.labels for g in graphs])
+    edges = np.concatenate(
+        [g.edges + off for g, off in zip(graphs, offsets)], axis=0
+    )
+    skip_edges = np.concatenate(
+        [g.skip_edges + off for g, off in zip(graphs, offsets)], axis=0
+    )
+    skip_diff = np.concatenate([g.skip_level_diff for g in graphs])
+    return CircuitGraph(
+        node_type=node_type,
+        type_names=type_names,
+        edges=edges,
+        levels=levels,
+        labels=labels,
+        skip_edges=skip_edges,
+        skip_level_diff=skip_diff,
+        name=f"batch[{len(graphs)}]",
+    )
+
+
+@dataclass
+class LevelGroup:
+    """One vectorised message-passing step: update ``nodes`` together.
+
+    ``src[k]`` feeds the node at position ``seg[k]`` within ``nodes``.
+    ``skip_*`` carry the reconvergence skip connections landing on this
+    level, with their positional-encoding edge attributes (paper Eq. 7).
+    """
+
+    nodes: np.ndarray
+    src: np.ndarray
+    seg: np.ndarray
+    skip_src: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    skip_seg: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    skip_attr: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 0), np.float32)
+    )
+
+    @property
+    def has_skip(self) -> bool:
+        return len(self.skip_src) > 0
+
+
+class LevelSchedule:
+    """Precomputed level-by-level propagation plan for a (batched) graph."""
+
+    def __init__(self, groups: List[LevelGroup], num_nodes: int):
+        self.groups = groups
+        self.num_nodes = num_nodes
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def forward(
+        cls,
+        graph: CircuitGraph,
+        include_skip: bool = False,
+        pe_levels: int = 8,
+    ) -> "LevelSchedule":
+        """Schedule walking levels 1..max (predecessor aggregation)."""
+        edges = graph.edges
+        dst_level = graph.levels[edges[:, 1]]
+        groups: List[LevelGroup] = []
+        if graph.num_nodes == 0:
+            return cls(groups, 0)
+        skip = graph.skip_edges if include_skip else np.zeros((0, 2), np.int64)
+        skip_level = (
+            graph.levels[skip[:, 1]] if len(skip) else np.zeros(0, np.int64)
+        )
+        # edge attribute = [gamma(D), is_skip]: the trailing indicator lets
+        # the attention learn one global gate over skip connections (and its
+        # negative initialisation starts them nearly muted, so they cannot
+        # dilute real fan-in messages before training decides to use them)
+        if include_skip and len(skip):
+            pe = positional_encoding(graph.skip_level_diff, pe_levels)
+            skip_attr_all = np.concatenate(
+                [pe, np.ones((len(skip), 1), np.float32)], axis=1
+            )
+        else:
+            skip_attr_all = np.zeros((0, 2 * pe_levels + 1), np.float32)
+        for lv in range(1, int(graph.levels.max()) + 1):
+            sel = np.nonzero(dst_level == lv)[0]
+            if sel.size == 0:
+                continue
+            e = edges[sel]
+            nodes, seg = np.unique(e[:, 1], return_inverse=True)
+            group = LevelGroup(nodes=nodes, src=e[:, 0], seg=seg)
+            if include_skip and len(skip):
+                ssel = np.nonzero(skip_level == lv)[0]
+                if ssel.size:
+                    s = skip[ssel]
+                    pos = np.searchsorted(nodes, s[:, 1])
+                    group.skip_src = s[:, 0]
+                    group.skip_seg = pos
+                    group.skip_attr = skip_attr_all[ssel]
+            groups.append(group)
+        return cls(groups, graph.num_nodes)
+
+    @classmethod
+    def reverse(cls, graph: CircuitGraph) -> "LevelSchedule":
+        """Schedule walking levels max-1..0 (successor aggregation).
+
+        Every edge ``u -> v`` becomes a reverse message ``v -> u``; node
+        ``u`` is updated when its (forward) level is reached on the way
+        down, by which time all successors have been processed.
+        """
+        edges = graph.edges
+        groups: List[LevelGroup] = []
+        if graph.num_nodes == 0:
+            return cls(groups, 0)
+        src_level = graph.levels[edges[:, 0]]
+        for lv in range(int(graph.levels.max()) - 1, -1, -1):
+            sel = np.nonzero(src_level == lv)[0]
+            if sel.size == 0:
+                continue
+            e = edges[sel]
+            nodes, seg = np.unique(e[:, 0], return_inverse=True)
+            groups.append(LevelGroup(nodes=nodes, src=e[:, 1], seg=seg))
+        return cls(groups, graph.num_nodes)
+
+    @classmethod
+    def undirected(cls, graph: CircuitGraph) -> "LevelSchedule":
+        """Single-step schedule over the symmetrised edge set (GCN mode)."""
+        if graph.num_edges == 0:
+            return cls([], graph.num_nodes)
+        fwd = graph.edges
+        both = np.concatenate([fwd, fwd[:, ::-1]], axis=0)
+        nodes, seg = np.unique(both[:, 1], return_inverse=True)
+        return cls(
+            [LevelGroup(nodes=nodes, src=both[:, 0], seg=seg)], graph.num_nodes
+        )

@@ -1,0 +1,132 @@
+"""Datasets of featurised circuits and prepared training batches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .batching import LevelSchedule, merge
+from .features import CircuitGraph
+
+__all__ = ["PreparedBatch", "CircuitDataset", "prepare"]
+
+
+class PreparedBatch:
+    """A merged mini-batch with cached level schedules and features.
+
+    Schedules depend only on graph structure, so they are computed once and
+    reused across every epoch and every model that sees the batch.
+    """
+
+    def __init__(self, graph: CircuitGraph):
+        self.graph = graph
+        self.x = graph.one_hot()
+        self.labels = graph.labels
+        self._forward: Dict[Tuple[bool, int], LevelSchedule] = {}
+        self._reverse: Optional[LevelSchedule] = None
+        self._undirected: Optional[LevelSchedule] = None
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    def forward_schedule(
+        self, include_skip: bool = False, pe_levels: int = 8
+    ) -> LevelSchedule:
+        key = (include_skip, pe_levels)
+        if key not in self._forward:
+            self._forward[key] = LevelSchedule.forward(
+                self.graph, include_skip=include_skip, pe_levels=pe_levels
+            )
+        return self._forward[key]
+
+    def reverse_schedule(self) -> LevelSchedule:
+        if self._reverse is None:
+            self._reverse = LevelSchedule.reverse(self.graph)
+        return self._reverse
+
+    def undirected_schedule(self) -> LevelSchedule:
+        if self._undirected is None:
+            self._undirected = LevelSchedule.undirected(self.graph)
+        return self._undirected
+
+
+def prepare(graphs: Sequence[CircuitGraph]) -> PreparedBatch:
+    """Merge graphs and wrap them as a :class:`PreparedBatch`."""
+    graphs = list(graphs)
+    merged = graphs[0] if len(graphs) == 1 else merge(graphs)
+    return PreparedBatch(merged)
+
+
+class CircuitDataset:
+    """An in-memory collection of circuit graphs with train/test splitting."""
+
+    def __init__(self, graphs: Sequence[CircuitGraph], name: str = "dataset"):
+        self.graphs = list(graphs)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def __getitem__(self, index: int) -> CircuitGraph:
+        return self.graphs[index]
+
+    def __iter__(self):
+        return iter(self.graphs)
+
+    def split(
+        self, train_fraction: float = 0.9, seed: int = 0
+    ) -> Tuple["CircuitDataset", "CircuitDataset"]:
+        """Shuffled train/test split (the paper uses 90/10)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self.graphs))
+        cut = max(1, int(round(train_fraction * len(self.graphs))))
+        cut = min(cut, len(self.graphs) - 1) if len(self.graphs) > 1 else cut
+        train = [self.graphs[i] for i in order[:cut]]
+        test = [self.graphs[i] for i in order[cut:]]
+        return (
+            CircuitDataset(train, f"{self.name}/train"),
+            CircuitDataset(test, f"{self.name}/test"),
+        )
+
+    def batches(
+        self, batch_size: int, seed: Optional[int] = None
+    ) -> Iterator[PreparedBatch]:
+        """Yield merged mini-batches, optionally shuffled."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        order = np.arange(len(self.graphs))
+        if seed is not None:
+            np.random.default_rng(seed).shuffle(order)
+        for start in range(0, len(order), batch_size):
+            chunk = [self.graphs[i] for i in order[start : start + batch_size]]
+            yield prepare(chunk)
+
+    def prepared_batches(
+        self, batch_size: int, seed: int = 0
+    ) -> List[PreparedBatch]:
+        """Materialise all batches once (schedule reuse across epochs)."""
+        return list(self.batches(batch_size, seed=seed))
+
+    # -- statistics (Table I) ------------------------------------------
+    def node_count_range(self) -> Tuple[int, int]:
+        counts = [g.num_nodes for g in self.graphs]
+        return (min(counts), max(counts)) if counts else (0, 0)
+
+    def level_range(self) -> Tuple[int, int]:
+        depths = [g.depth for g in self.graphs]
+        return (min(depths), max(depths)) if depths else (0, 0)
+
+    def summary(self) -> Dict[str, object]:
+        lo_n, hi_n = self.node_count_range()
+        lo_l, hi_l = self.level_range()
+        return {
+            "name": self.name,
+            "circuits": len(self.graphs),
+            "nodes": (lo_n, hi_n),
+            "levels": (lo_l, hi_l),
+        }

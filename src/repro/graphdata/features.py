@@ -1,0 +1,182 @@
+"""Circuit graphs as learning examples.
+
+:class:`CircuitGraph` is the model-facing view of a circuit: typed nodes,
+directed edges, per-node logic levels, per-node probability labels and the
+reconvergence skip edges.  Two constructors cover the paper's two regimes:
+
+* :func:`from_aig` — the standard flow: unified AIG (3 node types), the
+  setting of Tables I-III;
+* :func:`from_netlist` — the "w/o transformation" ablation of Table IV:
+  original gate types (7-way one-hot), no AIG lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..aig.graph import AIG, NODE_TYPE_NAMES, GateGraph
+from ..aig.netlist import GateType, Netlist
+from ..sim.analysis import SkipEdge, find_reconvergences
+from ..sim.bitparallel import popcount, random_patterns
+from ..sim.probability import gate_graph_probabilities
+
+__all__ = [
+    "CircuitGraph",
+    "AIG_TYPE_NAMES",
+    "NETLIST_TYPE_NAMES",
+    "from_aig",
+    "from_netlist",
+]
+
+#: node vocabulary for AIG-form circuits (the paper's 3-d one-hot)
+AIG_TYPE_NAMES: Tuple[str, ...] = NODE_TYPE_NAMES  # ("PI", "AND", "NOT")
+
+#: node vocabulary for original netlists (the paper's 7-d one-hot:
+#: inputs plus the six library gate types kept after elaboration)
+NETLIST_TYPE_NAMES: Tuple[str, ...] = (
+    "INPUT",
+    "AND",
+    "NAND",
+    "OR",
+    "NOR",
+    "XOR",
+    "NOT",
+)
+
+_NETLIST_TYPE_INDEX: Dict[str, int] = {t: i for i, t in enumerate(NETLIST_TYPE_NAMES)}
+#: gate types folded into vocabulary entries during netlist featurisation
+_NETLIST_FOLD = {GateType.XNOR: "XOR", GateType.BUF: "NOT"}
+
+
+@dataclass
+class CircuitGraph:
+    """A featurised circuit ready for GNN consumption."""
+
+    node_type: np.ndarray  # (N,) int64 indices into type_names
+    type_names: Tuple[str, ...]
+    edges: np.ndarray  # (E, 2) int64 (src, dst), topologically ordered
+    levels: np.ndarray  # (N,) int64
+    labels: np.ndarray  # (N,) float32 signal probabilities
+    skip_edges: np.ndarray  # (S, 2) int64 (stem, reconv node)
+    skip_level_diff: np.ndarray  # (S,) int64
+    name: str = "circuit"
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_type.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edges.shape[0])
+
+    @property
+    def num_types(self) -> int:
+        return len(self.type_names)
+
+    @property
+    def depth(self) -> int:
+        return int(self.levels.max()) if self.num_nodes else 0
+
+    def one_hot(self) -> np.ndarray:
+        """(N, num_types) float32 one-hot gate-type features ``x_v``."""
+        out = np.zeros((self.num_nodes, self.num_types), dtype=np.float32)
+        out[np.arange(self.num_nodes), self.node_type] = 1.0
+        return out
+
+    def validate(self) -> None:
+        assert (self.edges[:, 0] < self.edges[:, 1]).all(), "edges not topological"
+        assert self.labels.shape == (self.num_nodes,)
+        assert (self.labels >= 0).all() and (self.labels <= 1).all()
+        assert self.node_type.max(initial=0) < self.num_types
+        if len(self.skip_edges):
+            assert (self.skip_edges[:, 0] < self.skip_edges[:, 1]).all()
+
+
+def from_aig(
+    aig: AIG,
+    num_patterns: int = 100_000,
+    seed: Optional[int] = None,
+    with_skip_edges: bool = True,
+    exact_below_pis: int = 0,
+) -> CircuitGraph:
+    """Featurise an AIG: expand to a gate graph, label, detect skip edges."""
+    graph = aig.to_gate_graph()
+    labels = gate_graph_probabilities(
+        graph, num_patterns=num_patterns, seed=seed, exact_below_pis=exact_below_pis
+    )
+    if with_skip_edges:
+        skips = find_reconvergences(graph, mode="nearest")
+    else:
+        skips = []
+    skip_edges = np.asarray(
+        [(e.source, e.target) for e in skips], dtype=np.int64
+    ).reshape(-1, 2)
+    skip_diff = np.asarray([e.level_diff for e in skips], dtype=np.int64)
+    return CircuitGraph(
+        node_type=graph.node_type.astype(np.int64),
+        type_names=AIG_TYPE_NAMES,
+        edges=graph.edges,
+        levels=graph.levels(),
+        labels=labels.astype(np.float32),
+        skip_edges=skip_edges,
+        skip_level_diff=skip_diff,
+        name=aig.name,
+    )
+
+
+def from_netlist(
+    netlist: Netlist,
+    num_patterns: int = 100_000,
+    seed: Optional[int] = None,
+) -> CircuitGraph:
+    """Featurise an original (non-AIG) netlist for the Table IV ablation.
+
+    XNOR folds into XOR's slot and BUF into NOT's, mirroring the paper's
+    6-gate-type + input vocabulary.  Constants are rejected (the ablation
+    datasets never contain them).  No skip edges are computed: the paper's
+    skip connections are defined on AIG reconvergence only.
+    """
+    netlist.validate()
+    order = netlist.topological_order()
+    index = {name: k for k, name in enumerate(order)}
+    node_type = np.empty(len(order), dtype=np.int64)
+    edge_list: List[Tuple[int, int]] = []
+    for name in order:
+        gate = netlist.gate(name)
+        t = gate.gate_type
+        t = _NETLIST_FOLD.get(t, t)
+        if t == GateType.INPUT:
+            t = "INPUT"
+        if t not in _NETLIST_TYPE_INDEX:
+            raise ValueError(
+                f"gate type {gate.gate_type!r} not supported in netlist "
+                "featurisation (synthesise to AIG instead)"
+            )
+        node_type[index[name]] = _NETLIST_TYPE_INDEX[t]
+        for f in gate.fanins:
+            edge_list.append((index[f], index[name]))
+
+    num_patterns = max(64, ((num_patterns + 63) // 64) * 64)
+    rng = np.random.default_rng(seed)
+    pats = random_patterns(len(netlist.inputs), num_patterns, rng)
+    values = netlist.evaluate(
+        {name: pats[k] for k, name in enumerate(netlist.inputs)}
+    )
+    stacked = np.stack([values[name] for name in order])
+    labels = popcount(stacked) / float(num_patterns)
+
+    levels_by_name = netlist.levels()
+    levels = np.array([levels_by_name[name] for name in order], dtype=np.int64)
+    return CircuitGraph(
+        node_type=node_type,
+        type_names=NETLIST_TYPE_NAMES,
+        edges=np.asarray(edge_list, dtype=np.int64).reshape(-1, 2),
+        levels=levels,
+        labels=labels.astype(np.float32),
+        skip_edges=np.zeros((0, 2), dtype=np.int64),
+        skip_level_diff=np.zeros(0, dtype=np.int64),
+        name=netlist.name,
+    )

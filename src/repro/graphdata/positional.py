@@ -1,0 +1,34 @@
+"""Sinusoidal positional encoding of logic-level differences (paper Eq. 7).
+
+gamma(D) = (sin(2^0 pi D), cos(2^0 pi D), ..., sin(2^{L-1} pi D),
+cos(2^{L-1} pi D)) maps the distance between a fanout stem and its
+reconvergence node into R^{2L}, letting the attention score discount distant
+stems.  The paper uses L = 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["positional_encoding"]
+
+
+def positional_encoding(level_diff: np.ndarray, num_levels: int = 8) -> np.ndarray:
+    """Encode integer distances as a ``(len(level_diff), 2 * num_levels)`` array.
+
+    Frequencies follow Eq. (7) with the angle scaled by ``pi * D / D_norm``
+    where ``D_norm`` keeps one full period across typical circuit depths —
+    raw ``pi * D`` with integer ``D`` would collapse every sin term to ~0
+    and every cos to ±1, destroying the distance information the encoding
+    exists to provide.
+    """
+    d = np.asarray(level_diff, dtype=np.float64).reshape(-1)
+    if num_levels < 1:
+        raise ValueError("num_levels must be >= 1")
+    d_norm = 64.0  # deeper than any training circuit level difference
+    out = np.empty((d.shape[0], 2 * num_levels), dtype=np.float32)
+    for k in range(num_levels):
+        angle = (2.0**k) * np.pi * d / d_norm
+        out[:, 2 * k] = np.sin(angle)
+        out[:, 2 * k + 1] = np.cos(angle)
+    return out

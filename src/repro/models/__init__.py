@@ -1,0 +1,36 @@
+"""GNN models: DeepGate, baselines, aggregators, regressor, registry."""
+
+from .aggregators import (
+    AGGREGATOR_NAMES,
+    AttentionAggregator,
+    ConvSumAggregator,
+    DeepSetAggregator,
+    GatedSumAggregator,
+    build_aggregator,
+)
+from .baselines import DAGConvGNN, GCN
+from .deepgate import DeepGate
+from .finetune import DownstreamHead, FineTuner
+from ..graphdata.positional import positional_encoding
+from .registry import MODEL_KINDS, ModelConfig, build_model, table2_configs
+from .regressor import PerTypeRegressor
+
+__all__ = [
+    "AGGREGATOR_NAMES",
+    "AttentionAggregator",
+    "ConvSumAggregator",
+    "DeepSetAggregator",
+    "GatedSumAggregator",
+    "build_aggregator",
+    "DAGConvGNN",
+    "GCN",
+    "DeepGate",
+    "DownstreamHead",
+    "FineTuner",
+    "positional_encoding",
+    "MODEL_KINDS",
+    "ModelConfig",
+    "build_model",
+    "table2_configs",
+    "PerTypeRegressor",
+]

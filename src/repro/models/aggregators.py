@@ -1,0 +1,148 @@
+"""Aggregation functions (the paper's four AGGREGATE designs, Table II).
+
+Every aggregator maps per-edge source states to one message per target
+node.  The shared interface is::
+
+    aggregator(h_src, query, seg, num_targets, edge_attr=None) -> (T, d)
+
+``h_src``   (E, d)  hidden state of each edge's source node
+``query``   (T, d)  hidden state of each *target* node before update
+                    (only the attention aggregator uses it)
+``seg``     (E,)    target index per edge, values in [0, num_targets)
+``edge_attr``       optional (E, p) attributes (positional encodings on
+                    skip connections); only attention consumes them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.functional import gather_rows, segment_softmax, segment_sum
+from ..nn.modules import Linear, MLP, Module
+from ..nn.tensor import Tensor
+
+__all__ = [
+    "ConvSumAggregator",
+    "DeepSetAggregator",
+    "GatedSumAggregator",
+    "AttentionAggregator",
+    "build_aggregator",
+    "AGGREGATOR_NAMES",
+]
+
+AGGREGATOR_NAMES = ("conv_sum", "attention", "deepset", "gated_sum")
+
+
+class ConvSumAggregator(Module):
+    """Convolutional sum (NeuroSAT-style): ``m_v = sum_u W h_u``."""
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        self.linear = Linear(dim, dim, rng)
+
+    def forward(
+        self,
+        h_src: Tensor,
+        query: Tensor,
+        seg: np.ndarray,
+        num_targets: int,
+        edge_attr: Optional[Tensor] = None,
+    ) -> Tensor:
+        return segment_sum(self.linear(h_src), seg, num_targets)
+
+
+class DeepSetAggregator(Module):
+    """DeepSet: ``m_v = rho(sum_u phi(h_u))`` with MLP phi and linear rho."""
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        self.phi = MLP([dim, dim, dim], rng)
+        self.rho = Linear(dim, dim, rng)
+
+    def forward(
+        self,
+        h_src: Tensor,
+        query: Tensor,
+        seg: np.ndarray,
+        num_targets: int,
+        edge_attr: Optional[Tensor] = None,
+    ) -> Tensor:
+        return self.rho(segment_sum(self.phi(h_src), seg, num_targets))
+
+
+class GatedSumAggregator(Module):
+    """D-VAE gated sum: ``m_v = sum_u sigmoid(g(h_u)) * f(h_u)``."""
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        self.gate = Linear(dim, dim, rng)
+        self.value = Linear(dim, dim, rng)
+
+    def forward(
+        self,
+        h_src: Tensor,
+        query: Tensor,
+        seg: np.ndarray,
+        num_targets: int,
+        edge_attr: Optional[Tensor] = None,
+    ) -> Tensor:
+        gated = self.gate(h_src).sigmoid() * self.value(h_src)
+        return segment_sum(gated, seg, num_targets)
+
+
+class AttentionAggregator(Module):
+    """The paper's additive attention (Eq. 5), with skip-edge attributes.
+
+    ``alpha_uv = softmax_u(w1^T h_v^{t-1} + w2^T h_u^t [+ w3^T gamma(D)])``
+    and ``m_v = sum_u alpha_uv h_u`` — controlling inputs of a gate can
+    learn to dominate the message, mimicking controlling-value semantics.
+    """
+
+    #: initial score offset for skip edges (last edge-attribute column is a
+    #: skip indicator): exp(-2) keeps them from diluting real fan-ins early
+    SKIP_INDICATOR_INIT = -2.0
+
+    def __init__(self, dim: int, rng: np.random.Generator, edge_attr_dim: int = 0):
+        self.w_query = Linear(dim, 1, rng, bias=False)
+        self.w_key = Linear(dim, 1, rng, bias=False)
+        self.edge_attr_dim = edge_attr_dim
+        if edge_attr_dim:
+            self.w_edge = Linear(edge_attr_dim, 1, rng, bias=False)
+            self.w_edge.weight.data[:] = 0.0
+            self.w_edge.weight.data[-1, 0] = self.SKIP_INDICATOR_INIT
+        else:
+            self.w_edge = None
+
+    def forward(
+        self,
+        h_src: Tensor,
+        query: Tensor,
+        seg: np.ndarray,
+        num_targets: int,
+        edge_attr: Optional[Tensor] = None,
+    ) -> Tensor:
+        q_per_edge = gather_rows(query, seg)
+        scores = self.w_query(q_per_edge) + self.w_key(h_src)
+        if edge_attr is not None:
+            if self.w_edge is None:
+                raise ValueError(
+                    "aggregator built without edge_attr_dim but given edge_attr"
+                )
+            scores = scores + self.w_edge(edge_attr)
+        alpha = segment_softmax(scores.reshape(-1), seg, num_targets)
+        weighted = h_src * alpha.reshape(-1, 1)
+        return segment_sum(weighted, seg, num_targets)
+
+
+def build_aggregator(
+    name: str, dim: int, rng: np.random.Generator, edge_attr_dim: int = 0
+) -> Module:
+    """Factory over :data:`AGGREGATOR_NAMES`."""
+    if name == "conv_sum":
+        return ConvSumAggregator(dim, rng)
+    if name == "deepset":
+        return DeepSetAggregator(dim, rng)
+    if name == "gated_sum":
+        return GatedSumAggregator(dim, rng)
+    if name == "attention":
+        return AttentionAggregator(dim, rng, edge_attr_dim=edge_attr_dim)
+    raise ValueError(f"unknown aggregator {name!r}; choose from {AGGREGATOR_NAMES}")

@@ -1,0 +1,115 @@
+"""Baseline GNN models of Table II: GCN and DAG-ConvGNN.
+
+Both are *layered* (non-recurrent) models with per-layer parameters and an
+initial state embedded from the gate-type one-hot — the conventions of the
+prior work the paper compares against:
+
+* :class:`GCN` treats the circuit as an undirected graph; every layer
+  updates all nodes simultaneously from their (symmetrised) neighbours.
+* :class:`DAGConvGNN` follows Eq. (3): layers propagate in topological
+  order, aggregating predecessors' *current-layer* states, but there is no
+  recurrence and no reversed propagation layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graphdata.dataset import PreparedBatch
+from ..nn.functional import gather_rows, scatter_rows
+from ..nn.modules import GRUCell, Linear, Module
+from ..nn.tensor import Tensor
+from .aggregators import build_aggregator
+from .regressor import PerTypeRegressor
+
+__all__ = ["GCN", "DAGConvGNN"]
+
+
+class _LayeredModel(Module):
+    """Shared plumbing: type embedding, per-layer aggregate+combine, head."""
+
+    def __init__(
+        self,
+        num_types: int,
+        dim: int,
+        num_layers: int,
+        aggregator: str,
+        rng: np.random.Generator,
+    ):
+        self.num_types = num_types
+        self.dim = dim
+        self.num_layers = num_layers
+        self.aggregator_name = aggregator
+        self.embed = Linear(num_types, dim, rng)
+        self.aggregates = [
+            build_aggregator(aggregator, dim, rng) for _ in range(num_layers)
+        ]
+        self.combines = [GRUCell(dim, dim, rng) for _ in range(num_layers)]
+        self.regressor = PerTypeRegressor(dim, num_types, rng)
+
+    def _schedule(self, batch: PreparedBatch):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def embeddings(self, batch: PreparedBatch) -> Tensor:
+        h = self.embed(Tensor(batch.x))
+        schedule = self._schedule(batch)
+        for aggregate, combine in zip(self.aggregates, self.combines):
+            for group in schedule:
+                h_src = gather_rows(h, group.src)
+                query = gather_rows(h, group.nodes)
+                m = aggregate(h_src, query, group.seg, len(group.nodes))
+                h_new = combine(m, query)
+                h = scatter_rows(h, group.nodes, h_new)
+        return h
+
+    def forward(self, batch: PreparedBatch) -> Tensor:
+        h = self.embeddings(batch)
+        return self.regressor(h, batch.graph.node_type)
+
+
+class GCN(_LayeredModel):
+    """Undirected message passing; ignores signal flow direction entirely."""
+
+    def __init__(
+        self,
+        num_types: int = 3,
+        dim: int = 64,
+        num_layers: int = 4,
+        aggregator: str = "conv_sum",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(
+            num_types,
+            dim,
+            num_layers,
+            aggregator,
+            rng if rng is not None else np.random.default_rng(0),
+        )
+
+    def _schedule(self, batch: PreparedBatch):
+        return batch.undirected_schedule()
+
+
+class DAGConvGNN(_LayeredModel):
+    """Topological (directed) layered propagation without recurrence."""
+
+    def __init__(
+        self,
+        num_types: int = 3,
+        dim: int = 64,
+        num_layers: int = 4,
+        aggregator: str = "conv_sum",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(
+            num_types,
+            dim,
+            num_layers,
+            aggregator,
+            rng if rng is not None else np.random.default_rng(0),
+        )
+
+    def _schedule(self, batch: PreparedBatch):
+        return batch.forward_schedule(include_skip=False)

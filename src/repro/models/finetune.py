@@ -1,0 +1,118 @@
+"""Downstream fine-tuning on frozen DeepGate embeddings.
+
+The paper's conclusion proposes applying the learned gate representations
+to downstream EDA tasks (power estimation, testability, equivalence-related
+analyses) "without much effort in finetuning the model".  This module
+implements that workflow: freeze a pre-trained DeepGate, attach a fresh
+per-node head, and train only the head on a new per-node target.
+
+Embeddings are extracted once per batch under ``no_grad`` and cached, so
+fine-tuning costs a fraction of pre-training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..graphdata.dataset import PreparedBatch
+from ..nn.functional import l1_loss
+from ..nn.modules import MLP, Module
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor, no_grad
+from .deepgate import DeepGate
+
+__all__ = ["DownstreamHead", "FineTuner"]
+
+
+class DownstreamHead(Module):
+    """A small MLP mapping frozen node embeddings to a per-node scalar."""
+
+    def __init__(
+        self,
+        dim: int,
+        rng: np.random.Generator,
+        hidden: int = 0,
+        final_activation: Optional[str] = "sigmoid",
+    ):
+        hidden = hidden or dim
+        self.mlp = MLP([dim, hidden, 1], rng, final_activation=final_activation)
+
+    def forward(self, embeddings: Tensor) -> Tensor:
+        return self.mlp(embeddings).reshape(-1)
+
+
+@dataclass
+class FineTuneHistory:
+    train_loss: List[float] = field(default_factory=list)
+
+
+class FineTuner:
+    """Train a :class:`DownstreamHead` on frozen DeepGate embeddings.
+
+    Parameters
+    ----------
+    backbone:
+        A (pre-trained) DeepGate whose parameters stay untouched.
+    head:
+        The trainable task head; built automatically when omitted.
+    """
+
+    def __init__(
+        self,
+        backbone: DeepGate,
+        head: Optional[DownstreamHead] = None,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ):
+        self.backbone = backbone
+        self.head = head or DownstreamHead(
+            backbone.dim, np.random.default_rng(seed)
+        )
+        self.optimizer = Adam(self.head.parameters(), lr=lr)
+        self.history = FineTuneHistory()
+        self._embedding_cache: Dict[int, np.ndarray] = {}
+
+    def embeddings(self, batch: PreparedBatch) -> Tensor:
+        """Frozen backbone embeddings, cached per batch object."""
+        key = id(batch)
+        if key not in self._embedding_cache:
+            with no_grad():
+                self._embedding_cache[key] = self.backbone.embeddings(
+                    batch
+                ).numpy()
+        return Tensor(self._embedding_cache[key])
+
+    def fit(
+        self,
+        batches: Sequence[PreparedBatch],
+        targets: Sequence[np.ndarray],
+        epochs: int = 50,
+    ) -> FineTuneHistory:
+        """Train the head; ``targets[k]`` is the per-node target of batch k."""
+        if len(batches) != len(targets):
+            raise ValueError("one target array per batch required")
+        for batch, target in zip(batches, targets):
+            if len(target) != batch.num_nodes:
+                raise ValueError(
+                    f"target size {len(target)} != {batch.num_nodes} nodes"
+                )
+        for _ in range(epochs):
+            total, count = 0.0, 0
+            for batch, target in zip(batches, targets):
+                self.optimizer.zero_grad()
+                pred = self.head(self.embeddings(batch))
+                loss = l1_loss(pred, np.asarray(target, dtype=np.float32))
+                loss.backward()
+                self.optimizer.step()
+                total += loss.item() * batch.num_nodes
+                count += batch.num_nodes
+            self.history.train_loss.append(total / max(count, 1))
+        return self.history
+
+    def predict(self, batch: PreparedBatch) -> np.ndarray:
+        """Per-node head predictions for a batch."""
+        with no_grad():
+            return self.head(self.embeddings(batch)).numpy()

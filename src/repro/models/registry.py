@@ -1,0 +1,103 @@
+"""Model factory and the Table II configuration grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .aggregators import AGGREGATOR_NAMES
+from .baselines import DAGConvGNN, GCN
+from .deepgate import DeepGate
+
+__all__ = ["ModelConfig", "build_model", "table2_configs", "MODEL_KINDS"]
+
+MODEL_KINDS = ("gcn", "dag_conv", "dag_rec", "deepgate")
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One row of the paper's model-comparison grid."""
+
+    kind: str  # one of MODEL_KINDS
+    aggregator: str  # one of AGGREGATOR_NAMES
+    use_skip: bool = False
+
+    @property
+    def label(self) -> str:
+        pretty = {
+            "conv_sum": "Conv. Sum",
+            "attention": "Attention",
+            "deepset": "DeepSet",
+            "gated_sum": "GatedSum",
+        }[self.aggregator]
+        kind = {
+            "gcn": "GCN",
+            "dag_conv": "DAG-ConvGNN",
+            "dag_rec": "DAG-RecGNN",
+            "deepgate": "DeepGate",
+        }[self.kind]
+        if self.kind == "deepgate":
+            pretty += " w/ SC" if self.use_skip else " w/o SC"
+        return f"{kind} / {pretty}"
+
+
+def table2_configs() -> List[ModelConfig]:
+    """The 13 configurations of Table II, in the paper's row order."""
+    configs: List[ModelConfig] = []
+    for agg in ("conv_sum", "attention", "deepset", "gated_sum"):
+        configs.append(ModelConfig("gcn", agg))
+    for agg in ("conv_sum", "attention", "deepset", "gated_sum"):
+        configs.append(ModelConfig("dag_conv", agg))
+    for agg in ("conv_sum", "deepset", "gated_sum"):
+        configs.append(ModelConfig("dag_rec", agg))
+    configs.append(ModelConfig("deepgate", "attention", use_skip=False))
+    configs.append(ModelConfig("deepgate", "attention", use_skip=True))
+    return configs
+
+
+def build_model(
+    config: ModelConfig,
+    num_types: int = 3,
+    dim: int = 64,
+    num_iterations: int = 10,
+    num_layers: int = 4,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Instantiate the model for one grid configuration.
+
+    ``num_iterations`` applies to the recurrent models (``dag_rec`` and
+    ``deepgate``); ``num_layers`` to the layered baselines.
+    """
+    if config.kind not in MODEL_KINDS:
+        raise ValueError(f"unknown model kind {config.kind!r}")
+    if config.aggregator not in AGGREGATOR_NAMES:
+        raise ValueError(f"unknown aggregator {config.aggregator!r}")
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    if config.kind == "gcn":
+        return GCN(num_types, dim, num_layers, config.aggregator, rng)
+    if config.kind == "dag_conv":
+        return DAGConvGNN(num_types, dim, num_layers, config.aggregator, rng)
+    if config.kind == "dag_rec":
+        return DeepGate(
+            num_types=num_types,
+            dim=dim,
+            num_iterations=num_iterations,
+            aggregator=config.aggregator,
+            use_skip=False,
+            use_reverse=True,
+            input_mode="init_only",
+            rng=rng,
+        )
+    return DeepGate(
+        num_types=num_types,
+        dim=dim,
+        num_iterations=num_iterations,
+        aggregator=config.aggregator,
+        use_skip=config.use_skip,
+        use_reverse=True,
+        input_mode="fixed_x",
+        rng=rng,
+    )

@@ -1,0 +1,48 @@
+"""Per-gate-type probability regressor (paper §III-C, "Regressor").
+
+After ``T`` iterations the hidden state of every node is mapped to a scalar
+probability by an MLP whose weights are *shared among nodes of the same gate
+type* — i.e. one MLP per type, applied to that type's nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.functional import gather_rows, scatter_rows
+from ..nn.modules import MLP, Module
+from ..nn.tensor import Tensor
+
+__all__ = ["PerTypeRegressor"]
+
+
+class PerTypeRegressor(Module):
+    """One sigmoid-headed MLP per gate type, output in (0, 1)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_types: int,
+        rng: np.random.Generator,
+        hidden: int = 0,
+    ):
+        hidden = hidden or dim
+        self.num_types = num_types
+        self.heads = [
+            MLP([dim, hidden, 1], rng, final_activation="sigmoid")
+            for _ in range(num_types)
+        ]
+
+    def forward(self, h: Tensor, node_type: np.ndarray) -> Tensor:
+        """Map (N, d) states to (N,) probabilities via the type-wise heads."""
+        n = h.shape[0]
+        out = Tensor(np.zeros((n, 1), dtype=np.float32))
+        for t in range(self.num_types):
+            idx = np.nonzero(node_type == t)[0]
+            if idx.size == 0:
+                continue
+            pred = self.heads[t](gather_rows(h, idx))
+            out = scatter_rows(out, idx, pred)
+        return out.reshape(-1)

@@ -1,0 +1,39 @@
+"""From-scratch numpy autograd framework (PyTorch substitute)."""
+
+from . import functional, init
+from .functional import (
+    concat,
+    gather_rows,
+    l1_loss,
+    scatter_rows,
+    segment_softmax,
+    segment_sum,
+)
+from .modules import GRUCell, Linear, MLP, Module, Sequential
+from .optim import Adam, SGD, clip_grad_norm
+from .serialization import load_module, save_module
+from .tensor import Tensor, no_grad, unbroadcast
+
+__all__ = [
+    "functional",
+    "init",
+    "concat",
+    "gather_rows",
+    "l1_loss",
+    "scatter_rows",
+    "segment_softmax",
+    "segment_sum",
+    "GRUCell",
+    "Linear",
+    "MLP",
+    "Module",
+    "Sequential",
+    "Adam",
+    "SGD",
+    "clip_grad_norm",
+    "load_module",
+    "save_module",
+    "Tensor",
+    "no_grad",
+    "unbroadcast",
+]

@@ -1,0 +1,135 @@
+"""Graph-oriented autograd operations.
+
+These are the operations a DAG-GNN needs beyond basic arithmetic: gathering
+rows for message sources, scattering updated hidden states back into the
+node-state matrix, and segment (per-destination) reductions used by the
+aggregation functions — including the segment softmax that realises the
+paper's additive attention (Eq. 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "concat",
+    "gather_rows",
+    "scatter_rows",
+    "segment_sum",
+    "segment_softmax",
+    "l1_loss",
+]
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    parts = list(tensors)
+    data = np.concatenate([t.data for t in parts], axis=axis)
+    sizes = [t.data.shape[axis] for t in parts]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(parts, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                sl = [slice(None)] * grad.ndim
+                sl[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(sl)])
+
+    return Tensor._make(data, parts, backward)
+
+
+def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows: ``out[k] = x[index[k]]`` (repeats allowed)."""
+    index = np.asarray(index, dtype=np.int64)
+    data = x.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            gx = np.zeros_like(x.data)
+            np.add.at(gx, index, grad)
+            x._accumulate(gx)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def scatter_rows(base: Tensor, index: np.ndarray, rows: Tensor) -> Tensor:
+    """Functional row update: ``out = base`` with ``out[index] = rows``.
+
+    ``index`` entries must be unique.  This is how level-by-level message
+    passing writes freshly-computed hidden states into the node-state matrix
+    without in-place mutation (which would break autograd).
+    """
+    index = np.asarray(index, dtype=np.int64)
+    data = base.data.copy()
+    data[index] = rows.data
+
+    def backward(grad: np.ndarray) -> None:
+        if base.requires_grad:
+            gb = grad.copy()
+            gb[index] = 0.0
+            base._accumulate(gb)
+        if rows.requires_grad:
+            rows._accumulate(grad[index])
+
+    return Tensor._make(data, (base, rows), backward)
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` grouped by ``segment_ids``.
+
+    ``out[s] = sum_{k : segment_ids[k] == s} x[k]``; segments with no
+    members yield zero rows.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out_shape = (num_segments,) + x.data.shape[1:]
+    data = np.zeros(out_shape, dtype=np.float32)
+    np.add.at(data, segment_ids, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad[segment_ids])
+
+    return Tensor._make(data, (x,), backward)
+
+
+def segment_softmax(
+    scores: Tensor, segment_ids: np.ndarray, num_segments: int
+) -> Tensor:
+    """Numerically stable softmax within each segment.
+
+    ``scores`` is a 1-D tensor (one entry per edge); the result sums to 1
+    within every segment.  This implements the ``softmax_{u in P(v)}`` of the
+    paper's attention coefficients.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    s = scores.data.reshape(-1)
+    # per-segment max for stability
+    seg_max = np.full(num_segments, -np.inf, dtype=np.float32)
+    np.maximum.at(seg_max, segment_ids, s)
+    shifted = s - seg_max[segment_ids]
+    exps = np.exp(shifted)
+    denom = np.zeros(num_segments, dtype=np.float32)
+    np.add.at(denom, segment_ids, exps)
+    out = exps / denom[segment_ids]
+
+    def backward(grad: np.ndarray) -> None:
+        if not scores.requires_grad:
+            return
+        g = grad.reshape(-1)
+        # d softmax: out * (g - sum_segment(g * out))
+        weighted = np.zeros(num_segments, dtype=np.float32)
+        np.add.at(weighted, segment_ids, g * out)
+        gs = out * (g - weighted[segment_ids])
+        scores._accumulate(gs.reshape(scores.data.shape))
+
+    return Tensor._make(out.reshape(scores.data.shape), (scores,), backward)
+
+
+def l1_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean absolute error against a constant target (paper's Eq. 8 loss)."""
+    diff = prediction - Tensor(np.asarray(target, dtype=np.float32))
+    return diff.abs().mean()

@@ -1,0 +1,41 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "zeros", "normal"]
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = gain * sqrt(6/(fan_in+fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    a = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He uniform: U(-a, a) with a = sqrt(6/fan_in), for ReLU stacks."""
+    fan_in, _ = _fans(shape)
+    a = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-a, a, size=shape).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def normal(
+    shape: Tuple[int, ...], rng: np.random.Generator, std: float = 1.0
+) -> np.ndarray:
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    return shape[0], shape[1]

@@ -1,0 +1,223 @@
+"""Neural-network modules: parameter containers, Linear, MLP and GRUCell.
+
+Mirrors the minimal subset of ``torch.nn`` the DeepGate model needs.  Every
+module tracks its parameters by name so optimisers and the ``.npz``
+serialisation layer can enumerate them generically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import init
+from .functional import concat
+from .tensor import Tensor
+
+__all__ = ["Module", "Linear", "MLP", "GRUCell", "Sequential"]
+
+
+class Module:
+    """Base class: child modules and parameters discovered via attributes."""
+
+    def parameters(self) -> List[Tensor]:
+        """All trainable tensors, depth-first, deterministic order."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> List[Tuple[str, Tensor]]:
+        return self._named_tensors(prefix, want_grad=True)
+
+    def named_buffers(self, prefix: str = "") -> List[Tuple[str, Tensor]]:
+        """Non-trainable tensors that are still part of the model state
+        (e.g. DeepGate's random initial hidden state)."""
+        return self._named_tensors(prefix, want_grad=False)
+
+    def _named_tensors(
+        self, prefix: str, want_grad: bool
+    ) -> List[Tuple[str, Tensor]]:
+        out: List[Tuple[str, Tensor]] = []
+
+        def matches(t: Tensor) -> bool:
+            return t.requires_grad == want_grad
+
+        for name in sorted(vars(self)):
+            value = getattr(self, name)
+            full = f"{prefix}{name}"
+            if isinstance(value, Tensor) and matches(value):
+                out.append((full, value))
+            elif isinstance(value, Module):
+                out.extend(value._named_tensors(f"{full}.", want_grad))
+            elif isinstance(value, (list, tuple)):
+                for k, item in enumerate(value):
+                    if isinstance(item, Module):
+                        out.extend(item._named_tensors(f"{full}.{k}.", want_grad))
+                    elif isinstance(item, Tensor) and matches(item):
+                        out.append((f"{full}.{k}", item))
+        return out
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (for the paper's fair-size matching)."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        entries = self.named_parameters() + self.named_buffers()
+        return {name: p.data.copy() for name, p in entries}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters() + self.named_buffers())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise KeyError(
+                f"state dict mismatch; missing={sorted(missing)}, "
+                f"unexpected={sorted(extra)}"
+            )
+        for name, p in own.items():
+            arr = np.asarray(state[name], dtype=np.float32)
+            if arr.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {arr.shape} vs {p.data.shape}"
+                )
+            p.data = arr.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            init.xavier_uniform((in_features, out_features), rng),
+            requires_grad=True,
+        )
+        self.bias = (
+            Tensor(init.zeros((out_features,)), requires_grad=True) if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        self.layers = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU hidden activations.
+
+    ``dims = [in, h1, ..., out]``; the final layer has no activation unless
+    ``final_activation`` is given ('sigmoid' is used by the probability
+    regressor so predictions live in (0, 1)).
+    """
+
+    _ACTIVATIONS = ("relu", "sigmoid", "tanh", None)
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        rng: np.random.Generator,
+        final_activation: Optional[str] = None,
+    ):
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        if final_activation not in self._ACTIVATIONS:
+            raise ValueError(f"unknown activation {final_activation!r}")
+        self.dims = list(dims)
+        self.final_activation = final_activation
+        self.layers = [
+            Linear(d_in, d_out, rng) for d_in, d_out in zip(dims[:-1], dims[1:])
+        ]
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for k, layer in enumerate(self.layers):
+            x = layer(x)
+            if k < last:
+                x = x.relu()
+            elif self.final_activation == "relu":
+                x = x.relu()
+            elif self.final_activation == "sigmoid":
+                x = x.sigmoid()
+            elif self.final_activation == "tanh":
+                x = x.tanh()
+        return x
+
+
+class GRUCell(Module):
+    """Gated recurrent unit, the paper's COMBINE function (Eq. 6).
+
+    ``h' = (1 - z) * n + z * h`` with reset gate ``r``, update gate ``z``
+    and candidate ``n = tanh(W_n x + r * (U_n h) + b_n)``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Tensor(
+            init.xavier_uniform((input_size, 3 * hidden_size), rng),
+            requires_grad=True,
+        )
+        self.w_hh = Tensor(
+            init.xavier_uniform((hidden_size, 3 * hidden_size), rng),
+            requires_grad=True,
+        )
+        self.b_ih = Tensor(init.zeros((3 * hidden_size,)), requires_grad=True)
+        self.b_hh = Tensor(init.zeros((3 * hidden_size,)), requires_grad=True)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        d = self.hidden_size
+        gi = x @ self.w_ih + self.b_ih
+        gh = h @ self.w_hh + self.b_hh
+        i_r, i_z, i_n = _split3(gi, d)
+        h_r, h_z, h_n = _split3(gh, d)
+        r = (i_r + h_r).sigmoid()
+        z = (i_z + h_z).sigmoid()
+        n = (i_n + r * h_n).tanh()
+        one = Tensor(np.float32(1.0))
+        return (one - z) * n + z * h
+
+
+def _split3(x: Tensor, d: int) -> Tuple[Tensor, Tensor, Tensor]:
+    """Split the last axis of a (N, 3d) tensor into three (N, d) tensors."""
+    return _slice_cols(x, 0, d), _slice_cols(x, d, 2 * d), _slice_cols(x, 2 * d, 3 * d)
+
+
+def _slice_cols(x: Tensor, start: int, stop: int) -> Tensor:
+    data = x.data[:, start:stop]
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            gx = np.zeros_like(x.data)
+            gx[:, start:stop] = grad
+            x._accumulate(gx)
+
+    return Tensor._make(data, (x,), backward)

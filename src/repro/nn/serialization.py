@@ -1,0 +1,23 @@
+"""Saving and loading model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .modules import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: "Module", path) -> None:
+    """Write ``module.state_dict()`` to ``path`` (``.npz``)."""
+    np.savez(path, **module.state_dict())
+
+
+def load_module(module: "Module", path) -> None:
+    """Restore parameters saved by :func:`save_module` into ``module``."""
+    with np.load(path) as archive:
+        module.load_state_dict({k: archive[k] for k in archive.files})

@@ -1,0 +1,18 @@
+"""Boolean satisfiability: CNF, DPLL solver, equivalence checking."""
+
+from .cnf import CNF, aig_output_cnf, tseitin
+from .equivalence import EquivalenceResult, build_miter, check_equivalence
+from .solver import DecisionLimitExceeded, DPLLSolver, SatResult, solve
+
+__all__ = [
+    "CNF",
+    "aig_output_cnf",
+    "tseitin",
+    "EquivalenceResult",
+    "build_miter",
+    "check_equivalence",
+    "DecisionLimitExceeded",
+    "DPLLSolver",
+    "SatResult",
+    "solve",
+]

@@ -1,0 +1,114 @@
+"""CNF formulas and Tseitin transformation of AIGs.
+
+The paper names Boolean satisfiability both as an alternative supervision
+task and as a downstream application (equivalence checking).  This package
+provides the substrate: AIG-to-CNF conversion and a DPLL solver
+(:mod:`repro.sat.solver`), used by :mod:`repro.sat.equivalence` to build
+SAT-based miter equivalence checks — which also serve as an independent
+oracle for the synthesis passes.
+
+Clauses use the DIMACS convention: variables are positive integers, a
+negative literal means complement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..aig.graph import AIG, lit_is_negated, lit_var
+
+__all__ = ["CNF", "tseitin", "aig_output_cnf"]
+
+
+class CNF:
+    """A conjunctive-normal-form formula over integer variables."""
+
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = num_vars
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = tuple(literals)
+        if not clause:
+            raise ValueError("empty clause makes the formula trivially UNSAT")
+        for lit in clause:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} out of range")
+        self.clauses.append(clause)
+
+    def add_unit(self, literal: int) -> None:
+        self.add_clause([literal])
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def to_dimacs(self) -> str:
+        """Serialise in DIMACS format (for interoperability and tests)."""
+        lines = [f"p cnf {self.num_vars} {self.num_clauses}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """True when ``assignment`` (complete) satisfies every clause."""
+        for clause in self.clauses:
+            if not any(
+                assignment[abs(l)] == (l > 0) for l in clause
+            ):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"CNF(vars={self.num_vars}, clauses={self.num_clauses})"
+
+
+def tseitin(aig: AIG) -> Tuple[CNF, Dict[int, int]]:
+    """Tseitin-encode an AIG.
+
+    Returns ``(cnf, var_map)`` where ``var_map`` maps AIG variable index to
+    CNF variable.  Each AND node ``c = a & b`` contributes the three
+    standard clauses ``(!c | a) (!c | b) (c | !a | !b)``.  The constant
+    node (AIG var 0) gets a CNF variable forced to FALSE.
+    """
+    cnf = CNF()
+    var_map: Dict[int, int] = {}
+    const = cnf.new_var()
+    var_map[0] = const
+    cnf.add_unit(-const)  # constant FALSE
+    for i in range(aig.num_pis):
+        var_map[1 + i] = cnf.new_var()
+
+    base = 1 + aig.num_pis
+    for i in range(aig.num_ands):
+        a_lit, b_lit = (int(x) for x in aig.ands[i])
+        c = cnf.new_var()
+        var_map[base + i] = c
+        a = _to_cnf_lit(a_lit, var_map)
+        b = _to_cnf_lit(b_lit, var_map)
+        cnf.add_clause([-c, a])
+        cnf.add_clause([-c, b])
+        cnf.add_clause([c, -a, -b])
+    return cnf, var_map
+
+
+def _to_cnf_lit(aig_lit: int, var_map: Dict[int, int]) -> int:
+    cnf_var = var_map[lit_var(aig_lit)]
+    return -cnf_var if lit_is_negated(aig_lit) else cnf_var
+
+
+def aig_output_cnf(aig: AIG, output_index: int = 0) -> Tuple[CNF, Dict[int, int]]:
+    """CNF asserting that output ``output_index`` of ``aig`` is TRUE.
+
+    The satisfiability of this formula is the circuit-SAT question the
+    paper cites as alternative supervision.
+    """
+    if not 0 <= output_index < aig.num_outputs:
+        raise IndexError(f"output index {output_index} out of range")
+    cnf, var_map = tseitin(aig)
+    cnf.add_unit(_to_cnf_lit(aig.outputs[output_index], var_map))
+    return cnf, var_map

@@ -1,0 +1,170 @@
+"""An iterative DPLL SAT solver.
+
+Small but real and, above all, *correct*: occurrence-list unit propagation,
+static most-occurrences branching, chronological backtracking with both
+polarities tried at every decision.  Sized for the miter problems the
+equivalence checker generates from this repository's circuits (thousands of
+variables); it is deliberately simple rather than competitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .cnf import CNF
+
+__all__ = ["SatResult", "DPLLSolver", "solve", "DecisionLimitExceeded"]
+
+
+class DecisionLimitExceeded(RuntimeError):
+    """Raised when the search passes its decision budget."""
+
+
+@dataclass
+class SatResult:
+    """Outcome of a solve call."""
+
+    satisfiable: bool
+    assignment: Optional[Dict[int, bool]] = None  # only when satisfiable
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+
+
+class DPLLSolver:
+    """Iterative DPLL over a :class:`CNF`."""
+
+    def __init__(self, cnf: CNF, max_decisions: Optional[int] = None):
+        self.cnf = cnf
+        self.max_decisions = max_decisions
+        n = cnf.num_vars
+        self._assign: List[int] = [0] * (n + 1)  # 0 unknown, 1 true, -1 false
+        self._trail: List[int] = []  # literals made true, in order
+        self._marks: List[int] = []  # trail length at each open decision
+        self._flipped: List[bool] = []  # has this decision tried both ways?
+        self._clauses: List[Tuple[int, ...]] = list(cnf.clauses)
+        self._occurs: Dict[int, List[int]] = {}
+        for idx, clause in enumerate(self._clauses):
+            for lit in clause:
+                self._occurs.setdefault(-lit, []).append(idx)
+        counts: Dict[int, int] = {}
+        for clause in self._clauses:
+            for lit in clause:
+                counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+        self._order = sorted(range(1, n + 1), key=lambda v: -counts.get(v, 0))
+        self._result = SatResult(False)
+
+    # ------------------------------------------------------------------
+    def solve(self) -> SatResult:
+        if not self._assert_units() or not self._propagate(0):
+            return self._finish(False)
+        while True:
+            var = self._pick_variable()
+            if var is None:
+                return self._finish(True)
+            if (
+                self.max_decisions is not None
+                and self._result.decisions >= self.max_decisions
+            ):
+                raise DecisionLimitExceeded(
+                    f"exceeded {self.max_decisions} decisions"
+                )
+            self._result.decisions += 1
+            self._marks.append(len(self._trail))
+            self._flipped.append(False)
+            self._set(var)
+            while not self._propagate(len(self._trail) - 1):
+                self._result.conflicts += 1
+                if not self._backtrack():
+                    return self._finish(False)
+
+    # ------------------------------------------------------------------
+    def _assert_units(self) -> bool:
+        for clause in self._clauses:
+            if len(clause) == 1 and not self._set(clause[0]):
+                return False
+        return True
+
+    def _value(self, literal: int) -> int:
+        v = self._assign[abs(literal)]
+        return v if literal > 0 else -v
+
+    def _set(self, literal: int) -> bool:
+        """Make ``literal`` true; False on contradiction with current state."""
+        current = self._value(literal)
+        if current != 0:
+            return current == 1
+        self._assign[abs(literal)] = 1 if literal > 0 else -1
+        self._trail.append(literal)
+        self._result.propagations += 1
+        return True
+
+    def _propagate(self, start: int) -> bool:
+        """Unit-propagate trail entries from ``start``; False on conflict."""
+        pos = start
+        while pos < len(self._trail):
+            made_true = self._trail[pos]
+            pos += 1
+            # clauses in which `made_true` appears negated may become unit
+            for idx in self._occurs.get(made_true, ()):
+                clause = self._clauses[idx]
+                unassigned = None
+                satisfied = False
+                for lit in clause:
+                    value = self._value(lit)
+                    if value == 1:
+                        satisfied = True
+                        break
+                    if value == 0:
+                        if unassigned is not None:
+                            unassigned = "many"
+                            break
+                        unassigned = lit
+                if satisfied or unassigned == "many":
+                    continue
+                if unassigned is None:
+                    return False  # all false: conflict
+                if not self._set(unassigned):
+                    return False
+        return True
+
+    def _backtrack(self) -> bool:
+        """Undo to the most recent un-flipped decision and flip it."""
+        while self._marks:
+            mark = self._marks[-1]
+            decision = self._trail[mark]
+            for literal in self._trail[mark:]:
+                self._assign[abs(literal)] = 0
+            del self._trail[mark:]
+            if self._flipped[-1]:
+                self._marks.pop()
+                self._flipped.pop()
+                continue
+            self._flipped[-1] = True
+            self._set(-decision)
+            if self._propagate(len(self._trail) - 1):
+                return True
+            self._result.conflicts += 1
+            # flipped branch conflicts immediately: keep unwinding
+        return False
+
+    def _pick_variable(self) -> Optional[int]:
+        for var in self._order:
+            if self._assign[var] == 0:
+                return var
+        return None
+
+    def _finish(self, satisfiable: bool) -> SatResult:
+        result = self._result
+        result.satisfiable = satisfiable
+        if satisfiable:
+            result.assignment = {
+                v: self._assign[v] == 1 for v in range(1, self.cnf.num_vars + 1)
+            }
+        return result
+
+
+def solve(cnf: CNF, max_decisions: Optional[int] = None) -> SatResult:
+    """Build a solver for ``cnf`` and run it."""
+    return DPLLSolver(cnf, max_decisions=max_decisions).solve()

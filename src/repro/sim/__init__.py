@@ -1,0 +1,35 @@
+"""Logic simulation and probability/structural analysis."""
+
+from .analysis import SkipEdge, fanout_stems, find_reconvergences
+from .bitparallel import (
+    exhaustive_patterns,
+    output_values,
+    popcount,
+    random_patterns,
+    simulate_aig,
+    simulate_gate_graph,
+)
+from .probability import (
+    cop_probabilities,
+    exact_probabilities,
+    gate_graph_probabilities,
+    monte_carlo_probabilities,
+    node_probabilities_from_var_probs,
+)
+
+__all__ = [
+    "SkipEdge",
+    "fanout_stems",
+    "find_reconvergences",
+    "exhaustive_patterns",
+    "output_values",
+    "popcount",
+    "random_patterns",
+    "simulate_aig",
+    "simulate_gate_graph",
+    "cop_probabilities",
+    "exact_probabilities",
+    "gate_graph_probabilities",
+    "monte_carlo_probabilities",
+    "node_probabilities_from_var_probs",
+]

@@ -1,0 +1,154 @@
+"""Structural circuit analysis: fanout stems and reconvergence detection.
+
+Reconvergent fanout — a net that branches and whose branches meet again at a
+later gate — is the paper's "first-class citizen" (§III-D): every detected
+reconvergence node receives a *skip connection* edge from its source fanout
+stem, annotated with the positional encoding of their level difference.
+
+The detector runs a stem-reachability dataflow over the DAG with stems packed
+64-per-word, so circuits with tens of thousands of nodes complete in seconds.
+A node ``v`` with predecessors ``p, q`` is a reconvergence node for stem
+``s`` when ``s`` lies in the closed fan-in cones of both ``p`` and ``q``;
+the reported source is the *nearest* such stem (maximum level), which is the
+immediate point of divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..aig.graph import AND, GateGraph
+
+__all__ = ["SkipEdge", "fanout_stems", "find_reconvergences"]
+
+
+@dataclass(frozen=True)
+class SkipEdge:
+    """A reconvergence skip connection ``source -> target``."""
+
+    source: int  #: fanout stem node id
+    target: int  #: reconvergence node id
+    level_diff: int  #: level(target) - level(source), always >= 2
+
+
+def fanout_stems(graph: GateGraph) -> np.ndarray:
+    """Node ids whose fanout degree is 2 or more, in topological order."""
+    counts = np.zeros(graph.num_nodes, dtype=np.int64)
+    if graph.num_edges:
+        np.add.at(counts, graph.edges[:, 0], 1)
+    return np.nonzero(counts >= 2)[0]
+
+
+def find_reconvergences(
+    graph: GateGraph,
+    mode: str = "nearest",
+    stem_batch: int = 4096,
+    max_level_diff: Optional[int] = None,
+) -> List[SkipEdge]:
+    """Detect reconvergence nodes and their source fanout stems.
+
+    Parameters
+    ----------
+    mode:
+        ``"nearest"`` returns one skip edge per reconvergence node (from the
+        closest diverging stem, the paper's setting); ``"all"`` returns one
+        edge per (stem, reconvergence-node) pair.
+    stem_batch:
+        Stems processed per packed-bitset pass; controls peak memory.
+    max_level_diff:
+        Optionally drop pairs further apart than this many levels.
+
+    Returns
+    -------
+    list of :class:`SkipEdge`, sorted by target node id.
+    """
+    if mode not in ("nearest", "all"):
+        raise ValueError(f"mode must be 'nearest' or 'all', got {mode!r}")
+    stems = fanout_stems(graph)
+    n = graph.num_nodes
+    if stems.size == 0 or n == 0:
+        return []
+
+    levels = graph.levels()
+    fanins = graph.fanin_lists()
+    # group AND nodes (the only 2-input nodes) by level for vectorised passes
+    and_nodes = np.nonzero(graph.node_type == AND)[0]
+    not_like = np.nonzero(graph.node_type != AND)[0]
+    and_p = np.array([fanins[v][0] if fanins[v] else 0 for v in and_nodes])
+    and_q = np.array([fanins[v][1] if fanins[v] else 0 for v in and_nodes])
+    max_level = int(levels.max())
+
+    per_level_ands: List[np.ndarray] = []
+    per_level_nots: List[Tuple[np.ndarray, np.ndarray]] = []
+    for lv in range(max_level + 1):
+        sel = np.nonzero(levels[and_nodes] == lv)[0]
+        per_level_ands.append(sel)
+        nl = not_like[(levels[not_like] == lv) & (graph.node_type[not_like] != 0)]
+        src = np.array([fanins[v][0] for v in nl], dtype=np.int64)
+        per_level_nots.append((nl, src))
+
+    stem_level = levels[stems]
+    best_source = np.full(n, -1, dtype=np.int64)  # nearest stem per node
+    best_level = np.full(n, -1, dtype=np.int64)
+    all_pairs: List[Tuple[int, int]] = []
+
+    for start in range(0, stems.size, stem_batch):
+        chunk = stems[start : start + stem_batch]
+        words = (chunk.size + 63) // 64
+        reach = np.zeros((n, words), dtype=np.uint64)
+        # self-bits: stems carry their own bit so successors see them
+        bit_word = np.arange(chunk.size) // 64
+        bit_pos = (np.arange(chunk.size) % 64).astype(np.uint64)
+        reach[chunk, bit_word] |= np.uint64(1) << bit_pos
+
+        for lv in range(1, max_level + 1):
+            sel = per_level_ands[lv]
+            if sel.size:
+                v = and_nodes[sel]
+                rp = reach[and_p[sel]]
+                rq = reach[and_q[sel]]
+                inter = rp & rq
+                reach[v] |= rp | rq
+                hit_rows = np.nonzero(inter.any(axis=1))[0]
+                for r in hit_rows:
+                    node = int(v[r])
+                    for s_local in _set_bits(inter[r]):
+                        s = int(chunk[s_local])
+                        s_lv = int(stem_level[start + s_local])
+                        diff = int(levels[node]) - s_lv
+                        if max_level_diff is not None and diff > max_level_diff:
+                            continue
+                        if mode == "all":
+                            all_pairs.append((s, node))
+                        elif s_lv > best_level[node]:
+                            best_level[node] = s_lv
+                            best_source[node] = s
+            nl, src = per_level_nots[lv]
+            if nl.size:
+                reach[nl] |= reach[src]
+
+    edges: List[SkipEdge] = []
+    if mode == "all":
+        for s, t in sorted(set(all_pairs), key=lambda p: (p[1], p[0])):
+            edges.append(SkipEdge(s, t, int(levels[t] - levels[s])))
+    else:
+        for t in np.nonzero(best_source >= 0)[0]:
+            s = int(best_source[t])
+            edges.append(SkipEdge(s, int(t), int(levels[t] - levels[s])))
+    return edges
+
+
+def _set_bits(row: np.ndarray) -> List[int]:
+    """Indices of set bits in a little-endian packed uint64 row."""
+    out: List[int] = []
+    for w, word in enumerate(row):
+        word = int(word)
+        base = 64 * w
+        while word:
+            low = word & -word
+            out.append(base + low.bit_length() - 1)
+            word ^= low
+    return out

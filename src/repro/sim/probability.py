@@ -1,0 +1,136 @@
+"""Signal-probability estimation.
+
+Three estimators are provided:
+
+* :func:`monte_carlo_probabilities` — the paper's labelling method: simulate
+  many random patterns and count ones (§III-B, up to 100k patterns).
+* :func:`exact_probabilities` — exhaustive truth-table enumeration for small
+  cones; the oracle the Monte-Carlo estimator is tested against.
+* :func:`cop_probabilities` — the classical COP *analytic* estimator that
+  multiplies fan-in probabilities assuming independence.  It is exact on
+  trees and wrong exactly where reconvergent fanout correlates signals,
+  which is the phenomenon motivating DeepGate's skip connections.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..aig.graph import AIG, AND, NOT, PI, GateGraph, lit_is_negated, lit_var
+from .bitparallel import (
+    exhaustive_patterns,
+    popcount,
+    random_patterns,
+    simulate_aig,
+    simulate_gate_graph,
+)
+
+__all__ = [
+    "monte_carlo_probabilities",
+    "exact_probabilities",
+    "cop_probabilities",
+    "gate_graph_probabilities",
+    "node_probabilities_from_var_probs",
+]
+
+
+def monte_carlo_probabilities(
+    aig: AIG,
+    num_patterns: int = 100_000,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Estimate per-variable signal probability by random simulation.
+
+    The pattern count is rounded up to a multiple of 64 so every simulated
+    bit is a valid sample.  Returns a ``(num_vars,)`` float64 array; entry 0
+    (constant FALSE) is 0.
+    """
+    rng = np.random.default_rng(seed)
+    num_patterns = max(64, ((num_patterns + 63) // 64) * 64)
+    inputs = random_patterns(aig.num_pis, num_patterns, rng)
+    values = simulate_aig(aig, inputs)
+    return popcount(values) / float(num_patterns)
+
+
+def exact_probabilities(aig: AIG, max_pis: int = 20) -> np.ndarray:
+    """Exact per-variable signal probability by exhaustive enumeration."""
+    if aig.num_pis > max_pis:
+        raise ValueError(
+            f"exact enumeration limited to {max_pis} PIs, circuit has "
+            f"{aig.num_pis}"
+        )
+    inputs = exhaustive_patterns(aig.num_pis)
+    values = simulate_aig(aig, inputs)
+    total = 1 << aig.num_pis
+    if total < 64:
+        mask = np.uint64((1 << total) - 1)
+        values = values & mask
+    return popcount(values) / float(total)
+
+
+def cop_probabilities(aig: AIG) -> np.ndarray:
+    """COP analytic signal probabilities (independence assumption).
+
+    ``P(and) = P(a) * P(b)`` with ``P(!x) = 1 - P(x)`` and ``P(pi) = 0.5``.
+    Exact on fanout-free (tree) circuits; biased wherever fan-ins are
+    correlated through reconvergent fanout.
+    """
+    probs = np.empty(aig.num_vars, dtype=np.float64)
+    probs[0] = 0.0
+    probs[1 : 1 + aig.num_pis] = 0.5
+    base = 1 + aig.num_pis
+    for i in range(aig.num_ands):
+        a, b = (int(x) for x in aig.ands[i])
+        pa = probs[lit_var(a)]
+        pb = probs[lit_var(b)]
+        if lit_is_negated(a):
+            pa = 1.0 - pa
+        if lit_is_negated(b):
+            pb = 1.0 - pb
+        probs[base + i] = pa * pb
+    return probs
+
+
+def node_probabilities_from_var_probs(
+    graph: GateGraph, var_probs: np.ndarray
+) -> np.ndarray:
+    """Map per-AIG-variable probabilities onto :class:`GateGraph` nodes.
+
+    NOT nodes computing literal ``2v+1`` get ``1 - P(v)``; PI and AND nodes
+    get ``P(v)`` directly (via the graph's ``source_lit`` provenance).
+    """
+    lits = graph.source_lit
+    vars_ = lits >> 1
+    probs = var_probs[vars_].astype(np.float64)
+    negated = (lits & 1).astype(bool)
+    probs[negated] = 1.0 - probs[negated]
+    return probs
+
+
+def gate_graph_probabilities(
+    graph: GateGraph,
+    num_patterns: int = 100_000,
+    seed: Optional[int] = None,
+    exact_below_pis: int = 0,
+) -> np.ndarray:
+    """Per-node signal probabilities for a gate graph.
+
+    This is the label generator used by the dataset pipeline.  When the
+    graph has fewer than ``exact_below_pis`` primary inputs the exhaustive
+    simulator is used instead of sampling, making labels noise-free.
+    """
+    num_pis = graph.num_pis
+    if exact_below_pis and num_pis <= exact_below_pis:
+        inputs = exhaustive_patterns(num_pis)
+        values = simulate_gate_graph(graph, inputs)
+        total = 1 << num_pis
+        if total < 64:
+            values = values & np.uint64((1 << total) - 1)
+        return popcount(values) / float(total)
+    rng = np.random.default_rng(seed)
+    num_patterns = max(64, ((num_patterns + 63) // 64) * 64)
+    inputs = random_patterns(num_pis, num_patterns, rng)
+    values = simulate_gate_graph(graph, inputs)
+    return popcount(values) / float(num_patterns)

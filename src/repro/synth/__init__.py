@@ -1,0 +1,18 @@
+"""Logic-synthesis front end ("ABC-lite"): netlist -> optimised AIG."""
+
+from .balance import balance
+from .pipeline import has_constant_outputs, strip_constant_outputs, synthesize
+from .strash import StrashBuilder, strash
+from .sweep import sweep
+from .transform import netlist_to_aig
+
+__all__ = [
+    "balance",
+    "has_constant_outputs",
+    "strip_constant_outputs",
+    "synthesize",
+    "StrashBuilder",
+    "strash",
+    "sweep",
+    "netlist_to_aig",
+]

@@ -1,0 +1,69 @@
+"""AND-tree balancing (ABC's ``balance`` pass, restricted to AND trees).
+
+Long chains of 2-input ANDs computing one big conjunction are collapsed and
+rebuilt as depth-optimal trees: single-fanout, non-complemented AND fan-ins
+are treated as internal to the supergate and the collected leaves are merged
+lowest-level-first (see :meth:`StrashBuilder.add_and_tree`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..aig.graph import AIG, lit_is_negated, lit_negate, lit_var
+from .strash import StrashBuilder
+
+__all__ = ["balance"]
+
+
+def balance(aig: AIG) -> AIG:
+    """Return a functionally equivalent AIG with balanced AND trees."""
+    fanout = aig.fanout_counts()
+    builder = StrashBuilder(aig.num_pis, aig.name)
+    old_to_new = np.zeros(aig.num_vars, dtype=np.int64)
+    for i in range(aig.num_pis):
+        old_to_new[1 + i] = builder.pi_lit(i)
+
+    def map_lit(lit: int) -> int:
+        mapped = int(old_to_new[lit_var(lit)])
+        return lit_negate(mapped) if lit_is_negated(lit) else mapped
+
+    base = 1 + aig.num_pis
+
+    def collect_leaves(root_var: int) -> List[int]:
+        """Flatten the maximal single-fanout AND tree under ``root_var``.
+
+        Iterative (deep ripple chains overflow Python's recursion limit).
+        Returns *old* fan-in literals that are leaves of the supergate.
+        """
+        leaves: List[int] = []
+        stack = [root_var]
+        while stack:
+            var = stack.pop()
+            a, b = (int(x) for x in aig.ands[var - base])
+            for lit in (a, b):
+                v = lit_var(lit)
+                internal = (
+                    not lit_is_negated(lit)
+                    and aig.is_and_var(v)
+                    and fanout[v] == 1
+                )
+                if internal:
+                    stack.append(v)
+                else:
+                    leaves.append(lit)
+        return leaves
+
+    for i in range(aig.num_ands):
+        var = base + i
+        if fanout[var] == 0:
+            old_to_new[var] = builder.const0  # dead node; swept by rebuild
+            continue
+        mapped = [map_lit(lit) for lit in collect_leaves(var)]
+        old_to_new[var] = builder.add_and_tree(mapped)
+
+    for o in aig.outputs:
+        builder.add_output(map_lit(o))
+    return builder.build()

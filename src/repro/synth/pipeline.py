@@ -1,0 +1,65 @@
+"""The full synthesis pipeline: the paper's "Mapping to AIG + Logic
+Optimization" stage (Fig. 2a), standing in for ABC.
+
+``synthesize`` accepts either a gate-level :class:`Netlist` or an existing
+:class:`AIG` and produces an optimised AIG: structurally hashed, constant-
+free (constants propagated to the outputs), balanced and swept.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..aig.graph import AIG, lit_var
+from ..aig.netlist import Netlist
+from .balance import balance
+from .strash import strash
+from .sweep import sweep
+from .transform import netlist_to_aig
+
+__all__ = ["synthesize", "has_constant_outputs", "strip_constant_outputs"]
+
+
+def synthesize(circuit: Union[Netlist, AIG], rounds: int = 2) -> AIG:
+    """Lower and optimise ``circuit`` into a compact AIG.
+
+    Parameters
+    ----------
+    circuit:
+        Gate-level netlist or raw AIG.
+    rounds:
+        Number of ``strash -> balance`` refinement rounds.  Two rounds
+        reach a fixpoint on all circuit families in the test suite.
+    """
+    if isinstance(circuit, Netlist):
+        aig = netlist_to_aig(circuit)
+    elif isinstance(circuit, AIG):
+        aig = circuit
+    else:
+        raise TypeError(f"expected Netlist or AIG, got {type(circuit).__name__}")
+    for _ in range(max(1, rounds)):
+        aig = strash(aig)
+        aig = balance(aig)
+    return sweep(aig)
+
+
+def has_constant_outputs(aig: AIG) -> bool:
+    """True when some primary output reduced to constant 0/1.
+
+    Such circuits cannot be expressed as a pure PI/AND/NOT gate graph; the
+    dataset extraction flow skips them (they carry no learnable signal).
+    """
+    return any(lit_var(o) == 0 for o in aig.outputs)
+
+
+def strip_constant_outputs(aig: AIG) -> AIG:
+    """Drop constant primary outputs and sweep the remainder.
+
+    Real designs do produce constant bits after optimisation (bit 1 of a
+    squarer output is always 0, for example); the learning flow removes
+    them because the PI/AND/NOT gate graph has no constant node type.
+    """
+    keep = [o for o in aig.outputs if lit_var(o) != 0]
+    if not keep:
+        raise ValueError(f"{aig.name}: every output is constant")
+    return sweep(AIG(aig.num_pis, aig.ands, keep, aig.name))

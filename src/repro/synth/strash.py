@@ -1,0 +1,221 @@
+"""Structural hashing (strash) for AIG construction.
+
+Structural hashing is the workhorse of ABC-style synthesis: every 2-input
+AND is canonicalised (ordered fan-ins) and looked up in a hash table, so
+structurally identical sub-functions are built exactly once.  Constant and
+trivial-identity simplifications are applied on the fly, together with a
+small set of one-level rewrite rules (containment / contradiction), which is
+what gives the "optimised circuit" inductive bias the paper relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..aig.graph import (
+    AIG,
+    CONST0_LIT,
+    CONST1_LIT,
+    lit_is_negated,
+    lit_make,
+    lit_negate,
+    lit_var,
+)
+
+__all__ = ["StrashBuilder", "strash"]
+
+
+class StrashBuilder:
+    """AIG builder with structural hashing and local simplification.
+
+    Compared with :class:`repro.aig.AIGBuilder`, ``add_and`` here never
+    creates duplicate structure and applies these rules:
+
+    * ``a & a = a``; ``a & !a = 0``; ``a & 1 = a``; ``a & 0 = 0``
+    * containment: ``a & (a & b) = (a & b)``
+    * contradiction: ``a & (!a & b) = 0`` (checked one level deep)
+    """
+
+    def __init__(self, num_pis: int, name: str = "aig"):
+        self.name = name
+        self.num_pis = num_pis
+        self._ands: List[Tuple[int, int]] = []
+        self._outputs: List[int] = []
+        self._table: Dict[Tuple[int, int], int] = {}  # (lit0, lit1) -> var
+        self._levels: List[int] = [0] * (1 + num_pis)  # per-var logic level
+
+    # -- literals ---------------------------------------------------------
+    def pi_lit(self, i: int) -> int:
+        if not 0 <= i < self.num_pis:
+            raise IndexError(f"PI index {i} out of range")
+        return lit_make(1 + i)
+
+    @property
+    def const0(self) -> int:
+        return CONST0_LIT
+
+    @property
+    def const1(self) -> int:
+        return CONST1_LIT
+
+    # -- core -------------------------------------------------------------
+    def add_and(self, a: int, b: int) -> int:
+        """Return a literal computing ``a & b``, reusing structure."""
+        if a > b:
+            a, b = b, a
+        # constants and trivial identities
+        if a == CONST0_LIT:
+            return CONST0_LIT
+        if a == CONST1_LIT:
+            return b
+        if a == b:
+            return a
+        if a == lit_negate(b):
+            return CONST0_LIT
+        # one-level containment / contradiction rules
+        simplified = self._one_level_rule(a, b)
+        if simplified is not None:
+            return simplified
+        key = (a, b)
+        var = self._table.get(key)
+        if var is None:
+            var = 1 + self.num_pis + len(self._ands)
+            for lit in (a, b):
+                if lit_var(lit) >= var:
+                    raise ValueError(f"fan-in literal {lit} not yet defined")
+            self._ands.append(key)
+            self._table[key] = var
+            self._levels.append(
+                1 + max(self._levels[lit_var(a)], self._levels[lit_var(b)])
+            )
+        return lit_make(var)
+
+    def level_of(self, lit: int) -> int:
+        """Logic level of the variable behind ``lit`` (PIs/consts at 0)."""
+        return self._levels[lit_var(lit)]
+
+    def _fanins_of(self, lit: int) -> Optional[Tuple[int, int]]:
+        """Fan-in literals if ``lit`` is a non-complemented AND, else None."""
+        var = lit_var(lit)
+        if lit_is_negated(lit) or var <= self.num_pis or var == 0:
+            return None
+        return self._ands[var - 1 - self.num_pis]
+
+    def _one_level_rule(self, a: int, b: int) -> Optional[int]:
+        """ABC-style one-level rules on ``a & b`` (a, b ordered)."""
+        for x, y in ((a, b), (b, a)):
+            fan = self._fanins_of(y)
+            if fan is None:
+                continue
+            f0, f1 = fan
+            if x == f0 or x == f1:  # a & (a & b) = (a & b)
+                return y
+            if x == lit_negate(f0) or x == lit_negate(f1):  # a & (!a & b) = 0
+                return CONST0_LIT
+        return None
+
+    # -- convenience logic ops (used by transform and generators) ---------
+    def add_not(self, a: int) -> int:
+        return lit_negate(a)
+
+    def add_or(self, a: int, b: int) -> int:
+        return lit_negate(self.add_and(lit_negate(a), lit_negate(b)))
+
+    def add_nand(self, a: int, b: int) -> int:
+        return lit_negate(self.add_and(a, b))
+
+    def add_nor(self, a: int, b: int) -> int:
+        return self.add_and(lit_negate(a), lit_negate(b))
+
+    def add_xor(self, a: int, b: int) -> int:
+        # a ^ b = !( !(a & !b) & !(!a & b) )
+        t0 = self.add_and(a, lit_negate(b))
+        t1 = self.add_and(lit_negate(a), b)
+        return self.add_or(t0, t1)
+
+    def add_xnor(self, a: int, b: int) -> int:
+        return lit_negate(self.add_xor(a, b))
+
+    def add_mux(self, sel: int, if_false: int, if_true: int) -> int:
+        """2:1 multiplexer: ``sel ? if_true : if_false``."""
+        t = self.add_and(sel, if_true)
+        f = self.add_and(lit_negate(sel), if_false)
+        return self.add_or(t, f)
+
+    def add_and_tree(self, lits: List[int]) -> int:
+        """Depth-aware conjunction of arbitrarily many literals.
+
+        Operands are merged lowest-level-first (Huffman style), which is the
+        balancing strategy ABC's ``balance`` pass uses for AND supergates.
+        """
+        if not lits:
+            return CONST1_LIT
+        heap = [(self.level_of(lit), k, lit) for k, lit in enumerate(lits)]
+        heapq.heapify(heap)
+        counter = len(lits)
+        while len(heap) > 1:
+            _, _, a = heapq.heappop(heap)
+            _, _, b = heapq.heappop(heap)
+            c = self.add_and(a, b)
+            heapq.heappush(heap, (self.level_of(c), counter, c))
+            counter += 1
+        return heap[0][2]
+
+    def add_or_tree(self, lits: List[int]) -> int:
+        """Balanced disjunction of arbitrarily many literals."""
+        return lit_negate(self.add_and_tree([lit_negate(x) for x in lits]))
+
+    def add_xor_tree(self, lits: List[int]) -> int:
+        """Balanced parity of arbitrarily many literals."""
+        if not lits:
+            return CONST0_LIT
+        layer = list(lits)
+        while len(layer) > 1:
+            nxt = [
+                self.add_xor(layer[k], layer[k + 1])
+                for k in range(0, len(layer) - 1, 2)
+            ]
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        return layer[0]
+
+    # -- outputs / build ----------------------------------------------------
+    def add_output(self, lit: int) -> None:
+        self._outputs.append(lit)
+
+    @property
+    def num_ands(self) -> int:
+        return len(self._ands)
+
+    def build(self, name: Optional[str] = None) -> AIG:
+        ands = np.asarray(self._ands, dtype=np.int64).reshape(-1, 2)
+        return AIG(self.num_pis, ands, self._outputs, name or self.name)
+
+
+def strash(aig: AIG) -> AIG:
+    """Rebuild ``aig`` through a :class:`StrashBuilder`.
+
+    Merges structurally identical nodes, propagates constants and applies
+    the one-level rules.  The result is functionally equivalent.
+    """
+    b = StrashBuilder(aig.num_pis, aig.name)
+    old_to_new = np.zeros(aig.num_vars, dtype=np.int64)
+    old_to_new[0] = CONST0_LIT
+    for i in range(aig.num_pis):
+        old_to_new[1 + i] = b.pi_lit(i)
+
+    def map_lit(lit: int) -> int:
+        mapped = int(old_to_new[lit_var(lit)])
+        return lit_negate(mapped) if lit_is_negated(lit) else mapped
+
+    base = 1 + aig.num_pis
+    for i in range(aig.num_ands):
+        a, bb = (int(x) for x in aig.ands[i])
+        old_to_new[base + i] = b.add_and(map_lit(a), map_lit(bb))
+    for o in aig.outputs:
+        b.add_output(map_lit(o))
+    return b.build()

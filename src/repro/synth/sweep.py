@@ -1,0 +1,58 @@
+"""Dead-node sweeping: remove AND nodes not in any output's fan-in cone."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..aig.graph import AIG, lit_is_negated, lit_negate, lit_var
+
+__all__ = ["sweep"]
+
+
+def sweep(aig: AIG) -> AIG:
+    """Return ``aig`` restricted to the transitive fan-in of its outputs.
+
+    Primary inputs are always kept (so PI indices stay stable — the paper's
+    circuits keep their interfaces through optimisation).
+    """
+    keep = np.zeros(aig.num_vars, dtype=bool)
+    stack = [lit_var(o) for o in aig.outputs]
+    while stack:
+        var = stack.pop()
+        if keep[var] or var == 0:
+            continue
+        keep[var] = True
+        if aig.is_and_var(var):
+            a, b = (int(x) for x in aig.ands[var - 1 - aig.num_pis])
+            stack.append(lit_var(a))
+            stack.append(lit_var(b))
+
+    base = 1 + aig.num_pis
+    old_to_new = np.zeros(aig.num_vars, dtype=np.int64)
+    for i in range(aig.num_pis):
+        old_to_new[1 + i] = 1 + i
+    new_ands: List[List[int]] = []
+    next_var = base
+    for i in range(aig.num_ands):
+        var = base + i
+        if not keep[var]:
+            continue
+        a, b = (int(x) for x in aig.ands[i])
+
+        def remap(lit: int) -> int:
+            new = 2 * int(old_to_new[lit_var(lit)])
+            return lit_negate(new) if lit_is_negated(lit) else new
+
+        new_ands.append([remap(a), remap(b)])
+        old_to_new[var] = next_var
+        next_var += 1
+
+    outputs = []
+    for o in aig.outputs:
+        var = lit_var(o)
+        new = 2 * int(old_to_new[var]) if var else 0
+        outputs.append(lit_negate(new) if lit_is_negated(o) else new)
+    ands = np.asarray(new_ands, dtype=np.int64).reshape(-1, 2)
+    return AIG(aig.num_pis, ands, outputs, aig.name)

@@ -1,0 +1,66 @@
+"""Lowering gate-level netlists into And-Inverter Graphs.
+
+This is the "Mapping to AIG" step of the paper's circuit data preparation
+flow (Fig. 2a): every library gate is decomposed into 2-input ANDs and
+inverters.  Structural hashing is applied during construction, so repeated
+sub-expressions are shared exactly as a synthesis tool would share them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..aig.graph import AIG, lit_negate
+from ..aig.netlist import GateType, Netlist, NetlistError
+from .strash import StrashBuilder
+
+__all__ = ["netlist_to_aig"]
+
+
+def netlist_to_aig(netlist: Netlist, name: str = None) -> AIG:
+    """Convert a validated :class:`Netlist` into a structurally hashed AIG.
+
+    The output preserves primary input order.  Multi-fanin gates are
+    decomposed as balanced trees, keeping depth logarithmic in fan-in.
+    """
+    netlist.validate()
+    builder = StrashBuilder(len(netlist.inputs), name or netlist.name)
+    lit_of: Dict[str, int] = {
+        pin: builder.pi_lit(i) for i, pin in enumerate(netlist.inputs)
+    }
+
+    for net in netlist.topological_order():
+        gate = netlist.gate(net)
+        t = gate.gate_type
+        if t == GateType.INPUT:
+            continue
+        ins: List[int] = [lit_of[f] for f in gate.fanins]
+        if t == GateType.CONST0:
+            lit_of[net] = builder.const0
+        elif t == GateType.CONST1:
+            lit_of[net] = builder.const1
+        elif t == GateType.BUF:
+            lit_of[net] = ins[0]
+        elif t == GateType.NOT:
+            lit_of[net] = lit_negate(ins[0])
+        elif t == GateType.AND:
+            lit_of[net] = builder.add_and_tree(ins)
+        elif t == GateType.NAND:
+            lit_of[net] = lit_negate(builder.add_and_tree(ins))
+        elif t == GateType.OR:
+            lit_of[net] = builder.add_or_tree(ins)
+        elif t == GateType.NOR:
+            lit_of[net] = lit_negate(builder.add_or_tree(ins))
+        elif t == GateType.XOR:
+            lit_of[net] = builder.add_xor_tree(ins)
+        elif t == GateType.XNOR:
+            lit_of[net] = lit_negate(builder.add_xor_tree(ins))
+        elif t == GateType.MUX:
+            sel, if_false, if_true = ins
+            lit_of[net] = builder.add_mux(sel, if_false, if_true)
+        else:  # pragma: no cover - Gate.__post_init__ rejects unknowns
+            raise NetlistError(f"cannot lower gate type {t!r}")
+
+    for out in netlist.outputs:
+        builder.add_output(lit_of[out])
+    return builder.build()

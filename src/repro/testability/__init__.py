@@ -1,0 +1,22 @@
+"""Testability analysis: SCOAP measures and stuck-at fault simulation."""
+
+from .faults import (
+    FaultSimulationReport,
+    StuckAtFault,
+    detection_probabilities,
+    enumerate_faults,
+    run_fault_simulation,
+    simulate_fault,
+)
+from .scoap import ScoapMeasures, compute_scoap
+
+__all__ = [
+    "FaultSimulationReport",
+    "StuckAtFault",
+    "detection_probabilities",
+    "enumerate_faults",
+    "run_fault_simulation",
+    "simulate_fault",
+    "ScoapMeasures",
+    "compute_scoap",
+]

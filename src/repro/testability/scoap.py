@@ -1,0 +1,93 @@
+"""SCOAP testability measures (Goldstein's controllability/observability).
+
+The paper positions signal probability as the quantity behind "many EDA
+tasks"; testability analysis is the canonical one (its reference [5] uses
+SCOAP features for test-point insertion).  This module computes the classic
+combinational SCOAP measures on the PI/AND/NOT gate graph:
+
+* ``CC0(v)`` / ``CC1(v)`` — minimum effort to set node ``v`` to 0 / 1
+  (primary inputs cost 1, every gate adds 1);
+* ``CO(v)``   — minimum effort to observe ``v`` at a primary output.
+
+SCOAP is a structural heuristic: like COP it ignores reconvergence, which
+is why learned probability models add value on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..aig.graph import AND, NOT, PI, GateGraph
+
+__all__ = ["ScoapMeasures", "compute_scoap"]
+
+#: sentinel for unobservable / uncontrollable nodes
+INFINITY = np.int64(2**31)
+
+
+@dataclass
+class ScoapMeasures:
+    """Per-node SCOAP values for one circuit graph."""
+
+    cc0: np.ndarray  # (N,) controllability-to-0
+    cc1: np.ndarray  # (N,) controllability-to-1
+    co: np.ndarray  # (N,) observability
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.cc0.shape[0])
+
+    def testability(self) -> np.ndarray:
+        """Combined per-node difficulty: min(CC0, CC1) + CO.
+
+        High values flag nodes that are hard to excite *and* propagate —
+        the classic screen for random-pattern-resistant faults.
+        """
+        return np.minimum(self.cc0, self.cc1) + self.co
+
+
+def compute_scoap(graph: GateGraph) -> ScoapMeasures:
+    """Compute SCOAP measures over a gate graph.
+
+    Controllability runs in topological order; observability runs in
+    reverse topological order with minimum over fanout branches.  Nodes
+    that cannot reach any primary output keep ``CO = INFINITY``.
+    """
+    n = graph.num_nodes
+    cc0 = np.zeros(n, dtype=np.int64)
+    cc1 = np.zeros(n, dtype=np.int64)
+    co = np.full(n, INFINITY, dtype=np.int64)
+    fanins = graph.fanin_lists()
+
+    for v in range(n):
+        t = int(graph.node_type[v])
+        if t == PI:
+            cc0[v] = 1
+            cc1[v] = 1
+        elif t == NOT:
+            src = fanins[v][0]
+            cc0[v] = cc1[src] + 1
+            cc1[v] = cc0[src] + 1
+        else:  # AND
+            a, b = fanins[v]
+            cc1[v] = cc1[a] + cc1[b] + 1
+            cc0[v] = min(cc0[a], cc0[b]) + 1
+
+    for o in graph.outputs:
+        co[int(o)] = 0
+    for v in range(n - 1, -1, -1):
+        t = int(graph.node_type[v])
+        if co[v] >= INFINITY:
+            continue
+        if t == NOT:
+            src = fanins[v][0]
+            co[src] = min(co[src], co[v] + 1)
+        elif t == AND:
+            a, b = fanins[v]
+            # to observe input a through the AND, input b must be 1
+            co[a] = min(co[a], co[v] + int(cc1[b]) + 1)
+            co[b] = min(co[b], co[v] + int(cc1[a]) + 1)
+    return ScoapMeasures(cc0=cc0, cc1=cc1, co=co)

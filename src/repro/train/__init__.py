@@ -1,0 +1,13 @@
+"""Training and evaluation harness."""
+
+from .metrics import ErrorAccumulator, average_prediction_error
+from .trainer import TrainConfig, TrainHistory, Trainer, evaluate_model
+
+__all__ = [
+    "ErrorAccumulator",
+    "average_prediction_error",
+    "TrainConfig",
+    "TrainHistory",
+    "Trainer",
+    "evaluate_model",
+]

@@ -1,0 +1,51 @@
+"""Evaluation metrics (paper Eq. 8)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+__all__ = ["average_prediction_error", "ErrorAccumulator"]
+
+
+def average_prediction_error(
+    predictions: np.ndarray, labels: np.ndarray
+) -> float:
+    """Mean absolute difference between predicted and simulated probability.
+
+    The paper's metric: ``(1/N) * sum_v |y_v - y_hat_v|`` over all nodes.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: {predictions.shape} vs {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot compute error over zero nodes")
+    return float(np.abs(predictions - labels).mean())
+
+
+class ErrorAccumulator:
+    """Node-weighted average of per-batch errors across a dataset."""
+
+    def __init__(self) -> None:
+        self._total_abs = 0.0
+        self._total_nodes = 0
+
+    def add(self, predictions: np.ndarray, labels: np.ndarray) -> None:
+        predictions = np.asarray(predictions, dtype=np.float64).reshape(-1)
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        self._total_abs += float(np.abs(predictions - labels).sum())
+        self._total_nodes += predictions.size
+
+    @property
+    def value(self) -> float:
+        if self._total_nodes == 0:
+            raise ValueError("no samples accumulated")
+        return self._total_abs / self._total_nodes
+
+    @property
+    def count(self) -> int:
+        return self._total_nodes

@@ -1,0 +1,123 @@
+"""Training loop: Adam + L1 loss on signal probabilities (paper §III-C)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..graphdata.dataset import CircuitDataset, PreparedBatch
+from ..models.deepgate import DeepGate
+from ..nn.functional import l1_loss
+from ..nn.modules import Module
+from ..nn.optim import Adam, clip_grad_norm
+from ..nn.tensor import no_grad
+from .metrics import ErrorAccumulator
+
+__all__ = ["TrainConfig", "TrainHistory", "Trainer", "evaluate_model"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters; paper defaults are lr=1e-4 Adam for 60 epochs."""
+
+    epochs: int = 60
+    batch_size: int = 16
+    lr: float = 1e-4
+    grad_clip: float = 5.0
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainHistory:
+    train_loss: List[float] = field(default_factory=list)
+    eval_error: List[float] = field(default_factory=list)
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.train_loss[-1]
+
+    @property
+    def best_eval_error(self) -> float:
+        return min(self.eval_error)
+
+
+def evaluate_model(
+    model: Module,
+    batches: Sequence[PreparedBatch],
+    num_iterations: Optional[int] = None,
+) -> float:
+    """Average prediction error (Eq. 8) of ``model`` over ``batches``."""
+    acc = ErrorAccumulator()
+    with no_grad():
+        for batch in batches:
+            if num_iterations is not None and isinstance(model, DeepGate):
+                pred = model(batch, num_iterations=num_iterations)
+            else:
+                pred = model(batch)
+            acc.add(pred.numpy(), batch.labels)
+    return acc.value
+
+
+class Trainer:
+    """Minimal fit/evaluate loop shared by every experiment."""
+
+    def __init__(self, model: Module, config: Optional[TrainConfig] = None):
+        self.model = model
+        self.config = config or TrainConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr)
+        self.history = TrainHistory()
+
+    def fit(
+        self,
+        train_data: CircuitDataset,
+        eval_data: Optional[CircuitDataset] = None,
+        callback: Optional[Callable[[int, float, Optional[float]], None]] = None,
+    ) -> TrainHistory:
+        """Train for ``config.epochs`` epochs; returns loss/error history."""
+        cfg = self.config
+        train_batches = train_data.prepared_batches(cfg.batch_size, seed=cfg.seed)
+        eval_batches = (
+            eval_data.prepared_batches(cfg.batch_size, seed=cfg.seed)
+            if eval_data is not None
+            else None
+        )
+        for epoch in range(cfg.epochs):
+            epoch_loss = self._run_epoch(train_batches)
+            self.history.train_loss.append(epoch_loss)
+            eval_error = None
+            if eval_batches is not None:
+                eval_error = evaluate_model(self.model, eval_batches)
+                self.history.eval_error.append(eval_error)
+            if cfg.verbose:  # pragma: no cover - console side effect
+                msg = f"epoch {epoch + 1}/{cfg.epochs} loss={epoch_loss:.4f}"
+                if eval_error is not None:
+                    msg += f" eval={eval_error:.4f}"
+                print(msg)
+            if callback is not None:
+                callback(epoch, epoch_loss, eval_error)
+        return self.history
+
+    def _run_epoch(self, batches: Sequence[PreparedBatch]) -> float:
+        total, count = 0.0, 0
+        for batch in batches:
+            self.optimizer.zero_grad()
+            pred = self.model(batch)
+            loss = l1_loss(pred, batch.labels)
+            loss.backward()
+            if self.config.grad_clip:
+                clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+            self.optimizer.step()
+            total += loss.item() * batch.num_nodes
+            count += batch.num_nodes
+        return total / max(count, 1)
+
+    def evaluate(
+        self,
+        data: CircuitDataset,
+        num_iterations: Optional[int] = None,
+    ) -> float:
+        batches = data.prepared_batches(self.config.batch_size)
+        return evaluate_model(self.model, batches, num_iterations)

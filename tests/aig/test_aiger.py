@@ -1,0 +1,69 @@
+"""Tests for the ASCII AIGER reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.aig import AIGBuilder, aiger, lit_negate
+
+AND2 = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n"
+
+
+def xor_aig():
+    b = AIGBuilder(num_pis=2)
+    a, bb = b.pi_lit(0), b.pi_lit(1)
+    t0 = b.add_and(a, lit_negate(bb))
+    t1 = b.add_and(lit_negate(a), bb)
+    n = b.add_and(lit_negate(t0), lit_negate(t1))
+    b.add_output(lit_negate(n))
+    return b.build("xor")
+
+
+class TestLoads:
+    def test_parse_and2(self):
+        aig = aiger.loads(AND2)
+        assert aig.num_pis == 2
+        assert aig.num_ands == 1
+        assert aig.outputs == [6]
+
+    def test_comment_section_ignored(self):
+        aig = aiger.loads(AND2 + "c\nanything 1 2 3\n")
+        assert aig.num_ands == 1
+
+    def test_bad_header(self):
+        with pytest.raises(aiger.AigerError, match="bad header"):
+            aiger.loads("aig 3 2 0 1 1\n")
+
+    def test_latches_rejected(self):
+        with pytest.raises(aiger.AigerError, match="latches"):
+            aiger.loads("aag 3 2 1 1 0\n2\n4\n6 2\n6\n")
+
+    def test_truncated_body(self):
+        with pytest.raises(aiger.AigerError, match="truncated"):
+            aiger.loads("aag 3 2 0 1 1\n2\n4\n")
+
+    def test_non_canonical_input_literal(self):
+        with pytest.raises(aiger.AigerError, match="canonical"):
+            aiger.loads("aag 3 2 0 1 1\n4\n2\n6\n6 2 4\n")
+
+    def test_non_canonical_and_literal(self):
+        with pytest.raises(aiger.AigerError, match="canonical"):
+            aiger.loads("aag 4 2 0 1 1\n2\n4\n8\n8 2 4\n")
+
+    def test_empty_input(self):
+        with pytest.raises(aiger.AigerError, match="empty"):
+            aiger.loads("")
+
+
+class TestRoundTrip:
+    def test_xor_roundtrip_structural(self):
+        aig = xor_aig()
+        aig2 = aiger.loads(aiger.dumps(aig))
+        assert aig2.num_pis == aig.num_pis
+        assert np.array_equal(aig2.ands, aig.ands)
+        assert aig2.outputs == aig.outputs
+
+    def test_file_io(self, tmp_path):
+        path = tmp_path / "xor.aag"
+        aiger.dump(xor_aig(), path)
+        aig2 = aiger.load(path)
+        assert aig2.num_ands == 3

@@ -1,0 +1,76 @@
+"""Tests for the .bench reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.aig import GateType, NetlistError, bench
+from repro.sim import exhaustive_patterns, output_values, simulate_aig
+from repro.synth import netlist_to_aig
+
+HALF_ADDER = """
+# a tiny half adder
+INPUT(a)
+INPUT(b)
+OUTPUT(sum)
+OUTPUT(carry)
+sum = XOR(a, b)
+carry = AND(a, b)
+"""
+
+
+class TestLoads:
+    def test_parse_half_adder(self):
+        nl = bench.loads(HALF_ADDER)
+        assert nl.inputs == ["a", "b"]
+        assert nl.outputs == ["sum", "carry"]
+        assert nl.gate("sum").gate_type == GateType.XOR
+
+    def test_comments_and_blank_lines_ignored(self):
+        nl = bench.loads("# only comments\n\nINPUT(x)\nOUTPUT(x)\n")
+        assert nl.inputs == ["x"]
+
+    def test_operator_aliases(self):
+        nl = bench.loads(
+            "INPUT(a)\nOUTPUT(n)\nOUTPUT(f)\nn = INV(a)\nf = BUFF(a)\n"
+        )
+        assert nl.gate("n").gate_type == GateType.NOT
+        assert nl.gate("f").gate_type == GateType.BUF
+
+    def test_constants(self):
+        nl = bench.loads("OUTPUT(z)\nOUTPUT(o)\nz = GND()\no = VDD()\n")
+        assert nl.gate("z").gate_type == GateType.CONST0
+        assert nl.gate("o").gate_type == GateType.CONST1
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(NetlistError, match="unknown operator"):
+            bench.loads("INPUT(a)\nOUTPUT(g)\ng = WIBBLE(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(NetlistError, match="cannot parse"):
+            bench.loads("INPUT(a)\nthis is not bench\n")
+
+    def test_case_insensitive_operators(self):
+        nl = bench.loads("INPUT(a)\nINPUT(b)\nOUTPUT(g)\ng = and(a, b)\n")
+        assert nl.gate("g").gate_type == GateType.AND
+
+
+class TestRoundTrip:
+    def test_dump_then_load_preserves_function(self):
+        nl = bench.loads(HALF_ADDER)
+        nl2 = bench.loads(bench.dumps(nl))
+        assert nl2.inputs == nl.inputs
+        assert nl2.outputs == nl.outputs
+        a1, a2 = netlist_to_aig(nl), netlist_to_aig(nl2)
+        pats = exhaustive_patterns(2)
+        o1 = output_values(a1, simulate_aig(a1, pats))
+        o2 = output_values(a2, simulate_aig(a2, pats))
+        mask = np.uint64(0xF)
+        assert np.array_equal(o1 & mask, o2 & mask)
+
+    def test_file_io(self, tmp_path):
+        nl = bench.loads(HALF_ADDER)
+        path = tmp_path / "ha.bench"
+        bench.dump(nl, path)
+        nl2 = bench.load(path)
+        assert nl2.inputs == nl.inputs
+        assert len(nl2.gates) == len(nl.gates)

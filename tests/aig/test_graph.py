@@ -1,0 +1,188 @@
+"""Unit tests for AIG and GateGraph data structures."""
+
+import numpy as np
+import pytest
+
+from repro.aig import (
+    AIG,
+    AIGBuilder,
+    AND,
+    GateGraph,
+    NOT,
+    PI,
+    lit_is_negated,
+    lit_make,
+    lit_negate,
+    lit_var,
+)
+
+
+class TestLiteralHelpers:
+    def test_make_and_split(self):
+        lit = lit_make(7, negated=True)
+        assert lit == 15
+        assert lit_var(lit) == 7
+        assert lit_is_negated(lit)
+
+    def test_negate_is_involution(self):
+        for lit in range(20):
+            assert lit_negate(lit_negate(lit)) == lit
+            assert lit_negate(lit) != lit
+
+
+class TestAIGBuilder:
+    def test_simple_and(self):
+        b = AIGBuilder(num_pis=2)
+        g = b.add_and(b.pi_lit(0), b.pi_lit(1))
+        b.add_output(g)
+        aig = b.build("and2")
+        assert aig.num_pis == 2
+        assert aig.num_ands == 1
+        assert aig.outputs == [g]
+        assert aig.depth() == 1
+
+    def test_pi_index_bounds(self):
+        b = AIGBuilder(num_pis=2)
+        with pytest.raises(IndexError):
+            b.pi_lit(2)
+
+    def test_forward_reference_rejected(self):
+        b = AIGBuilder(num_pis=1)
+        with pytest.raises(ValueError, match="not yet defined"):
+            b.add_and(b.pi_lit(0), lit_make(99))
+
+
+class TestAIG:
+    def build_chain(self, n: int = 4) -> AIG:
+        """AND chain: g1 = i0 & i1, g2 = g1 & i1, ..."""
+        b = AIGBuilder(num_pis=2)
+        lit = b.add_and(b.pi_lit(0), b.pi_lit(1))
+        for _ in range(n - 1):
+            lit = b.add_and(lit, b.pi_lit(1))
+        b.add_output(lit)
+        return b.build()
+
+    def test_topological_validation(self):
+        bad = np.array([[8, 2]])  # references var 4 but first AND is var 3
+        with pytest.raises(ValueError, match="topologically ordered"):
+            AIG(2, bad, [6])
+
+    def test_output_range_validation(self):
+        with pytest.raises(ValueError, match="out of range"):
+            AIG(1, np.zeros((0, 2)), [99])
+
+    def test_levels_and_depth(self):
+        aig = self.build_chain(4)
+        lv = aig.levels()
+        assert lv[0] == 0  # const
+        assert (lv[1:3] == 0).all()  # PIs
+        assert lv[-1] == 4
+        assert aig.depth() == 4
+
+    def test_fanout_counts(self):
+        aig = self.build_chain(3)
+        counts = aig.fanout_counts()
+        assert counts[2] == 3  # i1 feeds every AND
+        assert counts[-1] == 1  # last AND feeds the output
+
+    def test_uses_constant(self):
+        b = AIGBuilder(num_pis=1)
+        b.add_output(0)  # constant false output
+        assert b.build().uses_constant()
+        assert not self.build_chain().uses_constant()
+
+    def test_stats_and_copy(self):
+        aig = self.build_chain(4)
+        st = aig.stats()
+        assert st == {"pis": 2, "ands": 4, "outputs": 1, "depth": 4}
+        cp = aig.copy("chain_copy")
+        assert cp.name == "chain_copy"
+        assert np.array_equal(cp.ands, aig.ands)
+        cp.ands[0, 0] = 99  # mutation must not leak back
+        assert aig.ands[0, 0] != 99
+
+
+class TestGateGraph:
+    def diamond_aig(self) -> AIG:
+        """out = (a & b) & !(a & b) style sharing: one AND reused twice."""
+        b = AIGBuilder(num_pis=2)
+        shared = b.add_and(b.pi_lit(0), b.pi_lit(1))
+        left = b.add_and(shared, b.pi_lit(0))
+        right = b.add_and(lit_negate(shared), b.pi_lit(1))
+        out = b.add_and(left, lit_negate(right))
+        b.add_output(out)
+        return b.build("diamond")
+
+    def test_expansion_types_and_arity(self):
+        g = self.diamond_aig().to_gate_graph()
+        g.validate()
+        counts = g.type_counts()
+        assert counts["PI"] == 2
+        assert counts["AND"] == 4
+        # two complemented literal uses -> two NOT nodes
+        assert counts["NOT"] == 2
+
+    def test_not_nodes_shared_per_literal(self):
+        b = AIGBuilder(num_pis=2)
+        x = b.add_and(b.pi_lit(0), b.pi_lit(1))
+        y = b.add_and(lit_negate(x), b.pi_lit(0))
+        z = b.add_and(lit_negate(x), b.pi_lit(1))
+        b.add_output(b.add_and(y, z))
+        g = b.build().to_gate_graph()
+        # !x is used twice but only one NOT node must exist
+        assert g.type_counts()["NOT"] == 1
+
+    def test_output_on_complemented_literal_is_not_node(self):
+        b = AIGBuilder(num_pis=2)
+        x = b.add_and(b.pi_lit(0), b.pi_lit(1))
+        b.add_output(lit_negate(x))
+        g = b.build().to_gate_graph()
+        assert g.node_type[g.outputs[0]] == NOT
+
+    def test_constant_rejected(self):
+        b = AIGBuilder(num_pis=1)
+        b.add_output(1)  # constant true
+        with pytest.raises(ValueError, match="constants"):
+            b.build().to_gate_graph()
+
+    def test_levels_count_not_nodes(self):
+        b = AIGBuilder(num_pis=1)
+        # single NOT output: PI(0) -> NOT(1)
+        b.add_output(lit_negate(b.pi_lit(0)))
+        g = b.build().to_gate_graph()
+        assert g.depth() == 1
+        assert g.node_type[0] == PI
+        assert g.node_type[1] == NOT
+
+    def test_source_lit_provenance(self):
+        aig = self.diamond_aig()
+        g = aig.to_gate_graph()
+        for v in range(g.num_nodes):
+            lit = int(g.source_lit[v])
+            if g.node_type[v] == NOT:
+                assert lit_is_negated(lit)
+            else:
+                assert not lit_is_negated(lit)
+
+    def test_edges_topologically_ordered(self):
+        g = self.diamond_aig().to_gate_graph()
+        assert (g.edges[:, 0] < g.edges[:, 1]).all()
+
+    def test_fanin_fanout_consistency(self):
+        g = self.diamond_aig().to_gate_graph()
+        fanins = g.fanin_lists()
+        fanouts = g.fanout_lists()
+        recovered = sorted(
+            (u, v) for v, fl in enumerate(fanins) for u in fl
+        )
+        assert recovered == sorted(map(tuple, g.edges.tolist()))
+        assert sum(len(f) for f in fanouts) == g.num_edges
+
+    def test_validate_catches_bad_arity(self):
+        g = GateGraph(
+            node_type=np.array([PI, AND], dtype=np.int8),
+            edges=np.array([[0, 1]], dtype=np.int64),
+            outputs=np.array([1]),
+        )
+        with pytest.raises(ValueError, match="expected 2"):
+            g.validate()

@@ -1,0 +1,109 @@
+"""Tests for the structural Verilog reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.aig import GateType, verilog
+from repro.datagen.generators import alu, comparator, ripple_adder
+from repro.datagen.normalize import normalize_to_library
+from repro.sat import check_equivalence
+from repro.synth import netlist_to_aig
+
+HALF_ADDER = """
+// half adder
+module half_adder (a, b, s, c);
+  input a, b;
+  output s, c;
+  xor x1 (s, a, b);
+  and a1 (c, a, b);
+endmodule
+"""
+
+
+class TestLoads:
+    def test_parse_half_adder(self):
+        nl = verilog.loads(HALF_ADDER)
+        assert nl.name == "half_adder"
+        assert nl.inputs == ["a", "b"]
+        assert nl.outputs == ["s", "c"]
+        assert nl.gate("s").gate_type == GateType.XOR
+
+    def test_comments_stripped(self):
+        text = HALF_ADDER.replace(
+            "xor x1 (s, a, b);", "xor x1 (s, a, b); /* inline\nblock */"
+        )
+        assert verilog.loads(text).gate("s").gate_type == GateType.XOR
+
+    def test_unnamed_instances(self):
+        text = (
+            "module m (a, y);\n  input a;\n  output y;\n"
+            "  not (y, a);\nendmodule\n"
+        )
+        nl = verilog.loads(text)
+        assert nl.gate("y").gate_type == GateType.NOT
+
+    def test_assign_forms(self):
+        text = (
+            "module m (a, y0, y1, y2, y3);\n  input a;\n"
+            "  output y0, y1, y2, y3;\n"
+            "  assign y0 = a;\n  assign y1 = ~a;\n"
+            "  assign y2 = 1'b0;\n  assign y3 = 1'b1;\nendmodule\n"
+        )
+        nl = verilog.loads(text)
+        assert nl.gate("y0").gate_type == GateType.BUF
+        assert nl.gate("y1").gate_type == GateType.NOT
+        assert nl.gate("y2").gate_type == GateType.CONST0
+        assert nl.gate("y3").gate_type == GateType.CONST1
+
+    def test_behavioural_rejected(self):
+        text = "module m (a); input a; always @(a) begin end endmodule"
+        with pytest.raises(verilog.VerilogError, match="behavioural"):
+            verilog.loads(text)
+
+    def test_vector_nets_rejected(self):
+        text = "module m (a); input [3:0] a; endmodule"
+        with pytest.raises(verilog.VerilogError, match="bit-blasted"):
+            verilog.loads(text)
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(verilog.VerilogError, match="module"):
+            verilog.loads("wire x;")
+
+    def test_complex_assign_rejected(self):
+        text = (
+            "module m (a, b, y);\n  input a, b;\n  output y;\n"
+            "  assign y = a & b;\nendmodule\n"
+        )
+        with pytest.raises(verilog.VerilogError, match="assign"):
+            verilog.loads(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", [lambda: ripple_adder(4), lambda: comparator(3)]
+    )
+    def test_functionally_preserved(self, factory):
+        original = factory()
+        text = verilog.dumps(original)
+        parsed = verilog.loads(text)
+        assert check_equivalence(
+            netlist_to_aig(original), netlist_to_aig(parsed)
+        ).equivalent
+
+    def test_mux_requires_normalisation(self):
+        nl = alu(2)  # contains MUX gates
+        with pytest.raises(verilog.VerilogError, match="MUX"):
+            verilog.dumps(nl)
+        text = verilog.dumps(normalize_to_library(nl))
+        parsed = verilog.loads(text)
+        assert check_equivalence(
+            netlist_to_aig(normalize_to_library(nl)), netlist_to_aig(parsed)
+        ).equivalent
+
+    def test_file_io(self, tmp_path):
+        nl = verilog.loads(HALF_ADDER)
+        path = tmp_path / "ha.v"
+        verilog.dump(nl, path)
+        nl2 = verilog.load(path)
+        assert nl2.inputs == nl.inputs
+        assert nl2.outputs == nl.outputs

@@ -1,0 +1,76 @@
+"""Tests for the benchmark-suite pools and dataset building."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    SUITE_NAMES,
+    TABLE1_PAPER_ROWS,
+    build_all_suites,
+    build_suite_dataset,
+    suite_pool,
+)
+
+
+class TestPools:
+    @pytest.mark.parametrize("name", SUITE_NAMES)
+    def test_pool_yields_valid_netlists(self, name):
+        pool = suite_pool(name, np.random.default_rng(0))
+        for _ in range(5):
+            nl = next(pool)
+            nl.validate()
+            assert nl.num_gates() > 0
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            suite_pool("NONSUCH", np.random.default_rng(0))
+
+    def test_paper_rows_cover_all_suites(self):
+        assert set(TABLE1_PAPER_ROWS) == set(SUITE_NAMES)
+
+
+class TestBuildSuiteDataset:
+    def test_count_and_window(self):
+        ds = build_suite_dataset(
+            "IWLS", 5, seed=3, num_patterns=1024, min_nodes=30, max_nodes=500
+        )
+        assert len(ds) == 5
+        lo, hi = ds.node_count_range()
+        assert lo >= 30 and hi <= 500
+
+    def test_depth_cap_respected(self):
+        ds = build_suite_dataset(
+            "ITC99", 4, seed=1, num_patterns=1024, max_levels=40
+        )
+        _, hi = ds.level_range()
+        assert hi <= 40
+
+    def test_labels_are_probabilities(self):
+        ds = build_suite_dataset("EPFL", 3, seed=0, num_patterns=1024)
+        for g in ds:
+            assert (g.labels >= 0).all() and (g.labels <= 1).all()
+            g.validate()
+
+    def test_deterministic(self):
+        a = build_suite_dataset("OpenCores", 3, seed=9, num_patterns=512)
+        b = build_suite_dataset("OpenCores", 3, seed=9, num_patterns=512)
+        for ga, gb in zip(a, b):
+            np.testing.assert_array_equal(ga.labels, gb.labels)
+            np.testing.assert_array_equal(ga.edges, gb.edges)
+
+    def test_skip_edges_toggle(self):
+        with_skip = build_suite_dataset(
+            "EPFL", 2, seed=4, num_patterns=512, with_skip_edges=True
+        )
+        without = build_suite_dataset(
+            "EPFL", 2, seed=4, num_patterns=512, with_skip_edges=False
+        )
+        assert sum(len(g.skip_edges) for g in with_skip) > 0
+        assert sum(len(g.skip_edges) for g in without) == 0
+
+    def test_build_all_suites(self):
+        out = build_all_suites(
+            {"EPFL": 2, "ITC99": 2}, seed=0, num_patterns=512
+        )
+        assert set(out) == {"EPFL", "ITC99"}
+        assert all(len(ds) == 2 for ds in out.values())

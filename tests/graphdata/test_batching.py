@@ -1,0 +1,184 @@
+"""Tests for graph merging and topological level schedules."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.generators import parity, ripple_adder
+from repro.graphdata import (
+    LevelSchedule,
+    from_aig,
+    merge,
+    positional_encoding,
+    prepare,
+)
+from repro.synth import synthesize
+
+
+def graph_of(netlist, seed=0):
+    return from_aig(synthesize(netlist), num_patterns=512, seed=seed)
+
+
+class TestMerge:
+    def test_offsets_and_counts(self):
+        g1 = graph_of(ripple_adder(3))
+        g2 = graph_of(parity(5))
+        m = merge([g1, g2])
+        assert m.num_nodes == g1.num_nodes + g2.num_nodes
+        assert m.num_edges == g1.num_edges + g2.num_edges
+        # second graph's edges shifted beyond the first graph's nodes
+        assert (m.edges[g1.num_edges :] >= g1.num_nodes).all()
+        m.validate()
+
+    def test_labels_concatenated(self):
+        g1 = graph_of(ripple_adder(3))
+        g2 = graph_of(parity(5))
+        m = merge([g1, g2])
+        np.testing.assert_array_equal(m.labels[: g1.num_nodes], g1.labels)
+        np.testing.assert_array_equal(m.labels[g1.num_nodes :], g2.labels)
+
+    def test_skip_edges_offset(self):
+        g1 = graph_of(ripple_adder(4))
+        g2 = graph_of(ripple_adder(4))
+        m = merge([g1, g2])
+        assert len(m.skip_edges) == len(g1.skip_edges) + len(g2.skip_edges)
+        if len(g2.skip_edges):
+            shifted = m.skip_edges[len(g1.skip_edges) :]
+            np.testing.assert_array_equal(
+                shifted, g2.skip_edges + g1.num_nodes
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            merge([])
+
+    def test_mixed_vocabulary_rejected(self):
+        from repro.graphdata import from_netlist
+
+        g1 = graph_of(ripple_adder(3))
+        g2 = from_netlist(parity(4), num_patterns=64)
+        with pytest.raises(ValueError, match="vocabularies"):
+            merge([g1, g2])
+
+
+class TestForwardSchedule:
+    def test_covers_every_edge_once(self):
+        g = graph_of(ripple_adder(4))
+        sched = LevelSchedule.forward(g)
+        seen = []
+        for group in sched:
+            for k in range(len(group.src)):
+                seen.append((int(group.src[k]), int(group.nodes[group.seg[k]])))
+        assert sorted(seen) == sorted(map(tuple, g.edges.tolist()))
+
+    def test_levels_ascend_and_complete(self):
+        g = graph_of(ripple_adder(4))
+        sched = LevelSchedule.forward(g)
+        last = 0
+        covered = set()
+        for group in sched:
+            lv = int(g.levels[group.nodes[0]])
+            assert (g.levels[group.nodes] == lv).all()
+            assert lv > last
+            last = lv
+            covered.update(int(v) for v in group.nodes)
+        non_pi = {v for v in range(g.num_nodes) if g.levels[v] > 0}
+        assert covered == non_pi
+
+    def test_sources_already_processed(self):
+        g = graph_of(ripple_adder(5))
+        sched = LevelSchedule.forward(g)
+        for group in sched:
+            lv = int(g.levels[group.nodes[0]])
+            assert (g.levels[group.src] < lv).all()
+
+    def test_skip_edges_attached_at_target_level(self):
+        g = graph_of(ripple_adder(5))
+        assert len(g.skip_edges)
+        sched = LevelSchedule.forward(g, include_skip=True, pe_levels=4)
+        total_skips = 0
+        for group in sched:
+            total_skips += len(group.skip_src)
+            if group.has_skip:
+                # 2 * pe_levels sinusoids + 1 skip-indicator column
+                assert group.skip_attr.shape == (len(group.skip_src), 9)
+                np.testing.assert_array_equal(group.skip_attr[:, -1], 1.0)
+                # skip targets must be nodes of this group
+                targets = group.nodes[group.skip_seg]
+                lv = int(g.levels[group.nodes[0]])
+                assert (g.levels[targets] == lv).all()
+        assert total_skips == len(g.skip_edges)
+
+    def test_no_skip_by_default(self):
+        g = graph_of(ripple_adder(5))
+        sched = LevelSchedule.forward(g)
+        assert all(not group.has_skip for group in sched)
+
+
+class TestReverseSchedule:
+    def test_covers_every_edge_once_reversed(self):
+        g = graph_of(ripple_adder(4))
+        sched = LevelSchedule.reverse(g)
+        seen = []
+        for group in sched:
+            for k in range(len(group.src)):
+                seen.append((int(group.nodes[group.seg[k]]), int(group.src[k])))
+        assert sorted(seen) == sorted(map(tuple, g.edges.tolist()))
+
+    def test_levels_descend(self):
+        g = graph_of(ripple_adder(4))
+        sched = LevelSchedule.reverse(g)
+        levels = [int(g.levels[group.nodes[0]]) for group in sched]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_sources_at_higher_levels(self):
+        g = graph_of(ripple_adder(4))
+        for group in LevelSchedule.reverse(g):
+            lv = int(g.levels[group.nodes[0]])
+            assert (g.levels[group.src] > lv).all()
+
+
+class TestUndirectedSchedule:
+    def test_single_group_both_directions(self):
+        g = graph_of(parity(5))
+        sched = LevelSchedule.undirected(g)
+        assert len(sched) == 1
+        group = sched.groups[0]
+        assert len(group.src) == 2 * g.num_edges
+
+
+class TestPreparedBatch:
+    def test_schedules_cached(self):
+        batch = prepare([graph_of(ripple_adder(3))])
+        s1 = batch.forward_schedule(True, 8)
+        s2 = batch.forward_schedule(True, 8)
+        assert s1 is s2
+        assert batch.reverse_schedule() is batch.reverse_schedule()
+        assert batch.undirected_schedule() is batch.undirected_schedule()
+
+    def test_features_match_graph(self):
+        g = graph_of(ripple_adder(3))
+        batch = prepare([g])
+        assert batch.x.shape == (g.num_nodes, 3)
+        np.testing.assert_array_equal(batch.labels, g.labels)
+
+
+class TestPositionalEncoding:
+    def test_shape_and_range(self):
+        pe = positional_encoding(np.array([1, 5, 20]), num_levels=8)
+        assert pe.shape == (3, 16)
+        assert (np.abs(pe) <= 1.0 + 1e-6).all()
+
+    def test_distinct_distances_distinct_codes(self):
+        pe = positional_encoding(np.arange(1, 30), num_levels=8)
+        for i in range(len(pe)):
+            for j in range(i + 1, len(pe)):
+                assert not np.allclose(pe[i], pe[j]), (i, j)
+
+    def test_zero_distance_is_cosine_one(self):
+        pe = positional_encoding(np.array([0]), num_levels=4)
+        np.testing.assert_allclose(pe[0, 0::2], 0.0, atol=1e-7)  # sines
+        np.testing.assert_allclose(pe[0, 1::2], 1.0, atol=1e-7)  # cosines
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            positional_encoding(np.array([1]), num_levels=0)

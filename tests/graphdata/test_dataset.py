@@ -1,0 +1,75 @@
+"""Tests for CircuitDataset: splits, batching, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.generators import parity, ripple_adder
+from repro.graphdata import CircuitDataset, from_aig
+from repro.synth import synthesize
+
+
+def make_dataset(n=8):
+    graphs = []
+    for k in range(n):
+        nl = ripple_adder(3 + (k % 3)) if k % 2 else parity(4 + k)
+        graphs.append(from_aig(synthesize(nl), num_patterns=256, seed=k))
+    return CircuitDataset(graphs, "toy")
+
+
+class TestSplit:
+    def test_fraction_respected(self):
+        ds = make_dataset(10)
+        train, test = ds.split(0.8, seed=0)
+        assert len(train) == 8
+        assert len(test) == 2
+
+    def test_disjoint_and_complete(self):
+        ds = make_dataset(10)
+        train, test = ds.split(0.7, seed=1)
+        train_ids = {id(g) for g in train}
+        test_ids = {id(g) for g in test}
+        assert not train_ids & test_ids
+        assert len(train_ids | test_ids) == 10
+
+    def test_deterministic(self):
+        ds = make_dataset(6)
+        a1, _ = ds.split(0.5, seed=5)
+        a2, _ = ds.split(0.5, seed=5)
+        assert [id(g) for g in a1] == [id(g) for g in a2]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            make_dataset(4).split(1.5)
+
+
+class TestBatches:
+    def test_batches_cover_everything(self):
+        ds = make_dataset(7)
+        batches = list(ds.batches(batch_size=3))
+        assert len(batches) == 3
+        total_nodes = sum(b.num_nodes for b in batches)
+        assert total_nodes == sum(g.num_nodes for g in ds)
+
+    def test_shuffling_changes_order(self):
+        ds = make_dataset(8)
+        a = [b.num_nodes for b in ds.batches(2, seed=1)]
+        c = [b.num_nodes for b in ds.batches(2, seed=2)]
+        assert a != c or len(set(a)) == 1
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(make_dataset(2).batches(0))
+
+
+class TestStatistics:
+    def test_ranges(self):
+        ds = make_dataset(6)
+        lo, hi = ds.node_count_range()
+        assert 0 < lo <= hi
+        lo_l, hi_l = ds.level_range()
+        assert 0 < lo_l <= hi_l
+
+    def test_summary_keys(self):
+        s = make_dataset(3).summary()
+        assert set(s) == {"name", "circuits", "nodes", "levels"}
+        assert s["circuits"] == 3

@@ -1,0 +1,150 @@
+"""Tests for circuit featurisation (CircuitGraph, from_aig, from_netlist)."""
+
+import numpy as np
+import pytest
+
+from repro.aig import GateType, Netlist
+from repro.graphdata import (
+    AIG_TYPE_NAMES,
+    NETLIST_TYPE_NAMES,
+    from_aig,
+    from_netlist,
+)
+from repro.sim import exact_probabilities, node_probabilities_from_var_probs
+from repro.synth import synthesize
+
+from ..helpers import random_netlist
+
+
+def small_aig():
+    nl = Netlist("fa")
+    for x in "abc":
+        nl.add_input(x)
+    nl.add_gate("s1", GateType.XOR, ["a", "b"])
+    nl.add_gate("sum", GateType.XOR, ["s1", "c"])
+    nl.add_gate("c1", GateType.AND, ["a", "b"])
+    nl.add_gate("c2", GateType.AND, ["s1", "c"])
+    nl.add_gate("cout", GateType.OR, ["c1", "c2"])
+    nl.set_outputs(["sum", "cout"])
+    return synthesize(nl)
+
+
+class TestFromAig:
+    def test_basic_shape_and_vocab(self):
+        g = from_aig(small_aig(), num_patterns=2048, seed=0)
+        g.validate()
+        assert g.type_names == AIG_TYPE_NAMES
+        assert g.num_types == 3
+        assert g.num_nodes == g.labels.shape[0]
+
+    def test_one_hot(self):
+        g = from_aig(small_aig(), num_patterns=512, seed=0)
+        oh = g.one_hot()
+        assert oh.shape == (g.num_nodes, 3)
+        np.testing.assert_allclose(oh.sum(axis=1), 1.0)
+        np.testing.assert_array_equal(np.argmax(oh, axis=1), g.node_type)
+
+    def test_labels_match_exact(self):
+        aig = small_aig()
+        g = from_aig(aig, exact_below_pis=10)
+        expect = node_probabilities_from_var_probs(
+            aig.to_gate_graph(), exact_probabilities(aig)
+        )
+        np.testing.assert_allclose(g.labels, expect, atol=1e-7)
+
+    def test_skip_edges_present_on_reconvergent_circuit(self):
+        g = from_aig(small_aig(), num_patterns=512, seed=0)
+        assert len(g.skip_edges) > 0
+        assert (g.skip_level_diff >= 2).all()
+
+    def test_skip_edges_disabled(self):
+        g = from_aig(small_aig(), num_patterns=512, with_skip_edges=False)
+        assert len(g.skip_edges) == 0
+
+    def test_seed_reproducibility(self):
+        a = from_aig(small_aig(), num_patterns=1024, seed=3)
+        b = from_aig(small_aig(), num_patterns=1024, seed=3)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestFromNetlist:
+    def original_netlist(self):
+        nl = Netlist("orig")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_input("c")
+        nl.add_gate("g1", GateType.NAND, ["a", "b"])
+        nl.add_gate("g2", GateType.XOR, ["g1", "c"])
+        nl.add_gate("g3", GateType.NOR, ["g1", "g2"])
+        nl.add_gate("g4", GateType.NOT, ["g3"])
+        nl.set_outputs(["g2", "g4"])
+        return nl
+
+    def test_vocabulary_and_types(self):
+        g = from_netlist(self.original_netlist(), num_patterns=1024, seed=0)
+        g.validate()
+        assert g.type_names == NETLIST_TYPE_NAMES
+        assert g.num_types == 7
+        used = {g.type_names[t] for t in g.node_type}
+        assert {"INPUT", "NAND", "XOR", "NOR", "NOT"} <= used
+
+    def test_fold_aliases(self):
+        nl = Netlist("fold")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_gate("x", GateType.XNOR, ["a", "b"])  # folds into XOR slot
+        nl.add_gate("f", GateType.BUF, ["x"])  # folds into NOT slot
+        nl.set_outputs(["f"])
+        g = from_netlist(nl, num_patterns=512)
+        names = [g.type_names[t] for t in g.node_type]
+        assert names.count("XOR") == 1
+        assert names.count("NOT") == 1
+
+    def test_labels_match_exact_enumeration(self):
+        nl = self.original_netlist()
+        g = from_netlist(nl, num_patterns=200_000, seed=1)
+        # brute-force probabilities from the netlist truth table
+        order = nl.topological_order()
+        total = 8
+        import itertools
+
+        counts = {name: 0 for name in order}
+        for bits in itertools.product([False, True], repeat=3):
+            vals = nl.evaluate(
+                {n: np.array([v]) for n, v in zip(nl.inputs, bits)}
+            )
+            for name in order:
+                counts[name] += int(vals[name][0])
+        expect = np.array([counts[n] / total for n in order])
+        np.testing.assert_allclose(g.labels, expect, atol=0.02)
+
+    def test_mux_rejected(self):
+        nl = Netlist("withmux")
+        for x in "sab":
+            nl.add_input(x)
+        nl.add_gate("m", GateType.MUX, ["s", "a", "b"])
+        nl.set_outputs(["m"])
+        with pytest.raises(ValueError, match="not supported"):
+            from_netlist(nl, num_patterns=64)
+
+    def test_no_skip_edges(self):
+        g = from_netlist(self.original_netlist(), num_patterns=256)
+        assert len(g.skip_edges) == 0
+
+
+class TestValidate:
+    def test_catches_bad_labels(self):
+        g = from_aig(small_aig(), num_patterns=256, seed=0)
+        g.labels = g.labels + 5.0
+        with pytest.raises(AssertionError):
+            g.validate()
+
+    def test_random_circuits_validate(self):
+        rng = np.random.default_rng(8)
+        for _ in range(5):
+            aig = synthesize(random_netlist(rng, num_inputs=5, num_gates=25))
+            from repro.synth import has_constant_outputs
+
+            if has_constant_outputs(aig) or aig.num_ands == 0:
+                continue
+            from_aig(aig, num_patterns=256, seed=0).validate()

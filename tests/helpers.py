@@ -1,0 +1,87 @@
+"""Shared test utilities: random circuit generation and equivalence checks."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.aig import AIG, GateType, Netlist
+from repro.sim import exhaustive_patterns, output_values, simulate_aig
+from repro.synth import netlist_to_aig
+
+#: gate types usable as random internal gates (fixed 2-input choices + unary)
+_BINARY_TYPES = (
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+)
+
+
+def random_netlist(
+    rng: np.random.Generator,
+    num_inputs: int = 4,
+    num_gates: int = 12,
+    num_outputs: int = 2,
+    include_unary: bool = True,
+    include_mux: bool = True,
+) -> Netlist:
+    """Build a random, valid combinational netlist.
+
+    Each new gate draws fan-ins uniformly from already-defined nets, so the
+    result is always acyclic.  Outputs are drawn from the last few gates so
+    most of the structure stays live.
+    """
+    nl = Netlist("random")
+    nets = [nl.add_input(f"i{k}") for k in range(num_inputs)]
+    for g in range(num_gates):
+        choice = rng.integers(0, 10)
+        name = f"g{g}"
+        if include_unary and choice == 0:
+            nl.add_gate(name, GateType.NOT, [str(rng.choice(nets))])
+        elif include_unary and choice == 1:
+            nl.add_gate(name, GateType.BUF, [str(rng.choice(nets))])
+        elif include_mux and choice == 2 and len(nets) >= 3:
+            picks = rng.choice(len(nets), size=3, replace=True)
+            nl.add_gate(name, GateType.MUX, [nets[p] for p in picks])
+        else:
+            t = _BINARY_TYPES[int(rng.integers(0, len(_BINARY_TYPES)))]
+            arity = int(rng.integers(2, 4))
+            picks = rng.choice(len(nets), size=arity, replace=True)
+            nl.add_gate(name, t, [nets[p] for p in picks])
+        nets.append(name)
+    pool = nets[num_inputs:] or nets
+    tail = pool[-max(num_outputs, 1) * 3 :]
+    outs = [
+        str(tail[int(rng.integers(0, len(tail)))]) for _ in range(num_outputs)
+    ]
+    nl.set_outputs(outs)
+    nl.validate()
+    return nl
+
+
+def exhaustive_output_bits(aig: AIG) -> np.ndarray:
+    """Output truth tables of ``aig`` as packed words, masked to valid bits."""
+    pats = exhaustive_patterns(aig.num_pis)
+    outs = output_values(aig, simulate_aig(aig, pats))
+    total = 1 << aig.num_pis
+    if total < 64:
+        outs = outs & np.uint64((1 << total) - 1)
+    return outs
+
+
+def assert_functionally_equal(
+    left: Union[AIG, Netlist], right: Union[AIG, Netlist], max_pis: int = 14
+) -> None:
+    """Assert two circuits compute identical output truth tables."""
+    aig_l = netlist_to_aig(left) if isinstance(left, Netlist) else left
+    aig_r = netlist_to_aig(right) if isinstance(right, Netlist) else right
+    assert aig_l.num_pis == aig_r.num_pis, "PI counts differ"
+    assert aig_l.num_outputs == aig_r.num_outputs, "output counts differ"
+    assert aig_l.num_pis <= max_pis, "too many PIs for exhaustive check"
+    bits_l = exhaustive_output_bits(aig_l)
+    bits_r = exhaustive_output_bits(aig_r)
+    assert np.array_equal(bits_l, bits_r), "output truth tables differ"

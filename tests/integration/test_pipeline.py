@@ -1,0 +1,137 @@
+"""Cross-module integration tests: the full paper pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.aig import aiger, bench, verilog
+from repro.datagen import build_suite_dataset, generators as gen
+from repro.datagen.normalize import normalize_to_library, variegate
+from repro.graphdata import CircuitDataset, from_aig, prepare
+from repro.models import DeepGate, FineTuner
+from repro.nn import l1_loss, load_module, no_grad, save_module
+from repro.sat import check_equivalence
+from repro.sim import monte_carlo_probabilities
+from repro.synth import has_constant_outputs, strip_constant_outputs, synthesize
+from repro.testability import compute_scoap, run_fault_simulation
+from repro.train import TrainConfig, Trainer, evaluate_model
+
+
+class TestDataPipeline:
+    def test_netlist_to_labelled_graph(self):
+        """generator -> synthesis -> gate graph -> labels -> batch."""
+        netlist = gen.alu(3)
+        aig = synthesize(netlist)
+        if has_constant_outputs(aig):
+            aig = strip_constant_outputs(aig)
+        graph = from_aig(aig, num_patterns=2048, seed=0)
+        graph.validate()
+        batch = prepare([graph])
+        assert batch.num_nodes == graph.num_nodes
+        fwd = batch.forward_schedule(include_skip=True)
+        assert sum(len(g.src) for g in fwd) == graph.num_edges
+
+    def test_format_conversion_chain(self, tmp_path):
+        """bench -> netlist -> verilog -> netlist -> AIG -> aiger -> AIG,
+        equivalence preserved at every step."""
+        original = gen.comparator(4)
+        bench_path = tmp_path / "c.bench"
+        bench.dump(original, bench_path)
+        reloaded = bench.load(bench_path)
+        v_path = tmp_path / "c.v"
+        verilog.dump(normalize_to_library(reloaded), v_path)
+        from_verilog = verilog.load(v_path)
+        aig = synthesize(from_verilog)
+        aag_path = tmp_path / "c.aag"
+        aiger.dump(aig, aag_path)
+        final = aiger.load(aag_path)
+        assert check_equivalence(synthesize(original), final).equivalent
+
+    def test_variegation_collapses_under_synthesis(self):
+        """Different technology mappings synthesise to similar AIG sizes."""
+        rng = np.random.default_rng(0)
+        base = normalize_to_library(gen.ripple_adder(6))
+        sizes = []
+        for _ in range(3):
+            var = variegate(base, rng)
+            aig = synthesize(var)
+            sizes.append(aig.num_ands)
+            assert check_equivalence(synthesize(base), aig).equivalent
+        # unified representation: variant sizes within 25% of each other
+        assert max(sizes) <= 1.25 * min(sizes)
+
+
+class TestTrainEvaluateCycle:
+    def test_train_save_load_evaluate(self, tmp_path):
+        ds = build_suite_dataset("IWLS", 5, seed=2, num_patterns=2048)
+        train, test = ds.split(0.8, seed=0)
+        model = DeepGate(dim=12, num_iterations=2, rng=np.random.default_rng(0))
+        trainer = Trainer(model, TrainConfig(epochs=4, batch_size=2, lr=2e-3))
+        trainer.fit(train)
+        before = trainer.evaluate(test)
+
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+        clone = DeepGate(dim=12, num_iterations=2, rng=np.random.default_rng(9))
+        load_module(clone, path)
+        after = evaluate_model(clone, test.prepared_batches(2))
+        assert after == pytest.approx(before, abs=1e-6)
+
+    def test_learned_beats_untrained(self):
+        ds = build_suite_dataset("EPFL", 6, seed=4, num_patterns=4096)
+        train, test = ds.split(0.7, seed=0)
+        trained = DeepGate(dim=16, num_iterations=3, rng=np.random.default_rng(0))
+        Trainer(trained, TrainConfig(epochs=15, batch_size=2, lr=2e-3)).fit(train)
+        untrained = DeepGate(dim=16, num_iterations=3, rng=np.random.default_rng(0))
+        batches = test.prepared_batches(2)
+        assert evaluate_model(trained, batches) < evaluate_model(
+            untrained, batches
+        )
+
+    def test_predictions_approximate_simulation(self):
+        """Trained model agrees with an independent simulation run."""
+        ds = build_suite_dataset("OpenCores", 5, seed=6, num_patterns=4096)
+        train, _ = ds.split(0.8, seed=0)
+        model = DeepGate(dim=16, num_iterations=3, rng=np.random.default_rng(1))
+        Trainer(model, TrainConfig(epochs=15, batch_size=2, lr=2e-3)).fit(train)
+        graph = train[0]
+        batch = prepare([graph])
+        with no_grad():
+            pred = model(batch).numpy()
+        # fresh labels with a different seed: model error close to its
+        # training-label error (simulation noise is tiny at 4096 patterns)
+        assert np.abs(pred - graph.labels).mean() < 0.15
+
+
+class TestDownstreamIntegration:
+    def test_embeddings_feed_scoap_style_head(self):
+        ds = build_suite_dataset("ITC99", 4, seed=8, num_patterns=1024)
+        backbone = DeepGate(dim=12, num_iterations=2, rng=np.random.default_rng(0))
+        batches = [prepare([g]) for g in ds]
+        # target: normalised SCOAP testability
+        targets = []
+        from repro.aig.graph import GateGraph
+
+        for g in ds:
+            gate_graph = GateGraph(
+                node_type=g.node_type.astype(np.int8),
+                edges=g.edges,
+                outputs=np.nonzero(
+                    ~np.isin(np.arange(g.num_nodes), g.edges[:, 0])
+                )[0],
+            )
+            score = compute_scoap(gate_graph).testability().astype(np.float64)
+            score = np.minimum(score, 100.0) / 100.0
+            targets.append(score)
+        tuner = FineTuner(backbone, lr=5e-3)
+        history = tuner.fit(batches, targets, epochs=40)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_fault_simulation_on_synthesised_design(self):
+        aig = synthesize(gen.crc(6))
+        if has_constant_outputs(aig):
+            aig = strip_constant_outputs(aig)
+        graph = aig.to_gate_graph()
+        report = run_fault_simulation(graph, num_patterns=2048, seed=0)
+        assert report.coverage > 0.5
+        # CRC logic is XOR-dominated: most faults are easy to randomly detect
+        assert report.detection_probability().mean() > 0.1

@@ -1,0 +1,109 @@
+"""Tests for baseline models (GCN, DAG-ConvGNN) and the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.generators import parity, ripple_adder
+from repro.graphdata import from_aig, prepare
+from repro.models import (
+    DAGConvGNN,
+    DeepGate,
+    GCN,
+    ModelConfig,
+    build_model,
+    table2_configs,
+)
+from repro.nn import l1_loss, no_grad
+from repro.synth import synthesize
+
+
+def make_batch(seed=0):
+    g1 = from_aig(synthesize(ripple_adder(3)), num_patterns=256, seed=seed)
+    g2 = from_aig(synthesize(parity(5)), num_patterns=256, seed=seed + 1)
+    return prepare([g1, g2])
+
+
+class TestGCN:
+    def test_forward_shape(self):
+        batch = make_batch()
+        model = GCN(dim=8, num_layers=2, rng=np.random.default_rng(0))
+        with no_grad():
+            pred = model(batch)
+        assert pred.shape == (batch.num_nodes,)
+        assert (pred.data > 0).all() and (pred.data < 1).all()
+
+    def test_gradients_flow(self):
+        batch = make_batch()
+        model = GCN(dim=8, num_layers=2, rng=np.random.default_rng(0))
+        l1_loss(model(batch), batch.labels).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_per_layer_parameters(self):
+        m1 = GCN(dim=8, num_layers=1, rng=np.random.default_rng(0))
+        m2 = GCN(dim=8, num_layers=3, rng=np.random.default_rng(0))
+        assert m2.num_parameters() > m1.num_parameters()
+
+
+class TestDAGConvGNN:
+    def test_forward_shape(self):
+        batch = make_batch()
+        model = DAGConvGNN(dim=8, num_layers=2, rng=np.random.default_rng(0))
+        with no_grad():
+            pred = model(batch)
+        assert pred.shape == (batch.num_nodes,)
+
+    def test_respects_direction(self):
+        """DAG-ConvGNN and GCN with identical seeds differ (edge handling)."""
+        batch = make_batch()
+        a = DAGConvGNN(dim=8, num_layers=2, rng=np.random.default_rng(1))
+        b = GCN(dim=8, num_layers=2, rng=np.random.default_rng(1))
+        b.load_state_dict(a.state_dict())
+        with no_grad():
+            assert not np.allclose(a(batch).data, b(batch).data)
+
+
+class TestRegistry:
+    def test_table2_has_13_rows(self):
+        configs = table2_configs()
+        assert len(configs) == 13
+        labels = [c.label for c in configs]
+        assert len(set(labels)) == 13
+        assert "DeepGate / Attention w/ SC" in labels
+        assert "DeepGate / Attention w/o SC" in labels
+
+    def test_build_every_config(self):
+        batch = make_batch()
+        for config in table2_configs():
+            model = build_model(
+                config, dim=4, num_iterations=1, num_layers=1, seed=0
+            )
+            with no_grad():
+                pred = model(batch)
+            assert pred.shape == (batch.num_nodes,), config.label
+
+    def test_kinds_mapped_to_classes(self):
+        assert isinstance(build_model(ModelConfig("gcn", "conv_sum"), dim=4), GCN)
+        assert isinstance(
+            build_model(ModelConfig("dag_conv", "deepset"), dim=4), DAGConvGNN
+        )
+        rec = build_model(ModelConfig("dag_rec", "gated_sum"), dim=4)
+        assert isinstance(rec, DeepGate)
+        assert rec.input_mode == "init_only"
+        assert not rec.use_skip
+        dg = build_model(ModelConfig("deepgate", "attention", True), dim=4)
+        assert dg.use_skip and dg.input_mode == "fixed_x"
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            build_model(ModelConfig("bogus", "conv_sum"))
+        with pytest.raises(ValueError):
+            build_model(ModelConfig("gcn", "bogus"))
+
+    def test_parameter_counts_comparable(self):
+        """Paper matches parameter budgets across models (same order)."""
+        counts = {}
+        for config in table2_configs():
+            model = build_model(config, dim=16, num_iterations=2, num_layers=2)
+            counts[config.label] = model.num_parameters()
+        lo, hi = min(counts.values()), max(counts.values())
+        assert hi <= 6 * lo, counts

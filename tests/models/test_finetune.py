@@ -1,0 +1,74 @@
+"""Tests for the downstream fine-tuning workflow."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.generators import parity, ripple_adder
+from repro.graphdata import from_aig, prepare
+from repro.models import DeepGate
+from repro.models.finetune import DownstreamHead, FineTuner
+from repro.synth import synthesize
+
+
+def make_batches():
+    graphs = [
+        from_aig(synthesize(ripple_adder(4)), num_patterns=512, seed=0),
+        from_aig(synthesize(parity(6)), num_patterns=512, seed=1),
+    ]
+    return [prepare([g]) for g in graphs]
+
+
+def backbone():
+    return DeepGate(dim=12, num_iterations=2, rng=np.random.default_rng(0))
+
+
+class TestFineTuner:
+    def test_head_learns_a_target(self):
+        batches = make_batches()
+        # synthetic target: logic level normalised to [0, 1]
+        targets = [
+            b.graph.levels / max(1, b.graph.levels.max()) for b in batches
+        ]
+        tuner = FineTuner(backbone(), lr=5e-3)
+        history = tuner.fit(batches, targets, epochs=60)
+        assert history.train_loss[-1] < history.train_loss[0] * 0.7
+
+    def test_backbone_untouched(self):
+        batches = make_batches()
+        bb = backbone()
+        before = {k: v.copy() for k, v in bb.state_dict().items()}
+        tuner = FineTuner(bb)
+        tuner.fit(batches, [b.labels for b in batches], epochs=3)
+        after = bb.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_embeddings_cached(self):
+        batches = make_batches()
+        tuner = FineTuner(backbone())
+        e1 = tuner.embeddings(batches[0])
+        e2 = tuner.embeddings(batches[0])
+        assert e1.data is e2.data  # same cached array
+
+    def test_predict_shape(self):
+        batches = make_batches()
+        tuner = FineTuner(backbone())
+        pred = tuner.predict(batches[0])
+        assert pred.shape == (batches[0].num_nodes,)
+        assert ((pred > 0) & (pred < 1)).all()
+
+    def test_target_validation(self):
+        batches = make_batches()
+        tuner = FineTuner(backbone())
+        with pytest.raises(ValueError, match="one target"):
+            tuner.fit(batches, [batches[0].labels], epochs=1)
+        with pytest.raises(ValueError, match="target size"):
+            tuner.fit(batches, [np.zeros(3), np.zeros(4)], epochs=1)
+
+    def test_custom_head(self):
+        head = DownstreamHead(12, np.random.default_rng(1), hidden=6,
+                              final_activation=None)
+        tuner = FineTuner(backbone(), head=head)
+        batches = make_batches()
+        pred = tuner.predict(batches[0])
+        assert pred.shape == (batches[0].num_nodes,)

@@ -1,0 +1,68 @@
+"""Numerical gradient checking for the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_gradient(
+    f: Callable[[], float], x: np.ndarray, eps: float = 1e-2
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. array ``x``.
+
+    ``f`` must read ``x`` by reference (we mutate entries in place).  The
+    engine stores float32, so ``eps`` is large and tolerances loose.
+    """
+    grad = np.zeros(x.shape, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    build: Callable[[Sequence[Tensor]], Tensor],
+    shapes: Sequence[tuple],
+    seed: int = 0,
+    atol: float = 2e-2,
+    rtol: float = 8e-2,
+    low: float = 0.2,
+    high: float = 1.5,
+) -> None:
+    """Assert autograd gradients match numerical ones.
+
+    ``build`` maps a list of parameter tensors to a scalar output tensor.
+    Inputs are drawn away from zero to dodge |x| and relu kinks.
+    """
+    rng = np.random.default_rng(seed)
+    params = []
+    for shape in shapes:
+        signs = rng.choice([-1.0, 1.0], size=shape)
+        mags = rng.uniform(low, high, size=shape)
+        params.append(Tensor((signs * mags).astype(np.float32), requires_grad=True))
+
+    out = build(params)
+    assert out.size == 1, "build() must return a scalar"
+    out.backward()
+
+    for k, p in enumerate(params):
+
+        def f(p=p):
+            return float(build(params).item())
+
+        num = numeric_gradient(f, p.data)
+        assert p.grad is not None, f"param {k} received no gradient"
+        np.testing.assert_allclose(
+            p.grad, num, atol=atol, rtol=rtol, err_msg=f"param {k} gradient mismatch"
+        )

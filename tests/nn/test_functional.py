@@ -1,0 +1,145 @@
+"""Tests for graph-oriented ops: concat, gather, scatter, segment ops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor,
+    concat,
+    gather_rows,
+    l1_loss,
+    scatter_rows,
+    segment_softmax,
+    segment_sum,
+)
+
+from .gradcheck import check_gradients
+
+
+class TestConcat:
+    def test_forward(self):
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(np.zeros((2, 3)))
+        out = concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        np.testing.assert_allclose(out.data[:, :2], 1)
+        np.testing.assert_allclose(out.data[:, 2:], 0)
+
+    def test_grad_routing(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 1)), requires_grad=True)
+        out = concat([a, b], axis=1)
+        (out * Tensor(np.array([[1, 2, 3], [4, 5, 6]]))).sum().backward()
+        np.testing.assert_allclose(a.grad, [[1, 2], [4, 5]])
+        np.testing.assert_allclose(b.grad, [[3], [6]])
+
+    def test_gradcheck(self):
+        check_gradients(
+            lambda p: (concat([p[0], p[1]], axis=1) ** 2.0).sum(),
+            [(3, 2), (3, 4)],
+        )
+
+
+class TestGatherRows:
+    def test_forward(self):
+        x = Tensor(np.arange(12).reshape(4, 3))
+        out = gather_rows(x, np.array([2, 0, 2]))
+        np.testing.assert_allclose(out.data, x.data[[2, 0, 2]])
+
+    def test_repeated_rows_accumulate_grads(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = gather_rows(x, np.array([1, 1, 0]))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[1, 1], [2, 2], [0, 0]])
+
+    def test_gradcheck(self):
+        idx = np.array([0, 2, 2, 1])
+        check_gradients(lambda p: (gather_rows(p[0], idx) ** 2.0).sum(), [(3, 2)])
+
+
+class TestScatterRows:
+    def test_forward(self):
+        base = Tensor(np.zeros((4, 2)))
+        rows = Tensor(np.ones((2, 2)))
+        out = scatter_rows(base, np.array([1, 3]), rows)
+        np.testing.assert_allclose(out.data[[1, 3]], 1)
+        np.testing.assert_allclose(out.data[[0, 2]], 0)
+
+    def test_grads_split_between_base_and_rows(self):
+        base = Tensor(np.zeros((3, 1)), requires_grad=True)
+        rows = Tensor(np.zeros((1, 1)), requires_grad=True)
+        out = scatter_rows(base, np.array([1]), rows)
+        (out * Tensor(np.array([[1.0], [2.0], [3.0]]))).sum().backward()
+        np.testing.assert_allclose(base.grad, [[1], [0], [3]])
+        np.testing.assert_allclose(rows.grad, [[2]])
+
+    def test_gradcheck(self):
+        idx = np.array([0, 2])
+        check_gradients(
+            lambda p: (scatter_rows(p[0], idx, p[1]) ** 2.0).sum(),
+            [(4, 2), (2, 2)],
+        )
+
+
+class TestSegmentSum:
+    def test_forward(self):
+        x = Tensor(np.array([[1.0], [2.0], [4.0]]))
+        out = segment_sum(x, np.array([0, 0, 2]), 3)
+        np.testing.assert_allclose(out.data, [[3], [0], [4]])
+
+    def test_empty_segment_zero(self):
+        x = Tensor(np.ones((2, 2)))
+        out = segment_sum(x, np.array([1, 1]), 3)
+        np.testing.assert_allclose(out.data[0], 0)
+        np.testing.assert_allclose(out.data[2], 0)
+
+    def test_gradcheck(self):
+        seg = np.array([0, 1, 1, 0])
+        check_gradients(
+            lambda p: (segment_sum(p[0], seg, 2) ** 2.0).sum(), [(4, 3)]
+        )
+
+
+class TestSegmentSoftmax:
+    def test_sums_to_one_per_segment(self):
+        scores = Tensor(np.array([1.0, 2.0, 3.0, -1.0, 0.5]))
+        seg = np.array([0, 0, 0, 1, 1])
+        out = segment_softmax(scores, seg, 2).data
+        assert out[:3].sum() == pytest.approx(1.0, abs=1e-6)
+        assert out[3:].sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_manual_softmax(self):
+        s = np.array([0.3, -0.2, 1.7], dtype=np.float32)
+        out = segment_softmax(Tensor(s), np.zeros(3, dtype=int), 1).data
+        expect = np.exp(s - s.max())
+        expect /= expect.sum()
+        np.testing.assert_allclose(out, expect, rtol=1e-5)
+
+    def test_singleton_segment_is_one(self):
+        out = segment_softmax(Tensor(np.array([42.0])), np.array([0]), 1).data
+        assert out[0] == pytest.approx(1.0)
+
+    def test_numerical_stability_large_scores(self):
+        s = Tensor(np.array([1000.0, 1000.0]))
+        out = segment_softmax(s, np.array([0, 0]), 1).data
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_gradcheck(self):
+        seg = np.array([0, 0, 1, 1, 1])
+        weights = np.array([1.0, -2.0, 0.5, 3.0, 1.0], dtype=np.float32)
+        check_gradients(
+            lambda p: (
+                segment_softmax(p[0], seg, 2) * Tensor(weights)
+            ).sum(),
+            [(5,)],
+        )
+
+
+class TestL1Loss:
+    def test_value(self):
+        pred = Tensor(np.array([0.0, 1.0]))
+        assert l1_loss(pred, np.array([0.5, 0.5])).item() == pytest.approx(0.5)
+
+    def test_gradcheck(self):
+        target = np.array([0.4, 0.9, 0.1], dtype=np.float32)
+        check_gradients(lambda p: l1_loss(p[0].sigmoid(), target), [(3,)])

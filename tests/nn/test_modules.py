@@ -1,0 +1,157 @@
+"""Tests for Module/Linear/MLP/GRUCell and parameter management."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRUCell, Linear, MLP, Module, Sequential, Tensor
+
+from .gradcheck import check_gradients, numeric_gradient
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self):
+        lin = Linear(3, 2, rng())
+        lin.weight.data = np.arange(6, dtype=np.float32).reshape(3, 2)
+        lin.bias.data = np.array([1.0, -1.0], dtype=np.float32)
+        out = lin(Tensor(np.array([[1.0, 0.0, 0.0]])))
+        np.testing.assert_allclose(out.data, [[1.0, 0.0]])
+
+    def test_no_bias(self):
+        lin = Linear(3, 2, rng(), bias=False)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    def test_gradients_flow(self):
+        lin = Linear(4, 3, rng())
+        out = lin(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        assert lin.bias.grad is not None
+        np.testing.assert_allclose(lin.bias.grad, [2, 2, 2])
+
+
+class TestMLP:
+    def test_dims_validated(self):
+        with pytest.raises(ValueError, match="at least"):
+            MLP([4], rng())
+
+    def test_activation_validated(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            MLP([4, 2], rng(), final_activation="softplus")
+
+    def test_forward_shape(self):
+        mlp = MLP([4, 8, 8, 1], rng())
+        assert mlp(Tensor(np.ones((5, 4)))).shape == (5, 1)
+
+    def test_sigmoid_head_in_unit_interval(self):
+        mlp = MLP([4, 8, 1], rng(), final_activation="sigmoid")
+        out = mlp(Tensor(np.random.default_rng(1).normal(size=(10, 4)))).data
+        assert (out > 0).all() and (out < 1).all()
+
+    def test_parameter_count(self):
+        mlp = MLP([4, 8, 1], rng())
+        assert mlp.num_parameters() == 4 * 8 + 8 + 8 * 1 + 1
+
+
+class TestGRUCell:
+    def test_forward_matches_manual(self):
+        d_in, d_h = 3, 2
+        cell = GRUCell(d_in, d_h, rng())
+        x = np.random.default_rng(2).normal(size=(4, d_in)).astype(np.float32)
+        h = np.random.default_rng(3).normal(size=(4, d_h)).astype(np.float32)
+        out = cell(Tensor(x), Tensor(h)).data
+
+        gi = x @ cell.w_ih.data + cell.b_ih.data
+        gh = h @ cell.w_hh.data + cell.b_hh.data
+
+        def sig(v):
+            return 1 / (1 + np.exp(-v))
+
+        r = sig(gi[:, :d_h] + gh[:, :d_h])
+        z = sig(gi[:, d_h : 2 * d_h] + gh[:, d_h : 2 * d_h])
+        n = np.tanh(gi[:, 2 * d_h :] + r * gh[:, 2 * d_h :])
+        expect = (1 - z) * n + z * h
+        np.testing.assert_allclose(out, expect, rtol=1e-5, atol=1e-6)
+
+    def test_identity_when_update_gate_saturated(self):
+        cell = GRUCell(2, 2, rng())
+        # huge positive z-gate bias forces h' == h
+        cell.b_ih.data[2:4] = 50.0
+        h = np.random.default_rng(4).normal(size=(3, 2)).astype(np.float32)
+        out = cell(Tensor(np.zeros((3, 2))), Tensor(h)).data
+        np.testing.assert_allclose(out, h, atol=1e-4)
+
+    def test_gradcheck_through_cell(self):
+        cell = GRUCell(2, 2, np.random.default_rng(5))
+
+        def build(p):
+            out = cell(p[0], p[1])
+            return (out * out).sum()
+
+        check_gradients(build, [(3, 2), (3, 2)])
+
+    def test_parameter_gradients(self):
+        cell = GRUCell(2, 3, rng())
+        loss = (cell(Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 3)))) ** 2.0).sum()
+        loss.backward()
+        for p in cell.parameters():
+            assert p.grad is not None
+
+    def test_weight_gradcheck_numerical(self):
+        """Verify gradient w.r.t. GRU weights, not just inputs."""
+        cell = GRUCell(2, 2, np.random.default_rng(8))
+        x = Tensor(np.random.default_rng(9).normal(size=(3, 2)).astype(np.float32))
+        h = Tensor(np.random.default_rng(10).normal(size=(3, 2)).astype(np.float32))
+
+        def loss_value():
+            return float((cell(x, h) ** 2.0).sum().item())
+
+        cell.zero_grad()
+        (cell(x, h) ** 2.0).sum().backward()
+        num = numeric_gradient(loss_value, cell.w_hh.data)
+        np.testing.assert_allclose(cell.w_hh.grad, num, atol=2e-2, rtol=8e-2)
+
+
+class TestModulePlumbing:
+    def test_named_parameters_nested(self):
+        seq = Sequential(Linear(2, 3, rng()), Linear(3, 1, rng()))
+        names = [n for n, _ in seq.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+
+    def test_state_dict_roundtrip(self):
+        mlp1 = MLP([3, 4, 1], np.random.default_rng(1))
+        mlp2 = MLP([3, 4, 1], np.random.default_rng(2))
+        mlp2.load_state_dict(mlp1.state_dict())
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(mlp1(x).data, mlp2(x).data)
+
+    def test_state_dict_mismatch_rejected(self):
+        mlp = MLP([3, 4, 1], rng())
+        state = mlp.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            mlp.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_rejected(self):
+        mlp = MLP([3, 4, 1], rng())
+        state = mlp.state_dict()
+        first = next(iter(state))
+        state[first] = np.zeros((99, 99))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mlp.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self):
+        mlp = MLP([2, 3, 1], rng())
+        mlp(Tensor(np.ones((1, 2)))).sum().backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+    def test_forward_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

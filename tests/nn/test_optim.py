@@ -1,0 +1,105 @@
+"""Tests for optimisers and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Linear,
+    MLP,
+    SGD,
+    Tensor,
+    clip_grad_norm,
+    l1_loss,
+    load_module,
+    save_module,
+)
+
+
+def quadratic_step(opt_cls, **kwargs):
+    """Minimise (x - 3)^2 for a few steps; return final x."""
+    x = Tensor(np.array([0.0], dtype=np.float32), requires_grad=True)
+    opt = opt_cls([x], **kwargs)
+    for _ in range(200):
+        opt.zero_grad()
+        loss = (x - 3.0) ** 2.0
+        loss.backward()
+        opt.step()
+    return float(x.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        assert quadratic_step(SGD, lr=0.1) == pytest.approx(3.0, abs=1e-3)
+
+    def test_momentum_converges(self):
+        assert quadratic_step(SGD, lr=0.05, momentum=0.9) == pytest.approx(
+            3.0, abs=1e-2
+        )
+
+    def test_no_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_params_without_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([x], lr=0.1)
+        opt.step()  # no grad yet: must be a no-op
+        assert x.data[0] == 1.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert quadratic_step(Adam, lr=0.1) == pytest.approx(3.0, abs=1e-2)
+
+    def test_learns_small_regression(self):
+        rng = np.random.default_rng(0)
+        model = MLP([2, 16, 1], rng, final_activation="sigmoid")
+        x = rng.normal(size=(64, 2)).astype(np.float32)
+        y = (1 / (1 + np.exp(-(x[:, :1] * 2 - x[:, 1:] * 0.5)))).astype(np.float32)
+        opt = Adam(model.parameters(), lr=1e-2)
+        first = None
+        for step in range(150):
+            opt.zero_grad()
+            loss = l1_loss(model(Tensor(x)), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        final = l1_loss(model(Tensor(x)), y).item()
+        assert final < first * 0.5
+
+    def test_weight_decay_shrinks_weights(self):
+        x = Tensor(np.array([5.0]), requires_grad=True)
+        opt = Adam([x], lr=0.01, weight_decay=1.0)
+        for _ in range(50):
+            opt.zero_grad()
+            (x * 0.0).sum().backward()  # zero data gradient, only decay
+            opt.step()
+        assert abs(float(x.data[0])) < 5.0
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 100.0).backward()
+        norm = clip_grad_norm([x], max_norm=1.0)
+        assert norm == pytest.approx(100.0)
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_leaves_small_gradients(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 0.5).backward()
+        clip_grad_norm([x], max_norm=10.0)
+        assert x.grad[0] == pytest.approx(0.5)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        m1 = Linear(3, 2, np.random.default_rng(1))
+        m2 = Linear(3, 2, np.random.default_rng(2))
+        path = tmp_path / "model.npz"
+        save_module(m1, path)
+        load_module(m2, path)
+        x = Tensor(np.ones((1, 3)))
+        np.testing.assert_allclose(m1(x).data, m2(x).data)

@@ -1,0 +1,88 @@
+"""Tests for CNF construction and the Tseitin transformation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.aig import AIGBuilder, lit_negate
+from repro.sat import CNF, aig_output_cnf, tseitin
+from repro.sim import exhaustive_patterns, simulate_aig
+
+
+class TestCNF:
+    def test_new_var_monotone(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+
+    def test_add_clause_validates(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, -2])
+        with pytest.raises(ValueError, match="empty"):
+            cnf.add_clause([])
+        with pytest.raises(ValueError, match="out of range"):
+            cnf.add_clause([3])
+        with pytest.raises(ValueError, match="out of range"):
+            cnf.add_clause([0])
+
+    def test_dimacs_format(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, -2])
+        cnf.add_unit(2)
+        text = cnf.to_dimacs()
+        assert text.splitlines()[0] == "p cnf 2 2"
+        assert "1 -2 0" in text
+        assert "2 0" in text
+
+    def test_evaluate(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        assert cnf.evaluate({1: True, 2: False})
+        assert not cnf.evaluate({1: False, 2: False})
+
+
+def xor_aig():
+    b = AIGBuilder(num_pis=2)
+    a, c = b.pi_lit(0), b.pi_lit(1)
+    t0 = b.add_and(a, lit_negate(c))
+    t1 = b.add_and(lit_negate(a), c)
+    n = b.add_and(lit_negate(t0), lit_negate(t1))
+    b.add_output(lit_negate(n))
+    return b.build("xor")
+
+
+class TestTseitin:
+    def test_clause_count(self):
+        aig = xor_aig()
+        cnf, _ = tseitin(aig)
+        # 3 clauses per AND + 1 unit for the constant
+        assert cnf.num_clauses == 3 * aig.num_ands + 1
+        assert cnf.num_vars == aig.num_vars
+
+    def test_models_match_simulation(self):
+        """Every assignment satisfying the CNF must agree with simulation."""
+        aig = xor_aig()
+        cnf, var_map = tseitin(aig)
+        pats = exhaustive_patterns(2)
+        values = simulate_aig(aig, pats)
+        for pattern in range(4):
+            assignment = {var_map[0]: False}
+            for i in range(2):
+                bit = bool((int(pats[i, 0]) >> pattern) & 1)
+                assignment[var_map[1 + i]] = bit
+            for v in range(3, aig.num_vars):
+                assignment[var_map[v]] = bool(
+                    (int(values[v, 0]) >> pattern) & 1
+                )
+            assert cnf.evaluate(assignment), pattern
+
+    def test_output_assertion(self):
+        aig = xor_aig()
+        cnf, _ = aig_output_cnf(aig, 0)
+        base, _ = tseitin(aig)
+        assert cnf.num_clauses == base.num_clauses + 1
+
+    def test_output_index_validated(self):
+        with pytest.raises(IndexError):
+            aig_output_cnf(xor_aig(), 5)

@@ -1,0 +1,117 @@
+"""Tests for the DPLL solver, cross-checked against brute force."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CNF, DecisionLimitExceeded, solve
+
+
+def brute_force_sat(cnf: CNF) -> bool:
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, cnf.num_vars + 1)}
+        if cnf.evaluate(assignment):
+            return True
+    return False
+
+
+def make_cnf(num_vars, clauses):
+    cnf = CNF(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert solve(CNF(3)).satisfiable
+
+    def test_single_unit(self):
+        result = solve(make_cnf(1, [[1]]))
+        assert result.satisfiable
+        assert result.assignment[1] is True
+
+    def test_contradictory_units(self):
+        assert not solve(make_cnf(1, [[1], [-1]])).satisfiable
+
+    def test_simple_implication_chain(self):
+        # 1 and (1->2) and (2->3) and !3: UNSAT
+        cnf = make_cnf(3, [[1], [-1, 2], [-2, 3], [-3]])
+        assert not solve(cnf).satisfiable
+
+    def test_model_satisfies_formula(self):
+        cnf = make_cnf(4, [[1, 2], [-1, 3], [-2, -3], [2, 4]])
+        result = solve(cnf)
+        assert result.satisfiable
+        assert cnf.evaluate(result.assignment)
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # two pigeons, one hole: p1 and p2 both in hole -> conflict
+        cnf = make_cnf(2, [[1], [2], [-1, -2]])
+        assert not solve(cnf).satisfiable
+
+    def test_decision_limit(self):
+        # force some search: 3-SAT random-ish instance
+        clauses = [[1, 2, 3], [-1, -2, -3], [1, -2, 3], [-1, 2, -3]]
+        with pytest.raises(DecisionLimitExceeded):
+            solve(make_cnf(3, clauses), max_decisions=0)
+
+    def test_statistics_populated(self):
+        result = solve(make_cnf(3, [[1, 2], [-1, 2], [1, -2], [3]]))
+        assert result.satisfiable
+        assert result.propagations > 0
+
+
+class TestPigeonhole:
+    def test_php_3_pigeons_2_holes(self):
+        """Classic small UNSAT family: 3 pigeons, 2 holes."""
+        # var p_{i,j} = pigeon i in hole j, i in 0..2, j in 0..1
+        def v(i, j):
+            return 1 + 2 * i + j
+
+        clauses = []
+        for i in range(3):
+            clauses.append([v(i, 0), v(i, 1)])  # each pigeon somewhere
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    clauses.append([-v(i1, j), -v(i2, j)])
+        assert not solve(make_cnf(6, clauses)).satisfiable
+
+    def test_php_3_pigeons_3_holes_sat(self):
+        def v(i, j):
+            return 1 + 3 * i + j
+
+        clauses = []
+        for i in range(3):
+            clauses.append([v(i, 0), v(i, 1), v(i, 2)])
+        for j in range(3):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    clauses.append([-v(i1, j), -v(i2, j)])
+        cnf = make_cnf(9, clauses)
+        result = solve(cnf)
+        assert result.satisfiable
+        assert cnf.evaluate(result.assignment)
+
+
+class TestRandomised:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        num_vars = int(rng.integers(2, 9))
+        num_clauses = int(rng.integers(1, 25))
+        clauses = []
+        for _ in range(num_clauses):
+            width = int(rng.integers(1, min(4, num_vars + 1)))
+            vars_ = rng.choice(num_vars, size=width, replace=False) + 1
+            signs = rng.choice([-1, 1], size=width)
+            clauses.append([int(s * v) for s, v in zip(signs, vars_)])
+        cnf = make_cnf(num_vars, clauses)
+        result = solve(cnf)
+        assert result.satisfiable == brute_force_sat(cnf)
+        if result.satisfiable:
+            assert cnf.evaluate(result.assignment)

@@ -1,0 +1,155 @@
+"""Tests for fanout-stem and reconvergence analysis."""
+
+import numpy as np
+import pytest
+
+from repro.aig import AIGBuilder, lit_negate
+from repro.sim import fanout_stems, find_reconvergences
+from repro.synth import has_constant_outputs, synthesize, netlist_to_aig
+
+from ..helpers import random_netlist
+
+
+def diamond_graph():
+    """PI fans out into two AND branches that reconverge."""
+    b = AIGBuilder(num_pis=3)
+    s = b.pi_lit(0)  # the stem
+    left = b.add_and(s, b.pi_lit(1))
+    right = b.add_and(s, b.pi_lit(2))
+    top = b.add_and(left, right)
+    b.add_output(top)
+    return b.build("diamond").to_gate_graph()
+
+
+def tree_graph():
+    """Fanout-free tree: no stems, no reconvergence."""
+    b = AIGBuilder(num_pis=4)
+    g1 = b.add_and(b.pi_lit(0), b.pi_lit(1))
+    g2 = b.add_and(b.pi_lit(2), b.pi_lit(3))
+    b.add_output(b.add_and(g1, g2))
+    return b.build("tree").to_gate_graph()
+
+
+class TestFanoutStems:
+    def test_tree_has_no_stems(self):
+        assert fanout_stems(tree_graph()).size == 0
+
+    def test_diamond_stem_found(self):
+        g = diamond_graph()
+        stems = fanout_stems(g)
+        assert len(stems) == 1
+        assert g.node_type[stems[0]] == 0  # the PI
+
+
+class TestFindReconvergences:
+    def test_tree_has_none(self):
+        assert find_reconvergences(tree_graph()) == []
+
+    def test_diamond_detected(self):
+        g = diamond_graph()
+        edges = find_reconvergences(g)
+        assert len(edges) == 1
+        e = edges[0]
+        stem = fanout_stems(g)[0]
+        assert e.source == stem
+        # target is the top AND where the two branches meet
+        assert g.node_type[e.target] == 1
+        assert e.level_diff == int(g.levels()[e.target])
+
+    def test_level_diff_positive(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            aig = synthesize(random_netlist(rng, num_inputs=4, num_gates=20))
+            if has_constant_outputs(aig) or aig.num_ands == 0:
+                continue
+            g = aig.to_gate_graph()
+            for e in find_reconvergences(g):
+                assert e.level_diff >= 2
+                assert int(g.levels()[e.target]) - int(g.levels()[e.source]) == e.level_diff
+
+    def test_nearest_source_is_max_level(self):
+        """Nested diamonds: inner stem must win over outer stem."""
+        b = AIGBuilder(num_pis=3)
+        outer = b.pi_lit(0)
+        inner = b.add_and(outer, b.pi_lit(1))  # fans out below
+        l1 = b.add_and(inner, b.pi_lit(2))
+        l2 = b.add_and(inner, lit_negate(b.pi_lit(2)))
+        top = b.add_and(l1, l2)
+        b.add_output(top)
+        b.add_output(outer)  # make the PI a stem too? (already via inner+output)
+        g = b.build().to_gate_graph()
+        edges = {e.target: e for e in find_reconvergences(g)}
+        lv = g.levels()
+        top_node = int(np.argmax(lv))
+        assert top_node in edges
+        # nearest stem to the top AND is the shared inner AND, not the PI
+        src = edges[top_node].source
+        assert g.node_type[src] == 1
+
+    def test_mode_all_superset_of_nearest(self):
+        rng = np.random.default_rng(17)
+        for _ in range(5):
+            aig = synthesize(random_netlist(rng, num_inputs=4, num_gates=25))
+            if has_constant_outputs(aig) or aig.num_ands == 0:
+                continue
+            g = aig.to_gate_graph()
+            near = {(e.source, e.target) for e in find_reconvergences(g, "nearest")}
+            full = {(e.source, e.target) for e in find_reconvergences(g, "all")}
+            assert near <= full
+            near_targets = {t for _, t in near}
+            full_targets = {t for _, t in full}
+            assert near_targets == full_targets
+
+    def test_max_level_diff_filter(self):
+        g = diamond_graph()
+        assert find_reconvergences(g, max_level_diff=1) == []
+        assert len(find_reconvergences(g, max_level_diff=10)) == 1
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            find_reconvergences(diamond_graph(), mode="bogus")
+
+    def test_matches_bruteforce_path_semantics(self):
+        """Cross-check against brute-force closed-cone intersection."""
+        rng = np.random.default_rng(29)
+        for _ in range(8):
+            aig = synthesize(random_netlist(rng, num_inputs=4, num_gates=18))
+            if has_constant_outputs(aig) or aig.num_ands == 0:
+                continue
+            g = aig.to_gate_graph()
+            expected = _bruteforce_pairs(g)
+            got = {(e.source, e.target) for e in find_reconvergences(g, "all")}
+            assert got == expected
+
+    def test_batching_boundary(self):
+        """Results identical across stem batch sizes (incl. size 1)."""
+        rng = np.random.default_rng(31)
+        aig = synthesize(random_netlist(rng, num_inputs=5, num_gates=40))
+        if has_constant_outputs(aig) or aig.num_ands == 0:
+            pytest.skip("degenerate circuit")
+        g = aig.to_gate_graph()
+        a = find_reconvergences(g, "all", stem_batch=1)
+        b = find_reconvergences(g, "all", stem_batch=4096)
+        assert a == b
+
+
+def _bruteforce_pairs(graph):
+    """All (stem, node) reconvergence pairs via explicit cone sets."""
+    fanins = graph.fanin_lists()
+    counts = np.zeros(graph.num_nodes, dtype=int)
+    for u, _ in graph.edges:
+        counts[u] += 1
+    stems = {v for v in range(graph.num_nodes) if counts[v] >= 2}
+    cones = []  # closed fan-in cone per node
+    pairs = set()
+    for v in range(graph.num_nodes):
+        cone = {v}
+        for p in fanins[v]:
+            cone |= cones[p]
+        cones.append(cone)
+        if len(fanins[v]) == 2:
+            p, q = fanins[v]
+            both = cones[p] & cones[q] & stems
+            for s in both:
+                pairs.add((s, v))
+    return pairs

@@ -1,0 +1,120 @@
+"""Tests for bit-parallel simulation."""
+
+import numpy as np
+import pytest
+
+from repro.aig import AIGBuilder, lit_negate
+from repro.sim import (
+    exhaustive_patterns,
+    output_values,
+    popcount,
+    random_patterns,
+    simulate_aig,
+    simulate_gate_graph,
+)
+from repro.synth import netlist_to_aig
+
+from ..helpers import random_netlist
+
+
+class TestPatterns:
+    def test_random_patterns_shape(self):
+        pats = random_patterns(5, 1000, np.random.default_rng(0))
+        assert pats.shape == (5, 16)  # ceil(1000/64)
+        assert pats.dtype == np.uint64
+
+    def test_exhaustive_small(self):
+        pats = exhaustive_patterns(2)
+        assert pats.shape == (2, 1)
+        # variable 0 toggles every pattern, variable 1 every 2 patterns
+        assert int(pats[0, 0]) & 0xF == 0b1010
+        assert int(pats[1, 0]) & 0xF == 0b1100
+
+    def test_exhaustive_multiword(self):
+        pats = exhaustive_patterns(7)  # 128 patterns, 2 words
+        assert pats.shape == (7, 2)
+        # each input must be 1 in exactly half the patterns
+        assert (popcount(pats) == 64).all()
+
+    def test_exhaustive_limit(self):
+        with pytest.raises(ValueError, match="26"):
+            exhaustive_patterns(30)
+
+    def test_popcount(self):
+        arr = np.array([[0, 1, 0xFF, 2**64 - 1]], dtype=np.uint64)
+        assert popcount(arr)[0] == 0 + 1 + 8 + 64
+
+
+class TestSimulateAig:
+    def test_and_gate(self):
+        b = AIGBuilder(num_pis=2)
+        g = b.add_and(b.pi_lit(0), b.pi_lit(1))
+        b.add_output(g)
+        aig = b.build()
+        vals = simulate_aig(aig, exhaustive_patterns(2))
+        assert int(vals[g >> 1, 0]) & 0xF == 0b1000
+
+    def test_constant_row_is_zero(self):
+        b = AIGBuilder(num_pis=1)
+        b.add_output(b.pi_lit(0))
+        vals = simulate_aig(b.build(), exhaustive_patterns(1))
+        assert vals[0, 0] == 0
+
+    def test_output_values_complement(self):
+        b = AIGBuilder(num_pis=1)
+        b.add_output(lit_negate(b.pi_lit(0)))
+        aig = b.build()
+        vals = simulate_aig(aig, exhaustive_patterns(1))
+        outs = output_values(aig, vals)
+        assert int(outs[0, 0]) & 0b11 == 0b01  # !a over patterns a=0, a=1
+
+    def test_input_shape_checked(self):
+        b = AIGBuilder(num_pis=3)
+        b.add_output(b.pi_lit(0))
+        with pytest.raises(ValueError, match="input rows"):
+            simulate_aig(b.build(), np.zeros((2, 1), dtype=np.uint64))
+
+    def test_matches_netlist_evaluation(self):
+        """AIG simulation must agree with direct netlist evaluation."""
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            nl = random_netlist(rng, num_inputs=4, num_gates=15)
+            aig = netlist_to_aig(nl)
+            pats = exhaustive_patterns(4)
+            aig_out = output_values(aig, simulate_aig(aig, pats))
+            net_vals = nl.evaluate(
+                {name: pats[k] for k, name in enumerate(nl.inputs)}
+            )
+            mask = np.uint64((1 << 16) - 1)
+            for k, out_name in enumerate(nl.outputs):
+                assert (net_vals[out_name][0] & mask) == (aig_out[k, 0] & mask)
+
+
+class TestSimulateGateGraph:
+    def test_matches_aig_semantics(self):
+        rng = np.random.default_rng(77)
+        for _ in range(10):
+            nl = random_netlist(rng, num_inputs=4, num_gates=15)
+            from repro.synth import synthesize, has_constant_outputs
+
+            aig = synthesize(nl)
+            if has_constant_outputs(aig):
+                continue
+            graph = aig.to_gate_graph()
+            pats = exhaustive_patterns(4)
+            aig_vals = simulate_aig(aig, pats)
+            graph_vals = simulate_gate_graph(graph, pats)
+            mask = np.uint64((1 << 16) - 1)
+            for v in range(graph.num_nodes):
+                lit = int(graph.source_lit[v])
+                expect = int(aig_vals[lit >> 1, 0])
+                if lit & 1:
+                    expect ^= 0xFFFFFFFFFFFFFFFF
+                assert (int(graph_vals[v, 0]) & int(mask)) == (expect & int(mask))
+
+    def test_input_shape_checked(self):
+        b = AIGBuilder(num_pis=2)
+        b.add_output(b.add_and(b.pi_lit(0), b.pi_lit(1)))
+        g = b.build().to_gate_graph()
+        with pytest.raises(ValueError, match="input rows"):
+            simulate_gate_graph(g, np.zeros((1, 1), dtype=np.uint64))

@@ -1,0 +1,137 @@
+"""Tests for the signal-probability estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig import AIGBuilder, lit_negate
+from repro.sim import (
+    cop_probabilities,
+    exact_probabilities,
+    gate_graph_probabilities,
+    monte_carlo_probabilities,
+    node_probabilities_from_var_probs,
+)
+from repro.synth import has_constant_outputs, netlist_to_aig, synthesize
+
+from ..helpers import random_netlist
+
+
+def tree_aig():
+    """Fanout-free AND/OR tree: COP must be exact here."""
+    b = AIGBuilder(num_pis=4)
+    g1 = b.add_and(b.pi_lit(0), b.pi_lit(1))
+    g2 = b.add_and(lit_negate(b.pi_lit(2)), b.pi_lit(3))
+    g3 = b.add_and(g1, lit_negate(g2))
+    b.add_output(g3)
+    return b.build("tree")
+
+
+def reconvergent_aig():
+    """x & !x style correlation through shared structure."""
+    b = AIGBuilder(num_pis=2)
+    shared = b.add_and(b.pi_lit(0), b.pi_lit(1))
+    left = b.add_and(shared, b.pi_lit(0))
+    right = b.add_and(shared, b.pi_lit(1))
+    b.add_output(b.add_and(left, right))
+    return b.build("reconv")
+
+
+class TestExact:
+    def test_pi_probability_is_half(self):
+        probs = exact_probabilities(tree_aig())
+        assert (probs[1:5] == 0.5).all()
+
+    def test_and_probability(self):
+        probs = exact_probabilities(tree_aig())
+        assert probs[5] == 0.25  # AND of two PIs
+
+    def test_limit_enforced(self):
+        b = AIGBuilder(num_pis=25)
+        b.add_output(b.pi_lit(0))
+        with pytest.raises(ValueError, match="exact"):
+            exact_probabilities(b.build(), max_pis=20)
+
+
+class TestMonteCarlo:
+    def test_converges_to_exact(self):
+        aig = tree_aig()
+        exact = exact_probabilities(aig)
+        mc = monte_carlo_probabilities(aig, num_patterns=200_000, seed=0)
+        assert np.abs(exact - mc).max() < 0.01
+
+    def test_seed_reproducible(self):
+        aig = tree_aig()
+        a = monte_carlo_probabilities(aig, 10_000, seed=5)
+        b = monte_carlo_probabilities(aig, 10_000, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        aig = tree_aig()
+        a = monte_carlo_probabilities(aig, 10_000, seed=5)
+        b = monte_carlo_probabilities(aig, 10_000, seed=6)
+        assert not np.array_equal(a, b)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_error_shrinks_with_patterns(self, seed):
+        rng = np.random.default_rng(seed)
+        nl = random_netlist(rng, num_inputs=5, num_gates=15)
+        aig = netlist_to_aig(nl)
+        exact = exact_probabilities(aig)
+        coarse = monte_carlo_probabilities(aig, 256, seed=seed)
+        fine = monte_carlo_probabilities(aig, 65_536, seed=seed)
+        # statistically the fine estimate is (almost) always better;
+        # allow slack for lucky coarse draws
+        assert np.abs(fine - exact).max() <= np.abs(coarse - exact).max() + 0.02
+
+
+class TestCop:
+    def test_exact_on_trees(self):
+        aig = tree_aig()
+        np.testing.assert_allclose(
+            cop_probabilities(aig), exact_probabilities(aig), atol=1e-12
+        )
+
+    def test_biased_on_reconvergence(self):
+        aig = reconvergent_aig()
+        cop = cop_probabilities(aig)
+        exact = exact_probabilities(aig)
+        # the output is really P(a & b) = 0.25, COP claims 0.25^3-ish
+        assert np.abs(cop - exact).max() > 0.1
+
+
+class TestGateGraphLabels:
+    def test_mapping_matches_direct_simulation(self):
+        rng = np.random.default_rng(13)
+        for _ in range(8):
+            nl = random_netlist(rng, num_inputs=4, num_gates=12)
+            aig = synthesize(nl)
+            if has_constant_outputs(aig) or aig.num_ands == 0:
+                continue
+            graph = aig.to_gate_graph()
+            exact_vars = exact_probabilities(aig)
+            mapped = node_probabilities_from_var_probs(graph, exact_vars)
+            direct = gate_graph_probabilities(graph, exact_below_pis=10)
+            np.testing.assert_allclose(mapped, direct, atol=1e-12)
+
+    def test_labels_in_unit_interval(self):
+        rng = np.random.default_rng(99)
+        nl = random_netlist(rng, num_inputs=5, num_gates=20)
+        aig = synthesize(nl)
+        if not has_constant_outputs(aig) and aig.num_ands:
+            graph = aig.to_gate_graph()
+            probs = gate_graph_probabilities(graph, num_patterns=4096, seed=1)
+            assert (probs >= 0).all() and (probs <= 1).all()
+
+    def test_not_node_label_is_complement(self):
+        b = AIGBuilder(num_pis=2)
+        g = b.add_and(b.pi_lit(0), b.pi_lit(1))
+        b.add_output(lit_negate(g))
+        graph = b.build().to_gate_graph()
+        probs = gate_graph_probabilities(graph, exact_below_pis=4)
+        from repro.aig import NOT
+
+        not_nodes = np.nonzero(graph.node_type == NOT)[0]
+        assert len(not_nodes) == 1
+        assert probs[not_nodes[0]] == pytest.approx(0.75)

@@ -1,0 +1,143 @@
+"""Tests for balance, sweep and the full synthesize pipeline."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.aig import AIGBuilder, GateType, Netlist, lit_negate
+from repro.synth import (
+    balance,
+    has_constant_outputs,
+    netlist_to_aig,
+    strash,
+    sweep,
+    synthesize,
+)
+
+from ..helpers import assert_functionally_equal, random_netlist
+
+
+def chain_and_netlist(width: int) -> Netlist:
+    """Deliberately unbalanced AND chain of ``width`` inputs."""
+    nl = Netlist("chain")
+    nets = [nl.add_input(f"i{k}") for k in range(width)]
+    prev = nets[0]
+    for k in range(1, width):
+        prev = nl.add_gate(f"a{k}", GateType.AND, [prev, nets[k]])
+    nl.set_outputs([prev])
+    return nl
+
+
+class TestBalance:
+    def test_chain_depth_becomes_logarithmic(self):
+        nl = chain_and_netlist(16)
+        # build chain AIG *without* tree balancing by direct construction
+        b = AIGBuilder(num_pis=16)
+        lit = b.pi_lit(0)
+        for k in range(1, 16):
+            lit = b.add_and(lit, b.pi_lit(k))
+        b.add_output(lit)
+        unbalanced = b.build()
+        assert unbalanced.depth() == 15
+        balanced = balance(unbalanced)
+        assert balanced.depth() == 4
+        assert_functionally_equal(unbalanced, balanced, max_pis=16)
+
+    def test_fanout_boundaries_respected(self):
+        """Internal nodes with fanout > 1 must stay shared, not duplicated."""
+        b = AIGBuilder(num_pis=3)
+        shared = b.add_and(b.pi_lit(0), b.pi_lit(1))
+        g1 = b.add_and(shared, b.pi_lit(2))
+        g2 = b.add_and(shared, lit_negate(b.pi_lit(2)))
+        b.add_output(g1)
+        b.add_output(g2)
+        before = b.build()
+        after = balance(before)
+        assert_functionally_equal(before, after)
+        assert after.num_ands <= before.num_ands
+
+    def test_random_equivalence(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            aig = netlist_to_aig(random_netlist(rng, num_inputs=4, num_gates=18))
+            assert_functionally_equal(aig, balance(aig))
+
+
+class TestSweep:
+    def test_dead_logic_removed(self):
+        b = AIGBuilder(num_pis=2)
+        live = b.add_and(b.pi_lit(0), b.pi_lit(1))
+        b.add_and(b.pi_lit(0), lit_negate(b.pi_lit(1)))  # dead
+        b.add_output(live)
+        swept = sweep(b.build())
+        assert swept.num_ands == 1
+        assert swept.num_pis == 2  # PIs always survive
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(11)
+        aig = netlist_to_aig(random_netlist(rng, num_inputs=4, num_gates=15))
+        once = sweep(aig)
+        twice = sweep(once)
+        assert once.num_ands == twice.num_ands
+        assert_functionally_equal(once, twice)
+
+    def test_constant_output_kept(self):
+        b = AIGBuilder(num_pis=1)
+        b.add_output(1)
+        swept = sweep(b.build())
+        assert swept.outputs == [1]
+
+
+class TestSynthesize:
+    def test_never_grows_versus_strash_only(self):
+        rng = np.random.default_rng(3)
+        for _ in range(8):
+            nl = random_netlist(rng, num_inputs=5, num_gates=25)
+            raw = netlist_to_aig(nl)
+            opt = synthesize(nl)
+            assert opt.num_ands <= raw.num_ands
+            assert_functionally_equal(nl, opt)
+
+    def test_accepts_aig_input(self):
+        rng = np.random.default_rng(9)
+        aig = netlist_to_aig(random_netlist(rng))
+        opt = synthesize(aig)
+        assert_functionally_equal(aig, opt)
+
+    def test_rejects_other_types(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            synthesize("not a circuit")
+
+    def test_constant_output_detection(self):
+        nl = Netlist()
+        nl.add_input("a")
+        nl.add_gate("z", GateType.XOR, ["a", "a"])  # constant 0
+        nl.set_outputs(["z"])
+        aig = synthesize(nl)
+        assert has_constant_outputs(aig)
+
+    def test_no_constants_internally_after_synthesis(self):
+        rng = np.random.default_rng(21)
+        for _ in range(10):
+            nl = random_netlist(rng, num_inputs=4, num_gates=20)
+            aig = synthesize(nl)
+            if not has_constant_outputs(aig):
+                # gate graph construction requires a constant-free AIG
+                aig.to_gate_graph().validate()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_hypothesis_pipeline_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        nl = random_netlist(
+            rng,
+            num_inputs=int(rng.integers(2, 6)),
+            num_gates=int(rng.integers(5, 30)),
+        )
+        assert_functionally_equal(nl, synthesize(nl))
+
+    def test_depth_not_catastrophically_worse(self):
+        nl = chain_and_netlist(32)
+        opt = synthesize(nl)
+        assert opt.depth() <= 6  # log2(32) + slack

@@ -1,0 +1,146 @@
+"""Tests for structural hashing and the StrashBuilder logic ops."""
+
+import numpy as np
+import pytest
+
+from repro.aig import AIGBuilder, CONST0_LIT, CONST1_LIT, lit_negate
+from repro.sim import exhaustive_patterns, popcount, simulate_aig
+from repro.synth import StrashBuilder, strash
+
+from ..helpers import assert_functionally_equal
+
+
+def truth(builder: StrashBuilder, lit: int) -> int:
+    """4-row truth table (2 PIs) of ``lit`` as an int in [0, 16)."""
+    aig = _with_output(builder, lit)
+    vals = simulate_aig(aig, exhaustive_patterns(2))
+    word = int(vals[lit >> 1, 0]) & 0xF
+    return word ^ 0xF if lit & 1 else word
+
+
+def _with_output(builder: StrashBuilder, lit: int):
+    snapshot = StrashBuilder(builder.num_pis)
+    snapshot._ands = list(builder._ands)
+    snapshot.add_output(lit)
+    return snapshot.build()
+
+
+class TestSimplificationRules:
+    def setup_method(self):
+        self.b = StrashBuilder(num_pis=2)
+        self.a = self.b.pi_lit(0)
+        self.c = self.b.pi_lit(1)
+
+    def test_and_idempotent(self):
+        assert self.b.add_and(self.a, self.a) == self.a
+
+    def test_and_contradiction(self):
+        assert self.b.add_and(self.a, lit_negate(self.a)) == CONST0_LIT
+
+    def test_and_with_const0(self):
+        assert self.b.add_and(self.a, CONST0_LIT) == CONST0_LIT
+
+    def test_and_with_const1(self):
+        assert self.b.add_and(self.a, CONST1_LIT) == self.a
+
+    def test_commutative_hashing(self):
+        g1 = self.b.add_and(self.a, self.c)
+        g2 = self.b.add_and(self.c, self.a)
+        assert g1 == g2
+        assert self.b.num_ands == 1
+
+    def test_one_level_containment(self):
+        inner = self.b.add_and(self.a, self.c)
+        assert self.b.add_and(self.a, inner) == inner
+
+    def test_one_level_contradiction(self):
+        inner = self.b.add_and(self.a, self.c)
+        assert self.b.add_and(lit_negate(self.a), inner) == CONST0_LIT
+
+
+class TestDerivedOps:
+    """Each derived op must match its truth table exactly."""
+
+    def setup_method(self):
+        self.b = StrashBuilder(num_pis=2)
+        self.a = self.b.pi_lit(0)  # truth 0b1010 over patterns 00,01,10,11
+        self.c = self.b.pi_lit(1)  # truth 0b1100
+
+    def test_or(self):
+        assert truth(self.b, self.b.add_or(self.a, self.c)) == 0b1110
+
+    def test_nand(self):
+        assert truth(self.b, self.b.add_nand(self.a, self.c)) == 0b0111
+
+    def test_nor(self):
+        assert truth(self.b, self.b.add_nor(self.a, self.c)) == 0b0001
+
+    def test_xor(self):
+        assert truth(self.b, self.b.add_xor(self.a, self.c)) == 0b0110
+
+    def test_xnor(self):
+        assert truth(self.b, self.b.add_xnor(self.a, self.c)) == 0b1001
+
+    def test_mux(self):
+        # sel=a: out = a ? c : !c
+        out = self.b.add_mux(self.a, lit_negate(self.c), self.c)
+        # pattern (a,c): 00->!c=1, 01->!c? a=0 -> !c=... enumerate:
+        # p0 a=0 c=0 -> if_false=!c=1; p1 a=1 c=0 -> if_true=c=0
+        # p2 a=0 c=1 -> !c=0;          p3 a=1 c=1 -> c=1
+        assert truth(self.b, out) == 0b1001
+
+    def test_and_tree_empty_is_const1(self):
+        assert self.b.add_and_tree([]) == CONST1_LIT
+
+    def test_xor_tree_empty_is_const0(self):
+        assert self.b.add_xor_tree([]) == CONST0_LIT
+
+    def test_or_tree_many(self):
+        b = StrashBuilder(num_pis=6)
+        lits = [b.pi_lit(i) for i in range(6)]
+        out = b.add_or_tree(lits)
+        b.add_output(out)
+        aig = b.build()
+        vals = simulate_aig(aig, exhaustive_patterns(6))
+        ones = popcount(vals[out >> 1 : (out >> 1) + 1])[0]
+        if out & 1:
+            ones = 64 - ones
+        assert ones == 63  # OR of 6 vars is 1 except the all-zero pattern
+
+    def test_level_tracking(self):
+        b = StrashBuilder(num_pis=4)
+        lits = [b.pi_lit(i) for i in range(4)]
+        out = b.add_and_tree(lits)
+        assert b.level_of(out) == 2  # balanced, not a depth-3 chain
+
+
+class TestStrashPass:
+    def test_merges_duplicates(self):
+        b = AIGBuilder(num_pis=2)
+        g1 = b.add_and(b.pi_lit(0), b.pi_lit(1))
+        g2 = b.add_and(b.pi_lit(0), b.pi_lit(1))  # duplicate
+        b.add_output(b.add_and(g1, g2))
+        before = b.build()
+        after = strash(before)
+        assert after.num_ands < before.num_ands
+        assert_functionally_equal(before, after)
+
+    def test_propagates_constants(self):
+        b = AIGBuilder(num_pis=1)
+        # x & !x = 0 feeding another AND -> everything collapses
+        z = b.add_and(b.pi_lit(0), lit_negate(b.pi_lit(0)))
+        g = b.add_and(z, b.pi_lit(0))
+        b.add_output(lit_negate(g))
+        after = strash(b.build())
+        assert after.num_ands == 0
+        assert after.outputs == [CONST1_LIT]
+
+    def test_random_netlists_preserved(self):
+        from ..helpers import random_netlist
+        from repro.synth import netlist_to_aig
+
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            nl = random_netlist(rng, num_inputs=4, num_gates=15)
+            aig = netlist_to_aig(nl)
+            assert_functionally_equal(aig, strash(aig))

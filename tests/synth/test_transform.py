@@ -1,0 +1,107 @@
+"""Tests for netlist -> AIG lowering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig import GateType, Netlist
+from repro.synth import netlist_to_aig
+
+from ..helpers import assert_functionally_equal, random_netlist
+
+
+def single_gate_netlist(gate_type: str, arity: int) -> Netlist:
+    nl = Netlist(f"single_{gate_type}")
+    ins = [nl.add_input(f"i{k}") for k in range(arity)]
+    nl.add_gate("g", gate_type, ins)
+    nl.set_outputs(["g"])
+    return nl
+
+
+class TestSingleGates:
+    """Lowering each gate type must preserve its exact truth table."""
+
+    @pytest.mark.parametrize(
+        "gate_type,arity",
+        [
+            (GateType.AND, 2),
+            (GateType.NAND, 2),
+            (GateType.OR, 2),
+            (GateType.NOR, 2),
+            (GateType.XOR, 2),
+            (GateType.XNOR, 2),
+            (GateType.NOT, 1),
+            (GateType.BUF, 1),
+            (GateType.MUX, 3),
+            (GateType.AND, 5),
+            (GateType.OR, 5),
+            (GateType.XOR, 5),
+            (GateType.NAND, 4),
+            (GateType.NOR, 4),
+            (GateType.XNOR, 3),
+        ],
+    )
+    def test_gate_lowering(self, gate_type, arity):
+        nl = single_gate_netlist(gate_type, arity)
+        aig = netlist_to_aig(nl)
+        assert aig.num_pis == arity
+        assert_functionally_equal(nl, aig)
+
+    def test_constants_become_const_literals(self):
+        nl = Netlist()
+        nl.add_input("a")
+        nl.add_gate("z", GateType.CONST0)
+        nl.add_gate("o", GateType.CONST1)
+        nl.set_outputs(["z", "o", "a"])
+        aig = netlist_to_aig(nl)
+        assert aig.outputs[0] == 0
+        assert aig.outputs[1] == 1
+        assert aig.num_ands == 0
+
+    def test_input_order_preserved(self):
+        nl = Netlist()
+        for name in ("x", "y", "z"):
+            nl.add_input(name)
+        nl.add_gate("g", GateType.AND, ["z", "x"])
+        nl.set_outputs(["g"])
+        aig = netlist_to_aig(nl)
+        assert aig.num_pis == 3  # all inputs kept even if y is unused
+
+
+class TestSharing:
+    def test_common_subexpressions_shared(self):
+        nl = Netlist()
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_gate("g1", GateType.AND, ["a", "b"])
+        nl.add_gate("g2", GateType.AND, ["a", "b"])  # same function
+        nl.add_gate("o", GateType.OR, ["g1", "g2"])
+        nl.set_outputs(["o"])
+        aig = netlist_to_aig(nl)
+        # OR of two identical signals collapses: o = g1, one AND total
+        assert aig.num_ands == 1
+
+    def test_xor_decomposition_size(self):
+        nl = single_gate_netlist(GateType.XOR, 2)
+        aig = netlist_to_aig(nl)
+        assert aig.num_ands == 3  # two product terms + one merge
+
+
+class TestRandomised:
+    def test_random_netlists_equivalent(self):
+        rng = np.random.default_rng(123)
+        for _ in range(15):
+            nl = random_netlist(rng, num_inputs=5, num_gates=20)
+            assert_functionally_equal(nl, netlist_to_aig(nl))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_hypothesis_random_netlists(self, seed):
+        rng = np.random.default_rng(seed)
+        nl = random_netlist(
+            rng,
+            num_inputs=int(rng.integers(2, 6)),
+            num_gates=int(rng.integers(3, 25)),
+            num_outputs=int(rng.integers(1, 4)),
+        )
+        assert_functionally_equal(nl, netlist_to_aig(nl))

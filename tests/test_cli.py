@@ -1,0 +1,90 @@
+"""End-to-end tests of the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def adder_bench(tmp_path):
+    path = tmp_path / "adder.bench"
+    assert main(["generate", "ripple_adder", "--param", "width=4",
+                 "-o", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_bench(self, tmp_path, capsys):
+        path = tmp_path / "p.bench"
+        assert main(["generate", "parity", "-o", str(path)]) == 0
+        assert path.exists()
+        assert "gates" in capsys.readouterr().out
+
+    def test_unknown_family(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown family"):
+            main(["generate", "frobnicator", "-o", str(tmp_path / "x.bench")])
+
+    def test_bad_param(self, tmp_path):
+        with pytest.raises(SystemExit, match="key=value"):
+            main(["generate", "parity", "--param", "width",
+                  "-o", str(tmp_path / "x.bench")])
+
+    def test_verilog_output(self, tmp_path):
+        path = tmp_path / "cmp.v"
+        assert main(["generate", "comparator", "-o", str(path)]) == 0
+        assert "module" in path.read_text()
+
+
+class TestSynth:
+    def test_synth_to_aiger(self, adder_bench, tmp_path, capsys):
+        out = tmp_path / "adder.aag"
+        assert main(["synth", str(adder_bench), "-o", str(out)]) == 0
+        assert out.exists()
+        assert "ANDs" in capsys.readouterr().out
+
+    def test_unsupported_format(self, tmp_path):
+        bogus = tmp_path / "c.blif"
+        bogus.write_text("")
+        with pytest.raises(SystemExit, match="unsupported"):
+            main(["synth", str(bogus)])
+
+
+class TestStatsSimFaults:
+    def test_stats(self, adder_bench, capsys):
+        assert main(["stats", str(adder_bench)]) == 0
+        out = capsys.readouterr().out
+        assert "reconvergence nodes" in out
+        assert "levels" in out
+
+    def test_sim(self, adder_bench, capsys):
+        assert main(["sim", str(adder_bench), "--patterns", "2048"]) == 0
+        assert "signal probabilities" in capsys.readouterr().out
+
+    def test_faults(self, adder_bench, capsys):
+        assert main(["faults", str(adder_bench), "--patterns", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+
+
+class TestEquiv:
+    def test_equivalent_after_synth(self, adder_bench, tmp_path, capsys):
+        out = tmp_path / "adder.aag"
+        main(["synth", str(adder_bench), "-o", str(out)])
+        assert main(["equiv", str(adder_bench), str(out)]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_different_circuits(self, tmp_path, capsys):
+        # same interface (8 inputs, 8 outputs), different functions
+        gray = tmp_path / "gray.bench"
+        incr = tmp_path / "incr.bench"
+        main(["generate", "gray_to_binary", "--param", "width=8", "-o", str(gray)])
+        main(["generate", "incrementer", "--param", "width=8", "-o", str(incr)])
+        assert main(["equiv", str(gray), str(incr)]) == 1
+        assert "DIFFERENT" in capsys.readouterr().out
+
+
+class TestExperimentRouting:
+    def test_table1_smoke(self, capsys):
+        assert main(["experiment", "table1", "--scale", "smoke"]) == 0
+        assert "Table I" in capsys.readouterr().out

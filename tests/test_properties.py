@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) on core data structures and passes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig import AND, lit_is_negated
+from repro.graphdata import from_aig, merge
+from repro.nn import Tensor, segment_softmax, segment_sum
+from repro.sim import (
+    cop_probabilities,
+    exact_probabilities,
+    find_reconvergences,
+    monte_carlo_probabilities,
+)
+from repro.synth import (
+    balance,
+    has_constant_outputs,
+    netlist_to_aig,
+    strash,
+    sweep,
+    synthesize,
+)
+
+from .helpers import random_netlist
+
+
+def _random_aig(seed, min_gates=8, max_gates=30):
+    rng = np.random.default_rng(seed)
+    nl = random_netlist(
+        rng,
+        num_inputs=int(rng.integers(3, 6)),
+        num_gates=int(rng.integers(min_gates, max_gates)),
+        num_outputs=int(rng.integers(1, 4)),
+    )
+    return netlist_to_aig(nl)
+
+
+class TestSynthesisProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_strash_idempotent(self, seed):
+        aig = _random_aig(seed)
+        once = strash(aig)
+        twice = strash(once)
+        assert twice.num_ands == once.num_ands
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_passes_never_grow(self, seed):
+        aig = _random_aig(seed)
+        hashed = strash(aig)
+        assert hashed.num_ands <= aig.num_ands
+        assert sweep(hashed).num_ands <= hashed.num_ands
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_synthesize_fixpoint(self, seed):
+        """Re-synthesising an optimised AIG changes nothing substantial."""
+        aig = synthesize(_random_aig(seed))
+        again = synthesize(aig)
+        assert again.num_ands <= aig.num_ands + 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_interface_preserved(self, seed):
+        aig = _random_aig(seed)
+        opt = synthesize(aig)
+        assert opt.num_pis == aig.num_pis
+        assert opt.num_outputs == aig.num_outputs
+
+
+class TestProbabilityProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_probabilities_bounded(self, seed):
+        aig = _random_aig(seed)
+        for probs in (
+            exact_probabilities(aig),
+            monte_carlo_probabilities(aig, 1024, seed=seed),
+            cop_probabilities(aig),
+        ):
+            assert (probs >= 0).all() and (probs <= 1).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_and_probability_upper_bound(self, seed):
+        """P(a & b) <= min(P(a'), P(b')) where a', b' are the edge values."""
+        aig = _random_aig(seed)
+        probs = exact_probabilities(aig)
+        base = 1 + aig.num_pis
+        for i in range(aig.num_ands):
+            a, b = (int(x) for x in aig.ands[i])
+            pa = probs[a >> 1]
+            pa = 1 - pa if lit_is_negated(a) else pa
+            pb = probs[b >> 1]
+            pb = 1 - pb if lit_is_negated(b) else pb
+            assert probs[base + i] <= min(pa, pb) + 1e-9
+
+
+class TestGateGraphProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_expansion_counts(self, seed):
+        aig = synthesize(_random_aig(seed))
+        if has_constant_outputs(aig) or aig.num_ands == 0:
+            return
+        graph = aig.to_gate_graph()
+        counts = graph.type_counts()
+        assert counts["PI"] == aig.num_pis
+        assert counts["AND"] == aig.num_ands
+        # one NOT node per distinct complemented literal in use
+        negated_vars = set()
+        for i in range(aig.num_ands):
+            for lit in (int(aig.ands[i, 0]), int(aig.ands[i, 1])):
+                if lit & 1:
+                    negated_vars.add(lit >> 1)
+        for o in aig.outputs:
+            if o & 1:
+                negated_vars.add(o >> 1)
+        assert counts["NOT"] == len(negated_vars)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_reconvergence_targets_are_and_nodes(self, seed):
+        aig = synthesize(_random_aig(seed))
+        if has_constant_outputs(aig) or aig.num_ands == 0:
+            return
+        graph = aig.to_gate_graph()
+        levels = graph.levels()
+        for edge in find_reconvergences(graph):
+            assert graph.node_type[edge.target] == AND
+            assert levels[edge.target] - levels[edge.source] == edge.level_diff
+            assert edge.level_diff >= 2
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_merge_preserves_totals(self, seed):
+        rng = np.random.default_rng(seed)
+        graphs = []
+        for k in range(3):
+            aig = synthesize(_random_aig(seed + k, min_gates=10))
+            if has_constant_outputs(aig) or aig.num_ands == 0:
+                return
+            graphs.append(from_aig(aig, num_patterns=256, seed=k))
+        merged = merge(graphs)
+        assert merged.num_nodes == sum(g.num_nodes for g in graphs)
+        assert merged.num_edges == sum(g.num_edges for g in graphs)
+        assert len(merged.skip_edges) == sum(len(g.skip_edges) for g in graphs)
+        merged.validate()
+
+
+class TestSegmentOpProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        num_edges=st.integers(1, 40),
+        num_segments=st.integers(1, 8),
+    )
+    def test_segment_softmax_is_distribution(self, seed, num_edges, num_segments):
+        rng = np.random.default_rng(seed)
+        scores = Tensor(rng.normal(size=num_edges).astype(np.float32) * 5)
+        seg = rng.integers(0, num_segments, size=num_edges)
+        out = segment_softmax(scores, seg, num_segments).data
+        assert (out >= 0).all()
+        for s in range(num_segments):
+            members = out[seg == s]
+            if members.size:
+                assert members.sum() == pytest.approx(1.0, abs=1e-4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), num_edges=st.integers(1, 40))
+    def test_segment_sum_conserves_mass(self, seed, num_edges):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(num_edges, 3)).astype(np.float32))
+        seg = rng.integers(0, 5, size=num_edges)
+        out = segment_sum(x, seg, 5).data
+        np.testing.assert_allclose(
+            out.sum(axis=0), x.data.sum(axis=0), atol=1e-4
+        )

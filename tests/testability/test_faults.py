@@ -1,0 +1,134 @@
+"""Tests for stuck-at fault simulation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.aig import AIGBuilder
+from repro.datagen.generators import parity, ripple_adder
+from repro.sim import exhaustive_patterns
+from repro.synth import synthesize
+from repro.testability import (
+    StuckAtFault,
+    detection_probabilities,
+    enumerate_faults,
+    run_fault_simulation,
+    simulate_fault,
+)
+
+
+def and2_graph():
+    b = AIGBuilder(num_pis=2)
+    b.add_output(b.add_and(b.pi_lit(0), b.pi_lit(1)))
+    return b.build().to_gate_graph()
+
+
+class TestFaultModel:
+    def test_enumeration_two_per_node(self):
+        g = and2_graph()
+        faults = enumerate_faults(g)
+        assert len(faults) == 2 * g.num_nodes
+        assert len(set(faults)) == len(faults)
+
+    def test_invalid_stuck_value(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(0, 2)
+
+
+class TestSimulateFault:
+    def test_and_output_sa0(self):
+        """AND out sa0 detected exactly by the pattern a=b=1."""
+        g = and2_graph()
+        pats = exhaustive_patterns(2)
+        flags = simulate_fault(g, StuckAtFault(2, 0), pats)
+        assert int(flags[0]) & 0xF == 0b1000
+
+    def test_and_output_sa1(self):
+        """AND out sa1 detected by the three patterns where out is 0."""
+        g = and2_graph()
+        pats = exhaustive_patterns(2)
+        flags = simulate_fault(g, StuckAtFault(2, 1), pats)
+        assert int(flags[0]) & 0xF == 0b0111
+
+    def test_pi_fault(self):
+        """PI a sa0: detected when a=1 and b=1 (the only propagating case)."""
+        g = and2_graph()
+        pats = exhaustive_patterns(2)
+        flags = simulate_fault(g, StuckAtFault(0, 0), pats)
+        assert int(flags[0]) & 0xF == 0b1000
+
+    def test_matches_bruteforce_on_random_circuit(self):
+        """Detection flags equal naive per-pattern double simulation."""
+        g = synthesize(ripple_adder(3)).to_gate_graph()
+        pats = exhaustive_patterns(g.num_pis)
+        total = 1 << g.num_pis
+        from repro.sim import simulate_gate_graph
+
+        good = simulate_gate_graph(g, pats)
+        rng = np.random.default_rng(0)
+        for _ in range(6):
+            node = int(rng.integers(0, g.num_nodes))
+            sa = int(rng.integers(0, 2))
+            flags = simulate_fault(g, StuckAtFault(node, sa), pats, good)
+            word = int(flags[0]) if flags.shape[0] == 1 else None
+            for p in range(min(total, 64)):
+                got = bool((int(flags[p // 64]) >> (p % 64)) & 1)
+                expect = _detects(g, good, node, sa, pats, p)
+                assert got == expect, (node, sa, p)
+
+
+def _detects(graph, good, node, sa, pats, pattern):
+    """Naive single-pattern fault simulation for cross-checking."""
+    fanins = graph.fanin_lists()
+    values = {}
+    for v in range(graph.num_nodes):
+        t = int(graph.node_type[v])
+        if v == node:
+            values[v] = bool(sa)
+            continue
+        if t == 0:  # PI
+            pi_index = int(np.nonzero(np.nonzero(graph.node_type == 0)[0] == v)[0][0])
+            values[v] = bool((int(pats[pi_index, pattern // 64]) >> (pattern % 64)) & 1)
+        elif t == 1:  # AND
+            a, b = fanins[v]
+            values[v] = values[a] and values[b]
+        else:  # NOT
+            values[v] = not values[fanins[v][0]]
+    for o in graph.outputs:
+        good_bit = bool((int(good[int(o), pattern // 64]) >> (pattern % 64)) & 1)
+        if values[int(o)] != good_bit:
+            return True
+    return False
+
+
+class TestFaultSimulationReport:
+    def test_full_coverage_on_parity(self):
+        """Exhaustive patterns detect every fault of a parity tree."""
+        g = synthesize(parity(4)).to_gate_graph()
+        # 16 exhaustive patterns: run with enough random patterns instead
+        report = run_fault_simulation(g, num_patterns=4096, seed=0)
+        assert report.coverage == 1.0
+        assert not report.undetected()
+
+    def test_coverage_grows_with_patterns(self):
+        g = synthesize(ripple_adder(6)).to_gate_graph()
+        low = run_fault_simulation(g, num_patterns=64, seed=3).coverage
+        high = run_fault_simulation(g, num_patterns=8192, seed=3).coverage
+        assert high >= low
+
+    def test_detection_probability_range(self):
+        g = and2_graph()
+        probs = detection_probabilities(g, num_patterns=4096, seed=1)
+        assert len(probs) == 2 * g.num_nodes
+        for p in probs.values():
+            assert 0.0 <= p <= 1.0
+        # AND output sa0 has detection probability ~ 1/4
+        assert probs[StuckAtFault(2, 0)] == pytest.approx(0.25, abs=0.05)
+
+    def test_custom_fault_list(self):
+        g = and2_graph()
+        report = run_fault_simulation(
+            g, num_patterns=256, seed=0, faults=[StuckAtFault(2, 0)]
+        )
+        assert len(report.faults) == 1

@@ -1,0 +1,112 @@
+"""Tests for SCOAP controllability/observability."""
+
+import numpy as np
+import pytest
+
+from repro.aig import AIGBuilder, lit_negate
+from repro.datagen.generators import ripple_adder
+from repro.synth import synthesize
+from repro.testability import compute_scoap
+from repro.testability.scoap import INFINITY
+
+
+def and2_graph():
+    b = AIGBuilder(num_pis=2)
+    b.add_output(b.add_and(b.pi_lit(0), b.pi_lit(1)))
+    return b.build().to_gate_graph()
+
+
+def not_graph():
+    b = AIGBuilder(num_pis=1)
+    b.add_output(lit_negate(b.pi_lit(0)))
+    return b.build().to_gate_graph()
+
+
+class TestControllability:
+    def test_pi_values(self):
+        m = compute_scoap(and2_graph())
+        assert m.cc0[0] == 1 and m.cc1[0] == 1  # PIs cost 1
+
+    def test_and_gate(self):
+        m = compute_scoap(and2_graph())
+        out = 2  # nodes: PI, PI, AND
+        assert m.cc1[out] == 1 + 1 + 1  # both inputs to 1, plus the gate
+        assert m.cc0[out] == 1 + 1  # cheapest input to 0, plus the gate
+
+    def test_not_gate_swaps(self):
+        m = compute_scoap(not_graph())
+        assert m.cc1[1] == m.cc0[0] + 1
+        assert m.cc0[1] == m.cc1[0] + 1
+
+    def test_deep_chain_grows(self):
+        """CC1 of an AND chain grows linearly with depth."""
+        b = AIGBuilder(num_pis=5)
+        lit = b.pi_lit(0)
+        for k in range(1, 5):
+            lit = b.add_and(lit, b.pi_lit(k))
+        b.add_output(lit)
+        m = compute_scoap(b.build().to_gate_graph())
+        cc1_chain = m.cc1[np.array([5, 6, 7, 8])]  # the AND nodes
+        assert (np.diff(cc1_chain) > 0).all()
+
+
+class TestObservability:
+    def test_output_is_zero(self):
+        g = and2_graph()
+        m = compute_scoap(g)
+        assert m.co[int(g.outputs[0])] == 0
+
+    def test_and_input_needs_side_one(self):
+        m = compute_scoap(and2_graph())
+        # observing PI 0 requires PI 1 at 1 (CC1=1) plus the gate
+        assert m.co[0] == 0 + 1 + 1
+
+    def test_unobservable_node(self):
+        b = AIGBuilder(num_pis=2)
+        b.add_and(b.pi_lit(0), b.pi_lit(1))  # dangling AND
+        b.add_output(b.pi_lit(0))
+        m = compute_scoap(b.build().to_gate_graph())
+        assert m.co[-1] >= INFINITY
+
+    def test_multi_fanout_takes_minimum(self):
+        b = AIGBuilder(num_pis=3)
+        shared = b.add_and(b.pi_lit(0), b.pi_lit(1))
+        deep = b.add_and(shared, b.pi_lit(2))
+        b.add_output(shared)  # direct observation: CO = 0
+        b.add_output(deep)
+        g = b.build().to_gate_graph()
+        m = compute_scoap(g)
+        shared_node = int(g.outputs[0])
+        assert m.co[shared_node] == 0  # the cheap branch wins
+
+
+class TestTestabilityScore:
+    def test_chain_monotonicity(self):
+        """Along an AND chain, CC1 grows and CO shrinks toward the output."""
+        b = AIGBuilder(num_pis=6)
+        lit = b.pi_lit(0)
+        chain = []
+        for k in range(1, 6):
+            lit = b.add_and(lit, b.pi_lit(k))
+            chain.append(lit >> 1)
+        b.add_output(lit)
+        g = b.build().to_gate_graph()
+        m = compute_scoap(g)
+        # gate-graph node ids of the chain ANDs are 6..10 (after 6 PIs)
+        and_nodes = np.nonzero(g.node_type == 1)[0]
+        cc1 = m.cc1[and_nodes]
+        co = m.co[and_nodes]
+        assert (np.diff(cc1) > 0).all()
+        assert (np.diff(co) < 0).all()
+        assert co[-1] == 0  # the output AND is directly observable
+
+    def test_scores_finite_for_observable_nodes(self):
+        g = synthesize(ripple_adder(8)).to_gate_graph()
+        m = compute_scoap(g)
+        assert (m.testability() < INFINITY).all()
+
+    def test_shapes(self):
+        g = and2_graph()
+        m = compute_scoap(g)
+        assert m.num_nodes == g.num_nodes
+        assert m.testability().shape == (g.num_nodes,)
