@@ -2,15 +2,20 @@
 """Quickstart: circuit -> AIG -> probabilities -> DeepGate in ~30 seconds.
 
 Builds an 8-bit ripple adder, lowers it to an And-Inverter Graph, labels
-every gate with its logic-simulated signal probability, trains a small
-DeepGate model on a handful of circuits, and compares its predictions on a
-circuit it has never seen against ground-truth simulation.
+every gate with its logic-simulated signal probability, builds a small
+training set with the parallel sharded dataset pipeline (cached on disk —
+rerunning is instant), trains a DeepGate model on it, and compares its
+predictions on a circuit it has never seen against ground-truth simulation.
 """
+
+import getpass
+import os
+import tempfile
 
 import numpy as np
 
-from repro.datagen import generators as gen
-from repro.graphdata import CircuitDataset, from_aig, prepare
+from repro.datagen import PipelineConfig, build_shards, generators as gen
+from repro.graphdata import ShardedCircuitDataset, from_aig, prepare
 from repro.models import DeepGate
 from repro.nn import no_grad
 from repro.synth import synthesize
@@ -30,17 +35,33 @@ def main() -> None:
         f"{len(graph.skip_edges)} reconvergence skip edges"
     )
 
-    # 3. assemble a small training set of related circuits
-    train_graphs = []
-    for k, nl in enumerate(
-        [gen.ripple_adder(w) for w in (4, 5, 6, 7, 10)]
-        + [gen.comparator(w) for w in (4, 6, 8)]
-        + [gen.parity(w) for w in (6, 10, 14)]
-    ):
-        train_graphs.append(
-            from_aig(synthesize(nl), num_patterns=20_000, seed=k + 1)
-        )
-    train = CircuitDataset(train_graphs, "quickstart-train")
+    # 3. build a small training set through the sharded dataset pipeline:
+    # generation + Monte-Carlo labelling fans out across worker processes,
+    # and a rerun with the same config is a pure cache hit
+    config = PipelineConfig(
+        suites=(("EPFL", 8), ("IWLS", 4)),
+        seed=7,
+        num_patterns=20_000,
+        max_nodes=300,
+        max_levels=40,
+        shard_size=3,
+    )
+    # per-user path: /tmp is shared, and a second user colliding with the
+    # first user's cache directory would hit a PermissionError
+    data_dir = os.environ.get(
+        "REPRO_DATA_DIR",
+        os.path.join(
+            tempfile.gettempdir(), f"repro-quickstart-{getpass.getuser()}"
+        ),
+    )
+    result = build_shards(config, data_dir, workers=os.cpu_count() or 1)
+    print(
+        f"dataset: {'cache hit' if result.cache_hit else 'built'} "
+        f"{result.total_circuits} circuits in "
+        f"{len(result.manifest['shards'])} shards ({result.elapsed:.2f}s) "
+        f"-> {data_dir}"
+    )
+    train = ShardedCircuitDataset(result.out_dir).materialize()
 
     # 4. train DeepGate (attention aggregation + skip connections)
     model = DeepGate(dim=32, num_iterations=5, rng=np.random.default_rng(0))

@@ -8,6 +8,8 @@ Subcommands cover the library's workflow end to end::
     python -m repro sim adder.aag --patterns 100000
     python -m repro equiv adder.bench adder.aag
     python -m repro faults adder.aag --patterns 4096
+    python -m repro dataset build --scale smoke --out data/smoke --workers 4
+    python -m repro dataset info data/smoke
     python -m repro experiment table2 --scale smoke
 
 Circuit formats are chosen by suffix: ``.bench`` (ISCAS), ``.v``
@@ -17,6 +19,7 @@ Circuit formats are chosen by suffix: ``.bench`` (ISCAS), ``.v``
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Union
 
@@ -166,6 +169,83 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dataset_build(args: argparse.Namespace) -> int:
+    from .datagen.pipeline import (
+        PipelineConfig,
+        build_shards,
+        default_workers,
+        plan_shards,
+    )
+    from .experiments.common import get_scale
+
+    try:
+        if args.suite:
+            suites = []
+            for item in args.suite:
+                name, _, count = item.partition("=")
+                if not count:
+                    raise SystemExit(f"bad --suite {item!r}; use NAME=COUNT")
+                suites.append((name, int(count)))
+            scale = get_scale(args.scale)
+            config = PipelineConfig(
+                suites=tuple(suites),
+                seed=args.seed if args.seed is not None else scale.seed,
+                num_patterns=args.patterns or scale.num_patterns,
+                min_nodes=scale.min_nodes,
+                max_nodes=scale.max_nodes,
+                max_levels=scale.max_levels,
+                shard_size=args.shard_size,
+            )
+        else:
+            scale = get_scale(args.scale)
+            config = PipelineConfig.from_scale(scale)
+            overrides = {"shard_size": args.shard_size}
+            if args.seed is not None:
+                overrides["seed"] = args.seed
+            if args.patterns:
+                overrides["num_patterns"] = args.patterns
+            config = dataclasses.replace(config, **overrides)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    workers = args.workers or default_workers()
+    print(
+        f"building {sum(c for _, c in config.suites)} circuits "
+        f"({len(plan_shards(config))} shards, {workers} workers) "
+        f"-> {args.out}"
+    )
+    result = build_shards(config, args.out, workers=workers, force=args.force)
+    status = "cache hit" if result.cache_hit else "built"
+    print(
+        f"{status}: {result.total_circuits} circuits in "
+        f"{len(result.manifest['shards'])} shards "
+        f"({result.elapsed:.2f}s, config {config.config_hash()[:12]})"
+    )
+    return 0
+
+
+def cmd_dataset_info(args: argparse.Namespace) -> int:
+    from .graphdata.dataset import ShardedCircuitDataset
+
+    try:
+        ds = ShardedCircuitDataset(args.dir)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
+    manifest = ds.manifest
+    print(f"dataset:     {args.dir}")
+    print(f"config hash: {manifest['config_hash']}")
+    print(f"circuits:    {len(ds)}")
+    print(f"shards:      {ds.num_shards}")
+    for suite, stats in ds.suite_summaries().items():
+        lo_n, hi_n = stats["nodes"]
+        lo_l, hi_l = stats["levels"]
+        print(
+            f"  {suite:10s} {stats['circuits']:5d} circuits  "
+            f"nodes [{lo_n}-{hi_n}]  levels [{lo_l}-{hi_l}]"
+        )
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import ablations, t_sweep, table1, table2, table3, table4
 
@@ -226,6 +306,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--patterns", type=int, default=4096)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "dataset", help="build and inspect sharded on-disk datasets"
+    )
+    dataset_sub = p.add_subparsers(dest="dataset_command", required=True)
+
+    p = dataset_sub.add_parser(
+        "build", help="build (or reuse) a sharded labelled dataset"
+    )
+    p.add_argument("--out", required=True, help="dataset directory")
+    p.add_argument(
+        "--scale", default="smoke", choices=["smoke", "default", "paper"],
+        help="base config (circuit counts, pattern budget, size window)",
+    )
+    p.add_argument(
+        "--suite", action="append", metavar="NAME=COUNT",
+        help="override suite counts, e.g. --suite EPFL=100 --suite ITC99=50",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 = REPRO_WORKERS env var or CPU count)",
+    )
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--patterns", type=int, default=0,
+                   help="simulation patterns per circuit")
+    p.add_argument("--shard-size", type=int, default=8,
+                   help="circuits per shard file")
+    p.add_argument("--force", action="store_true",
+                   help="rebuild even on a cache hit")
+    p.set_defaults(func=cmd_dataset_build)
+
+    p = dataset_sub.add_parser("info", help="summarise a dataset directory")
+    p.add_argument("dir")
+    p.set_defaults(func=cmd_dataset_info)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(

@@ -2,11 +2,21 @@
 
 from . import generators
 from .extraction import extract_cone, extract_subcircuits
+from .pipeline import (
+    BuildResult,
+    PipelineConfig,
+    build_shards,
+    generate_shard,
+    generate_suite,
+    load_manifest,
+    plan_shards,
+)
 from .suites import (
     SUITE_NAMES,
     TABLE1_PAPER_ROWS,
     build_all_suites,
     build_suite_dataset,
+    generate_suite_graphs,
     suite_pool,
 )
 
@@ -14,9 +24,17 @@ __all__ = [
     "generators",
     "extract_cone",
     "extract_subcircuits",
+    "BuildResult",
+    "PipelineConfig",
+    "build_shards",
+    "generate_shard",
+    "generate_suite",
+    "load_manifest",
+    "plan_shards",
     "SUITE_NAMES",
     "TABLE1_PAPER_ROWS",
     "build_all_suites",
     "build_suite_dataset",
+    "generate_suite_graphs",
     "suite_pool",
 ]

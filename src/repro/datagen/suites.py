@@ -33,6 +33,7 @@ from .extraction import extract_subcircuits
 __all__ = [
     "SUITE_NAMES",
     "suite_pool",
+    "generate_suite_graphs",
     "build_suite_dataset",
     "build_all_suites",
     "TABLE1_PAPER_ROWS",
@@ -118,24 +119,29 @@ def suite_pool(name: str, rng: np.random.Generator) -> Iterator[Netlist]:
     return _POOLS[name](rng)
 
 
-def build_suite_dataset(
+def generate_suite_graphs(
     name: str,
     num_circuits: int,
-    seed: int = 0,
+    rng: np.random.Generator,
     num_patterns: int = 15_000,
     min_nodes: int = 30,
     max_nodes: int = 3000,
     max_levels: int = 80,
     with_skip_edges: bool = True,
-) -> CircuitDataset:
-    """Materialise a labelled dataset for one suite.
+) -> List[CircuitGraph]:
+    """Generate ``num_circuits`` labelled graphs from one suite's pool.
 
     Netlists larger than ``max_nodes`` (gate-graph nodes) are cone-extracted
     into the window, exactly like the paper's sub-circuit flow; those inside
     the window are kept whole; tiny, too-deep or constant circuits are
     skipped (the paper's dataset tops out at 24 levels).
+
+    All randomness — pool parameters, cone roots, label-simulation seeds —
+    is drawn from ``rng``, so the result is a pure function of the suite
+    name, the count, the generator state and the keyword knobs.  The
+    sharded pipeline relies on this to produce identical shards no matter
+    how work is distributed across processes.
     """
-    rng = np.random.default_rng(seed)
     pool = suite_pool(name, rng)
     graphs: List[CircuitGraph] = []
     while len(graphs) < num_circuits:
@@ -176,6 +182,36 @@ def build_suite_dataset(
                     with_skip_edges=with_skip_edges,
                 )
             )
+    return graphs
+
+
+def build_suite_dataset(
+    name: str,
+    num_circuits: int,
+    seed: int = 0,
+    num_patterns: int = 15_000,
+    min_nodes: int = 30,
+    max_nodes: int = 3000,
+    max_levels: int = 80,
+    with_skip_edges: bool = True,
+) -> CircuitDataset:
+    """Materialise a labelled in-memory dataset for one suite.
+
+    Thin wrapper over :func:`generate_suite_graphs` with a seed instead of a
+    generator.  Large runs should prefer the sharded pipeline
+    (:mod:`repro.datagen.pipeline`), which parallelises and caches this work.
+    """
+    rng = np.random.default_rng(seed)
+    graphs = generate_suite_graphs(
+        name,
+        num_circuits,
+        rng,
+        num_patterns=num_patterns,
+        min_nodes=min_nodes,
+        max_nodes=max_nodes,
+        max_levels=max_levels,
+        with_skip_edges=with_skip_edges,
+    )
     return CircuitDataset(graphs, name=name)
 
 

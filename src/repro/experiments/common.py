@@ -17,13 +17,21 @@ rough factor) is the reproduction target.  EXPERIMENTS.md records both.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..datagen.suites import SUITE_NAMES, build_suite_dataset
-from ..graphdata.dataset import CircuitDataset
+from ..datagen.pipeline import (
+    PipelineConfig,
+    build_shards,
+    default_workers,
+    generate_suite,
+)
+from ..datagen.suites import SUITE_NAMES
+from ..graphdata.dataset import CircuitDataset, ShardedCircuitDataset
 
 __all__ = [
     "Scale",
@@ -114,25 +122,44 @@ def get_scale(scale: str) -> Scale:
     return SCALES[scale]
 
 
-# one dataset build per (scale, seed) per process: experiments share it
-_SUITE_CACHE: Dict[Tuple[str, int], Dict[str, CircuitDataset]] = {}
+# one dataset build per (scale, seed, data_dir) per process: experiments
+# share it; the resolved data_dir is part of the key so an explicit
+# data_dir is never shadowed by an earlier in-memory build
+_SUITE_CACHE: Dict[
+    Tuple[str, int, Optional[str]], Dict[str, CircuitDataset]
+] = {}
 
 
-def cached_suites(scale: Scale) -> Dict[str, CircuitDataset]:
-    """Build (or fetch) the per-suite datasets for a scale."""
-    key = (scale.name, scale.seed)
+def cached_suites(
+    scale: Scale,
+    data_dir: Optional[Union[str, Path]] = None,
+    workers: Optional[int] = None,
+) -> Dict[str, CircuitDataset]:
+    """Build (or fetch) the per-suite datasets for a scale.
+
+    All experiment data now flows through the sharded pipeline
+    (:mod:`repro.datagen.pipeline`), so the circuits are identical to what
+    ``python -m repro dataset build --scale <name>`` writes to disk.  When
+    ``data_dir`` (or the ``REPRO_DATA_DIR`` environment variable) is set,
+    shards are built there — in parallel, once — and reused across
+    processes; otherwise generation happens serially in-process, memoised
+    per ``(scale, seed)``.
+    """
+    data_dir = data_dir or os.environ.get("REPRO_DATA_DIR")
+    key = (scale.name, scale.seed, str(data_dir) if data_dir else None)
     if key not in _SUITE_CACHE:
-        suites: Dict[str, CircuitDataset] = {}
-        for k, (name, count) in enumerate(scale.circuits_per_suite):
-            suites[name] = build_suite_dataset(
-                name,
-                count,
-                seed=scale.seed + 1000 * k,
-                num_patterns=scale.num_patterns,
-                min_nodes=scale.min_nodes,
-                max_nodes=scale.max_nodes,
-                max_levels=scale.max_levels,
+        config = PipelineConfig.from_scale(scale)
+        if data_dir:
+            out_dir = Path(data_dir) / f"{scale.name}-seed{scale.seed}"
+            result = build_shards(
+                config, out_dir, workers=workers or default_workers()
             )
+            suites = ShardedCircuitDataset(result.out_dir).by_suite()
+        else:
+            suites = {
+                name: CircuitDataset(generate_suite(config, name), name=name)
+                for name, _ in config.suites
+            }
         _SUITE_CACHE[key] = suites
     return _SUITE_CACHE[key]
 

@@ -1,8 +1,14 @@
 """Circuit-to-graph data pipeline: features, batching, datasets."""
 
 from .batching import LevelGroup, LevelSchedule, merge
-from .dataset import CircuitDataset, PreparedBatch, prepare
+from .dataset import (
+    CircuitDataset,
+    PreparedBatch,
+    ShardedCircuitDataset,
+    prepare,
+)
 from .positional import positional_encoding
+from .shards import read_shard, write_shard
 from .features import (
     AIG_TYPE_NAMES,
     NETLIST_TYPE_NAMES,
@@ -18,7 +24,10 @@ __all__ = [
     "merge",
     "CircuitDataset",
     "PreparedBatch",
+    "ShardedCircuitDataset",
     "prepare",
+    "read_shard",
+    "write_shard",
     "AIG_TYPE_NAMES",
     "NETLIST_TYPE_NAMES",
     "CircuitGraph",

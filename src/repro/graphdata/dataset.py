@@ -1,16 +1,33 @@
-"""Datasets of featurised circuits and prepared training batches."""
+"""Datasets of featurised circuits and prepared training batches.
+
+Two dataset flavours share one mental model:
+
+* :class:`CircuitDataset` — everything in memory; fine up to a few hundred
+  circuits (the ``smoke``/``default`` experiment scales);
+* :class:`ShardedCircuitDataset` — a lazy view over a directory of shards
+  written by :mod:`repro.datagen.pipeline`; shards are loaded on demand
+  through a small LRU cache, so paper-scale datasets stream through a
+  bounded memory footprint.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .batching import LevelSchedule, merge
 from .features import CircuitGraph
+from .shards import load_manifest, read_shard
 
-__all__ = ["PreparedBatch", "CircuitDataset", "prepare"]
+__all__ = [
+    "PreparedBatch",
+    "CircuitDataset",
+    "ShardedCircuitDataset",
+    "prepare",
+]
 
 
 class PreparedBatch:
@@ -130,3 +147,140 @@ class CircuitDataset:
             "nodes": (lo_n, hi_n),
             "levels": (lo_l, hi_l),
         }
+
+
+class ShardedCircuitDataset:
+    """A lazy dataset over a pipeline-built directory of ``.npz`` shards.
+
+    Random access (``ds[i]``) and streaming iteration both go through an
+    LRU cache of ``cache_shards`` decoded shards, so sequential scans load
+    each shard exactly once and memory stays bounded by the cache size
+    rather than the dataset size.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], cache_shards: int = 2
+    ):
+        self.root = Path(root)
+        manifest = load_manifest(self.root)
+        if manifest is None:
+            raise FileNotFoundError(
+                f"no dataset manifest in {self.root}; run "
+                f"'python -m repro dataset build' first"
+            )
+        if cache_shards < 1:
+            raise ValueError("cache_shards must be >= 1")
+        self.manifest = manifest
+        self.name = f"sharded[{self.root.name}]"
+        self._shards: List[Dict[str, object]] = list(manifest["shards"])
+        # global index -> (shard number, index within shard)
+        self._index: List[Tuple[int, int]] = [
+            (s, k)
+            for s, shard in enumerate(self._shards)
+            for k in range(int(shard["num_circuits"]))
+        ]
+        self._cache_shards = cache_shards
+        self._cache: "OrderedDict[int, List[CircuitGraph]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def _load_shard(self, shard_number: int) -> List[CircuitGraph]:
+        if shard_number in self._cache:
+            self._cache.move_to_end(shard_number)
+            return self._cache[shard_number]
+        path = self.root / str(self._shards[shard_number]["filename"])
+        graphs = read_shard(path)
+        self._cache[shard_number] = graphs
+        while len(self._cache) > self._cache_shards:
+            self._cache.popitem(last=False)
+        return graphs
+
+    def __getitem__(self, index: int) -> CircuitGraph:
+        shard_number, local = self._index[index]
+        return self._load_shard(shard_number)[local]
+
+    def __iter__(self) -> Iterator[CircuitGraph]:
+        for shard_number in range(len(self._shards)):
+            yield from self._load_shard(shard_number)
+
+    def batches(
+        self, batch_size: int, seed: Optional[int] = None
+    ) -> Iterator[PreparedBatch]:
+        """Stream merged mini-batches.
+
+        Shuffling is *shard-local*: the shard order and the order within
+        each shard are permuted, but consecutive indices stay on the same
+        shard, so an epoch decodes every shard exactly once instead of
+        thrashing the LRU cache with a global permutation.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if seed is None:
+            order = np.arange(len(self))
+        else:
+            rng = np.random.default_rng(seed)
+            counts = [int(s["num_circuits"]) for s in self._shards]
+            starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+            parts = [
+                starts[s] + rng.permutation(counts[s])
+                for s in rng.permutation(len(self._shards))
+            ]
+            order = np.concatenate(parts) if parts else np.arange(0)
+        for start in range(0, len(order), batch_size):
+            chunk = [self[int(i)] for i in order[start : start + batch_size]]
+            yield prepare(chunk)
+
+    def suite_names(self) -> List[str]:
+        seen: List[str] = []
+        for shard in self._shards:
+            if shard["suite"] not in seen:
+                seen.append(str(shard["suite"]))
+        return seen
+
+    def suite(self, name: str) -> CircuitDataset:
+        """Materialise one suite's circuits as an in-memory dataset."""
+        graphs: List[CircuitGraph] = []
+        for shard_number, shard in enumerate(self._shards):
+            if shard["suite"] == name:
+                graphs.extend(self._load_shard(shard_number))
+        if not graphs:
+            raise KeyError(f"suite {name!r} not in {self.suite_names()}")
+        return CircuitDataset(graphs, name=name)
+
+    def by_suite(self) -> Dict[str, CircuitDataset]:
+        return {name: self.suite(name) for name in self.suite_names()}
+
+    def materialize(self) -> CircuitDataset:
+        """Load everything into a plain :class:`CircuitDataset`."""
+        return CircuitDataset(list(self), name=self.name)
+
+    def summary(self) -> Dict[str, object]:
+        counts = [int(s["num_circuits"]) for s in self._shards]
+        return {
+            "name": self.name,
+            "circuits": sum(counts),
+            "shards": len(self._shards),
+            "suites": self.suite_names(),
+        }
+
+    def suite_summaries(self) -> Dict[str, Dict[str, object]]:
+        """Per-suite circuit count and node/level ranges, computed by
+        streaming one shard at a time (never holds a whole suite in
+        memory — ``dataset info`` uses this)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for shard_number, shard in enumerate(self._shards):
+            suite = str(shard["suite"])
+            stats = out.setdefault(
+                suite, {"circuits": 0, "nodes": None, "levels": None}
+            )
+            for g in self._load_shard(shard_number):
+                stats["circuits"] = int(stats["circuits"]) + 1
+                for field, value in (("nodes", g.num_nodes), ("levels", g.depth)):
+                    lo, hi = stats[field] or (value, value)
+                    stats[field] = (min(lo, value), max(hi, value))
+        return out

@@ -1,0 +1,162 @@
+"""On-disk shard format for featurised circuit graphs.
+
+A *shard* is a handful of :class:`~repro.graphdata.features.CircuitGraph`
+examples stored in one ``.npz`` file.  Shards are the unit of parallelism
+(one worker builds one shard) and the unit of streaming (the sharded
+dataset loads one shard at a time), so two properties matter:
+
+* **byte-determinism** — the same graphs must always serialise to the same
+  bytes, so that cache validation and the ``--workers N`` ==
+  ``--workers 1`` guarantee can compare files directly.  ``np.savez``
+  embeds wall-clock zip timestamps, so shards are written through
+  :func:`write_npz_deterministic`, which pins every zip entry to the epoch
+  and stores entries uncompressed in sorted key order.  The result is
+  still a perfectly ordinary ``.npz`` readable by ``np.load``.
+* **self-description** — a shard can be read back into full
+  :class:`CircuitGraph` objects (names, type vocabularies and all) without
+  consulting the manifest.
+
+Layout inside the archive: a scalar ``num_graphs`` plus, per graph ``i``,
+the keys ``g{i}/node_type``, ``g{i}/edges``, ``g{i}/levels``,
+``g{i}/labels``, ``g{i}/skip_edges``, ``g{i}/skip_level_diff``,
+``g{i}/name`` and ``g{i}/type_names``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import zipfile
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+from numpy.lib import format as _npformat
+
+from .features import CircuitGraph
+
+__all__ = [
+    "SHARD_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "MANIFEST_FORMAT_VERSION",
+    "write_npz_deterministic",
+    "write_shard",
+    "read_shard",
+    "load_manifest",
+    "file_sha256",
+]
+
+SHARD_FORMAT_VERSION = 1
+
+#: the index file a dataset directory is identified by
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT_VERSION = 1
+
+#: per-graph array fields serialised verbatim
+_ARRAY_FIELDS = (
+    "node_type",
+    "edges",
+    "levels",
+    "labels",
+    "skip_edges",
+    "skip_level_diff",
+)
+
+# fixed zip timestamp (DOS epoch): keeps shard bytes independent of when
+# they were written
+_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
+def write_npz_deterministic(
+    path: Union[str, Path], arrays: Dict[str, np.ndarray]
+) -> None:
+    """Write an ``.npz`` whose bytes depend only on ``arrays``.
+
+    Entries are stored uncompressed, in sorted key order, with a pinned
+    timestamp — the three places ``np.savez`` is non-reproducible.  The
+    file is written to a writer-unique temp name and renamed into place,
+    so readers never observe a half-written archive and two racing
+    writers never interleave into one temp file.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    with zipfile.ZipFile(tmp, "w", zipfile.ZIP_STORED, allowZip64=True) as zf:
+        for key in sorted(arrays):
+            buf = io.BytesIO()
+            _npformat.write_array(
+                buf, np.asarray(arrays[key]), allow_pickle=False
+            )
+            info = zipfile.ZipInfo(key + ".npy", date_time=_EPOCH)
+            info.compress_type = zipfile.ZIP_STORED
+            info.external_attr = 0o644 << 16
+            zf.writestr(info, buf.getvalue())
+    os.replace(tmp, path)
+
+
+def write_shard(path: Union[str, Path], graphs: List[CircuitGraph]) -> str:
+    """Serialise ``graphs`` to ``path``; returns the file's sha256 hex."""
+    arrays: Dict[str, np.ndarray] = {
+        "format_version": np.int64(SHARD_FORMAT_VERSION),
+        "num_graphs": np.int64(len(graphs)),
+    }
+    for i, g in enumerate(graphs):
+        prefix = f"g{i}/"
+        for field in _ARRAY_FIELDS:
+            arrays[prefix + field] = getattr(g, field)
+        arrays[prefix + "name"] = np.asarray(g.name)
+        arrays[prefix + "type_names"] = np.asarray(g.type_names)
+    write_npz_deterministic(path, arrays)
+    return file_sha256(path)
+
+
+def read_shard(path: Union[str, Path]) -> List[CircuitGraph]:
+    """Load a shard back into a list of :class:`CircuitGraph`."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != SHARD_FORMAT_VERSION:
+            raise ValueError(
+                f"shard {path} has format version {version}, "
+                f"expected {SHARD_FORMAT_VERSION}"
+            )
+        graphs: List[CircuitGraph] = []
+        for i in range(int(data["num_graphs"])):
+            prefix = f"g{i}/"
+            fields = {f: data[prefix + f] for f in _ARRAY_FIELDS}
+            graphs.append(
+                CircuitGraph(
+                    **fields,
+                    name=str(data[prefix + "name"]),
+                    type_names=tuple(data[prefix + "type_names"].tolist()),
+                )
+            )
+    return graphs
+
+
+def load_manifest(out_dir: Union[str, Path]):
+    """Read ``manifest.json`` from a dataset directory.
+
+    Returns the manifest dict, or ``None`` when the file is missing,
+    unparsable or of an unknown format version — callers treat all three
+    as "no usable build here".
+    """
+    path = Path(out_dir) / MANIFEST_NAME
+    if not path.is_file():
+        return None
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if manifest.get("format_version") != MANIFEST_FORMAT_VERSION:
+        return None
+    return manifest
+
+
+def file_sha256(path: Union[str, Path]) -> str:
+    """Sha256 hex digest of a file's bytes (shard integrity checks)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()

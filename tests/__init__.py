@@ -1,0 +1,1 @@
+"""Test suite for the DeepGate reproduction (package so relative imports of tests.helpers work)."""

@@ -1,0 +1,92 @@
+"""Tests for the deterministic ``.npz`` shard format."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.datagen.generators import parity, ripple_adder
+from repro.graphdata import from_aig, read_shard, write_shard
+from repro.graphdata.shards import (
+    file_sha256,
+    load_manifest,
+    write_npz_deterministic,
+)
+from repro.synth import synthesize
+
+
+def sample_graphs(n=3):
+    graphs = []
+    for k in range(n):
+        nl = ripple_adder(3 + k) if k % 2 else parity(4 + k)
+        graphs.append(from_aig(synthesize(nl), num_patterns=256, seed=k))
+    return graphs
+
+
+class TestDeterministicNpz:
+    def test_bytes_independent_of_time(self, tmp_path):
+        arrays = {"a": np.arange(10), "b": np.ones((3, 2), dtype=np.float32)}
+        write_npz_deterministic(tmp_path / "x.npz", arrays)
+        time.sleep(0.05)  # np.savez would pick up a different zip timestamp
+        write_npz_deterministic(tmp_path / "y.npz", arrays)
+        assert (tmp_path / "x.npz").read_bytes() == (
+            tmp_path / "y.npz"
+        ).read_bytes()
+
+    def test_loadable_by_numpy(self, tmp_path):
+        arrays = {"m": np.arange(6).reshape(2, 3)}
+        write_npz_deterministic(tmp_path / "x.npz", arrays)
+        with np.load(tmp_path / "x.npz") as data:
+            assert np.array_equal(data["m"], arrays["m"])
+
+
+class TestShardRoundtrip:
+    def test_all_fields_preserved(self, tmp_path):
+        graphs = sample_graphs()
+        write_shard(tmp_path / "s.npz", graphs)
+        loaded = read_shard(tmp_path / "s.npz")
+        assert len(loaded) == len(graphs)
+        for orig, back in zip(graphs, loaded):
+            assert back.name == orig.name
+            assert back.type_names == orig.type_names
+            for field in (
+                "node_type",
+                "edges",
+                "levels",
+                "labels",
+                "skip_edges",
+                "skip_level_diff",
+            ):
+                a, b = getattr(orig, field), getattr(back, field)
+                assert a.dtype == b.dtype, field
+                assert np.array_equal(a, b), field
+            back.validate()
+
+    def test_empty_shard(self, tmp_path):
+        write_shard(tmp_path / "e.npz", [])
+        assert read_shard(tmp_path / "e.npz") == []
+
+    def test_sha_matches_file(self, tmp_path):
+        sha = write_shard(tmp_path / "s.npz", sample_graphs(1))
+        assert sha == file_sha256(tmp_path / "s.npz")
+
+    def test_version_checked(self, tmp_path):
+        write_npz_deterministic(
+            tmp_path / "bad.npz",
+            {"format_version": np.int64(99), "num_graphs": np.int64(0)},
+        )
+        with pytest.raises(ValueError, match="format version"):
+            read_shard(tmp_path / "bad.npz")
+
+
+class TestLoadManifest:
+    def test_missing(self, tmp_path):
+        assert load_manifest(tmp_path) is None
+
+    def test_unparsable(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json")
+        assert load_manifest(tmp_path) is None
+
+    def test_unknown_version(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"format_version": 99}')
+        assert load_manifest(tmp_path) is None

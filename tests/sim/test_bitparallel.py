@@ -90,6 +90,113 @@ class TestSimulateAig:
                 assert (net_vals[out_name][0] & mask) == (aig_out[k, 0] & mask)
 
 
+def reference_eval(aig, assignment):
+    """Pure-python single-pattern AIG evaluation: the oracle."""
+    vals = [False] * aig.num_vars
+    for k in range(aig.num_pis):
+        vals[1 + k] = bool(assignment[k])
+    base = 1 + aig.num_pis
+    for i in range(aig.num_ands):
+        a, b = (int(x) for x in aig.ands[i])
+        va = vals[a >> 1] ^ bool(a & 1)
+        vb = vals[b >> 1] ^ bool(b & 1)
+        vals[base + i] = va and vb
+    return vals
+
+
+class TestExhaustiveOracle:
+    """simulate_aig and popcount vs per-pattern evaluation, <= 6 PIs.
+
+    With <= 6 inputs every truth table fits one 64-bit word, so each AIG
+    can be checked on *all* input combinations against a bit-free python
+    evaluator.
+    """
+
+    def test_simulate_aig_matches_oracle(self):
+        rng = np.random.default_rng(123)
+        for num_pis in range(1, 7):
+            for _ in range(5):
+                nl = random_netlist(
+                    rng, num_inputs=num_pis, num_gates=18, num_outputs=2
+                )
+                aig = netlist_to_aig(nl)
+                values = simulate_aig(aig, exhaustive_patterns(num_pis))
+                for p in range(1 << num_pis):
+                    expect = reference_eval(
+                        aig, [(p >> k) & 1 for k in range(num_pis)]
+                    )
+                    for var in range(aig.num_vars):
+                        got = (int(values[var, 0]) >> p) & 1
+                        assert got == int(expect[var]), (
+                            f"var {var}, pattern {p:0{num_pis}b}"
+                        )
+
+    def test_popcount_matches_oracle_probabilities(self):
+        from repro.sim import exact_probabilities
+
+        rng = np.random.default_rng(321)
+        for num_pis in range(1, 7):
+            nl = random_netlist(
+                rng, num_inputs=num_pis, num_gates=15, num_outputs=2
+            )
+            aig = netlist_to_aig(nl)
+            total = 1 << num_pis
+            counts = np.zeros(aig.num_vars, dtype=np.int64)
+            for p in range(total):
+                vals = reference_eval(
+                    aig, [(p >> k) & 1 for k in range(num_pis)]
+                )
+                counts += np.asarray(vals, dtype=np.int64)
+            assert np.allclose(exact_probabilities(aig), counts / total)
+
+    def test_popcount_against_python_bit_count(self):
+        rng = np.random.default_rng(7)
+        for shape in [(1, 1), (3, 4), (10, 1), (2, 16)]:
+            words = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
+            expect = [sum(int(w).bit_count() for w in row) for row in words]
+            assert popcount(words).tolist() == expect
+
+
+class TestNonMultipleOf64Patterns:
+    """The documented edge case: pattern counts that don't fill a word.
+
+    ``random_patterns`` leaves the bits past ``num_patterns`` in the last
+    word random, so callers needing an exact count must round up to a
+    multiple of 64 — the probability estimators do exactly that.
+    """
+
+    def test_word_count_rounds_up(self):
+        rng = np.random.default_rng(0)
+        assert random_patterns(3, 1, rng).shape == (3, 1)
+        assert random_patterns(3, 64, rng).shape == (3, 1)
+        assert random_patterns(3, 65, rng).shape == (3, 2)
+        assert random_patterns(3, 100, rng).shape == (3, 2)
+        assert random_patterns(3, 128, rng).shape == (3, 2)
+
+    def test_estimator_rounds_up_to_word_boundary(self):
+        """A 100-pattern request behaves exactly like a 128-pattern one."""
+        from repro.sim import monte_carlo_probabilities
+
+        b = AIGBuilder(num_pis=3)
+        g = b.add_and(b.pi_lit(0), b.add_and(b.pi_lit(1), b.pi_lit(2)))
+        b.add_output(g)
+        aig = b.build()
+        ragged = monte_carlo_probabilities(aig, num_patterns=100, seed=5)
+        padded = monte_carlo_probabilities(aig, num_patterns=128, seed=5)
+        assert np.array_equal(ragged, padded)
+        assert ((ragged >= 0) & (ragged <= 1)).all()
+
+    def test_tiny_pattern_count_clamped_to_one_word(self):
+        from repro.sim import monte_carlo_probabilities
+
+        b = AIGBuilder(num_pis=2)
+        b.add_output(b.add_and(b.pi_lit(0), b.pi_lit(1)))
+        aig = b.build()
+        one = monte_carlo_probabilities(aig, num_patterns=1, seed=3)
+        sixty_four = monte_carlo_probabilities(aig, num_patterns=64, seed=3)
+        assert np.array_equal(one, sixty_four)
+
+
 class TestSimulateGateGraph:
     def test_matches_aig_semantics(self):
         rng = np.random.default_rng(77)
