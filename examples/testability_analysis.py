@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.datagen import generators as gen
 from repro.experiments.common import get_scale, merged_dataset
-from repro.graphdata import CircuitDataset, from_aig, prepare
+from repro.graphdata import from_aig, prepare
 from repro.models import DeepGate
 from repro.nn import no_grad
 from repro.synth import has_constant_outputs, strip_constant_outputs, synthesize

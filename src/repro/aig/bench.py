@@ -15,7 +15,7 @@ draws circuits from (ISCAS, ITC'99 distributions).  Example::
 from __future__ import annotations
 
 import re
-from typing import Iterable, List
+from typing import List
 
 from .netlist import GateType, Netlist, NetlistError
 

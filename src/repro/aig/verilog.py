@@ -15,9 +15,9 @@ Behavioural constructs are rejected with a clear error.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
-from .netlist import GateType, Netlist, NetlistError
+from .netlist import GateType, Netlist
 
 __all__ = ["loads", "dumps", "load", "dump", "VerilogError"]
 

@@ -10,7 +10,9 @@ Subcommands cover the library's workflow end to end::
     python -m repro faults adder.aag --patterns 4096
     python -m repro dataset build --scale smoke --out data/smoke --workers 4
     python -m repro dataset info data/smoke
-    python -m repro experiment table2 --scale smoke
+    python -m repro experiment list
+    python -m repro experiment run table2 --scale smoke
+    python -m repro experiment report table2 --scale smoke --format markdown
 
 Circuit formats are chosen by suffix: ``.bench`` (ISCAS), ``.v``
 (structural Verilog) and ``.aag`` (ASCII AIGER).
@@ -246,19 +248,102 @@ def cmd_dataset_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_experiment(args: argparse.Namespace) -> int:
-    from .experiments import ablations, t_sweep, table1, table2, table3, table4
+def _experiment_spec(args: argparse.Namespace):
+    """Build the spec for ``experiment run/report`` from CLI arguments."""
+    from .runtime import get_experiment, spec_from_overrides
 
-    modules = {
-        "table1": table1,
-        "table2": table2,
-        "table3": table3,
-        "table4": table4,
-        "tsweep": t_sweep,
-        "ablations": ablations,
-    }
-    module = modules[args.name]
-    print(module.format_table(module.run(args.scale)))
+    try:
+        exp = get_experiment(args.name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
+    overrides = {"scale": args.scale}
+    if args.seed is not None:
+        overrides["seed"] = str(args.seed)
+    if args.epochs is not None:
+        overrides["epochs"] = str(args.epochs)
+    for item in args.set or []:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"bad --set {item!r}; use key=value")
+        overrides[key] = value
+    try:
+        spec = spec_from_overrides(exp.spec_type, overrides)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    return exp, spec
+
+
+def cmd_experiment_run(args: argparse.Namespace) -> int:
+    from .runtime import execute
+
+    exp, spec = _experiment_spec(args)
+    try:
+        record = execute(
+            args.name, spec, runs_dir=args.runs_dir, force=args.force
+        )
+    except ValueError as exc:  # bad spec values surface at run time
+        raise SystemExit(str(exc))
+    status = "cache hit" if record.cache_hit else "ran"
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps(record.result, indent=2, sort_keys=True))
+    elif args.format == "markdown":
+        print(record.markdown)
+    else:
+        print(record.report, end="")
+    print(
+        f"[{status}: {record.out_dir} "
+        f"({record.elapsed:.2f}s, spec {record.spec_hash[:12]})]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_experiment_list(args: argparse.Namespace) -> int:
+    import dataclasses as _dc
+
+    from .runtime import default_runs_dir, list_experiments, list_runs
+
+    runs_dir = args.runs_dir or default_runs_dir()
+    cached = {}
+    for manifest in list_runs(runs_dir):
+        name = str(manifest.get("experiment"))
+        cached[name] = cached.get(name, 0) + 1
+    for exp in list_experiments():
+        fields = ", ".join(
+            f"{f.name}={f.default!r}"
+            if f.default is not _dc.MISSING
+            else f.name
+            for f in _dc.fields(exp.spec_type)
+        )
+        runs = cached.get(exp.name, 0)
+        suffix = f"  [{runs} cached run{'s' if runs != 1 else ''}]" if runs else ""
+        print(f"{exp.name:10s} {exp.title}{suffix}")
+        print(f"{'':10s} spec: {fields}")
+    return 0
+
+
+def cmd_experiment_report(args: argparse.Namespace) -> int:
+    from .runtime import load_record
+
+    _, spec = _experiment_spec(args)
+    record = load_record(args.name, spec, runs_dir=args.runs_dir)
+    if record is None:
+        print(
+            f"no cached run for {args.name!r} with this spec; "
+            f"run 'repro experiment run {args.name}' first",
+            file=sys.stderr,
+        )
+        return 1
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps(record.result, indent=2, sort_keys=True))
+    elif args.format == "markdown":
+        print(record.markdown)
+    else:
+        print(record.report, end="")
     return 0
 
 
@@ -341,20 +426,100 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dir")
     p.set_defaults(func=cmd_dataset_info)
 
-    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
-    p.add_argument(
-        "name",
-        choices=["table1", "table2", "table3", "table4", "tsweep", "ablations"],
+    p = sub.add_parser(
+        "experiment",
+        help="run, list and report registered paper experiments",
     )
-    p.add_argument("--scale", default="smoke", choices=["smoke", "default", "paper"])
-    p.set_defaults(func=cmd_experiment)
+    exp_sub = p.add_subparsers(dest="experiment_command", required=True)
+
+    def _add_spec_args(q: argparse.ArgumentParser) -> None:
+        q.add_argument("name", help="registered experiment name")
+        q.add_argument(
+            "--scale", default="smoke", choices=["smoke", "default", "paper"]
+        )
+        q.add_argument("--seed", type=int, default=None,
+                       help="override the scale's dataset/training seed")
+        q.add_argument("--epochs", type=int, default=None,
+                       help="override the scale's epoch count")
+        q.add_argument(
+            "--set", action="append", metavar="KEY=VALUE",
+            help="override any spec field, e.g. --set models=deepgate/attention/sc",
+        )
+        q.add_argument(
+            "--runs-dir", default=None,
+            help="runs root (default: REPRO_RUNS_DIR or ./runs)",
+        )
+        q.add_argument(
+            "--format", default="text", choices=["text", "markdown", "json"],
+            help="how to print the result",
+        )
+
+    q = exp_sub.add_parser(
+        "run", help="run an experiment (cache hit if already run)"
+    )
+    _add_spec_args(q)
+    q.add_argument("--force", action="store_true",
+                   help="re-run even on a cache hit")
+    q.set_defaults(func=cmd_experiment_run)
+
+    q = exp_sub.add_parser("list", help="list registered experiments")
+    q.add_argument("--runs-dir", default=None)
+    q.set_defaults(func=cmd_experiment_list)
+
+    q = exp_sub.add_parser(
+        "report", help="print a cached run's report without re-running"
+    )
+    _add_spec_args(q)
+    q.set_defaults(func=cmd_experiment_report)
 
     return parser
 
 
+def _rewrite_legacy_experiment_argv(argv):
+    """Map the pre-registry ``repro experiment <name> --scale S`` form.
+
+    Deprecated but kept working: a bare experiment name after
+    ``experiment`` becomes ``experiment run <name>``.
+    """
+    args = list(argv)
+    # only when 'experiment' is the subcommand itself — an operand named
+    # 'experiment' elsewhere (e.g. a circuit file) must not be rewritten
+    if not args or args[0] != "experiment":
+        return args
+    rest = args[1:]
+    if rest and rest[0] not in ("run", "list", "report", "-h", "--help"):
+        if rest[0].startswith("-"):
+            # option-first legacy form ('experiment --scale smoke table1')
+            note = (
+                "note: 'repro experiment' without a subcommand is "
+                "deprecated; use 'repro experiment run ...'"
+            )
+        else:
+            note = (
+                f"note: 'repro experiment {rest[0]}' is deprecated; "
+                f"use 'repro experiment run {rest[0]}'"
+            )
+        print(note, file=sys.stderr)
+        args.insert(1, "run")
+    return args
+
+
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+    if argv is None:
+        argv = sys.argv[1:]
+    args = build_parser().parse_args(_rewrite_legacy_experiment_argv(argv))
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # reports piped into `head` etc.; suppress the traceback and let
+        # the pipe close quietly
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            os.close(1)
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -48,6 +48,7 @@ from typing import Dict, List, Tuple, Union
 import numpy as np
 
 from ..graphdata.features import CircuitGraph
+from ..utils import atomic_write_text
 from ..graphdata.shards import (
     MANIFEST_FORMAT_VERSION,
     MANIFEST_NAME,
@@ -304,9 +305,7 @@ def _write_manifest(
     }
     text = json.dumps(manifest, sort_keys=True, indent=2) + "\n"
     # atomic: a manifest either describes a complete build or doesn't exist
-    tmp = out_dir / f"{MANIFEST_NAME}.{os.getpid()}.tmp"
-    tmp.write_text(text)
-    os.replace(tmp, out_dir / MANIFEST_NAME)
+    atomic_write_text(out_dir / MANIFEST_NAME, text)
     return manifest
 
 

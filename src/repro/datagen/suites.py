@@ -19,7 +19,7 @@ node window, simulate for probability labels, annotate reconvergence.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List
 
 import numpy as np
 

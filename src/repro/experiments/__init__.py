@@ -7,9 +7,13 @@
 * :mod:`.t_sweep` — error vs recurrence iterations (the §IV-D.2 figure)
 * :mod:`.ablations` — extra design-choice ablations
 
-Each module exposes ``run(scale)`` returning structured rows,
-``format_table(rows)`` rendering the paper-style table, and a CLI
-(``python -m repro.experiments.table2 --scale default``).
+Each module exposes ``run(scale)`` returning structured rows and
+``format_table(rows)`` rendering the paper-style table, and registers
+itself with the experiment runtime (:mod:`repro.runtime`): a frozen spec
+dataclass plus a runner, driven by ``python -m repro experiment
+run/list/report``.  The old per-module CLIs
+(``python -m repro.experiments.table2``) survive as deprecation shims
+that forward to the registry path.
 """
 
 from . import ablations, common, t_sweep, table1, table2, table3, table4

@@ -16,9 +16,8 @@ comparison:
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
@@ -26,13 +25,20 @@ from ..datagen import generators as gen
 from ..graphdata.dataset import CircuitDataset
 from ..graphdata.features import from_aig
 from ..models.deepgate import DeepGate
-from ..sim.probability import cop_probabilities, node_probabilities_from_var_probs
+from ..runtime.registry import ExperimentResult, ExperimentSpec, experiment
 from ..synth.pipeline import has_constant_outputs, strip_constant_outputs, synthesize
 from ..train.metrics import ErrorAccumulator
 from ..train.trainer import TrainConfig, Trainer
-from .common import Scale, format_rows, get_scale, merged_dataset
+from .common import (
+    Scale,
+    deprecated_main,
+    format_rows,
+    get_scale,
+    merged_dataset,
+    resolve_scale,
+)
 
-__all__ = ["AblationRow", "run", "format_table", "main"]
+__all__ = ["AblationRow", "AblationsSpec", "SECTIONS", "run", "format_table", "main"]
 
 
 @dataclass
@@ -132,8 +138,6 @@ def cop_baseline(cfg: Scale) -> List[AblationRow]:
     deepgate_err = _eval(model, test, cfg)
     # COP needs AIG structure; labels live on the gate graph, so map them
     acc = ErrorAccumulator()
-    from ..graphdata.features import CircuitGraph
-
     for graph in test:
         cop = _cop_on_graph(graph)
         acc.add(cop, graph.labels)
@@ -161,13 +165,30 @@ def _cop_on_graph(graph) -> np.ndarray:
     return probs
 
 
-def run(scale: str = "default") -> List[AblationRow]:
+#: section name -> controlled comparison (``run``'s ``which`` filter)
+SECTIONS = {
+    "reverse_layer": reverse_layer_ablation,
+    "input_mode": input_mode_ablation,
+    "attention": attention_on_reconvergence_ablation,
+    "cop": cop_baseline,
+}
+
+
+def run(
+    scale: Union[str, Scale] = "default",
+    which: Tuple[str, ...] = (),
+) -> List[AblationRow]:
+    """Run the requested ablation sections (all of them by default)."""
     cfg = get_scale(scale)
+    names = which or tuple(SECTIONS)
+    unknown = [n for n in names if n not in SECTIONS]
+    if unknown:
+        raise ValueError(
+            f"unknown ablation sections {unknown}; choose from {sorted(SECTIONS)}"
+        )
     rows: List[AblationRow] = []
-    rows.extend(reverse_layer_ablation(cfg))
-    rows.extend(input_mode_ablation(cfg))
-    rows.extend(attention_on_reconvergence_ablation(cfg))
-    rows.extend(cop_baseline(cfg))
+    for name in names:
+        rows.extend(SECTIONS[name](cfg))
     return rows
 
 
@@ -180,11 +201,34 @@ def format_table(rows: List[AblationRow]) -> str:
     )
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="default", choices=["smoke", "default", "paper"])
-    args = parser.parse_args()
-    print(format_table(run(args.scale)))
+@dataclass(frozen=True)
+class AblationsSpec(ExperimentSpec):
+    """Design-choice ablations; ``which`` selects sections (empty = all)."""
+
+    which: Tuple[str, ...] = ()
+
+
+@experiment(
+    "ablations",
+    spec=AblationsSpec,
+    title="Design-choice ablations",
+    description="Controlled comparisons of DeepGate's load-bearing choices.",
+)
+def _run_spec(spec: AblationsSpec) -> ExperimentResult:
+    rows = run(resolve_scale(spec), which=spec.which)
+    return ExperimentResult(
+        experiment="ablations",
+        rows=[
+            {"ablation": r.name, "variant": r.variant, "error": r.error}
+            for r in rows
+        ],
+        table=format_table(rows),
+    )
+
+
+def main(argv=None) -> None:
+    """Deprecated shim; use ``python -m repro experiment run ablations``."""
+    deprecated_main("ablations", argv)
 
 
 if __name__ == "__main__":

@@ -18,11 +18,9 @@ rough factor) is the reproduction target.  EXPERIMENTS.md records both.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
-
-import numpy as np
 
 from ..datagen.pipeline import (
     PipelineConfig,
@@ -30,13 +28,13 @@ from ..datagen.pipeline import (
     default_workers,
     generate_suite,
 )
-from ..datagen.suites import SUITE_NAMES
 from ..graphdata.dataset import CircuitDataset, ShardedCircuitDataset
 
 __all__ = [
     "Scale",
     "SCALES",
     "get_scale",
+    "resolve_scale",
     "cached_suites",
     "merged_dataset",
     "format_rows",
@@ -116,10 +114,29 @@ SCALES: Dict[str, Scale] = {
 }
 
 
-def get_scale(scale: str) -> Scale:
+def get_scale(scale: Union[str, Scale]) -> Scale:
+    """Look a scale up by name; a :class:`Scale` passes through unchanged
+    (so experiment ``run`` functions accept either)."""
+    if isinstance(scale, Scale):
+        return scale
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
     return SCALES[scale]
+
+
+def resolve_scale(spec) -> Scale:
+    """The :class:`Scale` for an experiment spec, with overrides applied.
+
+    ``spec`` is any :class:`repro.runtime.ExperimentSpec`: its ``seed`` and
+    ``epochs`` fields, when not ``None``, replace the scale's values.
+    """
+    cfg = get_scale(spec.scale)
+    overrides = {}
+    if spec.seed is not None:
+        overrides["seed"] = spec.seed
+    if spec.epochs is not None:
+        overrides["epochs"] = spec.epochs
+    return replace(cfg, **overrides) if overrides else cfg
 
 
 # one dataset build per (scale, seed, data_dir) per process: experiments
@@ -194,3 +211,31 @@ def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.4f}"
     return str(cell)
+
+
+def deprecated_main(name: str, argv=None) -> None:
+    """Shared body of the legacy per-module ``main()`` entry points.
+
+    The old ``python -m repro.experiments.<module> --scale S`` commands
+    now forward to the registry-driven CLI (``repro experiment run``), so
+    they gain run caching/artifacts for free and there is exactly one
+    execution path.
+    """
+    import argparse
+    import warnings
+
+    warnings.warn(
+        f"python -m repro.experiments.{name} is deprecated; use "
+        f"python -m repro experiment run {name}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    parser = argparse.ArgumentParser(
+        description=f"[deprecated] run the {name} experiment"
+    )
+    parser.add_argument("--scale", default="default", choices=sorted(SCALES))
+    args = parser.parse_args(argv)
+
+    from ..cli import main as cli_main
+
+    cli_main(["experiment", "run", name, "--scale", args.scale])

@@ -9,17 +9,31 @@ series (the "figure" as data rows).
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..models.deepgate import DeepGate
+from ..runtime.registry import ExperimentResult, ExperimentSpec, experiment
 from ..train.trainer import TrainConfig, Trainer, evaluate_model
-from .common import format_rows, get_scale, merged_dataset
+from .common import (
+    Scale,
+    deprecated_main,
+    format_rows,
+    get_scale,
+    merged_dataset,
+    resolve_scale,
+)
 
-__all__ = ["TSweepPoint", "run", "format_table", "main", "DEFAULT_T_VALUES"]
+__all__ = [
+    "TSweepPoint",
+    "TSweepSpec",
+    "run",
+    "format_table",
+    "main",
+    "DEFAULT_T_VALUES",
+]
 
 DEFAULT_T_VALUES = (1, 2, 3, 5, 8, 10, 15, 20, 30, 50)
 
@@ -31,7 +45,7 @@ class TSweepPoint:
 
 
 def run(
-    scale: str = "default",
+    scale: Union[str, Scale] = "default",
     t_values: Optional[Sequence[int]] = None,
     train_iterations: Optional[int] = None,
 ) -> List[TSweepPoint]:
@@ -85,11 +99,39 @@ def format_table(points: List[TSweepPoint]) -> str:
     return table + f"\nconverges by T = {conv} (paper: around T = 10)"
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="default", choices=["smoke", "default", "paper"])
-    args = parser.parse_args()
-    print(format_table(run(args.scale)))
+@dataclass(frozen=True)
+class TSweepSpec(ExperimentSpec):
+    """Inference-time T sweep of one trained model."""
+
+    t_values: Tuple[int, ...] = DEFAULT_T_VALUES
+    train_iterations: Optional[int] = None
+
+
+@experiment(
+    "tsweep",
+    spec=TSweepSpec,
+    title="Figure (T-sweep): prediction error vs recurrence iterations",
+    description="Train once, evaluate at every requested iteration count T.",
+)
+def _run_spec(spec: TSweepSpec) -> ExperimentResult:
+    points = run(
+        resolve_scale(spec),
+        t_values=spec.t_values,
+        train_iterations=spec.train_iterations,
+    )
+    return ExperimentResult(
+        experiment="tsweep",
+        rows=[
+            {"T": p.num_iterations, "error": p.error} for p in points
+        ],
+        table=format_table(points),
+        meta={"convergence_T": convergence_iteration(points)},
+    )
+
+
+def main(argv=None) -> None:
+    """Deprecated shim; use ``python -m repro experiment run tsweep``."""
+    deprecated_main("tsweep", argv)
 
 
 if __name__ == "__main__":

@@ -8,14 +8,21 @@ values.
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple, Union
 
 from ..datagen.suites import SUITE_NAMES, TABLE1_PAPER_ROWS
-from .common import Scale, cached_suites, format_rows, get_scale
+from ..runtime.registry import ExperimentResult, ExperimentSpec, experiment
+from .common import (
+    Scale,
+    cached_suites,
+    deprecated_main,
+    format_rows,
+    get_scale,
+    resolve_scale,
+)
 
-__all__ = ["Table1Row", "run", "format_table", "main"]
+__all__ = ["Table1Row", "Table1Spec", "run", "format_table", "main"]
 
 
 @dataclass
@@ -29,7 +36,7 @@ class Table1Row:
     paper_level_range: Tuple[int, int]
 
 
-def run(scale: str = "default") -> List[Table1Row]:
+def run(scale: Union[str, Scale] = "default") -> List[Table1Row]:
     """Build every suite at the given scale and collect its statistics."""
     cfg = get_scale(scale)
     suites = cached_suites(cfg)
@@ -83,11 +90,40 @@ def format_table(rows: List[Table1Row]) -> str:
     )
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="default", choices=["smoke", "default", "paper"])
-    args = parser.parse_args()
-    print(format_table(run(args.scale)))
+@dataclass(frozen=True)
+class Table1Spec(ExperimentSpec):
+    """Dataset statistics need no knobs beyond the base spec."""
+
+
+@experiment(
+    "table1",
+    spec=Table1Spec,
+    title="Table I: circuit training dataset statistics",
+    description="Per-suite sub-circuit counts, node and level ranges.",
+)
+def _run_spec(spec: Table1Spec) -> ExperimentResult:
+    rows = run(resolve_scale(spec))
+    return ExperimentResult(
+        experiment="table1",
+        rows=[
+            {
+                "suite": r.suite,
+                "subcircuits": r.subcircuits,
+                "nodes": f"{r.node_range[0]}-{r.node_range[1]}",
+                "levels": f"{r.level_range[0]}-{r.level_range[1]}",
+                "paper_subcircuits": r.paper_subcircuits,
+                "paper_nodes": f"{r.paper_node_range[0]}-{r.paper_node_range[1]}",
+                "paper_levels": f"{r.paper_level_range[0]}-{r.paper_level_range[1]}",
+            }
+            for r in rows
+        ],
+        table=format_table(rows),
+    )
+
+
+def main(argv=None) -> None:
+    """Deprecated shim; use ``python -m repro experiment run table1``."""
+    deprecated_main("table1", argv)
 
 
 if __name__ == "__main__":

@@ -12,15 +12,34 @@ skip connections improve DeepGate further.
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
-from ..models.registry import ModelConfig, build_model, table2_configs
+from ..models.registry import (
+    ModelConfig,
+    build_model,
+    config_from_code,
+    table2_configs,
+)
+from ..runtime.registry import ExperimentResult, ExperimentSpec, experiment
 from ..train.trainer import TrainConfig, Trainer
-from .common import format_rows, get_scale, merged_dataset
+from .common import (
+    Scale,
+    deprecated_main,
+    format_rows,
+    get_scale,
+    merged_dataset,
+    resolve_scale,
+)
 
-__all__ = ["Table2Row", "PAPER_ERRORS", "run", "format_table", "main"]
+__all__ = [
+    "Table2Row",
+    "Table2Spec",
+    "PAPER_ERRORS",
+    "run",
+    "format_table",
+    "main",
+]
 
 #: published Avg. Prediction Error for every grid row
 PAPER_ERRORS: Dict[str, float] = {
@@ -52,7 +71,7 @@ class Table2Row:
 
 
 def run(
-    scale: str = "default",
+    scale: Union[str, Scale] = "default",
     configs: Optional[List[ModelConfig]] = None,
     train_fraction: float = 0.9,
 ) -> List[Table2Row]:
@@ -95,11 +114,54 @@ def format_table(rows: List[Table2Row]) -> str:
     )
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="default", choices=["smoke", "default", "paper"])
-    args = parser.parse_args()
-    print(format_table(run(args.scale)))
+@dataclass(frozen=True)
+class Table2Spec(ExperimentSpec):
+    """Model-comparison grid; ``models`` narrows it to named configs.
+
+    Model codes are ``kind/aggregator[/sc]`` (see
+    :func:`repro.models.registry.config_from_code`); an empty tuple means
+    the full 13-row grid.
+    """
+
+    train_fraction: float = 0.9
+    models: Tuple[str, ...] = ()
+
+    def model_configs(self) -> Optional[List[ModelConfig]]:
+        if not self.models:
+            return None
+        return [config_from_code(code) for code in self.models]
+
+
+@experiment(
+    "table2",
+    spec=Table2Spec,
+    title="Table II: model comparison for logic probability prediction",
+    description="Train the model grid and report held-out prediction error.",
+)
+def _run_spec(spec: Table2Spec) -> ExperimentResult:
+    rows = run(
+        resolve_scale(spec),
+        configs=spec.model_configs(),
+        train_fraction=spec.train_fraction,
+    )
+    return ExperimentResult(
+        experiment="table2",
+        rows=[
+            {
+                "model": r.label,
+                "code": r.config.code,
+                "error": r.error,
+                "paper_error": r.paper_error,
+            }
+            for r in rows
+        ],
+        table=format_table(rows),
+    )
+
+
+def main(argv=None) -> None:
+    """Deprecated shim; use ``python -m repro experiment run table2``."""
+    deprecated_main("table2", argv)
 
 
 if __name__ == "__main__":

@@ -12,9 +12,8 @@ beats DeepSet on every design, most on the reconvergence-dense arbiter.
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
@@ -22,11 +21,19 @@ from ..datagen import generators as gen
 from ..graphdata.dataset import CircuitDataset
 from ..graphdata.features import from_aig
 from ..models.registry import ModelConfig, build_model
+from ..runtime.registry import ExperimentResult, ExperimentSpec, experiment
 from ..synth.pipeline import has_constant_outputs, strip_constant_outputs, synthesize
 from ..train.trainer import TrainConfig, Trainer, evaluate_model
-from .common import Scale, format_rows, get_scale, merged_dataset
+from .common import (
+    Scale,
+    deprecated_main,
+    format_rows,
+    get_scale,
+    merged_dataset,
+    resolve_scale,
+)
 
-__all__ = ["Table3Row", "PAPER_ROWS", "run", "format_table", "main"]
+__all__ = ["Table3Row", "Table3Spec", "PAPER_ROWS", "run", "format_table", "main"]
 
 #: design -> (paper #nodes, paper levels, DeepSet err, DeepGate err)
 PAPER_ROWS: Dict[str, Tuple[float, int, float, float]] = {
@@ -99,7 +106,7 @@ def large_designs(scale: Scale, num_patterns: int = None) -> CircuitDataset:
     return CircuitDataset(graphs, name=f"large[{scale.name}]")
 
 
-def run(scale: str = "default") -> List[Table3Row]:
+def run(scale: Union[str, Scale] = "default") -> List[Table3Row]:
     cfg = get_scale(scale)
     dataset = merged_dataset(cfg)
     train, _ = dataset.split(0.9, seed=cfg.seed)
@@ -171,11 +178,39 @@ def format_table(rows: List[Table3Row]) -> str:
     )
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="default", choices=["smoke", "default", "paper"])
-    args = parser.parse_args()
-    print(format_table(run(args.scale)))
+@dataclass(frozen=True)
+class Table3Spec(ExperimentSpec):
+    """Large-design generalisation needs no knobs beyond the base spec."""
+
+
+@experiment(
+    "table3",
+    spec=Table3Spec,
+    title="Table III: generalisation to large circuits",
+    description="Train on small sub-circuits, evaluate on five large designs.",
+)
+def _run_spec(spec: Table3Spec) -> ExperimentResult:
+    rows = run(resolve_scale(spec))
+    return ExperimentResult(
+        experiment="table3",
+        rows=[
+            {
+                "design": r.design,
+                "nodes": r.nodes,
+                "levels": r.levels,
+                "deepset_error": r.deepset_error,
+                "deepgate_error": r.deepgate_error,
+                "reduction_pct": r.reduction,
+            }
+            for r in rows
+        ],
+        table=format_table(rows),
+    )
+
+
+def main(argv=None) -> None:
+    """Deprecated shim; use ``python -m repro experiment run table3``."""
+    deprecated_main("table3", argv)
 
 
 if __name__ == "__main__":

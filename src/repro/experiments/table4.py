@@ -15,9 +15,8 @@ suite pre-training cuts it further.
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
@@ -26,11 +25,19 @@ from ..datagen.suites import suite_pool
 from ..graphdata.dataset import CircuitDataset
 from ..graphdata.features import from_aig, from_netlist
 from ..models.deepgate import DeepGate
+from ..runtime.registry import ExperimentResult, ExperimentSpec, experiment
 from ..synth.pipeline import has_constant_outputs, strip_constant_outputs, synthesize
 from ..train.trainer import TrainConfig, Trainer
-from .common import Scale, format_rows, get_scale, merged_dataset
+from .common import (
+    Scale,
+    deprecated_main,
+    format_rows,
+    get_scale,
+    merged_dataset,
+    resolve_scale,
+)
 
-__all__ = ["Table4Row", "PAPER_ROWS", "run", "format_table", "main"]
+__all__ = ["Table4Row", "Table4Spec", "PAPER_ROWS", "run", "format_table", "main"]
 
 #: suite -> (w/o transform, w/ transform, pre-trained) published errors
 PAPER_ROWS: Dict[str, Tuple[float, float, float]] = {
@@ -111,7 +118,8 @@ def _train_deepgate(
 
 
 def run(
-    scale: str = "default", suites: Tuple[str, ...] = ("EPFL", "IWLS")
+    scale: Union[str, Scale] = "default",
+    suites: Tuple[str, ...] = ("EPFL", "IWLS"),
 ) -> List[Table4Row]:
     cfg = get_scale(scale)
     counts = cfg.suite_counts()
@@ -133,7 +141,6 @@ def run(
         without = _train_deepgate(nl_train, len(nl_train[0].type_names), False, cfg)
         with_tr = _train_deepgate(aig_train, 3, True, cfg)
 
-        trainer_cfg = TrainConfig(batch_size=cfg.batch_size)
         from ..train.trainer import evaluate_model
 
         rows.append(
@@ -183,11 +190,39 @@ def format_table(rows: List[Table4Row]) -> str:
     )
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="default", choices=["smoke", "default", "paper"])
-    args = parser.parse_args()
-    print(format_table(run(args.scale)))
+@dataclass(frozen=True)
+class Table4Spec(ExperimentSpec):
+    """Transformation ablation over ``suites`` (EPFL/IWLS by default)."""
+
+    suites: Tuple[str, ...] = ("EPFL", "IWLS")
+
+
+@experiment(
+    "table4",
+    spec=Table4Spec,
+    title="Table IV: DeepGate with and without circuit transformation",
+    description="Netlist vs AIG representation vs merged-suite pre-training.",
+)
+def _run_spec(spec: Table4Spec) -> ExperimentResult:
+    rows = run(resolve_scale(spec), suites=spec.suites)
+    return ExperimentResult(
+        experiment="table4",
+        rows=[
+            {
+                "suite": r.suite,
+                "without_transform": r.without_transform,
+                "with_transform": r.with_transform,
+                "pretrained": r.pretrained,
+            }
+            for r in rows
+        ],
+        table=format_table(rows),
+    )
+
+
+def main(argv=None) -> None:
+    """Deprecated shim; use ``python -m repro experiment run table4``."""
+    deprecated_main("table4", argv)
 
 
 if __name__ == "__main__":

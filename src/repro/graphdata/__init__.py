@@ -7,6 +7,7 @@ from .dataset import (
     ShardedCircuitDataset,
     prepare,
 )
+from .loader import DataLoader, as_loader, epoch_seed
 from .positional import positional_encoding
 from .shards import read_shard, write_shard
 from .features import (
@@ -18,6 +19,9 @@ from .features import (
 )
 
 __all__ = [
+    "DataLoader",
+    "as_loader",
+    "epoch_seed",
     "positional_encoding",
     "LevelGroup",
     "LevelSchedule",

@@ -15,7 +15,7 @@ Two pieces of machinery the models rely on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

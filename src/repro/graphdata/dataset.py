@@ -12,6 +12,7 @@ Two dataset flavours share one mental model:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -181,6 +182,9 @@ class ShardedCircuitDataset:
         ]
         self._cache_shards = cache_shards
         self._cache: "OrderedDict[int, List[CircuitGraph]]" = OrderedDict()
+        # the DataLoader's prefetch thread and the consumer may both reach
+        # the LRU; serialise mutations so eviction can't race a lookup
+        self._cache_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._index)
@@ -190,14 +194,16 @@ class ShardedCircuitDataset:
         return len(self._shards)
 
     def _load_shard(self, shard_number: int) -> List[CircuitGraph]:
-        if shard_number in self._cache:
-            self._cache.move_to_end(shard_number)
-            return self._cache[shard_number]
+        with self._cache_lock:
+            if shard_number in self._cache:
+                self._cache.move_to_end(shard_number)
+                return self._cache[shard_number]
         path = self.root / str(self._shards[shard_number]["filename"])
         graphs = read_shard(path)
-        self._cache[shard_number] = graphs
-        while len(self._cache) > self._cache_shards:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[shard_number] = graphs
+            while len(self._cache) > self._cache_shards:
+                self._cache.popitem(last=False)
         return graphs
 
     def __getitem__(self, index: int) -> CircuitGraph:

@@ -12,14 +12,14 @@ reconvergence skip edges.  Two constructors cover the paper's two regimes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..aig.graph import AIG, NODE_TYPE_NAMES, GateGraph
+from ..aig.graph import AIG, NODE_TYPE_NAMES
 from ..aig.netlist import GateType, Netlist
-from ..sim.analysis import SkipEdge, find_reconvergences
+from ..sim.analysis import find_reconvergences
 from ..sim.bitparallel import popcount, random_patterns
 from ..sim.probability import gate_graph_probabilities
 

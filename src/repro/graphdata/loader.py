@@ -1,0 +1,199 @@
+"""Streaming batch loader: per-epoch reshuffling + background prefetch.
+
+The :class:`DataLoader` is the one abstraction the trainer sees.  It wraps
+either dataset flavour (:class:`~repro.graphdata.dataset.CircuitDataset`
+in memory, :class:`~repro.graphdata.dataset.ShardedCircuitDataset`
+streaming from disk) and yields :class:`PreparedBatch` objects one at a
+time, so training never materialises a whole epoch:
+
+* **per-epoch reshuffling** — every epoch draws a fresh batch order from
+  ``SeedSequence([seed, epoch])``; deterministic given ``(seed, epoch)``
+  and independent of how many epochs ran before, which is what makes
+  resume-from-checkpoint bitwise-reproducible;
+* **background prefetch** — a daemon thread decodes/merges the next
+  batches (and therefore pulls the next shard off disk) while the model
+  trains on the current one, hiding shard-decode latency.
+
+Shuffling delegates to ``dataset.batches``: global permutation for the
+in-memory dataset, shard-local permutation for the sharded one (so an
+epoch still decodes every shard exactly once).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from .dataset import CircuitDataset, PreparedBatch, ShardedCircuitDataset
+
+__all__ = ["DataLoader", "epoch_seed", "as_loader"]
+
+AnyCircuitDataset = Union[CircuitDataset, ShardedCircuitDataset]
+
+
+def epoch_seed(seed: int, epoch: int) -> int:
+    """Deterministic shuffle seed for one epoch of one run.
+
+    Derived through :class:`numpy.random.SeedSequence` so consecutive
+    epochs get statistically independent orders (``seed + epoch`` would
+    make epoch ``e`` of run ``s`` collide with epoch ``e-1`` of ``s+1``).
+    """
+    return int(np.random.SeedSequence([seed, epoch]).generate_state(1)[0])
+
+
+_SENTINEL = object()
+
+
+def _prefetch_worker(
+    source: Iterator[PreparedBatch],
+    out: "queue.Queue[object]",
+    stop: threading.Event,
+) -> None:
+    """Producer loop: module-level (not a bound method) so the worker
+    thread holds no reference to its iterator — an abandoned iterator can
+    be garbage-collected, whose finalizer then stops this thread."""
+    try:
+        for item in source:
+            while not stop.is_set():
+                try:
+                    out.put(item, timeout=0.1)
+                    break
+                except queue.Full:
+                    continue
+            if stop.is_set():
+                return
+        item = _SENTINEL
+    except BaseException as exc:  # propagate into the consumer
+        item = exc
+    while not stop.is_set():
+        try:
+            out.put(item, timeout=0.1)
+            return
+        except queue.Full:
+            continue
+
+
+class _PrefetchIterator:
+    """Pull items from ``source`` on a daemon thread, ``depth`` ahead."""
+
+    def __init__(self, source: Iterator[PreparedBatch], depth: int):
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=depth)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=_prefetch_worker,
+            args=(source, self._queue, self._stop),
+            daemon=True,
+        )
+        self._thread.start()
+
+    def __iter__(self) -> "_PrefetchIterator":
+        return self
+
+    def __next__(self) -> PreparedBatch:
+        item = self._queue.get()
+        if item is _SENTINEL:
+            raise StopIteration
+        if isinstance(item, BaseException):
+            raise item
+        return item  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Stop and reap the worker (early exit from an epoch).
+
+        Joins the thread so no stale producer is still touching the
+        dataset (e.g. the sharded LRU cache) when the next epoch's worker
+        starts.
+        """
+        self._stop.set()
+        while True:  # unblock a producer stuck on a full queue
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        if self._thread.is_alive():
+            self._thread.join()
+
+    def __del__(self) -> None:  # abandoned mid-epoch without close()
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+
+class DataLoader:
+    """Lazy, reshuffling, prefetching view of a dataset for training.
+
+    ``prefetch`` is the number of prepared batches the background thread
+    may run ahead; ``0`` disables the thread entirely (useful under a
+    debugger, and what :func:`epoch_batches` compares against in tests).
+    With ``shuffle=False`` batches come in the dataset's storage order —
+    identical for a sharded dataset and its materialised copy, which is
+    the parity contract the test suite pins down.
+    """
+
+    def __init__(
+        self,
+        dataset: AnyCircuitDataset,
+        batch_size: int,
+        *,
+        shuffle: bool = True,
+        seed: int = 0,
+        prefetch: int = 2,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if prefetch < 0:
+            raise ValueError("prefetch must be >= 0")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.seed = seed
+        self.prefetch = prefetch
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    @property
+    def num_circuits(self) -> int:
+        return len(self.dataset)
+
+    def epoch(self, epoch: int = 0) -> Iterator[PreparedBatch]:
+        """Iterate one epoch's batches (reshuffled when ``shuffle``)."""
+        seed = epoch_seed(self.seed, epoch) if self.shuffle else None
+        source = self.dataset.batches(self.batch_size, seed=seed)
+        if self.prefetch:
+            return _PrefetchIterator(source, self.prefetch)
+        return source
+
+    def __iter__(self) -> Iterator[PreparedBatch]:
+        return self.epoch(0)
+
+    def materialize(self, epoch: int = 0) -> List[PreparedBatch]:
+        """One epoch's batches as a list (eval sets, small datasets)."""
+        it = self.epoch(epoch)
+        try:
+            return list(it)
+        finally:
+            if isinstance(it, _PrefetchIterator):
+                it.close()
+
+
+def as_loader(
+    data: Union[AnyCircuitDataset, DataLoader],
+    batch_size: int,
+    *,
+    shuffle: bool = True,
+    seed: int = 0,
+    prefetch: Optional[int] = None,
+) -> DataLoader:
+    """Coerce a dataset (or pass through a loader) for the trainer."""
+    if isinstance(data, DataLoader):
+        return data
+    kwargs = {} if prefetch is None else {"prefetch": prefetch}
+    return DataLoader(
+        data, batch_size, shuffle=shuffle, seed=seed, **kwargs
+    )

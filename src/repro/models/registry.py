@@ -11,7 +11,13 @@ from .aggregators import AGGREGATOR_NAMES
 from .baselines import DAGConvGNN, GCN
 from .deepgate import DeepGate
 
-__all__ = ["ModelConfig", "build_model", "table2_configs", "MODEL_KINDS"]
+__all__ = [
+    "ModelConfig",
+    "build_model",
+    "table2_configs",
+    "config_from_code",
+    "MODEL_KINDS",
+]
 
 MODEL_KINDS = ("gcn", "dag_conv", "dag_rec", "deepgate")
 
@@ -41,6 +47,38 @@ class ModelConfig:
         if self.kind == "deepgate":
             pretty += " w/ SC" if self.use_skip else " w/o SC"
         return f"{kind} / {pretty}"
+
+    @property
+    def code(self) -> str:
+        """Compact CLI-friendly spelling, e.g. ``deepgate/attention/sc``."""
+        base = f"{self.kind}/{self.aggregator}"
+        return f"{base}/sc" if self.use_skip else base
+
+
+def config_from_code(code: str) -> ModelConfig:
+    """Parse ``kind/aggregator[/sc]`` back into a :class:`ModelConfig`.
+
+    The inverse of :attr:`ModelConfig.code`; experiment specs use these
+    codes to name model subsets on the command line.
+    """
+    parts = code.strip().split("/")
+    if len(parts) == 2:
+        kind, aggregator = parts
+        use_skip = False
+    elif len(parts) == 3 and parts[2] == "sc":
+        kind, aggregator = parts[:2]
+        use_skip = True
+    else:
+        raise ValueError(
+            f"bad model code {code!r}; expected kind/aggregator[/sc], "
+            f"e.g. 'deepgate/attention/sc'"
+        )
+    config = ModelConfig(kind, aggregator, use_skip=use_skip)
+    if config.kind not in MODEL_KINDS:
+        raise ValueError(f"unknown model kind {config.kind!r} in {code!r}")
+    if config.aggregator not in AGGREGATOR_NAMES:
+        raise ValueError(f"unknown aggregator {config.aggregator!r} in {code!r}")
+    return config
 
 
 def table2_configs() -> List[ModelConfig]:

@@ -7,7 +7,6 @@ type* — i.e. one MLP per type, applied to that type's nodes.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ paper's additive attention (Eq. 5).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

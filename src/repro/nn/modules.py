@@ -7,12 +7,11 @@ serialisation layer can enumerate them generically.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from . import init
-from .functional import concat
 from .tensor import Tensor
 
 __all__ = ["Module", "Linear", "MLP", "GRUCell", "Sequential"]

@@ -1,8 +1,14 @@
-"""Optimisers: Adam (the paper's choice) and SGD."""
+"""Optimisers: Adam (the paper's choice) and SGD.
+
+Both optimisers expose ``state_dict``/``load_state_dict`` so a training
+run can be checkpointed and resumed exactly: restoring the slot arrays
+(and Adam's step counter) makes a resumed run bitwise-identical to an
+uninterrupted one.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -25,6 +31,55 @@ class _Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # -- checkpointing --------------------------------------------------
+    def _slots(self) -> Dict[str, List[np.ndarray]]:
+        """Per-parameter state arrays, keyed by slot name (subclasses)."""
+        return {}
+
+    def _scalars(self) -> Dict[str, float]:
+        """Scalar state that must survive a checkpoint (subclasses)."""
+        return {}
+
+    def _restore_scalars(self, scalars: Dict[str, float]) -> None:
+        pass
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """All resume-relevant state as named arrays (for ``.npz``)."""
+        out: Dict[str, np.ndarray] = {
+            f"__{name}__": np.asarray(value)
+            for name, value in self._scalars().items()
+        }
+        for slot, arrays in self._slots().items():
+            for i, arr in enumerate(arrays):
+                out[f"{slot}/{i}"] = arr.copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = {
+            f"{slot}/{i}": arr
+            for slot, arrays in self._slots().items()
+            for i, arr in enumerate(arrays)
+        }
+        scalar_keys = {f"__{name}__" for name in self._scalars()}
+        missing = (set(own) | scalar_keys) - set(state)
+        extra = set(state) - set(own) - scalar_keys
+        if missing or extra:
+            raise KeyError(
+                f"optimizer state mismatch; missing={sorted(missing)}, "
+                f"unexpected={sorted(extra)}"
+            )
+        for key, arr in own.items():
+            value = np.asarray(state[key])
+            if value.shape != arr.shape:
+                raise ValueError(
+                    f"optimizer slot {key!r}: shape {value.shape} != "
+                    f"{arr.shape}"
+                )
+            arr[...] = value
+        self._restore_scalars(
+            {name: float(state[f"__{name}__"]) for name in self._scalars()}
+        )
+
 
 class SGD(_Optimizer):
     """Plain stochastic gradient descent with optional momentum."""
@@ -35,6 +90,9 @@ class SGD(_Optimizer):
         super().__init__(parameters, lr)
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _slots(self) -> Dict[str, List[np.ndarray]]:
+        return {"velocity": self._velocity}
 
     def step(self) -> None:
         for p, v in zip(self.parameters, self._velocity):
@@ -69,6 +127,15 @@ class Adam(_Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _slots(self) -> Dict[str, List[np.ndarray]]:
+        return {"m": self._m, "v": self._v}
+
+    def _scalars(self) -> Dict[str, float]:
+        return {"step": float(self._step)}
+
+    def _restore_scalars(self, scalars: Dict[str, float]) -> None:
+        self._step = int(scalars["step"])
 
     def step(self) -> None:
         self._step += 1

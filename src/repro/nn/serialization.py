@@ -1,15 +1,38 @@
-"""Saving and loading model parameters as ``.npz`` archives."""
+"""Saving and loading model state as ``.npz`` archives.
+
+Two layers:
+
+* :func:`save_module` / :func:`load_module` — just the parameters of one
+  module, for publishing trained weights;
+* :func:`save_checkpoint` / :func:`load_checkpoint` — a full training
+  checkpoint: arbitrary named arrays (model + optimizer slots) plus a
+  JSON metadata blob (epoch counter, loss history, train config), written
+  atomically so a checkpoint on disk is always complete.
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from .modules import Module
 
-__all__ = ["save_module", "load_module"]
+__all__ = [
+    "save_module",
+    "load_module",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CHECKPOINT_FORMAT_VERSION",
+]
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+_META_KEY = "__checkpoint_meta__"
 
 
 def save_module(module: "Module", path) -> None:
@@ -21,3 +44,49 @@ def load_module(module: "Module", path) -> None:
     """Restore parameters saved by :func:`save_module` into ``module``."""
     with np.load(path) as archive:
         module.load_state_dict({k: archive[k] for k in archive.files})
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    arrays: Dict[str, np.ndarray],
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write arrays + JSON-able ``meta`` to one ``.npz``, atomically.
+
+    The metadata rides along as a uint8 array of UTF-8 JSON, so a
+    checkpoint is a single ordinary ``.npz`` file.  The write goes to a
+    temp file first and is renamed into place: a reader never sees a torn
+    checkpoint, and a crash mid-save leaves the previous one intact.
+    """
+    path = Path(path)
+    if _META_KEY in arrays:
+        raise ValueError(f"array name {_META_KEY!r} is reserved")
+    payload = {"format_version": CHECKPOINT_FORMAT_VERSION, "meta": meta or {}}
+    blob = np.frombuffer(
+        json.dumps(payload, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp.npz"
+    try:
+        np.savez(tmp, **arrays, **{_META_KEY: blob})
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def load_checkpoint(
+    path: Union[str, Path]
+) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    """Read back ``(arrays, meta)`` written by :func:`save_checkpoint`."""
+    with np.load(path) as archive:
+        if _META_KEY not in archive.files:
+            raise ValueError(f"{path} is not a checkpoint (no metadata)")
+        payload = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        version = payload.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format {version!r} in {path} "
+                f"(expected {CHECKPOINT_FORMAT_VERSION})"
+            )
+        arrays = {k: archive[k] for k in archive.files if k != _META_KEY}
+    return arrays, dict(payload.get("meta", {}))

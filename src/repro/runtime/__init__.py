@@ -1,0 +1,44 @@
+"""Unified experiment runtime: registry, specs, and cached run artifacts.
+
+* :mod:`.registry` — the :class:`Experiment` protocol, frozen spec
+  dataclasses, and the decorator-based registry the CLI is driven by;
+* :mod:`.runner` — run directories with a ``manifest.json`` keyed by a
+  spec hash, giving every paper table the same cache-hit/invalidation
+  semantics as the dataset pipeline.
+"""
+
+from .registry import (
+    Experiment,
+    ExperimentResult,
+    ExperimentSpec,
+    experiment,
+    get_experiment,
+    list_experiments,
+    spec_from_overrides,
+)
+from .runner import (
+    RunRecord,
+    default_runs_dir,
+    execute,
+    list_runs,
+    load_record,
+    run_dir_for,
+    spec_hash,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "experiment",
+    "get_experiment",
+    "list_experiments",
+    "spec_from_overrides",
+    "RunRecord",
+    "default_runs_dir",
+    "execute",
+    "list_runs",
+    "load_record",
+    "run_dir_for",
+    "spec_hash",
+]

@@ -1,0 +1,231 @@
+"""Experiment protocol and decorator-based registry.
+
+An *experiment* is a named, cacheable unit of paper reproduction — one
+table or figure.  Each one declares:
+
+* a **frozen spec dataclass** (subclass of :class:`ExperimentSpec`)
+  holding every knob that affects its output — scale, seed override,
+  model subset, …  The spec is hashable-by-content, which is what keys
+  the on-disk run cache;
+* a **runner**, ``run(spec) -> ExperimentResult``, registered with the
+  :func:`experiment` decorator;
+* **emitters** on the result: ``to_json`` (structured rows for the run
+  directory) and ``to_markdown`` (a pipe table for reports), plus the
+  plain-text paper-style table.
+
+The registry is what makes the CLI generic: ``repro experiment
+run/list/report`` look experiments up by name instead of hard-coding
+imports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Type
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentResult",
+    "Experiment",
+    "experiment",
+    "unregister",
+    "get_experiment",
+    "list_experiments",
+    "spec_from_overrides",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Base spec: the knobs every experiment shares.
+
+    ``seed``/``epochs`` of ``None`` mean "use the scale's value"; a
+    non-``None`` value overrides it (and, being part of the spec, lands
+    in the cache key so overridden runs never collide with default ones).
+    """
+
+    scale: str = "default"
+    seed: Optional[int] = None
+    epochs: Optional[int] = None
+
+
+@dataclass
+class ExperimentResult:
+    """What a runner returns: structured rows + the rendered table."""
+
+    experiment: str
+    rows: List[Dict[str, object]]
+    table: str
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "rows": self.rows,
+            "meta": self.meta,
+        }
+
+    def to_markdown(self) -> str:
+        """GitHub pipe table over the row keys, fenced plain table below."""
+        lines: List[str] = []
+        if self.rows:
+            headers = list(self.rows[0].keys())
+            lines.append("| " + " | ".join(headers) + " |")
+            lines.append("| " + " | ".join("---" for _ in headers) + " |")
+            for row in self.rows:
+                lines.append(
+                    "| "
+                    + " | ".join(_md_cell(row.get(h)) for h in headers)
+                    + " |"
+                )
+            lines.append("")
+        lines.append("```")
+        lines.append(self.table)
+        lines.append("```")
+        return "\n".join(lines)
+
+
+def _md_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value).replace("|", "\\|")
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: metadata + spec type + runner."""
+
+    name: str
+    title: str
+    spec_type: Type[ExperimentSpec]
+    runner: Callable[[ExperimentSpec], ExperimentResult]
+    description: str = ""
+
+    def run(self, spec: Optional[ExperimentSpec] = None) -> ExperimentResult:
+        spec = spec if spec is not None else self.spec_type()
+        if not isinstance(spec, self.spec_type):
+            raise TypeError(
+                f"experiment {self.name!r} takes a {self.spec_type.__name__}, "
+                f"got {type(spec).__name__}"
+            )
+        return self.runner(spec)
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def experiment(
+    name: str,
+    *,
+    spec: Type[ExperimentSpec],
+    title: str,
+    description: str = "",
+) -> Callable:
+    """Register ``fn(spec) -> ExperimentResult`` under ``name``."""
+    if not dataclasses.is_dataclass(spec) or not spec.__dataclass_params__.frozen:
+        raise TypeError(f"spec for {name!r} must be a frozen dataclass")
+
+    def decorate(fn: Callable[[ExperimentSpec], ExperimentResult]) -> Callable:
+        existing = _REGISTRY.get(name)
+        if existing is not None and not _same_source(existing.runner, fn):
+            raise ValueError(f"experiment {name!r} already registered")
+        # re-registration from the same source is idempotent: running a
+        # module under runpy (``python -m repro.experiments.table1``)
+        # executes its decorators a second time as ``__main__``
+        _REGISTRY[name] = Experiment(
+            name=name,
+            title=title,
+            spec_type=spec,
+            runner=fn,
+            description=description or (fn.__doc__ or "").strip(),
+        )
+        return fn
+
+    return decorate
+
+
+def _same_source(a: Callable, b: Callable) -> bool:
+    """True when two runners are the same function (possibly re-imported)."""
+    try:
+        return (
+            a.__qualname__ == b.__qualname__
+            and a.__code__.co_filename == b.__code__.co_filename
+        )
+    except AttributeError:  # pragma: no cover - non-function callables
+        return False
+
+
+def unregister(name: str) -> None:
+    """Remove a registration (tests use this to inject fakes)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_experiment(name: str) -> Experiment:
+    _ensure_loaded()
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def list_experiments() -> List[Experiment]:
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def _ensure_loaded() -> None:
+    """Import the experiment modules so their decorators run."""
+    from .. import experiments  # noqa: F401  (import side effect)
+
+
+# ---------------------------------------------------------------------------
+# spec construction from CLI-style overrides
+# ---------------------------------------------------------------------------
+
+
+def spec_from_overrides(
+    spec_type: Type[ExperimentSpec], overrides: Dict[str, str]
+) -> ExperimentSpec:
+    """Build a spec from string key=value overrides, coercing field types."""
+    fields = {f.name for f in dataclasses.fields(spec_type)}
+    # resolve PEP 563 stringified annotations to real types
+    hints = typing.get_type_hints(spec_type)
+    kwargs: Dict[str, object] = {}
+    for key, raw in overrides.items():
+        if key not in fields:
+            raise ValueError(
+                f"{spec_type.__name__} has no field {key!r}; "
+                f"fields: {sorted(fields)}"
+            )
+        kwargs[key] = _coerce(hints.get(key, str), raw, key)
+    return spec_type(**kwargs)
+
+
+def _coerce(annotation: object, raw: str, key: str) -> object:
+    """Parse ``raw`` according to a resolved type annotation."""
+    origin = typing.get_origin(annotation)
+    args = typing.get_args(annotation)
+    if origin is typing.Union:  # Optional[X]
+        inner = [a for a in args if a is not type(None)]
+        if raw.lower() in ("none", ""):
+            return None
+        return _coerce(inner[0], raw, key) if inner else raw
+    if origin in (tuple, list):
+        items = [s for s in raw.split(",") if s != ""]
+        elem = args[0] if args else str
+        seq = [_coerce(elem, s.strip(), key) for s in items]
+        return tuple(seq) if origin is tuple else seq
+    if annotation is bool:
+        if raw.lower() in ("1", "true", "yes", "on"):
+            return True
+        if raw.lower() in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"field {key!r}: expected a boolean, got {raw!r}")
+    if annotation is int:
+        return int(raw)
+    if annotation is float:
+        return float(raw)
+    return raw

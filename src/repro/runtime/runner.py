@@ -1,0 +1,260 @@
+"""Run directories, manifests and the experiment cache.
+
+Mirrors the cache semantics of :mod:`repro.datagen.pipeline`, one level
+up: where the dataset pipeline keys shard directories by a config hash,
+the runner keys **run directories** by a spec hash, so re-running an
+unchanged experiment is free.
+
+Layout, under the runs root (``--runs-dir``, ``REPRO_RUNS_DIR`` or
+``./runs``)::
+
+    runs/<experiment>/<spec_hash[:16]>/
+        manifest.json   spec, hash, status, elapsed — written last, atomically
+        result.json     structured rows (``ExperimentResult.to_json``)
+        report.txt      the paper-style plain-text table
+        report.md       markdown rendering of the same result
+
+A run directory is a **cache hit** when its manifest exists, records the
+same spec hash and format version, and every artifact file it names is
+present.  Anything else (changed spec, interrupted run, deleted file)
+falls through to a fresh execution — the manifest is written after the
+artifacts, so a killed run can never masquerade as a complete one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..utils import atomic_write_text as _write_text
+from .registry import Experiment, ExperimentSpec, get_experiment
+
+__all__ = [
+    "RUN_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "RunRecord",
+    "default_runs_dir",
+    "spec_hash",
+    "run_dir_for",
+    "execute",
+    "load_record",
+    "list_runs",
+]
+
+RUN_FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+_ARTIFACTS = {
+    "result": "result.json",
+    "report_txt": "report.txt",
+    "report_md": "report.md",
+}
+
+
+def default_runs_dir() -> Path:
+    """``REPRO_RUNS_DIR`` env var, else ``./runs``."""
+    return Path(os.environ.get("REPRO_RUNS_DIR") or "runs")
+
+
+def spec_dict(spec: ExperimentSpec) -> Dict[str, object]:
+    """The spec as JSON-able data (tuples become lists)."""
+    return json.loads(json.dumps(dataclasses.asdict(spec)))
+
+
+def spec_hash(experiment_name: str, spec: ExperimentSpec) -> str:
+    """Sha256 over (experiment, canonical spec JSON, format version)."""
+    payload = {
+        "experiment": experiment_name,
+        "spec": spec_dict(spec),
+        "run_format_version": RUN_FORMAT_VERSION,
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def run_dir_for(
+    runs_dir: Union[str, Path], experiment_name: str, digest: str
+) -> Path:
+    return Path(runs_dir) / experiment_name / digest[:16]
+
+
+@dataclass
+class RunRecord:
+    """One (possibly cached) experiment run and its on-disk artifacts."""
+
+    experiment: str
+    spec: Dict[str, object]
+    spec_hash: str
+    out_dir: Path
+    cache_hit: bool
+    elapsed: float
+    result: Dict[str, object]
+    report: str
+
+    @property
+    def markdown(self) -> str:
+        path = self.out_dir / _ARTIFACTS["report_md"]
+        return path.read_text()
+
+
+def _manifest_valid(
+    out_dir: Path, manifest: Dict[str, object], digest: str
+) -> bool:
+    """Does a parsed manifest describe a complete run of ``digest``?"""
+    if (
+        manifest.get("spec_hash") != digest
+        or manifest.get("run_format_version") != RUN_FORMAT_VERSION
+        or manifest.get("status") != "complete"
+    ):
+        return False
+    files = manifest.get("files")
+    if not isinstance(files, dict):
+        return False
+    return all(
+        (out_dir / str(filename)).is_file() for filename in files.values()
+    )
+
+
+def _read_manifest(out_dir: Path) -> Optional[Dict[str, object]]:
+    path = out_dir / MANIFEST_NAME
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _manifest_current(out_dir: Path, digest: str) -> Optional[Dict[str, object]]:
+    """The manifest dict if ``out_dir`` holds a complete run of ``digest``."""
+    manifest = _read_manifest(out_dir)
+    if manifest is None or not _manifest_valid(out_dir, manifest, digest):
+        return None
+    return manifest
+
+
+def _write_json(path: Path, data: object) -> None:
+    _write_text(path, json.dumps(data, sort_keys=True, indent=2) + "\n")
+
+
+def execute(
+    name: str,
+    spec: Optional[ExperimentSpec] = None,
+    runs_dir: Optional[Union[str, Path]] = None,
+    force: bool = False,
+) -> RunRecord:
+    """Run experiment ``name`` (or reuse its cached run directory).
+
+    ``force=True`` re-executes and overwrites the artifacts even on a
+    cache hit — the run analogue of ``dataset build --force``.
+    """
+    exp: Experiment = get_experiment(name)
+    spec = spec if spec is not None else exp.spec_type()
+    digest = spec_hash(name, spec)
+    root = Path(runs_dir) if runs_dir is not None else default_runs_dir()
+    out_dir = run_dir_for(root, name, digest)
+
+    start = time.perf_counter()
+    if not force:
+        manifest = _manifest_current(out_dir, digest)
+        if manifest is not None:
+            result = json.loads((out_dir / _ARTIFACTS["result"]).read_text())
+            report = (out_dir / _ARTIFACTS["report_txt"]).read_text()
+            return RunRecord(
+                experiment=name,
+                spec=spec_dict(spec),
+                spec_hash=digest,
+                out_dir=out_dir,
+                cache_hit=True,
+                elapsed=time.perf_counter() - start,
+                result=result,
+                report=report,
+            )
+
+    result_obj = exp.run(spec)
+    elapsed = time.perf_counter() - start
+    out_dir.mkdir(parents=True, exist_ok=True)
+    # a stale manifest must not certify a half-rewritten run directory if
+    # this (forced or cache-invalidated) re-run is interrupted mid-write
+    (out_dir / MANIFEST_NAME).unlink(missing_ok=True)
+    result_json = result_obj.to_json()
+    _write_json(out_dir / _ARTIFACTS["result"], result_json)
+    report_txt = result_obj.table + "\n"
+    _write_text(out_dir / _ARTIFACTS["report_txt"], report_txt)
+    _write_text(
+        out_dir / _ARTIFACTS["report_md"],
+        f"# {exp.title}\n\n{result_obj.to_markdown()}\n",
+    )
+    # manifest last: its presence certifies a complete run
+    _write_json(
+        out_dir / MANIFEST_NAME,
+        {
+            "run_format_version": RUN_FORMAT_VERSION,
+            "experiment": name,
+            "title": exp.title,
+            "spec": spec_dict(spec),
+            "spec_hash": digest,
+            "status": "complete",
+            "elapsed": elapsed,
+            "files": dict(_ARTIFACTS),
+        },
+    )
+    return RunRecord(
+        experiment=name,
+        spec=spec_dict(spec),
+        spec_hash=digest,
+        out_dir=out_dir,
+        cache_hit=False,
+        elapsed=elapsed,
+        result=result_json,
+        report=report_txt,
+    )
+
+
+def load_record(
+    name: str,
+    spec: Optional[ExperimentSpec] = None,
+    runs_dir: Optional[Union[str, Path]] = None,
+) -> Optional[RunRecord]:
+    """The cached run for (name, spec), or ``None`` if absent/incomplete."""
+    exp = get_experiment(name)
+    spec = spec if spec is not None else exp.spec_type()
+    digest = spec_hash(name, spec)
+    root = Path(runs_dir) if runs_dir is not None else default_runs_dir()
+    out_dir = run_dir_for(root, name, digest)
+    manifest = _manifest_current(out_dir, digest)
+    if manifest is None:
+        return None
+    return RunRecord(
+        experiment=name,
+        spec=spec_dict(spec),
+        spec_hash=digest,
+        out_dir=out_dir,
+        cache_hit=True,
+        elapsed=float(manifest.get("elapsed", 0.0)),
+        result=json.loads((out_dir / _ARTIFACTS["result"]).read_text()),
+        report=(out_dir / _ARTIFACTS["report_txt"]).read_text(),
+    )
+
+
+def list_runs(
+    runs_dir: Optional[Union[str, Path]] = None,
+) -> List[Dict[str, object]]:
+    """Manifests of every complete run under the runs root, newest last."""
+    root = Path(runs_dir) if runs_dir is not None else default_runs_dir()
+    if not root.is_dir():
+        return []
+    found: List[Dict[str, object]] = []
+    for manifest_path in sorted(root.glob(f"*/*/{MANIFEST_NAME}")):
+        out_dir = manifest_path.parent
+        manifest = _read_manifest(out_dir)
+        if manifest is None:
+            continue
+        if _manifest_valid(out_dir, manifest, str(manifest.get("spec_hash"))):
+            manifest["out_dir"] = str(out_dir)
+            found.append(manifest)
+    return found

@@ -13,7 +13,7 @@ negative literal means complement.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from ..aig.graph import AIG, lit_is_negated, lit_var
 
@@ -51,14 +51,14 @@ class CNF:
         """Serialise in DIMACS format (for interoperability and tests)."""
         lines = [f"p cnf {self.num_vars} {self.num_clauses}"]
         for clause in self.clauses:
-            lines.append(" ".join(str(l) for l in clause) + " 0")
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
         return "\n".join(lines) + "\n"
 
     def evaluate(self, assignment: Dict[int, bool]) -> bool:
         """True when ``assignment`` (complete) satisfies every clause."""
         for clause in self.clauses:
             if not any(
-                assignment[abs(l)] == (l > 0) for l in clause
+                assignment[abs(lit)] == (lit > 0) for lit in clause
             ):
                 return False
         return True

@@ -16,7 +16,6 @@ is why learned probability models add value on top of it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 

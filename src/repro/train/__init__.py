@@ -1,9 +1,23 @@
 """Training and evaluation harness."""
 
+from .callbacks import (
+    Callback,
+    Checkpoint,
+    EarlyStopping,
+    LRSchedule,
+    cosine_schedule,
+    step_decay,
+)
 from .metrics import ErrorAccumulator, average_prediction_error
 from .trainer import TrainConfig, TrainHistory, Trainer, evaluate_model
 
 __all__ = [
+    "Callback",
+    "Checkpoint",
+    "EarlyStopping",
+    "LRSchedule",
+    "cosine_schedule",
+    "step_decay",
     "ErrorAccumulator",
     "average_prediction_error",
     "TrainConfig",

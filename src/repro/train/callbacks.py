@@ -1,0 +1,159 @@
+"""Trainer hooks: checkpointing, early stopping, LR scheduling.
+
+A :class:`Callback` sees the trainer at well-defined points of ``fit``.
+Hooks receive the trainer itself, so a callback can read the history,
+mutate the optimizer, or request a stop — the same contract Keras/PyTorch
+Lightning users expect, scaled down to this codebase.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .trainer import Trainer
+
+__all__ = [
+    "Callback",
+    "Checkpoint",
+    "EarlyStopping",
+    "LRSchedule",
+    "cosine_schedule",
+    "step_decay",
+]
+
+
+class Callback:
+    """Base class; override any subset of the hooks."""
+
+    def on_fit_start(self, trainer: "Trainer", start_epoch: int) -> None:
+        pass
+
+    def on_epoch_start(self, trainer: "Trainer", epoch: int) -> None:
+        pass
+
+    def on_epoch_end(
+        self,
+        trainer: "Trainer",
+        epoch: int,
+        train_loss: float,
+        eval_error: Optional[float],
+    ) -> None:
+        pass
+
+    def on_fit_end(self, trainer: "Trainer") -> None:
+        pass
+
+
+class Checkpoint(Callback):
+    """Save a resumable checkpoint every ``every`` epochs (and at the end).
+
+    Writes are atomic (see :func:`repro.nn.serialization.save_checkpoint`),
+    so killing a run mid-save still leaves the last good checkpoint for
+    ``Trainer.fit(..., resume_from=path)``.
+    """
+
+    def __init__(self, path: Union[str, Path], every: int = 1):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.path = Path(path)
+        self.every = every
+
+    def on_epoch_end(self, trainer, epoch, train_loss, eval_error) -> None:
+        if (epoch + 1) % self.every == 0:
+            trainer.save_checkpoint(self.path, epoch)
+
+    def on_fit_end(self, trainer) -> None:
+        epochs_run = len(trainer.history.train_loss)
+        if epochs_run and epochs_run % self.every != 0:
+            trainer.save_checkpoint(self.path, epochs_run - 1)
+
+
+class EarlyStopping(Callback):
+    """Stop when the monitored value hasn't improved for ``patience`` epochs.
+
+    Monitors the eval error when an eval set is provided, else the train
+    loss.  ``min_delta`` is the smallest change that counts as an
+    improvement.
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.stale = 0
+        self.stopped_epoch: Optional[int] = None
+
+    def on_fit_start(self, trainer, start_epoch) -> None:
+        self.best = None
+        self.stale = 0
+        self.stopped_epoch = None
+        # on resume, replay the restored history so the plateau counter
+        # continues where the interrupted run left off — otherwise a
+        # resumed run would outlive the uninterrupted one it reproduces
+        history = trainer.history
+        series = history.eval_error or history.train_loss
+        for value in series:
+            self._observe(value)
+
+    def _observe(self, value: float) -> bool:
+        """Update best/stale with one epoch's value; True if patience ran out."""
+        if self.best is None or value < self.best - self.min_delta:
+            self.best = value
+            self.stale = 0
+            return False
+        self.stale += 1
+        return self.stale >= self.patience
+
+    def on_epoch_end(self, trainer, epoch, train_loss, eval_error) -> None:
+        value = eval_error if eval_error is not None else train_loss
+        if self._observe(value):
+            self.stopped_epoch = epoch
+            trainer.request_stop()
+
+
+class LRSchedule(Callback):
+    """Set the learning rate per epoch from ``fn(epoch, base_lr)``."""
+
+    def __init__(self, fn: Callable[[int, float], float]):
+        self.fn = fn
+        self.base_lr: Optional[float] = None
+
+    def on_fit_start(self, trainer, start_epoch) -> None:
+        if self.base_lr is None:
+            self.base_lr = trainer.optimizer.lr
+
+    def on_epoch_start(self, trainer, epoch) -> None:
+        assert self.base_lr is not None
+        trainer.optimizer.lr = float(self.fn(epoch, self.base_lr))
+
+
+def cosine_schedule(
+    total_epochs: int, min_lr: float = 0.0
+) -> Callable[[int, float], float]:
+    """Cosine decay from the base LR down to ``min_lr`` over the run."""
+    if total_epochs < 1:
+        raise ValueError("total_epochs must be >= 1")
+
+    def fn(epoch: int, base_lr: float) -> float:
+        t = min(epoch, total_epochs) / total_epochs
+        return min_lr + 0.5 * (base_lr - min_lr) * (1.0 + math.cos(math.pi * t))
+
+    return fn
+
+
+def step_decay(
+    step_size: int, gamma: float = 0.5
+) -> Callable[[int, float], float]:
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+    if step_size < 1:
+        raise ValueError("step_size must be >= 1")
+
+    def fn(epoch: int, base_lr: float) -> float:
+        return base_lr * gamma ** (epoch // step_size)
+
+    return fn

@@ -1,0 +1,26 @@
+"""Small shared utilities (atomic file writes)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` via a temp file + rename.
+
+    Readers only ever see the old contents or the complete new contents;
+    a failure mid-write cleans up the temp file and leaves ``path``
+    untouched.  This is the one canonical copy of the idiom the dataset
+    pipeline and the experiment runner both rely on.
+    """
+    path = Path(path)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)

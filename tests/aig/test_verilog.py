@@ -1,6 +1,5 @@
 """Tests for the structural Verilog reader/writer."""
 
-import numpy as np
 import pytest
 
 from repro.aig import GateType, verilog

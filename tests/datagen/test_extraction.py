@@ -6,7 +6,7 @@ import pytest
 from repro.datagen import extract_cone, extract_subcircuits
 from repro.datagen.generators import multiplier, ripple_adder
 from repro.sim import exhaustive_patterns, output_values, simulate_aig
-from repro.synth import netlist_to_aig, synthesize
+from repro.synth import synthesize
 
 from ..helpers import random_netlist
 
@@ -24,8 +24,6 @@ def _check_cone_equivalence(aig, roots, max_nodes=None):
     # feed the cone with the original's simulated values of its boundary
     # variables: the cone's PI order is the sorted boundary var order.
     # Recompute boundary the same way extract_cone does.
-    import repro.aig.graph as g
-
     levels = aig.levels()
     # replicate kept-set: budget-free means the full cone
     # (simpler: drive cone PIs by matching on function: cone has num_pis

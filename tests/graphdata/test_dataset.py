@@ -1,6 +1,5 @@
 """Tests for CircuitDataset: splits, batching, statistics."""
 
-import numpy as np
 import pytest
 
 from repro.datagen.generators import parity, ripple_adder

@@ -1,0 +1,167 @@
+"""Tests for the streaming DataLoader: reshuffle, prefetch, shard parity."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.generators import parity, ripple_adder
+from repro.datagen.pipeline import PipelineConfig, build_shards
+from repro.graphdata import (
+    CircuitDataset,
+    DataLoader,
+    ShardedCircuitDataset,
+    as_loader,
+    epoch_seed,
+    from_aig,
+)
+from repro.synth import synthesize
+
+
+def make_dataset(n=8):
+    graphs = []
+    for k in range(n):
+        nl = ripple_adder(3 + (k % 3)) if k % 2 else parity(4 + k)
+        graphs.append(from_aig(synthesize(nl), num_patterns=256, seed=k))
+    return CircuitDataset(graphs, "toy")
+
+
+def batch_signature(batches):
+    """Order-sensitive fingerprint of an epoch's batches."""
+    return [
+        (b.num_nodes, float(np.sum(b.labels))) for b in batches
+    ]
+
+
+@pytest.fixture(scope="module")
+def shard_dir(tmp_path_factory):
+    config = PipelineConfig(
+        suites=(("EPFL", 3), ("ITC99", 3)),
+        seed=11,
+        num_patterns=256,
+        max_nodes=200,
+        max_levels=50,
+        shard_size=2,
+    )
+    out = tmp_path_factory.mktemp("shards") / "tiny"
+    build_shards(config, out, workers=1)
+    return out
+
+
+class TestEpochSeed:
+    def test_deterministic(self):
+        assert epoch_seed(3, 7) == epoch_seed(3, 7)
+
+    def test_varies_by_epoch_and_seed(self):
+        seeds = {epoch_seed(s, e) for s in range(4) for e in range(4)}
+        assert len(seeds) == 16
+
+
+class TestReshuffle:
+    def test_same_epoch_same_order(self):
+        dl = DataLoader(make_dataset(), 3, seed=0)
+        assert batch_signature(dl.epoch(2)) == batch_signature(dl.epoch(2))
+
+    def test_different_epochs_different_order(self):
+        dl = DataLoader(make_dataset(), 3, seed=0)
+        sigs = [batch_signature(dl.epoch(e)) for e in range(4)]
+        assert any(s != sigs[0] for s in sigs[1:])
+
+    def test_no_shuffle_is_storage_order(self):
+        ds = make_dataset()
+        dl = DataLoader(ds, 3, shuffle=False)
+        expected = batch_signature(ds.batches(3, seed=None))
+        assert batch_signature(dl.epoch(0)) == expected
+        assert batch_signature(dl.epoch(5)) == expected
+
+    def test_every_epoch_covers_all_circuits(self):
+        ds = make_dataset(7)
+        dl = DataLoader(ds, 2, seed=1)
+        total = sum(g.num_nodes for g in ds)
+        for epoch in range(3):
+            assert sum(b.num_nodes for b in dl.epoch(epoch)) == total
+
+
+class TestPrefetch:
+    def test_prefetch_matches_synchronous(self):
+        ds = make_dataset()
+        eager = DataLoader(ds, 3, seed=4, prefetch=0)
+        threaded = DataLoader(ds, 3, seed=4, prefetch=2)
+        assert batch_signature(eager.epoch(1)) == batch_signature(
+            threaded.epoch(1)
+        )
+
+    def test_close_mid_epoch(self):
+        dl = DataLoader(make_dataset(), 1, seed=0, prefetch=1)
+        it = dl.epoch(0)
+        next(it)
+        it.close()  # must not hang or raise
+
+    def test_materialize_closes_thread(self):
+        dl = DataLoader(make_dataset(6), 2, seed=0, prefetch=2)
+        assert len(dl.materialize()) == len(dl)
+
+    def test_abandoned_iterator_releases_thread(self):
+        import gc
+        import threading
+        import time
+
+        before = threading.active_count()
+        dl = DataLoader(make_dataset(8), 1, seed=0, prefetch=1)
+        it = dl.epoch(0)
+        next(it)
+        del it  # abandoned without close(); finalizer must stop the worker
+        gc.collect()
+        deadline = time.time() + 5.0
+        while threading.active_count() > before and time.time() < deadline:
+            time.sleep(0.05)
+        assert threading.active_count() <= before
+
+    def test_exception_propagates(self):
+        class Broken:
+            def __len__(self):
+                return 1
+
+            def batches(self, batch_size, seed=None):
+                raise RuntimeError("boom")
+                yield  # pragma: no cover
+
+        dl = DataLoader(Broken(), 1, prefetch=1)
+        with pytest.raises(RuntimeError, match="boom"):
+            list(dl.epoch(0))
+
+
+class TestShardedParity:
+    def test_sequential_parity_with_materialized(self, shard_dir):
+        sharded = ShardedCircuitDataset(shard_dir)
+        in_memory = sharded.materialize()
+        a = DataLoader(sharded, 2, shuffle=False)
+        b = DataLoader(in_memory, 2, shuffle=False)
+        assert batch_signature(a.epoch(0)) == batch_signature(b.epoch(0))
+
+    def test_shuffled_epoch_covers_everything(self, shard_dir):
+        sharded = ShardedCircuitDataset(shard_dir)
+        dl = DataLoader(sharded, 2, seed=3, prefetch=2)
+        total = sum(g.num_nodes for g in sharded)
+        assert sum(b.num_nodes for b in dl.epoch(0)) == total
+
+
+class TestValidationAndCoercion:
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(2), 0)
+
+    def test_bad_prefetch(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(2), 1, prefetch=-1)
+
+    def test_len_counts_batches(self):
+        assert len(DataLoader(make_dataset(7), 3)) == 3
+
+    def test_as_loader_passthrough(self):
+        dl = DataLoader(make_dataset(2), 1)
+        assert as_loader(dl, 99) is dl
+
+    def test_as_loader_wraps_dataset(self):
+        ds = make_dataset(2)
+        dl = as_loader(ds, 2, shuffle=False, prefetch=0)
+        assert isinstance(dl, DataLoader)
+        assert dl.batch_size == 2 and dl.prefetch == 0

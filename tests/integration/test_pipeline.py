@@ -6,11 +6,10 @@ import pytest
 from repro.aig import aiger, bench, verilog
 from repro.datagen import build_suite_dataset, generators as gen
 from repro.datagen.normalize import normalize_to_library, variegate
-from repro.graphdata import CircuitDataset, from_aig, prepare
+from repro.graphdata import from_aig, prepare
 from repro.models import DeepGate, FineTuner
-from repro.nn import l1_loss, load_module, no_grad, save_module
+from repro.nn import load_module, no_grad, save_module
 from repro.sat import check_equivalence
-from repro.sim import monte_carlo_probabilities
 from repro.synth import has_constant_outputs, strip_constant_outputs, synthesize
 from repro.testability import compute_scoap, run_fault_simulation
 from repro.train import TrainConfig, Trainer, evaluate_model

@@ -107,3 +107,26 @@ class TestRegistry:
             counts[config.label] = model.num_parameters()
         lo, hi = min(counts.values()), max(counts.values())
         assert hi <= 6 * lo, counts
+
+
+class TestModelCodes:
+    def test_code_roundtrip_for_grid(self):
+        from repro.models.registry import config_from_code
+
+        for config in table2_configs():
+            assert config_from_code(config.code) == config
+
+    def test_sc_suffix(self):
+        from repro.models.registry import config_from_code
+
+        config = config_from_code("deepgate/attention/sc")
+        assert config.use_skip
+        assert config.code == "deepgate/attention/sc"
+
+    def test_bad_codes_rejected(self):
+        from repro.models.registry import config_from_code
+
+        for bad in ("deepgate", "deepgate/attention/xx", "nope/attention",
+                    "gcn/nope", "a/b/c/d"):
+            with pytest.raises(ValueError):
+                config_from_code(bad)

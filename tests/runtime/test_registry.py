@@ -1,0 +1,153 @@
+"""Tests for the experiment registry, specs and override coercion."""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import pytest
+
+from repro.runtime import (
+    ExperimentResult,
+    ExperimentSpec,
+    experiment,
+    get_experiment,
+    list_experiments,
+    spec_from_overrides,
+)
+from repro.runtime import registry as registry_module
+
+
+class TestBuiltinRegistrations:
+    def test_all_six_experiments_registered(self):
+        names = {e.name for e in list_experiments()}
+        assert names >= {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "tsweep",
+            "ablations",
+        }
+
+    def test_get_experiment_metadata(self):
+        exp = get_experiment("table2")
+        assert "Table II" in exp.title
+        assert exp.spec_type().scale == "default"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("table99")
+
+    def test_specs_are_frozen(self):
+        spec = get_experiment("table1").spec_type()
+        with pytest.raises(Exception):
+            spec.scale = "paper"
+
+
+class TestDecorator:
+    def test_register_run_unregister(self):
+        @dataclass(frozen=True)
+        class FakeSpec(ExperimentSpec):
+            knob: int = 3
+
+        @experiment("fake-exp", spec=FakeSpec, title="Fake")
+        def run_fake(spec):
+            return ExperimentResult(
+                experiment="fake-exp",
+                rows=[{"knob": spec.knob}],
+                table=f"knob={spec.knob}",
+            )
+
+        try:
+            exp = get_experiment("fake-exp")
+            result = exp.run(FakeSpec(knob=7))
+            assert result.rows == [{"knob": 7}]
+
+            # a *different* function under the same name is a collision...
+            def other_runner(spec):  # pragma: no cover - never called
+                return None
+
+            with pytest.raises(ValueError, match="already registered"):
+                experiment("fake-exp", spec=FakeSpec, title="dup")(other_runner)
+            # ...but re-registering the same source function is idempotent
+            # (runpy re-executes module decorators under ``__main__``)
+            experiment("fake-exp", spec=FakeSpec, title="Fake")(run_fake)
+            with pytest.raises(TypeError, match="takes a FakeSpec"):
+                exp.run(ExperimentSpec())
+        finally:
+            registry_module.unregister("fake-exp")
+
+    def test_non_frozen_spec_rejected(self):
+        # (a non-frozen subclass of the frozen base is a TypeError at class
+        # definition, so use an unrelated mutable dataclass)
+        @dataclass
+        class Mutable:
+            scale: str = "default"
+
+        with pytest.raises(TypeError, match="frozen"):
+            experiment("bad", spec=Mutable, title="bad")(lambda s: None)
+
+
+class TestResultEmitters:
+    def test_to_json(self):
+        r = ExperimentResult("x", rows=[{"a": 1}], table="t", meta={"k": 2})
+        assert r.to_json() == {
+            "experiment": "x",
+            "rows": [{"a": 1}],
+            "meta": {"k": 2},
+        }
+
+    def test_to_markdown_pipe_table(self):
+        r = ExperimentResult(
+            "x", rows=[{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}], table="plain"
+        )
+        md = r.to_markdown()
+        assert "| a | b |" in md
+        assert "| 2 | 0.2500 |" in md
+        assert "plain" in md
+
+    def test_to_markdown_no_rows(self):
+        md = ExperimentResult("x", rows=[], table="empty").to_markdown()
+        assert md.startswith("```")
+
+
+class TestOverrideCoercion:
+    @dataclass(frozen=True)
+    class Spec(ExperimentSpec):
+        frac: float = 0.9
+        names: Tuple[str, ...] = ()
+        counts: Tuple[int, ...] = (1, 2)
+        flag: bool = False
+        limit: Optional[int] = None
+
+    def test_scalar_coercion(self):
+        spec = spec_from_overrides(
+            self.Spec,
+            {"scale": "smoke", "frac": "0.5", "flag": "true", "limit": "7"},
+        )
+        assert spec.scale == "smoke"
+        assert spec.frac == 0.5
+        assert spec.flag is True
+        assert spec.limit == 7
+
+    def test_tuple_coercion(self):
+        spec = spec_from_overrides(
+            self.Spec, {"names": "a,b", "counts": "3,4,5"}
+        )
+        assert spec.names == ("a", "b")
+        assert spec.counts == (3, 4, 5)
+
+    def test_optional_none(self):
+        spec = spec_from_overrides(self.Spec, {"seed": "none"})
+        assert spec.seed is None
+
+    def test_optional_value(self):
+        spec = spec_from_overrides(self.Spec, {"seed": "42"})
+        assert spec.seed == 42
+
+    def test_unknown_field(self):
+        with pytest.raises(ValueError, match="no field"):
+            spec_from_overrides(self.Spec, {"bogus": "1"})
+
+    def test_bad_bool(self):
+        with pytest.raises(ValueError, match="boolean"):
+            spec_from_overrides(self.Spec, {"flag": "maybe"})

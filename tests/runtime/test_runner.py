@@ -1,0 +1,152 @@
+"""Tests for run directories, manifests and cache semantics."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.runtime import (
+    ExperimentResult,
+    ExperimentSpec,
+    execute,
+    experiment,
+    list_runs,
+    load_record,
+    spec_hash,
+)
+from repro.runtime import registry as registry_module
+from repro.runtime.runner import MANIFEST_NAME
+
+
+@dataclass(frozen=True)
+class CountingSpec(ExperimentSpec):
+    knob: int = 1
+
+
+@pytest.fixture
+def counting_experiment():
+    """A cheap registered experiment that counts its executions."""
+    calls = {"n": 0}
+
+    @experiment("counting", spec=CountingSpec, title="Counting experiment")
+    def run_counting(spec):
+        calls["n"] += 1
+        return ExperimentResult(
+            experiment="counting",
+            rows=[{"knob": spec.knob, "call": calls["n"]}],
+            table=f"knob={spec.knob} call={calls['n']}",
+        )
+
+    try:
+        yield calls
+    finally:
+        registry_module.unregister("counting")
+
+
+class TestSpecHash:
+    def test_stable(self):
+        assert spec_hash("x", CountingSpec()) == spec_hash("x", CountingSpec())
+
+    def test_sensitive_to_spec_and_name(self):
+        base = spec_hash("x", CountingSpec())
+        assert spec_hash("x", CountingSpec(knob=2)) != base
+        assert spec_hash("y", CountingSpec()) != base
+        assert spec_hash("x", CountingSpec(scale="smoke")) != base
+
+
+class TestExecute:
+    def test_first_run_writes_artifacts(self, tmp_path, counting_experiment):
+        record = execute("counting", runs_dir=tmp_path)
+        assert not record.cache_hit
+        assert (record.out_dir / MANIFEST_NAME).is_file()
+        assert (record.out_dir / "result.json").is_file()
+        assert (record.out_dir / "report.txt").is_file()
+        assert (record.out_dir / "report.md").is_file()
+        manifest = json.loads((record.out_dir / MANIFEST_NAME).read_text())
+        assert manifest["status"] == "complete"
+        assert manifest["spec_hash"] == record.spec_hash
+
+    def test_second_run_is_cache_hit(self, tmp_path, counting_experiment):
+        first = execute("counting", runs_dir=tmp_path)
+        second = execute("counting", runs_dir=tmp_path)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert counting_experiment["n"] == 1  # ran exactly once
+        assert second.result == first.result
+        assert second.report == first.report
+
+    def test_different_spec_different_dir(self, tmp_path, counting_experiment):
+        a = execute("counting", CountingSpec(knob=1), runs_dir=tmp_path)
+        b = execute("counting", CountingSpec(knob=2), runs_dir=tmp_path)
+        assert a.out_dir != b.out_dir
+        assert counting_experiment["n"] == 2
+
+    def test_force_reruns(self, tmp_path, counting_experiment):
+        execute("counting", runs_dir=tmp_path)
+        record = execute("counting", runs_dir=tmp_path, force=True)
+        assert not record.cache_hit
+        assert counting_experiment["n"] == 2
+
+    def test_missing_artifact_invalidates(self, tmp_path, counting_experiment):
+        record = execute("counting", runs_dir=tmp_path)
+        (record.out_dir / "result.json").unlink()
+        again = execute("counting", runs_dir=tmp_path)
+        assert not again.cache_hit
+        assert counting_experiment["n"] == 2
+
+    def test_corrupt_manifest_invalidates(self, tmp_path, counting_experiment):
+        record = execute("counting", runs_dir=tmp_path)
+        (record.out_dir / MANIFEST_NAME).write_text("{not json")
+        again = execute("counting", runs_dir=tmp_path)
+        assert not again.cache_hit
+        assert counting_experiment["n"] == 2
+
+    def test_forced_rerun_drops_manifest_before_writing(
+        self, tmp_path, counting_experiment, monkeypatch
+    ):
+        """An interrupted --force re-run must not look complete."""
+        record = execute("counting", runs_dir=tmp_path)
+
+        import repro.runtime.runner as runner_module
+
+        def explode(path, text):
+            raise RuntimeError("killed mid-write")
+
+        monkeypatch.setattr(runner_module, "_write_text", explode)
+        with pytest.raises(RuntimeError, match="killed mid-write"):
+            execute("counting", runs_dir=tmp_path, force=True)
+        monkeypatch.undo()
+
+        # the stale manifest is gone, so the directory is not a cache hit
+        assert not (record.out_dir / MANIFEST_NAME).is_file()
+        again = execute("counting", runs_dir=tmp_path)
+        assert not again.cache_hit
+
+    def test_markdown_artifact_contains_table(self, tmp_path, counting_experiment):
+        record = execute("counting", runs_dir=tmp_path)
+        assert "| knob | call |" in record.markdown
+
+
+class TestLoadAndList:
+    def test_load_record_roundtrip(self, tmp_path, counting_experiment):
+        execute("counting", CountingSpec(knob=3), runs_dir=tmp_path)
+        record = load_record("counting", CountingSpec(knob=3), runs_dir=tmp_path)
+        assert record is not None
+        assert record.cache_hit
+        assert record.result["rows"] == [{"knob": 3, "call": 1}]
+
+    def test_load_record_missing(self, tmp_path, counting_experiment):
+        assert load_record("counting", runs_dir=tmp_path) is None
+
+    def test_list_runs(self, tmp_path, counting_experiment):
+        assert list_runs(tmp_path) == []
+        execute("counting", CountingSpec(knob=1), runs_dir=tmp_path)
+        execute("counting", CountingSpec(knob=2), runs_dir=tmp_path)
+        manifests = list_runs(tmp_path)
+        assert len(manifests) == 2
+        assert all(m["experiment"] == "counting" for m in manifests)
+
+    def test_list_runs_skips_incomplete(self, tmp_path, counting_experiment):
+        record = execute("counting", runs_dir=tmp_path)
+        (record.out_dir / "report.txt").unlink()
+        assert list_runs(tmp_path) == []

@@ -1,8 +1,6 @@
 """Tests for CNF construction and the Tseitin transformation."""
 
-import itertools
 
-import numpy as np
 import pytest
 
 from repro.aig import AIGBuilder, lit_negate

@@ -5,7 +5,7 @@ import pytest
 
 from repro.aig import AIGBuilder, lit_negate
 from repro.sim import fanout_stems, find_reconvergences
-from repro.synth import has_constant_outputs, synthesize, netlist_to_aig
+from repro.synth import has_constant_outputs, synthesize
 
 from ..helpers import random_netlist
 

@@ -8,7 +8,6 @@ from repro.synth import (
     balance,
     has_constant_outputs,
     netlist_to_aig,
-    strash,
     sweep,
     synthesize,
 )

@@ -1,7 +1,6 @@
 """Tests for structural hashing and the StrashBuilder logic ops."""
 
 import numpy as np
-import pytest
 
 from repro.aig import AIGBuilder, CONST0_LIT, CONST1_LIT, lit_negate
 from repro.sim import exhaustive_patterns, popcount, simulate_aig

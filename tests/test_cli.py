@@ -1,6 +1,5 @@
 """End-to-end tests of the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -84,7 +83,80 @@ class TestEquiv:
         assert "DIFFERENT" in capsys.readouterr().out
 
 
-class TestExperimentRouting:
-    def test_table1_smoke(self, capsys):
-        assert main(["experiment", "table1", "--scale", "smoke"]) == 0
+class TestExperimentCLI:
+    def test_list(self, capsys, tmp_path):
+        assert main(["experiment", "list", "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table2", "table3", "table4", "tsweep", "ablations"):
+            assert name in out
+
+    def test_run_then_cache_hit(self, capsys, tmp_path):
+        args = ["experiment", "run", "table1", "--scale", "smoke",
+                "--runs-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "Table I" in first.out
+        assert "[ran:" in first.err
+
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert "Table I" in second.out
+        assert "cache hit" in second.err
+        assert second.out == first.out
+
+    def test_report_requires_cached_run(self, capsys, tmp_path):
+        args = ["experiment", "report", "table1", "--scale", "smoke",
+                "--runs-dir", str(tmp_path)]
+        assert main(args) == 1
+        assert "no cached run" in capsys.readouterr().err
+        main(["experiment", "run", "table1", "--scale", "smoke",
+              "--runs-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(args) == 0
         assert "Table I" in capsys.readouterr().out
+
+    def test_json_and_markdown_formats(self, capsys, tmp_path):
+        import json
+
+        assert main(["experiment", "run", "table1", "--scale", "smoke",
+                     "--runs-dir", str(tmp_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "table1"
+        assert payload["rows"]
+        assert main(["experiment", "report", "table1", "--scale", "smoke",
+                     "--runs-dir", str(tmp_path), "--format", "markdown"]) == 0
+        assert "| suite |" in capsys.readouterr().out
+
+    def test_legacy_positional_form(self, capsys, tmp_path):
+        # pre-registry spelling still works, routed through `run`
+        assert main(["experiment", "table1", "--scale", "smoke",
+                     "--runs-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "Table I" in captured.out
+        assert "deprecated" in captured.err
+
+    def test_bad_set_override(self, tmp_path):
+        with pytest.raises(SystemExit, match="key=value"):
+            main(["experiment", "run", "table1", "--scale", "smoke",
+                  "--runs-dir", str(tmp_path), "--set", "oops"])
+
+    def test_unknown_spec_field(self, tmp_path):
+        with pytest.raises(SystemExit, match="no field"):
+            main(["experiment", "run", "table1", "--scale", "smoke",
+                  "--runs-dir", str(tmp_path), "--set", "bogus=1"])
+
+    def test_unknown_experiment(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiment", "run", "table99", "--runs-dir", str(tmp_path)])
+
+    def test_bad_spec_value_is_clean_error(self, tmp_path):
+        # a spec that parses but fails inside the runner must not traceback
+        with pytest.raises(SystemExit, match="unknown ablation"):
+            main(["experiment", "run", "ablations", "--scale", "smoke",
+                  "--runs-dir", str(tmp_path), "--set", "which=bogus"])
+
+    def test_operand_named_experiment_not_rewritten(self, tmp_path):
+        from repro.cli import _rewrite_legacy_experiment_argv
+
+        argv = ["equiv", "experiment", "other.v"]
+        assert _rewrite_legacy_experiment_argv(argv) == argv

@@ -14,7 +14,6 @@ from repro.sim import (
     monte_carlo_probabilities,
 )
 from repro.synth import (
-    balance,
     has_constant_outputs,
     netlist_to_aig,
     strash,

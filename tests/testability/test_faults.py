@@ -1,6 +1,5 @@
 """Tests for stuck-at fault simulation."""
 
-import itertools
 
 import numpy as np
 import pytest

@@ -1,7 +1,6 @@
 """Tests for SCOAP controllability/observability."""
 
 import numpy as np
-import pytest
 
 from repro.aig import AIGBuilder, lit_negate
 from repro.datagen.generators import ripple_adder

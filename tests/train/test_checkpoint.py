@@ -1,0 +1,240 @@
+"""Checkpoint round-trips, resume determinism, callbacks, streamed parity."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.generators import parity, ripple_adder
+from repro.datagen.pipeline import PipelineConfig, build_shards
+from repro.graphdata import CircuitDataset, ShardedCircuitDataset, from_aig
+from repro.models import DeepGate
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.synth import synthesize
+from repro.train import (
+    Checkpoint,
+    EarlyStopping,
+    LRSchedule,
+    TrainConfig,
+    Trainer,
+    cosine_schedule,
+    step_decay,
+)
+
+
+def tiny_dataset(n=6):
+    graphs = []
+    for k in range(n):
+        nl = ripple_adder(3) if k % 2 else parity(4 + k % 3)
+        graphs.append(from_aig(synthesize(nl), num_patterns=512, seed=k))
+    return CircuitDataset(graphs)
+
+
+def make_model(seed=0):
+    return DeepGate(dim=10, num_iterations=2, rng=np.random.default_rng(seed))
+
+
+def assert_same_state(a, b):
+    sa, sb = a.state_dict(), b.state_dict()
+    assert sorted(sa) == sorted(sb)
+    for key in sa:
+        assert np.array_equal(sa[key], sb[key]), key
+
+
+class TestCheckpointFile:
+    def test_arrays_and_meta_roundtrip(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        arrays = {"w": np.arange(6.0).reshape(2, 3)}
+        save_checkpoint(path, arrays, meta={"epoch": 4, "note": "hi"})
+        back, meta = load_checkpoint(path)
+        assert meta == {"epoch": 4, "note": "hi"}
+        assert np.array_equal(back["w"], arrays["w"])
+
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            save_checkpoint(
+                tmp_path / "x.npz", {"__checkpoint_meta__": np.zeros(1)}
+            )
+
+    def test_non_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, w=np.zeros(2))
+        with pytest.raises(ValueError, match="not a checkpoint"):
+            load_checkpoint(path)
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, {"w": np.zeros(2)}, meta={"epoch": 1})
+        save_checkpoint(path, {"w": np.ones(2)}, meta={"epoch": 2})
+        arrays, meta = load_checkpoint(path)
+        assert meta["epoch"] == 2
+        assert np.array_equal(arrays["w"], np.ones(2))
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+
+
+class TestTrainerCheckpoint:
+    def test_save_load_roundtrip_bitwise(self, tmp_path):
+        ds = tiny_dataset()
+        trainer = Trainer(make_model(), TrainConfig(epochs=2, batch_size=2, lr=3e-3))
+        trainer.fit(ds)
+        path = tmp_path / "ck.npz"
+        trainer.save_checkpoint(path, epoch=1)
+
+        restored = Trainer(make_model(seed=9), TrainConfig(epochs=2, batch_size=2, lr=3e-3))
+        start = restored.load_checkpoint(path)
+        assert start == 2
+        assert_same_state(trainer.model, restored.model)
+        assert restored.history.train_loss == trainer.history.train_loss
+        assert restored.optimizer._step == trainer.optimizer._step
+
+    def test_resume_reproduces_uninterrupted_run(self, tmp_path):
+        """Kill after epoch N, resume: identical loss history and weights."""
+        ds = tiny_dataset()
+        cfg = dict(batch_size=2, lr=3e-3)
+
+        full = Trainer(make_model(), TrainConfig(epochs=6, **cfg))
+        full_history = full.fit(ds)
+
+        half = Trainer(make_model(), TrainConfig(epochs=3, **cfg))
+        path = tmp_path / "ck.npz"
+        half.fit(ds, callbacks=[Checkpoint(path)])
+
+        resumed = Trainer(make_model(seed=5), TrainConfig(epochs=6, **cfg))
+        resumed_history = resumed.fit(ds, resume_from=path)
+
+        assert resumed_history.train_loss == full_history.train_loss
+        assert_same_state(full.model, resumed.model)
+
+    def test_model_class_mismatch_rejected(self, tmp_path):
+        ds = tiny_dataset(2)
+        trainer = Trainer(make_model(), TrainConfig(epochs=1, batch_size=2))
+        trainer.fit(ds)
+        path = tmp_path / "ck.npz"
+        trainer.save_checkpoint(path, epoch=0)
+
+        from repro.models.baselines import GCN
+
+        other = GCN(3, 8, 2, "conv_sum", np.random.default_rng(0))
+        with pytest.raises(ValueError, match="was written for"):
+            Trainer(other).load_checkpoint(path)
+
+    def test_mismatched_config_rejected_on_resume(self, tmp_path):
+        ds = tiny_dataset(2)
+        trainer = Trainer(make_model(), TrainConfig(epochs=1, batch_size=2, seed=3))
+        trainer.fit(ds)
+        path = tmp_path / "ck.npz"
+        trainer.save_checkpoint(path, epoch=0)
+
+        other = Trainer(make_model(), TrainConfig(epochs=4, batch_size=4, seed=0))
+        with pytest.raises(ValueError, match="different train config"):
+            other.load_checkpoint(path)
+
+        # growing the epoch budget alone is a legitimate resume
+        extended = Trainer(make_model(), TrainConfig(epochs=9, batch_size=2, seed=3))
+        assert extended.load_checkpoint(path) == 1
+
+    def test_checkpoint_every_and_final(self, tmp_path):
+        ds = tiny_dataset(2)
+        path = tmp_path / "ck.npz"
+        trainer = Trainer(make_model(), TrainConfig(epochs=5, batch_size=2))
+        trainer.fit(ds, callbacks=[Checkpoint(path, every=2)])
+        _, meta = load_checkpoint(path)
+        # 5 epochs, every=2: saved after epochs 2 and 4, then the final
+        # partial period is flushed by on_fit_end
+        assert meta["next_epoch"] == 5
+
+
+class TestCallbacks:
+    def test_early_stopping_stops(self):
+        ds = tiny_dataset(4)
+        trainer = Trainer(
+            make_model(), TrainConfig(epochs=30, batch_size=2, lr=1e-3)
+        )
+        es = EarlyStopping(patience=2, min_delta=1.0)  # nothing improves by 1.0
+        history = trainer.fit(ds, callbacks=[es])
+        assert len(history.train_loss) < 30
+        assert es.stopped_epoch is not None
+
+    def test_early_stopping_consistent_across_resume(self, tmp_path):
+        """A resumed run must stop at the same epoch as an uninterrupted one."""
+        ds = tiny_dataset(4)
+        cfg = dict(batch_size=2, lr=1e-3)
+
+        full = Trainer(make_model(), TrainConfig(epochs=30, **cfg))
+        full_history = full.fit(
+            ds, callbacks=[EarlyStopping(patience=2, min_delta=1.0)]
+        )
+
+        # interrupt after epoch 1, resume with the same early stopping
+        half = Trainer(make_model(), TrainConfig(epochs=1, **cfg))
+        path = tmp_path / "ck.npz"
+        half.fit(ds, callbacks=[Checkpoint(path)])
+        resumed = Trainer(make_model(), TrainConfig(epochs=30, **cfg))
+        resumed_history = resumed.fit(
+            ds,
+            callbacks=[EarlyStopping(patience=2, min_delta=1.0)],
+            resume_from=path,
+        )
+
+        assert resumed_history.train_loss == full_history.train_loss
+
+    def test_lr_schedule_applied(self):
+        ds = tiny_dataset(2)
+        seen = []
+
+        class Spy(LRSchedule):
+            def on_epoch_start(self, trainer, epoch):
+                super().on_epoch_start(trainer, epoch)
+                seen.append(trainer.optimizer.lr)
+
+        trainer = Trainer(
+            make_model(), TrainConfig(epochs=4, batch_size=2, lr=1e-2)
+        )
+        trainer.fit(ds, callbacks=[Spy(step_decay(2, gamma=0.1))])
+        assert seen == pytest.approx([1e-2, 1e-2, 1e-3, 1e-3])
+
+    def test_cosine_schedule_endpoints(self):
+        fn = cosine_schedule(total_epochs=10, min_lr=1e-5)
+        assert fn(0, 1e-3) == pytest.approx(1e-3)
+        assert fn(10, 1e-3) == pytest.approx(1e-5)
+
+    def test_legacy_callback_still_works(self):
+        ds = tiny_dataset(2)
+        calls = []
+        trainer = Trainer(make_model(), TrainConfig(epochs=3, batch_size=2))
+        trainer.fit(ds, callback=lambda ep, loss, ev: calls.append(ep))
+        assert calls == [0, 1, 2]
+
+
+class TestStreamedShardTraining:
+    @pytest.fixture(scope="class")
+    def shard_dir(self, tmp_path_factory):
+        config = PipelineConfig(
+            suites=(("EPFL", 4),),
+            seed=7,
+            num_patterns=256,
+            max_nodes=200,
+            max_levels=50,
+            shard_size=2,
+        )
+        out = tmp_path_factory.mktemp("train-shards") / "tiny"
+        build_shards(config, out, workers=1)
+        return out
+
+    def test_streamed_matches_materialized(self, shard_dir):
+        """Training from shards == training from the same data in memory."""
+        sharded = ShardedCircuitDataset(shard_dir)
+        in_memory = sharded.materialize()
+        cfg = TrainConfig(epochs=3, batch_size=2, lr=2e-3, shuffle=False)
+
+        t_stream = Trainer(make_model(), cfg)
+        h_stream = t_stream.fit(sharded)
+        t_mem = Trainer(make_model(), cfg)
+        h_mem = t_mem.fit(in_memory)
+
+        assert h_stream.train_loss == h_mem.train_loss
+        assert_same_state(t_stream.model, t_mem.model)
+
+    def test_streamed_shuffled_training_runs(self, shard_dir):
+        sharded = ShardedCircuitDataset(shard_dir)
+        cfg = TrainConfig(epochs=3, batch_size=2, lr=2e-3)
+        history = Trainer(make_model(), cfg).fit(sharded)
+        assert len(history.train_loss) == 3

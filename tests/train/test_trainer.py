@@ -55,6 +55,28 @@ class TestMetrics:
             ErrorAccumulator().value
 
 
+class TestTrainHistory:
+    def test_empty_history_returns_none(self):
+        from repro.train import TrainHistory
+
+        history = TrainHistory()
+        assert history.final_train_loss is None
+        assert history.best_eval_error is None
+
+    def test_populated_history(self):
+        from repro.train import TrainHistory
+
+        history = TrainHistory(train_loss=[0.5, 0.2], eval_error=[0.4, 0.3])
+        assert history.final_train_loss == 0.2
+        assert history.best_eval_error == 0.3
+
+    def test_dict_roundtrip(self):
+        from repro.train import TrainHistory
+
+        history = TrainHistory(train_loss=[0.5], eval_error=[0.4])
+        assert TrainHistory.from_dict(history.to_dict()) == history
+
+
 class TestTrainer:
     def test_loss_decreases(self):
         ds = tiny_dataset()
@@ -77,7 +99,7 @@ class TestTrainer:
         calls = []
         model = DeepGate(dim=4, num_iterations=1, rng=np.random.default_rng(2))
         trainer = Trainer(model, TrainConfig(epochs=3, batch_size=2, lr=1e-3))
-        trainer.fit(ds, callback=lambda e, l, v: calls.append((e, l, v)))
+        trainer.fit(ds, callback=lambda ep, loss, ev: calls.append((ep, loss, ev)))
         assert [c[0] for c in calls] == [0, 1, 2]
 
     def test_evaluate_with_custom_iterations(self):
@@ -110,3 +132,70 @@ class TestTrainer:
         model = DeepGate(dim=4, num_iterations=1, rng=np.random.default_rng(5))
         trainer = Trainer(model, TrainConfig(epochs=1, batch_size=2, grad_clip=0.0))
         trainer.fit(ds)  # must not raise
+
+    def test_fit_is_deterministic_given_seed(self):
+        ds = tiny_dataset(4)
+
+        def train_once():
+            model = DeepGate(dim=6, num_iterations=1, rng=np.random.default_rng(7))
+            t = Trainer(model, TrainConfig(epochs=3, batch_size=2, lr=2e-3, seed=3))
+            return t.fit(ds).train_loss
+
+        assert train_once() == train_once()
+
+    def test_epochs_see_different_batch_orders(self):
+        """The per-epoch reshuffle must actually vary the batch order."""
+        ds = tiny_dataset(6)
+        orders = []
+        model = DeepGate(dim=4, num_iterations=1, rng=np.random.default_rng(8))
+        trainer = Trainer(model, TrainConfig(epochs=3, batch_size=2, lr=1e-3))
+
+        original = trainer._run_epoch
+
+        def spy(batches):
+            batches = list(batches)
+            orders.append([b.num_nodes for b in batches])
+            return original(iter(batches))
+
+        trainer._run_epoch = spy
+        trainer.fit(ds)
+        assert len(orders) == 3
+        assert any(o != orders[0] for o in orders[1:])
+
+    def test_shuffle_disabled_keeps_order(self):
+        ds = tiny_dataset(6)
+        orders = []
+        model = DeepGate(dim=4, num_iterations=1, rng=np.random.default_rng(9))
+        trainer = Trainer(
+            model, TrainConfig(epochs=2, batch_size=2, lr=1e-3, shuffle=False)
+        )
+        original = trainer._run_epoch
+
+        def spy(batches):
+            batches = list(batches)
+            orders.append([b.num_nodes for b in batches])
+            return original(iter(batches))
+
+        trainer._run_epoch = spy
+        trainer.fit(ds)
+        assert orders[0] == orders[1]
+
+    def test_fit_from_sharded_dataset(self, tmp_path):
+        from repro.datagen.pipeline import PipelineConfig, build_shards
+        from repro.graphdata import ShardedCircuitDataset
+
+        config = PipelineConfig(
+            suites=(("EPFL", 3),),
+            seed=5,
+            num_patterns=256,
+            max_nodes=200,
+            max_levels=50,
+            shard_size=2,
+        )
+        build_shards(config, tmp_path / "ds", workers=1)
+        sharded = ShardedCircuitDataset(tmp_path / "ds")
+        model = DeepGate(dim=4, num_iterations=1, rng=np.random.default_rng(6))
+        history = Trainer(model, TrainConfig(epochs=2, batch_size=2, lr=1e-3)).fit(
+            sharded
+        )
+        assert len(history.train_loss) == 2
