@@ -11,8 +11,9 @@ Subcommands cover the library's workflow end to end::
     python -m repro dataset build --scale smoke --out data/smoke --workers 4
     python -m repro dataset info data/smoke
     python -m repro experiment list
-    python -m repro experiment run table2 --scale smoke
+    python -m repro experiment run table2 --scale smoke --workers 4
     python -m repro experiment report table2 --scale smoke --format markdown
+    python -m repro experiment compare runs/table2/<hash-a> runs/table2/<hash-b>
 
 Circuit formats are chosen by suffix: ``.bench`` (ISCAS), ``.v``
 (structural Verilog) and ``.aag`` (ASCII AIGER).
@@ -273,13 +274,30 @@ def _experiment_spec(args: argparse.Namespace):
     return exp, spec
 
 
+def _unit_progress(event) -> None:
+    """One live line per unit on stderr as the grid executes."""
+    tag = "cached" if event["status"] == "cached" else "done"
+    print(
+        f"[unit {event['index'] + 1}/{event['total']}] "
+        f"{event['label']}: {tag} ({event['elapsed']:.2f}s)",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
 def cmd_experiment_run(args: argparse.Namespace) -> int:
-    from .runtime import execute
+    from .runtime import default_workers, execute_parallel
 
     exp, spec = _experiment_spec(args)
+    workers = args.workers if args.workers else default_workers()
     try:
-        record = execute(
-            args.name, spec, runs_dir=args.runs_dir, force=args.force
+        record = execute_parallel(
+            args.name,
+            spec,
+            runs_dir=args.runs_dir,
+            workers=workers,
+            force=args.force,
+            progress=None if args.quiet else _unit_progress,
         )
     except ValueError as exc:  # bad spec values surface at run time
         raise SystemExit(str(exc))
@@ -321,6 +339,37 @@ def cmd_experiment_list(args: argparse.Namespace) -> int:
         suffix = f"  [{runs} cached run{'s' if runs != 1 else ''}]" if runs else ""
         print(f"{exp.name:10s} {exp.title}{suffix}")
         print(f"{'':10s} spec: {fields}")
+    return 0
+
+
+def cmd_experiment_compare(args: argparse.Namespace) -> int:
+    from .runtime.compare import (
+        compare_results,
+        load_run_result,
+        render_markdown,
+        render_text,
+    )
+
+    try:
+        run_a = load_run_result(args.run_a, runs_dir=args.runs_dir)
+        run_b = load_run_result(args.run_b, runs_dir=args.runs_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    if run_a.experiment != run_b.experiment:
+        print(
+            f"note: comparing different experiments "
+            f"({run_a.experiment} vs {run_b.experiment})",
+            file=sys.stderr,
+        )
+    diff = compare_results(run_a, run_b)
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps(diff, indent=2, sort_keys=True))
+    elif args.format == "markdown":
+        print(render_markdown(diff))
+    else:
+        print(render_text(diff))
     return 0
 
 
@@ -459,12 +508,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_spec_args(q)
     q.add_argument("--force", action="store_true",
-                   help="re-run even on a cache hit")
+                   help="re-run even on a cache hit (drops unit caches too)")
+    q.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for unit-decomposed experiments "
+             "(0 = REPRO_WORKERS env var or CPU count; default 1)",
+    )
+    q.add_argument("--quiet", action="store_true",
+                   help="suppress per-unit progress lines")
     q.set_defaults(func=cmd_experiment_run)
 
     q = exp_sub.add_parser("list", help="list registered experiments")
     q.add_argument("--runs-dir", default=None)
     q.set_defaults(func=cmd_experiment_list)
+
+    q = exp_sub.add_parser(
+        "compare",
+        help="diff the result metrics of two cached runs",
+    )
+    q.add_argument("run_a", help="run directory (or <experiment>/<hash> "
+                                 "under --runs-dir)")
+    q.add_argument("run_b", help="run directory to compare against run_a")
+    q.add_argument(
+        "--runs-dir", default=None,
+        help="runs root for <experiment>/<hash> references "
+             "(default: REPRO_RUNS_DIR or ./runs)",
+    )
+    q.add_argument(
+        "--format", default="text", choices=["text", "markdown", "json"],
+        help="how to print the diff",
+    )
+    q.set_defaults(func=cmd_experiment_compare)
 
     q = exp_sub.add_parser(
         "report", help="print a cached run's report without re-running"
@@ -487,7 +561,8 @@ def _rewrite_legacy_experiment_argv(argv):
     if not args or args[0] != "experiment":
         return args
     rest = args[1:]
-    if rest and rest[0] not in ("run", "list", "report", "-h", "--help"):
+    if rest and rest[0] not in ("run", "list", "report", "compare",
+                                "-h", "--help"):
         if rest[0].startswith("-"):
             # option-first legacy form ('experiment --scale smoke table1')
             note = (

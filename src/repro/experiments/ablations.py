@@ -25,7 +25,12 @@ from ..datagen import generators as gen
 from ..graphdata.dataset import CircuitDataset
 from ..graphdata.features import from_aig
 from ..models.deepgate import DeepGate
-from ..runtime.registry import ExperimentResult, ExperimentSpec, experiment
+from ..runtime.registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    UnitSpec,
+    experiment,
+)
 from ..synth.pipeline import has_constant_outputs, strip_constant_outputs, synthesize
 from ..train.metrics import ErrorAccumulator
 from ..train.trainer import TrainConfig, Trainer
@@ -208,20 +213,45 @@ class AblationsSpec(ExperimentSpec):
     which: Tuple[str, ...] = ()
 
 
+def _units(spec: AblationsSpec) -> List[UnitSpec]:
+    """One unit per requested ablation section (all four by default)."""
+    names = spec.which or tuple(SECTIONS)
+    unknown = [n for n in names if n not in SECTIONS]
+    if unknown:
+        raise ValueError(
+            f"unknown ablation sections {unknown}; choose from {sorted(SECTIONS)}"
+        )
+    return [UnitSpec(key=name) for name in names]
+
+
+def _run_unit(spec: AblationsSpec, unit: UnitSpec) -> dict:
+    """Run one section's controlled comparison."""
+    rows = SECTIONS[unit.key](resolve_scale(spec))
+    return {
+        "section": unit.key,
+        "rows": [
+            {"ablation": r.name, "variant": r.variant, "error": r.error}
+            for r in rows
+        ],
+    }
+
+
 @experiment(
     "ablations",
     spec=AblationsSpec,
     title="Design-choice ablations",
     description="Controlled comparisons of DeepGate's load-bearing choices.",
+    units=_units,
+    run_unit=_run_unit,
 )
-def _run_spec(spec: AblationsSpec) -> ExperimentResult:
-    rows = run(resolve_scale(spec), which=spec.which)
+def _merge(spec: AblationsSpec, unit_results: List[dict]) -> ExperimentResult:
+    row_dicts = [row for r in unit_results for row in r["rows"]]
+    rows = [
+        AblationRow(r["ablation"], r["variant"], r["error"]) for r in row_dicts
+    ]
     return ExperimentResult(
         experiment="ablations",
-        rows=[
-            {"ablation": r.name, "variant": r.variant, "error": r.error}
-            for r in rows
-        ],
+        rows=row_dicts,
         table=format_table(rows),
     )
 

@@ -12,7 +12,12 @@ from dataclasses import dataclass
 from typing import List, Tuple, Union
 
 from ..datagen.suites import SUITE_NAMES, TABLE1_PAPER_ROWS
-from ..runtime.registry import ExperimentResult, ExperimentSpec, experiment
+from ..runtime.registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    UnitSpec,
+    experiment,
+)
 from .common import (
     Scale,
     cached_suites,
@@ -95,14 +100,49 @@ class Table1Spec(ExperimentSpec):
     """Dataset statistics need no knobs beyond the base spec."""
 
 
+def _units(spec: Table1Spec) -> List[UnitSpec]:
+    """One unit per benchmark suite at this scale, in table order."""
+    counts = resolve_scale(spec).suite_counts()
+    return [UnitSpec(key=name) for name in SUITE_NAMES if name in counts]
+
+
+def _run_unit(spec: Table1Spec, unit: UnitSpec) -> dict:
+    """Stats of one suite (the suite pool is built once and shared)."""
+    cfg = resolve_scale(spec)
+    ds = cached_suites(cfg)[unit.key]
+    paper_n, paper_nodes, paper_levels = TABLE1_PAPER_ROWS[unit.key]
+    return {
+        "suite": unit.key,
+        "subcircuits": len(ds),
+        "node_range": list(ds.node_count_range()),
+        "level_range": list(ds.level_range()),
+        "paper_subcircuits": paper_n,
+        "paper_node_range": list(paper_nodes),
+        "paper_level_range": list(paper_levels),
+    }
+
+
 @experiment(
     "table1",
     spec=Table1Spec,
     title="Table I: circuit training dataset statistics",
     description="Per-suite sub-circuit counts, node and level ranges.",
+    units=_units,
+    run_unit=_run_unit,
 )
-def _run_spec(spec: Table1Spec) -> ExperimentResult:
-    rows = run(resolve_scale(spec))
+def _merge(spec: Table1Spec, unit_results: List[dict]) -> ExperimentResult:
+    rows = [
+        Table1Row(
+            suite=r["suite"],
+            subcircuits=r["subcircuits"],
+            node_range=tuple(r["node_range"]),
+            level_range=tuple(r["level_range"]),
+            paper_subcircuits=r["paper_subcircuits"],
+            paper_node_range=tuple(r["paper_node_range"]),
+            paper_level_range=tuple(r["paper_level_range"]),
+        )
+        for r in unit_results
+    ]
     return ExperimentResult(
         experiment="table1",
         rows=[

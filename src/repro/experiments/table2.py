@@ -21,7 +21,12 @@ from ..models.registry import (
     config_from_code,
     table2_configs,
 )
-from ..runtime.registry import ExperimentResult, ExperimentSpec, experiment
+from ..runtime.registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    UnitSpec,
+    experiment,
+)
 from ..train.trainer import TrainConfig, Trainer
 from .common import (
     Scale,
@@ -132,29 +137,47 @@ class Table2Spec(ExperimentSpec):
         return [config_from_code(code) for code in self.models]
 
 
+def _units(spec: Table2Spec) -> List[UnitSpec]:
+    """One unit per grid row (model configuration), in paper order."""
+    configs = spec.model_configs() or table2_configs()
+    return [UnitSpec(key=c.code, title=c.label) for c in configs]
+
+
+def _run_unit(spec: Table2Spec, unit: UnitSpec) -> dict:
+    """Train and evaluate a single model configuration."""
+    row = run(
+        resolve_scale(spec),
+        configs=[config_from_code(unit.key)],
+        train_fraction=spec.train_fraction,
+    )[0]
+    return {
+        "model": row.label,
+        "code": row.config.code,
+        "error": row.error,
+        "paper_error": row.paper_error,
+    }
+
+
 @experiment(
     "table2",
     spec=Table2Spec,
     title="Table II: model comparison for logic probability prediction",
     description="Train the model grid and report held-out prediction error.",
+    units=_units,
+    run_unit=_run_unit,
 )
-def _run_spec(spec: Table2Spec) -> ExperimentResult:
-    rows = run(
-        resolve_scale(spec),
-        configs=spec.model_configs(),
-        train_fraction=spec.train_fraction,
-    )
+def _merge(spec: Table2Spec, unit_results: List[dict]) -> ExperimentResult:
+    rows = [
+        Table2Row(
+            config=config_from_code(r["code"]),
+            error=r["error"],
+            paper_error=r["paper_error"],
+        )
+        for r in unit_results
+    ]
     return ExperimentResult(
         experiment="table2",
-        rows=[
-            {
-                "model": r.label,
-                "code": r.config.code,
-                "error": r.error,
-                "paper_error": r.paper_error,
-            }
-            for r in rows
-        ],
+        rows=list(unit_results),
         table=format_table(rows),
     )
 

@@ -21,7 +21,12 @@ from ..datagen import generators as gen
 from ..graphdata.dataset import CircuitDataset
 from ..graphdata.features import from_aig
 from ..models.registry import ModelConfig, build_model
-from ..runtime.registry import ExperimentResult, ExperimentSpec, experiment
+from ..runtime.registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    UnitSpec,
+    experiment,
+)
 from ..synth.pipeline import has_constant_outputs, strip_constant_outputs, synthesize
 from ..train.trainer import TrainConfig, Trainer, evaluate_model
 from .common import (
@@ -183,14 +188,72 @@ class Table3Spec(ExperimentSpec):
     """Large-design generalisation needs no knobs beyond the base spec."""
 
 
+#: unit key -> the model arm it trains and evaluates
+_ARM_CONFIGS: Dict[str, ModelConfig] = {
+    "deepset": ModelConfig("dag_rec", "deepset"),
+    "deepgate": ModelConfig("deepgate", "attention", use_skip=True),
+}
+
+
+def _units(spec: Table3Spec) -> List[UnitSpec]:
+    """One unit per model arm; each trains once and sweeps all designs."""
+    return [
+        UnitSpec(key=key, title=cfg.label)
+        for key, cfg in _ARM_CONFIGS.items()
+    ]
+
+
+def _run_unit(spec: Table3Spec, unit: UnitSpec) -> dict:
+    """Train one arm on the small pool, evaluate every large design."""
+    cfg = resolve_scale(spec)
+    train, _ = merged_dataset(cfg).split(0.9, seed=cfg.seed)
+    model = build_model(
+        _ARM_CONFIGS[unit.key],
+        dim=cfg.dim,
+        num_iterations=cfg.num_iterations,
+        num_layers=cfg.num_layers,
+        seed=cfg.seed,
+    )
+    Trainer(
+        model,
+        TrainConfig(
+            epochs=cfg.epochs, batch_size=cfg.batch_size, lr=cfg.lr, seed=cfg.seed
+        ),
+    ).fit(train)
+    designs = []
+    for graph in large_designs(cfg):
+        batch_ds = CircuitDataset([graph]).prepared_batches(1)
+        designs.append(
+            {
+                "design": graph.name,
+                "nodes": graph.num_nodes,
+                "levels": graph.depth,
+                "error": evaluate_model(model, batch_ds),
+            }
+        )
+    return {"arm": unit.key, "designs": designs}
+
+
 @experiment(
     "table3",
     spec=Table3Spec,
     title="Table III: generalisation to large circuits",
     description="Train on small sub-circuits, evaluate on five large designs.",
+    units=_units,
+    run_unit=_run_unit,
 )
-def _run_spec(spec: Table3Spec) -> ExperimentResult:
-    rows = run(resolve_scale(spec))
+def _merge(spec: Table3Spec, unit_results: List[dict]) -> ExperimentResult:
+    by_arm = {r["arm"]: r["designs"] for r in unit_results}
+    rows = [
+        Table3Row(
+            design=deepset["design"],
+            nodes=deepset["nodes"],
+            levels=deepset["levels"],
+            deepset_error=deepset["error"],
+            deepgate_error=deepgate["error"],
+        )
+        for deepset, deepgate in zip(by_arm["deepset"], by_arm["deepgate"])
+    ]
     return ExperimentResult(
         experiment="table3",
         rows=[

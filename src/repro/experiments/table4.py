@@ -25,7 +25,12 @@ from ..datagen.suites import suite_pool
 from ..graphdata.dataset import CircuitDataset
 from ..graphdata.features import from_aig, from_netlist
 from ..models.deepgate import DeepGate
-from ..runtime.registry import ExperimentResult, ExperimentSpec, experiment
+from ..runtime.registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    UnitSpec,
+    experiment,
+)
 from ..synth.pipeline import has_constant_outputs, strip_constant_outputs, synthesize
 from ..train.trainer import TrainConfig, Trainer
 from .common import (
@@ -117,47 +122,57 @@ def _train_deepgate(
     return model
 
 
+# one pre-trained arm per scale per process: serial unit execution
+# trains it once and every suite unit shares it (evaluation only);
+# worker processes retrain their own copy, which is bitwise identical
+# because model init and training are fully seeded
+_PRETRAINED_CACHE: Dict[Scale, DeepGate] = {}
+
+
+def _pretrained_arm(cfg: Scale) -> DeepGate:
+    """The pre-trained arm: one DeepGate on the merged all-suite AIG
+    pool (memoised per scale)."""
+    if cfg not in _PRETRAINED_CACHE:
+        merged_train, _ = merged_dataset(cfg).split(0.9, seed=cfg.seed)
+        _PRETRAINED_CACHE[cfg] = _train_deepgate(merged_train, 3, True, cfg)
+    return _PRETRAINED_CACHE[cfg]
+
+
+def _suite_row(suite: str, cfg: Scale, pretrained: DeepGate) -> Table4Row:
+    """The three arms of one suite's controlled comparison."""
+    from ..train.trainer import evaluate_model
+
+    # the paper's controlled experiment draws a dedicated pool per suite
+    # (375 EPFL sub-circuits); use twice the suite's budget here
+    count = 2 * cfg.suite_counts().get(suite, 4)
+    netlist_ds, aig_ds = _paired_datasets(suite, count, cfg)
+    nl_train, nl_test = netlist_ds.split(0.75, seed=cfg.seed)
+    aig_train, aig_test = aig_ds.split(0.75, seed=cfg.seed)
+
+    without = _train_deepgate(nl_train, len(nl_train[0].type_names), False, cfg)
+    with_tr = _train_deepgate(aig_train, 3, True, cfg)
+
+    return Table4Row(
+        suite=suite,
+        without_transform=evaluate_model(
+            without, nl_test.prepared_batches(cfg.batch_size)
+        ),
+        with_transform=evaluate_model(
+            with_tr, aig_test.prepared_batches(cfg.batch_size)
+        ),
+        pretrained=evaluate_model(
+            pretrained, aig_test.prepared_batches(cfg.batch_size)
+        ),
+    )
+
+
 def run(
     scale: Union[str, Scale] = "default",
     suites: Tuple[str, ...] = ("EPFL", "IWLS"),
 ) -> List[Table4Row]:
     cfg = get_scale(scale)
-    counts = cfg.suite_counts()
-
-    # the pre-trained arm: one DeepGate on the merged all-suite AIG pool
-    merged = merged_dataset(cfg)
-    merged_train, _ = merged.split(0.9, seed=cfg.seed)
-    pretrained = _train_deepgate(merged_train, 3, True, cfg)
-
-    rows: List[Table4Row] = []
-    for suite in suites:
-        # the paper's controlled experiment draws a dedicated pool per suite
-        # (375 EPFL sub-circuits); use twice the suite's budget here
-        count = 2 * counts.get(suite, 4)
-        netlist_ds, aig_ds = _paired_datasets(suite, count, cfg)
-        nl_train, nl_test = netlist_ds.split(0.75, seed=cfg.seed)
-        aig_train, aig_test = aig_ds.split(0.75, seed=cfg.seed)
-
-        without = _train_deepgate(nl_train, len(nl_train[0].type_names), False, cfg)
-        with_tr = _train_deepgate(aig_train, 3, True, cfg)
-
-        from ..train.trainer import evaluate_model
-
-        rows.append(
-            Table4Row(
-                suite=suite,
-                without_transform=evaluate_model(
-                    without, nl_test.prepared_batches(cfg.batch_size)
-                ),
-                with_transform=evaluate_model(
-                    with_tr, aig_test.prepared_batches(cfg.batch_size)
-                ),
-                pretrained=evaluate_model(
-                    pretrained, aig_test.prepared_batches(cfg.batch_size)
-                ),
-            )
-        )
-    return rows
+    pretrained = _pretrained_arm(cfg)
+    return [_suite_row(suite, cfg, pretrained) for suite in suites]
 
 
 def format_table(rows: List[Table4Row]) -> str:
@@ -197,25 +212,45 @@ class Table4Spec(ExperimentSpec):
     suites: Tuple[str, ...] = ("EPFL", "IWLS")
 
 
+def _units(spec: Table4Spec) -> List[UnitSpec]:
+    """One unit per suite's controlled three-arm comparison."""
+    return [UnitSpec(key=suite) for suite in spec.suites]
+
+
+def _run_unit(spec: Table4Spec, unit: UnitSpec) -> dict:
+    """One suite's three arms (the shared pre-trained arm is retrained
+    from the same seeds, so workers reproduce the serial weights)."""
+    cfg = resolve_scale(spec)
+    row = _suite_row(unit.key, cfg, _pretrained_arm(cfg))
+    return {
+        "suite": row.suite,
+        "without_transform": row.without_transform,
+        "with_transform": row.with_transform,
+        "pretrained": row.pretrained,
+    }
+
+
 @experiment(
     "table4",
     spec=Table4Spec,
     title="Table IV: DeepGate with and without circuit transformation",
     description="Netlist vs AIG representation vs merged-suite pre-training.",
+    units=_units,
+    run_unit=_run_unit,
 )
-def _run_spec(spec: Table4Spec) -> ExperimentResult:
-    rows = run(resolve_scale(spec), suites=spec.suites)
+def _merge(spec: Table4Spec, unit_results: List[dict]) -> ExperimentResult:
+    rows = [
+        Table4Row(
+            suite=r["suite"],
+            without_transform=r["without_transform"],
+            with_transform=r["with_transform"],
+            pretrained=r["pretrained"],
+        )
+        for r in unit_results
+    ]
     return ExperimentResult(
         experiment="table4",
-        rows=[
-            {
-                "suite": r.suite,
-                "without_transform": r.without_transform,
-                "with_transform": r.with_transform,
-                "pretrained": r.pretrained,
-            }
-            for r in rows
-        ],
+        rows=list(unit_results),
         table=format_table(rows),
     )
 

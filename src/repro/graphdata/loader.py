@@ -82,6 +82,7 @@ class _PrefetchIterator:
     def __init__(self, source: Iterator[PreparedBatch], depth: int):
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=depth)
         self._stop = threading.Event()
+        self._done = False
         self._thread = threading.Thread(
             target=_prefetch_worker,
             args=(source, self._queue, self._stop),
@@ -93,20 +94,34 @@ class _PrefetchIterator:
         return self
 
     def __next__(self) -> PreparedBatch:
+        # after close()/exhaustion/a propagated error there is nothing
+        # left to wait for; blocking on the queue would hang forever
+        if self._done:
+            raise StopIteration
         item = self._queue.get()
         if item is _SENTINEL:
+            self._finish()
             raise StopIteration
         if isinstance(item, BaseException):
+            self._finish()
             raise item
         return item  # type: ignore[return-value]
+
+    def _finish(self) -> None:
+        """Mark the stream over and reap the worker (it has already put
+        its final item and is exiting)."""
+        self._done = True
+        self._thread.join()
 
     def close(self) -> None:
         """Stop and reap the worker (early exit from an epoch).
 
         Joins the thread so no stale producer is still touching the
         dataset (e.g. the sharded LRU cache) when the next epoch's worker
-        starts.
+        starts.  Idempotent; iterating afterwards raises
+        ``StopIteration`` instead of blocking on an empty queue.
         """
+        self._done = True
         self._stop.set()
         while True:  # unblock a producer stuck on a full queue
             try:

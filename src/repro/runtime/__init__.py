@@ -1,16 +1,32 @@
 """Unified experiment runtime: registry, specs, and cached run artifacts.
 
 * :mod:`.registry` — the :class:`Experiment` protocol, frozen spec
-  dataclasses, and the decorator-based registry the CLI is driven by;
+  dataclasses, the unit-decomposition API (:class:`UnitSpec`,
+  ``units``/``run_unit``/``merge``) and the decorator-based registry the
+  CLI is driven by;
 * :mod:`.runner` — run directories with a ``manifest.json`` keyed by a
   spec hash, giving every paper table the same cache-hit/invalidation
-  semantics as the dataset pipeline.
+  semantics as the dataset pipeline;
+* :mod:`.parallel` — the process-pool executor that fans a grid
+  experiment's units out over workers with per-unit cache directories,
+  so killed grids resume from completed units;
+* :mod:`.compare` — metric diffs between two cached runs.
 """
 
+from .compare import compare_results, load_run_result, resolve_run_dir
+from .parallel import (
+    UnitProgress,
+    default_workers,
+    execute_parallel,
+    load_unit_result,
+    unit_dir_for,
+    unit_hash,
+)
 from .registry import (
     Experiment,
     ExperimentResult,
     ExperimentSpec,
+    UnitSpec,
     experiment,
     get_experiment,
     list_experiments,
@@ -30,6 +46,7 @@ __all__ = [
     "Experiment",
     "ExperimentResult",
     "ExperimentSpec",
+    "UnitSpec",
     "experiment",
     "get_experiment",
     "list_experiments",
@@ -41,4 +58,13 @@ __all__ = [
     "load_record",
     "run_dir_for",
     "spec_hash",
+    "UnitProgress",
+    "default_workers",
+    "execute_parallel",
+    "load_unit_result",
+    "unit_dir_for",
+    "unit_hash",
+    "compare_results",
+    "load_run_result",
+    "resolve_run_dir",
 ]

@@ -1,0 +1,291 @@
+"""Diff the result metrics of two cached experiment runs.
+
+``repro experiment compare <run-a> <run-b>`` matches the rows of two
+``result.json`` files by their label fields (the non-numeric columns:
+model name, suite, ablation variant, …) and diffs every numeric column —
+absolute delta and percent change — rendering the outcome as plain text,
+a markdown pipe table, or JSON.
+
+Runs are addressed by their run directory (``runs/table2/<hash>``),
+either as a filesystem path or relative to the runs root, so the output
+of ``repro experiment run`` (which prints the directory) pipes straight
+into ``compare``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .runner import MANIFEST_NAME, default_runs_dir
+
+__all__ = [
+    "RunResult",
+    "load_run_result",
+    "resolve_run_dir",
+    "compare_results",
+    "render_text",
+    "render_markdown",
+]
+
+_RESULT_NAME = "result.json"
+
+
+class RunResult:
+    """One loaded run: its directory, result payload and manifest."""
+
+    def __init__(
+        self,
+        out_dir: Path,
+        result: Dict[str, object],
+        manifest: Optional[Dict[str, object]] = None,
+    ):
+        self.out_dir = out_dir
+        self.result = result
+        self.manifest = manifest or {}
+
+    @property
+    def experiment(self) -> str:
+        return str(
+            self.result.get("experiment")
+            or self.manifest.get("experiment")
+            or "?"
+        )
+
+    @property
+    def rows(self) -> List[Dict[str, object]]:
+        rows = self.result.get("rows")
+        return [r for r in rows if isinstance(r, dict)] if isinstance(
+            rows, list
+        ) else []
+
+
+def resolve_run_dir(
+    ref: Union[str, Path], runs_dir: Optional[Union[str, Path]] = None
+) -> Path:
+    """Map a run reference to its directory.
+
+    Accepts a directory path, or a ``<experiment>/<hash-prefix>`` form
+    resolved under the runs root (unique-prefix matching, so the 12-char
+    hash printed by ``experiment run`` works verbatim).  When a runs
+    root is given explicitly, relative references resolve under it
+    *first*, so a same-named directory in the CWD cannot shadow the
+    requested run.
+    """
+    path = Path(ref)
+    explicit_root = runs_dir is not None
+    if path.is_dir() and (path.is_absolute() or not explicit_root):
+        return path
+    root = Path(runs_dir) if explicit_root else default_runs_dir()
+    candidate = root / ref
+    if candidate.is_dir():
+        return candidate
+    parts = Path(ref).parts
+    if len(parts) == 2:
+        name, prefix = parts
+        matches = sorted(
+            d
+            for d in (root / name).glob(f"{prefix}*")
+            if d.is_dir()
+        ) if (root / name).is_dir() else []
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise FileNotFoundError(
+                f"run reference {ref!r} is ambiguous under {root}: "
+                f"{[d.name for d in matches]}"
+            )
+    if explicit_root and path.is_dir():
+        return path
+    raise FileNotFoundError(
+        f"no run directory for {ref!r} (looked at {path} and under {root})"
+    )
+
+
+def load_run_result(
+    ref: Union[str, Path], runs_dir: Optional[Union[str, Path]] = None
+) -> RunResult:
+    """Load a run's ``result.json`` (and manifest, when readable)."""
+    out_dir = resolve_run_dir(ref, runs_dir)
+    try:
+        result = json.loads((out_dir / _RESULT_NAME).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{out_dir} has no readable {_RESULT_NAME}: {exc}")
+    if not isinstance(result, dict):
+        raise ValueError(f"{out_dir}/{_RESULT_NAME} is not a JSON object")
+    try:
+        manifest = json.loads((out_dir / MANIFEST_NAME).read_text())
+    except (OSError, json.JSONDecodeError):
+        manifest = None
+    return RunResult(
+        out_dir, result, manifest if isinstance(manifest, dict) else None
+    )
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _labelled_rows(
+    rows: List[Dict[str, object]], label_keys: List[str]
+) -> Dict[str, Dict[str, object]]:
+    """Rows keyed by label; duplicate labels get a ``#k`` suffix so no
+    row silently vanishes from the diff (duplicates pair positionally
+    between the two runs)."""
+    seen: Dict[str, int] = {}
+    out: Dict[str, Dict[str, object]] = {}
+    for row in rows:
+        label = _row_label(row, label_keys)
+        n = seen.get(label, 0)
+        seen[label] = n + 1
+        out[label if n == 0 else f"{label} #{n + 1}"] = row
+    return out
+
+
+def _row_label(row: Dict[str, object], label_keys: List[str]) -> str:
+    # .get: comparing runs of *different* experiments is allowed (the
+    # CLI warns and proceeds), and their rows need not share columns —
+    # unmatched labels then land in only_in_a/only_in_b instead of
+    # crashing the diff
+    return " / ".join(str(row.get(k)) for k in label_keys)
+
+
+def compare_results(a: RunResult, b: RunResult) -> Dict[str, object]:
+    """Structured metric diff of two runs.
+
+    Rows are matched by the tuple of shared non-numeric columns; every
+    shared numeric column becomes one diff entry with ``a``, ``b``,
+    ``delta`` (b - a) and ``pct`` (percent change, ``None`` when a is 0).
+    """
+    rows_a, rows_b = a.rows, b.rows
+    keys_a = set().union(*(r.keys() for r in rows_a)) if rows_a else set()
+    keys_b = set().union(*(r.keys() for r in rows_b)) if rows_b else set()
+    shared = keys_a & keys_b
+    sample = (rows_a + rows_b)[:1]
+    first_keys = list(sample[0].keys()) if sample else []
+    label_keys = [
+        k
+        for k in first_keys
+        if k in shared
+        and all(not _is_numeric(r.get(k)) for r in rows_a + rows_b)
+    ] or first_keys[:1]
+    # one label column is enough when it already identifies every row
+    for key in label_keys:
+        if len({str(r.get(key)) for r in rows_a}) == len(rows_a) and len(
+            {str(r.get(key)) for r in rows_b}
+        ) == len(rows_b):
+            label_keys = [key]
+            break
+    metric_keys = [
+        k
+        for k in first_keys
+        if k in shared
+        and k not in label_keys
+        and any(_is_numeric(r.get(k)) for r in rows_a + rows_b)
+    ]
+
+    by_label_a = _labelled_rows(rows_a, label_keys)
+    by_label_b = _labelled_rows(rows_b, label_keys)
+    diffs: List[Dict[str, object]] = []
+    for label, row_a in by_label_a.items():
+        row_b = by_label_b.get(label)
+        if row_b is None:
+            continue
+        for metric in metric_keys:
+            va, vb = row_a.get(metric), row_b.get(metric)
+            if not (_is_numeric(va) and _is_numeric(vb)):
+                continue
+            delta = vb - va
+            pct = (100.0 * delta / va) if va else None
+            diffs.append(
+                {
+                    "row": label,
+                    "metric": metric,
+                    "a": va,
+                    "b": vb,
+                    "delta": delta,
+                    "pct": pct,
+                }
+            )
+    return {
+        "experiment_a": a.experiment,
+        "experiment_b": b.experiment,
+        "run_a": str(a.out_dir),
+        "run_b": str(b.out_dir),
+        "label_keys": label_keys,
+        "metrics": metric_keys,
+        "rows": diffs,
+        "only_in_a": sorted(set(by_label_a) - set(by_label_b)),
+        "only_in_b": sorted(set(by_label_b) - set(by_label_a)),
+    }
+
+
+def _fmt_num(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _fmt_pct(pct: Optional[float]) -> str:
+    return f"{pct:+.1f}%" if pct is not None else "n/a"
+
+
+def _diff_table_rows(diff: Dict[str, object]) -> List[List[str]]:
+    return [
+        [
+            str(d["row"]),
+            str(d["metric"]),
+            _fmt_num(d["a"]),
+            _fmt_num(d["b"]),
+            _fmt_num(d["delta"]),
+            _fmt_pct(d["pct"]),
+        ]
+        for d in diff["rows"]
+    ]
+
+
+_HEADERS = ["row", "metric", "a", "b", "delta", "pct"]
+
+
+def _unmatched_lines(diff: Dict[str, object]) -> List[str]:
+    lines = []
+    if diff["only_in_a"]:
+        lines.append(f"only in a: {', '.join(diff['only_in_a'])}")
+    if diff["only_in_b"]:
+        lines.append(f"only in b: {', '.join(diff['only_in_b'])}")
+    return lines
+
+
+def render_text(diff: Dict[str, object]) -> str:
+    from ..experiments.common import format_rows
+
+    title = (
+        f"compare {diff['experiment_a']}: {diff['run_a']} vs {diff['run_b']}"
+    )
+    if not diff["rows"]:
+        return title + "\n(no comparable metric rows)"
+    out = format_rows(_HEADERS, _diff_table_rows(diff), title=title)
+    extra = _unmatched_lines(diff)
+    return out + ("\n" + "\n".join(extra) if extra else "")
+
+
+def render_markdown(diff: Dict[str, object]) -> str:
+    lines = [
+        f"# compare {diff['experiment_a']}",
+        "",
+        f"- a: `{diff['run_a']}`",
+        f"- b: `{diff['run_b']}`",
+        "",
+    ]
+    if diff["rows"]:
+        lines.append("| " + " | ".join(_HEADERS) + " |")
+        lines.append("| " + " | ".join("---" for _ in _HEADERS) + " |")
+        for row in _diff_table_rows(diff):
+            lines.append(
+                "| " + " | ".join(c.replace("|", "\\|") for c in row) + " |"
+            )
+    else:
+        lines.append("(no comparable metric rows)")
+    lines.extend(_unmatched_lines(diff))
+    return "\n".join(lines)

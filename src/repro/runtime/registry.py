@@ -13,6 +13,24 @@ table or figure.  Each one declares:
   directory) and ``to_markdown`` (a pipe table for reports), plus the
   plain-text paper-style table.
 
+Grid experiments additionally decompose into **units** — independent
+pieces of work (one Table-II model configuration, one ablation section,
+one sweep point) that the process-pool executor in
+:mod:`repro.runtime.parallel` fans out over workers and caches one
+directory each.  A unit experiment registers
+
+* ``units(spec) -> List[UnitSpec]`` — the grid rows, in table order;
+* ``run_unit(spec, unit) -> dict`` — one row's work, returning
+  JSON-able data (it runs in a worker process, so everything it
+  touches must be derivable from ``(spec, unit)``);
+* a **merge** function ``merge(spec, unit_results) ->
+  ExperimentResult`` — the decorated function itself, assembling rows
+  in unit order into the final result.
+
+The serial runner for a unit experiment is synthesised from those three
+pieces, so ``run(spec)``, ``--workers 1`` and ``--workers N`` share one
+code path and produce byte-identical artifacts.
+
 The registry is what makes the CLI generic: ``repro experiment
 run/list/report`` look experiments up by name instead of hard-coding
 imports.
@@ -21,14 +39,16 @@ imports.
 from __future__ import annotations
 
 import dataclasses
+import json
 import typing
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Type
+from typing import Callable, Dict, List, Optional, Tuple, Type
 
 __all__ = [
     "ExperimentSpec",
     "ExperimentResult",
     "Experiment",
+    "UnitSpec",
     "experiment",
     "unregister",
     "get_experiment",
@@ -94,23 +114,76 @@ def _md_cell(value: object) -> str:
 
 
 @dataclass(frozen=True)
+class UnitSpec:
+    """One independent piece of a grid experiment (one table row).
+
+    ``key`` is the stable identifier that (together with the spec hash)
+    keys the unit's on-disk cache directory — a model code, a suite
+    name, ``T=5``.  ``title`` is the human label shown in progress
+    lines; ``params`` carries whatever ``run_unit`` needs beyond the key
+    (kept JSON-able so the unit manifest can record it).
+    """
+
+    key: str
+    title: str = ""
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def label(self) -> str:
+        return self.title or self.key
+
+    def params_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+
+def canonical_unit_result(result: Dict[str, object]) -> Dict[str, object]:
+    """A unit result exactly as it reads back from its cache file.
+
+    Every unit result is JSON-roundtripped before merging (tuples become
+    lists, ints stay ints, floats stay bit-exact), so a merge over fresh
+    in-memory results and a merge over results reloaded from unit cache
+    directories produce byte-identical artifacts.
+    """
+    return json.loads(json.dumps(result))
+
+
+@dataclass(frozen=True)
 class Experiment:
-    """A registered experiment: metadata + spec type + runner."""
+    """A registered experiment: metadata + spec type + runner.
+
+    Unit experiments carry the decomposition triple (``units``,
+    ``run_unit``, ``merge``); their ``runner`` is the synthesised serial
+    path (run every unit in order, merge).
+    """
 
     name: str
     title: str
     spec_type: Type[ExperimentSpec]
     runner: Callable[[ExperimentSpec], ExperimentResult]
     description: str = ""
+    units: Optional[Callable[[ExperimentSpec], List[UnitSpec]]] = None
+    run_unit: Optional[
+        Callable[[ExperimentSpec, UnitSpec], Dict[str, object]]
+    ] = None
+    merge: Optional[
+        Callable[[ExperimentSpec, List[Dict[str, object]]], ExperimentResult]
+    ] = None
 
-    def run(self, spec: Optional[ExperimentSpec] = None) -> ExperimentResult:
+    @property
+    def supports_units(self) -> bool:
+        return self.units is not None
+
+    def validate_spec(self, spec: Optional[ExperimentSpec]) -> ExperimentSpec:
         spec = spec if spec is not None else self.spec_type()
         if not isinstance(spec, self.spec_type):
             raise TypeError(
                 f"experiment {self.name!r} takes a {self.spec_type.__name__}, "
                 f"got {type(spec).__name__}"
             )
-        return self.runner(spec)
+        return spec
+
+    def run(self, spec: Optional[ExperimentSpec] = None) -> ExperimentResult:
+        return self.runner(self.validate_spec(spec))
 
 
 _REGISTRY: Dict[str, Experiment] = {}
@@ -122,24 +195,56 @@ def experiment(
     spec: Type[ExperimentSpec],
     title: str,
     description: str = "",
+    units: Optional[Callable[[ExperimentSpec], List[UnitSpec]]] = None,
+    run_unit: Optional[
+        Callable[[ExperimentSpec, UnitSpec], Dict[str, object]]
+    ] = None,
 ) -> Callable:
-    """Register ``fn(spec) -> ExperimentResult`` under ``name``."""
+    """Register an experiment runner under ``name``.
+
+    Without ``units``, the decorated function is the whole serial run,
+    ``fn(spec) -> ExperimentResult``.  With ``units`` (and ``run_unit``),
+    the decorated function is the **merge**, ``fn(spec, unit_results) ->
+    ExperimentResult``, and the serial runner is synthesised: run every
+    unit in order, canonicalise each result, merge.
+    """
     if not dataclasses.is_dataclass(spec) or not spec.__dataclass_params__.frozen:
         raise TypeError(f"spec for {name!r} must be a frozen dataclass")
+    if (units is None) != (run_unit is None):
+        raise TypeError(
+            f"experiment {name!r}: units and run_unit must be given together"
+        )
 
-    def decorate(fn: Callable[[ExperimentSpec], ExperimentResult]) -> Callable:
+    def decorate(fn: Callable) -> Callable:
         existing = _REGISTRY.get(name)
-        if existing is not None and not _same_source(existing.runner, fn):
+        if existing is not None and not _same_source(
+            existing.merge if existing.merge is not None else existing.runner,
+            fn,
+        ):
             raise ValueError(f"experiment {name!r} already registered")
         # re-registration from the same source is idempotent: running a
         # module under runpy (``python -m repro.experiments.table1``)
         # executes its decorators a second time as ``__main__``
+        if units is not None:
+
+            def serial_runner(s: ExperimentSpec) -> ExperimentResult:
+                results = [
+                    canonical_unit_result(run_unit(s, u)) for u in units(s)
+                ]
+                return fn(s, results)
+
+            runner, merge = serial_runner, fn
+        else:
+            runner, merge = fn, None
         _REGISTRY[name] = Experiment(
             name=name,
             title=title,
             spec_type=spec,
-            runner=fn,
+            runner=runner,
             description=description or (fn.__doc__ or "").strip(),
+            units=units,
+            run_unit=run_unit,
+            merge=merge,
         )
         return fn
 

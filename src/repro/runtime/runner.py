@@ -16,9 +16,15 @@ Layout, under the runs root (``--runs-dir``, ``REPRO_RUNS_DIR`` or
 
 A run directory is a **cache hit** when its manifest exists, records the
 same spec hash and format version, and every artifact file it names is
-present.  Anything else (changed spec, interrupted run, deleted file)
-falls through to a fresh execution — the manifest is written after the
-artifacts, so a killed run can never masquerade as a complete one.
+present and loadable.  Anything else (changed spec, interrupted run,
+deleted or truncated file, a manifest that is not a JSON object) falls
+through to a fresh execution — the manifest is written after the
+artifacts, so a killed run can never masquerade as a complete one, and a
+corrupted one is a cache miss, never an exception.
+
+Unit-decomposed experiments additionally keep per-unit cache
+directories under ``<run dir>/units/`` — see
+:mod:`repro.runtime.parallel`.
 """
 
 from __future__ import annotations
@@ -44,6 +50,8 @@ __all__ = [
     "run_dir_for",
     "execute",
     "load_record",
+    "load_cached_record",
+    "write_run_artifacts",
     "list_runs",
 ]
 
@@ -124,9 +132,12 @@ def _manifest_valid(
 def _read_manifest(out_dir: Path) -> Optional[Dict[str, object]]:
     path = out_dir / MANIFEST_NAME
     try:
-        return json.loads(path.read_text())
+        manifest = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
         return None
+    # a manifest that parses but is not an object (e.g. a bare list from
+    # a corrupted write) must read as "no manifest", not blow up callers
+    return manifest if isinstance(manifest, dict) else None
 
 
 def _manifest_current(out_dir: Path, digest: str) -> Optional[Dict[str, object]]:
@@ -141,42 +152,68 @@ def _write_json(path: Path, data: object) -> None:
     _write_text(path, json.dumps(data, sort_keys=True, indent=2) + "\n")
 
 
-def execute(
+def _load_cached_artifacts(
+    out_dir: Path,
+) -> Optional[tuple]:
+    """(result, report) from a validated run dir, or ``None`` if either
+    artifact is unreadable (truncated ``result.json``, racing deletion)."""
+    try:
+        result = json.loads((out_dir / _ARTIFACTS["result"]).read_text())
+        report = (out_dir / _ARTIFACTS["report_txt"]).read_text()
+    except (OSError, json.JSONDecodeError):
+        return None
+    return result, report
+
+
+def load_cached_record(
     name: str,
-    spec: Optional[ExperimentSpec] = None,
-    runs_dir: Optional[Union[str, Path]] = None,
-    force: bool = False,
-) -> RunRecord:
-    """Run experiment ``name`` (or reuse its cached run directory).
+    spec: ExperimentSpec,
+    out_dir: Path,
+    digest: str,
+    elapsed: Optional[float] = None,
+) -> Optional[RunRecord]:
+    """The complete cached run in ``out_dir``, or ``None`` (cache miss).
 
-    ``force=True`` re-executes and overwrites the artifacts even on a
-    cache hit — the run analogue of ``dataset build --force``.
+    A validated manifest whose artifacts turn out corrupt — truncated
+    ``result.json`` from a torn disk, a file deleted between the
+    manifest check and the read — degrades to a miss instead of raising.
     """
-    exp: Experiment = get_experiment(name)
-    spec = spec if spec is not None else exp.spec_type()
-    digest = spec_hash(name, spec)
-    root = Path(runs_dir) if runs_dir is not None else default_runs_dir()
-    out_dir = run_dir_for(root, name, digest)
+    manifest = _manifest_current(out_dir, digest)
+    if manifest is None:
+        return None
+    artifacts = _load_cached_artifacts(out_dir)
+    if artifacts is None:
+        return None
+    result, report = artifacts
+    if elapsed is None:
+        raw = manifest.get("elapsed", 0.0)
+        elapsed = float(raw) if isinstance(raw, (int, float)) else 0.0
+    return RunRecord(
+        experiment=name,
+        spec=spec_dict(spec),
+        spec_hash=digest,
+        out_dir=out_dir,
+        cache_hit=True,
+        elapsed=elapsed,
+        result=result,
+        report=report,
+    )
 
-    start = time.perf_counter()
-    if not force:
-        manifest = _manifest_current(out_dir, digest)
-        if manifest is not None:
-            result = json.loads((out_dir / _ARTIFACTS["result"]).read_text())
-            report = (out_dir / _ARTIFACTS["report_txt"]).read_text()
-            return RunRecord(
-                experiment=name,
-                spec=spec_dict(spec),
-                spec_hash=digest,
-                out_dir=out_dir,
-                cache_hit=True,
-                elapsed=time.perf_counter() - start,
-                result=result,
-                report=report,
-            )
 
-    result_obj = exp.run(spec)
-    elapsed = time.perf_counter() - start
+def write_run_artifacts(
+    exp: Experiment,
+    spec: ExperimentSpec,
+    digest: str,
+    out_dir: Path,
+    result_obj,
+    elapsed: float,
+    manifest_extra: Optional[Dict[str, object]] = None,
+) -> RunRecord:
+    """Write result/report artifacts plus the certifying manifest.
+
+    Shared by the serial runner and the parallel executor so both
+    produce byte-identical run directories for the same result.
+    """
     out_dir.mkdir(parents=True, exist_ok=True)
     # a stale manifest must not certify a half-rewritten run directory if
     # this (forced or cache-invalidated) re-run is interrupted mid-write
@@ -189,22 +226,22 @@ def execute(
         out_dir / _ARTIFACTS["report_md"],
         f"# {exp.title}\n\n{result_obj.to_markdown()}\n",
     )
+    manifest: Dict[str, object] = {
+        "run_format_version": RUN_FORMAT_VERSION,
+        "experiment": exp.name,
+        "title": exp.title,
+        "spec": spec_dict(spec),
+        "spec_hash": digest,
+        "status": "complete",
+        "elapsed": elapsed,
+        "files": dict(_ARTIFACTS),
+    }
+    if manifest_extra:
+        manifest.update(manifest_extra)
     # manifest last: its presence certifies a complete run
-    _write_json(
-        out_dir / MANIFEST_NAME,
-        {
-            "run_format_version": RUN_FORMAT_VERSION,
-            "experiment": name,
-            "title": exp.title,
-            "spec": spec_dict(spec),
-            "spec_hash": digest,
-            "status": "complete",
-            "elapsed": elapsed,
-            "files": dict(_ARTIFACTS),
-        },
-    )
+    _write_json(out_dir / MANIFEST_NAME, manifest)
     return RunRecord(
-        experiment=name,
+        experiment=exp.name,
         spec=spec_dict(spec),
         spec_hash=digest,
         out_dir=out_dir,
@@ -215,6 +252,36 @@ def execute(
     )
 
 
+def execute(
+    name: str,
+    spec: Optional[ExperimentSpec] = None,
+    runs_dir: Optional[Union[str, Path]] = None,
+    force: bool = False,
+) -> RunRecord:
+    """Run experiment ``name`` (or reuse its cached run directory).
+
+    ``force=True`` re-executes and overwrites the artifacts even on a
+    cache hit — the run analogue of ``dataset build --force``.
+    """
+    exp: Experiment = get_experiment(name)
+    spec = exp.validate_spec(spec)
+    digest = spec_hash(name, spec)
+    root = Path(runs_dir) if runs_dir is not None else default_runs_dir()
+    out_dir = run_dir_for(root, name, digest)
+
+    start = time.perf_counter()
+    if not force:
+        cached = load_cached_record(
+            name, spec, out_dir, digest, elapsed=time.perf_counter() - start
+        )
+        if cached is not None:
+            return cached
+
+    result_obj = exp.run(spec)
+    elapsed = time.perf_counter() - start
+    return write_run_artifacts(exp, spec, digest, out_dir, result_obj, elapsed)
+
+
 def load_record(
     name: str,
     spec: Optional[ExperimentSpec] = None,
@@ -222,23 +289,11 @@ def load_record(
 ) -> Optional[RunRecord]:
     """The cached run for (name, spec), or ``None`` if absent/incomplete."""
     exp = get_experiment(name)
-    spec = spec if spec is not None else exp.spec_type()
+    spec = exp.validate_spec(spec)
     digest = spec_hash(name, spec)
     root = Path(runs_dir) if runs_dir is not None else default_runs_dir()
     out_dir = run_dir_for(root, name, digest)
-    manifest = _manifest_current(out_dir, digest)
-    if manifest is None:
-        return None
-    return RunRecord(
-        experiment=name,
-        spec=spec_dict(spec),
-        spec_hash=digest,
-        out_dir=out_dir,
-        cache_hit=True,
-        elapsed=float(manifest.get("elapsed", 0.0)),
-        result=json.loads((out_dir / _ARTIFACTS["result"]).read_text()),
-        report=(out_dir / _ARTIFACTS["report_txt"]).read_text(),
-    )
+    return load_cached_record(name, spec, out_dir, digest)
 
 
 def list_runs(

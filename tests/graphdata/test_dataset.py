@@ -2,17 +2,7 @@
 
 import pytest
 
-from repro.datagen.generators import parity, ripple_adder
-from repro.graphdata import CircuitDataset, from_aig
-from repro.synth import synthesize
-
-
-def make_dataset(n=8):
-    graphs = []
-    for k in range(n):
-        nl = ripple_adder(3 + (k % 3)) if k % 2 else parity(4 + k)
-        graphs.append(from_aig(synthesize(nl), num_patterns=256, seed=k))
-    return CircuitDataset(graphs, "toy")
+from ..helpers import tiny_circuit_dataset as make_dataset
 
 
 class TestSplit:

@@ -3,25 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.datagen.generators import parity, ripple_adder
-from repro.datagen.pipeline import PipelineConfig, build_shards
 from repro.graphdata import (
-    CircuitDataset,
     DataLoader,
     ShardedCircuitDataset,
     as_loader,
     epoch_seed,
-    from_aig,
 )
-from repro.synth import synthesize
 
-
-def make_dataset(n=8):
-    graphs = []
-    for k in range(n):
-        nl = ripple_adder(3 + (k % 3)) if k % 2 else parity(4 + k)
-        graphs.append(from_aig(synthesize(nl), num_patterns=256, seed=k))
-    return CircuitDataset(graphs, "toy")
+from ..helpers import build_tiny_shards, tiny_circuit_dataset as make_dataset
 
 
 def batch_signature(batches):
@@ -33,17 +22,7 @@ def batch_signature(batches):
 
 @pytest.fixture(scope="module")
 def shard_dir(tmp_path_factory):
-    config = PipelineConfig(
-        suites=(("EPFL", 3), ("ITC99", 3)),
-        seed=11,
-        num_patterns=256,
-        max_nodes=200,
-        max_levels=50,
-        shard_size=2,
-    )
-    out = tmp_path_factory.mktemp("shards") / "tiny"
-    build_shards(config, out, workers=1)
-    return out
+    return build_tiny_shards(tmp_path_factory.mktemp("shards") / "tiny")
 
 
 class TestEpochSeed:
@@ -127,6 +106,64 @@ class TestPrefetch:
         dl = DataLoader(Broken(), 1, prefetch=1)
         with pytest.raises(RuntimeError, match="boom"):
             list(dl.epoch(0))
+
+
+class TestPrefetchThreadLifecycle:
+    """The worker thread must never outlive (or outblock) its epoch."""
+
+    def test_thread_joined_on_early_close(self):
+        dl = DataLoader(make_dataset(), 1, seed=0, prefetch=1)
+        it = dl.epoch(0)
+        next(it)
+        it.close()
+        assert not it._thread.is_alive()
+
+    def test_close_is_idempotent(self):
+        it = DataLoader(make_dataset(4), 2, prefetch=1).epoch(0)
+        it.close()
+        it.close()
+        assert not it._thread.is_alive()
+
+    def test_next_after_close_raises_stop_iteration(self):
+        """Iterating a closed epoch must not block on the drained queue."""
+        it = DataLoader(make_dataset(4), 2, prefetch=1).epoch(0)
+        next(it)
+        it.close()
+        with pytest.raises(StopIteration):
+            next(it)
+
+    def test_thread_joined_after_exhaustion(self):
+        it = DataLoader(make_dataset(4), 2, prefetch=1).epoch(0)
+        batches = list(it)
+        assert len(batches) == 2
+        assert not it._thread.is_alive()
+        with pytest.raises(StopIteration):
+            next(it)
+
+    def test_mid_stream_exception_propagates_and_joins(self):
+        """A worker dying mid-epoch surfaces its error exactly once and
+        leaves no live thread behind."""
+        good = make_dataset(4)
+
+        class BreaksAfterTwo:
+            def __len__(self):
+                return len(good)
+
+            def batches(self, batch_size, seed=None):
+                for i, batch in enumerate(good.batches(batch_size, seed=seed)):
+                    if i == 2:
+                        raise RuntimeError("mid-stream boom")
+                    yield batch
+
+        it = DataLoader(BreaksAfterTwo(), 1, shuffle=False, prefetch=1).epoch(0)
+        assert next(it) is not None
+        assert next(it) is not None
+        with pytest.raises(RuntimeError, match="mid-stream boom"):
+            next(it)
+        assert not it._thread.is_alive()
+        # the stream is over: later pulls terminate instead of hanging
+        with pytest.raises(StopIteration):
+            next(it)
 
 
 class TestShardedParity:

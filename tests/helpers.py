@@ -1,14 +1,128 @@
-"""Shared test utilities: random circuit generation and equivalence checks."""
+"""Shared test utilities: circuit/dataset factories, fake experiments,
+random netlist generation and equivalence checks."""
 
 from __future__ import annotations
 
-from typing import Union
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from repro.aig import AIG, GateType, Netlist
+from repro.datagen.generators import parity, ripple_adder
+from repro.datagen.pipeline import PipelineConfig, build_shards
+from repro.graphdata import CircuitDataset, from_aig
+from repro.runtime import ExperimentResult, ExperimentSpec, UnitSpec, experiment
 from repro.sim import exhaustive_patterns, output_values, simulate_aig
-from repro.synth import netlist_to_aig
+from repro.synth import netlist_to_aig, synthesize
+
+# ---------------------------------------------------------------------------
+# tiny labelled datasets (shared by runtime/train/graphdata tests)
+# ---------------------------------------------------------------------------
+
+
+def tiny_circuit_dataset(
+    n: int = 8, num_patterns: int = 256, name: str = "toy"
+) -> CircuitDataset:
+    """A small in-memory dataset of alternating adder/parity circuits.
+
+    The one canonical recipe behind the ``make_dataset``/``tiny_dataset``
+    helpers that used to be copy-pasted across the loader, dataset,
+    trainer and checkpoint test modules.
+    """
+    graphs = []
+    for k in range(n):
+        nl = ripple_adder(3 + (k % 3)) if k % 2 else parity(4 + k)
+        graphs.append(
+            from_aig(synthesize(nl), num_patterns=num_patterns, seed=k)
+        )
+    return CircuitDataset(graphs, name)
+
+
+def tiny_pipeline_config(**overrides) -> PipelineConfig:
+    """A seconds-fast two-suite pipeline config for shard-backed tests."""
+    params = dict(
+        suites=(("EPFL", 3), ("ITC99", 3)),
+        seed=11,
+        num_patterns=256,
+        max_nodes=200,
+        max_levels=50,
+        shard_size=2,
+    )
+    params.update(overrides)
+    return PipelineConfig(**params)
+
+
+def build_tiny_shards(out_dir, workers: int = 1, **overrides) -> Path:
+    """Build (or reuse) a tiny sharded dataset under ``out_dir``."""
+    build_shards(tiny_pipeline_config(**overrides), out_dir, workers=workers)
+    return Path(out_dir)
+
+
+# ---------------------------------------------------------------------------
+# fake experiments (shared by runtime tests)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GridSpec(ExperimentSpec):
+    """Spec of the fake unit-decomposed grid experiment.
+
+    Module-level so instances pickle across the process-pool boundary.
+    """
+
+    rows: Tuple[str, ...] = ("alpha", "beta", "gamma")
+    factor: int = 2
+
+
+def register_grid_experiment(
+    name: str = "fake-grid", log_dir: Optional[Path] = None
+) -> str:
+    """Register a cheap unit experiment; returns its name.
+
+    When ``log_dir`` is given, every ``run_unit`` execution drops a
+    marker file there — countable across worker processes, which is how
+    the parallel tests assert "this unit ran / was cached".  Callers
+    must ``repro.runtime.registry.unregister(name)`` when done.
+    """
+
+    def units(spec: GridSpec):
+        return [UnitSpec(key=row, title=f"row {row}") for row in spec.rows]
+
+    def run_unit(spec: GridSpec, unit: UnitSpec):
+        if unit.key == "explode":
+            raise RuntimeError("unit exploded")
+        if log_dir is not None:
+            marker = (
+                Path(log_dir)
+                / f"exec-{unit.key}-{os.getpid()}-{time.monotonic_ns()}"
+            )
+            marker.write_text("")
+        return {"row": unit.key, "value": len(unit.key) * spec.factor}
+
+    @experiment(
+        name, spec=GridSpec, title="Fake grid", units=units, run_unit=run_unit
+    )
+    def merge(spec: GridSpec, unit_results):
+        return ExperimentResult(
+            experiment=name,
+            rows=list(unit_results),
+            table="\n".join(
+                f"{r['row']} {r['value']}" for r in unit_results
+            ),
+        )
+
+    return name
+
+
+def count_unit_executions(log_dir: Path, key: Optional[str] = None) -> int:
+    """How many times ``run_unit`` actually executed (across processes)."""
+    pattern = f"exec-{key}-*" if key is not None else "exec-*"
+    return len(list(Path(log_dir).glob(pattern)))
+
 
 #: gate types usable as random internal gates (fixed 2-input choices + unary)
 _BINARY_TYPES = (

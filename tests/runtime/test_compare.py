@@ -1,0 +1,190 @@
+"""Tests for run comparison: resolution, matching, rendering."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import execute_parallel
+from repro.runtime import registry as registry_module
+from repro.runtime.compare import (
+    RunResult,
+    compare_results,
+    load_run_result,
+    render_markdown,
+    render_text,
+    resolve_run_dir,
+)
+
+from ..helpers import GridSpec, register_grid_experiment
+
+
+@pytest.fixture
+def two_runs(tmp_path):
+    """Two cached runs of the fake grid experiment with different factors."""
+    name = register_grid_experiment("fake-grid")
+    try:
+        a = execute_parallel(name, GridSpec(factor=2), runs_dir=tmp_path)
+        b = execute_parallel(name, GridSpec(factor=3), runs_dir=tmp_path)
+        yield tmp_path, a, b
+    finally:
+        registry_module.unregister(name)
+
+
+def fake_result(rows, experiment="fake"):
+    return RunResult(
+        out_dir=None, result={"experiment": experiment, "rows": rows}
+    )
+
+
+class TestResolveRunDir:
+    def test_direct_path(self, two_runs):
+        _, a, _ = two_runs
+        assert resolve_run_dir(a.out_dir) == a.out_dir
+
+    def test_name_slash_hash_under_runs_dir(self, two_runs):
+        root, a, _ = two_runs
+        ref = f"{a.experiment}/{a.out_dir.name}"
+        assert resolve_run_dir(ref, runs_dir=root) == a.out_dir
+
+    def test_unique_hash_prefix(self, two_runs):
+        root, a, b = two_runs
+        # find a prefix of a's dir name that b's doesn't share
+        prefix = a.out_dir.name[:8]
+        if b.out_dir.name.startswith(prefix):  # pragma: no cover - unlikely
+            pytest.skip("hash prefixes collide")
+        ref = f"{a.experiment}/{prefix}"
+        assert resolve_run_dir(ref, runs_dir=root) == a.out_dir
+
+    def test_ambiguous_prefix_rejected(self, tmp_path):
+        (tmp_path / "exp" / "abc111").mkdir(parents=True)
+        (tmp_path / "exp" / "abc222").mkdir()
+        with pytest.raises(FileNotFoundError, match="ambiguous"):
+            resolve_run_dir("exp/abc", runs_dir=tmp_path)
+
+    def test_missing_run_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no run directory"):
+            resolve_run_dir("nope/123", runs_dir=tmp_path)
+
+    def test_explicit_runs_dir_beats_cwd_shadow(
+        self, tmp_path, monkeypatch
+    ):
+        # a same-named directory in the CWD must not shadow --runs-dir
+        root = tmp_path / "root"
+        (root / "exp" / "abc123").mkdir(parents=True)
+        cwd = tmp_path / "cwd"
+        (cwd / "exp" / "abc123").mkdir(parents=True)
+        monkeypatch.chdir(cwd)
+        resolved = resolve_run_dir("exp/abc123", runs_dir=root)
+        assert resolved == root / "exp" / "abc123"
+        # ...but a CWD path still works when the root has no match
+        (root / "exp" / "abc123").rmdir()
+        resolved = resolve_run_dir("exp/abc123", runs_dir=root)
+        assert resolved == Path("exp/abc123")
+
+
+class TestLoadRunResult:
+    def test_roundtrip(self, two_runs):
+        _, a, _ = two_runs
+        loaded = load_run_result(a.out_dir)
+        assert loaded.experiment == a.experiment
+        assert loaded.rows == a.result["rows"]
+
+    def test_corrupt_result_rejected_cleanly(self, two_runs):
+        _, a, _ = two_runs
+        (a.out_dir / "result.json").write_text("{nope")
+        with pytest.raises(ValueError, match="no readable result.json"):
+            load_run_result(a.out_dir)
+
+    def test_manifest_optional(self, two_runs):
+        _, a, _ = two_runs
+        (a.out_dir / "manifest.json").unlink()
+        loaded = load_run_result(a.out_dir)
+        assert loaded.experiment == a.experiment
+
+
+class TestCompareResults:
+    def test_metric_diff(self, two_runs):
+        _, a, b = two_runs
+        diff = compare_results(load_run_result(a.out_dir),
+                               load_run_result(b.out_dir))
+        assert diff["label_keys"] == ["row"]
+        assert diff["metrics"] == ["value"]
+        by_row = {d["row"]: d for d in diff["rows"]}
+        assert by_row["alpha"]["a"] == 10
+        assert by_row["alpha"]["b"] == 15
+        assert by_row["alpha"]["delta"] == 5
+        assert by_row["alpha"]["pct"] == pytest.approx(50.0)
+        assert diff["only_in_a"] == diff["only_in_b"] == []
+
+    def test_unmatched_rows_reported(self):
+        a = fake_result([{"name": "x", "err": 1.0}, {"name": "y", "err": 2.0}])
+        b = fake_result([{"name": "y", "err": 1.5}, {"name": "z", "err": 0.5}])
+        diff = compare_results(a, b)
+        assert [d["row"] for d in diff["rows"]] == ["y"]
+        assert diff["only_in_a"] == ["x"]
+        assert diff["only_in_b"] == ["z"]
+
+    def test_zero_baseline_pct_is_none(self):
+        a = fake_result([{"name": "x", "err": 0}])
+        b = fake_result([{"name": "x", "err": 3}])
+        diff = compare_results(a, b)
+        assert diff["rows"][0]["pct"] is None
+
+    def test_empty_rows(self):
+        diff = compare_results(fake_result([]), fake_result([]))
+        assert diff["rows"] == []
+
+    def test_cross_experiment_rows_do_not_crash(self):
+        # the CLI allows comparing different experiments (with a note);
+        # disjoint row schemas must degrade to "nothing matched"
+        a = fake_result(
+            [{"suite": "EPFL", "subcircuits": 3}], experiment="table1"
+        )
+        b = fake_result([{"T": 1, "error": 0.5}], experiment="tsweep")
+        diff = compare_results(a, b)
+        assert diff["rows"] == []
+        assert diff["only_in_a"] == ["EPFL"]
+
+    def test_duplicate_labels_are_kept_distinct(self):
+        # repeated label tuples must not silently drop rows
+        a = fake_result([{"name": "x", "err": 1.0}, {"name": "x", "err": 2.0}])
+        b = fake_result([{"name": "x", "err": 1.5}, {"name": "x", "err": 2.5}])
+        diff = compare_results(a, b)
+        assert [d["row"] for d in diff["rows"]] == ["x", "x #2"]
+        assert [d["delta"] for d in diff["rows"]] == [0.5, 0.5]
+
+    def test_bools_are_not_metrics(self):
+        a = fake_result([{"name": "x", "flag": True, "err": 1.0}])
+        b = fake_result([{"name": "x", "flag": False, "err": 2.0}])
+        diff = compare_results(a, b)
+        assert [d["metric"] for d in diff["rows"]] == ["err"]
+
+
+class TestRendering:
+    def test_text_contains_rows(self, two_runs):
+        _, a, b = two_runs
+        diff = compare_results(load_run_result(a.out_dir),
+                               load_run_result(b.out_dir))
+        text = render_text(diff)
+        assert "compare fake-grid" in text
+        assert "alpha" in text and "delta" in text
+
+    def test_markdown_pipe_table(self, two_runs):
+        _, a, b = two_runs
+        diff = compare_results(load_run_result(a.out_dir),
+                               load_run_result(b.out_dir))
+        md = render_markdown(diff)
+        assert "| row | metric | a | b | delta | pct |" in md
+        assert "| alpha |" in md
+
+    def test_json_serialisable(self, two_runs):
+        _, a, b = two_runs
+        diff = compare_results(load_run_result(a.out_dir),
+                               load_run_result(b.out_dir))
+        assert json.loads(json.dumps(diff)) == diff
+
+    def test_empty_diff_renders(self):
+        diff = compare_results(fake_result([]), fake_result([]))
+        assert "no comparable metric rows" in render_text(diff)
+        assert "no comparable metric rows" in render_markdown(diff)

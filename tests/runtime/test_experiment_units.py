@@ -1,0 +1,66 @@
+"""Smoke-level lock on every built-in experiment's unit decomposition.
+
+Each of the six ports runs end to end through the unit executor with a
+narrowed seconds-fast spec, pinning: the unit count, per-unit cache
+directories on disk, well-formed result rows, and run-level cache hits
+on re-execution.  (Worker-count byte-determinism is pinned separately in
+``test_determinism.py``.)
+"""
+
+import pytest
+
+from repro.runtime import execute_parallel, get_experiment, spec_from_overrides
+from repro.runtime.parallel import UNITS_DIR_NAME
+
+#: experiment -> (narrowed overrides, expected unit count, a key of its rows)
+CASES = {
+    "table1": ({"scale": "smoke"}, 4, "suite"),
+    "table2": (
+        {"scale": "smoke", "epochs": "1", "models": "gcn/conv_sum,dag_rec/deepset"},
+        2,
+        "model",
+    ),
+    "table3": ({"scale": "smoke", "epochs": "1"}, 2, "design"),
+    "table4": ({"scale": "smoke", "epochs": "1", "suites": "EPFL"}, 1, "suite"),
+    "tsweep": (
+        {
+            "scale": "smoke",
+            "epochs": "1",
+            "t_values": "1,2",
+            "train_iterations": "2",
+        },
+        2,
+        "T",
+    ),
+    "ablations": ({"scale": "smoke", "epochs": "1", "which": "cop"}, 1, "ablation"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_unit_decomposition_end_to_end(name, tmp_path):
+    overrides, expected_units, row_key = CASES[name]
+    exp = get_experiment(name)
+    spec = spec_from_overrides(exp.spec_type, overrides)
+
+    assert exp.supports_units
+    units = exp.units(spec)
+    assert len(units) == expected_units
+    assert len({u.key for u in units}) == expected_units  # keys are unique
+
+    events = []
+    record = execute_parallel(
+        name, spec, runs_dir=tmp_path, workers=1, progress=events.append
+    )
+    assert not record.cache_hit
+    assert record.result["rows"], name
+    assert all(row_key in row for row in record.result["rows"])
+    assert [e["key"] for e in events] == [u.key for u in units]
+    assert all(e["status"] == "done" for e in events)
+
+    units_dir = record.out_dir / UNITS_DIR_NAME
+    assert len(list(units_dir.iterdir())) == expected_units
+    assert (record.out_dir / "report.md").is_file()
+
+    again = execute_parallel(name, spec, runs_dir=tmp_path, workers=1)
+    assert again.cache_hit
+    assert again.result == record.result

@@ -1,0 +1,291 @@
+"""Tests for the process-pool executor and per-unit cache directories."""
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    execute,
+    execute_parallel,
+    load_unit_result,
+    unit_dir_for,
+    unit_hash,
+)
+from repro.runtime import registry as registry_module
+from repro.runtime.parallel import UNITS_DIR_NAME
+from repro.runtime.registry import UnitSpec
+from repro.runtime.runner import MANIFEST_NAME
+
+from ..helpers import (
+    GridSpec,
+    count_unit_executions,
+    register_grid_experiment,
+)
+
+
+@pytest.fixture
+def grid(tmp_path):
+    """A registered fake grid experiment logging executions to disk."""
+    log_dir = tmp_path / "log"
+    log_dir.mkdir()
+    name = register_grid_experiment("fake-grid", log_dir=log_dir)
+    try:
+        yield name, log_dir
+    finally:
+        registry_module.unregister(name)
+
+
+def result_bytes(record):
+    return (record.out_dir / "result.json").read_bytes()
+
+
+class TestUnitHash:
+    def test_stable_and_key_sensitive(self):
+        a = unit_hash("deadbeef", UnitSpec(key="alpha"))
+        assert a == unit_hash("deadbeef", UnitSpec(key="alpha"))
+        assert a != unit_hash("deadbeef", UnitSpec(key="beta"))
+        assert a != unit_hash("cafebabe", UnitSpec(key="alpha"))
+
+    def test_title_and_params_do_not_rekey(self):
+        # cosmetic fields must not invalidate a unit's cache
+        plain = unit_hash("d", UnitSpec(key="alpha"))
+        decorated = unit_hash(
+            "d", UnitSpec(key="alpha", title="Row α", params=(("x", 1),))
+        )
+        assert plain == decorated
+
+
+class TestExecuteParallel:
+    def test_serial_and_parallel_byte_identical(self, tmp_path, grid):
+        name, _ = grid
+        a = execute_parallel(
+            name, GridSpec(), runs_dir=tmp_path / "a", workers=1
+        )
+        b = execute_parallel(
+            name, GridSpec(), runs_dir=tmp_path / "b", workers=3
+        )
+        assert result_bytes(a) == result_bytes(b)
+        assert a.result["rows"] == [
+            {"row": "alpha", "value": 10},
+            {"row": "beta", "value": 8},
+            {"row": "gamma", "value": 10},
+        ]
+
+    def test_matches_plain_serial_execute(self, tmp_path, grid):
+        name, _ = grid
+        serial = execute(name, GridSpec(), runs_dir=tmp_path / "serial")
+        parallel = execute_parallel(
+            name, GridSpec(), runs_dir=tmp_path / "par", workers=2
+        )
+        assert result_bytes(serial) == result_bytes(parallel)
+
+    def test_unit_dirs_written(self, tmp_path, grid):
+        name, _ = grid
+        record = execute_parallel(
+            name, GridSpec(), runs_dir=tmp_path, workers=2
+        )
+        units_dir = record.out_dir / UNITS_DIR_NAME
+        assert len(list(units_dir.iterdir())) == 3
+        digest = unit_hash(record.spec_hash, UnitSpec(key="alpha"))
+        cached = load_unit_result(
+            unit_dir_for(record.out_dir, digest), digest
+        )
+        assert cached == {"row": "alpha", "value": 10}
+
+    def test_run_level_cache_hit_executes_nothing(self, tmp_path, grid):
+        name, log_dir = grid
+        execute_parallel(name, GridSpec(), runs_dir=tmp_path, workers=2)
+        before = count_unit_executions(log_dir)
+        record = execute_parallel(
+            name, GridSpec(), runs_dir=tmp_path, workers=2
+        )
+        assert record.cache_hit
+        assert count_unit_executions(log_dir) == before == 3
+
+    def test_killed_run_resumes_from_completed_units(self, tmp_path, grid):
+        """No top-level manifest + one missing unit == re-run that unit."""
+        name, log_dir = grid
+        first = execute_parallel(name, GridSpec(), runs_dir=tmp_path, workers=2)
+        payload = result_bytes(first)
+        # simulate a kill after two units completed: drop the certifying
+        # manifest and one unit's directory
+        (first.out_dir / MANIFEST_NAME).unlink()
+        digest = unit_hash(first.spec_hash, UnitSpec(key="beta"))
+        beta_dir = unit_dir_for(first.out_dir, digest)
+        for f in beta_dir.iterdir():
+            f.unlink()
+        beta_dir.rmdir()
+
+        resumed = execute_parallel(
+            name, GridSpec(), runs_dir=tmp_path, workers=2
+        )
+        assert not resumed.cache_hit
+        assert result_bytes(resumed) == payload
+        assert count_unit_executions(log_dir, "beta") == 2
+        assert count_unit_executions(log_dir, "alpha") == 1
+        assert count_unit_executions(log_dir, "gamma") == 1
+
+    def test_corrupt_unit_dir_re_runs_that_unit_alone(self, tmp_path, grid):
+        name, log_dir = grid
+        first = execute_parallel(name, GridSpec(), runs_dir=tmp_path, workers=1)
+        (first.out_dir / MANIFEST_NAME).unlink()
+        digest = unit_hash(first.spec_hash, UnitSpec(key="gamma"))
+        gamma_dir = unit_dir_for(first.out_dir, digest)
+        (gamma_dir / "result.json").write_text("{chopped")
+        resumed = execute_parallel(name, GridSpec(), runs_dir=tmp_path)
+        assert result_bytes(resumed) == result_bytes(first)
+        assert count_unit_executions(log_dir, "gamma") == 2
+        assert count_unit_executions(log_dir, "alpha") == 1
+
+    def test_stale_unit_manifest_is_miss(self, tmp_path, grid):
+        name, log_dir = grid
+        first = execute_parallel(name, GridSpec(), runs_dir=tmp_path)
+        (first.out_dir / MANIFEST_NAME).unlink()
+        digest = unit_hash(first.spec_hash, UnitSpec(key="alpha"))
+        alpha_dir = unit_dir_for(first.out_dir, digest)
+        manifest = json.loads((alpha_dir / "unit.json").read_text())
+        manifest["unit_hash"] = "0" * 64  # stale: from some other unit
+        (alpha_dir / "unit.json").write_text(json.dumps(manifest))
+        execute_parallel(name, GridSpec(), runs_dir=tmp_path)
+        assert count_unit_executions(log_dir, "alpha") == 2
+
+    def test_unrelated_files_in_units_dir_ignored(self, tmp_path, grid):
+        name, _ = grid
+        first = execute_parallel(name, GridSpec(), runs_dir=tmp_path)
+        (first.out_dir / MANIFEST_NAME).unlink()
+        stray = first.out_dir / UNITS_DIR_NAME / "0123456789abcdef"
+        stray.mkdir()
+        (stray / "junk.txt").write_text("stale layout leftovers")
+        resumed = execute_parallel(name, GridSpec(), runs_dir=tmp_path)
+        assert result_bytes(resumed) == result_bytes(first)
+
+    def test_force_reruns_every_unit_and_drops_unit_caches(
+        self, tmp_path, grid
+    ):
+        name, log_dir = grid
+        first = execute_parallel(name, GridSpec(), runs_dir=tmp_path)
+        stray = first.out_dir / UNITS_DIR_NAME / "feedfacefeedface"
+        stray.mkdir(parents=True)
+        record = execute_parallel(
+            name, GridSpec(), runs_dir=tmp_path, workers=2, force=True
+        )
+        assert not record.cache_hit
+        assert count_unit_executions(log_dir) == 6
+        assert not stray.exists()
+
+    def test_changed_spec_changes_run_dir(self, tmp_path, grid):
+        name, _ = grid
+        a = execute_parallel(name, GridSpec(), runs_dir=tmp_path)
+        b = execute_parallel(name, GridSpec(factor=3), runs_dir=tmp_path)
+        assert a.out_dir != b.out_dir
+        assert a.result["rows"] != b.result["rows"]
+
+    def test_failing_unit_propagates_but_keeps_siblings(
+        self, tmp_path, grid
+    ):
+        name, log_dir = grid
+        spec = GridSpec(rows=("alpha", "beta", "explode"))
+        with pytest.raises(RuntimeError, match="unit exploded"):
+            execute_parallel(name, spec, runs_dir=tmp_path, workers=2)
+        # completed siblings kept their unit caches; the re-run after the
+        # "fix" (here: a spec without the bad row... same spec minus the
+        # failure is a new spec, so assert at the unit-cache level)
+        executed = count_unit_executions(log_dir)
+        assert executed == 2  # alpha and beta ran, explode never logged
+
+    def test_progress_events(self, tmp_path, grid):
+        name, _ = grid
+        events = []
+        record = execute_parallel(
+            name, GridSpec(), runs_dir=tmp_path, workers=2,
+            progress=events.append,
+        )
+        assert sorted(e["key"] for e in events) == ["alpha", "beta", "gamma"]
+        assert all(e["status"] == "done" and e["total"] == 3 for e in events)
+        # reported elapsed is the worker-measured execution time (what
+        # unit.json records), not submit-to-completion queue time
+        for event in events:
+            digest = unit_hash(record.spec_hash, UnitSpec(key=event["key"]))
+            manifest = json.loads(
+                (unit_dir_for(record.out_dir, digest) / "unit.json").read_text()
+            )
+            assert event["elapsed"] == manifest["elapsed"]
+        events.clear()
+        record = execute_parallel(
+            name, GridSpec(), runs_dir=tmp_path, force=False
+        )
+        assert record.cache_hit  # run-level hit emits no unit events
+        assert events == []
+
+    def test_cached_progress_events_on_resume(self, tmp_path, grid):
+        name, _ = grid
+        first = execute_parallel(name, GridSpec(), runs_dir=tmp_path)
+        (first.out_dir / MANIFEST_NAME).unlink()
+        events = []
+        execute_parallel(
+            name, GridSpec(), runs_dir=tmp_path, progress=events.append
+        )
+        assert {e["status"] for e in events} == {"cached"}
+        assert len(events) == 3
+
+    def test_non_unit_experiment_falls_back_to_serial(self, tmp_path):
+        from dataclasses import dataclass
+
+        from repro.runtime import (
+            ExperimentResult,
+            ExperimentSpec,
+            experiment,
+        )
+
+        @dataclass(frozen=True)
+        class PlainSpec(ExperimentSpec):
+            pass
+
+        @experiment("plain-exp", spec=PlainSpec, title="Plain")
+        def run_plain(spec):
+            return ExperimentResult(
+                experiment="plain-exp", rows=[{"x": 1}], table="x=1"
+            )
+
+        try:
+            record = execute_parallel(
+                "plain-exp", runs_dir=tmp_path, workers=4
+            )
+            assert record.result["rows"] == [{"x": 1}]
+            assert not (record.out_dir / UNITS_DIR_NAME).exists()
+        finally:
+            registry_module.unregister("plain-exp")
+
+
+class TestRegistryUnitAPI:
+    def test_units_without_run_unit_rejected(self):
+        from repro.runtime import experiment
+
+        with pytest.raises(TypeError, match="together"):
+            experiment(
+                "half-unit",
+                spec=GridSpec,
+                title="bad",
+                units=lambda s: [],
+            )
+
+    def test_supports_units_flag(self, grid):
+        from repro.runtime import get_experiment
+
+        name, _ = grid
+        exp = get_experiment(name)
+        assert exp.supports_units
+        assert [u.key for u in exp.units(GridSpec())] == [
+            "alpha", "beta", "gamma",
+        ]
+
+    def test_all_six_builtins_support_units(self):
+        from repro.runtime import get_experiment
+
+        for name in ("table1", "table2", "table3", "table4",
+                     "tsweep", "ablations"):
+            exp = get_experiment(name)
+            assert exp.supports_units, name
+            units = exp.units(exp.spec_type())
+            assert units, name
+            assert len({u.key for u in units}) == len(units), name

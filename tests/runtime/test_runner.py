@@ -150,3 +150,67 @@ class TestLoadAndList:
         record = execute("counting", runs_dir=tmp_path)
         (record.out_dir / "report.txt").unlink()
         assert list_runs(tmp_path) == []
+
+
+class TestCorruptRunDirectories:
+    """Corrupt or partial run directories are cache misses, never errors."""
+
+    def test_truncated_result_json_is_cache_miss(
+        self, tmp_path, counting_experiment
+    ):
+        record = execute("counting", runs_dir=tmp_path)
+        full = (record.out_dir / "result.json").read_text()
+        (record.out_dir / "result.json").write_text(full[: len(full) // 2])
+        assert load_record("counting", runs_dir=tmp_path) is None
+        again = execute("counting", runs_dir=tmp_path)
+        assert not again.cache_hit
+        assert counting_experiment["n"] == 2
+
+    def test_empty_result_json_is_cache_miss(
+        self, tmp_path, counting_experiment
+    ):
+        record = execute("counting", runs_dir=tmp_path)
+        (record.out_dir / "result.json").write_text("")
+        assert load_record("counting", runs_dir=tmp_path) is None
+
+    def test_missing_manifest_is_cache_miss(
+        self, tmp_path, counting_experiment
+    ):
+        record = execute("counting", runs_dir=tmp_path)
+        (record.out_dir / MANIFEST_NAME).unlink()
+        assert load_record("counting", runs_dir=tmp_path) is None
+        assert list_runs(tmp_path) == []
+
+    def test_non_object_manifest_is_cache_miss(
+        self, tmp_path, counting_experiment
+    ):
+        # valid JSON, wrong shape: must read as "no manifest" everywhere
+        record = execute("counting", runs_dir=tmp_path)
+        (record.out_dir / MANIFEST_NAME).write_text('["not", "a", "dict"]')
+        assert load_record("counting", runs_dir=tmp_path) is None
+        assert list_runs(tmp_path) == []
+        again = execute("counting", runs_dir=tmp_path)
+        assert not again.cache_hit
+
+    def test_corrupt_manifest_skipped_by_list_runs(
+        self, tmp_path, counting_experiment
+    ):
+        good = execute("counting", CountingSpec(knob=1), runs_dir=tmp_path)
+        bad = execute("counting", CountingSpec(knob=2), runs_dir=tmp_path)
+        (bad.out_dir / MANIFEST_NAME).write_text("{truncated")
+        manifests = list_runs(tmp_path)
+        assert len(manifests) == 1
+        assert manifests[0]["out_dir"] == str(good.out_dir)
+
+    def test_non_numeric_elapsed_tolerated(
+        self, tmp_path, counting_experiment
+    ):
+        import json as _json
+
+        record = execute("counting", runs_dir=tmp_path)
+        manifest = _json.loads((record.out_dir / MANIFEST_NAME).read_text())
+        manifest["elapsed"] = "yesterday"
+        (record.out_dir / MANIFEST_NAME).write_text(_json.dumps(manifest))
+        loaded = load_record("counting", runs_dir=tmp_path)
+        assert loaded is not None
+        assert loaded.elapsed == 0.0

@@ -160,3 +160,78 @@ class TestExperimentCLI:
 
         argv = ["equiv", "experiment", "other.v"]
         assert _rewrite_legacy_experiment_argv(argv) == argv
+
+    def test_workers_run_matches_serial_and_shows_progress(
+        self, capsys, tmp_path
+    ):
+        serial = ["experiment", "run", "table1", "--scale", "smoke",
+                  "--runs-dir", str(tmp_path / "serial")]
+        assert main(serial) == 0
+        first = capsys.readouterr()
+        assert "[unit 1/" in first.err  # live per-unit progress lines
+
+        parallel = ["experiment", "run", "table1", "--scale", "smoke",
+                    "--runs-dir", str(tmp_path / "par"), "--workers", "2"]
+        assert main(parallel) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+
+        a = (tmp_path / "serial").glob("table1/*/result.json")
+        b = (tmp_path / "par").glob("table1/*/result.json")
+        assert next(iter(a)).read_bytes() == next(iter(b)).read_bytes()
+
+    def test_quiet_suppresses_progress(self, capsys, tmp_path):
+        assert main(["experiment", "run", "table1", "--scale", "smoke",
+                     "--runs-dir", str(tmp_path), "--quiet"]) == 0
+        assert "[unit" not in capsys.readouterr().err
+
+
+class TestExperimentCompareCLI:
+    def _run(self, tmp_path, seed):
+        args = ["experiment", "run", "table1", "--scale", "smoke",
+                "--runs-dir", str(tmp_path), "--quiet"]
+        if seed is not None:
+            args += ["--seed", str(seed)]
+        assert main(args) == 0
+
+    def test_compare_two_runs(self, capsys, tmp_path):
+        self._run(tmp_path, None)
+        self._run(tmp_path, 1)
+        capsys.readouterr()
+        runs = sorted(str(p) for p in tmp_path.glob("table1/*"))
+        assert len(runs) == 2
+        assert main(["experiment", "compare", runs[0], runs[1]]) == 0
+        out = capsys.readouterr().out
+        assert "compare table1" in out
+        assert "subcircuits" in out
+
+    def test_compare_markdown_and_json(self, capsys, tmp_path):
+        import json
+
+        self._run(tmp_path, None)
+        self._run(tmp_path, 1)
+        capsys.readouterr()
+        runs = sorted(str(p) for p in tmp_path.glob("table1/*"))
+        assert main(["experiment", "compare", runs[0], runs[1],
+                     "--format", "markdown"]) == 0
+        assert "| row | metric |" in capsys.readouterr().out
+        assert main(["experiment", "compare", runs[0], runs[1],
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_a"] == "table1"
+        assert payload["rows"]
+
+    def test_compare_hash_refs_under_runs_dir(self, capsys, tmp_path):
+        self._run(tmp_path, None)
+        self._run(tmp_path, 1)
+        capsys.readouterr()
+        names = sorted(p.name for p in tmp_path.glob("table1/*"))
+        assert main(["experiment", "compare",
+                     f"table1/{names[0]}", f"table1/{names[1]}",
+                     "--runs-dir", str(tmp_path)]) == 0
+        assert "compare table1" in capsys.readouterr().out
+
+    def test_compare_missing_run_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no run directory"):
+            main(["experiment", "compare", "table1/abc", "table1/def",
+                  "--runs-dir", str(tmp_path)])

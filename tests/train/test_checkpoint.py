@@ -3,12 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.datagen.generators import parity, ripple_adder
-from repro.datagen.pipeline import PipelineConfig, build_shards
-from repro.graphdata import CircuitDataset, ShardedCircuitDataset, from_aig
+from repro.graphdata import ShardedCircuitDataset
 from repro.models import DeepGate
 from repro.nn.serialization import load_checkpoint, save_checkpoint
-from repro.synth import synthesize
 from repro.train import (
     Checkpoint,
     EarlyStopping,
@@ -19,13 +16,11 @@ from repro.train import (
     step_decay,
 )
 
+from ..helpers import build_tiny_shards, tiny_circuit_dataset
+
 
 def tiny_dataset(n=6):
-    graphs = []
-    for k in range(n):
-        nl = ripple_adder(3) if k % 2 else parity(4 + k % 3)
-        graphs.append(from_aig(synthesize(nl), num_patterns=512, seed=k))
-    return CircuitDataset(graphs)
+    return tiny_circuit_dataset(n, num_patterns=512)
 
 
 def make_model(seed=0):
@@ -207,17 +202,11 @@ class TestCallbacks:
 class TestStreamedShardTraining:
     @pytest.fixture(scope="class")
     def shard_dir(self, tmp_path_factory):
-        config = PipelineConfig(
+        return build_tiny_shards(
+            tmp_path_factory.mktemp("train-shards") / "tiny",
             suites=(("EPFL", 4),),
             seed=7,
-            num_patterns=256,
-            max_nodes=200,
-            max_levels=50,
-            shard_size=2,
         )
-        out = tmp_path_factory.mktemp("train-shards") / "tiny"
-        build_shards(config, out, workers=1)
-        return out
 
     def test_streamed_matches_materialized(self, shard_dir):
         """Training from shards == training from the same data in memory."""

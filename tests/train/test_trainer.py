@@ -3,10 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datagen.generators import parity, ripple_adder
-from repro.graphdata import CircuitDataset, from_aig
 from repro.models import DeepGate
-from repro.synth import synthesize
 from repro.train import (
     ErrorAccumulator,
     TrainConfig,
@@ -15,13 +12,11 @@ from repro.train import (
     evaluate_model,
 )
 
+from ..helpers import tiny_circuit_dataset
+
 
 def tiny_dataset(n=6):
-    graphs = []
-    for k in range(n):
-        nl = ripple_adder(3) if k % 2 else parity(4 + k % 3)
-        graphs.append(from_aig(synthesize(nl), num_patterns=512, seed=k))
-    return CircuitDataset(graphs)
+    return tiny_circuit_dataset(n, num_patterns=512)
 
 
 class TestMetrics:
@@ -181,18 +176,11 @@ class TestTrainer:
         assert orders[0] == orders[1]
 
     def test_fit_from_sharded_dataset(self, tmp_path):
-        from repro.datagen.pipeline import PipelineConfig, build_shards
         from repro.graphdata import ShardedCircuitDataset
 
-        config = PipelineConfig(
-            suites=(("EPFL", 3),),
-            seed=5,
-            num_patterns=256,
-            max_nodes=200,
-            max_levels=50,
-            shard_size=2,
-        )
-        build_shards(config, tmp_path / "ds", workers=1)
+        from ..helpers import build_tiny_shards
+
+        build_tiny_shards(tmp_path / "ds", suites=(("EPFL", 3),), seed=5)
         sharded = ShardedCircuitDataset(tmp_path / "ds")
         model = DeepGate(dim=4, num_iterations=1, rng=np.random.default_rng(6))
         history = Trainer(model, TrainConfig(epochs=2, batch_size=2, lr=1e-3)).fit(
