@@ -1,0 +1,296 @@
+"""Propagation micro-benchmarks: ``repro bench run`` / ``repro bench compare``.
+
+Times the model stack over three circuit regimes — a *small* batch of mixed
+circuits, a single *deep* carry-chain circuit (many levels, the worst case
+for level-by-level propagation), and a *wide* shallow batch — and writes a
+machine-comparable ``BENCH_<name>.json``.  Metrics per suite:
+
+``forward_s``      median wall-clock of an inference forward pass
+``backward_s``     median wall-clock of forward + backward
+``train_epoch_s``  median wall-clock of a full Adam training epoch
+``nodes_per_s``    training throughput (batch nodes / train_epoch_s)
+``tracemalloc_peak_mb``  peak traced python/numpy allocations in one
+                   forward+backward (measured outside the timed repeats)
+``peak_rss_kb``    process high-water RSS after the suite (monotone across
+                   suites; compare like suites between runs, not within one)
+
+``repro bench compare old.json new.json`` prints per-metric speedups
+(``old / new`` for time metrics) and a headline deep-circuit training
+speedup, which is how the fast-path gain over a committed baseline file is
+tracked in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .datagen.generators import decoder, multiplier, parity, ripple_adder
+from .graphdata import PreparedBatch, from_aig, prepare
+from .models.deepgate import DeepGate
+from .nn.functional import l1_loss
+from .nn.optim import Adam, clip_grad_norm
+from .nn.tensor import no_grad
+from .synth import synthesize
+
+__all__ = [
+    "BENCH_SUITES",
+    "run_benchmarks",
+    "write_bench_file",
+    "compare_bench",
+    "render_compare",
+]
+
+#: time metrics where "old / new > 1" means the new run is faster
+TIME_METRICS = ("forward_s", "backward_s", "train_epoch_s")
+
+#: suite name -> list of (generator, kwargs) building its circuits
+BENCH_SUITES: Dict[str, List[Tuple[Callable, Dict[str, int]]]] = {
+    "small": [
+        (ripple_adder, {"width": 4}),
+        (parity, {"width": 8}),
+        (ripple_adder, {"width": 6}),
+        (parity, {"width": 12}),
+        (decoder, {"select_bits": 4}),
+        (multiplier, {"width": 3}),
+    ],
+    # one long carry chain: many levels with few nodes each, the regime
+    # where per-level full-state copies dominate
+    "deep": [(ripple_adder, {"width": 48})],
+    # few levels with many nodes each: per-level overheads amortise, the
+    # segment reductions themselves dominate
+    "wide": [
+        (decoder, {"select_bits": 7}),
+        (multiplier, {"width": 6}),
+    ],
+}
+
+
+def build_suite(name: str, num_patterns: int = 512) -> PreparedBatch:
+    """Featurise and merge the suite's circuits into one prepared batch."""
+    if name not in BENCH_SUITES:
+        raise ValueError(f"unknown bench suite {name!r}; choose from "
+                         f"{sorted(BENCH_SUITES)}")
+    graphs = [
+        from_aig(synthesize(factory(**kwargs)), num_patterns=num_patterns,
+                 seed=k)
+        for k, (factory, kwargs) in enumerate(BENCH_SUITES[name])
+    ]
+    return prepare(graphs)
+
+
+def _make_model(dim: int, iterations: int, variant: str) -> DeepGate:
+    """Build the benchmark model; ``variant`` picks the propagation path.
+
+    Runs against older checkouts that predate the ``compiled`` knob (for
+    capturing pre-fast-path baselines): there the variant is recorded as
+    ``legacy``.
+    """
+    kwargs = dict(dim=dim, num_iterations=iterations,
+                  rng=np.random.default_rng(0))
+    try:
+        return DeepGate(compiled=(variant != "reference"), **kwargs)
+    except TypeError:
+        return DeepGate(**kwargs)
+
+
+def _variant_label(variant: str) -> str:
+    import inspect
+
+    if "compiled" not in inspect.signature(DeepGate.__init__).parameters:
+        return "legacy"
+    return variant
+
+
+def _median(samples: Sequence[float]) -> float:
+    return float(np.median(np.asarray(samples, dtype=np.float64)))
+
+
+def _time(fn: Callable[[], None], repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return _median(samples)
+
+
+def bench_suite(
+    name: str,
+    dim: int = 64,
+    iterations: int = 4,
+    repeats: int = 3,
+    epochs: int = 2,
+    variant: str = "compiled",
+    num_patterns: int = 512,
+) -> Dict[str, object]:
+    """Benchmark one suite; returns the metrics dict for the JSON file."""
+    batch = build_suite(name, num_patterns=num_patterns)
+    model = _make_model(dim, iterations, variant)
+    graph = batch.graph
+
+    def forward() -> None:
+        with no_grad():
+            model(batch)
+
+    def backward() -> None:
+        model.zero_grad()
+        loss = l1_loss(model(batch), batch.labels)
+        loss.backward()
+
+    # warm up once so schedule compilation/caching is not inside the clock
+    # of the first repeat (it is a one-off cost per batch, not per pass)
+    forward()
+    forward_s = _time(forward, repeats)
+    backward()
+    backward_s = _time(backward, repeats)
+
+    optimizer = Adam(model.parameters(), lr=1e-4)
+
+    def train_epoch() -> None:
+        optimizer.zero_grad()
+        loss = l1_loss(model(batch), batch.labels)
+        loss.backward()
+        clip_grad_norm(model.parameters(), 5.0)
+        optimizer.step()
+
+    epoch_samples = []
+    for _ in range(max(1, epochs)):
+        t0 = time.perf_counter()
+        train_epoch()
+        epoch_samples.append(time.perf_counter() - t0)
+    train_epoch_s = _median(epoch_samples)
+
+    # allocation high-water mark of one forward+backward, measured outside
+    # the timed repeats (tracemalloc slows numpy allocation down)
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    backward()
+    _, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    return {
+        "circuits": len(BENCH_SUITES[name]),
+        "nodes": int(graph.num_nodes),
+        "edges": int(graph.num_edges),
+        "levels": int(graph.levels.max(initial=0)),
+        "forward_s": forward_s,
+        "backward_s": backward_s,
+        "train_epoch_s": train_epoch_s,
+        "nodes_per_s": float(graph.num_nodes / train_epoch_s),
+        "tracemalloc_peak_mb": float(traced_peak / 1e6),
+        "peak_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+    }
+
+
+def run_benchmarks(
+    suites: Optional[Sequence[str]] = None,
+    name: str = "bench",
+    dim: int = 64,
+    iterations: int = 4,
+    repeats: int = 3,
+    epochs: int = 2,
+    variant: str = "compiled",
+) -> Dict[str, object]:
+    """Run the suites and assemble the ``BENCH_<name>.json`` payload."""
+    chosen = list(suites) if suites else sorted(BENCH_SUITES)
+    results = {
+        suite: bench_suite(
+            suite, dim=dim, iterations=iterations, repeats=repeats,
+            epochs=epochs, variant=variant,
+        )
+        for suite in chosen
+    }
+    return {
+        "schema": 1,
+        "name": name,
+        "variant": _variant_label(variant),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "config": {
+            "dim": dim,
+            "iterations": iterations,
+            "repeats": repeats,
+            "epochs": epochs,
+        },
+        "suites": results,
+    }
+
+
+def write_bench_file(payload: Dict[str, object], out: Path) -> Path:
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# compare
+# ---------------------------------------------------------------------------
+
+
+def compare_bench(
+    old: Dict[str, object], new: Dict[str, object]
+) -> Dict[str, object]:
+    """Per-suite metric diff; speedup = old/new for time metrics."""
+    rows = []
+    old_suites = dict(old.get("suites", {}))
+    new_suites = dict(new.get("suites", {}))
+    for suite in sorted(set(old_suites) & set(new_suites)):
+        a, b = old_suites[suite], new_suites[suite]
+        for metric in TIME_METRICS + ("tracemalloc_peak_mb",):
+            if metric not in a or metric not in b:
+                continue
+            before, after = float(a[metric]), float(b[metric])
+            rows.append({
+                "suite": suite,
+                "metric": metric,
+                "old": before,
+                "new": after,
+                "speedup": before / after if after else float("inf"),
+            })
+    headline = next(
+        (
+            r["speedup"]
+            for r in rows
+            if r["suite"] == "deep" and r["metric"] == "train_epoch_s"
+        ),
+        None,
+    )
+    return {
+        "old": {"name": old.get("name"), "variant": old.get("variant")},
+        "new": {"name": new.get("name"), "variant": new.get("variant")},
+        "rows": rows,
+        "deep_train_speedup": headline,
+        "only_old": sorted(set(old_suites) - set(new_suites)),
+        "only_new": sorted(set(new_suites) - set(old_suites)),
+    }
+
+
+def render_compare(diff: Dict[str, object]) -> str:
+    lines = [
+        f"bench compare: {diff['old']['name']} ({diff['old']['variant']}) "
+        f"-> {diff['new']['name']} ({diff['new']['variant']})",
+        f"{'suite':8s} {'metric':22s} {'old':>12s} {'new':>12s} {'speedup':>8s}",
+    ]
+    for r in diff["rows"]:
+        lines.append(
+            f"{r['suite']:8s} {r['metric']:22s} {r['old']:12.6f} "
+            f"{r['new']:12.6f} {r['speedup']:7.2f}x"
+        )
+    for key, label in (("only_old", "only in old"), ("only_new", "only in new")):
+        if diff[key]:
+            lines.append(f"{label}: {', '.join(diff[key])}")
+    if diff.get("deep_train_speedup") is not None:
+        lines.append(
+            f"deep-circuit training speedup: {diff['deep_train_speedup']:.2f}x"
+        )
+    return "\n".join(lines)

@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+from pathlib import Path
 from typing import Union
 
 import numpy as np
@@ -246,6 +247,67 @@ def cmd_dataset_info(args: argparse.Namespace) -> int:
             f"  {suite:10s} {stats['circuits']:5d} circuits  "
             f"nodes [{lo_n}-{hi_n}]  levels [{lo_l}-{hi_l}]"
         )
+    return 0
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    from .bench import BENCH_SUITES, run_benchmarks, write_bench_file
+
+    for suite in args.suite or []:
+        if suite not in BENCH_SUITES:
+            raise SystemExit(
+                f"unknown bench suite {suite!r}; choose from "
+                f"{sorted(BENCH_SUITES)}"
+            )
+    payload = run_benchmarks(
+        suites=args.suite,
+        name=args.name,
+        dim=args.dim,
+        iterations=args.iterations,
+        repeats=args.repeats,
+        epochs=args.epochs,
+        variant="reference" if args.reference else "compiled",
+    )
+    out = args.output or f"BENCH_{args.name}.json"
+    path = write_bench_file(payload, out)
+    for suite, metrics in payload["suites"].items():
+        print(
+            f"{suite:8s} N={metrics['nodes']:6d} L={metrics['levels']:4d}  "
+            f"fwd {metrics['forward_s']:.4f}s  bwd {metrics['backward_s']:.4f}s  "
+            f"epoch {metrics['train_epoch_s']:.4f}s  "
+            f"({metrics['nodes_per_s']:.0f} nodes/s)"
+        )
+    print(f"wrote {path} (variant: {payload['variant']})")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .bench import compare_bench, render_compare
+
+    payloads = []
+    for path in (args.old, args.new):
+        try:
+            payloads.append(_json.loads(Path(path).read_text()))
+        except FileNotFoundError:
+            raise SystemExit(f"no such bench file: {path}")
+        except _json.JSONDecodeError as exc:
+            raise SystemExit(f"malformed bench file {path}: {exc}")
+    diff = compare_bench(*payloads)
+    if args.format == "json":
+        print(_json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(render_compare(diff))
+    headline = diff.get("deep_train_speedup")
+    if args.min_speedup and (headline is None or headline < args.min_speedup):
+        print(
+            f"deep-circuit training speedup "
+            f"{'n/a' if headline is None else f'{headline:.2f}x'} "
+            f"below required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -474,6 +536,46 @@ def build_parser() -> argparse.ArgumentParser:
     p = dataset_sub.add_parser("info", help="summarise a dataset directory")
     p.add_argument("dir")
     p.set_defaults(func=cmd_dataset_info)
+
+    p = sub.add_parser(
+        "bench", help="propagation micro-benchmarks (BENCH_*.json)"
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    q = bench_sub.add_parser(
+        "run", help="time forward/backward/training over circuit suites"
+    )
+    q.add_argument(
+        "--suite", action="append",
+        help="suite to run (small/deep/wide; repeatable; default all)",
+    )
+    q.add_argument("--name", default="bench",
+                   help="benchmark name (default output BENCH_<name>.json)")
+    q.add_argument("-o", "--output", default=None,
+                   help="output path (default BENCH_<name>.json)")
+    q.add_argument("--dim", type=int, default=64)
+    q.add_argument("--iterations", type=int, default=4,
+                   help="propagation rounds per forward pass")
+    q.add_argument("--repeats", type=int, default=3,
+                   help="timed repeats per metric (median reported)")
+    q.add_argument("--epochs", type=int, default=2,
+                   help="training epochs timed (median reported)")
+    q.add_argument("--reference", action="store_true",
+                   help="run the uncompiled reference propagation path")
+    q.set_defaults(func=cmd_bench_run)
+
+    q = bench_sub.add_parser(
+        "compare", help="diff two BENCH_*.json files (speedup = old/new)"
+    )
+    q.add_argument("old")
+    q.add_argument("new")
+    q.add_argument("--format", default="text", choices=["text", "json"])
+    q.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="exit non-zero if deep-circuit training speedup falls below "
+             "this factor (0 disables the gate)",
+    )
+    q.set_defaults(func=cmd_bench_compare)
 
     p = sub.add_parser(
         "experiment",

@@ -1,6 +1,6 @@
 """Circuit-to-graph data pipeline: features, batching, datasets."""
 
-from .batching import LevelGroup, LevelSchedule, merge
+from .batching import CompiledSchedule, LevelGroup, LevelSchedule, merge
 from .dataset import (
     CircuitDataset,
     PreparedBatch,
@@ -23,6 +23,7 @@ __all__ = [
     "as_loader",
     "epoch_seed",
     "positional_encoding",
+    "CompiledSchedule",
     "LevelGroup",
     "LevelSchedule",
     "merge",

@@ -15,14 +15,42 @@ Two pieces of machinery the models rely on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..nn.kernels import SegmentLayout
 from .features import CircuitGraph
 from .positional import positional_encoding
 
-__all__ = ["merge", "LevelGroup", "LevelSchedule"]
+__all__ = [
+    "merge",
+    "LevelGroup",
+    "LevelSchedule",
+    "GatherSplit",
+    "CompiledGroup",
+    "CompiledSchedule",
+]
+
+
+def _level_runs(levels: np.ndarray) -> List[Tuple[int, np.ndarray]]:
+    """Group positions by value with ONE stable argsort.
+
+    Returns ``[(level, positions), ...]`` in ascending level order, with
+    each ``positions`` array preserving the original relative order —
+    exactly what a per-level ``np.nonzero(levels == lv)`` scan would give,
+    without the O(max_level × E) repeated passes.
+    """
+    if levels.size == 0:
+        return []
+    order = np.argsort(levels, kind="stable")
+    sorted_levels = levels[order]
+    boundaries = np.flatnonzero(np.diff(sorted_levels)) + 1
+    starts = np.concatenate([np.zeros(1, np.int64), boundaries])
+    stops = np.concatenate([boundaries, [levels.size]])
+    return [
+        (int(sorted_levels[a]), order[a:b]) for a, b in zip(starts, stops)
+    ]
 
 
 def merge(graphs: Sequence[CircuitGraph]) -> CircuitGraph:
@@ -122,21 +150,18 @@ class LevelSchedule:
             )
         else:
             skip_attr_all = np.zeros((0, 2 * pe_levels + 1), np.float32)
-        for lv in range(1, int(graph.levels.max()) + 1):
-            sel = np.nonzero(dst_level == lv)[0]
-            if sel.size == 0:
-                continue
+        skip_runs = dict(_level_runs(skip_level))
+        for lv, sel in _level_runs(dst_level):
             e = edges[sel]
             nodes, seg = np.unique(e[:, 1], return_inverse=True)
             group = LevelGroup(nodes=nodes, src=e[:, 0], seg=seg)
-            if include_skip and len(skip):
-                ssel = np.nonzero(skip_level == lv)[0]
-                if ssel.size:
-                    s = skip[ssel]
-                    pos = np.searchsorted(nodes, s[:, 1])
-                    group.skip_src = s[:, 0]
-                    group.skip_seg = pos
-                    group.skip_attr = skip_attr_all[ssel]
+            ssel = skip_runs.get(lv)
+            if ssel is not None:
+                s = skip[ssel]
+                pos = np.searchsorted(nodes, s[:, 1])
+                group.skip_src = s[:, 0]
+                group.skip_seg = pos
+                group.skip_attr = skip_attr_all[ssel]
             groups.append(group)
         return cls(groups, graph.num_nodes)
 
@@ -153,10 +178,7 @@ class LevelSchedule:
         if graph.num_nodes == 0:
             return cls(groups, 0)
         src_level = graph.levels[edges[:, 0]]
-        for lv in range(int(graph.levels.max()) - 1, -1, -1):
-            sel = np.nonzero(src_level == lv)[0]
-            if sel.size == 0:
-                continue
+        for lv, sel in reversed(_level_runs(src_level)):
             e = edges[sel]
             nodes, seg = np.unique(e[:, 0], return_inverse=True)
             groups.append(LevelGroup(nodes=nodes, src=e[:, 1], seg=seg))
@@ -173,3 +195,141 @@ class LevelSchedule:
         return cls(
             [LevelGroup(nodes=nodes, src=both[:, 0], seg=seg)], graph.num_nodes
         )
+
+
+# ---------------------------------------------------------------------------
+# compiled schedules (the propagation fast path's precomputed plan)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GatherSplit:
+    """One producer's share of a group's source gather.
+
+    ``producer`` is the index of the level group (within the same pass)
+    whose output the rows come from, or ``-1`` for the pass's input state.
+    ``positions`` selects the entries of the group's ``src`` array that
+    read from this producer (``None`` = all of them); ``layout`` is the
+    segment layout over the *producer-local* row indices used to pre-reduce
+    repeated rows before scattering gradients back.
+    """
+
+    producer: int
+    positions: Optional[np.ndarray]
+    layout: SegmentLayout
+
+
+@dataclass
+class CompiledGroup:
+    """Everything one propagation step needs, precomputed once per batch.
+
+    Compared to a :class:`LevelGroup`, the skip connections are already
+    folded in (``src``/``seg`` are the concatenated real+skip arrays and
+    ``edge_attr`` the matching zero/PE attribute block), the gate-type
+    feature rows are pre-gathered, and the segment sort layout is built.
+    """
+
+    nodes: np.ndarray
+    src: np.ndarray
+    seg: np.ndarray
+    seg_layout: SegmentLayout
+    gather_plan: List[GatherSplit]
+    x_rows: np.ndarray
+    edge_attr: Optional[np.ndarray] = None
+
+
+class CompiledSchedule:
+    """A :class:`LevelSchedule` compiled against a batch's features.
+
+    Precomputes what the propagation loop would otherwise rebuild on every
+    iteration of every epoch: concatenated skip index/segment arrays, the
+    zero-padded edge-attribute blocks, per-group segment sort layouts, the
+    gathered one-hot input rows, and — because a forward/reverse pass
+    writes each node at most once — a *provenance plan* mapping every
+    source row to the in-pass group that produced it (or to the pass
+    input).  The plan lets the runner gather from a single working matrix
+    and materialise the state exactly once per pass instead of once per
+    level.
+    """
+
+    def __init__(
+        self,
+        groups: List[CompiledGroup],
+        num_nodes: int,
+        written: np.ndarray,
+    ):
+        self.groups = groups
+        self.num_nodes = num_nodes
+        #: all node ids written during the pass (unique by construction)
+        self.written = written
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    @classmethod
+    def compile(
+        cls,
+        schedule: LevelSchedule,
+        x: np.ndarray,
+        edge_attr_dim: Optional[int] = None,
+    ) -> "CompiledSchedule":
+        """Compile ``schedule`` for a batch with feature matrix ``x``.
+
+        ``edge_attr_dim`` enables the per-edge attribute blocks (real edges
+        zero, skip edges their positional encoding); ``None`` skips them
+        for models that don't consume edge attributes.
+        """
+        num_nodes = schedule.num_nodes
+        # which group (this pass) last wrote each node, and at which local row
+        writer = np.full(num_nodes, -1, dtype=np.int64)
+        local = np.zeros(num_nodes, dtype=np.int64)
+        groups: List[CompiledGroup] = []
+        for gi, g in enumerate(schedule):
+            if g.has_skip:
+                src = np.concatenate([g.src, g.skip_src])
+                seg = np.concatenate([g.seg, g.skip_seg])
+            else:
+                src, seg = g.src, g.seg
+            edge_attr = None
+            if edge_attr_dim is not None:
+                edge_attr = np.zeros((len(src), edge_attr_dim), np.float32)
+                if g.has_skip:
+                    edge_attr[len(g.src):] = g.skip_attr
+            prov = writer[src]
+            plan: List[GatherSplit] = []
+            for p in np.unique(prov) if src.size else ():
+                if prov.size and (prov == p).all():
+                    positions = None
+                    chosen = src
+                else:
+                    positions = np.flatnonzero(prov == p)
+                    chosen = src[positions]
+                if p < 0:
+                    rows, size = chosen, num_nodes
+                else:
+                    rows, size = local[chosen], len(groups[p].nodes)
+                plan.append(
+                    GatherSplit(int(p), positions, SegmentLayout(rows, size))
+                )
+            groups.append(
+                CompiledGroup(
+                    nodes=g.nodes,
+                    src=src,
+                    seg=seg,
+                    seg_layout=SegmentLayout(seg, len(g.nodes)),
+                    gather_plan=plan,
+                    x_rows=np.ascontiguousarray(x[g.nodes]),
+                    edge_attr=edge_attr,
+                )
+            )
+            writer[g.nodes] = gi
+            local[g.nodes] = np.arange(len(g.nodes))
+        written = (
+            np.concatenate([g.nodes for g in groups])
+            if groups
+            else np.zeros(0, np.int64)
+        )
+        return cls(groups, num_nodes, written)

@@ -19,7 +19,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .batching import LevelSchedule, merge
+from .batching import CompiledSchedule, LevelSchedule, merge
 from .features import CircuitGraph
 from .shards import load_manifest, read_shard
 
@@ -45,6 +45,7 @@ class PreparedBatch:
         self._forward: Dict[Tuple[bool, int], LevelSchedule] = {}
         self._reverse: Optional[LevelSchedule] = None
         self._undirected: Optional[LevelSchedule] = None
+        self._compiled: Dict[Tuple[str, bool, int], CompiledSchedule] = {}
 
     @property
     def num_nodes(self) -> int:
@@ -69,6 +70,42 @@ class PreparedBatch:
         if self._undirected is None:
             self._undirected = LevelSchedule.undirected(self.graph)
         return self._undirected
+
+    # -- compiled fast-path schedules ----------------------------------
+    def compiled_forward_schedule(
+        self, include_skip: bool = False, pe_levels: int = 8
+    ) -> CompiledSchedule:
+        """Forward schedule compiled for the fast path (cached).
+
+        With ``include_skip``, skip edges and their positional-encoding
+        attribute blocks are folded into each group once, instead of being
+        re-concatenated on every propagation iteration.
+        """
+        key = ("forward", include_skip, pe_levels)
+        if key not in self._compiled:
+            attr_dim = 2 * pe_levels + 1 if include_skip else None
+            self._compiled[key] = CompiledSchedule.compile(
+                self.forward_schedule(include_skip, pe_levels),
+                self.x,
+                edge_attr_dim=attr_dim,
+            )
+        return self._compiled[key]
+
+    def compiled_reverse_schedule(self) -> CompiledSchedule:
+        key = ("reverse", False, 0)
+        if key not in self._compiled:
+            self._compiled[key] = CompiledSchedule.compile(
+                self.reverse_schedule(), self.x
+            )
+        return self._compiled[key]
+
+    def compiled_undirected_schedule(self) -> CompiledSchedule:
+        key = ("undirected", False, 0)
+        if key not in self._compiled:
+            self._compiled[key] = CompiledSchedule.compile(
+                self.undirected_schedule(), self.x
+            )
+        return self._compiled[key]
 
 
 def prepare(graphs: Sequence[CircuitGraph]) -> PreparedBatch:

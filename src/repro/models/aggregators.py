@@ -3,7 +3,8 @@
 Every aggregator maps per-edge source states to one message per target
 node.  The shared interface is::
 
-    aggregator(h_src, query, seg, num_targets, edge_attr=None) -> (T, d)
+    aggregator(h_src, query, seg, num_targets, edge_attr=None,
+               layout=None) -> (T, d)
 
 ``h_src``   (E, d)  hidden state of each edge's source node
 ``query``   (T, d)  hidden state of each *target* node before update
@@ -11,6 +12,8 @@ node.  The shared interface is::
 ``seg``     (E,)    target index per edge, values in [0, num_targets)
 ``edge_attr``       optional (E, p) attributes (positional encodings on
                     skip connections); only attention consumes them.
+``layout``          optional precomputed segment layout over ``seg`` (from
+                    a compiled schedule); saves the per-call sort.
 """
 
 from __future__ import annotations
@@ -19,7 +22,9 @@ from typing import Optional
 
 import numpy as np
 
+from ..nn import kernels
 from ..nn.functional import gather_rows, segment_softmax, segment_sum
+from ..nn.kernels import SegmentLayout
 from ..nn.modules import Linear, MLP, Module
 from ..nn.tensor import Tensor
 
@@ -48,8 +53,9 @@ class ConvSumAggregator(Module):
         seg: np.ndarray,
         num_targets: int,
         edge_attr: Optional[Tensor] = None,
+        layout: Optional[SegmentLayout] = None,
     ) -> Tensor:
-        return segment_sum(self.linear(h_src), seg, num_targets)
+        return segment_sum(self.linear(h_src), seg, num_targets, layout=layout)
 
 
 class DeepSetAggregator(Module):
@@ -66,8 +72,11 @@ class DeepSetAggregator(Module):
         seg: np.ndarray,
         num_targets: int,
         edge_attr: Optional[Tensor] = None,
+        layout: Optional[SegmentLayout] = None,
     ) -> Tensor:
-        return self.rho(segment_sum(self.phi(h_src), seg, num_targets))
+        return self.rho(
+            segment_sum(self.phi(h_src), seg, num_targets, layout=layout)
+        )
 
 
 class GatedSumAggregator(Module):
@@ -84,9 +93,10 @@ class GatedSumAggregator(Module):
         seg: np.ndarray,
         num_targets: int,
         edge_attr: Optional[Tensor] = None,
+        layout: Optional[SegmentLayout] = None,
     ) -> Tensor:
         gated = self.gate(h_src).sigmoid() * self.value(h_src)
-        return segment_sum(gated, seg, num_targets)
+        return segment_sum(gated, seg, num_targets, layout=layout)
 
 
 class AttentionAggregator(Module):
@@ -119,18 +129,60 @@ class AttentionAggregator(Module):
         seg: np.ndarray,
         num_targets: int,
         edge_attr: Optional[Tensor] = None,
+        layout: Optional[SegmentLayout] = None,
     ) -> Tensor:
+        if edge_attr is not None and self.w_edge is None:
+            raise ValueError(
+                "aggregator built without edge_attr_dim but given edge_attr"
+            )
+        if layout is not None:
+            # compiled path: the whole score->softmax->weighted-sum chain
+            # runs as one fused autograd node over the cached layout
+            return self._forward_fused(h_src, query, edge_attr, layout)
         q_per_edge = gather_rows(query, seg)
         scores = self.w_query(q_per_edge) + self.w_key(h_src)
         if edge_attr is not None:
-            if self.w_edge is None:
-                raise ValueError(
-                    "aggregator built without edge_attr_dim but given edge_attr"
-                )
             scores = scores + self.w_edge(edge_attr)
         alpha = segment_softmax(scores.reshape(-1), seg, num_targets)
         weighted = h_src * alpha.reshape(-1, 1)
         return segment_sum(weighted, seg, num_targets)
+
+    def _forward_fused(
+        self,
+        h_src: Tensor,
+        query: Tensor,
+        edge_attr,
+        layout: SegmentLayout,
+    ) -> Tensor:
+        wq, wk = self.w_query.weight, self.w_key.weight
+        we = self.w_edge.weight if edge_attr is not None else None
+        attr = (
+            edge_attr.data if isinstance(edge_attr, Tensor) else edge_attr
+        )
+        m, alpha = kernels.attention_forward_np(
+            h_src.data, query.data, wq.data, wk.data,
+            None if we is None else we.data, attr, layout,
+        )
+        parents = (h_src, query, wq, wk) + ((we,) if we is not None else ())
+
+        def backward(grad: np.ndarray) -> None:
+            need_edge = we is not None and we.requires_grad
+            dh, dq, dwq, dwk, dwe = kernels.attention_backward_np(
+                grad, h_src.data, query.data, wq.data, wk.data, attr,
+                alpha, layout, need_edge=need_edge,
+            )
+            if h_src.requires_grad:
+                h_src._accumulate(dh, own=True)
+            if query.requires_grad:
+                query._accumulate(dq, own=True)
+            if wq.requires_grad:
+                wq._accumulate(dwq, own=True)
+            if wk.requires_grad:
+                wk._accumulate(dwk, own=True)
+            if need_edge:
+                we._accumulate(dwe, own=True)
+
+        return Tensor._make(m, parents, backward)
 
 
 def build_aggregator(

@@ -22,13 +22,19 @@ from ..nn.functional import gather_rows, scatter_rows
 from ..nn.modules import GRUCell, Linear, Module
 from ..nn.tensor import Tensor
 from .aggregators import build_aggregator
+from .propagation import run_pass
 from .regressor import PerTypeRegressor
 
 __all__ = ["GCN", "DAGConvGNN"]
 
 
 class _LayeredModel(Module):
-    """Shared plumbing: type embedding, per-layer aggregate+combine, head."""
+    """Shared plumbing: type embedding, per-layer aggregate+combine, head.
+
+    Each layer is one propagation pass; like DeepGate, passes run through
+    the compiled fast path unless built with ``compiled=False`` (the
+    reference loop kept for equivalence testing).
+    """
 
     def __init__(
         self,
@@ -37,11 +43,13 @@ class _LayeredModel(Module):
         num_layers: int,
         aggregator: str,
         rng: np.random.Generator,
+        compiled: bool = True,
     ):
         self.num_types = num_types
         self.dim = dim
         self.num_layers = num_layers
         self.aggregator_name = aggregator
+        self.compiled = compiled
         self.embed = Linear(num_types, dim, rng)
         self.aggregates = [
             build_aggregator(aggregator, dim, rng) for _ in range(num_layers)
@@ -52,8 +60,25 @@ class _LayeredModel(Module):
     def _schedule(self, batch: PreparedBatch):  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def _compiled_schedule(self, batch: PreparedBatch):  # pragma: no cover
+        raise NotImplementedError
+
     def embeddings(self, batch: PreparedBatch) -> Tensor:
         h = self.embed(Tensor(batch.x))
+        if self.compiled:
+            schedule = self._compiled_schedule(batch)
+            for aggregate, combine in zip(self.aggregates, self.combines):
+
+                def step(group, h_src, query, aggregate=aggregate,
+                         combine=combine):
+                    m = aggregate(
+                        h_src, query, group.seg, len(group.nodes),
+                        layout=group.seg_layout,
+                    )
+                    return combine(m, query)
+
+                h = run_pass(h, schedule, step)
+            return h
         schedule = self._schedule(batch)
         for aggregate, combine in zip(self.aggregates, self.combines):
             for group in schedule:
@@ -79,6 +104,7 @@ class GCN(_LayeredModel):
         num_layers: int = 4,
         aggregator: str = "conv_sum",
         rng: Optional[np.random.Generator] = None,
+        compiled: bool = True,
     ):
         super().__init__(
             num_types,
@@ -86,10 +112,14 @@ class GCN(_LayeredModel):
             num_layers,
             aggregator,
             rng if rng is not None else np.random.default_rng(0),
+            compiled=compiled,
         )
 
     def _schedule(self, batch: PreparedBatch):
         return batch.undirected_schedule()
+
+    def _compiled_schedule(self, batch: PreparedBatch):
+        return batch.compiled_undirected_schedule()
 
 
 class DAGConvGNN(_LayeredModel):
@@ -102,6 +132,7 @@ class DAGConvGNN(_LayeredModel):
         num_layers: int = 4,
         aggregator: str = "conv_sum",
         rng: Optional[np.random.Generator] = None,
+        compiled: bool = True,
     ):
         super().__init__(
             num_types,
@@ -109,7 +140,11 @@ class DAGConvGNN(_LayeredModel):
             num_layers,
             aggregator,
             rng if rng is not None else np.random.default_rng(0),
+            compiled=compiled,
         )
 
     def _schedule(self, batch: PreparedBatch):
         return batch.forward_schedule(include_skip=False)
+
+    def _compiled_schedule(self, batch: PreparedBatch):
+        return batch.compiled_forward_schedule(include_skip=False)

@@ -14,6 +14,13 @@ skip connections.  The knobs:
                  'init_only': h0 = embed(x), message alone drives the GRU
                  (the previous-DAG-GNN convention)
 ``use_reverse``  run a reversed propagation layer after each forward layer
+``compiled``     run propagation through the batch's
+                 :class:`~repro.graphdata.batching.CompiledSchedule` fast
+                 path (state materialised once per pass, cached segment
+                 layouts, precomputed edge-attribute blocks).  ``False``
+                 keeps the reference level-by-level ``scatter_rows`` loop —
+                 numerically identical, used for equivalence tests and as
+                 the ``repro bench --reference`` baseline.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from ..nn.functional import concat, gather_rows, scatter_rows
 from ..nn.modules import GRUCell, Linear, Module
 from ..nn.tensor import Tensor
 from .aggregators import build_aggregator
+from .propagation import run_pass
 from .regressor import PerTypeRegressor
 
 __all__ = ["DeepGate"]
@@ -47,6 +55,7 @@ class DeepGate(Module):
         input_mode: str = "fixed_x",
         pe_levels: int = 8,
         rng: Optional[np.random.Generator] = None,
+        compiled: bool = True,
     ):
         if input_mode not in ("fixed_x", "init_only"):
             raise ValueError(f"unknown input_mode {input_mode!r}")
@@ -61,6 +70,7 @@ class DeepGate(Module):
         self.use_reverse = use_reverse
         self.input_mode = input_mode
         self.pe_levels = pe_levels
+        self.compiled = compiled
 
         # [gamma(D), skip indicator] per edge (see graphdata.batching)
         edge_dim = 2 * pe_levels + 1 if use_skip else 0
@@ -96,8 +106,24 @@ class DeepGate(Module):
     ) -> Tensor:
         """Run ``T`` rounds of forward(+reverse) propagation; return (N, d)."""
         iterations = num_iterations or self.num_iterations
-        x = Tensor(batch.x)
         h = self.initial_state(batch)
+        if self.compiled:
+            fwd = batch.compiled_forward_schedule(self.use_skip, self.pe_levels)
+            rev = (
+                batch.compiled_reverse_schedule() if self.use_reverse else None
+            )
+            for _ in range(iterations):
+                h = self._propagate_compiled(
+                    h, fwd, self.fwd_aggregate, self.fwd_combine,
+                    use_edge_attr=self.use_skip,
+                )
+                if rev is not None:
+                    h = self._propagate_compiled(
+                        h, rev, self.rev_aggregate, self.rev_combine,
+                        use_edge_attr=False,
+                    )
+            return h
+        x = Tensor(batch.x)
         fwd = batch.forward_schedule(self.use_skip, self.pe_levels)
         rev = batch.reverse_schedule() if self.use_reverse else None
         for _ in range(iterations):
@@ -114,6 +140,27 @@ class DeepGate(Module):
         return self.regressor(h, batch.graph.node_type)
 
     # ------------------------------------------------------------------
+    def _propagate_compiled(self, h, schedule, aggregate, combine, use_edge_attr):
+        """One pass over a compiled schedule (see models.propagation)."""
+
+        fixed_x = self.input_mode == "fixed_x"
+
+        def step(group, h_src, query):
+            edge_attr = (
+                group.edge_attr
+                if use_edge_attr and group.edge_attr is not None
+                else None
+            )
+            m = aggregate(
+                h_src, query, group.seg, len(group.nodes), edge_attr,
+                layout=group.seg_layout,
+            )
+            if fixed_x:
+                return combine.forward_with_features(m, group.x_rows, query)
+            return combine(m, query)
+
+        return run_pass(h, schedule, step)
+
     def _propagate(self, h, x, schedule, aggregate, combine):
         use_edge_attr = (
             self.use_skip and aggregate is self.fwd_aggregate

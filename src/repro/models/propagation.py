@@ -1,0 +1,103 @@
+"""Compiled propagation pass execution: the models' shared fast path.
+
+A propagation pass (one forward or reverse sweep over a level schedule)
+used to pay a full ``(N, d)`` state copy per level through
+:func:`~repro.nn.functional.scatter_rows`.  Because a pass writes each node
+at most once, :func:`run_pass` instead keeps ONE working matrix that is
+updated in place as groups are processed, while the autograd graph tracks
+each group's freshly-computed rows directly:
+
+* sources are gathered from the working matrix in a single fancy-index;
+  the backward routes gradient slices to the producing group's output
+  tensor (or the pass input) via the schedule's precomputed provenance
+  plan, pre-reducing repeated rows with the cached segment layouts;
+* the updated state materialises into a tensor once per pass — the
+  working matrix itself becomes the output's data.
+
+Both DeepGate's recurrent layers and the layered baselines run their
+passes through this module; each supplies a ``step`` callback computing
+the updated rows for one group (aggregate + combine).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from ..graphdata.batching import CompiledGroup, CompiledSchedule
+from ..nn.kernels import segment_present_sum
+from ..nn.tensor import Tensor
+
+__all__ = ["run_pass"]
+
+#: step(group, h_src, query) -> updated rows for ``group.nodes``
+StepFn = Callable[[CompiledGroup, Tensor, Tensor], Tensor]
+
+
+def _gather_sources(
+    work: np.ndarray, group: CompiledGroup, producers: List[Tensor]
+) -> Tensor:
+    """Edge-source rows for one group, gathered from the working matrix.
+
+    Forward is one fancy-index over ``work``; backward scatters gradient
+    slices back to each producer named by the group's provenance plan.
+    """
+    data = work[group.src]
+    plan = group.gather_plan
+    parents = tuple(producers[split.producer + 1] for split in plan)
+
+    def backward(grad: np.ndarray) -> None:
+        for split in plan:
+            target = producers[split.producer + 1]
+            if not target.requires_grad:
+                continue
+            g = grad if split.positions is None else grad[split.positions]
+            rows, sums = segment_present_sum(g, split.layout)
+            target._accumulate_rows(rows, sums)
+
+    return Tensor._make(data, parents, backward)
+
+
+def _gather_query(h: Tensor, nodes: np.ndarray) -> Tensor:
+    """The group's own pre-update rows.
+
+    A pass writes each node once, at its own group — so the query rows
+    always come from the pass *input* state, never from an earlier group,
+    and the backward can write (not add) into the touched rows.
+    """
+    data = h.data[nodes]
+
+    def backward(grad: np.ndarray) -> None:
+        if h.requires_grad:
+            h._accumulate_rows(nodes, grad)
+
+    return Tensor._make(data, (h,), backward)
+
+
+def run_pass(h: Tensor, schedule: CompiledSchedule, step: StepFn) -> Tensor:
+    """Run one compiled propagation pass; returns the updated state."""
+    if not schedule.groups:
+        return h
+    work = h.data.copy()
+    producers: List[Tensor] = [h]
+    for group in schedule.groups:
+        h_src = _gather_sources(work, group, producers)
+        query = _gather_query(h, group.nodes)
+        h_new = step(group, h_src, query)
+        work[group.nodes] = h_new.data
+        producers.append(h_new)
+    outputs = producers[1:]
+    groups = schedule.groups
+    written = schedule.written
+
+    def backward(grad: np.ndarray) -> None:
+        for group, out in zip(groups, outputs):
+            if out.requires_grad:
+                out._accumulate(grad[group.nodes], own=True)
+        if h.requires_grad:
+            gh = grad.copy()
+            gh[written] = 0.0
+            h._accumulate(gh, own=True)
+
+    return Tensor._make(work, (h, *outputs), backward)

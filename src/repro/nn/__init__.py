@@ -1,6 +1,7 @@
 """From-scratch numpy autograd framework (PyTorch substitute)."""
 
-from . import functional, init
+from . import functional, init, kernels
+from .kernels import SegmentLayout
 from .functional import (
     concat,
     gather_rows,
@@ -17,6 +18,8 @@ from .tensor import Tensor, no_grad, unbroadcast
 __all__ = [
     "functional",
     "init",
+    "kernels",
+    "SegmentLayout",
     "concat",
     "gather_rows",
     "l1_loss",

@@ -5,14 +5,26 @@ rows for message sources, scattering updated hidden states back into the
 node-state matrix, and segment (per-destination) reductions used by the
 aggregation functions — including the segment softmax that realises the
 paper's additive attention (Eq. 5).
+
+All segment reductions run on the sort-plus-``reduceat`` kernels of
+:mod:`repro.nn.kernels` rather than ``np.add.at``/``np.maximum.at``.  Each
+op accepts an optional precomputed :class:`~repro.nn.kernels.SegmentLayout`
+so hot paths (the compiled propagation schedules) pay the sort once per
+batch; without one, a layout is built on the fly.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
+from .kernels import (
+    SegmentLayout,
+    segment_present_sum,
+    segment_softmax_np,
+    segment_sum_np,
+)
 from .tensor import Tensor
 
 __all__ = [
@@ -42,16 +54,28 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     return Tensor._make(data, parts, backward)
 
 
-def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
-    """Select rows: ``out[k] = x[index[k]]`` (repeats allowed)."""
+def gather_rows(
+    x: Tensor, index: np.ndarray, layout: Optional[SegmentLayout] = None
+) -> Tensor:
+    """Select rows: ``out[k] = x[index[k]]`` (repeats allowed).
+
+    ``layout``, if given, must be a :class:`SegmentLayout` over ``index``
+    with ``num_segments = len(x)``; the backward then reuses its sort
+    permutation instead of re-sorting, and in either case accumulates only
+    the touched rows rather than a dense zero matrix.
+    """
     index = np.asarray(index, dtype=np.int64)
     data = x.data[index]
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            gx = np.zeros_like(x.data)
-            np.add.at(gx, index, grad)
-            x._accumulate(gx)
+            lay = (
+                layout
+                if layout is not None
+                else SegmentLayout(index, x.data.shape[0])
+            )
+            rows, sums = segment_present_sum(grad, lay)
+            x._accumulate_rows(rows, sums)
 
     return Tensor._make(data, (x,), backward)
 
@@ -59,11 +83,18 @@ def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
 def scatter_rows(base: Tensor, index: np.ndarray, rows: Tensor) -> Tensor:
     """Functional row update: ``out = base`` with ``out[index] = rows``.
 
-    ``index`` entries must be unique.  This is how level-by-level message
-    passing writes freshly-computed hidden states into the node-state matrix
-    without in-place mutation (which would break autograd).
+    ``index`` entries must be unique (checked).  This is how level-by-level
+    message passing writes freshly-computed hidden states into the
+    node-state matrix without in-place mutation (which would break
+    autograd).
     """
     index = np.asarray(index, dtype=np.int64)
+    if index.size and np.unique(index).size != index.size:
+        raise ValueError(
+            "scatter_rows requires unique indices; duplicates would make "
+            "the forward write order-dependent and silently corrupt "
+            "gradients"
+        )
     data = base.data.copy()
     data[index] = rows.data
 
@@ -71,60 +102,67 @@ def scatter_rows(base: Tensor, index: np.ndarray, rows: Tensor) -> Tensor:
         if base.requires_grad:
             gb = grad.copy()
             gb[index] = 0.0
-            base._accumulate(gb)
+            base._accumulate(gb, own=True)
         if rows.requires_grad:
-            rows._accumulate(grad[index])
+            rows._accumulate(grad[index], own=True)
 
     return Tensor._make(data, (base, rows), backward)
 
 
-def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(
+    x: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    layout: Optional[SegmentLayout] = None,
+) -> Tensor:
     """Sum rows of ``x`` grouped by ``segment_ids``.
 
     ``out[s] = sum_{k : segment_ids[k] == s} x[k]``; segments with no
     members yield zero rows.
     """
-    segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    out_shape = (num_segments,) + x.data.shape[1:]
-    data = np.zeros(out_shape, dtype=np.float32)
-    np.add.at(data, segment_ids, x.data)
+    lay = (
+        layout
+        if layout is not None
+        else SegmentLayout(segment_ids, num_segments)
+    )
+    data = segment_sum_np(x.data, lay)
+    ids = lay.segment_ids
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            x._accumulate(grad[segment_ids])
+            x._accumulate(grad[ids], own=True)
 
     return Tensor._make(data, (x,), backward)
 
 
 def segment_softmax(
-    scores: Tensor, segment_ids: np.ndarray, num_segments: int
+    scores: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    layout: Optional[SegmentLayout] = None,
 ) -> Tensor:
     """Numerically stable softmax within each segment.
 
     ``scores`` is a 1-D tensor (one entry per edge); the result sums to 1
-    within every segment.  This implements the ``softmax_{u in P(v)}`` of the
-    paper's attention coefficients.
+    within every segment.  This implements the ``softmax_{u in P(v)}`` of
+    the paper's attention coefficients.
     """
-    segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    s = scores.data.reshape(-1)
-    # per-segment max for stability
-    seg_max = np.full(num_segments, -np.inf, dtype=np.float32)
-    np.maximum.at(seg_max, segment_ids, s)
-    shifted = s - seg_max[segment_ids]
-    exps = np.exp(shifted)
-    denom = np.zeros(num_segments, dtype=np.float32)
-    np.add.at(denom, segment_ids, exps)
-    out = exps / denom[segment_ids]
+    lay = (
+        layout
+        if layout is not None
+        else SegmentLayout(segment_ids, num_segments)
+    )
+    ids = lay.segment_ids
+    out = segment_softmax_np(scores.data.reshape(-1), lay)
 
     def backward(grad: np.ndarray) -> None:
         if not scores.requires_grad:
             return
         g = grad.reshape(-1)
         # d softmax: out * (g - sum_segment(g * out))
-        weighted = np.zeros(num_segments, dtype=np.float32)
-        np.add.at(weighted, segment_ids, g * out)
-        gs = out * (g - weighted[segment_ids])
-        scores._accumulate(gs.reshape(scores.data.shape))
+        weighted = segment_sum_np(g * out, lay)
+        gs = out * (g - weighted[ids])
+        scores._accumulate(gs.reshape(scores.data.shape), own=True)
 
     return Tensor._make(out.reshape(scores.data.shape), (scores,), backward)
 

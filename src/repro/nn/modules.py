@@ -11,7 +11,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from . import init
+from . import init, kernels
 from .tensor import Tensor
 
 __all__ = ["Module", "Linear", "MLP", "GRUCell", "Sequential"]
@@ -176,6 +176,12 @@ class GRUCell(Module):
 
     ``h' = (1 - z) * n + z * h`` with reset gate ``r``, update gate ``z``
     and candidate ``n = tanh(W_n x + r * (U_n h) + b_n)``.
+
+    Forward and backward run as one fused autograd node
+    (:func:`repro.nn.kernels.gru_forward_np` /
+    :func:`~repro.nn.kernels.gru_backward_np`) instead of ~15 elementwise
+    ops, so a propagation step records a single closure and two saved
+    activations per level group.
     """
 
     def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
@@ -193,30 +199,61 @@ class GRUCell(Module):
         self.b_hh = Tensor(init.zeros((3 * hidden_size,)), requires_grad=True)
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
-        d = self.hidden_size
-        gi = x @ self.w_ih + self.b_ih
-        gh = h @ self.w_hh + self.b_hh
-        i_r, i_z, i_n = _split3(gi, d)
-        h_r, h_z, h_n = _split3(gh, d)
-        r = (i_r + h_r).sigmoid()
-        z = (i_z + h_z).sigmoid()
-        n = (i_n + r * h_n).tanh()
-        one = Tensor(np.float32(1.0))
-        return (one - z) * n + z * h
+        return self._fused(x.data, x, None, h)
 
+    def forward_with_features(
+        self, m: Tensor, features: np.ndarray, h: Tensor
+    ) -> Tensor:
+        """``forward(concat([m, features], axis=1), h)`` in one node.
 
-def _split3(x: Tensor, d: int) -> Tuple[Tensor, Tensor, Tensor]:
-    """Split the last axis of a (N, 3d) tensor into three (N, d) tensors."""
-    return _slice_cols(x, 0, d), _slice_cols(x, d, 2 * d), _slice_cols(x, 2 * d, 3 * d)
+        ``features`` is a constant array (pre-gathered gate-type rows from
+        a compiled schedule); concatenation happens inside the fused op,
+        so no autograd concat node or feature tensor wrapper is recorded.
+        """
+        x_in = np.concatenate([m.data, features], axis=1)
+        return self._fused(x_in, m, m.data.shape[1], h)
 
+    def _fused(
+        self,
+        x_in: np.ndarray,
+        x_target: Tensor,
+        x_cols: Optional[int],
+        h: Tensor,
+    ) -> Tensor:
+        """One fused GRU node; ``x_target`` receives the (possibly
+        column-sliced, when ``x_cols`` is set) input gradient."""
+        w_ih, w_hh, b_ih, b_hh = self.w_ih, self.w_hh, self.b_ih, self.b_hh
+        data, saved = kernels.gru_forward_np(
+            x_in, h.data, w_ih.data, w_hh.data, b_ih.data, b_hh.data
+        )
 
-def _slice_cols(x: Tensor, start: int, stop: int) -> Tensor:
-    data = x.data[:, start:stop]
+        def backward(grad: np.ndarray) -> None:
+            need_w = (
+                w_ih.requires_grad or w_hh.requires_grad
+                or b_ih.requires_grad or b_hh.requires_grad
+            )
+            dx, dh, dw_ih, dw_hh, db_ih, db_hh = kernels.gru_backward_np(
+                grad,
+                x_in,
+                h.data,
+                w_ih.data,
+                w_hh.data,
+                saved,
+                need_x=x_target.requires_grad,
+                need_h=h.requires_grad,
+                need_w=need_w,
+            )
+            if dx is not None:
+                if x_cols is not None:
+                    dx = np.ascontiguousarray(dx[:, :x_cols])
+                x_target._accumulate(dx, own=True)
+            if dh is not None:
+                h._accumulate(dh, own=True)
+            if need_w:
+                for param, dparam in (
+                    (w_ih, dw_ih), (w_hh, dw_hh), (b_ih, db_ih), (b_hh, db_hh)
+                ):
+                    if param.requires_grad:
+                        param._accumulate(dparam, own=True)
 
-    def backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
-            gx = np.zeros_like(x.data)
-            gx[:, start:stop] = grad
-            x._accumulate(gx)
-
-    return Tensor._make(data, (x,), backward)
+        return Tensor._make(data, (x_target, h, w_ih, w_hh, b_ih, b_hh), backward)

@@ -87,19 +87,59 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        """Create a result tensor, recording the op if grads are enabled."""
-        needs = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=needs)
+        """Create a result tensor, recording the op if grads are enabled.
+
+        Hand-rolled construction: this runs once per autograd node, so the
+        generic ``__init__`` coercions (and generator-expression frames)
+        are worth skipping on the hot path.
+        """
+        out = Tensor.__new__(Tensor)
+        if type(data) is np.ndarray and data.dtype == np.float32:
+            out.data = data
+        else:
+            out.data = np.asarray(data, dtype=np.float32)
+        out.grad = None
+        needs = False
+        if _GRAD_ENABLED[0]:
+            for p in parents:
+                if p.requires_grad:
+                    needs = True
+                    break
+        out.requires_grad = needs
         if needs:
-            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._parents = tuple([p for p in parents if p.requires_grad])
             out._backward = backward
+        else:
+            out._parents = ()
+            out._backward = None
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, own: bool = False) -> None:
+        """Add ``grad`` into this tensor's gradient buffer.
+
+        ``own=True`` promises the caller freshly allocated ``grad`` and
+        will never touch it again, so the first accumulation can take the
+        array as-is instead of copying — kernel backward closures use this
+        to halve gradient-buffer churn.  Never pass a view of live data.
+        """
         if self.grad is None:
-            self.grad = grad.astype(np.float32, copy=True)
+            if own and grad.dtype == np.float32:
+                self.grad = grad
+            else:
+                self.grad = grad.astype(np.float32, copy=True)
         else:
             self.grad += grad
+
+    def _accumulate_rows(self, index: np.ndarray, grad: np.ndarray) -> None:
+        """Add ``grad[k]`` into row ``index[k]`` of the gradient buffer.
+
+        ``index`` entries must be unique (pre-reduce repeated rows with a
+        segment kernel first).  Touches only the indexed rows, so sparse
+        scatter-style backwards avoid materialising dense buffers.
+        """
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad[index] += grad
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Back-propagate from this tensor through the recorded graph."""

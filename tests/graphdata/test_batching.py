@@ -162,6 +162,130 @@ class TestPreparedBatch:
         np.testing.assert_array_equal(batch.labels, g.labels)
 
 
+class TestVectorisedScheduleBuild:
+    """The argsort-based builders must reproduce the per-level-scan
+    construction exactly (group order, node order, source order)."""
+
+    def _reference_forward_groups(self, g):
+        edges = g.edges
+        dst_level = g.levels[edges[:, 1]]
+        groups = []
+        for lv in range(1, int(g.levels.max()) + 1):
+            sel = np.nonzero(dst_level == lv)[0]
+            if sel.size == 0:
+                continue
+            e = edges[sel]
+            nodes, seg = np.unique(e[:, 1], return_inverse=True)
+            groups.append((nodes, e[:, 0], seg))
+        return groups
+
+    def test_forward_matches_per_level_scan(self):
+        g = graph_of(ripple_adder(6))
+        sched = LevelSchedule.forward(g)
+        expect = self._reference_forward_groups(g)
+        assert len(sched) == len(expect)
+        for group, (nodes, src, seg) in zip(sched, expect):
+            np.testing.assert_array_equal(group.nodes, nodes)
+            np.testing.assert_array_equal(group.src, src)
+            np.testing.assert_array_equal(group.seg, seg)
+
+    def test_reverse_matches_per_level_scan(self):
+        g = graph_of(ripple_adder(6))
+        sched = LevelSchedule.reverse(g)
+        edges = g.edges
+        src_level = g.levels[edges[:, 0]]
+        expect = []
+        for lv in range(int(g.levels.max()) - 1, -1, -1):
+            sel = np.nonzero(src_level == lv)[0]
+            if sel.size == 0:
+                continue
+            e = edges[sel]
+            nodes, seg = np.unique(e[:, 0], return_inverse=True)
+            expect.append((nodes, e[:, 1], seg))
+        assert len(sched) == len(expect)
+        for group, (nodes, src, seg) in zip(sched, expect):
+            np.testing.assert_array_equal(group.nodes, nodes)
+            np.testing.assert_array_equal(group.src, src)
+            np.testing.assert_array_equal(group.seg, seg)
+
+
+class TestCompiledSchedule:
+    def _compiled(self, netlist=None, include_skip=True):
+        batch = prepare([graph_of(netlist or ripple_adder(5))])
+        return batch, batch.compiled_forward_schedule(include_skip, 4)
+
+    def test_cached_on_batch(self):
+        batch, cs = self._compiled()
+        assert batch.compiled_forward_schedule(True, 4) is cs
+        assert (
+            batch.compiled_reverse_schedule()
+            is batch.compiled_reverse_schedule()
+        )
+        assert (
+            batch.compiled_undirected_schedule()
+            is batch.compiled_undirected_schedule()
+        )
+
+    def test_skip_edges_folded_with_attr_blocks(self):
+        batch, cs = self._compiled()
+        sched = batch.forward_schedule(True, 4)
+        total_skip = sum(len(g.skip_src) for g in sched)
+        assert total_skip > 0
+        for level, compiled in zip(sched, cs):
+            n_real = len(level.src)
+            assert len(compiled.src) == n_real + len(level.skip_src)
+            assert compiled.edge_attr.shape == (len(compiled.src), 9)
+            # real edges carry zero attributes, skips their PE rows
+            np.testing.assert_array_equal(compiled.edge_attr[:n_real], 0.0)
+            if level.has_skip:
+                np.testing.assert_array_equal(
+                    compiled.edge_attr[n_real:], level.skip_attr
+                )
+
+    def test_x_rows_are_group_features(self):
+        batch, cs = self._compiled()
+        for group in cs:
+            np.testing.assert_array_equal(
+                group.x_rows, batch.x[group.nodes]
+            )
+
+    def test_written_nodes_unique_and_match_groups(self):
+        _, cs = self._compiled()
+        all_nodes = np.concatenate([g.nodes for g in cs])
+        assert np.unique(all_nodes).size == all_nodes.size
+        np.testing.assert_array_equal(cs.written, all_nodes)
+
+    def test_gather_plan_provenance(self):
+        """Every source row must be attributed to the group that wrote it
+        last (or the pass input), with correct local row indices."""
+        batch, cs = self._compiled()
+        writer = {}
+        for gi, group in enumerate(cs):
+            for split in group.gather_plan:
+                positions = (
+                    np.arange(len(group.src))
+                    if split.positions is None
+                    else split.positions
+                )
+                src_nodes = group.src[positions]
+                local = split.layout.segment_ids
+                if split.producer == -1:
+                    for node, row in zip(src_nodes, local):
+                        assert node not in writer
+                        assert row == node
+                else:
+                    producer_nodes = cs.groups[split.producer].nodes
+                    for node, row in zip(src_nodes, local):
+                        assert writer[node] == split.producer
+                        assert producer_nodes[row] == node
+            for pos, node in enumerate(group.nodes):
+                writer[int(node)] = gi
+
+    def test_no_edge_attr_without_skip(self):
+        _, cs = self._compiled(include_skip=False)
+        assert all(group.edge_attr is None for group in cs)
+
+
 class TestPositionalEncoding:
     def test_shape_and_range(self):
         pe = positional_encoding(np.array([1, 5, 20]), num_levels=8)

@@ -44,6 +44,40 @@ class TestGCN:
         assert m2.num_parameters() > m1.num_parameters()
 
 
+class TestBaselineCompiledEquivalence:
+    @pytest.mark.parametrize("cls", [GCN, DAGConvGNN])
+    def test_forward_matches_reference(self, cls):
+        batch = make_batch()
+        ref = cls(dim=8, num_layers=2, rng=np.random.default_rng(0),
+                  compiled=False)
+        fast = cls(dim=8, num_layers=2, rng=np.random.default_rng(0),
+                   compiled=True)
+        with no_grad():
+            np.testing.assert_allclose(
+                ref(batch).data, fast(batch).data, rtol=1e-5, atol=1e-6
+            )
+
+    @pytest.mark.parametrize("cls", [GCN, DAGConvGNN])
+    def test_gradients_match_reference(self, cls):
+        batch = make_batch()
+        ref = cls(dim=8, num_layers=2, rng=np.random.default_rng(0),
+                  compiled=False)
+        fast = cls(dim=8, num_layers=2, rng=np.random.default_rng(0),
+                   compiled=True)
+        weights = np.linspace(-1, 1, batch.num_nodes).astype(np.float32)
+        from repro.nn import Tensor
+
+        for model in (ref, fast):
+            (model(batch) * Tensor(weights)).sum().backward()
+        for (name, p_ref), (_, p_fast) in zip(
+            ref.named_parameters(), fast.named_parameters()
+        ):
+            np.testing.assert_allclose(
+                p_ref.grad, p_fast.grad, rtol=2e-4, atol=2e-5,
+                err_msg=f"gradient mismatch for {name}",
+            )
+
+
 class TestDAGConvGNN:
     def test_forward_shape(self):
         batch = make_batch()

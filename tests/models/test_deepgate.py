@@ -6,7 +6,7 @@ import pytest
 from repro.datagen.generators import ripple_adder
 from repro.graphdata import from_aig, prepare
 from repro.models import DeepGate
-from repro.nn import no_grad
+from repro.nn import Tensor, no_grad
 from repro.synth import synthesize
 
 
@@ -127,6 +127,71 @@ class TestGradients:
             opt.step()
         final = l1_loss(model(batch), batch.labels).item()
         assert final < first
+
+
+class TestCompiledEquivalence:
+    """The fast path must match the reference propagation loop exactly
+    (forward) and to float32 round-off (gradients)."""
+
+    CONFIGS = [
+        {},
+        {"use_skip": False},
+        {"use_reverse": False},
+        {"input_mode": "init_only", "use_skip": False},
+        {"aggregator": "conv_sum", "use_skip": False},
+        {"aggregator": "deepset", "use_skip": False},
+        {"aggregator": "gated_sum", "use_skip": False},
+    ]
+
+    def _pair(self, **kwargs):
+        ref = make_model(rng=np.random.default_rng(0), compiled=False, **kwargs)
+        fast = make_model(rng=np.random.default_rng(0), compiled=True, **kwargs)
+        return ref, fast
+
+    @pytest.mark.parametrize(
+        "config", CONFIGS, ids=[str(sorted(c.items())) for c in CONFIGS]
+    )
+    def test_forward_matches(self, config):
+        batch = make_batch(width=5)
+        ref, fast = self._pair(**config)
+        with no_grad():
+            a, b = ref(batch).data, fast(batch).data
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize(
+        "config", CONFIGS, ids=[str(sorted(c.items())) for c in CONFIGS]
+    )
+    def test_gradients_match(self, config):
+        batch = make_batch(width=5)
+        ref, fast = self._pair(**config)
+        # a smooth loss: L1's sign kink would amplify float32 round-off
+        # differences into spurious gradient mismatches
+        weights = np.linspace(-1.0, 1.0, batch.num_nodes).astype(np.float32)
+        for model in (ref, fast):
+            (model(batch) * Tensor(weights)).sum().backward()
+        for (name, p_ref), (_, p_fast) in zip(
+            ref.named_parameters(), fast.named_parameters()
+        ):
+            assert p_ref.grad is not None and p_fast.grad is not None, name
+            np.testing.assert_allclose(
+                p_ref.grad, p_fast.grad, rtol=2e-4, atol=2e-5,
+                err_msg=f"gradient mismatch for {name}",
+            )
+
+    def test_compiled_is_default(self):
+        assert make_model().compiled
+
+    def test_multi_circuit_batch(self):
+        from repro.datagen.generators import parity
+
+        g1 = from_aig(synthesize(ripple_adder(4)), num_patterns=256, seed=0)
+        g2 = from_aig(synthesize(parity(6)), num_patterns=256, seed=1)
+        batch = prepare([g1, g2])
+        ref, fast = self._pair()
+        with no_grad():
+            np.testing.assert_allclose(
+                ref(batch).data, fast(batch).data, rtol=1e-5, atol=1e-6
+            )
 
 
 class TestStatePersistence:

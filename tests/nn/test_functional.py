@@ -80,6 +80,12 @@ class TestScatterRows:
             [(4, 2), (2, 2)],
         )
 
+    def test_duplicate_indices_rejected(self):
+        base = Tensor(np.zeros((4, 2)))
+        rows = Tensor(np.ones((3, 2)))
+        with pytest.raises(ValueError, match="unique"):
+            scatter_rows(base, np.array([1, 3, 1]), rows)
+
 
 class TestSegmentSum:
     def test_forward(self):

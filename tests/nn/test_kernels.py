@@ -1,0 +1,299 @@
+"""Tests for the compiled segment/GRU/attention kernels.
+
+Two angles on every kernel: finite-difference gradcheck, and equivalence
+against the pre-fast-path reference ops (``np.add.at``/``np.maximum.at``
+reductions, the expression-by-expression GRU) across empty-segment,
+single-edge and large-fan-in edge cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concat, gather_rows
+from repro.nn.kernels import (
+    SegmentLayout,
+    attention_backward_np,
+    attention_forward_np,
+    segment_max_np,
+    segment_present_sum,
+    segment_softmax_np,
+    segment_sum_np,
+)
+from repro.nn.modules import GRUCell
+
+from .gradcheck import check_gradients
+
+# ---------------------------------------------------------------------------
+# reference implementations (the ops the kernels replaced)
+# ---------------------------------------------------------------------------
+
+
+def ref_segment_sum(x, ids, num_segments):
+    out = np.zeros((num_segments,) + x.shape[1:], dtype=np.float32)
+    np.add.at(out, ids, x)
+    return out
+
+
+def ref_segment_max(x, ids, num_segments):
+    out = np.full(num_segments, -np.inf, dtype=np.float32)
+    np.maximum.at(out, ids, x)
+    return out
+
+
+def ref_segment_softmax(s, ids, num_segments):
+    seg_max = ref_segment_max(s, ids, num_segments)
+    exps = np.exp(s - seg_max[ids])
+    denom = ref_segment_sum(exps, ids, num_segments)
+    return exps / denom[ids]
+
+
+def reference_gru(cell, x, h):
+    """The original ~15-node composite GRU formulation."""
+    d = cell.hidden_size
+    gi = (x @ cell.w_ih + cell.b_ih).data
+    gh = (h @ cell.w_hh + cell.b_hh).data
+    r = 1.0 / (1.0 + np.exp(-(gi[:, :d] + gh[:, :d])))
+    z = 1.0 / (1.0 + np.exp(-(gi[:, d:2 * d] + gh[:, d:2 * d])))
+    n = np.tanh(gi[:, 2 * d:] + r * gh[:, 2 * d:])
+    return (1.0 - z) * n + z * h.data
+
+
+#: (name, segment_ids, num_segments) covering the structural edge cases
+SEGMENT_CASES = [
+    ("empty", np.zeros(0, np.int64), 3),
+    ("single_edge", np.array([1]), 3),
+    ("empty_segments_interleaved", np.array([0, 0, 4, 2, 4]), 6),
+    ("large_fan_in", np.zeros(500, np.int64), 2),
+    ("all_distinct", np.arange(7), 7),
+    ("unsorted", np.array([3, 0, 2, 0, 3, 1, 3]), 4),
+]
+
+
+@pytest.mark.parametrize(
+    "name,ids,num", SEGMENT_CASES, ids=[c[0] for c in SEGMENT_CASES]
+)
+class TestSegmentKernelEquivalence:
+    def test_sum_matches_add_at(self, name, ids, num):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(ids.size, 3)).astype(np.float32)
+        layout = SegmentLayout(ids, num)
+        # reduceat associates pairwise where add.at is strictly
+        # sequential, so agreement is to float32 round-off, not bitwise
+        np.testing.assert_allclose(
+            segment_sum_np(x, layout),
+            ref_segment_sum(x, ids, num),
+            rtol=1e-6, atol=1e-6,
+        )
+
+    def test_max_matches_maximum_at(self, name, ids, num):
+        rng = np.random.default_rng(2)
+        s = rng.normal(size=ids.size).astype(np.float32)
+        layout = SegmentLayout(ids, num)
+        np.testing.assert_array_equal(
+            segment_max_np(s, layout), ref_segment_max(s, ids, num)
+        )
+
+    def test_softmax_matches_reference(self, name, ids, num):
+        if ids.size == 0:
+            pytest.skip("softmax over zero edges is vacuous")
+        rng = np.random.default_rng(3)
+        s = rng.normal(size=ids.size).astype(np.float32)
+        layout = SegmentLayout(ids, num)
+        np.testing.assert_allclose(
+            segment_softmax_np(s, layout),
+            ref_segment_softmax(s, ids, num),
+            rtol=1e-6,
+        )
+
+    def test_present_sum_touches_only_present(self, name, ids, num):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(ids.size, 2)).astype(np.float32)
+        layout = SegmentLayout(ids, num)
+        present, sums = segment_present_sum(x, layout)
+        assert sorted(set(present.tolist())) == sorted(set(ids.tolist()))
+        dense = segment_sum_np(x, layout)
+        np.testing.assert_array_equal(dense[present], sums)
+
+
+class TestSegmentLayout:
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(ValueError, match="segment ids"):
+            SegmentLayout(np.array([0, 5]), 3)
+        with pytest.raises(ValueError, match="segment ids"):
+            SegmentLayout(np.array([-1]), 3)
+
+    def test_gather_rows_with_layout_matches_without(self):
+        idx = np.array([0, 2, 2, 1, 2])
+        layout = SegmentLayout(idx, 4)
+        w = np.arange(10, dtype=np.float32).reshape(5, 2)
+        grads = []
+        for lay in (None, layout):
+            x = Tensor(np.arange(8, dtype=np.float32).reshape(4, 2),
+                       requires_grad=True)
+            out = gather_rows(x, idx, layout=lay)
+            (out * Tensor(w)).sum().backward()
+            grads.append(x.grad)
+        np.testing.assert_array_equal(grads[0], grads[1])
+
+
+class TestFusedGRU:
+    def _data(self, n=3, din=4, d=5, seed=0):
+        rng = np.random.default_rng(seed)
+        return (
+            rng.normal(size=(n, din)).astype(np.float32),
+            rng.normal(size=(n, d)).astype(np.float32),
+        )
+
+    def test_forward_matches_reference(self):
+        x_np, h_np = self._data()
+        cell = GRUCell(4, 5, np.random.default_rng(7))
+        out = cell(Tensor(x_np), Tensor(h_np))
+        np.testing.assert_allclose(
+            out.data,
+            reference_gru(cell, Tensor(x_np), Tensor(h_np)),
+            rtol=1e-6, atol=1e-7,
+        )
+
+    def test_gradcheck_all_inputs_and_params(self):
+        mix = np.linspace(0.5, 1.5, 3 * 5).reshape(3, 5).astype(np.float32)
+
+        def build(params):
+            x, h, w_ih, w_hh, b_ih, b_hh = params
+            cell = GRUCell.__new__(GRUCell)
+            cell.input_size, cell.hidden_size = 4, 5
+            cell.w_ih, cell.w_hh, cell.b_ih, cell.b_hh = w_ih, w_hh, b_ih, b_hh
+            return (cell(x, h) * Tensor(mix)).sum()
+
+        check_gradients(
+            build,
+            [(3, 4), (3, 5), (4, 15), (5, 15), (15,), (15,)],
+            low=0.05, high=0.6,
+        )
+
+    def test_forward_with_features_matches_concat(self):
+        m_np, h_np = self._data(din=4)
+        feats = np.eye(3, dtype=np.float32)
+        cell = GRUCell(4 + 3, 5, np.random.default_rng(9))
+        m1 = Tensor(m_np, requires_grad=True)
+        m2 = Tensor(m_np, requires_grad=True)
+        fused = cell.forward_with_features(m1, feats, Tensor(h_np))
+        composite = cell(concat([m2, Tensor(feats)], axis=1), Tensor(h_np))
+        np.testing.assert_array_equal(fused.data, composite.data)
+        w = np.linspace(-1, 1, fused.data.size).reshape(fused.data.shape)
+        for out, m in ((fused, m1), (composite, m2)):
+            cell.zero_grad()
+            (out * Tensor(w.astype(np.float32))).sum().backward()
+        np.testing.assert_allclose(m1.grad, m2.grad, rtol=1e-5, atol=1e-7)
+
+    def test_hidden_side_params_get_grads_when_input_side_frozen(self):
+        # regression: the fused backward must not gate w_hh/b_hh grads on
+        # the input-side parameters' requires_grad
+        x_np, h_np = self._data()
+        cell = GRUCell(4, 5, np.random.default_rng(11))
+        cell.w_ih.requires_grad = False
+        cell.b_ih.requires_grad = False
+        cell(Tensor(x_np), Tensor(h_np)).sum().backward()
+        assert cell.w_hh.grad is not None
+        assert cell.b_hh.grad is not None
+        assert cell.w_ih.grad is None and cell.b_ih.grad is None
+
+    def test_saved_activations_independent_of_later_calls(self):
+        # two forwards from the same cell must not share saved state
+        x1, h1 = self._data(seed=1)
+        x2, h2 = self._data(seed=2)
+        cell = GRUCell(4, 5, np.random.default_rng(3))
+        out1 = cell(Tensor(x1), Tensor(h1, requires_grad=True))
+        cell(Tensor(x2), Tensor(h2))
+        expect = reference_gru(cell, Tensor(x1), Tensor(h1))
+        np.testing.assert_allclose(out1.data, expect, rtol=1e-6)
+
+
+class TestFusedAttention:
+    def _case(self, num_edges=7, num_targets=3, dim=4, attr_dim=2, seed=0):
+        rng = np.random.default_rng(seed)
+        ids = np.sort(rng.integers(0, num_targets, size=num_edges))
+        return (
+            rng.normal(size=(num_edges, dim)).astype(np.float32),
+            rng.normal(size=(num_targets, dim)).astype(np.float32),
+            rng.normal(size=(dim, 1)).astype(np.float32),
+            rng.normal(size=(dim, 1)).astype(np.float32),
+            rng.normal(size=(attr_dim, 1)).astype(np.float32),
+            rng.normal(size=(num_edges, attr_dim)).astype(np.float32),
+            SegmentLayout(ids, num_targets),
+        )
+
+    def test_forward_matches_composite_formulation(self):
+        h_src, q, wq, wk, we, attr, layout = self._case()
+        ids = layout.segment_ids
+        m, alpha = attention_forward_np(h_src, q, wq, wk, we, attr, layout)
+        scores = (
+            (q @ wq).reshape(-1)[ids]
+            + (h_src @ wk).reshape(-1)
+            + (attr @ we).reshape(-1)
+        )
+        expect_alpha = ref_segment_softmax(scores, ids, layout.num_segments)
+        np.testing.assert_allclose(alpha, expect_alpha, rtol=1e-6)
+        expect_m = ref_segment_sum(
+            h_src * expect_alpha[:, None], ids, layout.num_segments
+        )
+        np.testing.assert_allclose(m, expect_m, rtol=1e-5, atol=1e-7)
+
+    def test_backward_matches_finite_differences(self):
+        h_src, q, wq, wk, we, attr, layout = self._case()
+        dm = np.linspace(-1, 1, q.size).reshape(q.shape).astype(np.float32)
+
+        def value(h_src=h_src, q=q, wq=wq, wk=wk, we=we):
+            m, _ = attention_forward_np(h_src, q, wq, wk, we, attr, layout)
+            return float((m.astype(np.float64) * dm).sum())
+
+        _, alpha = attention_forward_np(h_src, q, wq, wk, we, attr, layout)
+        dh, dq, dwq, dwk, dwe = attention_backward_np(
+            dm, h_src, q, wq, wk, attr, alpha, layout, need_edge=True
+        )
+        eps = 1e-2
+        for arr, grad in ((h_src, dh), (q, dq), (wq, dwq), (wk, dwk),
+                          (we, dwe)):
+            num = np.zeros_like(arr, dtype=np.float64)
+            flat, nflat = arr.reshape(-1), num.reshape(-1)
+            for i in range(flat.size):
+                orig = flat[i]
+                flat[i] = orig + eps
+                fp = value()
+                flat[i] = orig - eps
+                fm = value()
+                flat[i] = orig
+                nflat[i] = (fp - fm) / (2 * eps)
+            np.testing.assert_allclose(grad, num, atol=2e-2, rtol=8e-2)
+
+    def test_empty_segments_get_zero_message(self):
+        h_src, q, wq, wk, we, attr, layout = self._case()
+        # add two extra targets nobody feeds
+        layout2 = SegmentLayout(layout.segment_ids, layout.num_segments + 2)
+        q2 = np.concatenate([q, np.ones((2, q.shape[1]), np.float32)])
+        m, _ = attention_forward_np(h_src, q2, wq, wk, we, attr, layout2)
+        np.testing.assert_array_equal(m[-2:], 0.0)
+
+
+class TestAccumulateOwnership:
+    def test_repeated_accumulation_still_sums(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        g = np.full((2, 2), 3.0, dtype=np.float32)
+        x._accumulate(g.copy(), own=True)
+        x._accumulate(g.copy(), own=True)
+        np.testing.assert_array_equal(x.grad, np.full((2, 2), 6.0))
+
+    def test_accumulate_rows(self):
+        x = Tensor(np.zeros((4, 2)), requires_grad=True)
+        x._accumulate_rows(np.array([1, 3]), np.ones((2, 2), np.float32))
+        x._accumulate_rows(np.array([1]), np.full((1, 2), 2.0, np.float32))
+        np.testing.assert_array_equal(
+            x.grad, [[0, 0], [3, 3], [0, 0], [1, 1]]
+        )
+
+    def test_non_float32_grad_still_copied(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        g = np.ones(3, dtype=np.float64)
+        x._accumulate(g, own=True)
+        assert x.grad.dtype == np.float32
+        g[:] = 99.0
+        np.testing.assert_array_equal(x.grad, np.ones(3))

@@ -235,3 +235,63 @@ class TestExperimentCompareCLI:
         with pytest.raises(SystemExit, match="no run directory"):
             main(["experiment", "compare", "table1/abc", "table1/def",
                   "--runs-dir", str(tmp_path)])
+
+
+class TestBenchCLI:
+    def _run(self, tmp_path, name, extra=()):
+        out = tmp_path / f"BENCH_{name}.json"
+        args = ["bench", "run", "--suite", "small", "--name", name,
+                "-o", str(out), "--dim", "8", "--iterations", "1",
+                "--repeats", "1", "--epochs", "1", *extra]
+        assert main(args) == 0
+        return out
+
+    def test_run_emits_bench_json(self, capsys, tmp_path):
+        import json
+
+        out = self._run(tmp_path, "fast")
+        printed = capsys.readouterr().out
+        assert "small" in printed and "wrote" in printed
+        payload = json.loads(out.read_text())
+        assert payload["variant"] == "compiled"
+        metrics = payload["suites"]["small"]
+        for key in ("forward_s", "backward_s", "train_epoch_s",
+                    "nodes_per_s", "tracemalloc_peak_mb", "peak_rss_kb"):
+            assert key in metrics
+
+    def test_reference_variant_recorded(self, capsys, tmp_path):
+        import json
+
+        out = self._run(tmp_path, "ref", extra=("--reference",))
+        assert json.loads(out.read_text())["variant"] == "reference"
+
+    def test_unknown_suite_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown bench suite"):
+            main(["bench", "run", "--suite", "gigantic",
+                  "-o", str(tmp_path / "x.json")])
+
+    def test_compare(self, capsys, tmp_path):
+        import json
+
+        a = self._run(tmp_path, "one")
+        b = self._run(tmp_path, "two")
+        capsys.readouterr()
+        assert main(["bench", "compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "train_epoch_s" in out and "speedup" in out
+        assert main(["bench", "compare", str(a), str(b),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"]
+
+    def test_compare_min_speedup_gate(self, capsys, tmp_path):
+        # identical files give ~1x; an absurd bar must fail the gate,
+        # and the gate only watches the deep suite (absent here -> fail)
+        a = self._run(tmp_path, "one")
+        assert main(["bench", "compare", str(a), str(a),
+                     "--min-speedup", "1000"]) == 1
+
+    def test_compare_missing_file_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such bench file"):
+            main(["bench", "compare", str(tmp_path / "nope.json"),
+                  str(tmp_path / "nope2.json")])
