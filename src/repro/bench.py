@@ -2,8 +2,11 @@
 
 Times the model stack over three circuit regimes — a *small* batch of mixed
 circuits, a single *deep* carry-chain circuit (many levels, the worst case
-for level-by-level propagation), and a *wide* shallow batch — and writes a
-machine-comparable ``BENCH_<name>.json``.  Metrics per suite:
+for level-by-level propagation), and a *wide* shallow batch — plus four
+``default_<aggregator>`` suites that train one DeepGate variant per
+AGGREGATE design (Table II) over several default-scale mini-batches per
+epoch, and writes a machine-comparable ``BENCH_<name>.json``.  Metrics per
+suite:
 
 ``forward_s``      median wall-clock of an inference forward pass
 ``backward_s``     median wall-clock of forward + backward
@@ -34,6 +37,7 @@ import numpy as np
 
 from .datagen.generators import decoder, multiplier, parity, ripple_adder
 from .graphdata import PreparedBatch, from_aig, prepare
+from .models.aggregators import AGGREGATOR_NAMES
 from .models.deepgate import DeepGate
 from .nn.functional import l1_loss
 from .nn.optim import Adam, clip_grad_norm
@@ -42,6 +46,8 @@ from .synth import synthesize
 
 __all__ = [
     "BENCH_SUITES",
+    "AGGREGATOR_SUITES",
+    "all_suite_names",
     "run_benchmarks",
     "write_bench_file",
     "compare_bench",
@@ -72,9 +78,31 @@ BENCH_SUITES: Dict[str, List[Tuple[Callable, Dict[str, int]]]] = {
     ],
 }
 
+#: the mini-batches of the ``default_<aggregator>`` suites: circuit sizes
+#: sit inside the `default` experiment scale's node window, and a train
+#: epoch steps once per batch (the multi-batch regime real training runs
+#: in, where schedule-compilation caching pays off per batch, not once)
+DEFAULT_SCALE_BATCHES: List[List[Tuple[Callable, Dict[str, int]]]] = [
+    [(ripple_adder, {"width": 16}), (decoder, {"select_bits": 5})],
+    [(multiplier, {"width": 4}), (parity, {"width": 16})],
+    [(ripple_adder, {"width": 24}), (decoder, {"select_bits": 6})],
+]
+
+#: suite name -> aggregator: each trains a DeepGate variant with that
+#: AGGREGATE design over :data:`DEFAULT_SCALE_BATCHES` (skip connections
+#: only where the design supports them, i.e. attention)
+AGGREGATOR_SUITES: Dict[str, str] = {
+    f"default_{name}": name for name in AGGREGATOR_NAMES
+}
+
+
+def all_suite_names() -> List[str]:
+    """Every runnable suite, circuit regimes first."""
+    return sorted(BENCH_SUITES) + sorted(AGGREGATOR_SUITES)
+
 
 def build_suite(name: str, num_patterns: int = 512) -> PreparedBatch:
-    """Featurise and merge the suite's circuits into one prepared batch."""
+    """Featurise and merge a circuit suite into one prepared batch."""
     if name not in BENCH_SUITES:
         raise ValueError(f"unknown bench suite {name!r}; choose from "
                          f"{sorted(BENCH_SUITES)}")
@@ -86,7 +114,32 @@ def build_suite(name: str, num_patterns: int = 512) -> PreparedBatch:
     return prepare(graphs)
 
 
-def _make_model(dim: int, iterations: int, variant: str) -> DeepGate:
+def build_suite_batches(
+    name: str, num_patterns: int = 512
+) -> List[PreparedBatch]:
+    """The suite's prepared batches: one for the circuit regimes, one per
+    mini-batch for the ``default_<aggregator>`` suites."""
+    if name not in BENCH_SUITES and name not in AGGREGATOR_SUITES:
+        raise ValueError(f"unknown bench suite {name!r}; choose from "
+                         f"{all_suite_names()}")
+    if name in AGGREGATOR_SUITES:
+        return [
+            prepare([
+                from_aig(
+                    synthesize(factory(**kwargs)),
+                    num_patterns=num_patterns,
+                    seed=bi * 10 + k,
+                )
+                for k, (factory, kwargs) in enumerate(circuits)
+            ])
+            for bi, circuits in enumerate(DEFAULT_SCALE_BATCHES)
+        ]
+    return [build_suite(name, num_patterns=num_patterns)]
+
+
+def _make_model(
+    dim: int, iterations: int, variant: str, aggregator: Optional[str] = None
+) -> DeepGate:
     """Build the benchmark model; ``variant`` picks the propagation path.
 
     Runs against older checkouts that predate the ``compiled`` knob (for
@@ -95,6 +148,10 @@ def _make_model(dim: int, iterations: int, variant: str) -> DeepGate:
     """
     kwargs = dict(dim=dim, num_iterations=iterations,
                   rng=np.random.default_rng(0))
+    if aggregator is not None:
+        kwargs.update(
+            aggregator=aggregator, use_skip=(aggregator == "attention")
+        )
     try:
         return DeepGate(compiled=(variant != "reference"), **kwargs)
     except TypeError:
@@ -131,19 +188,27 @@ def bench_suite(
     variant: str = "compiled",
     num_patterns: int = 512,
 ) -> Dict[str, object]:
-    """Benchmark one suite; returns the metrics dict for the JSON file."""
-    batch = build_suite(name, num_patterns=num_patterns)
-    model = _make_model(dim, iterations, variant)
-    graph = batch.graph
+    """Benchmark one suite; returns the metrics dict for the JSON file.
+
+    For ``default_<aggregator>`` suites the model is the matching DeepGate
+    variant, and every metric spans ALL of the suite's mini-batches (a
+    train epoch steps the optimiser once per batch).
+    """
+    batches = build_suite_batches(name, num_patterns=num_patterns)
+    model = _make_model(
+        dim, iterations, variant, aggregator=AGGREGATOR_SUITES.get(name)
+    )
 
     def forward() -> None:
         with no_grad():
-            model(batch)
+            for batch in batches:
+                model(batch)
 
     def backward() -> None:
         model.zero_grad()
-        loss = l1_loss(model(batch), batch.labels)
-        loss.backward()
+        for batch in batches:
+            loss = l1_loss(model(batch), batch.labels)
+            loss.backward()
 
     # warm up once so schedule compilation/caching is not inside the clock
     # of the first repeat (it is a one-off cost per batch, not per pass)
@@ -155,11 +220,12 @@ def bench_suite(
     optimizer = Adam(model.parameters(), lr=1e-4)
 
     def train_epoch() -> None:
-        optimizer.zero_grad()
-        loss = l1_loss(model(batch), batch.labels)
-        loss.backward()
-        clip_grad_norm(model.parameters(), 5.0)
-        optimizer.step()
+        for batch in batches:
+            optimizer.zero_grad()
+            loss = l1_loss(model(batch), batch.labels)
+            loss.backward()
+            clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
 
     epoch_samples = []
     for _ in range(max(1, epochs)):
@@ -176,18 +242,27 @@ def bench_suite(
     _, traced_peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
 
-    return {
-        "circuits": len(BENCH_SUITES[name]),
-        "nodes": int(graph.num_nodes),
-        "edges": int(graph.num_edges),
-        "levels": int(graph.levels.max(initial=0)),
+    num_nodes = sum(b.graph.num_nodes for b in batches)
+    metrics = {
+        "circuits": sum(
+            len(c) for c in DEFAULT_SCALE_BATCHES
+        ) if name in AGGREGATOR_SUITES else len(BENCH_SUITES[name]),
+        "nodes": int(num_nodes),
+        "edges": int(sum(b.graph.num_edges for b in batches)),
+        "levels": int(
+            max(b.graph.levels.max(initial=0) for b in batches)
+        ),
         "forward_s": forward_s,
         "backward_s": backward_s,
         "train_epoch_s": train_epoch_s,
-        "nodes_per_s": float(graph.num_nodes / train_epoch_s),
+        "nodes_per_s": float(num_nodes / train_epoch_s),
         "tracemalloc_peak_mb": float(traced_peak / 1e6),
         "peak_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
     }
+    if name in AGGREGATOR_SUITES:
+        metrics["batches"] = len(batches)
+        metrics["aggregator"] = AGGREGATOR_SUITES[name]
+    return metrics
 
 
 def run_benchmarks(
@@ -200,7 +275,7 @@ def run_benchmarks(
     variant: str = "compiled",
 ) -> Dict[str, object]:
     """Run the suites and assemble the ``BENCH_<name>.json`` payload."""
-    chosen = list(suites) if suites else sorted(BENCH_SUITES)
+    chosen = list(suites) if suites else all_suite_names()
     results = {
         suite: bench_suite(
             suite, dim=dim, iterations=iterations, repeats=repeats,
@@ -240,7 +315,13 @@ def write_bench_file(payload: Dict[str, object], out: Path) -> Path:
 def compare_bench(
     old: Dict[str, object], new: Dict[str, object]
 ) -> Dict[str, object]:
-    """Per-suite metric diff; speedup = old/new for time metrics."""
+    """Per-suite metric diff; speedup = old/new for time metrics.
+
+    Suites present in only one file produce no speedup rows (there is
+    nothing to compare against), but they are never silently dropped:
+    ``missing_suites`` names them per side, so a renamed or removed suite
+    cannot masquerade as a clean comparison.
+    """
     rows = []
     old_suites = dict(old.get("suites", {}))
     new_suites = dict(new.get("suites", {}))
@@ -270,8 +351,10 @@ def compare_bench(
         "new": {"name": new.get("name"), "variant": new.get("variant")},
         "rows": rows,
         "deep_train_speedup": headline,
-        "only_old": sorted(set(old_suites) - set(new_suites)),
-        "only_new": sorted(set(new_suites) - set(old_suites)),
+        "missing_suites": {
+            "old_only": sorted(set(old_suites) - set(new_suites)),
+            "new_only": sorted(set(new_suites) - set(old_suites)),
+        },
     }
 
 
@@ -279,16 +362,22 @@ def render_compare(diff: Dict[str, object]) -> str:
     lines = [
         f"bench compare: {diff['old']['name']} ({diff['old']['variant']}) "
         f"-> {diff['new']['name']} ({diff['new']['variant']})",
-        f"{'suite':8s} {'metric':22s} {'old':>12s} {'new':>12s} {'speedup':>8s}",
+        f"{'suite':18s} {'metric':22s} {'old':>12s} {'new':>12s} {'speedup':>8s}",
     ]
     for r in diff["rows"]:
         lines.append(
-            f"{r['suite']:8s} {r['metric']:22s} {r['old']:12.6f} "
+            f"{r['suite']:18s} {r['metric']:22s} {r['old']:12.6f} "
             f"{r['new']:12.6f} {r['speedup']:7.2f}x"
         )
-    for key, label in (("only_old", "only in old"), ("only_new", "only in new")):
-        if diff[key]:
-            lines.append(f"{label}: {', '.join(diff[key])}")
+    missing = diff.get("missing_suites") or {}
+    for key, label in (
+        ("old_only", "only in old, not compared"),
+        ("new_only", "only in new, not compared"),
+    ):
+        if missing.get(key):
+            lines.append(
+                f"missing suites ({label}): {', '.join(missing[key])}"
+            )
     if diff.get("deep_train_speedup") is not None:
         lines.append(
             f"deep-circuit training speedup: {diff['deep_train_speedup']:.2f}x"

@@ -251,13 +251,13 @@ def cmd_dataset_info(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_run(args: argparse.Namespace) -> int:
-    from .bench import BENCH_SUITES, run_benchmarks, write_bench_file
+    from .bench import all_suite_names, run_benchmarks, write_bench_file
 
+    known = all_suite_names()
     for suite in args.suite or []:
-        if suite not in BENCH_SUITES:
+        if suite not in known:
             raise SystemExit(
-                f"unknown bench suite {suite!r}; choose from "
-                f"{sorted(BENCH_SUITES)}"
+                f"unknown bench suite {suite!r}; choose from {known}"
             )
     payload = run_benchmarks(
         suites=args.suite,
@@ -272,7 +272,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
     path = write_bench_file(payload, out)
     for suite, metrics in payload["suites"].items():
         print(
-            f"{suite:8s} N={metrics['nodes']:6d} L={metrics['levels']:4d}  "
+            f"{suite:18s} N={metrics['nodes']:6d} L={metrics['levels']:4d}  "
             f"fwd {metrics['forward_s']:.4f}s  bwd {metrics['backward_s']:.4f}s  "
             f"epoch {metrics['train_epoch_s']:.4f}s  "
             f"({metrics['nodes_per_s']:.0f} nodes/s)"
@@ -547,7 +547,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument(
         "--suite", action="append",
-        help="suite to run (small/deep/wide; repeatable; default all)",
+        help="suite to run (small/deep/wide/default_<aggregator>; "
+             "repeatable; default all)",
     )
     q.add_argument("--name", default="bench",
                    help="benchmark name (default output BENCH_<name>.json)")

@@ -14,17 +14,29 @@ node.  The shared interface is::
                     skip connections); only attention consumes them.
 ``layout``          optional precomputed segment layout over ``seg`` (from
                     a compiled schedule); saves the per-call sort.
+
+Each aggregator offers the interface at three fusion levels:
+
+* **reference** (no ``layout``) — the composite autograd formulation,
+  the equivalence-test oracle;
+* **fused node** (``layout`` given) — one closed-form autograd node per
+  call, via the matching kernels in :mod:`repro.nn.kernels`;
+* **pass step** (``step_*`` methods) — raw numpy forward/backward hooks
+  the whole-pass runner (:mod:`repro.models.propagation`) drives, with
+  parameter gradients batched into per-pass sink buffers.  A new
+  AGGREGATE design plugs into the compiled fast path by implementing
+  these five hooks.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..nn import kernels
 from ..nn.functional import gather_rows, segment_softmax, segment_sum
-from ..nn.kernels import SegmentLayout
+from ..nn.kernels import SegmentLayout, segment_sum_np
 from ..nn.modules import Linear, MLP, Module
 from ..nn.tensor import Tensor
 
@@ -39,8 +51,48 @@ __all__ = [
 
 AGGREGATOR_NAMES = ("conv_sum", "attention", "deepset", "gated_sum")
 
+#: per-pass gradient accumulation buffers, keyed per aggregator design
+Sink = Dict[str, np.ndarray]
 
-class ConvSumAggregator(Module):
+
+def _acc(param: Tensor, grad: np.ndarray) -> None:
+    if param.requires_grad:
+        param._accumulate(grad, own=True)
+
+
+class PassStepAggregator(Module):
+    """The pass-step hooks the fused pass runner drives.
+
+    ``step_begin``    per-pass pre-projections over the full pass-input
+                      state ``hd`` (e.g. attention's query scores)
+    ``step_forward``  one group's message matrix + saved activations
+    ``step_sink``     zeroed per-pass parameter-gradient buffers
+    ``step_backward`` one group's ``dh_src`` given ``dm``, accumulating
+                      parameter gradients into the sink
+    ``step_end``      fold the sink into the parameter tensors, and add
+                      any batched contribution to ``dh`` (the pass-input
+                      state gradient; ``None`` when not needed)
+    """
+
+    def step_begin(self, hd: np.ndarray) -> Optional[np.ndarray]:
+        return None
+
+    def step_forward(self, group, h_src, ctx, edge_attr=None):
+        raise NotImplementedError
+
+    def step_sink(self, hd: np.ndarray) -> Sink:
+        raise NotImplementedError
+
+    def step_backward(self, group, dm, h_src, saved, sink, edge_attr=None):
+        raise NotImplementedError
+
+    def step_end(
+        self, hd: np.ndarray, sink: Sink, dh: Optional[np.ndarray]
+    ) -> None:
+        raise NotImplementedError
+
+
+class ConvSumAggregator(PassStepAggregator):
     """Convolutional sum (NeuroSAT-style): ``m_v = sum_u W h_u``."""
 
     def __init__(self, dim: int, rng: np.random.Generator):
@@ -55,10 +107,56 @@ class ConvSumAggregator(Module):
         edge_attr: Optional[Tensor] = None,
         layout: Optional[SegmentLayout] = None,
     ) -> Tensor:
+        if layout is not None:
+            return self._forward_fused(h_src, layout)
         return segment_sum(self.linear(h_src), seg, num_targets, layout=layout)
 
+    def _forward_fused(self, h_src: Tensor, layout: SegmentLayout) -> Tensor:
+        w, b = self.linear.weight, self.linear.bias
+        m, s = kernels.conv_sum_forward_np(h_src.data, w.data, b.data, layout)
 
-class DeepSetAggregator(Module):
+        def backward(grad: np.ndarray) -> None:
+            need_w = w.requires_grad or b.requires_grad
+            dh, dw, db = kernels.conv_sum_backward_np(
+                grad, s, w.data, layout,
+                need_h=h_src.requires_grad, need_w=need_w,
+            )
+            if dh is not None:
+                h_src._accumulate(dh, own=True)
+            if w.requires_grad:
+                w._accumulate(dw, own=True)
+            if b.requires_grad:
+                b._accumulate(db, own=True)
+
+        return Tensor._make(m, (h_src, w, b), backward)
+
+    # -- pass-step hooks (see PassStepAggregator) ----------------------
+    def step_forward(self, group, h_src, ctx, edge_attr=None):
+        lin = self.linear
+        return kernels.conv_sum_forward_np(
+            h_src, lin.weight.data, lin.bias.data, group.seg_layout
+        )
+
+    def step_sink(self, hd):
+        return {
+            "dw": np.zeros_like(self.linear.weight.data),
+            "db": np.zeros_like(self.linear.bias.data),
+        }
+
+    def step_backward(self, group, dm, h_src, saved, sink, edge_attr=None):
+        dh, dw, db = kernels.conv_sum_backward_np(
+            dm, saved, self.linear.weight.data, group.seg_layout
+        )
+        sink["dw"] += dw
+        sink["db"] += db
+        return dh
+
+    def step_end(self, hd, sink, dh):
+        _acc(self.linear.weight, sink["dw"])
+        _acc(self.linear.bias, sink["db"])
+
+
+class DeepSetAggregator(PassStepAggregator):
     """DeepSet: ``m_v = rho(sum_u phi(h_u))`` with MLP phi and linear rho."""
 
     def __init__(self, dim: int, rng: np.random.Generator):
@@ -74,12 +172,80 @@ class DeepSetAggregator(Module):
         edge_attr: Optional[Tensor] = None,
         layout: Optional[SegmentLayout] = None,
     ) -> Tensor:
+        if layout is not None:
+            return self._forward_fused(h_src, layout)
         return self.rho(
             segment_sum(self.phi(h_src), seg, num_targets, layout=layout)
         )
 
+    def _forward_fused(self, h_src: Tensor, layout: SegmentLayout) -> Tensor:
+        lin1, lin2 = self.phi.layers
+        rho = self.rho
+        params = (
+            lin1.weight, lin1.bias, lin2.weight, lin2.bias,
+            rho.weight, rho.bias,
+        )
+        m, saved = kernels.deepset_forward_np(
+            h_src.data,
+            lin1.weight.data, lin1.bias.data,
+            lin2.weight.data, lin2.bias.data,
+            rho.weight.data, rho.bias.data,
+            layout,
+        )
 
-class GatedSumAggregator(Module):
+        def backward(grad: np.ndarray) -> None:
+            need_w = any(p.requires_grad for p in params)
+            dh, *dparams = kernels.deepset_backward_np(
+                grad, h_src.data,
+                lin1.weight.data, lin2.weight.data, rho.weight.data,
+                saved, layout,
+                need_h=h_src.requires_grad, need_w=need_w,
+            )
+            if dh is not None:
+                h_src._accumulate(dh, own=True)
+            if need_w:
+                for p, dp in zip(params, dparams):
+                    if p.requires_grad:
+                        p._accumulate(dp, own=True)
+
+        return Tensor._make(m, (h_src, *params), backward)
+
+    # -- pass-step hooks (see PassStepAggregator) ----------------------
+    def _step_params(self):
+        lin1, lin2 = self.phi.layers
+        return (("dw1", lin1.weight), ("db1", lin1.bias),
+                ("dw2", lin2.weight), ("db2", lin2.bias),
+                ("dwr", self.rho.weight), ("dbr", self.rho.bias))
+
+    def step_forward(self, group, h_src, ctx, edge_attr=None):
+        lin1, lin2 = self.phi.layers
+        return kernels.deepset_forward_np(
+            h_src,
+            lin1.weight.data, lin1.bias.data,
+            lin2.weight.data, lin2.bias.data,
+            self.rho.weight.data, self.rho.bias.data,
+            group.seg_layout,
+        )
+
+    def step_sink(self, hd):
+        return {key: np.zeros_like(p.data) for key, p in self._step_params()}
+
+    def step_backward(self, group, dm, h_src, saved, sink, edge_attr=None):
+        lin1, lin2 = self.phi.layers
+        dh, *dparams = kernels.deepset_backward_np(
+            dm, h_src, lin1.weight.data, lin2.weight.data,
+            self.rho.weight.data, saved, group.seg_layout,
+        )
+        for (key, _), dp in zip(self._step_params(), dparams):
+            sink[key] += dp
+        return dh
+
+    def step_end(self, hd, sink, dh):
+        for key, p in self._step_params():
+            _acc(p, sink[key])
+
+
+class GatedSumAggregator(PassStepAggregator):
     """D-VAE gated sum: ``m_v = sum_u sigmoid(g(h_u)) * f(h_u)``."""
 
     def __init__(self, dim: int, rng: np.random.Generator):
@@ -95,11 +261,68 @@ class GatedSumAggregator(Module):
         edge_attr: Optional[Tensor] = None,
         layout: Optional[SegmentLayout] = None,
     ) -> Tensor:
+        if layout is not None:
+            return self._forward_fused(h_src, layout)
         gated = self.gate(h_src).sigmoid() * self.value(h_src)
         return segment_sum(gated, seg, num_targets, layout=layout)
 
+    def _forward_fused(self, h_src: Tensor, layout: SegmentLayout) -> Tensor:
+        gate, value = self.gate, self.value
+        params = (gate.weight, gate.bias, value.weight, value.bias)
+        m, saved = kernels.gated_sum_forward_np(
+            h_src.data,
+            gate.weight.data, gate.bias.data,
+            value.weight.data, value.bias.data,
+            layout,
+        )
 
-class AttentionAggregator(Module):
+        def backward(grad: np.ndarray) -> None:
+            need_w = any(p.requires_grad for p in params)
+            dh, *dparams = kernels.gated_sum_backward_np(
+                grad, h_src.data, gate.weight.data, value.weight.data,
+                saved, layout,
+                need_h=h_src.requires_grad, need_w=need_w,
+            )
+            if dh is not None:
+                h_src._accumulate(dh, own=True)
+            if need_w:
+                for p, dp in zip(params, dparams):
+                    if p.requires_grad:
+                        p._accumulate(dp, own=True)
+
+        return Tensor._make(m, (h_src, *params), backward)
+
+    # -- pass-step hooks (see PassStepAggregator) ----------------------
+    def _step_params(self):
+        return (("dwg", self.gate.weight), ("dbg", self.gate.bias),
+                ("dwv", self.value.weight), ("dbv", self.value.bias))
+
+    def step_forward(self, group, h_src, ctx, edge_attr=None):
+        return kernels.gated_sum_forward_np(
+            h_src,
+            self.gate.weight.data, self.gate.bias.data,
+            self.value.weight.data, self.value.bias.data,
+            group.seg_layout,
+        )
+
+    def step_sink(self, hd):
+        return {key: np.zeros_like(p.data) for key, p in self._step_params()}
+
+    def step_backward(self, group, dm, h_src, saved, sink, edge_attr=None):
+        dh, *dparams = kernels.gated_sum_backward_np(
+            dm, h_src, self.gate.weight.data, self.value.weight.data,
+            saved, group.seg_layout,
+        )
+        for (key, _), dp in zip(self._step_params(), dparams):
+            sink[key] += dp
+        return dh
+
+    def step_end(self, hd, sink, dh):
+        for key, p in self._step_params():
+            _acc(p, sink[key])
+
+
+class AttentionAggregator(PassStepAggregator):
     """The paper's additive attention (Eq. 5), with skip-edge attributes.
 
     ``alpha_uv = softmax_u(w1^T h_v^{t-1} + w2^T h_u^t [+ w3^T gamma(D)])``
@@ -131,10 +354,22 @@ class AttentionAggregator(Module):
         edge_attr: Optional[Tensor] = None,
         layout: Optional[SegmentLayout] = None,
     ) -> Tensor:
-        if edge_attr is not None and self.w_edge is None:
-            raise ValueError(
-                "aggregator built without edge_attr_dim but given edge_attr"
+        if edge_attr is not None:
+            if self.w_edge is None:
+                raise ValueError(
+                    "AttentionAggregator was built with edge_attr_dim=0 and "
+                    "has no edge-attribute weights, but was given edge_attr; "
+                    "construct it with edge_attr_dim matching the attributes"
+                )
+            attr_data = (
+                edge_attr.data if isinstance(edge_attr, Tensor) else edge_attr
             )
+            if attr_data.shape[1] != self.edge_attr_dim:
+                raise ValueError(
+                    f"edge_attr has {attr_data.shape[1]} columns but the "
+                    f"aggregator was built with "
+                    f"edge_attr_dim={self.edge_attr_dim}"
+                )
         if layout is not None:
             # compiled path: the whole score->softmax->weighted-sum chain
             # runs as one fused autograd node over the cached layout
@@ -183,6 +418,60 @@ class AttentionAggregator(Module):
                 we._accumulate(dwe, own=True)
 
         return Tensor._make(m, parents, backward)
+
+    # -- pass-step hooks (see PassStepAggregator) ----------------------
+    def step_begin(self, hd):
+        # query-score contribution of every node, batched per pass: the
+        # query rows always come from the pass-input state
+        return (hd @ self.w_query.weight.data).ravel()
+
+    def step_forward(self, group, h_src, ctx, edge_attr=None):
+        layout = group.seg_layout
+        scores = (
+            ctx[group.nodes][layout.segment_ids]
+            + (h_src @ self.w_key.weight.data).ravel()
+        )
+        if edge_attr is not None:
+            scores = scores + (edge_attr @ self.w_edge.weight.data).ravel()
+        alpha = kernels.segment_softmax_np(scores, layout)
+        m = segment_sum_np(h_src * alpha[:, None], layout)
+        return m, alpha
+
+    def step_sink(self, hd):
+        sink = {
+            "dqs": np.zeros(hd.shape[0], np.float32),
+            "dwk": np.zeros_like(self.w_key.weight.data),
+        }
+        if self.w_edge is not None:
+            sink["dwe"] = np.zeros_like(self.w_edge.weight.data)
+        return sink
+
+    def step_backward(self, group, dm, h_src, saved, sink, edge_attr=None):
+        layout = group.seg_layout
+        alpha = saved
+        seg = layout.segment_ids
+        wk = self.w_key.weight.data
+        dm_e = dm[seg]
+        dh = alpha[:, None] * dm_e
+        dalpha = np.einsum("ij,ij->i", h_src, dm_e)
+        weighted = alpha * dalpha
+        ds = weighted - alpha * segment_sum_np(weighted, layout)[seg]
+        dh += ds[:, None] * wk.reshape(1, -1)
+        sink["dwk"] += (h_src.T @ ds).reshape(wk.shape)
+        sink["dqs"][group.nodes] += segment_sum_np(ds, layout)
+        if edge_attr is not None:
+            sink["dwe"] += (edge_attr.T @ ds).reshape(sink["dwe"].shape)
+        return dh
+
+    def step_end(self, hd, sink, dh):
+        dqs = sink["dqs"]
+        wq = self.w_query.weight
+        _acc(wq, (hd.T @ dqs).reshape(wq.data.shape))
+        if dh is not None:
+            dh += dqs[:, None] * wq.data.reshape(1, -1)
+        _acc(self.w_key.weight, sink["dwk"])
+        if "dwe" in sink:
+            _acc(self.w_edge.weight, sink["dwe"])
 
 
 def build_aggregator(

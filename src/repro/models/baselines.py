@@ -22,7 +22,7 @@ from ..nn.functional import gather_rows, scatter_rows
 from ..nn.modules import GRUCell, Linear, Module
 from ..nn.tensor import Tensor
 from .aggregators import build_aggregator
-from .propagation import run_pass
+from .propagation import AggregateCombineStep, run_pass
 from .regressor import PerTypeRegressor
 
 __all__ = ["GCN", "DAGConvGNN"]
@@ -68,16 +68,7 @@ class _LayeredModel(Module):
         if self.compiled:
             schedule = self._compiled_schedule(batch)
             for aggregate, combine in zip(self.aggregates, self.combines):
-
-                def step(group, h_src, query, aggregate=aggregate,
-                         combine=combine):
-                    m = aggregate(
-                        h_src, query, group.seg, len(group.nodes),
-                        layout=group.seg_layout,
-                    )
-                    return combine(m, query)
-
-                h = run_pass(h, schedule, step)
+                h = run_pass(h, schedule, AggregateCombineStep(aggregate, combine))
             return h
         schedule = self._schedule(batch)
         for aggregate, combine in zip(self.aggregates, self.combines):

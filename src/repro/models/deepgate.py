@@ -35,7 +35,7 @@ from ..nn.functional import concat, gather_rows, scatter_rows
 from ..nn.modules import GRUCell, Linear, Module
 from ..nn.tensor import Tensor
 from .aggregators import build_aggregator
-from .propagation import run_pass
+from .propagation import AggregateCombineStep, run_pass
 from .regressor import PerTypeRegressor
 
 __all__ = ["DeepGate"]
@@ -142,23 +142,12 @@ class DeepGate(Module):
     # ------------------------------------------------------------------
     def _propagate_compiled(self, h, schedule, aggregate, combine, use_edge_attr):
         """One pass over a compiled schedule (see models.propagation)."""
-
-        fixed_x = self.input_mode == "fixed_x"
-
-        def step(group, h_src, query):
-            edge_attr = (
-                group.edge_attr
-                if use_edge_attr and group.edge_attr is not None
-                else None
-            )
-            m = aggregate(
-                h_src, query, group.seg, len(group.nodes), edge_attr,
-                layout=group.seg_layout,
-            )
-            if fixed_x:
-                return combine.forward_with_features(m, group.x_rows, query)
-            return combine(m, query)
-
+        step = AggregateCombineStep(
+            aggregate,
+            combine,
+            fixed_x=self.input_mode == "fixed_x",
+            use_edge_attr=use_edge_attr,
+        )
         return run_pass(h, schedule, step)
 
     def _propagate(self, h, x, schedule, aggregate, combine):

@@ -1,103 +1,254 @@
 """Compiled propagation pass execution: the models' shared fast path.
 
 A propagation pass (one forward or reverse sweep over a level schedule)
-used to pay a full ``(N, d)`` state copy per level through
-:func:`~repro.nn.functional.scatter_rows`.  Because a pass writes each node
-at most once, :func:`run_pass` instead keeps ONE working matrix that is
-updated in place as groups are processed, while the autograd graph tracks
-each group's freshly-computed rows directly:
+used to pay a full ``(N, d)`` state copy per level, then — after PR 4 —
+one autograd node per level group.  Deep circuits have hundreds of level
+groups of a handful of nodes each, so per-group graph bookkeeping (node
+construction, closures, parameter accumulation, small matmuls) dominated
+the numbers being crunched.  :func:`run_pass` now records the ENTIRE
+pass as one autograd node:
 
-* sources are gathered from the working matrix in a single fancy-index;
-  the backward routes gradient slices to the producing group's output
-  tensor (or the pass input) via the schedule's precomputed provenance
-  plan, pre-reducing repeated rows with the cached segment layouts;
-* the updated state materialises into a tensor once per pass — the
-  working matrix itself becomes the output's data.
+* the forward walks the level groups in plain numpy, gathering sources
+  from a single working matrix and running the closed-form aggregator +
+  GRU kernels of :mod:`repro.nn.kernels` (per-design logic lives on the
+  aggregator classes as ``step_*`` hooks — see
+  :class:`~repro.models.aggregators.PassStepAggregator`);
+* the backward replays the groups in reverse, routing source gradients
+  to their producing groups through the schedule's precomputed
+  provenance plans — source and query values are re-gathered from the
+  retained pass input/output matrices rather than saved per group;
+* everything that does not depend on mid-pass state is batched per pass:
+  the GRU's recurrent input transform ``h @ W_hh + b_hh`` (one GEMM over
+  the pass-input state instead of one per group — its gradient likewise
+  materialises once, from the per-group gate gradients), the attention
+  query scores ``h @ w_q``, and all parameter gradients, which
+  accumulate into flat numpy buffers and hit the parameter tensors once
+  per pass.
 
 Both DeepGate's recurrent layers and the layered baselines run their
-passes through this module; each supplies a ``step`` callback computing
-the updated rows for one group (aggregate + combine).
+passes through this module via an :class:`AggregateCombineStep` — the
+fused AGGREGATE (any of the paper's four Table II designs) + GRU COMBINE
+step.  The aggregator modules keep equivalent single-node fused paths
+for direct use; the reference composite formulation (``compiled=False``)
+remains the equivalence-test oracle.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..graphdata.batching import CompiledGroup, CompiledSchedule
+from ..nn import kernels
 from ..nn.kernels import segment_present_sum
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, is_grad_enabled
+from .aggregators import PassStepAggregator, Sink, _acc
 
-__all__ = ["run_pass"]
-
-#: step(group, h_src, query) -> updated rows for ``group.nodes``
-StepFn = Callable[[CompiledGroup, Tensor, Tensor], Tensor]
+__all__ = ["run_pass", "AggregateCombineStep"]
 
 
-def _gather_sources(
-    work: np.ndarray, group: CompiledGroup, producers: List[Tensor]
-) -> Tensor:
-    """Edge-source rows for one group, gathered from the working matrix.
+class AggregateCombineStep:
+    """Closed-form per-group step: AGGREGATE + GRU COMBINE, numpy in/out.
 
-    Forward is one fancy-index over ``work``; backward scatters gradient
-    slices back to each producer named by the group's provenance plan.
+    Delegates the aggregation maths to the aggregator's ``step_*`` hooks
+    and owns the GRU side.  ``fixed_x`` concatenates the group's
+    pre-gathered gate-type rows into the GRU input (DeepGate's
+    ``fixed_x`` input mode); ``use_edge_attr`` feeds each group's
+    precomputed edge-attribute block to the aggregator (skip
+    connections; attention only).
     """
-    data = work[group.src]
+
+    def __init__(
+        self,
+        aggregate: PassStepAggregator,
+        combine,
+        fixed_x: bool = False,
+        use_edge_attr: bool = False,
+    ):
+        self.aggregate = aggregate
+        self.combine = combine
+        self.fixed_x = fixed_x
+        self.use_edge_attr = (
+            use_edge_attr and getattr(aggregate, "w_edge", None) is not None
+        )
+
+    def _edge_attr(self, group: CompiledGroup) -> Optional[np.ndarray]:
+        return group.edge_attr if self.use_edge_attr else None
+
+    def params(self) -> List[Tensor]:
+        """Every parameter the pass node must list as a parent."""
+        return [p for _, p in self.aggregate.named_parameters()] + [
+            self.combine.w_ih, self.combine.b_ih,
+            self.combine.w_hh, self.combine.b_hh,
+        ]
+
+    def begin(self, hd: np.ndarray) -> Tuple[np.ndarray, object]:
+        """Per-pass pre-projections over the pass-input state."""
+        c = self.combine
+        return hd @ c.w_hh.data + c.b_hh.data, self.aggregate.step_begin(hd)
+
+    def forward(
+        self,
+        group: CompiledGroup,
+        h_src: np.ndarray,
+        query: np.ndarray,
+        gh_full: np.ndarray,
+        agg_ctx,
+    ) -> Tuple[np.ndarray, tuple]:
+        m, agg_saved = self.aggregate.step_forward(
+            group, h_src, agg_ctx, self._edge_attr(group)
+        )
+        x_in = (
+            np.concatenate([m, group.x_rows], axis=1) if self.fixed_x else m
+        )
+        c = self.combine
+        out, gru_saved = kernels.gru_pre_forward_np(
+            x_in, query, gh_full[group.nodes], c.w_ih.data, c.b_ih.data
+        )
+        return out, (x_in, agg_saved, gru_saved)
+
+    def begin_backward(self, hd: np.ndarray) -> Tuple[Sink, Sink]:
+        """Zeroed per-pass gradient accumulation buffers."""
+        c = self.combine
+        gru_sink: Sink = {
+            "dgh": np.zeros((hd.shape[0], c.w_hh.data.shape[1]), np.float32),
+            "dw_ih": np.zeros_like(c.w_ih.data),
+            "db_ih": np.zeros_like(c.b_ih.data),
+        }
+        return gru_sink, self.aggregate.step_sink(hd)
+
+    def backward(
+        self,
+        group: CompiledGroup,
+        grad: np.ndarray,
+        h_src: np.ndarray,
+        query: np.ndarray,
+        saved: tuple,
+        gru_sink: Sink,
+        agg_sink: Sink,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One group's gradients: returns ``(dh_src, dquery)``."""
+        x_in, agg_saved, gru_saved = saved
+        c = self.combine
+        dx, dquery, dgh, dw_ih, db_ih = kernels.gru_pre_backward_np(
+            grad, x_in, query, c.w_ih.data, gru_saved
+        )
+        gru_sink["dgh"][group.nodes] = dgh
+        gru_sink["dw_ih"] += dw_ih
+        gru_sink["db_ih"] += db_ih
+        dm = (
+            np.ascontiguousarray(dx[:, : query.shape[1]])
+            if self.fixed_x
+            else dx
+        )
+        dh_src = self.aggregate.step_backward(
+            group, dm, h_src, agg_saved, agg_sink, self._edge_attr(group)
+        )
+        return dh_src, dquery
+
+    def end_backward(
+        self,
+        hd: np.ndarray,
+        gru_sink: Sink,
+        agg_sink: Sink,
+        dh: Optional[np.ndarray],
+    ) -> None:
+        """Fold the batched per-pass gradients into the parameters (and,
+        when the pass input needs one, the hidden-state gradient)."""
+        c = self.combine
+        dgh = gru_sink["dgh"]
+        _acc(c.w_hh, hd.T @ dgh)
+        _acc(c.b_hh, dgh.sum(axis=0))
+        if dh is not None:
+            dh += dgh @ c.w_hh.data.T
+        self.aggregate.step_end(hd, agg_sink, dh)
+        _acc(c.w_ih, gru_sink["dw_ih"])
+        _acc(c.b_ih, gru_sink["db_ih"])
+
+
+def _regather_sources(
+    hd: np.ndarray, work: np.ndarray, group: CompiledGroup
+) -> np.ndarray:
+    """Reconstruct the source rows a group read during the forward.
+
+    The schedule is topological: no source row is written after the
+    group reads it, so rows from producer ``-1`` still sit unchanged in
+    the pass input ``hd`` and rows from earlier groups sit in the final
+    working matrix ``work`` (each node is written exactly once).
+    Re-gathering here keeps the per-group ``(E_g, d)`` snapshots out of
+    the saved state.
+    """
     plan = group.gather_plan
-    parents = tuple(producers[split.producer + 1] for split in plan)
-
-    def backward(grad: np.ndarray) -> None:
-        for split in plan:
-            target = producers[split.producer + 1]
-            if not target.requires_grad:
-                continue
-            g = grad if split.positions is None else grad[split.positions]
-            rows, sums = segment_present_sum(g, split.layout)
-            target._accumulate_rows(rows, sums)
-
-    return Tensor._make(data, parents, backward)
+    if len(plan) == 1 and plan[0].positions is None:
+        base = hd if plan[0].producer < 0 else work
+        return base[group.src]
+    out = np.empty((len(group.src),) + hd.shape[1:], hd.dtype)
+    for split in plan:
+        base = hd if split.producer < 0 else work
+        out[split.positions] = base[group.src[split.positions]]
+    return out
 
 
-def _gather_query(h: Tensor, nodes: np.ndarray) -> Tensor:
-    """The group's own pre-update rows.
-
-    A pass writes each node once, at its own group — so the query rows
-    always come from the pass *input* state, never from an earlier group,
-    and the backward can write (not add) into the touched rows.
-    """
-    data = h.data[nodes]
-
-    def backward(grad: np.ndarray) -> None:
-        if h.requires_grad:
-            h._accumulate_rows(nodes, grad)
-
-    return Tensor._make(data, (h,), backward)
-
-
-def run_pass(h: Tensor, schedule: CompiledSchedule, step: StepFn) -> Tensor:
-    """Run one compiled propagation pass; returns the updated state."""
+def run_pass(
+    h: Tensor, schedule: CompiledSchedule, step: AggregateCombineStep
+) -> Tensor:
+    """Run one compiled propagation pass as a single autograd node."""
     if not schedule.groups:
         return h
-    work = h.data.copy()
-    producers: List[Tensor] = [h]
+    hd = h.data
+    params = step.params()
+    record = is_grad_enabled() and (
+        h.requires_grad or any(p.requires_grad for p in params)
+    )
+    gh_full, agg_ctx = step.begin(hd)
+    work = hd.copy()
+    saved_all: List[tuple] = []
     for group in schedule.groups:
-        h_src = _gather_sources(work, group, producers)
-        query = _gather_query(h, group.nodes)
-        h_new = step(group, h_src, query)
-        work[group.nodes] = h_new.data
-        producers.append(h_new)
-    outputs = producers[1:]
+        h_src = work[group.src]
+        query = hd[group.nodes]
+        out, saved = step.forward(group, h_src, query, gh_full, agg_ctx)
+        work[group.nodes] = out
+        if record:
+            saved_all.append(saved)
     groups = schedule.groups
     written = schedule.written
 
     def backward(grad: np.ndarray) -> None:
-        for group, out in zip(groups, outputs):
-            if out.requires_grad:
-                out._accumulate(grad[group.nodes], own=True)
-        if h.requires_grad:
-            gh = grad.copy()
-            gh[written] = 0.0
-            h._accumulate(gh, own=True)
+        gru_sink, agg_sink = step.begin_backward(hd)
+        # gwork[n] = running gradient w.r.t. whichever rows the pass's
+        # working matrix held at the point each group read them; walking
+        # groups in reverse means every later consumer has contributed
+        # by the time a group's own rows are read off
+        gwork = grad.copy()
+        need_dh = h.requires_grad
+        dh = np.zeros_like(hd) if need_dh else None
+        for group, saved in zip(reversed(groups), reversed(saved_all)):
+            g_out = gwork[group.nodes]
+            h_src = _regather_sources(hd, work, group)
+            query = hd[group.nodes]
+            dh_src, dquery = step.backward(
+                group, g_out, h_src, query, saved, gru_sink, agg_sink
+            )
+            if need_dh:
+                dh[group.nodes] += dquery
+            for split in group.gather_plan:
+                g = (
+                    dh_src
+                    if split.positions is None
+                    else dh_src[split.positions]
+                )
+                rows, sums = segment_present_sum(g, split.layout)
+                if split.producer < 0:
+                    if need_dh:
+                        dh[rows] += sums
+                else:
+                    gwork[groups[split.producer].nodes[rows]] += sums
+        step.end_backward(hd, gru_sink, agg_sink, dh)
+        if need_dh:
+            # rows never written flow straight through to the pass input
+            gwork[written] = 0.0
+            dh += gwork
+            h._accumulate(dh, own=True)
 
-    return Tensor._make(work, (h, *outputs), backward)
+    return Tensor._make(work, (h, *params), backward)

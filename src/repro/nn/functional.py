@@ -54,26 +54,18 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     return Tensor._make(data, parts, backward)
 
 
-def gather_rows(
-    x: Tensor, index: np.ndarray, layout: Optional[SegmentLayout] = None
-) -> Tensor:
+def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
     """Select rows: ``out[k] = x[index[k]]`` (repeats allowed).
 
-    ``layout``, if given, must be a :class:`SegmentLayout` over ``index``
-    with ``num_segments = len(x)``; the backward then reuses its sort
-    permutation instead of re-sorting, and in either case accumulates only
-    the touched rows rather than a dense zero matrix.
+    The backward pre-reduces repeated rows with a segment layout and
+    accumulates only the touched rows rather than a dense zero matrix.
     """
     index = np.asarray(index, dtype=np.int64)
     data = x.data[index]
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            lay = (
-                layout
-                if layout is not None
-                else SegmentLayout(index, x.data.shape[0])
-            )
+            lay = SegmentLayout(index, x.data.shape[0])
             rows, sums = segment_present_sum(grad, lay)
             x._accumulate_rows(rows, sums)
 

@@ -10,10 +10,12 @@ their original order, but ``reduceat`` may associate the additions
 pairwise where ``np.add.at`` is strictly sequential, so results match the
 reference to float32 round-off (~1 ulp), not bit for bit.
 
-The module also provides the closed-form fused GRU forward/backward used by
-:class:`~repro.nn.modules.GRUCell`, collapsing the ~15 elementwise autograd
-nodes of the expression-by-expression formulation into a single node with
-two saved activations.
+The module also provides the closed-form fused forward/backward pairs the
+models' hot path runs on: the GRU combine (full and with a precomputed
+hidden transform, so ``h @ W_hh`` happens once per pass instead of once
+per level group), and all four of the paper's AGGREGATE designs
+(Table II) — each collapsing a composite per-edge Linear/MLP graph into a
+single autograd node over a cached :class:`SegmentLayout`.
 """
 
 from __future__ import annotations
@@ -30,8 +32,16 @@ __all__ = [
     "segment_softmax_np",
     "attention_forward_np",
     "attention_backward_np",
+    "conv_sum_forward_np",
+    "conv_sum_backward_np",
+    "deepset_forward_np",
+    "deepset_backward_np",
+    "gated_sum_forward_np",
+    "gated_sum_backward_np",
     "gru_forward_np",
     "gru_backward_np",
+    "gru_pre_forward_np",
+    "gru_pre_backward_np",
 ]
 
 
@@ -48,7 +58,9 @@ class SegmentLayout:
     ``present``  the distinct segment ids, ascending, one per ``starts``
     """
 
-    __slots__ = ("segment_ids", "num_segments", "order", "starts", "present")
+    __slots__ = (
+        "segment_ids", "num_segments", "order", "starts", "present", "_counts"
+    )
 
     def __init__(self, segment_ids: np.ndarray, num_segments: int):
         ids = np.asarray(segment_ids, dtype=np.int64).reshape(-1)
@@ -72,6 +84,24 @@ class SegmentLayout:
         else:
             self.starts = np.zeros(0, np.int64)
             self.present = np.zeros(0, np.int64)
+        self._counts: Optional[np.ndarray] = None
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Element count per segment, ``(num_segments,)`` float32, cached.
+
+        The fused linear+segment-sum kernels use it to fold a bias through
+        the reduction: ``sum_e (x_e W + b) = (sum_e x_e) W + n_s b``.
+        """
+        if self._counts is None:
+            c = np.zeros(self.num_segments, dtype=np.float32)
+            if self.present.size:
+                sizes = np.diff(
+                    np.concatenate([self.starts, [self.segment_ids.size]])
+                )
+                c[self.present] = sizes
+            self._counts = c
+        return self._counts
 
     def __len__(self) -> int:
         return self.segment_ids.size
@@ -117,7 +147,16 @@ def segment_max_np(
 def segment_softmax_np(
     s: np.ndarray, layout: SegmentLayout
 ) -> np.ndarray:
-    """Numerically stable per-segment softmax of a 1-D score array."""
+    """Numerically stable per-segment softmax of a 1-D score array.
+
+    The output has one entry per *edge*, so targets with no incoming
+    edges simply contribute no rows: with zero edges the result is the
+    well-defined empty float32 array — never NaN, regardless of how many
+    empty segments the layout declares (their ``-inf`` running maxima and
+    zero denominators are never indexed).
+    """
+    if layout.segment_ids.size == 0:
+        return np.zeros(0, dtype=np.float32)
     ids = layout.segment_ids
     seg_max = segment_max_np(s, layout)
     exps = np.exp(s - seg_max[ids])
@@ -188,12 +227,206 @@ def attention_backward_np(
 
 
 # ---------------------------------------------------------------------------
-# fused GRU
+# fused non-attention aggregators (paper Table II)
 # ---------------------------------------------------------------------------
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-x))
+
+
+def conv_sum_forward_np(
+    h_src: np.ndarray,
+    w: np.ndarray,
+    b: Optional[np.ndarray],
+    layout: SegmentLayout,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused convolutional sum: ``m_s = sum_e (h_e W + b)``.
+
+    The linear map commutes with the segment sum, so the matmul runs over
+    the (num_segments, d) sums instead of the (num_edges, d) sources:
+    ``m = segsum(h) W + n_s b``.  Returns ``(m, s)`` with ``s`` (the
+    per-segment source sums) saved for the backward.
+    """
+    s = segment_sum_np(h_src, layout)
+    m = s @ w
+    if b is not None:
+        m += layout.counts[:, None] * b
+    return m.astype(np.float32, copy=False), s
+
+
+def conv_sum_backward_np(
+    dm: np.ndarray,
+    s: np.ndarray,
+    w: np.ndarray,
+    layout: SegmentLayout,
+    need_h: bool = True,
+    need_w: bool = True,
+) -> Tuple[Optional[np.ndarray], ...]:
+    """Closed-form backward of :func:`conv_sum_forward_np`.
+
+    Returns ``(dh_src, dw, db)``; the weight/bias pair is ``None`` unless
+    ``need_w``.
+    """
+    dh = (dm @ w.T)[layout.segment_ids] if need_h else None
+    if need_w:
+        dw = s.T @ dm
+        db = layout.counts @ dm
+    else:
+        dw = db = None
+    return dh, dw, db
+
+
+def deepset_forward_np(
+    h_src: np.ndarray,
+    w1: np.ndarray,
+    b1: Optional[np.ndarray],
+    w2: np.ndarray,
+    b2: Optional[np.ndarray],
+    wr: np.ndarray,
+    br: Optional[np.ndarray],
+    layout: SegmentLayout,
+) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
+    """Fused DeepSet: ``m_s = rho(sum_e phi(h_e))`` with a 2-layer MLP phi.
+
+    Only phi's first layer (up to the ReLU) runs per edge; its second
+    linear commutes with the segment sum like :func:`conv_sum_forward_np`,
+    and rho acts on per-segment rows by construction.  Returns
+    ``(m, saved)`` with the ReLU output, its segment sums and rho's input
+    saved for the backward.
+    """
+    a1 = h_src @ w1
+    if b1 is not None:
+        a1 += b1
+    r1 = np.maximum(a1, 0.0)
+    s1 = segment_sum_np(r1, layout)
+    s2 = s1 @ w2
+    if b2 is not None:
+        s2 += layout.counts[:, None] * b2
+    m = s2 @ wr
+    if br is not None:
+        m = m + br
+    return m.astype(np.float32, copy=False), (r1, s1, s2)
+
+
+def deepset_backward_np(
+    dm: np.ndarray,
+    h_src: np.ndarray,
+    w1: np.ndarray,
+    w2: np.ndarray,
+    wr: np.ndarray,
+    saved: Tuple[np.ndarray, ...],
+    layout: SegmentLayout,
+    need_h: bool = True,
+    need_w: bool = True,
+) -> Tuple[Optional[np.ndarray], ...]:
+    """Closed-form backward of :func:`deepset_forward_np`.
+
+    Returns ``(dh_src, dw1, db1, dw2, db2, dwr, dbr)``; the parameter
+    gradients are ``None`` unless ``need_w``.
+    """
+    r1, s1, s2 = saved
+    ds2 = dm @ wr.T
+    dr1 = (ds2 @ w2.T)[layout.segment_ids]
+    da1 = dr1 * (r1 > 0)
+    dh = da1 @ w1.T if need_h else None
+    if need_w:
+        dwr = s2.T @ dm
+        dbr = dm.sum(axis=0)
+        dw2 = s1.T @ ds2
+        db2 = layout.counts @ ds2
+        dw1 = h_src.T @ da1
+        db1 = da1.sum(axis=0)
+    else:
+        dw1 = db1 = dw2 = db2 = dwr = dbr = None
+    return dh, dw1, db1, dw2, db2, dwr, dbr
+
+
+def gated_sum_forward_np(
+    h_src: np.ndarray,
+    wg: np.ndarray,
+    bg: Optional[np.ndarray],
+    wv: np.ndarray,
+    bv: Optional[np.ndarray],
+    layout: SegmentLayout,
+) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
+    """Fused D-VAE gated sum: ``m_s = sum_e sigmoid(g(h_e)) * f(h_e)``.
+
+    The sigmoid blocks pushing either linear through the reduction, so
+    both stay per edge — the fusion collapses the seven-node composite
+    graph (two linears, sigmoid, product, segment sum) into one node with
+    the gate and value activations saved.
+    """
+    g = h_src @ wg
+    if bg is not None:
+        g += bg
+    g = _sigmoid(g)
+    v = h_src @ wv
+    if bv is not None:
+        v += bv
+    m = segment_sum_np(g * v, layout)
+    return m, (g, v)
+
+
+def gated_sum_backward_np(
+    dm: np.ndarray,
+    h_src: np.ndarray,
+    wg: np.ndarray,
+    wv: np.ndarray,
+    saved: Tuple[np.ndarray, np.ndarray],
+    layout: SegmentLayout,
+    need_h: bool = True,
+    need_w: bool = True,
+) -> Tuple[Optional[np.ndarray], ...]:
+    """Closed-form backward of :func:`gated_sum_forward_np`.
+
+    Returns ``(dh_src, dwg, dbg, dwv, dbv)``; the parameter gradients are
+    ``None`` unless ``need_w``.
+    """
+    g, v = saved
+    dgv = dm[layout.segment_ids]
+    dv = dgv * g
+    dsg = dgv * v * g * (1.0 - g)
+    dh = (dv @ wv.T + dsg @ wg.T) if need_h else None
+    if need_w:
+        dwv = h_src.T @ dv
+        dbv = dv.sum(axis=0)
+        dwg = h_src.T @ dsg
+        dbg = dsg.sum(axis=0)
+    else:
+        dwg = dbg = dwv = dbv = None
+    return dh, dwg, dbg, dwv, dbv
+
+
+# ---------------------------------------------------------------------------
+# fused GRU
+# ---------------------------------------------------------------------------
+
+
+def _gru_gates(
+    gi: np.ndarray, gh: np.ndarray, h: np.ndarray
+) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
+    """Gate math shared by the full and pre-projected GRU forwards."""
+    d = h.shape[1]
+    r = _sigmoid(gi[:, :d] + gh[:, :d])
+    z = _sigmoid(gi[:, d:2 * d] + gh[:, d:2 * d])
+    hn = gh[:, 2 * d:]
+    n = np.tanh(gi[:, 2 * d:] + r * hn)
+    out = (1.0 - z) * n + z * h
+    return out.astype(np.float32, copy=False), (r, z, n, hn)
+
+
+def _gru_gate_grads(
+    grad: np.ndarray, h: np.ndarray, saved: Tuple[np.ndarray, ...]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pre-activation gradients ``(dgi, dgh)`` shared by both backwards."""
+    r, z, n, hn = saved
+    dz = grad * (h - n) * z * (1.0 - z)
+    dn = grad * (1.0 - z) * (1.0 - n * n)
+    dr = dn * hn * r * (1.0 - r)
+    dgi = np.concatenate([dr, dz, dn], axis=1)
+    dgh = np.concatenate([dr, dz, dn * r], axis=1)
+    return dgi, dgh
 
 
 def gru_forward_np(
@@ -209,15 +442,9 @@ def gru_forward_np(
     ``h' = (1 - z) * n + z * h`` with ``r = sigmoid(W_r x + U_r h)``,
     ``z`` alike, and ``n = tanh(W_n x + r * (U_n h))`` (biases folded in).
     """
-    d = h.shape[1]
     gi = x @ w_ih + b_ih
     gh = h @ w_hh + b_hh
-    r = _sigmoid(gi[:, :d] + gh[:, :d])
-    z = _sigmoid(gi[:, d:2 * d] + gh[:, d:2 * d])
-    hn = gh[:, 2 * d:]
-    n = np.tanh(gi[:, 2 * d:] + r * hn)
-    out = (1.0 - z) * n + z * h
-    return out.astype(np.float32, copy=False), (r, z, n, hn)
+    return _gru_gates(gi, gh, h)
 
 
 def gru_backward_np(
@@ -236,12 +463,8 @@ def gru_backward_np(
     Returns ``(dx, dh, dw_ih, dw_hh, db_ih, db_hh)`` with ``None`` for the
     groups not requested (``need_w`` covers both weights and biases).
     """
-    r, z, n, hn = saved
-    dz = grad * (h - n) * z * (1.0 - z)
-    dn = grad * (1.0 - z) * (1.0 - n * n)
-    dr = dn * hn * r * (1.0 - r)
-    dgi = np.concatenate([dr, dz, dn], axis=1)
-    dgh = np.concatenate([dr, dz, dn * r], axis=1)
+    z = saved[1]
+    dgi, dgh = _gru_gate_grads(grad, h, saved)
     dx = dgi @ w_ih.T if need_x else None
     dh = (dgh @ w_hh.T + grad * z) if need_h else None
     if need_w:
@@ -252,3 +475,52 @@ def gru_backward_np(
     else:
         dw_ih = dw_hh = db_ih = db_hh = None
     return dx, dh, dw_ih, dw_hh, db_ih, db_hh
+
+
+def gru_pre_forward_np(
+    x: np.ndarray,
+    h: np.ndarray,
+    gh: np.ndarray,
+    w_ih: np.ndarray,
+    b_ih: np.ndarray,
+) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
+    """GRU forward with the hidden transform precomputed.
+
+    ``gh = h @ W_hh + b_hh`` is supplied by the caller — the propagation
+    pass runner computes it ONCE over the full pass-input state and hands
+    each level group its rows, instead of paying a small matmul per group.
+    """
+    gi = x @ w_ih + b_ih
+    return _gru_gates(gi, gh, h)
+
+
+def gru_pre_backward_np(
+    grad: np.ndarray,
+    x: np.ndarray,
+    h: np.ndarray,
+    w_ih: np.ndarray,
+    saved: Tuple[np.ndarray, ...],
+    need_x: bool = True,
+    need_h: bool = True,
+    need_gh: bool = True,
+    need_w: bool = True,
+) -> Tuple[Optional[np.ndarray], ...]:
+    """Closed-form backward of :func:`gru_pre_forward_np`.
+
+    Returns ``(dx, dh, dgh, dw_ih, db_ih)``.  ``dh`` is only the *direct*
+    ``z * h`` contribution — the path through the hidden transform flows
+    via ``dgh`` into whatever op produced it (where ``dW_hh``/``db_hh``
+    and the rest of ``dh`` materialise once per pass).
+    """
+    z = saved[1]
+    dgi, dgh = _gru_gate_grads(grad, h, saved)
+    dx = dgi @ w_ih.T if need_x else None
+    dh = grad * z if need_h else None
+    if not need_gh:
+        dgh = None
+    if need_w:
+        dw_ih = x.T @ dgi
+        db_ih = dgi.sum(axis=0)
+    else:
+        dw_ih = db_ih = None
+    return dx, dh, dgh, dw_ih, db_ih

@@ -199,30 +199,8 @@ class GRUCell(Module):
         self.b_hh = Tensor(init.zeros((3 * hidden_size,)), requires_grad=True)
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
-        return self._fused(x.data, x, None, h)
-
-    def forward_with_features(
-        self, m: Tensor, features: np.ndarray, h: Tensor
-    ) -> Tensor:
-        """``forward(concat([m, features], axis=1), h)`` in one node.
-
-        ``features`` is a constant array (pre-gathered gate-type rows from
-        a compiled schedule); concatenation happens inside the fused op,
-        so no autograd concat node or feature tensor wrapper is recorded.
-        """
-        x_in = np.concatenate([m.data, features], axis=1)
-        return self._fused(x_in, m, m.data.shape[1], h)
-
-    def _fused(
-        self,
-        x_in: np.ndarray,
-        x_target: Tensor,
-        x_cols: Optional[int],
-        h: Tensor,
-    ) -> Tensor:
-        """One fused GRU node; ``x_target`` receives the (possibly
-        column-sliced, when ``x_cols`` is set) input gradient."""
         w_ih, w_hh, b_ih, b_hh = self.w_ih, self.w_hh, self.b_ih, self.b_hh
+        x_in = x.data
         data, saved = kernels.gru_forward_np(
             x_in, h.data, w_ih.data, w_hh.data, b_ih.data, b_hh.data
         )
@@ -239,14 +217,12 @@ class GRUCell(Module):
                 w_ih.data,
                 w_hh.data,
                 saved,
-                need_x=x_target.requires_grad,
+                need_x=x.requires_grad,
                 need_h=h.requires_grad,
                 need_w=need_w,
             )
             if dx is not None:
-                if x_cols is not None:
-                    dx = np.ascontiguousarray(dx[:, :x_cols])
-                x_target._accumulate(dx, own=True)
+                x._accumulate(dx, own=True)
             if dh is not None:
                 h._accumulate(dh, own=True)
             if need_w:
@@ -256,4 +232,4 @@ class GRUCell(Module):
                     if param.requires_grad:
                         param._accumulate(dparam, own=True)
 
-        return Tensor._make(data, (x_target, h, w_ih, w_hh, b_ih, b_hh), backward)
+        return Tensor._make(data, (x, h, w_ih, w_hh, b_ih, b_hh), backward)

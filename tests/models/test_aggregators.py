@@ -12,6 +12,7 @@ from repro.models import (
     build_aggregator,
 )
 from repro.nn import Tensor
+from repro.nn.kernels import SegmentLayout
 
 
 def rng():
@@ -126,8 +127,24 @@ class TestAttention:
     def test_edge_attr_without_capacity_rejected(self):
         agg = AttentionAggregator(4, rng())
         h_src, query, seg = toy_inputs()
-        with pytest.raises(ValueError, match="edge_attr"):
+        with pytest.raises(ValueError, match="edge_attr_dim"):
             agg(h_src, query, seg, 3, Tensor(np.zeros((5, 6), np.float32)))
+
+    def test_edge_attr_without_capacity_rejected_on_fused_path(self):
+        # the compiled (layout) dispatch must hit the same guard, not
+        # silently drop the attributes
+        agg = AttentionAggregator(4, rng())
+        h_src, query, seg = toy_inputs()
+        with pytest.raises(ValueError, match="edge_attr_dim"):
+            agg(h_src, query, seg, 3,
+                Tensor(np.zeros((5, 6), np.float32)),
+                layout=SegmentLayout(seg, 3))
+
+    def test_edge_attr_width_mismatch_rejected(self):
+        agg = AttentionAggregator(4, rng(), edge_attr_dim=6)
+        h_src, query, seg = toy_inputs()
+        with pytest.raises(ValueError, match="columns"):
+            agg(h_src, query, seg, 3, Tensor(np.zeros((5, 4), np.float32)))
 
     def test_query_affects_weights(self):
         agg = AttentionAggregator(4, rng())
@@ -139,6 +156,66 @@ class TestAttention:
         # w1^T h_v shifts all scores of a segment equally -> softmax is
         # invariant to the query in the *additive single-head* design
         np.testing.assert_allclose(out1, out2, atol=1e-5)
+
+class TestFusedDispatch:
+    """With a precomputed layout every aggregator runs as ONE fused
+    autograd node; it must match the composite reference path in values
+    and in every gradient."""
+
+    @pytest.mark.parametrize("name", AGGREGATOR_NAMES)
+    def test_layout_path_matches_reference(self, name):
+        agg = build_aggregator(name, 4, rng())
+        h_src_np = np.random.default_rng(7).normal(size=(5, 4)).astype(
+            np.float32
+        )
+        _, query, seg = toy_inputs()
+        w = np.linspace(-1, 1, 12).reshape(3, 4).astype(np.float32)
+        results = {}
+        for layout in (None, SegmentLayout(seg, 3)):
+            h_src = Tensor(h_src_np, requires_grad=True)
+            agg.zero_grad()
+            out = agg(h_src, query, seg, 3, layout=layout)
+            (out * Tensor(w)).sum().backward()
+            results["fused" if layout is not None else "ref"] = (
+                out.data,
+                h_src.grad,
+                [p.grad for p in agg.parameters()],
+            )
+        out_ref, dh_ref, dp_ref = results["ref"]
+        out_fused, dh_fused, dp_fused = results["fused"]
+        np.testing.assert_allclose(out_fused, out_ref, rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(dh_fused, dh_ref, rtol=1e-4, atol=1e-6)
+        for g_ref, g_fused in zip(dp_ref, dp_fused):
+            if g_ref is None:
+                assert g_fused is None or not np.abs(g_fused).max()
+                continue
+            np.testing.assert_allclose(g_fused, g_ref, rtol=1e-4, atol=1e-6)
+
+    def test_attention_layout_path_with_edge_attr(self):
+        agg = AttentionAggregator(4, rng(), edge_attr_dim=3)
+        agg.w_edge.weight.data[:] = np.linspace(-1, 1, 3).reshape(3, 1)
+        h_src_np = np.random.default_rng(8).normal(size=(5, 4)).astype(
+            np.float32
+        )
+        _, query, seg = toy_inputs()
+        attr = np.random.default_rng(9).normal(size=(5, 3)).astype(np.float32)
+        w = np.linspace(-1, 1, 12).reshape(3, 4).astype(np.float32)
+        results = {}
+        for key, layout in (("ref", None), ("fused", SegmentLayout(seg, 3))):
+            h_src = Tensor(h_src_np, requires_grad=True)
+            agg.zero_grad()
+            out = agg(h_src, query, seg, 3, Tensor(attr), layout=layout)
+            (out * Tensor(w)).sum().backward()
+            results[key] = (out.data, h_src.grad, agg.w_edge.weight.grad)
+        np.testing.assert_allclose(
+            results["fused"][0], results["ref"][0], rtol=1e-5, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            results["fused"][1], results["ref"][1], rtol=1e-4, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            results["fused"][2], results["ref"][2], rtol=1e-4, atol=1e-6
+        )
 
     @pytest.mark.parametrize("name", AGGREGATOR_NAMES)
     def test_gradients_reach_parameters(self, name):

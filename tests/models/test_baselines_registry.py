@@ -6,6 +6,7 @@ import pytest
 from repro.datagen.generators import parity, ripple_adder
 from repro.graphdata import from_aig, prepare
 from repro.models import (
+    AGGREGATOR_NAMES,
     DAGConvGNN,
     DeepGate,
     GCN,
@@ -45,25 +46,30 @@ class TestGCN:
 
 
 class TestBaselineCompiledEquivalence:
+    """All four AGGREGATE designs must match the reference loop through
+    both layered baselines — values and parameter gradients."""
+
+    @pytest.mark.parametrize("agg", AGGREGATOR_NAMES)
     @pytest.mark.parametrize("cls", [GCN, DAGConvGNN])
-    def test_forward_matches_reference(self, cls):
+    def test_forward_matches_reference(self, cls, agg):
         batch = make_batch()
-        ref = cls(dim=8, num_layers=2, rng=np.random.default_rng(0),
-                  compiled=False)
-        fast = cls(dim=8, num_layers=2, rng=np.random.default_rng(0),
-                   compiled=True)
+        ref = cls(dim=8, num_layers=2, aggregator=agg,
+                  rng=np.random.default_rng(0), compiled=False)
+        fast = cls(dim=8, num_layers=2, aggregator=agg,
+                   rng=np.random.default_rng(0), compiled=True)
         with no_grad():
             np.testing.assert_allclose(
                 ref(batch).data, fast(batch).data, rtol=1e-5, atol=1e-6
             )
 
+    @pytest.mark.parametrize("agg", AGGREGATOR_NAMES)
     @pytest.mark.parametrize("cls", [GCN, DAGConvGNN])
-    def test_gradients_match_reference(self, cls):
+    def test_gradients_match_reference(self, cls, agg):
         batch = make_batch()
-        ref = cls(dim=8, num_layers=2, rng=np.random.default_rng(0),
-                  compiled=False)
-        fast = cls(dim=8, num_layers=2, rng=np.random.default_rng(0),
-                   compiled=True)
+        ref = cls(dim=8, num_layers=2, aggregator=agg,
+                  rng=np.random.default_rng(0), compiled=False)
+        fast = cls(dim=8, num_layers=2, aggregator=agg,
+                   rng=np.random.default_rng(0), compiled=True)
         weights = np.linspace(-1, 1, batch.num_nodes).astype(np.float32)
         from repro.nn import Tensor
 
@@ -72,6 +78,7 @@ class TestBaselineCompiledEquivalence:
         for (name, p_ref), (_, p_fast) in zip(
             ref.named_parameters(), fast.named_parameters()
         ):
+            assert p_ref.grad is not None and p_fast.grad is not None, name
             np.testing.assert_allclose(
                 p_ref.grad, p_fast.grad, rtol=2e-4, atol=2e-5,
                 err_msg=f"gradient mismatch for {name}",

@@ -141,6 +141,9 @@ class TestCompiledEquivalence:
         {"aggregator": "conv_sum", "use_skip": False},
         {"aggregator": "deepset", "use_skip": False},
         {"aggregator": "gated_sum", "use_skip": False},
+        {"aggregator": "gated_sum", "use_skip": False,
+         "input_mode": "init_only"},
+        {"aggregator": "deepset", "use_skip": False, "use_reverse": False},
     ]
 
     def _pair(self, **kwargs):

@@ -9,11 +9,21 @@ single-edge and large-fan-in edge cases.
 import numpy as np
 import pytest
 
-from repro.nn import Tensor, concat, gather_rows
+from repro.nn import Tensor
 from repro.nn.kernels import (
     SegmentLayout,
     attention_backward_np,
     attention_forward_np,
+    conv_sum_backward_np,
+    conv_sum_forward_np,
+    deepset_backward_np,
+    deepset_forward_np,
+    gated_sum_backward_np,
+    gated_sum_forward_np,
+    gru_backward_np,
+    gru_forward_np,
+    gru_pre_backward_np,
+    gru_pre_forward_np,
     segment_max_np,
     segment_present_sum,
     segment_softmax_np,
@@ -94,15 +104,17 @@ class TestSegmentKernelEquivalence:
         )
 
     def test_softmax_matches_reference(self, name, ids, num):
-        if ids.size == 0:
-            pytest.skip("softmax over zero edges is vacuous")
+        # zero edges included: the kernel defines the empty-segment
+        # result as the empty float32 array — zero rows, never NaN
         rng = np.random.default_rng(3)
         s = rng.normal(size=ids.size).astype(np.float32)
         layout = SegmentLayout(ids, num)
+        out = segment_softmax_np(s, layout)
+        assert out.shape == (ids.size,)
+        assert out.dtype == np.float32
+        assert not np.isnan(out).any()
         np.testing.assert_allclose(
-            segment_softmax_np(s, layout),
-            ref_segment_softmax(s, ids, num),
-            rtol=1e-6,
+            out, ref_segment_softmax(s, ids, num), rtol=1e-6
         )
 
     def test_present_sum_touches_only_present(self, name, ids, num):
@@ -116,24 +128,23 @@ class TestSegmentKernelEquivalence:
 
 
 class TestSegmentLayout:
+    @pytest.mark.parametrize(
+        "name,ids,num", SEGMENT_CASES, ids=[c[0] for c in SEGMENT_CASES]
+    )
+    def test_counts_match_bincount(self, name, ids, num):
+        layout = SegmentLayout(ids, num)
+        np.testing.assert_array_equal(
+            layout.counts, np.bincount(ids, minlength=num).astype(np.float32)
+        )
+        # cached: same array object on the second access
+        assert layout.counts is layout.counts
+
     def test_rejects_out_of_range_ids(self):
         with pytest.raises(ValueError, match="segment ids"):
             SegmentLayout(np.array([0, 5]), 3)
         with pytest.raises(ValueError, match="segment ids"):
             SegmentLayout(np.array([-1]), 3)
 
-    def test_gather_rows_with_layout_matches_without(self):
-        idx = np.array([0, 2, 2, 1, 2])
-        layout = SegmentLayout(idx, 4)
-        w = np.arange(10, dtype=np.float32).reshape(5, 2)
-        grads = []
-        for lay in (None, layout):
-            x = Tensor(np.arange(8, dtype=np.float32).reshape(4, 2),
-                       requires_grad=True)
-            out = gather_rows(x, idx, layout=lay)
-            (out * Tensor(w)).sum().backward()
-            grads.append(x.grad)
-        np.testing.assert_array_equal(grads[0], grads[1])
 
 
 class TestFusedGRU:
@@ -169,21 +180,6 @@ class TestFusedGRU:
             [(3, 4), (3, 5), (4, 15), (5, 15), (15,), (15,)],
             low=0.05, high=0.6,
         )
-
-    def test_forward_with_features_matches_concat(self):
-        m_np, h_np = self._data(din=4)
-        feats = np.eye(3, dtype=np.float32)
-        cell = GRUCell(4 + 3, 5, np.random.default_rng(9))
-        m1 = Tensor(m_np, requires_grad=True)
-        m2 = Tensor(m_np, requires_grad=True)
-        fused = cell.forward_with_features(m1, feats, Tensor(h_np))
-        composite = cell(concat([m2, Tensor(feats)], axis=1), Tensor(h_np))
-        np.testing.assert_array_equal(fused.data, composite.data)
-        w = np.linspace(-1, 1, fused.data.size).reshape(fused.data.shape)
-        for out, m in ((fused, m1), (composite, m2)):
-            cell.zero_grad()
-            (out * Tensor(w.astype(np.float32))).sum().backward()
-        np.testing.assert_allclose(m1.grad, m2.grad, rtol=1e-5, atol=1e-7)
 
     def test_hidden_side_params_get_grads_when_input_side_frozen(self):
         # regression: the fused backward must not gate w_hh/b_hh grads on
@@ -272,6 +268,185 @@ class TestFusedAttention:
         q2 = np.concatenate([q, np.ones((2, q.shape[1]), np.float32)])
         m, _ = attention_forward_np(h_src, q2, wq, wk, we, attr, layout2)
         np.testing.assert_array_equal(m[-2:], 0.0)
+
+
+def _finite_difference_check(value, pairs, eps=1e-2, atol=2e-2, rtol=8e-2):
+    """Central-difference check of closed-form gradients.
+
+    ``value()`` must read each array in ``pairs`` by reference (entries
+    are mutated in place); ``pairs`` is ``[(array, analytic_grad), ...]``.
+    """
+    for arr, grad in pairs:
+        num = np.zeros_like(arr, dtype=np.float64)
+        flat, nflat = arr.reshape(-1), num.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            fp = value()
+            flat[i] = orig - eps
+            fm = value()
+            flat[i] = orig
+            nflat[i] = (fp - fm) / (2 * eps)
+        np.testing.assert_allclose(grad, num, atol=atol, rtol=rtol)
+
+
+#: the segment structures the fused aggregator kernels are checked on:
+#: duplicates, gaps (empty segments) and zero edges
+AGG_CASES = [c for c in SEGMENT_CASES if c[0] != "large_fan_in"]
+
+
+@pytest.mark.parametrize(
+    "name,ids,num", AGG_CASES, ids=[c[0] for c in AGG_CASES]
+)
+class TestFusedAggregatorKernels:
+    """Forward equivalence vs the composite formulation and gradcheck for
+    the three fused non-attention aggregators (Table II)."""
+
+    D = 3
+
+    def _inputs(self, ids, seed):
+        rng = np.random.default_rng(seed)
+        h = rng.normal(size=(ids.size, self.D)).astype(np.float32)
+
+        def mat(*shape):
+            return (rng.normal(size=shape) * 0.6).astype(np.float32)
+
+        return h, mat
+
+    def _dm(self, num):
+        return np.linspace(-1, 1, num * self.D).reshape(
+            num, self.D
+        ).astype(np.float32)
+
+    # -- conv_sum -------------------------------------------------------
+    def test_conv_sum(self, name, ids, num):
+        layout = SegmentLayout(ids, num)
+        h, mat = self._inputs(ids, seed=11)
+        w, b = mat(self.D, self.D), mat(self.D)
+        m, s = conv_sum_forward_np(h, w, b, layout)
+        np.testing.assert_allclose(
+            m, ref_segment_sum(h @ w + b, ids, num), rtol=1e-5, atol=1e-6
+        )
+        dm = self._dm(num)
+        dh, dw, db = conv_sum_backward_np(dm, s, w, layout)
+
+        def value():
+            out, _ = conv_sum_forward_np(h, w, b, layout)
+            return float((out.astype(np.float64) * dm).sum())
+
+        _finite_difference_check(value, [(h, dh), (w, dw), (b, db)])
+
+    def test_conv_sum_need_flags(self, name, ids, num):
+        layout = SegmentLayout(ids, num)
+        h, mat = self._inputs(ids, seed=12)
+        w, b = mat(self.D, self.D), mat(self.D)
+        _, s = conv_sum_forward_np(h, w, b, layout)
+        dh, dw, db = conv_sum_backward_np(
+            self._dm(num), s, w, layout, need_h=False, need_w=False
+        )
+        assert dh is None and dw is None and db is None
+
+    # -- deepset --------------------------------------------------------
+    def test_deepset(self, name, ids, num):
+        layout = SegmentLayout(ids, num)
+        h, mat = self._inputs(ids, seed=21)
+        w1, b1 = mat(self.D, self.D), mat(self.D)
+        w2, b2 = mat(self.D, self.D), mat(self.D)
+        wr, br = mat(self.D, self.D), mat(self.D)
+        m, saved = deepset_forward_np(h, w1, b1, w2, b2, wr, br, layout)
+        phi = np.maximum(h @ w1 + b1, 0.0) @ w2 + b2
+        expect = ref_segment_sum(phi, ids, num) @ wr + br
+        np.testing.assert_allclose(m, expect, rtol=1e-5, atol=1e-6)
+        dm = self._dm(num)
+        grads = deepset_backward_np(dm, h, w1, w2, wr, saved, layout)
+
+        def value():
+            out, _ = deepset_forward_np(h, w1, b1, w2, b2, wr, br, layout)
+            return float((out.astype(np.float64) * dm).sum())
+
+        _finite_difference_check(
+            value, list(zip((h, w1, b1, w2, b2, wr, br), grads))
+        )
+
+    # -- gated_sum ------------------------------------------------------
+    def test_gated_sum(self, name, ids, num):
+        layout = SegmentLayout(ids, num)
+        h, mat = self._inputs(ids, seed=31)
+        wg, bg = mat(self.D, self.D), mat(self.D)
+        wv, bv = mat(self.D, self.D), mat(self.D)
+        m, saved = gated_sum_forward_np(h, wg, bg, wv, bv, layout)
+        gate = 1.0 / (1.0 + np.exp(-(h @ wg + bg)))
+        expect = ref_segment_sum(gate * (h @ wv + bv), ids, num)
+        np.testing.assert_allclose(m, expect, rtol=1e-5, atol=1e-6)
+        dm = self._dm(num)
+        grads = gated_sum_backward_np(dm, h, wg, wv, saved, layout)
+
+        def value():
+            out, _ = gated_sum_forward_np(h, wg, bg, wv, bv, layout)
+            return float((out.astype(np.float64) * dm).sum())
+
+        _finite_difference_check(
+            value, list(zip((h, wg, bg, wv, bv), grads))
+        )
+
+
+class TestPreProjectedGRU:
+    """``gru_pre_*`` with ``gh = h @ W_hh + b_hh`` must reproduce the full
+    fused GRU, with the hidden-path gradient routed through ``dgh``."""
+
+    def _data(self, n=4, din=3, d=5, seed=17):
+        rng = np.random.default_rng(seed)
+        return (
+            rng.normal(size=(n, din)).astype(np.float32),
+            rng.normal(size=(n, d)).astype(np.float32),
+            rng.normal(size=(din, 3 * d)).astype(np.float32) * 0.5,
+            rng.normal(size=(d, 3 * d)).astype(np.float32) * 0.5,
+            rng.normal(size=3 * d).astype(np.float32) * 0.5,
+            rng.normal(size=3 * d).astype(np.float32) * 0.5,
+        )
+
+    def test_forward_matches_full(self):
+        x, h, w_ih, w_hh, b_ih, b_hh = self._data()
+        out_full, _ = gru_forward_np(x, h, w_ih, w_hh, b_ih, b_hh)
+        out_pre, _ = gru_pre_forward_np(
+            x, h, h @ w_hh + b_hh, w_ih, b_ih
+        )
+        np.testing.assert_array_equal(out_full, out_pre)
+
+    def test_backward_chains_to_full(self):
+        x, h, w_ih, w_hh, b_ih, b_hh = self._data(seed=23)
+        grad = np.linspace(-1, 1, h.size).reshape(h.shape).astype(np.float32)
+        _, saved_full = gru_forward_np(x, h, w_ih, w_hh, b_ih, b_hh)
+        dx_f, dh_f, dw_ih_f, dw_hh_f, db_ih_f, db_hh_f = gru_backward_np(
+            grad, x, h, w_ih, w_hh, saved_full
+        )
+        gh = h @ w_hh + b_hh
+        _, saved_pre = gru_pre_forward_np(x, h, gh, w_ih, b_ih)
+        dx, dh, dgh, dw_ih, db_ih = gru_pre_backward_np(
+            grad, x, h, w_ih, saved_pre
+        )
+        np.testing.assert_allclose(dx, dx_f, rtol=1e-6, atol=1e-7)
+        np.testing.assert_allclose(dw_ih, dw_ih_f, rtol=1e-6, atol=1e-7)
+        np.testing.assert_allclose(db_ih, db_ih_f, rtol=1e-6, atol=1e-7)
+        # chaining dgh through the (batched-per-pass) transform recovers
+        # the full GRU's hidden-side gradients
+        np.testing.assert_allclose(
+            dh + dgh @ w_hh.T, dh_f, rtol=1e-5, atol=1e-6
+        )
+        np.testing.assert_allclose(h.T @ dgh, dw_hh_f, rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(dgh.sum(0), db_hh_f, rtol=1e-5, atol=1e-6)
+
+    def test_need_flags(self):
+        x, h, w_ih, w_hh, b_ih, _ = self._data(seed=29)
+        gh = h @ w_hh
+        _, saved = gru_pre_forward_np(x, h, gh, w_ih, b_ih)
+        grad = np.ones_like(h)
+        dx, dh, dgh, dw_ih, db_ih = gru_pre_backward_np(
+            grad, x, h, w_ih, saved,
+            need_x=False, need_h=False, need_gh=False, need_w=False,
+        )
+        assert dx is None and dh is None and dgh is None
+        assert dw_ih is None and db_ih is None
 
 
 class TestAccumulateOwnership:

@@ -284,6 +284,48 @@ class TestBenchCLI:
         payload = json.loads(capsys.readouterr().out)
         assert payload["rows"]
 
+    def test_aggregator_suite_runs(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_agg.json"
+        assert main(["bench", "run", "--suite", "default_conv_sum",
+                     "--name", "agg", "-o", str(out), "--dim", "8",
+                     "--iterations", "1", "--repeats", "1",
+                     "--epochs", "1"]) == 0
+        metrics = json.loads(out.read_text())["suites"]["default_conv_sum"]
+        assert metrics["aggregator"] == "conv_sum"
+        assert metrics["batches"] > 1
+
+    def test_compare_reports_missing_suites(self, capsys, tmp_path):
+        import json
+
+        def bench_file(path, suites):
+            payload = {
+                "name": path.stem, "variant": "compiled",
+                "suites": {
+                    s: {"train_epoch_s": 1.0, "forward_s": 1.0,
+                        "backward_s": 1.0, "tracemalloc_peak_mb": 1.0}
+                    for s in suites
+                },
+            }
+            path.write_text(json.dumps(payload))
+            return path
+
+        a = bench_file(tmp_path / "a.json", ["small", "renamed_away"])
+        b = bench_file(tmp_path / "b.json", ["small", "brand_new"])
+        assert main(["bench", "compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        # a suite present in only one file must be called out, not
+        # silently dropped from the comparison
+        assert "missing suites" in out
+        assert "renamed_away" in out and "brand_new" in out
+        assert main(["bench", "compare", str(a), str(b),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["missing_suites"] == {
+            "old_only": ["renamed_away"], "new_only": ["brand_new"],
+        }
+
     def test_compare_min_speedup_gate(self, capsys, tmp_path):
         # identical files give ~1x; an absurd bar must fail the gate,
         # and the gate only watches the deep suite (absent here -> fail)
