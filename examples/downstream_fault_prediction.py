@@ -1,108 +1,21 @@
 #!/usr/bin/env python3
-"""Downstream task: predicting fault detectability from gate embeddings.
+"""Downstream fault-detectability prediction from frozen embeddings.
 
-The paper's conclusion proposes reusing DeepGate's representations for
-downstream EDA tasks.  This example does it end to end:
+This workload is now a registered, golden-gated experiment
+(:mod:`repro.experiments.fault_prediction`); this script survives as a
+thin shim so the documented example keeps working:
 
-1. pre-train DeepGate on signal probabilities (the paper's task);
-2. freeze it and fine-tune a small head to predict the *random-pattern
-   detection probability of stuck-at-0 faults* per node, a testability
-   quantity obtained from the fault simulator;
-3. compare the fine-tuned head against the classical SCOAP heuristic on an
-   unseen circuit.
+    python examples/downstream_fault_prediction.py [--scale smoke]
+
+is equivalent to
+
+    python -m repro experiment run downstream_fault_prediction --scale smoke
 """
 
-import numpy as np
+import sys
 
-from repro.datagen import generators as gen
-from repro.experiments.common import get_scale, merged_dataset
-from repro.graphdata import from_aig, prepare
-from repro.models import DeepGate, FineTuner
-from repro.synth import has_constant_outputs, strip_constant_outputs, synthesize
-from repro.testability import compute_scoap, run_fault_simulation, StuckAtFault
-from repro.train import TrainConfig, Trainer
-
-
-def sa0_detection_targets(graph_batch, num_patterns=8192, seed=0):
-    """Per-node stuck-at-0 detection probability from fault simulation."""
-    graph = graph_batch.graph
-    gate_graph = _as_gate_graph(graph)
-    faults = [StuckAtFault(v, 0) for v in range(graph.num_nodes)]
-    report = run_fault_simulation(
-        gate_graph, num_patterns=num_patterns, seed=seed, faults=faults
-    )
-    return report.detection_probability()
-
-
-def _as_gate_graph(circuit_graph):
-    """Rebuild the GateGraph view the fault simulator needs."""
-    from repro.aig.graph import GateGraph
-
-    return GateGraph(
-        node_type=circuit_graph.node_type.astype(np.int8),
-        edges=circuit_graph.edges,
-        outputs=_output_nodes(circuit_graph),
-        name=circuit_graph.name,
-    )
-
-
-def _output_nodes(circuit_graph):
-    """Nodes with no fanout act as the observable outputs."""
-    has_fanout = np.zeros(circuit_graph.num_nodes, dtype=bool)
-    if circuit_graph.num_edges:
-        has_fanout[circuit_graph.edges[:, 0]] = True
-    return np.nonzero(~has_fanout)[0]
-
-
-def main() -> None:
-    cfg = get_scale("smoke")
-
-    print("pre-training DeepGate on signal probabilities ...")
-    dataset = merged_dataset(cfg)
-    train, _ = dataset.split(0.9, seed=cfg.seed)
-    backbone = DeepGate(
-        dim=cfg.dim,
-        num_iterations=cfg.num_iterations,
-        rng=np.random.default_rng(cfg.seed),
-    )
-    Trainer(
-        backbone,
-        TrainConfig(epochs=cfg.epochs, batch_size=cfg.batch_size, lr=cfg.lr),
-    ).fit(train)
-
-    print("fine-tuning a fault-detectability head on frozen embeddings ...")
-    tune_batches = [prepare([g]) for g in list(train)[:6]]
-    targets = [sa0_detection_targets(b, seed=k) for k, b in enumerate(tune_batches)]
-    tuner = FineTuner(backbone, lr=5e-3)
-    history = tuner.fit(tune_batches, targets, epochs=80)
-    print(f"  head L1: {history.train_loss[0]:.4f} -> "
-          f"{history.train_loss[-1]:.4f}")
-
-    # unseen evaluation circuit
-    aig = synthesize(gen.alu(4))
-    if has_constant_outputs(aig):
-        aig = strip_constant_outputs(aig)
-    graph = from_aig(aig, num_patterns=8192, seed=123)
-    batch = prepare([graph])
-    truth = sa0_detection_targets(batch, seed=777)
-    predicted = tuner.predict(batch)
-
-    # SCOAP baseline: higher testability score ~ harder fault; compare
-    # rank correlation against the learned head's absolute prediction
-    scoap = compute_scoap(_as_gate_graph(graph)).testability().astype(float)
-    scoap_rank = -scoap  # easy-to-test high
-
-    def spearman(a, b):
-        ra = np.argsort(np.argsort(a)).astype(float)
-        rb = np.argsort(np.argsort(b)).astype(float)
-        return float(np.corrcoef(ra, rb)[0, 1])
-
-    print(f"\nunseen ALU ({graph.num_nodes} nodes):")
-    print(f"  head  L1 error vs fault simulation: "
-          f"{np.abs(predicted - truth).mean():.4f}")
-    print(f"  rank correlation, learned head:  {spearman(predicted, truth):.3f}")
-    print(f"  rank correlation, SCOAP:         {spearman(scoap_rank, truth):.3f}")
-
+from repro.cli import main
 
 if __name__ == "__main__":
-    main()
+    args = sys.argv[1:] or ["--scale", "smoke"]
+    sys.exit(main(["experiment", "run", "downstream_fault_prediction", *args]))

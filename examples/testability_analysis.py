@@ -1,75 +1,21 @@
 #!/usr/bin/env python3
-"""Downstream EDA task: testability screening with signal probabilities.
+"""Testability screening with a learned probability oracle.
 
-The paper argues per-gate signal probability "plays an essential role in
-many EDA tasks"; random-pattern testability is the classic one.  A stuck-at
-fault at a node is hard to detect by random patterns when the node's signal
-probability is extreme (near 0 or 1).  This example uses a trained DeepGate
-as a fast probability oracle to rank hard-to-test nodes in an unseen design
-and checks the ranking against ground-truth simulation.
+This workload is now a registered, golden-gated experiment
+(:mod:`repro.experiments.testability_analysis`); this script survives as
+a thin shim so the documented example keeps working:
+
+    python examples/testability_analysis.py [--scale smoke]
+
+is equivalent to
+
+    python -m repro experiment run testability_analysis --scale smoke
 """
 
-import numpy as np
+import sys
 
-from repro.datagen import generators as gen
-from repro.experiments.common import get_scale, merged_dataset
-from repro.graphdata import from_aig, prepare
-from repro.models import DeepGate
-from repro.nn import no_grad
-from repro.synth import has_constant_outputs, strip_constant_outputs, synthesize
-from repro.train import TrainConfig, Trainer
-
-
-def hard_to_test_score(probs: np.ndarray) -> np.ndarray:
-    """0.5 - min(p, 1-p): high when a node is hard to excite randomly."""
-    return 0.5 - np.minimum(probs, 1.0 - probs)
-
-
-def main() -> None:
-    cfg = get_scale("smoke")
-    dataset = merged_dataset(cfg)
-    train, _ = dataset.split(0.9, seed=cfg.seed)
-
-    model = DeepGate(
-        dim=cfg.dim,
-        num_iterations=cfg.num_iterations,
-        rng=np.random.default_rng(cfg.seed),
-    )
-    Trainer(
-        model,
-        TrainConfig(epochs=cfg.epochs, batch_size=cfg.batch_size, lr=cfg.lr),
-    ).fit(train)
-
-    # target design unseen during training: a wide priority arbiter whose
-    # masked grants become exponentially hard to excite
-    aig = synthesize(gen.priority_arbiter(16))
-    if has_constant_outputs(aig):
-        aig = strip_constant_outputs(aig)
-    graph = from_aig(aig, num_patterns=60_000, seed=1)
-    batch = prepare([graph])
-    with no_grad():
-        predicted = model(batch).numpy()
-
-    true_score = hard_to_test_score(graph.labels)
-    pred_score = hard_to_test_score(predicted)
-
-    k = 15
-    true_top = set(np.argsort(true_score)[-k:].tolist())
-    pred_top = set(np.argsort(pred_score)[-k:].tolist())
-    overlap = len(true_top & pred_top)
-
-    print(f"design: priority arbiter, {graph.num_nodes} nodes")
-    print(f"avg |p_pred - p_sim| = "
-          f"{np.abs(predicted - graph.labels).mean():.4f}")
-    print(f"top-{k} hard-to-test nodes, predicted vs simulated overlap: "
-          f"{overlap}/{k}")
-    print("\nhardest nodes by simulation (p = signal probability):")
-    for v in np.argsort(true_score)[-5:][::-1]:
-        print(f"  node {v:4d}  p_sim={graph.labels[v]:.4f}  "
-              f"p_deepgate={predicted[v]:.4f}")
-    rank_corr = np.corrcoef(true_score, pred_score)[0, 1]
-    print(f"\nscore correlation across all nodes: {rank_corr:.3f}")
-
+from repro.cli import main
 
 if __name__ == "__main__":
-    main()
+    args = sys.argv[1:] or ["--scale", "smoke"]
+    sys.exit(main(["experiment", "run", "testability_analysis", *args]))

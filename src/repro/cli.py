@@ -14,6 +14,8 @@ Subcommands cover the library's workflow end to end::
     python -m repro experiment run table2 --scale smoke --workers 4
     python -m repro experiment report table2 --scale smoke --format markdown
     python -m repro experiment compare runs/table2/<hash-a> runs/table2/<hash-b>
+    python -m repro experiment capture sat_oracle --scale smoke
+    python -m repro experiment verify
 
 Circuit formats are chosen by suffix: ``.bench`` (ISCAS), ``.v``
 (structural Verilog) and ``.aag`` (ASCII AIGER).
@@ -406,15 +408,22 @@ def cmd_experiment_list(args: argparse.Namespace) -> int:
 
 def cmd_experiment_compare(args: argparse.Namespace) -> int:
     from .runtime.compare import (
+        apply_tolerances,
         compare_results,
         load_run_result,
+        load_tolerances,
         render_markdown,
         render_text,
     )
 
+    if args.fail_on_drift and not args.tolerances:
+        raise SystemExit("--fail-on-drift requires --tolerances")
     try:
         run_a = load_run_result(args.run_a, runs_dir=args.runs_dir)
         run_b = load_run_result(args.run_b, runs_dir=args.runs_dir)
+        tolerances = (
+            load_tolerances(args.tolerances) if args.tolerances else None
+        )
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc))
     if run_a.experiment != run_b.experiment:
@@ -424,6 +433,8 @@ def cmd_experiment_compare(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     diff = compare_results(run_a, run_b)
+    if tolerances is not None:
+        diff = apply_tolerances(diff, tolerances)
     if args.format == "json":
         import json as _json
 
@@ -432,7 +443,127 @@ def cmd_experiment_compare(args: argparse.Namespace) -> int:
         print(render_markdown(diff))
     else:
         print(render_text(diff))
+    violations = diff.get("violations", [])
+    if violations:
+        print(
+            f"{len(violations)} tolerance violation"
+            f"{'s' if len(violations) != 1 else ''}",
+            file=sys.stderr,
+        )
+        if args.fail_on_drift:
+            return 1
     return 0
+
+
+def cmd_experiment_capture(args: argparse.Namespace) -> int:
+    from .runtime import default_workers, execute_parallel
+    from .runtime.golden import (
+        DEFAULT_ABS_FLOOR,
+        DEFAULT_REL_TOLERANCE,
+        capture_golden,
+        write_golden,
+    )
+
+    exp, spec = _experiment_spec(args)
+    overrides = {}
+    for item in args.tolerance or []:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"bad --tolerance {item!r}; use metric=limit")
+        try:
+            overrides[key] = float(value)
+        except ValueError:
+            raise SystemExit(f"bad --tolerance limit {value!r}")
+    workers = args.workers if args.workers else default_workers()
+    record = execute_parallel(
+        args.name,
+        spec,
+        runs_dir=args.runs_dir,
+        workers=workers,
+        force=args.force,
+        progress=None if args.quiet else _unit_progress,
+    )
+    rel = args.rel if args.rel is not None else DEFAULT_REL_TOLERANCE
+    floor = args.floor if args.floor is not None else DEFAULT_ABS_FLOOR
+    try:
+        golden = capture_golden(
+            record, rel=rel, floor=floor, overrides=overrides
+        )
+        path = write_golden(golden, goldens_dir=args.goldens_dir)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"captured {len(golden.metrics)} metrics of {args.name} "
+        f"(spec {golden.spec_hash[:12]}) into {path}"
+    )
+    return 0
+
+
+def cmd_experiment_verify(args: argparse.Namespace) -> int:
+    from .runtime.golden import (
+        GoldenError,
+        default_goldens_dir,
+        list_golden_paths,
+        load_golden,
+        render_report_markdown,
+        render_report_text,
+        verify_golden,
+    )
+    from .runtime.parallel import default_workers
+
+    root = Path(args.goldens_dir) if args.goldens_dir else default_goldens_dir()
+    if args.fixtures:
+        paths = []
+        for ref in args.fixtures:
+            p = Path(ref)
+            if p.is_file():
+                paths.append(p)
+            elif (root / ref).is_dir():  # an experiment name
+                paths.extend(sorted((root / ref).glob("*.json")))
+            else:
+                raise SystemExit(
+                    f"no golden fixture file or experiment directory for "
+                    f"{ref!r} under {root}"
+                )
+    else:
+        paths = list_golden_paths(root)
+    if not paths:
+        print(f"no golden fixtures under {root}", file=sys.stderr)
+        return 1
+
+    workers = args.workers if args.workers else default_workers()
+    failed = 0
+    for path in paths:
+        try:
+            golden = load_golden(path)
+            report = verify_golden(
+                golden,
+                runs_dir=args.runs_dir,
+                workers=workers,
+                force=args.force,
+                progress=None if args.quiet else _unit_progress,
+            )
+        except (GoldenError, ValueError) as exc:
+            print(f"ERROR: {exc}", file=sys.stderr)
+            failed += 1
+            continue
+        if args.format == "json":
+            import json as _json
+
+            print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+        elif args.format == "markdown":
+            print(render_report_markdown(report))
+        else:
+            print(render_report_text(report))
+        if not report.passed:
+            failed += 1
+    total = len(paths)
+    print(
+        f"verified {total} fixture{'s' if total != 1 else ''}: "
+        f"{total - failed} passed, {failed} failed",
+        file=sys.stderr,
+    )
+    return 1 if failed else 0
 
 
 def cmd_experiment_report(args: argparse.Namespace) -> int:
@@ -641,6 +772,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", default="text", choices=["text", "markdown", "json"],
         help="how to print the diff",
     )
+    q.add_argument(
+        "--tolerances", default=None, metavar="FILE",
+        help="JSON tolerance table (metric or 'row:metric' -> absolute "
+             "drift limit); annotates every matched metric with a status",
+    )
+    q.add_argument(
+        "--fail-on-drift", action="store_true",
+        help="exit non-zero when any toleranced metric drifts beyond its "
+             "limit (requires --tolerances)",
+    )
     q.set_defaults(func=cmd_experiment_compare)
 
     q = exp_sub.add_parser(
@@ -648,6 +789,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_spec_args(q)
     q.set_defaults(func=cmd_experiment_report)
+
+    q = exp_sub.add_parser(
+        "capture",
+        help="run an experiment and freeze its metrics into a golden fixture",
+    )
+    _add_spec_args(q)
+    q.add_argument("--force", action="store_true",
+                   help="re-run even on a cache hit before capturing")
+    q.add_argument("--workers", type=int, default=1,
+                   help="worker processes (0 = REPRO_WORKERS or CPU count)")
+    q.add_argument("--quiet", action="store_true",
+                   help="suppress per-unit progress lines")
+    q.add_argument(
+        "--goldens-dir", default=None,
+        help="goldens root (default: REPRO_GOLDENS_DIR or ./goldens)",
+    )
+    q.add_argument(
+        "--rel", type=float, default=None,
+        help="relative tolerance for derived per-metric limits",
+    )
+    q.add_argument(
+        "--floor", type=float, default=None,
+        help="absolute tolerance floor for derived per-metric limits",
+    )
+    q.add_argument(
+        "--tolerance", action="append", metavar="METRIC=LIMIT",
+        help="explicit absolute limit for one metric "
+             "(or 'row:metric'); overrides the derived default",
+    )
+    q.set_defaults(func=cmd_experiment_capture)
+
+    q = exp_sub.add_parser(
+        "verify",
+        help="re-run golden fixtures at fixture scale and fail on drift",
+    )
+    q.add_argument(
+        "fixtures", nargs="*",
+        help="fixture files or experiment names (default: every fixture "
+             "under the goldens root)",
+    )
+    q.add_argument(
+        "--goldens-dir", default=None,
+        help="goldens root (default: REPRO_GOLDENS_DIR or ./goldens)",
+    )
+    q.add_argument(
+        "--runs-dir", default=None,
+        help="runs root (default: REPRO_RUNS_DIR or ./runs)",
+    )
+    q.add_argument("--workers", type=int, default=1,
+                   help="worker processes (0 = REPRO_WORKERS or CPU count)")
+    q.add_argument("--force", action="store_true",
+                   help="ignore the run cache and re-execute")
+    q.add_argument("--quiet", action="store_true",
+                   help="suppress per-unit progress lines")
+    q.add_argument(
+        "--format", default="text", choices=["text", "markdown", "json"],
+        help="how to print each verification report",
+    )
+    q.set_defaults(func=cmd_experiment_verify)
 
     return parser
 
@@ -665,7 +865,7 @@ def _rewrite_legacy_experiment_argv(argv):
         return args
     rest = args[1:]
     if rest and rest[0] not in ("run", "list", "report", "compare",
-                                "-h", "--help"):
+                                "capture", "verify", "-h", "--help"):
         if rest[0].startswith("-"):
             # option-first legacy form ('experiment --scale smoke table1')
             note = (

@@ -6,6 +6,12 @@
 * :mod:`.table4` — AIG transformation ablation
 * :mod:`.t_sweep` — error vs recurrence iterations (the §IV-D.2 figure)
 * :mod:`.ablations` — extra design-choice ablations
+* :mod:`.testability_analysis` — learned probability oracle ranking
+  hard-to-test nodes (downstream workload)
+* :mod:`.fault_prediction` — fine-tuned fault-detectability head vs
+  SCOAP (downstream workload)
+* :mod:`.synth_robustness` — model stability across synthesised forms
+* :mod:`.sat_oracle` — SAT/exhaustive label-consistency cross-checks
 
 Each module exposes ``run(scale)`` returning structured rows and
 ``format_table(rows)`` rendering the paper-style table, and registers
@@ -16,17 +22,33 @@ run/list/report``.  The old per-module CLIs
 that forward to the registry path.
 """
 
-from . import ablations, common, t_sweep, table1, table2, table3, table4
+from . import (
+    ablations,
+    common,
+    fault_prediction,
+    sat_oracle,
+    synth_robustness,
+    t_sweep,
+    table1,
+    table2,
+    table3,
+    table4,
+    testability_analysis,
+)
 from .common import SCALES, Scale, get_scale
 
 __all__ = [
     "ablations",
     "common",
+    "fault_prediction",
+    "sat_oracle",
+    "synth_robustness",
     "t_sweep",
     "table1",
     "table2",
     "table3",
     "table4",
+    "testability_analysis",
     "SCALES",
     "Scale",
     "get_scale",

@@ -22,6 +22,8 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+import numpy as np
+
 from ..datagen.pipeline import (
     PipelineConfig,
     build_shards,
@@ -38,6 +40,14 @@ __all__ = [
     "cached_suites",
     "merged_dataset",
     "format_rows",
+    "design_netlist",
+    "design_aig",
+    "as_gate_graph",
+    "safe_corrcoef",
+    "spearman",
+    "stable_hash",
+    "design_seed",
+    "pretrained_backbone",
 ]
 
 
@@ -211,6 +221,141 @@ def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.4f}"
     return str(cell)
+
+
+# ---------------------------------------------------------------------------
+# downstream-workload helpers (shared by the example-derived experiments)
+# ---------------------------------------------------------------------------
+
+
+def design_netlist(design: str):
+    """Build a catalog design from a ``"name"`` or ``"name:param"`` string.
+
+    The single integer after the colon overrides the generator's (only)
+    default parameter — ``"priority_arbiter:12"`` is a 12-request
+    arbiter.  Keeping designs as strings keeps experiment specs JSON-able
+    and hashable.
+    """
+    from ..datagen.generators import GENERATOR_CATALOG
+
+    name, _, raw = design.partition(":")
+    if name not in GENERATOR_CATALOG:
+        raise ValueError(
+            f"unknown design {name!r}; choose from {sorted(GENERATOR_CATALOG)}"
+        )
+    factory, defaults = GENERATOR_CATALOG[name]
+    params = dict(defaults)
+    if raw:
+        (key,) = params.keys()
+        params[key] = int(raw)
+    return factory(**params)
+
+
+def design_aig(design: str, optimize: bool = True):
+    """A catalog design as a constant-free AIG (optionally synthesised)."""
+    from ..synth.pipeline import (
+        has_constant_outputs,
+        strip_constant_outputs,
+        synthesize,
+    )
+    from ..synth.transform import netlist_to_aig
+
+    netlist = design_netlist(design)
+    aig = synthesize(netlist) if optimize else netlist_to_aig(netlist)
+    if has_constant_outputs(aig):
+        aig = strip_constant_outputs(aig)
+    return aig
+
+
+def as_gate_graph(circuit_graph):
+    """Rebuild the :class:`GateGraph` view the testability oracles need.
+
+    A featurised :class:`CircuitGraph` drops the output list, so nodes
+    with no fanout act as the observable outputs.
+    """
+    from ..aig.graph import GateGraph
+
+    has_fanout = np.zeros(circuit_graph.num_nodes, dtype=bool)
+    if circuit_graph.num_edges:
+        has_fanout[circuit_graph.edges[:, 0]] = True
+    return GateGraph(
+        node_type=circuit_graph.node_type.astype(np.int8),
+        edges=circuit_graph.edges,
+        outputs=np.nonzero(~has_fanout)[0],
+        name=circuit_graph.name,
+    )
+
+
+def safe_corrcoef(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation that degrades to 0.0 instead of NaN.
+
+    ``np.corrcoef`` returns NaN when either array is (near-)constant —
+    parity circuits have every signal probability at exactly 0.5 — and a
+    NaN would poison JSON artifacts and golden comparisons.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.std() < 1e-12 or b.std() < 1e-12:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation (Pearson over argsort ranks)."""
+    ra = np.argsort(np.argsort(a)).astype(np.float64)
+    rb = np.argsort(np.argsort(b)).astype(np.float64)
+    return safe_corrcoef(ra, rb)
+
+
+def stable_hash(text: str) -> int:
+    """FNV-1a string hash: process-independent, unlike ``hash()``.
+
+    Seeds derived from design names must not depend on
+    ``PYTHONHASHSEED``, or worker processes would label circuits
+    differently than the serial path.
+    """
+    h = 2166136261
+    for byte in text.encode("utf-8"):
+        h = ((h ^ byte) * 16777619) % (2**32)
+    return h
+
+
+def design_seed(cfg: Scale, design: str, salt: int = 0) -> int:
+    """Simulation seed derived from (scale seed, design name, salt)."""
+    return (cfg.seed * 1009 + stable_hash(design) + salt) % (2**31)
+
+
+# one pre-trained probability backbone per resolved scale per process:
+# serial unit execution trains it once and every unit shares it; worker
+# processes retrain their own copy, which is bitwise identical because
+# dataset generation, model init and training are all seeded from the
+# scale (the same scheme table4's pre-trained arm uses)
+_BACKBONE_CACHE: Dict[Scale, object] = {}
+
+
+def pretrained_backbone(cfg: Scale):
+    """DeepGate pre-trained on the merged all-suite pool (memoised)."""
+    if cfg not in _BACKBONE_CACHE:
+        from ..models.deepgate import DeepGate
+        from ..train.trainer import TrainConfig, Trainer
+
+        train, _ = merged_dataset(cfg).split(0.9, seed=cfg.seed)
+        model = DeepGate(
+            dim=cfg.dim,
+            num_iterations=cfg.num_iterations,
+            rng=np.random.default_rng(cfg.seed),
+        )
+        Trainer(
+            model,
+            TrainConfig(
+                epochs=cfg.epochs,
+                batch_size=cfg.batch_size,
+                lr=cfg.lr,
+                seed=cfg.seed,
+            ),
+        ).fit(train)
+        _BACKBONE_CACHE[cfg] = model
+    return _BACKBONE_CACHE[cfg]
 
 
 def deprecated_main(name: str, argv=None) -> None:

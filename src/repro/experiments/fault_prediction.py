@@ -1,0 +1,171 @@
+"""Downstream fault-detectability prediction from frozen embeddings.
+
+The paper's conclusion proposes reusing DeepGate's representations for
+downstream EDA tasks.  This experiment — promoted from
+``examples/downstream_fault_prediction.py`` — does it end to end:
+
+1. pre-train DeepGate on signal probabilities (the paper's task);
+2. freeze it and fine-tune a small head to predict the *random-pattern
+   detection probability of stuck-at-0 faults* per node, a testability
+   quantity obtained from the fault simulator;
+3. compare the fine-tuned head against the classical SCOAP heuristic on
+   unseen circuits — one unit per evaluation design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..graphdata.dataset import prepare
+from ..graphdata.features import from_aig
+from ..runtime.registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    UnitSpec,
+    experiment,
+)
+from .common import (
+    Scale,
+    as_gate_graph,
+    design_aig,
+    design_seed,
+    format_rows,
+    merged_dataset,
+    pretrained_backbone,
+    resolve_scale,
+    spearman,
+)
+
+__all__ = [
+    "FaultPredictionSpec",
+    "sa0_detection_targets",
+    "run_design",
+    "format_table",
+]
+
+DEFAULT_DESIGNS: Tuple[str, ...] = ("alu:4", "ripple_adder:8")
+
+#: training graphs and epochs for the fine-tuned head: the head is tiny
+#: (one MLP on frozen embeddings), so a handful of graphs suffices
+TUNE_GRAPHS = 4
+TUNE_EPOCHS = 40
+TUNE_LR = 5e-3
+
+
+def sa0_detection_targets(batch, num_patterns=8192, seed=0) -> np.ndarray:
+    """Per-node stuck-at-0 detection probability from fault simulation."""
+    from ..testability.faults import StuckAtFault, run_fault_simulation
+
+    graph = batch.graph
+    gate_graph = as_gate_graph(graph)
+    faults = [StuckAtFault(v, 0) for v in range(graph.num_nodes)]
+    report = run_fault_simulation(
+        gate_graph, num_patterns=num_patterns, seed=seed, faults=faults
+    )
+    return report.detection_probability()
+
+
+@dataclass(frozen=True)
+class FaultPredictionSpec(ExperimentSpec):
+    """Fine-tuned detectability head vs SCOAP over ``designs``."""
+
+    designs: Tuple[str, ...] = DEFAULT_DESIGNS
+
+
+# one fine-tuned head per resolved scale per process (it only depends on
+# the scale); workers rebuild it bitwise-identically from the seeds
+_TUNER_CACHE: Dict[Scale, object] = {}
+
+
+def _finetuned_head(cfg: Scale):
+    """Fault-detectability head on frozen backbone embeddings (memoised)."""
+    if cfg not in _TUNER_CACHE:
+        from ..models.finetune import FineTuner
+
+        backbone = pretrained_backbone(cfg)
+        train, _ = merged_dataset(cfg).split(0.9, seed=cfg.seed)
+        tune_batches = [prepare([g]) for g in list(train)[:TUNE_GRAPHS]]
+        targets = [
+            sa0_detection_targets(b, seed=cfg.seed + k)
+            for k, b in enumerate(tune_batches)
+        ]
+        tuner = FineTuner(backbone, lr=TUNE_LR, seed=cfg.seed)
+        tuner.fit(tune_batches, targets, epochs=TUNE_EPOCHS)
+        _TUNER_CACHE[cfg] = tuner
+    return _TUNER_CACHE[cfg]
+
+
+def run_design(design: str, cfg: Scale) -> dict:
+    """Evaluate head vs SCOAP on one unseen design."""
+    from ..testability.scoap import compute_scoap
+
+    tuner = _finetuned_head(cfg)
+    aig = design_aig(design)
+    graph = from_aig(
+        aig, num_patterns=cfg.num_patterns, seed=design_seed(cfg, design)
+    )
+    batch = prepare([graph])
+    truth = sa0_detection_targets(
+        batch, seed=design_seed(cfg, design, salt=777)
+    )
+    predicted = tuner.predict(batch)
+
+    # SCOAP baseline: higher testability score ~ harder fault; negate so
+    # both rankings orient easy-to-test high before rank-correlating
+    scoap = compute_scoap(as_gate_graph(graph)).testability().astype(float)
+    return {
+        "design": design,
+        "nodes": int(graph.num_nodes),
+        "head_l1": float(np.abs(predicted - truth).mean()),
+        "head_rank_corr": spearman(predicted, truth),
+        "scoap_rank_corr": spearman(-scoap, truth),
+    }
+
+
+def format_table(rows: List[dict]) -> str:
+    body = [
+        [
+            r["design"],
+            r["nodes"],
+            r["head_l1"],
+            r["head_rank_corr"],
+            r["scoap_rank_corr"],
+        ]
+        for r in rows
+    ]
+    return format_rows(
+        ["design", "nodes", "head L1", "head rank corr", "SCOAP rank corr"],
+        body,
+        title="Fault-detectability prediction: fine-tuned head vs SCOAP",
+    )
+
+
+def _units(spec: FaultPredictionSpec) -> List[UnitSpec]:
+    """One unit per evaluation design, in spec order."""
+    return [UnitSpec(key=design) for design in spec.designs]
+
+
+def _run_unit(spec: FaultPredictionSpec, unit: UnitSpec) -> dict:
+    return run_design(unit.key, resolve_scale(spec))
+
+
+@experiment(
+    "downstream_fault_prediction",
+    spec=FaultPredictionSpec,
+    title="Fault-detectability prediction from frozen embeddings",
+    description="Fine-tune a head on frozen DeepGate embeddings to "
+    "predict stuck-at-0 detection probability; compare against SCOAP.",
+    units=_units,
+    run_unit=_run_unit,
+)
+def _merge(
+    spec: FaultPredictionSpec, unit_results: List[dict]
+) -> ExperimentResult:
+    return ExperimentResult(
+        experiment="downstream_fault_prediction",
+        rows=list(unit_results),
+        table=format_table(unit_results),
+    )

@@ -1,0 +1,167 @@
+"""SAT-oracle label consistency across equivalent circuit forms.
+
+The dataset pipeline assumes its transformations preserve function: a
+variegated netlist, its raw AIG lowering and the optimised AIG must all
+implement the same Boolean function, and equivalent forms must induce
+identical *exact* output probabilities.  This experiment turns that
+assumption into a measured, regression-gated fact:
+
+* **formal**: the SAT miter (:mod:`repro.sat.equivalence`) proves the
+  optimised and variegated forms equivalent to the raw lowering;
+* **exact labels**: exhaustive enumeration gives every form's output
+  probabilities; the max gap across equivalent forms must be 0;
+* **sampled labels**: the Monte-Carlo estimator (the paper's labelling
+  method) is checked against the exact oracle; its max deviation is the
+  label noise the models train against.
+
+No training happens here — one unit per design, each a pure oracle
+cross-check, so this is the fastest of the registered workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..datagen.normalize import normalize_to_library, variegate
+from ..runtime.registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    UnitSpec,
+    experiment,
+)
+from ..sat.equivalence import check_equivalence
+from ..sim.probability import exact_probabilities, monte_carlo_probabilities
+from ..synth.pipeline import synthesize
+from ..synth.transform import netlist_to_aig
+from .common import (
+    Scale,
+    design_netlist,
+    design_seed,
+    format_rows,
+    resolve_scale,
+)
+
+__all__ = ["SatOracleSpec", "run_design", "format_table"]
+
+#: all small enough for exhaustive enumeration (<= 2^12 patterns)
+DEFAULT_DESIGNS: Tuple[str, ...] = (
+    "ripple_adder:4",
+    "comparator:4",
+    "mux_tree:2",
+    "parity:8",
+)
+
+#: exhaustive enumeration bound; designs beyond this are a spec error
+MAX_EXACT_PIS = 16
+
+
+def _output_probs(aig, var_probs: np.ndarray) -> np.ndarray:
+    """Per-output probabilities from per-variable ones (literal parity)."""
+    out = np.empty(aig.num_outputs, dtype=np.float64)
+    for i, lit in enumerate(aig.outputs):
+        p = var_probs[int(lit) >> 1]
+        out[i] = 1.0 - p if int(lit) & 1 else p
+    return out
+
+
+def run_design(design: str, cfg: Scale) -> dict:
+    """Cross-check one design's equivalent forms against the oracles."""
+    rng = np.random.default_rng(design_seed(cfg, design, salt=31337))
+    netlist = normalize_to_library(design_netlist(design))
+    raw = netlist_to_aig(netlist)
+    if raw.num_pis > MAX_EXACT_PIS:
+        raise ValueError(
+            f"design {design!r} has {raw.num_pis} PIs; the SAT-oracle "
+            f"check enumerates exhaustively and caps at {MAX_EXACT_PIS}"
+        )
+    opt = synthesize(netlist)
+    var = netlist_to_aig(variegate(netlist, rng))
+
+    eq_opt = check_equivalence(raw, opt)
+    eq_var = check_equivalence(raw, var)
+
+    probs_raw = _output_probs(raw, exact_probabilities(raw))
+    probs_opt = _output_probs(opt, exact_probabilities(opt))
+    probs_var = _output_probs(var, exact_probabilities(var))
+    exact_gap = max(
+        float(np.abs(probs_raw - probs_opt).max()),
+        float(np.abs(probs_raw - probs_var).max()),
+    )
+
+    mc = monte_carlo_probabilities(
+        raw, num_patterns=cfg.num_patterns, seed=design_seed(cfg, design)
+    )
+    mc_dev = float(np.abs(mc - exact_probabilities(raw)).max())
+    return {
+        "design": design,
+        "pis": int(raw.num_pis),
+        "outputs": int(raw.num_outputs),
+        "equiv_optimised": int(eq_opt.equivalent),
+        "equiv_variegated": int(eq_var.equivalent),
+        "exact_prob_gap": exact_gap,
+        "mc_max_dev": mc_dev,
+    }
+
+
+def format_table(rows: List[dict]) -> str:
+    body = [
+        [
+            r["design"],
+            r["pis"],
+            r["outputs"],
+            "yes" if r["equiv_optimised"] else "NO",
+            "yes" if r["equiv_variegated"] else "NO",
+            r["exact_prob_gap"],
+            r["mc_max_dev"],
+        ]
+        for r in rows
+    ]
+    return format_rows(
+        [
+            "design",
+            "PIs",
+            "outs",
+            "opt equiv",
+            "var equiv",
+            "exact gap",
+            "MC max dev",
+        ],
+        body,
+        title="SAT-oracle label consistency across equivalent forms",
+    )
+
+
+def _units(spec: "SatOracleSpec") -> List[UnitSpec]:
+    """One unit per cross-checked design, in spec order."""
+    return [UnitSpec(key=design) for design in spec.designs]
+
+
+def _run_unit(spec: "SatOracleSpec", unit: UnitSpec) -> dict:
+    return run_design(unit.key, resolve_scale(spec))
+
+
+@dataclass(frozen=True)
+class SatOracleSpec(ExperimentSpec):
+    """Oracle cross-check over ``designs`` (all exhaustively small)."""
+
+    designs: Tuple[str, ...] = DEFAULT_DESIGNS
+
+
+@experiment(
+    "sat_oracle",
+    spec=SatOracleSpec,
+    title="SAT-oracle label consistency across equivalent forms",
+    description="Miter-prove raw/optimised/variegated forms equivalent "
+    "and check exact vs Monte-Carlo label probabilities.",
+    units=_units,
+    run_unit=_run_unit,
+)
+def _merge(spec: SatOracleSpec, unit_results: List[dict]) -> ExperimentResult:
+    return ExperimentResult(
+        experiment="sat_oracle",
+        rows=list(unit_results),
+        table=format_table(unit_results),
+    )

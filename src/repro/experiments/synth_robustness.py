@@ -1,0 +1,155 @@
+"""Synthesis-transform robustness of the learned probability model.
+
+Table IV shows the AIG transformation helps *training*; this experiment
+asks the complementary deployment question: how stable are a pre-trained
+model's predictions when the *same* design arrives in different
+synthesised forms?  Each unit takes one catalog design, variegates it
+into a heterogeneous mapped netlist (the paper's original-format
+distribution), then evaluates the shared pre-trained DeepGate on
+
+* the **raw** lowering (``netlist_to_aig``, no optimisation), and
+* the **optimised** AIG (the full strash/balance/sweep pipeline),
+
+both labelled by simulation with the same seed.  A robust model keeps
+its probability error flat across the two functionally equivalent forms
+while optimisation shrinks the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..datagen.normalize import normalize_to_library, variegate
+from ..graphdata.dataset import prepare
+from ..graphdata.features import from_aig
+from ..nn.tensor import no_grad
+from ..runtime.registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    UnitSpec,
+    experiment,
+)
+from ..synth.pipeline import (
+    has_constant_outputs,
+    strip_constant_outputs,
+    synthesize,
+)
+from ..synth.transform import netlist_to_aig
+from .common import (
+    Scale,
+    design_netlist,
+    design_seed,
+    format_rows,
+    pretrained_backbone,
+    resolve_scale,
+)
+
+__all__ = ["SynthRobustnessSpec", "run_design", "format_table"]
+
+DEFAULT_DESIGNS: Tuple[str, ...] = (
+    "ripple_adder:8",
+    "comparator:8",
+    "mux_tree:3",
+)
+
+
+@dataclass(frozen=True)
+class SynthRobustnessSpec(ExperimentSpec):
+    """Raw vs optimised AIG evaluation over ``designs``."""
+
+    designs: Tuple[str, ...] = DEFAULT_DESIGNS
+
+
+def _clean(aig):
+    return strip_constant_outputs(aig) if has_constant_outputs(aig) else aig
+
+
+def _model_mae(model, aig, cfg: Scale, seed: int) -> Tuple[float, int]:
+    graph = from_aig(aig, num_patterns=cfg.num_patterns, seed=seed)
+    batch = prepare([graph])
+    with no_grad():
+        predicted = model(batch).numpy()
+    return float(np.abs(predicted - graph.labels).mean()), int(
+        graph.num_nodes
+    )
+
+
+def run_design(design: str, cfg: Scale) -> dict:
+    """One design's raw-vs-optimised evaluation."""
+    model = pretrained_backbone(cfg)
+    rng = np.random.default_rng(design_seed(cfg, design, salt=4242))
+    netlist = variegate(normalize_to_library(design_netlist(design)), rng)
+    raw = _clean(netlist_to_aig(netlist))
+    opt = _clean(synthesize(netlist))
+
+    label_seed = design_seed(cfg, design)
+    mae_raw, nodes_raw = _model_mae(model, raw, cfg, label_seed)
+    mae_opt, nodes_opt = _model_mae(model, opt, cfg, label_seed)
+    return {
+        "design": design,
+        "nodes_raw": nodes_raw,
+        "nodes_opt": nodes_opt,
+        "node_reduction": 1.0 - nodes_opt / nodes_raw,
+        "mae_raw": mae_raw,
+        "mae_opt": mae_opt,
+        "mae_gap": abs(mae_opt - mae_raw),
+    }
+
+
+def format_table(rows: List[dict]) -> str:
+    body = [
+        [
+            r["design"],
+            r["nodes_raw"],
+            r["nodes_opt"],
+            r["node_reduction"],
+            r["mae_raw"],
+            r["mae_opt"],
+            r["mae_gap"],
+        ]
+        for r in rows
+    ]
+    return format_rows(
+        [
+            "design",
+            "raw nodes",
+            "opt nodes",
+            "reduction",
+            "raw MAE",
+            "opt MAE",
+            "|gap|",
+        ],
+        body,
+        title="Synthesis-transform robustness of the pre-trained model",
+    )
+
+
+def _units(spec: SynthRobustnessSpec) -> List[UnitSpec]:
+    """One unit per design's raw/optimised pair, in spec order."""
+    return [UnitSpec(key=design) for design in spec.designs]
+
+
+def _run_unit(spec: SynthRobustnessSpec, unit: UnitSpec) -> dict:
+    return run_design(unit.key, resolve_scale(spec))
+
+
+@experiment(
+    "synth_robustness",
+    spec=SynthRobustnessSpec,
+    title="Synthesis-transform robustness of the pre-trained model",
+    description="Probability error of one pre-trained model on raw vs "
+    "optimised synthesised forms of the same designs.",
+    units=_units,
+    run_unit=_run_unit,
+)
+def _merge(
+    spec: SynthRobustnessSpec, unit_results: List[dict]
+) -> ExperimentResult:
+    return ExperimentResult(
+        experiment="synth_robustness",
+        rows=list(unit_results),
+        table=format_table(unit_results),
+    )

@@ -73,17 +73,21 @@ class FineTuner:
         )
         self.optimizer = Adam(self.head.parameters(), lr=lr)
         self.history = FineTuneHistory()
-        self._embedding_cache: Dict[int, np.ndarray] = {}
+        # the cached batch object is kept alongside its embeddings: the
+        # id() key is only unique while the batch is alive, so the cache
+        # must pin it or a recycled id would serve stale embeddings
+        self._embedding_cache: Dict[int, tuple] = {}
 
     def embeddings(self, batch: PreparedBatch) -> Tensor:
         """Frozen backbone embeddings, cached per batch object."""
         key = id(batch)
         if key not in self._embedding_cache:
             with no_grad():
-                self._embedding_cache[key] = self.backbone.embeddings(
-                    batch
-                ).numpy()
-        return Tensor(self._embedding_cache[key])
+                self._embedding_cache[key] = (
+                    batch,
+                    self.backbone.embeddings(batch).numpy(),
+                )
+        return Tensor(self._embedding_cache[key][1])
 
     def fit(
         self,

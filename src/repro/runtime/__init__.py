@@ -10,10 +10,32 @@
 * :mod:`.parallel` — the process-pool executor that fans a grid
   experiment's units out over workers with per-unit cache directories,
   so killed grids resume from completed units;
-* :mod:`.compare` — metric diffs between two cached runs.
+* :mod:`.compare` — metric diffs between two cached runs, with optional
+  tolerance gating;
+* :mod:`.golden` — committed golden-metric fixtures and the drift gate
+  behind ``repro experiment capture``/``verify``.
 """
 
-from .compare import compare_results, load_run_result, resolve_run_dir
+from .compare import (
+    apply_tolerances,
+    compare_results,
+    label_and_metric_keys,
+    load_run_result,
+    load_tolerances,
+    resolve_run_dir,
+)
+from .golden import (
+    Golden,
+    GoldenError,
+    GoldenReport,
+    capture_golden,
+    default_goldens_dir,
+    golden_path,
+    list_golden_paths,
+    load_golden,
+    verify_golden,
+    write_golden,
+)
 from .parallel import (
     UnitProgress,
     default_workers,
@@ -30,6 +52,7 @@ from .registry import (
     experiment,
     get_experiment,
     list_experiments,
+    spec_from_json,
     spec_from_overrides,
 )
 from .runner import (
@@ -40,6 +63,7 @@ from .runner import (
     load_record,
     run_dir_for,
     spec_hash,
+    spec_hash_from_dict,
 )
 
 __all__ = [
@@ -50,6 +74,7 @@ __all__ = [
     "experiment",
     "get_experiment",
     "list_experiments",
+    "spec_from_json",
     "spec_from_overrides",
     "RunRecord",
     "default_runs_dir",
@@ -58,6 +83,7 @@ __all__ = [
     "load_record",
     "run_dir_for",
     "spec_hash",
+    "spec_hash_from_dict",
     "UnitProgress",
     "default_workers",
     "execute_parallel",
@@ -65,6 +91,19 @@ __all__ = [
     "unit_dir_for",
     "unit_hash",
     "compare_results",
+    "label_and_metric_keys",
     "load_run_result",
+    "load_tolerances",
     "resolve_run_dir",
+    "apply_tolerances",
+    "Golden",
+    "GoldenError",
+    "GoldenReport",
+    "capture_golden",
+    "default_goldens_dir",
+    "golden_path",
+    "list_golden_paths",
+    "load_golden",
+    "verify_golden",
+    "write_golden",
 ]

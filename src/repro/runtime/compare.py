@@ -6,6 +6,12 @@ model name, suite, ablation variant, …) and diffs every numeric column —
 absolute delta and percent change — rendering the outcome as plain text,
 a markdown pipe table, or JSON.
 
+With a tolerance table (``--tolerances limits.json``) the diff becomes
+an accuracy-trajectory gate: every matched metric gains an absolute
+drift ``limit`` and a pass/fail status, and ``--fail-on-drift`` turns
+any violation — including a tolerance whose metric is *missing* from
+the diff, which cannot be certified — into a non-zero exit.
+
 Runs are addressed by their run directory (``runs/table2/<hash>``),
 either as a filesystem path or relative to the runs root, so the output
 of ``repro experiment run`` (which prints the directory) pipes straight
@@ -16,7 +22,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from .runner import MANIFEST_NAME, default_runs_dir
 
@@ -24,7 +30,10 @@ __all__ = [
     "RunResult",
     "load_run_result",
     "resolve_run_dir",
+    "label_and_metric_keys",
     "compare_results",
+    "load_tolerances",
+    "apply_tolerances",
     "render_text",
     "render_markdown",
 ]
@@ -127,6 +136,12 @@ def _is_numeric(value: object) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+#: canonical row-identifier columns used across the built-in
+#: experiments, tried before any other non-numeric column when
+#: collapsing the label to a single identifying key
+_PREFERRED_LABELS = ("design", "suite", "model", "ablation", "name", "row")
+
+
 def _labelled_rows(
     rows: List[Dict[str, object]], label_keys: List[str]
 ) -> Dict[str, Dict[str, object]]:
@@ -151,14 +166,19 @@ def _row_label(row: Dict[str, object], label_keys: List[str]) -> str:
     return " / ".join(str(row.get(k)) for k in label_keys)
 
 
-def compare_results(a: RunResult, b: RunResult) -> Dict[str, object]:
-    """Structured metric diff of two runs.
+def label_and_metric_keys(
+    rows_a: List[Dict[str, object]],
+    rows_b: Optional[List[Dict[str, object]]] = None,
+) -> Tuple[List[str], List[str]]:
+    """Split result-row columns into label keys and numeric metric keys.
 
-    Rows are matched by the tuple of shared non-numeric columns; every
-    shared numeric column becomes one diff entry with ``a``, ``b``,
-    ``delta`` (b - a) and ``pct`` (percent change, ``None`` when a is 0).
+    Labels are the non-numeric columns shared by every row (collapsed to
+    one column when it already identifies each row uniquely); everything
+    else numeric is a metric.  Shared by run diffs and golden-fixture
+    extraction so both address a metric by the same ``(row, metric)``
+    coordinates.
     """
-    rows_a, rows_b = a.rows, b.rows
+    rows_b = rows_b if rows_b is not None else rows_a
     keys_a = set().union(*(r.keys() for r in rows_a)) if rows_a else set()
     keys_b = set().union(*(r.keys() for r in rows_b)) if rows_b else set()
     shared = keys_a & keys_b
@@ -170,8 +190,20 @@ def compare_results(a: RunResult, b: RunResult) -> Dict[str, object]:
         if k in shared
         and all(not _is_numeric(r.get(k)) for r in rows_a + rows_b)
     ] or first_keys[:1]
-    # one label column is enough when it already identifies every row
-    for key in label_keys:
+    # one label column is enough when it already identifies every row;
+    # scan candidates in a fixed preference order so the chosen
+    # coordinate does not depend on row dict key order (fresh in-memory
+    # rows vs rows reloaded from a sort_keys result.json)
+    ordered = sorted(
+        label_keys,
+        key=lambda k: (
+            _PREFERRED_LABELS.index(k)
+            if k in _PREFERRED_LABELS
+            else len(_PREFERRED_LABELS),
+            k,
+        ),
+    )
+    for key in ordered:
         if len({str(r.get(key)) for r in rows_a}) == len(rows_a) and len(
             {str(r.get(key)) for r in rows_b}
         ) == len(rows_b):
@@ -184,6 +216,18 @@ def compare_results(a: RunResult, b: RunResult) -> Dict[str, object]:
         and k not in label_keys
         and any(_is_numeric(r.get(k)) for r in rows_a + rows_b)
     ]
+    return label_keys, metric_keys
+
+
+def compare_results(a: RunResult, b: RunResult) -> Dict[str, object]:
+    """Structured metric diff of two runs.
+
+    Rows are matched by the tuple of shared non-numeric columns; every
+    shared numeric column becomes one diff entry with ``a``, ``b``,
+    ``delta`` (b - a) and ``pct`` (percent change, ``None`` when a is 0).
+    """
+    rows_a, rows_b = a.rows, b.rows
+    label_keys, metric_keys = label_and_metric_keys(rows_a, rows_b)
 
     by_label_a = _labelled_rows(rows_a, label_keys)
     by_label_b = _labelled_rows(rows_b, label_keys)
@@ -221,6 +265,78 @@ def compare_results(a: RunResult, b: RunResult) -> Dict[str, object]:
     }
 
 
+def load_tolerances(path: Union[str, Path]) -> Dict[str, float]:
+    """Parse a tolerance table: a JSON object mapping metric names (or
+    row-qualified ``"row:metric"`` keys) to absolute drift limits."""
+    try:
+        raw = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable tolerance file {path}: {exc}")
+    if not isinstance(raw, dict):
+        raise ValueError(f"tolerance file {path} must be a JSON object")
+    out: Dict[str, float] = {}
+    for key, value in raw.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(
+                f"tolerance for {key!r} must be a number, got {value!r}"
+            )
+        if value < 0:
+            raise ValueError(f"tolerance for {key!r} must be >= 0")
+        out[str(key)] = float(value)
+    return out
+
+
+def _tolerance_for(
+    tolerances: Dict[str, float], row: str, metric: str
+) -> Optional[float]:
+    """Most specific matching limit: ``row:metric`` wins over ``metric``."""
+    qualified = f"{row}:{metric}"
+    if qualified in tolerances:
+        return tolerances[qualified]
+    return tolerances.get(metric)
+
+
+def apply_tolerances(
+    diff: Dict[str, object], tolerances: Dict[str, float]
+) -> Dict[str, object]:
+    """Annotate a diff with drift limits and collect violations.
+
+    Every diff row whose metric has a limit gains ``limit`` and
+    ``within``; the returned diff carries a ``violations`` list holding
+    one entry per drifted row *plus* one per tolerance key that matched
+    no diff row — a metric the gate expects but the diff cannot show
+    (renamed column, vanished row) must fail, not silently pass.
+    """
+    out = dict(diff)
+    matched: set = set()
+    rows: List[Dict[str, object]] = []
+    violations: List[Dict[str, object]] = []
+    for entry in diff["rows"]:
+        entry = dict(entry)
+        limit = _tolerance_for(tolerances, str(entry["row"]), str(entry["metric"]))
+        if limit is not None:
+            matched.add(str(entry["metric"]))
+            matched.add(f"{entry['row']}:{entry['metric']}")
+            entry["limit"] = limit
+            entry["within"] = abs(entry["delta"]) <= limit
+            if not entry["within"]:
+                violations.append(
+                    {
+                        "kind": "drift",
+                        "row": entry["row"],
+                        "metric": entry["metric"],
+                        "delta": entry["delta"],
+                        "limit": limit,
+                    }
+                )
+        rows.append(entry)
+    for key in sorted(set(tolerances) - matched):
+        violations.append({"kind": "missing", "key": key})
+    out["rows"] = rows
+    out["violations"] = violations
+    return out
+
+
 def _fmt_num(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.4f}"
@@ -231,9 +347,22 @@ def _fmt_pct(pct: Optional[float]) -> str:
     return f"{pct:+.1f}%" if pct is not None else "n/a"
 
 
+def _fmt_status(entry: Dict[str, object]) -> str:
+    if "within" not in entry:
+        return "-"
+    return "ok" if entry["within"] else "DRIFT"
+
+
+def _gated(diff: Dict[str, object]) -> bool:
+    """True when tolerances were applied to this diff."""
+    return "violations" in diff
+
+
 def _diff_table_rows(diff: Dict[str, object]) -> List[List[str]]:
-    return [
-        [
+    gated = _gated(diff)
+    rows = []
+    for d in diff["rows"]:
+        row = [
             str(d["row"]),
             str(d["metric"]),
             _fmt_num(d["a"]),
@@ -241,11 +370,19 @@ def _diff_table_rows(diff: Dict[str, object]) -> List[List[str]]:
             _fmt_num(d["delta"]),
             _fmt_pct(d["pct"]),
         ]
-        for d in diff["rows"]
-    ]
+        if gated:
+            limit = d.get("limit")
+            row.append(_fmt_num(limit) if limit is not None else "-")
+            row.append(_fmt_status(d))
+        rows.append(row)
+    return rows
 
 
 _HEADERS = ["row", "metric", "a", "b", "delta", "pct"]
+
+
+def _headers_for(diff: Dict[str, object]) -> List[str]:
+    return _HEADERS + ["limit", "status"] if _gated(diff) else _HEADERS
 
 
 def _unmatched_lines(diff: Dict[str, object]) -> List[str]:
@@ -254,6 +391,11 @@ def _unmatched_lines(diff: Dict[str, object]) -> List[str]:
         lines.append(f"only in a: {', '.join(diff['only_in_a'])}")
     if diff["only_in_b"]:
         lines.append(f"only in b: {', '.join(diff['only_in_b'])}")
+    for v in diff.get("violations", []):
+        if v["kind"] == "missing":
+            lines.append(
+                f"MISSING: tolerance {v['key']!r} matched no diff row"
+            )
     return lines
 
 
@@ -264,13 +406,16 @@ def render_text(diff: Dict[str, object]) -> str:
         f"compare {diff['experiment_a']}: {diff['run_a']} vs {diff['run_b']}"
     )
     if not diff["rows"]:
-        return title + "\n(no comparable metric rows)"
-    out = format_rows(_HEADERS, _diff_table_rows(diff), title=title)
+        out = title + "\n(no comparable metric rows)"
+        extra = _unmatched_lines(diff)
+        return out + ("\n" + "\n".join(extra) if extra else "")
+    out = format_rows(_headers_for(diff), _diff_table_rows(diff), title=title)
     extra = _unmatched_lines(diff)
     return out + ("\n" + "\n".join(extra) if extra else "")
 
 
 def render_markdown(diff: Dict[str, object]) -> str:
+    headers = _headers_for(diff)
     lines = [
         f"# compare {diff['experiment_a']}",
         "",
@@ -279,8 +424,8 @@ def render_markdown(diff: Dict[str, object]) -> str:
         "",
     ]
     if diff["rows"]:
-        lines.append("| " + " | ".join(_HEADERS) + " |")
-        lines.append("| " + " | ".join("---" for _ in _HEADERS) + " |")
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("| " + " | ".join("---" for _ in headers) + " |")
         for row in _diff_table_rows(diff):
             lines.append(
                 "| " + " | ".join(c.replace("|", "\\|") for c in row) + " |"

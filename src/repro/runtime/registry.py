@@ -54,6 +54,7 @@ __all__ = [
     "get_experiment",
     "list_experiments",
     "spec_from_overrides",
+    "spec_from_json",
 ]
 
 
@@ -307,6 +308,46 @@ def spec_from_overrides(
             )
         kwargs[key] = _coerce(hints.get(key, str), raw, key)
     return spec_type(**kwargs)
+
+
+def spec_from_json(
+    spec_type: Type[ExperimentSpec], data: Dict[str, object]
+) -> ExperimentSpec:
+    """Rebuild a spec from its JSON form (``runner.spec_dict`` output).
+
+    The inverse of serialising a spec into a manifest or golden fixture:
+    JSON turned tuples into lists, so sequence-typed fields are coerced
+    back according to the dataclass annotations.  Unknown keys raise
+    ``ValueError`` — a fixture naming a field the spec no longer has is
+    stale, not silently ignorable.
+    """
+    fields = {f.name for f in dataclasses.fields(spec_type)}
+    hints = typing.get_type_hints(spec_type)
+    kwargs: Dict[str, object] = {}
+    for key, value in data.items():
+        if key not in fields:
+            raise ValueError(
+                f"{spec_type.__name__} has no field {key!r}; "
+                f"fields: {sorted(fields)}"
+            )
+        kwargs[key] = _coerce_json(hints.get(key, object), value)
+    return spec_type(**kwargs)
+
+
+def _coerce_json(annotation: object, value: object) -> object:
+    """Map a JSON value back onto a resolved type annotation."""
+    origin = typing.get_origin(annotation)
+    args = typing.get_args(annotation)
+    if origin is typing.Union:  # Optional[X]
+        if value is None:
+            return None
+        inner = [a for a in args if a is not type(None)]
+        return _coerce_json(inner[0], value) if inner else value
+    if origin in (tuple, list) and isinstance(value, (list, tuple)):
+        elem = args[0] if args else object
+        seq = [_coerce_json(elem, v) for v in value]
+        return tuple(seq) if origin is tuple else seq
+    return value
 
 
 def _coerce(annotation: object, raw: str, key: str) -> object:

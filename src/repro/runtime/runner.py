@@ -47,6 +47,7 @@ __all__ = [
     "RunRecord",
     "default_runs_dir",
     "spec_hash",
+    "spec_hash_from_dict",
     "run_dir_for",
     "execute",
     "load_record",
@@ -75,15 +76,27 @@ def spec_dict(spec: ExperimentSpec) -> Dict[str, object]:
     return json.loads(json.dumps(dataclasses.asdict(spec)))
 
 
-def spec_hash(experiment_name: str, spec: ExperimentSpec) -> str:
-    """Sha256 over (experiment, canonical spec JSON, format version)."""
+def spec_hash_from_dict(
+    experiment_name: str, spec: Dict[str, object]
+) -> str:
+    """Sha256 over (experiment, canonical spec JSON, format version).
+
+    Takes the spec already in JSON form, so artifacts that *store* the
+    spec dict (manifests, golden fixtures) can recompute the hash they
+    claim without reconstructing the dataclass first.
+    """
     payload = {
         "experiment": experiment_name,
-        "spec": spec_dict(spec),
+        "spec": spec,
         "run_format_version": RUN_FORMAT_VERSION,
     }
     canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def spec_hash(experiment_name: str, spec: ExperimentSpec) -> str:
+    """Sha256 keying the run cache for one (experiment, spec) pair."""
+    return spec_hash_from_dict(experiment_name, spec_dict(spec))
 
 
 def run_dir_for(

@@ -9,8 +9,10 @@ from repro.runtime import execute_parallel
 from repro.runtime import registry as registry_module
 from repro.runtime.compare import (
     RunResult,
+    apply_tolerances,
     compare_results,
     load_run_result,
+    load_tolerances,
     render_markdown,
     render_text,
     resolve_run_dir,
@@ -159,6 +161,96 @@ class TestCompareResults:
         b = fake_result([{"name": "x", "flag": False, "err": 2.0}])
         diff = compare_results(a, b)
         assert [d["metric"] for d in diff["rows"]] == ["err"]
+
+
+class TestTolerances:
+    """The --tolerances drift gate: pass, fail, missing-metric."""
+
+    def _diff(self):
+        a = fake_result(
+            [{"name": "x", "err": 1.0}, {"name": "y", "err": 2.0}]
+        )
+        b = fake_result(
+            [{"name": "x", "err": 1.05}, {"name": "y", "err": 2.5}]
+        )
+        return compare_results(a, b)
+
+    def test_all_within_limits_passes(self):
+        gated = apply_tolerances(self._diff(), {"err": 0.6})
+        assert gated["violations"] == []
+        assert all(d["within"] for d in gated["rows"])
+        assert all(d["limit"] == 0.6 for d in gated["rows"])
+
+    def test_drift_beyond_limit_is_a_violation(self):
+        gated = apply_tolerances(self._diff(), {"err": 0.1})
+        assert [v["kind"] for v in gated["violations"]] == ["drift"]
+        assert gated["violations"][0]["row"] == "y"
+        assert gated["violations"][0]["limit"] == 0.1
+        by_row = {d["row"]: d for d in gated["rows"]}
+        assert by_row["x"]["within"] and not by_row["y"]["within"]
+
+    def test_row_qualified_limit_wins(self):
+        gated = apply_tolerances(self._diff(), {"err": 0.1, "y:err": 1.0})
+        assert gated["violations"] == []
+
+    def test_missing_metric_is_a_violation(self):
+        # a tolerance whose metric the diff cannot show must fail the
+        # gate, not silently pass (renamed column, vanished row)
+        gated = apply_tolerances(self._diff(), {"accuracy": 0.1})
+        assert gated["violations"] == [
+            {"kind": "missing", "key": "accuracy"}
+        ]
+        assert all("within" not in d for d in gated["rows"])
+
+    def test_untoleranced_metrics_stay_unannotated(self):
+        gated = apply_tolerances(self._diff(), {"y:err": 1.0})
+        by_row = {d["row"]: d for d in gated["rows"]}
+        assert "within" not in by_row["x"]
+        assert by_row["y"]["within"]
+
+    def test_original_diff_is_not_mutated(self):
+        diff = self._diff()
+        apply_tolerances(diff, {"err": 0.1})
+        assert "violations" not in diff
+        assert all("limit" not in d for d in diff["rows"])
+
+    def test_load_tolerances(self, tmp_path):
+        path = tmp_path / "limits.json"
+        path.write_text('{"err": 0.5, "y:err": 1}')
+        assert load_tolerances(path) == {"err": 0.5, "y:err": 1.0}
+
+    @pytest.mark.parametrize(
+        "content, message",
+        [
+            ("{nope", "unreadable"),
+            ("[1]", "JSON object"),
+            ('{"err": "big"}', "must be a number"),
+            ('{"err": true}', "must be a number"),
+            ('{"err": -1}', ">= 0"),
+        ],
+    )
+    def test_bad_tolerance_files_rejected(self, tmp_path, content, message):
+        path = tmp_path / "limits.json"
+        path.write_text(content)
+        with pytest.raises(ValueError, match=message):
+            load_tolerances(path)
+
+    def test_gated_text_render_has_status_column(self):
+        gated = apply_tolerances(self._diff(), {"err": 0.1, "gone": 1.0})
+        text = render_text(gated)
+        assert "limit" in text and "status" in text
+        assert "DRIFT" in text and "ok" in text
+        assert "MISSING: tolerance 'gone'" in text
+
+    def test_gated_markdown_render_has_status_column(self):
+        gated = apply_tolerances(self._diff(), {"err": 0.1})
+        md = render_markdown(gated)
+        assert "| row | metric | a | b | delta | pct | limit | status |" in md
+        assert "DRIFT" in md
+
+    def test_ungated_render_unchanged(self):
+        text = render_text(self._diff())
+        assert "limit" not in text and "status" not in text
 
 
 class TestRendering:

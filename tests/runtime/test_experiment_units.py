@@ -1,6 +1,7 @@
 """Smoke-level lock on every built-in experiment's unit decomposition.
 
-Each of the six ports runs end to end through the unit executor with a
+Each registered experiment — the six table/figure ports plus the four
+promoted example workloads — runs end to end through the unit executor with a
 narrowed seconds-fast spec, pinning: the unit count, per-unit cache
 directories on disk, well-formed result rows, and run-level cache hits
 on re-execution.  (Worker-count byte-determinism is pinned separately in
@@ -33,6 +34,26 @@ CASES = {
         "T",
     ),
     "ablations": ({"scale": "smoke", "epochs": "1", "which": "cop"}, 1, "ablation"),
+    "testability_analysis": (
+        {"scale": "smoke", "epochs": "1", "designs": "mux_tree:3"},
+        1,
+        "design",
+    ),
+    "downstream_fault_prediction": (
+        {"scale": "smoke", "epochs": "1", "designs": "alu:4"},
+        1,
+        "design",
+    ),
+    "synth_robustness": (
+        {"scale": "smoke", "epochs": "1", "designs": "mux_tree:3"},
+        1,
+        "design",
+    ),
+    "sat_oracle": (
+        {"scale": "smoke", "designs": "parity:8,mux_tree:2"},
+        2,
+        "design",
+    ),
 }
 
 

@@ -1,0 +1,297 @@
+"""Golden-fixture subsystem: capture, schema validation, drift gate.
+
+Mirrors the corrupt-run-dir robustness suites from the runner tests: a
+fixture that is corrupted, truncated, carries the wrong schema version,
+or whose recorded spec no longer reproduces its hash must be rejected
+with a clear :class:`GoldenError` — never a bare ``KeyError`` mid-verify.
+The capture -> verify round trip and the drift/missing failure modes run
+on the cheap fake grid experiment from ``tests.helpers``.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime import execute_parallel
+from repro.runtime import registry as registry_module
+from repro.runtime.golden import (
+    GOLDEN_FORMAT_VERSION,
+    Golden,
+    GoldenError,
+    GoldenMetric,
+    capture_golden,
+    default_goldens_dir,
+    default_tolerance,
+    golden_path,
+    list_golden_paths,
+    load_golden,
+    render_report_markdown,
+    render_report_text,
+    result_metrics,
+    verify_golden,
+    write_golden,
+)
+
+from ..helpers import GridSpec, register_grid_experiment
+
+
+@pytest.fixture
+def grid_run(tmp_path):
+    """One cached run of the fake grid experiment + its runs root."""
+    name = register_grid_experiment("fake-grid")
+    try:
+        record = execute_parallel(
+            name, GridSpec(factor=2), runs_dir=tmp_path / "runs"
+        )
+        yield tmp_path, record
+    finally:
+        registry_module.unregister(name)
+
+
+def roundtrip_fixture(tmp_path, record):
+    golden = capture_golden(record)
+    path = write_golden(golden, goldens_dir=tmp_path / "goldens")
+    return golden, path
+
+
+class TestCapture:
+    def test_metrics_cover_every_numeric_cell(self, grid_run):
+        _, record = grid_run
+        golden = capture_golden(record)
+        assert [(m.row, m.metric) for m in golden.metrics] == [
+            ("alpha", "value"),
+            ("beta", "value"),
+            ("gamma", "value"),
+        ]
+        assert golden.experiment == record.experiment
+        assert golden.spec_hash == record.spec_hash
+        assert golden.spec == record.spec
+
+    def test_int_metrics_get_zero_tolerance(self, grid_run):
+        _, record = grid_run
+        golden = capture_golden(record)
+        # the grid's values are ints: exact reproduction required
+        assert all(m.tolerance == 0.0 for m in golden.metrics)
+
+    def test_default_tolerance_derivation(self):
+        assert default_tolerance(7) == 0.0
+        assert default_tolerance(0.5, rel=0.1, floor=0.02) == pytest.approx(
+            0.05
+        )
+        # near zero the floor wins
+        assert default_tolerance(0.001, rel=0.1, floor=0.02) == 0.02
+
+    def test_overrides_beat_derived_defaults(self, grid_run):
+        _, record = grid_run
+        golden = capture_golden(
+            record, overrides={"value": 3.0, "beta:value": 1.0}
+        )
+        by_row = {m.row: m.tolerance for m in golden.metrics}
+        assert by_row["alpha"] == 3.0
+        assert by_row["beta"] == 1.0  # row-qualified wins
+
+    def test_rowless_results_rejected(self, grid_run):
+        _, record = grid_run
+        record.result = {"rows": []}
+        with pytest.raises(GoldenError, match="no result rows"):
+            capture_golden(record)
+
+    def test_result_metrics_disambiguates_duplicate_labels(self):
+        rows = [{"name": "x", "v": 1.0}, {"name": "x", "v": 2.0}]
+        assert result_metrics(rows) == [("x", "v", 1.0), ("x #2", "v", 2.0)]
+
+
+class TestWriteLoad:
+    def test_roundtrip(self, grid_run):
+        tmp_path, record = grid_run
+        golden, path = roundtrip_fixture(tmp_path, record)
+        assert path == golden_path(
+            tmp_path / "goldens", record.experiment, record.spec_hash
+        )
+        loaded = load_golden(path)
+        assert loaded.experiment == golden.experiment
+        assert loaded.spec_hash == golden.spec_hash
+        assert loaded.metrics == golden.metrics
+        assert loaded.path == path
+
+    def test_list_golden_paths(self, grid_run):
+        tmp_path, record = grid_run
+        _, path = roundtrip_fixture(tmp_path, record)
+        assert list_golden_paths(tmp_path / "goldens") == [path]
+        assert list_golden_paths(tmp_path / "absent") == []
+
+    def test_default_goldens_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_GOLDENS_DIR", str(tmp_path / "g"))
+        assert default_goldens_dir() == tmp_path / "g"
+        monkeypatch.delenv("REPRO_GOLDENS_DIR")
+        assert str(default_goldens_dir()) == "goldens"
+
+
+class TestSchemaValidation:
+    """Every reachable bad-fixture state raises a *named* GoldenError."""
+
+    def test_unreadable_file(self, tmp_path):
+        with pytest.raises(GoldenError, match="unreadable"):
+            load_golden(tmp_path / "missing.json")
+
+    def test_corrupt_json(self, grid_run):
+        tmp_path, record = grid_run
+        _, path = roundtrip_fixture(tmp_path, record)
+        path.write_text("{nope")
+        with pytest.raises(GoldenError, match="corrupt or truncated"):
+            load_golden(path)
+
+    def test_truncated_json(self, grid_run):
+        tmp_path, record = grid_run
+        _, path = roundtrip_fixture(tmp_path, record)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(GoldenError, match="corrupt or truncated"):
+            load_golden(path)
+
+    def test_non_object_payload(self, grid_run):
+        tmp_path, record = grid_run
+        _, path = roundtrip_fixture(tmp_path, record)
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(GoldenError, match="not a JSON object"):
+            load_golden(path)
+
+    def test_wrong_schema_version(self, grid_run):
+        tmp_path, record = grid_run
+        _, path = roundtrip_fixture(tmp_path, record)
+        data = json.loads(path.read_text())
+        data["golden_format_version"] = GOLDEN_FORMAT_VERSION + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(GoldenError, match="golden_format_version"):
+            load_golden(path)
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            (lambda d: d.pop("experiment"), "experiment"),
+            (lambda d: d.pop("spec"), "spec"),
+            (lambda d: d.update(spec_hash="short"), "spec_hash"),
+            (lambda d: d.update(metrics=[]), "metrics"),
+            (lambda d: d.update(metrics=["x"]), r"metrics\[0\]"),
+            (
+                lambda d: d["metrics"][0].pop("value"),
+                "non-numeric 'value'",
+            ),
+            (
+                lambda d: d["metrics"][0].update(tolerance=-1),
+                "tolerance >= 0",
+            ),
+        ],
+    )
+    def test_malformed_fields(self, grid_run, mutation, message):
+        tmp_path, record = grid_run
+        _, path = roundtrip_fixture(tmp_path, record)
+        data = json.loads(path.read_text())
+        mutation(data)
+        path.write_text(json.dumps(data))
+        with pytest.raises(GoldenError, match=message):
+            load_golden(path)
+
+    def test_stale_spec_hash(self, grid_run):
+        """A hand-edited spec no longer reproduces the recorded hash."""
+        tmp_path, record = grid_run
+        _, path = roundtrip_fixture(tmp_path, record)
+        data = json.loads(path.read_text())
+        data["spec"]["factor"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(GoldenError, match="stale spec hash"):
+            load_golden(path)
+
+    def test_error_names_the_file(self, grid_run):
+        tmp_path, record = grid_run
+        _, path = roundtrip_fixture(tmp_path, record)
+        path.write_text("{nope")
+        with pytest.raises(GoldenError, match=path.name):
+            load_golden(path)
+
+
+class TestVerify:
+    def test_clean_verify_passes_from_run_cache(self, grid_run):
+        tmp_path, record = grid_run
+        golden, path = roundtrip_fixture(tmp_path, record)
+        report = verify_golden(load_golden(path), runs_dir=tmp_path / "runs")
+        assert report.passed
+        assert report.record.cache_hit  # same spec -> same run dir
+        assert all(c.status == "ok" for c in report.checks)
+        assert report.failures == []
+
+    def test_clean_verify_passes_on_fresh_rerun(self, grid_run):
+        tmp_path, record = grid_run
+        golden, path = roundtrip_fixture(tmp_path, record)
+        report = verify_golden(
+            load_golden(path), runs_dir=tmp_path / "fresh-runs"
+        )
+        assert report.passed
+        assert not report.record.cache_hit
+
+    def test_drift_beyond_tolerance_fails(self, grid_run):
+        tmp_path, record = grid_run
+        golden, path = roundtrip_fixture(tmp_path, record)
+        data = json.loads(path.read_text())
+        for m in data["metrics"]:
+            if m["row"] == "beta":
+                m["value"] = m["value"] + 5  # tolerance is 0
+        path.write_text(json.dumps(data, sort_keys=True))
+        report = verify_golden(load_golden(path), runs_dir=tmp_path / "runs")
+        assert not report.passed
+        assert [(c.row, c.status) for c in report.failures] == [
+            ("beta", "drift")
+        ]
+
+    def test_drift_within_tolerance_passes(self, grid_run):
+        tmp_path, record = grid_run
+        golden = capture_golden(record, overrides={"value": 10.0})
+        path = write_golden(golden, goldens_dir=tmp_path / "goldens")
+        data = json.loads(path.read_text())
+        data["metrics"][0]["value"] += 5  # within the 10.0 limit
+        path.write_text(json.dumps(data, sort_keys=True))
+        report = verify_golden(load_golden(path), runs_dir=tmp_path / "runs")
+        assert report.passed
+
+    def test_vanished_metric_fails_as_missing(self, grid_run):
+        tmp_path, record = grid_run
+        golden, path = roundtrip_fixture(tmp_path, record)
+        data = json.loads(path.read_text())
+        data["metrics"].append(
+            {"row": "alpha", "metric": "gone", "value": 1.0, "tolerance": 9.0}
+        )
+        path.write_text(json.dumps(data, sort_keys=True))
+        report = verify_golden(load_golden(path), runs_dir=tmp_path / "runs")
+        assert not report.passed
+        assert report.failures[0].status == "missing"
+        assert report.failures[0].new is None
+
+    def test_unknown_experiment_is_golden_error(self, tmp_path):
+        golden = Golden(
+            experiment="never-registered",
+            spec={"scale": "smoke", "seed": None, "epochs": None},
+            spec_hash="0" * 64,
+            metrics=[GoldenMetric("x", "v", 1.0, 0.0)],
+        )
+        with pytest.raises(GoldenError, match="never-registered"):
+            verify_golden(golden, runs_dir=tmp_path)
+
+    def test_stale_spec_field_is_golden_error(self, grid_run):
+        """A spec naming a field the current spec type lacks is stale."""
+        tmp_path, record = grid_run
+        golden, path = roundtrip_fixture(tmp_path, record)
+        loaded = load_golden(path)
+        loaded.spec = dict(loaded.spec, vanished_knob=1)
+        with pytest.raises(GoldenError, match="re-baseline"):
+            verify_golden(loaded, runs_dir=tmp_path / "runs")
+
+    def test_report_json_and_renderers(self, grid_run):
+        tmp_path, record = grid_run
+        golden, path = roundtrip_fixture(tmp_path, record)
+        report = verify_golden(load_golden(path), runs_dir=tmp_path / "runs")
+        payload = report.to_json()
+        assert payload["passed"] is True
+        assert json.loads(json.dumps(payload)) == payload
+        text = render_report_text(report)
+        assert "PASS" in text and "alpha" in text
+        md = render_report_markdown(report)
+        assert "| row | metric | golden | new | delta | limit | status |" in md

@@ -1,0 +1,80 @@
+"""Byte-determinism of the four promoted example workloads.
+
+Golden fixtures are only trustworthy if the experiments behind them are
+reproducible, so each new workload gets the same contract the table
+ports have: the same spec run serially twice, and with ``--workers 2``,
+must write byte-identical ``result.json``.  Specs are narrowed to one
+epoch / tiny designs so every run finishes in seconds while still
+exercising the full pipeline (backbone training, fine-tuning, fault
+simulation, SAT checks) inside worker processes.
+"""
+
+import pytest
+
+from repro.runtime import execute_parallel, get_experiment, spec_from_overrides
+
+#: experiment -> CLI-style overrides keeping each run seconds-fast
+CASES = {
+    "testability_analysis": {
+        "scale": "smoke",
+        "epochs": "1",
+        "designs": "mux_tree:3,ripple_adder:8",
+    },
+    "downstream_fault_prediction": {
+        "scale": "smoke",
+        "epochs": "1",
+        "designs": "alu:4,ripple_adder:8",
+    },
+    "synth_robustness": {
+        "scale": "smoke",
+        "epochs": "1",
+        "designs": "mux_tree:3,comparator:8",
+    },
+    "sat_oracle": {
+        "scale": "smoke",
+        "designs": "parity:8,mux_tree:2",
+    },
+}
+
+
+def _spec(name):
+    exp = get_experiment(name)
+    return spec_from_overrides(exp.spec_type, CASES[name])
+
+
+def _result_bytes(record):
+    return (record.out_dir / "result.json").read_bytes()
+
+
+@pytest.fixture(scope="module", params=sorted(CASES))
+def serial_run(request, tmp_path_factory):
+    """The --workers 1 reference run for one workload."""
+    name = request.param
+    runs = tmp_path_factory.mktemp(f"{name}-serial")
+    record = execute_parallel(name, _spec(name), runs_dir=runs, workers=1)
+    return name, record
+
+
+class TestWorkloadDeterminism:
+    def test_fresh_serial_rerun_is_byte_identical(self, serial_run, tmp_path):
+        name, reference = serial_run
+        again = execute_parallel(
+            name, _spec(name), runs_dir=tmp_path, workers=1
+        )
+        assert not again.cache_hit
+        assert _result_bytes(again) == _result_bytes(reference)
+
+    def test_workers_2_matches_workers_1(self, serial_run, tmp_path):
+        # worker processes each retrain their memoised backbone from the
+        # spec seed; any hidden nondeterminism shows up as a byte diff
+        name, reference = serial_run
+        parallel = execute_parallel(
+            name, _spec(name), runs_dir=tmp_path, workers=2
+        )
+        assert not parallel.cache_hit
+        assert _result_bytes(parallel) == _result_bytes(reference)
+
+    def test_rows_cover_every_design(self, serial_run):
+        name, reference = serial_run
+        designs = CASES[name]["designs"].split(",")
+        assert [r["design"] for r in reference.result["rows"]] == designs

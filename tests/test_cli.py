@@ -236,6 +236,152 @@ class TestExperimentCompareCLI:
             main(["experiment", "compare", "table1/abc", "table1/def",
                   "--runs-dir", str(tmp_path)])
 
+    def test_compare_tolerances_annotate_but_do_not_gate(
+        self, capsys, tmp_path
+    ):
+        self._run(tmp_path, None)
+        self._run(tmp_path, 1)
+        capsys.readouterr()
+        limits = tmp_path / "limits.json"
+        limits.write_text('{"bogus_metric": 0.1}')
+        runs = sorted(str(p) for p in tmp_path.glob("table1/*"))
+        # violations are reported, but without --fail-on-drift exit is 0
+        assert main(["experiment", "compare", runs[0], runs[1],
+                     "--tolerances", str(limits)]) == 0
+        captured = capsys.readouterr()
+        assert "MISSING: tolerance 'bogus_metric'" in captured.out
+        assert "1 tolerance violation" in captured.err
+
+    def test_compare_fail_on_drift_gates_exit_code(self, capsys, tmp_path):
+        self._run(tmp_path, None)
+        self._run(tmp_path, 1)
+        capsys.readouterr()
+        limits = tmp_path / "limits.json"
+        limits.write_text('{"bogus_metric": 0.1}')
+        runs = sorted(str(p) for p in tmp_path.glob("table1/*"))
+        assert main(["experiment", "compare", runs[0], runs[1],
+                     "--tolerances", str(limits), "--fail-on-drift"]) == 1
+        capsys.readouterr()
+        # an all-within gate passes: huge limit on a real metric
+        limits.write_text('{"subcircuits": 1e9}')
+        assert main(["experiment", "compare", runs[0], runs[1],
+                     "--tolerances", str(limits), "--fail-on-drift"]) == 0
+        assert "status" in capsys.readouterr().out
+
+    def test_fail_on_drift_requires_tolerances(self, tmp_path):
+        with pytest.raises(SystemExit, match="requires --tolerances"):
+            main(["experiment", "compare", "a", "b", "--fail-on-drift"])
+
+    def test_bad_tolerances_file_is_clean_error(self, capsys, tmp_path):
+        self._run(tmp_path, None)
+        capsys.readouterr()
+        limits = tmp_path / "limits.json"
+        limits.write_text("{nope")
+        run = next(iter(tmp_path.glob("table1/*")))
+        with pytest.raises(SystemExit, match="unreadable"):
+            main(["experiment", "compare", str(run), str(run),
+                  "--tolerances", str(limits)])
+
+
+class TestGoldenCLI:
+    """The capture -> commit -> verify loop through the CLI."""
+
+    def _capture(self, tmp_path, *extra):
+        return main(["experiment", "capture", "table1", "--scale", "smoke",
+                     "--runs-dir", str(tmp_path / "runs"),
+                     "--goldens-dir", str(tmp_path / "goldens"),
+                     "--quiet", *extra])
+
+    def _verify(self, tmp_path, *extra):
+        return main(["experiment", "verify",
+                     "--runs-dir", str(tmp_path / "runs"),
+                     "--goldens-dir", str(tmp_path / "goldens"),
+                     "--quiet", *extra])
+
+    def _fixture_path(self, tmp_path):
+        return next(iter((tmp_path / "goldens").glob("table1/*.json")))
+
+    def test_capture_then_verify_roundtrip(self, capsys, tmp_path):
+        assert self._capture(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "captured" in out and "table1" in out
+        assert self._fixture_path(tmp_path).is_file()
+
+        assert self._verify(tmp_path) == 0
+        captured = capsys.readouterr()
+        assert "PASS" in captured.out
+        assert "verified 1 fixture: 1 passed, 0 failed" in captured.err
+
+    def test_verify_detects_drift(self, capsys, tmp_path):
+        import json
+
+        assert self._capture(tmp_path) == 0
+        capsys.readouterr()
+        path = self._fixture_path(tmp_path)
+        data = json.loads(path.read_text())
+        data["metrics"][0]["value"] += 7  # int metric: tolerance 0
+        data["metrics"][0]["tolerance"] = 0.5
+        path.write_text(json.dumps(data, sort_keys=True))
+        assert self._verify(tmp_path) == 1
+        captured = capsys.readouterr()
+        assert "DRIFT" in captured.out and "FAIL" in captured.out
+        assert "1 failed" in captured.err
+
+    def test_capture_tolerance_override_loosens_gate(self, capsys, tmp_path):
+        import json
+
+        assert self._capture(tmp_path, "--tolerance", "subcircuits=100") == 0
+        capsys.readouterr()
+        path = self._fixture_path(tmp_path)
+        data = json.loads(path.read_text())
+        for metric in data["metrics"]:
+            if metric["metric"] == "subcircuits":
+                metric["value"] += 7  # within the 100 override
+        path.write_text(json.dumps(data, sort_keys=True))
+        assert self._verify(tmp_path) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_verify_by_experiment_name_and_file(self, capsys, tmp_path):
+        assert self._capture(tmp_path) == 0
+        capsys.readouterr()
+        assert self._verify(tmp_path, "table1") == 0
+        capsys.readouterr()
+        assert self._verify(tmp_path, str(self._fixture_path(tmp_path))) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_verify_markdown_and_json_formats(self, capsys, tmp_path):
+        import json
+
+        assert self._capture(tmp_path) == 0
+        capsys.readouterr()
+        assert self._verify(tmp_path, "--format", "markdown") == 0
+        assert "| row | metric | golden |" in capsys.readouterr().out
+        assert self._verify(tmp_path, "--format", "json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+
+    def test_verify_corrupt_fixture_is_counted_failure(
+        self, capsys, tmp_path
+    ):
+        assert self._capture(tmp_path) == 0
+        capsys.readouterr()
+        self._fixture_path(tmp_path).write_text("{nope")
+        assert self._verify(tmp_path) == 1
+        err = capsys.readouterr().err
+        assert "ERROR:" in err and "corrupt" in err
+
+    def test_verify_without_fixtures_fails(self, capsys, tmp_path):
+        assert self._verify(tmp_path) == 1
+        assert "no golden fixtures" in capsys.readouterr().err
+
+    def test_verify_unknown_ref_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no golden fixture"):
+            self._verify(tmp_path, "nonesuch")
+
+    def test_bad_tolerance_flag_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="metric=limit"):
+            self._capture(tmp_path, "--tolerance", "oops")
+
 
 class TestBenchCLI:
     def _run(self, tmp_path, name, extra=()):

@@ -1,0 +1,145 @@
+"""Ground-truth cross-checks between the label oracles.
+
+The new registered workloads lean on three oracles — SCOAP, the
+stuck-at fault simulator and the signal-probability estimators.  These
+tests tie them to each other *exhaustively* on tiny circuits, so every
+pattern is enumerated and the invariants are exact, not statistical:
+
+* a node SCOAP calls unobservable (``CO == INFINITY``) has zero
+  detection probability for both of its faults;
+* a fault's exhaustive detection probability is bounded by the node's
+  exact excitation probability (sa0 needs the node at 1, sa1 at 0);
+* the per-node ``hard_to_test_score`` premise: the harder fault of each
+  node is bounded by ``min(p, 1-p)``;
+* SCOAP's testability ranking anti-correlates with measured
+  detectability;
+* Monte-Carlo labels converge to the exhaustive enumeration the
+  ``exact_below_pis`` path uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import generators as gen
+from repro.experiments.common import spearman
+from repro.sim.bitparallel import (
+    exhaustive_patterns,
+    popcount,
+    simulate_gate_graph,
+)
+from repro.sim.probability import (
+    exact_probabilities,
+    gate_graph_probabilities,
+    monte_carlo_probabilities,
+)
+from repro.synth import netlist_to_aig, synthesize
+from repro.testability.faults import StuckAtFault, simulate_fault
+from repro.testability.scoap import INFINITY, compute_scoap
+
+#: tiny circuits spanning both structural regimes (arithmetic chains,
+#: control fanout); all exhaustively enumerable
+DESIGNS = {
+    "adder": lambda: gen.ripple_adder(3),
+    "mux_tree": lambda: gen.mux_tree(2),
+    "arbiter": lambda: gen.priority_arbiter(5),
+    "comparator": lambda: gen.comparator(3),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(DESIGNS))
+def oracle_data(request):
+    """One design's gate graph + exhaustive detection and probability."""
+    graph = synthesize(DESIGNS[request.param]()).to_gate_graph()
+    assert graph.num_pis <= 12
+
+    pats = exhaustive_patterns(graph.num_pis)
+    good = simulate_gate_graph(graph, pats)
+    total = 1 << graph.num_pis
+    mask = np.uint64((1 << total) - 1) if total < 64 else None
+
+    def detection(fault):
+        flags = simulate_fault(graph, fault, pats, good_values=good)
+        if mask is not None:
+            flags = flags & mask
+        return int(popcount(flags.reshape(1, -1))[0]) / total
+
+    det_sa0 = np.array(
+        [detection(StuckAtFault(v, 0)) for v in range(graph.num_nodes)]
+    )
+    det_sa1 = np.array(
+        [detection(StuckAtFault(v, 1)) for v in range(graph.num_nodes)]
+    )
+    exact = gate_graph_probabilities(graph, exact_below_pis=16)
+    return graph, det_sa0, det_sa1, exact
+
+
+class TestScoapVsExhaustiveFaultSim:
+    def test_unobservable_nodes_are_undetectable(self, oracle_data):
+        graph, det_sa0, det_sa1, _ = oracle_data
+        scoap = compute_scoap(graph)
+        unobservable = scoap.co >= INFINITY
+        assert np.all(det_sa0[unobservable] == 0.0)
+        assert np.all(det_sa1[unobservable] == 0.0)
+
+    def test_testability_anti_correlates_with_detectability(
+        self, oracle_data
+    ):
+        # SCOAP is a heuristic, so no exact bound — but on these tiny
+        # circuits a *positive* rank correlation between "hard to test"
+        # and "easily detected" would mean the oracle is broken
+        graph, det_sa0, det_sa1, _ = oracle_data
+        scoap = compute_scoap(graph)
+        observable = scoap.co < INFINITY
+        hardness = scoap.testability().astype(float)[observable]
+        detect = np.minimum(det_sa0, det_sa1)[observable]
+        assert spearman(hardness, detect) < 0.0
+
+
+class TestFaultSimVsExactProbability:
+    def test_sa0_detection_bounded_by_excitation(self, oracle_data):
+        # detecting stuck-at-0 requires driving the node to 1 first, so
+        # the detection probability can never exceed P(node = 1)
+        _, det_sa0, _, exact = oracle_data
+        assert np.all(det_sa0 <= exact + 1e-12)
+
+    def test_sa1_detection_bounded_by_excitation(self, oracle_data):
+        _, _, det_sa1, exact = oracle_data
+        assert np.all(det_sa1 <= (1.0 - exact) + 1e-12)
+
+    def test_hard_to_test_premise(self, oracle_data):
+        # the testability_analysis experiment ranks nodes by
+        # 0.5 - min(p, 1-p); the exhaustive ground truth behind it: the
+        # harder fault of every node is bounded by min(p, 1-p)
+        _, det_sa0, det_sa1, exact = oracle_data
+        worst = np.minimum(det_sa0, det_sa1)
+        excitable = np.minimum(exact, 1.0 - exact)
+        assert np.all(worst <= excitable + 1e-12)
+
+    def test_output_faults_detected_exactly_at_excitation(self, oracle_data):
+        # at a primary output there is nothing to propagate through:
+        # detection probability equals excitation probability exactly
+        graph, det_sa0, det_sa1, exact = oracle_data
+        for o in graph.outputs:
+            v = int(o)
+            assert det_sa0[v] == pytest.approx(exact[v])
+            assert det_sa1[v] == pytest.approx(1.0 - exact[v])
+
+
+class TestMonteCarloVsExhaustive:
+    @pytest.mark.parametrize("name", sorted(DESIGNS))
+    def test_sampled_labels_converge_to_exact(self, name):
+        aig = netlist_to_aig(DESIGNS[name]())
+        exact = exact_probabilities(aig)
+        sampled = monte_carlo_probabilities(aig, num_patterns=16384, seed=7)
+        assert float(np.abs(sampled - exact).max()) < 0.03
+
+    def test_exact_below_pis_path_matches_enumeration(self):
+        graph = synthesize(gen.ripple_adder(3)).to_gate_graph()
+        exact = gate_graph_probabilities(graph, exact_below_pis=16)
+        pats = exhaustive_patterns(graph.num_pis)
+        values = simulate_gate_graph(graph, pats)
+        total = 1 << graph.num_pis
+        if total < 64:
+            values = values & np.uint64((1 << total) - 1)
+        direct = popcount(values) / float(total)
+        assert np.array_equal(exact, direct)
