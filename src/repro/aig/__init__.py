@@ -15,6 +15,7 @@ from .graph import (
     lit_negate,
     lit_var,
 )
+from .errors import CircuitParseError
 from .netlist import Gate, GateType, Netlist, NetlistError
 from . import aiger, bench, verilog
 
@@ -32,6 +33,7 @@ __all__ = [
     "lit_make",
     "lit_negate",
     "lit_var",
+    "CircuitParseError",
     "Gate",
     "GateType",
     "Netlist",

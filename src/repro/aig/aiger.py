@@ -10,17 +10,25 @@ Header: ``aag M I L O A`` with ``M`` = max variable index, ``I`` inputs,
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
+from .errors import CircuitParseError
 from .graph import AIG
 
 __all__ = ["loads", "dumps", "load", "dump", "AigerError"]
 
 
-class AigerError(ValueError):
+class AigerError(CircuitParseError):
     """Raised for malformed AIGER input."""
+
+
+def _ints(line: str, lineno: int) -> List[int]:
+    try:
+        return [int(x) for x in line.split()]
+    except ValueError:
+        raise AigerError(f"expected integers, got {line!r}", line=lineno)
 
 
 def loads(text: str, name: str = "aiger") -> AIG:
@@ -28,46 +36,77 @@ def loads(text: str, name: str = "aiger") -> AIG:
 
     Input variables must be numbered ``1..I`` and AND variables
     ``I+1..I+A`` in topological order (the normal form ABC emits).
+    Malformed input raises :class:`AigerError` with the offending
+    1-based line number.
     """
-    lines = [ln.strip() for ln in text.splitlines()]
-    for k, ln in enumerate(lines):
+    lines: List[Tuple[int, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        ln = raw.strip()
         if ln == "c":  # comment section runs to end of file
-            lines = lines[:k]
             break
-    lines = [ln for ln in lines if ln]
+        if ln:
+            lines.append((lineno, ln))
     if not lines:
         raise AigerError("empty AIGER input")
-    header = lines[0].split()
+    header_line, header_text = lines[0]
+    header = header_text.split()
     if len(header) != 6 or header[0] != "aag":
-        raise AigerError(f"bad header {lines[0]!r} (binary 'aig' not supported)")
-    m, i, l, o, a = (int(x) for x in header[1:])
+        raise AigerError(
+            f"bad header {header_text!r} (binary 'aig' not supported)",
+            line=header_line,
+        )
+    counts = _ints(" ".join(header[1:]), header_line)
+    m, i, l, o, a = counts
+    if min(counts) < 0:
+        raise AigerError("negative count in header", line=header_line)
     if l != 0:
-        raise AigerError("sequential AIGER (latches) not supported")
+        raise AigerError(
+            "sequential AIGER (latches) not supported", line=header_line
+        )
     if m < i + a:
-        raise AigerError(f"header M={m} smaller than I+A={i + a}")
+        raise AigerError(f"header M={m} smaller than I+A={i + a}", line=header_line)
     body = lines[1:]
     if len(body) < i + o + a:
-        raise AigerError("truncated AIGER body")
+        last = body[-1][0] if body else header_line
+        raise AigerError(
+            f"truncated AIGER body: {len(body)} lines for I+O+A={i + o + a}",
+            line=last,
+        )
 
-    input_lits = [int(body[k]) for k in range(i)]
-    for k, lit in enumerate(input_lits):
-        if lit != 2 * (k + 1):
+    for k in range(i):
+        lineno, ln = body[k]
+        lits = _ints(ln, lineno)
+        if len(lits) != 1 or lits[0] != 2 * (k + 1):
             raise AigerError(
-                f"input {k} has literal {lit}; expected canonical {2 * (k + 1)}"
+                f"input {k} has literal {ln!r}; expected canonical {2 * (k + 1)}",
+                line=lineno,
             )
-    outputs = [int(body[i + k]) for k in range(o)]
+    outputs = []
+    for k in range(o):
+        lineno, ln = body[i + k]
+        lits = _ints(ln, lineno)
+        if len(lits) != 1:
+            raise AigerError(f"bad output line {ln!r}", line=lineno)
+        outputs.append(lits[0])
     ands: List[List[int]] = []
     for k in range(a):
-        parts = body[i + o + k].split()
-        if len(parts) != 3:
-            raise AigerError(f"bad AND line {body[i + o + k]!r}")
-        lhs, rhs0, rhs1 = (int(x) for x in parts)
+        lineno, ln = body[i + o + k]
+        lits = _ints(ln, lineno)
+        if len(lits) != 3:
+            raise AigerError(f"bad AND line {ln!r}", line=lineno)
+        lhs, rhs0, rhs1 = lits
         if lhs != 2 * (i + 1 + k):
             raise AigerError(
-                f"AND {k} has literal {lhs}; expected canonical {2 * (i + 1 + k)}"
+                f"AND {k} has literal {lhs}; expected canonical {2 * (i + 1 + k)}",
+                line=lineno,
             )
         ands.append([rhs0, rhs1])
-    return AIG(i, np.asarray(ands, dtype=np.int64).reshape(-1, 2), outputs, name)
+    try:
+        return AIG(
+            i, np.asarray(ands, dtype=np.int64).reshape(-1, 2), outputs, name
+        )
+    except ValueError as exc:
+        raise AigerError(str(exc)) from exc
 
 
 def dumps(aig: AIG) -> str:

@@ -63,7 +63,12 @@ _TYPE_TO_OP = {
 
 
 def loads(text: str, name: str = "bench") -> Netlist:
-    """Parse ``.bench`` source text into a :class:`Netlist`."""
+    """Parse ``.bench`` source text into a :class:`Netlist`.
+
+    Malformed input raises :class:`NetlistError` carrying the 1-based
+    line number of the offending statement (netlist-level faults found
+    only at final validation — undriven nets, cycles — have none).
+    """
     netlist = Netlist(name)
     outputs: List[str] = []
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -72,19 +77,24 @@ def loads(text: str, name: str = "bench") -> Netlist:
             continue
         m = _LINE_RE.match(line)
         if not m:
-            raise NetlistError(f"line {lineno}: cannot parse {raw.strip()!r}")
-        if m.group("io"):
-            if m.group("io") == "INPUT":
-                netlist.add_input(m.group("io_name"))
-            else:
-                outputs.append(m.group("io_name"))
-            continue
-        op = m.group("op").upper()
-        gate_type = _OP_TO_TYPE.get(op)
-        if gate_type is None:
-            raise NetlistError(f"line {lineno}: unknown operator {op!r}")
-        args = [a.strip() for a in m.group("args").split(",") if a.strip()]
-        netlist.add_gate(m.group("lhs"), gate_type, args)
+            raise NetlistError(f"cannot parse {raw.strip()!r}", line=lineno)
+        try:
+            if m.group("io"):
+                if m.group("io") == "INPUT":
+                    netlist.add_input(m.group("io_name"))
+                else:
+                    outputs.append(m.group("io_name"))
+                continue
+            op = m.group("op").upper()
+            gate_type = _OP_TO_TYPE.get(op)
+            if gate_type is None:
+                raise NetlistError(f"unknown operator {op!r}")
+            args = [a.strip() for a in m.group("args").split(",") if a.strip()]
+            netlist.add_gate(m.group("lhs"), gate_type, args)
+        except NetlistError as exc:
+            if exc.line is not None:
+                raise
+            raise NetlistError(str(exc), line=lineno) from exc
     netlist.set_outputs(outputs)
     netlist.validate()
     return netlist

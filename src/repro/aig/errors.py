@@ -1,0 +1,26 @@
+"""Shared error type for the circuit text parsers.
+
+Every reader in :mod:`repro.aig` (AIGER, BENCH, structural Verilog) raises
+a subclass of :class:`CircuitParseError` on malformed input, carrying the
+1-based ``line`` number of the offending text when it is known.  Untrusted
+input — ``repro serve`` accepts circuits over HTTP — can therefore be
+rejected with a structured "line N: reason" diagnostic instead of a bare
+``ValueError`` (or worse, an ``int()`` traceback) from deep inside a
+parser.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["CircuitParseError"]
+
+
+class CircuitParseError(ValueError):
+    """Malformed circuit text; ``line`` locates the fault when known."""
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line

@@ -14,6 +14,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .errors import CircuitParseError
+
 __all__ = ["GateType", "Gate", "Netlist", "NetlistError"]
 
 
@@ -57,7 +59,7 @@ class GateType:
         return cls._ARITY.get(gate_type)
 
 
-class NetlistError(ValueError):
+class NetlistError(CircuitParseError):
     """Raised for malformed netlists (unknown nets, bad arity, cycles)."""
 
 

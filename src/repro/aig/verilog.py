@@ -17,12 +17,13 @@ from __future__ import annotations
 import re
 from typing import List
 
-from .netlist import GateType, Netlist
+from .errors import CircuitParseError
+from .netlist import GateType, Netlist, NetlistError
 
 __all__ = ["loads", "dumps", "load", "dump", "VerilogError"]
 
 
-class VerilogError(ValueError):
+class VerilogError(CircuitParseError):
     """Raised for Verilog outside the supported structural subset."""
 
 
@@ -61,24 +62,40 @@ _UNSUPPORTED = re.compile(r"\b(always|reg|if|case|initial|posedge|negedge)\b")
 
 
 def _strip_comments(text: str) -> str:
+    # comments are blanked rather than deleted (line comments keep their
+    # newline; block comments collapse to their newlines) so that match
+    # offsets still map to source line numbers for error reporting
     text = re.sub(r"//[^\n]*", "", text)
-    return re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return re.sub(
+        r"/\*.*?\*/", lambda m: "\n" * m.group(0).count("\n"), text, flags=re.S
+    )
 
 
 def loads(text: str) -> Netlist:
-    """Parse structural Verilog source into a :class:`Netlist`."""
+    """Parse structural Verilog source into a :class:`Netlist`.
+
+    Input outside the structural subset raises :class:`VerilogError`
+    with the 1-based source line of the offending construct where it can
+    be located.
+    """
     text = _strip_comments(text)
-    if _UNSUPPORTED.search(text):
-        keyword = _UNSUPPORTED.search(text).group(0)
+
+    def lineno(offset: int) -> int:
+        return text.count("\n", 0, offset) + 1
+
+    bad = _UNSUPPORTED.search(text)
+    if bad:
         raise VerilogError(
-            f"behavioural construct {keyword!r} not supported; this reader "
-            "handles the structural gate-level subset only"
+            f"behavioural construct {bad.group(0)!r} not supported; this "
+            "reader handles the structural gate-level subset only",
+            line=lineno(bad.start()),
         )
     m = _MODULE_RE.search(text)
     if m is None:
         raise VerilogError("no module declaration found")
     netlist = Netlist(m.group("name"))
-    body = text[m.end() :]
+    base = m.end()
+    body = text[base:]
 
     inputs: List[str] = []
     outputs: List[str] = []
@@ -88,7 +105,8 @@ def loads(text: str) -> Netlist:
             if not re.fullmatch(r"[A-Za-z_][\w$]*", net):
                 raise VerilogError(
                     f"unsupported net declaration {net!r} (vectors must be "
-                    "bit-blasted)"
+                    "bit-blasted)",
+                    line=lineno(base + decl.start()),
                 )
         if decl.group("kind") == "input":
             inputs.extend(nets)
@@ -99,31 +117,42 @@ def loads(text: str) -> Netlist:
         netlist.add_input(name)
 
     for gate in _GATE_RE.finditer(body):
+        at = lineno(base + gate.start())
         prim = gate.group("prim")
         conns = [c.strip() for c in gate.group("conns").split(",")]
         if len(conns) < 2:
-            raise VerilogError(f"gate {prim} needs an output and inputs")
+            raise VerilogError(f"gate {prim} needs an output and inputs", line=at)
         out, ins = conns[0], conns[1:]
         gate_type = _PRIMITIVES[prim]
         if gate_type in (GateType.NOT, GateType.BUF) and len(ins) != 1:
-            raise VerilogError(f"{prim} takes exactly one input")
-        netlist.add_gate(out, gate_type, ins)
+            raise VerilogError(f"{prim} takes exactly one input", line=at)
+        try:
+            netlist.add_gate(out, gate_type, ins)
+        except NetlistError as exc:
+            raise VerilogError(str(exc), line=at) from exc
 
     for assign in _ASSIGN_RE.finditer(body):
+        at = lineno(base + assign.start())
         rhs = assign.group("rhs").strip()
         lhs = assign.group("lhs")
-        if rhs == "1'b0":
-            netlist.add_gate(lhs, GateType.CONST0)
-        elif rhs == "1'b1":
-            netlist.add_gate(lhs, GateType.CONST1)
-        elif re.fullmatch(r"[A-Za-z_][\w$]*", rhs):
-            netlist.add_gate(lhs, GateType.BUF, [rhs])
-        elif re.fullmatch(r"[~!]\s*[A-Za-z_][\w$]*", rhs):
-            netlist.add_gate(lhs, GateType.NOT, [rhs.lstrip("~!").strip()])
-        else:
-            raise VerilogError(
-                f"unsupported assign expression {rhs!r} (structural subset)"
-            )
+        try:
+            if rhs == "1'b0":
+                netlist.add_gate(lhs, GateType.CONST0)
+            elif rhs == "1'b1":
+                netlist.add_gate(lhs, GateType.CONST1)
+            elif re.fullmatch(r"[A-Za-z_][\w$]*", rhs):
+                netlist.add_gate(lhs, GateType.BUF, [rhs])
+            elif re.fullmatch(r"[~!]\s*[A-Za-z_][\w$]*", rhs):
+                netlist.add_gate(lhs, GateType.NOT, [rhs.lstrip("~!").strip()])
+            else:
+                raise VerilogError(
+                    f"unsupported assign expression {rhs!r} (structural subset)",
+                    line=at,
+                )
+        except VerilogError:
+            raise
+        except NetlistError as exc:
+            raise VerilogError(str(exc), line=at) from exc
 
     netlist.set_outputs(outputs)
     netlist.validate()

@@ -40,6 +40,10 @@ from .testability import run_fault_simulation
 
 __all__ = ["main", "build_parser"]
 
+#: default port of `repro serve` / `repro query` (kept out of the
+#: ephemeral range so a long-lived server doesn't collide with clients)
+DEFAULT_PORT = 8351
+
 Circuit = Union[Netlist, AIG]
 
 
@@ -589,6 +593,121 @@ def cmd_experiment_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _circuit_format(path: str) -> str:
+    """Map a circuit file suffix onto a serve protocol format name."""
+    if path.endswith(".bench"):
+        return "bench"
+    if path.endswith(".v"):
+        return "verilog"
+    if path.endswith(".aag"):
+        return "aiger"
+    raise SystemExit(f"unsupported circuit format: {path} (.bench/.v/.aag)")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .serve import (
+        CheckpointNotFound,
+        ServeServer,
+        describe,
+        resolve_checkpoint,
+        service_from_checkpoint,
+    )
+
+    ref = args.checkpoint or args.run
+    try:
+        path = resolve_checkpoint(ref, runs_dir=args.runs_dir)
+    except CheckpointNotFound as exc:
+        raise SystemExit(str(exc)) from exc
+    try:
+        service = service_from_checkpoint(
+            path,
+            cache_size=args.cache_size,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            batch_mode=args.batch_mode,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"cannot serve {path}: {exc}") from exc
+    server = ServeServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(f"loaded {path}")
+    print(describe(server), flush=True)
+
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: stop.set())
+    worker = threading.Thread(target=server.serve_forever, daemon=True)
+    worker.start()
+    try:
+        stop.wait()
+    finally:
+        print("shutting down", flush=True)
+        server.shutdown()
+        worker.join(timeout=10)
+        server.close()
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .serve import ServeClient, ServeClientError
+
+    client = ServeClient(args.url, timeout=args.timeout)
+    try:
+        if args.stats:
+            reply = client.stats()
+            if args.format == "json":
+                print(_json.dumps(reply.to_payload(), indent=2, sort_keys=True))
+            else:
+                print(
+                    f"{reply.model}: {reply.requests} requests "
+                    f"({reply.errors} errors) over {reply.uptime_s:.1f}s\n"
+                    f"cache: {reply.cache_hits} hits / {reply.cache_misses} "
+                    f"misses, {reply.cache_entries}/{reply.cache_capacity} "
+                    f"entries, {reply.cache_evictions} evictions\n"
+                    f"batcher[{reply.batch_mode}]: {reply.batches} cycles, "
+                    f"{reply.batched_requests} jobs, largest "
+                    f"{reply.max_batch_observed} "
+                    f"(max {reply.max_batch_size}, "
+                    f"wait {reply.max_wait_ms}ms)"
+                )
+            return 0
+        if not args.circuit:
+            raise SystemExit("give a circuit file, or --stats")
+        fmt = args.fmt or _circuit_format(args.circuit)
+        text = Path(args.circuit).read_text()
+        reply = client.query(text, fmt=fmt, num_iterations=args.iterations)
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(_json.dumps(reply.to_payload(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{args.circuit}: {reply.num_nodes} nodes ({reply.num_pis} PIs, "
+        f"{reply.num_ands} ANDs) hash {reply.structural_hash[:16]}"
+    )
+    print(
+        f"model {reply.model}  cache_hit={reply.cache_hit}  "
+        f"coalesced={reply.coalesced}  {reply.elapsed_ms:.1f}ms"
+    )
+    preds = reply.predictions
+    shown = preds if args.top <= 0 else preds[: args.top]
+    for i, p in enumerate(shown):
+        print(f"  node {i:>5}  p={p:.6f}")
+    if len(shown) < len(preds):
+        print(f"  ... {len(preds) - len(shown)} more (use --top 0 for all)")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -848,6 +967,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="how to print each verification report",
     )
     q.set_defaults(func=cmd_experiment_verify)
+
+    p = sub.add_parser(
+        "serve",
+        help="persistent inference server over a trained checkpoint",
+    )
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--checkpoint", default=None,
+        help="checkpoint file (save_model_checkpoint .npz) or run directory",
+    )
+    group.add_argument(
+        "--run", default=None,
+        help="experiment name; serves its newest run's checkpoint artifact",
+    )
+    p.add_argument(
+        "--runs-dir", default=None,
+        help="runs root for --run (default: REPRO_RUNS_DIR or ./runs)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p.add_argument("--cache-size", type=int, default=128,
+                   help="compiled circuits held in the strash-keyed LRU")
+    p.add_argument("--max-batch-size", type=int, default=16,
+                   help="requests coalesced into one micro-batch cycle")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="coalescing window after the first queued request")
+    p.add_argument(
+        "--batch-mode", default="exact", choices=["exact", "merged"],
+        help="exact: one pass per unique circuit (bitwise-reproducible); "
+             "merged: fuse distinct circuits into one pass (~1 ulp)",
+    )
+    p.add_argument("--verbose", action="store_true",
+                   help="log one line per request (http.server access log)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "query", help="query a running `repro serve` instance"
+    )
+    p.add_argument("circuit", nargs="?", default=None,
+                   help="circuit file (.bench/.v/.aag)")
+    p.add_argument(
+        "--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
+        help="server base URL",
+    )
+    p.add_argument(
+        "--fmt", default=None, choices=["aiger", "bench", "verilog"],
+        help="circuit format (default: from the file suffix)",
+    )
+    p.add_argument("--iterations", type=int, default=None,
+                   help="override the recurrent model's iteration count")
+    p.add_argument("--stats", action="store_true",
+                   help="print server statistics instead of querying")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("--top", type=int, default=10,
+                   help="predictions shown in text mode (0 = all)")
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.set_defaults(func=cmd_query)
 
     return parser
 

@@ -12,6 +12,8 @@
   SCOAP (downstream workload)
 * :mod:`.synth_robustness` — model stability across synthesised forms
 * :mod:`.sat_oracle` — SAT/exhaustive label-consistency cross-checks
+* :mod:`.train_backbone` — train the backbone and publish its
+  checkpoint as a servable run artifact (``repro serve --run``)
 
 Each module exposes ``run(scale)`` returning structured rows and
 ``format_table(rows)`` rendering the paper-style table, and registers
@@ -34,6 +36,7 @@ from . import (
     table3,
     table4,
     testability_analysis,
+    train_backbone,
 )
 from .common import SCALES, Scale, get_scale
 
@@ -49,6 +52,7 @@ __all__ = [
     "table3",
     "table4",
     "testability_analysis",
+    "train_backbone",
     "SCALES",
     "Scale",
     "get_scale",

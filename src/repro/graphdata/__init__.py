@@ -1,10 +1,18 @@
 """Circuit-to-graph data pipeline: features, batching, datasets."""
 
-from .batching import CompiledSchedule, LevelGroup, LevelSchedule, merge
+from .batching import (
+    CompiledSchedule,
+    LevelGroup,
+    LevelSchedule,
+    merge,
+    merge_schedules,
+)
 from .dataset import (
     CircuitDataset,
+    MergedPreparedBatch,
     PreparedBatch,
     ShardedCircuitDataset,
+    merge_prepared,
     prepare,
 )
 from .loader import DataLoader, as_loader, epoch_seed
@@ -16,6 +24,7 @@ from .features import (
     CircuitGraph,
     from_aig,
     from_netlist,
+    inference_graph,
 )
 
 __all__ = [
@@ -27,9 +36,12 @@ __all__ = [
     "LevelGroup",
     "LevelSchedule",
     "merge",
+    "merge_schedules",
     "CircuitDataset",
+    "MergedPreparedBatch",
     "PreparedBatch",
     "ShardedCircuitDataset",
+    "merge_prepared",
     "prepare",
     "read_shard",
     "write_shard",
@@ -38,4 +50,5 @@ __all__ = [
     "CircuitGraph",
     "from_aig",
     "from_netlist",
+    "inference_graph",
 ]

@@ -29,6 +29,7 @@ __all__ = [
     "NETLIST_TYPE_NAMES",
     "from_aig",
     "from_netlist",
+    "inference_graph",
 ]
 
 #: node vocabulary for AIG-form circuits (the paper's 3-d one-hot)
@@ -121,6 +122,35 @@ def from_aig(
         edges=graph.edges,
         levels=graph.levels(),
         labels=labels.astype(np.float32),
+        skip_edges=skip_edges,
+        skip_level_diff=skip_diff,
+        name=aig.name,
+    )
+
+
+def inference_graph(aig: AIG, with_skip_edges: bool = True) -> CircuitGraph:
+    """Featurise an AIG for prediction only: no label simulation.
+
+    Structure, levels and skip edges are computed exactly as in
+    :func:`from_aig`, but the (expensive, Monte-Carlo) probability labels
+    are skipped and zero-filled — a query circuit has no ground truth.
+    ``repro serve`` builds its cached entries through this.
+    """
+    graph = aig.to_gate_graph()
+    if with_skip_edges:
+        skips = find_reconvergences(graph, mode="nearest")
+    else:
+        skips = []
+    skip_edges = np.asarray(
+        [(e.source, e.target) for e in skips], dtype=np.int64
+    ).reshape(-1, 2)
+    skip_diff = np.asarray([e.level_diff for e in skips], dtype=np.int64)
+    return CircuitGraph(
+        node_type=graph.node_type.astype(np.int64),
+        type_names=AIG_TYPE_NAMES,
+        edges=graph.edges,
+        levels=graph.levels(),
+        labels=np.zeros(graph.num_nodes, dtype=np.float32),
         skip_edges=skip_edges,
         skip_level_diff=skip_diff,
         name=aig.name,

@@ -12,7 +12,13 @@ from .baselines import DAGConvGNN, GCN
 from .deepgate import DeepGate
 from .finetune import DownstreamHead, FineTuner
 from ..graphdata.positional import positional_encoding
-from .registry import MODEL_KINDS, ModelConfig, build_model, table2_configs
+from .registry import (
+    MODEL_KINDS,
+    ModelConfig,
+    build_model,
+    model_from_config,
+    table2_configs,
+)
 from .regressor import PerTypeRegressor
 
 __all__ = [
@@ -31,6 +37,7 @@ __all__ = [
     "MODEL_KINDS",
     "ModelConfig",
     "build_model",
+    "model_from_config",
     "table2_configs",
     "PerTypeRegressor",
 ]

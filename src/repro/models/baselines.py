@@ -57,6 +57,16 @@ class _LayeredModel(Module):
         self.combines = [GRUCell(dim, dim, rng) for _ in range(num_layers)]
         self.regressor = PerTypeRegressor(dim, num_types, rng)
 
+    def config(self) -> dict:
+        """JSON-able constructor arguments (checkpoint ``model_config``)."""
+        return {
+            "class": type(self).__name__,
+            "num_types": self.num_types,
+            "dim": self.dim,
+            "num_layers": self.num_layers,
+            "aggregator": self.aggregator_name,
+        }
+
     def _schedule(self, batch: PreparedBatch):  # pragma: no cover - abstract
         raise NotImplementedError
 

@@ -93,6 +93,20 @@ class DeepGate(Module):
         # as a buffer, not trained) keeps training deterministic
         self.h_init = Tensor(nn_init.normal((1, dim), rng, std=0.1))
 
+    def config(self) -> dict:
+        """JSON-able constructor arguments (checkpoint ``model_config``)."""
+        return {
+            "class": "DeepGate",
+            "num_types": self.num_types,
+            "dim": self.dim,
+            "num_iterations": self.num_iterations,
+            "aggregator": self.aggregator_name,
+            "use_skip": self.use_skip,
+            "use_reverse": self.use_reverse,
+            "input_mode": self.input_mode,
+            "pe_levels": self.pe_levels,
+        }
+
     # ------------------------------------------------------------------
     def initial_state(self, batch: PreparedBatch) -> Tensor:
         x = Tensor(batch.x)

@@ -14,12 +14,45 @@ from .deepgate import DeepGate
 __all__ = [
     "ModelConfig",
     "build_model",
+    "model_from_config",
     "table2_configs",
     "config_from_code",
     "MODEL_KINDS",
+    "MODEL_CLASSES",
 ]
 
 MODEL_KINDS = ("gcn", "dag_conv", "dag_rec", "deepgate")
+
+#: classes reconstructible from a checkpoint's ``model_config`` metadata
+MODEL_CLASSES = {
+    "DeepGate": DeepGate,
+    "GCN": GCN,
+    "DAGConvGNN": DAGConvGNN,
+}
+
+
+def model_from_config(config: dict, compiled: bool = True):
+    """Instantiate a model from its ``config()`` dict (checkpoint meta).
+
+    The inverse of the models' ``config()`` methods: ``config["class"]``
+    names the class and the remaining entries are constructor keyword
+    arguments.  Weights are expected to be loaded over the fresh
+    instance, so the RNG seed is irrelevant and left at its default.
+    """
+    if not isinstance(config, dict) or "class" not in config:
+        raise ValueError(f"model config must be a dict with 'class': {config!r}")
+    kwargs = dict(config)
+    name = kwargs.pop("class")
+    cls = MODEL_CLASSES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown model class {name!r}; expected one of "
+            f"{sorted(MODEL_CLASSES)}"
+        )
+    try:
+        return cls(**kwargs, compiled=compiled)
+    except TypeError as exc:
+        raise ValueError(f"bad model config for {name}: {exc}") from exc
 
 
 @dataclass(frozen=True)

@@ -1,13 +1,23 @@
 """Saving and loading model state as ``.npz`` archives.
 
-Two layers:
+Three layers:
 
 * :func:`save_module` / :func:`load_module` — just the parameters of one
   module, for publishing trained weights;
 * :func:`save_checkpoint` / :func:`load_checkpoint` — a full training
   checkpoint: arbitrary named arrays (model + optimizer slots) plus a
   JSON metadata blob (epoch counter, loss history, train config), written
-  atomically so a checkpoint on disk is always complete.
+  atomically so a checkpoint on disk is always complete;
+* :func:`save_model_checkpoint` / :func:`load_model_checkpoint` — a
+  checkpoint whose metadata carries the model's own constructor config
+  (``model.config()``), so a reader can rebuild the model without knowing
+  anything beyond the file path — the contract ``repro serve`` relies on.
+
+Every failure mode raises a named :class:`CheckpointError` (state-shape
+and key mismatches the more specific :class:`CheckpointStateError`) that
+says which file and which keys/shapes disagreed, instead of the bare
+``KeyError``/broadcast ``ValueError`` that used to surface far from the
+cause.
 """
 
 from __future__ import annotations
@@ -23,16 +33,66 @@ if TYPE_CHECKING:  # pragma: no cover
     from .modules import Module
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointStateError",
     "save_module",
     "load_module",
     "save_checkpoint",
     "load_checkpoint",
+    "save_model_checkpoint",
+    "load_model_checkpoint",
+    "validate_state_dict",
     "CHECKPOINT_FORMAT_VERSION",
+    "MODEL_ARRAY_PREFIX",
 ]
 
 CHECKPOINT_FORMAT_VERSION = 1
 
 _META_KEY = "__checkpoint_meta__"
+
+#: array-name prefix under which model state lives in full checkpoints
+MODEL_ARRAY_PREFIX = "model/"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is missing, malformed, or of the wrong format."""
+
+
+class CheckpointStateError(CheckpointError):
+    """Saved state does not fit the module it is being loaded into."""
+
+
+def validate_state_dict(
+    module: "Module", state: Dict[str, np.ndarray], source: str = "state"
+) -> None:
+    """Raise :class:`CheckpointStateError` unless ``state`` fits ``module``.
+
+    Compares against ``module.state_dict()``: missing keys, unexpected
+    keys and per-entry shape mismatches are all collected into one
+    message naming ``source``, so a wrong-architecture load fails at the
+    load site with the full diff instead of deep inside an assignment.
+    """
+    template = module.state_dict()
+    missing = sorted(set(template) - set(state))
+    unexpected = sorted(set(state) - set(template))
+    mismatched = [
+        f"{key} (checkpoint {state[key].shape} vs model "
+        f"{template[key].shape})"
+        for key in sorted(set(template) & set(state))
+        if tuple(state[key].shape) != tuple(template[key].shape)
+    ]
+    problems = []
+    if missing:
+        problems.append(f"missing keys: {', '.join(missing)}")
+    if unexpected:
+        problems.append(f"unexpected keys: {', '.join(unexpected)}")
+    if mismatched:
+        problems.append(f"shape mismatches: {'; '.join(mismatched)}")
+    if problems:
+        raise CheckpointStateError(
+            f"{source} does not match {type(module).__name__}: "
+            + "; ".join(problems)
+        )
 
 
 def save_module(module: "Module", path) -> None:
@@ -41,9 +101,15 @@ def save_module(module: "Module", path) -> None:
 
 
 def load_module(module: "Module", path) -> None:
-    """Restore parameters saved by :func:`save_module` into ``module``."""
+    """Restore parameters saved by :func:`save_module` into ``module``.
+
+    Raises :class:`CheckpointStateError` (naming the file and the
+    offending keys/shapes) if the archive does not match the module.
+    """
     with np.load(path) as archive:
-        module.load_state_dict({k: archive[k] for k in archive.files})
+        state = {k: archive[k] for k in archive.files}
+    validate_state_dict(module, state, source=str(path))
+    module.load_state_dict(state)
 
 
 def save_checkpoint(
@@ -77,16 +143,79 @@ def save_checkpoint(
 def load_checkpoint(
     path: Union[str, Path]
 ) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
-    """Read back ``(arrays, meta)`` written by :func:`save_checkpoint`."""
+    """Read back ``(arrays, meta)`` written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointError` when the file is not a checkpoint or
+    is of an unsupported format version.
+    """
     with np.load(path) as archive:
         if _META_KEY not in archive.files:
-            raise ValueError(f"{path} is not a checkpoint (no metadata)")
+            raise CheckpointError(f"{path} is not a checkpoint (no metadata)")
         payload = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
         version = payload.get("format_version")
         if version != CHECKPOINT_FORMAT_VERSION:
-            raise ValueError(
+            raise CheckpointError(
                 f"unsupported checkpoint format {version!r} in {path} "
                 f"(expected {CHECKPOINT_FORMAT_VERSION})"
             )
         arrays = {k: archive[k] for k in archive.files if k != _META_KEY}
     return arrays, dict(payload.get("meta", {}))
+
+
+def save_model_checkpoint(
+    module: "Module",
+    path: Union[str, Path],
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write a self-describing checkpoint for ``module``.
+
+    The module's :meth:`config` (its JSON-able constructor arguments) is
+    stored as ``meta["model_config"]`` and the state dict under the
+    ``model/`` array prefix — the same layout the Trainer's checkpoints
+    use — so :func:`load_model_checkpoint` can rebuild the model from the
+    file alone.  Extra ``meta`` entries ride along untouched.
+    """
+    config_fn = getattr(module, "config", None)
+    if config_fn is None:
+        raise CheckpointError(
+            f"{type(module).__name__} has no config() method; cannot write "
+            "a self-describing model checkpoint"
+        )
+    merged = dict(meta or {})
+    merged["model_config"] = config_fn()
+    arrays = {
+        MODEL_ARRAY_PREFIX + key: value
+        for key, value in module.state_dict().items()
+    }
+    save_checkpoint(path, arrays, merged)
+
+
+def load_model_checkpoint(path: Union[str, Path]):
+    """Rebuild ``(module, meta)`` from a self-describing checkpoint.
+
+    Accepts both :func:`save_model_checkpoint` files and full Trainer
+    checkpoints (whose model state also lives under ``model/`` and whose
+    meta records ``model_config``).  Raises :class:`CheckpointError` when
+    the metadata cannot name a model, :class:`CheckpointStateError` when
+    the stored state does not fit the reconstructed one.
+    """
+    arrays, meta = load_checkpoint(path)
+    config = meta.get("model_config")
+    if not isinstance(config, dict):
+        raise CheckpointError(
+            f"{path} has no model_config metadata; re-save it with "
+            "save_model_checkpoint (or a Trainer from this version)"
+        )
+    from ..models.registry import model_from_config  # lazy: avoid cycle
+
+    module = model_from_config(config)
+    state = {
+        key[len(MODEL_ARRAY_PREFIX):]: value
+        for key, value in arrays.items()
+        if key.startswith(MODEL_ARRAY_PREFIX)
+    }
+    if not state:
+        raise CheckpointError(f"{path} holds no model/* arrays")
+    validate_state_dict(module, state, source=str(path))
+    module.load_state_dict(state)
+    return module, meta

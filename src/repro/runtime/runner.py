@@ -226,6 +226,15 @@ def write_run_artifacts(
 
     Shared by the serial runner and the parallel executor so both
     produce byte-identical run directories for the same result.
+
+    A result object may publish additional first-class artifacts (e.g. a
+    trained checkpoint) by carrying two optional attributes:
+    ``extra_artifacts``, a ``{filename: writer(path)}`` dict whose files
+    are written before the manifest and listed in its ``files`` map (so
+    a missing one invalidates the cache like any artifact), and
+    ``manifest_extra``, JSON-able entries merged into the manifest (e.g.
+    ``checkpoint`` + ``model_config``, which ``repro serve --run``
+    resolves).
     """
     out_dir.mkdir(parents=True, exist_ok=True)
     # a stale manifest must not certify a half-rewritten run directory if
@@ -239,6 +248,13 @@ def write_run_artifacts(
         out_dir / _ARTIFACTS["report_md"],
         f"# {exp.title}\n\n{result_obj.to_markdown()}\n",
     )
+    files: Dict[str, str] = dict(_ARTIFACTS)
+    extra_artifacts = getattr(result_obj, "extra_artifacts", None) or {}
+    for filename in sorted(extra_artifacts):
+        if filename in files.values() or filename == MANIFEST_NAME:
+            raise ValueError(f"extra artifact {filename!r} clashes with a core one")
+        extra_artifacts[filename](out_dir / filename)
+        files[filename] = filename
     manifest: Dict[str, object] = {
         "run_format_version": RUN_FORMAT_VERSION,
         "experiment": exp.name,
@@ -247,8 +263,11 @@ def write_run_artifacts(
         "spec_hash": digest,
         "status": "complete",
         "elapsed": elapsed,
-        "files": dict(_ARTIFACTS),
+        "files": files,
     }
+    result_manifest_extra = getattr(result_obj, "manifest_extra", None)
+    if result_manifest_extra:
+        manifest.update(result_manifest_extra)
     if manifest_extra:
         manifest.update(manifest_extra)
     # manifest last: its presence certifies a complete run

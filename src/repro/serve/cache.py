@@ -1,0 +1,104 @@
+"""Thread-safe LRU cache for compiled circuits, keyed by structural hash.
+
+The server's amortisation lever: ``PreparedBatch`` memoises its level
+schedules and compiled fast-path plans internally, so holding one
+prepared batch per *structure* means the first query for a circuit pays
+parse + featurise + schedule compilation and every structurally identical
+resubmission — whatever its node names — reuses all of it.
+Hit/miss/eviction counters feed the ``/stats`` endpoint, which is
+how the cache's behaviour is observed from outside.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Optional, Tuple, TypeVar
+
+__all__ = ["CacheStats", "CompilationCache"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot (consistent: taken under the cache lock)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    capacity: int
+
+
+class CompilationCache(Generic[T]):
+    """Bounded LRU mapping structural hash → compiled circuit entry.
+
+    ``get_or_build`` runs the builder under the lock, so concurrent
+    requests for the same new circuit compile it exactly once (the
+    second request blocks briefly and then hits).  Compilation is
+    milliseconds against a model pass, so the simplicity beats a
+    per-key future dance.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, T]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get_or_build(
+        self, key: str, builder: Callable[[], T]
+    ) -> Tuple[T, bool]:
+        """Return ``(entry, cache_hit)``, building and inserting on miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry, True
+            self._misses += 1
+            entry = builder()
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return entry, False
+
+    def peek(self, key: str) -> Optional[T]:
+        """The entry for ``key`` without touching LRU order or counters."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    def counters(self) -> Dict[str, int]:
+        s = self.stats()
+        return {
+            "cache_hits": s.hits,
+            "cache_misses": s.misses,
+            "cache_evictions": s.evictions,
+            "cache_entries": s.entries,
+            "cache_capacity": s.capacity,
+        }

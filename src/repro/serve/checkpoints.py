@@ -1,0 +1,75 @@
+"""Resolve a servable checkpoint from a path, run directory, or run name.
+
+Trained checkpoints are first-class run artifacts: an experiment that
+publishes one lists ``checkpoint`` in its run manifest (see
+``write_run_artifacts``), so ``repro serve --run <experiment>`` can find
+the newest trained model under the runs root without a hand-given path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..runtime.runner import MANIFEST_NAME, default_runs_dir, list_runs
+
+__all__ = ["CheckpointNotFound", "resolve_checkpoint"]
+
+
+class CheckpointNotFound(FileNotFoundError):
+    """No checkpoint could be resolved from the given reference."""
+
+
+def _from_run_dir(out_dir: Path) -> Optional[Path]:
+    import json
+
+    try:
+        manifest = json.loads((out_dir / MANIFEST_NAME).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(manifest, dict):
+        return None
+    filename = manifest.get("checkpoint")
+    if not isinstance(filename, str):
+        return None
+    path = out_dir / filename
+    return path if path.is_file() else None
+
+
+def resolve_checkpoint(
+    ref: Union[str, Path],
+    runs_dir: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Turn ``ref`` into a checkpoint file path.
+
+    ``ref`` may be: a checkpoint file, a run directory whose manifest
+    records a ``checkpoint`` artifact, or an experiment name — in which
+    case the newest complete run of that experiment (by manifest mtime)
+    under ``runs_dir`` that published a checkpoint wins.
+    """
+    p = Path(ref)
+    if p.is_file():
+        return p
+    if p.is_dir():
+        found = _from_run_dir(p)
+        if found is not None:
+            return found
+        raise CheckpointNotFound(
+            f"{p} has no manifest with a 'checkpoint' artifact"
+        )
+    root = Path(runs_dir) if runs_dir is not None else default_runs_dir()
+    candidates = []
+    for manifest in list_runs(root):
+        if manifest.get("experiment") != str(ref):
+            continue
+        out_dir = Path(str(manifest["out_dir"]))
+        found = _from_run_dir(out_dir)
+        if found is not None:
+            candidates.append(found)
+    if not candidates:
+        raise CheckpointNotFound(
+            f"no checkpoint for {str(ref)!r}: not a file, not a run "
+            f"directory, and no complete run under {root} publishes one "
+            "(train one with: repro experiment run train_backbone)"
+        )
+    return max(candidates, key=lambda c: (c.parent / MANIFEST_NAME).stat().st_mtime)

@@ -1,0 +1,112 @@
+"""Tiny stdlib client for a running ``repro serve`` instance.
+
+``urllib.request`` only — the same no-new-deps rule as the server.  HTTP
+error bodies are parsed back into :class:`~repro.serve.protocol.ErrorReply`
+and surfaced as :class:`ServeClientError` carrying the structured kind,
+detail, and (for parse errors) line number.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from .protocol import (
+    ErrorReply,
+    HealthReply,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    StatsReply,
+    parse_message,
+)
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """A structured error answer (or transport failure) from the server."""
+
+    def __init__(
+        self,
+        detail: str,
+        kind: str = "transport_error",
+        status: Optional[int] = None,
+        line: Optional[int] = None,
+    ):
+        prefix = f"[{kind}" + (f"/{status}" if status is not None else "") + "] "
+        super().__init__(prefix + detail)
+        self.kind = kind
+        self.status = status
+        self.detail = detail
+        self.line = line
+
+
+class ServeClient:
+    """Blocking HTTP client bound to one server base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, path: str, body: Optional[bytes] = None):
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            headers={"Content-Type": "application/json"} if body else {},
+            method="POST" if body is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                text = resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                reply = parse_message(raw)
+            except (ProtocolError, json.JSONDecodeError):
+                raise ServeClientError(
+                    raw.strip() or str(exc), status=exc.code
+                ) from exc
+            if isinstance(reply, ErrorReply):
+                raise ServeClientError(
+                    reply.detail,
+                    kind=reply.error,
+                    status=exc.code,
+                    line=reply.line,
+                ) from exc
+            raise ServeClientError(raw.strip(), status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServeClientError(str(exc.reason)) from exc
+        return parse_message(text)
+
+    def query(
+        self,
+        circuit: str,
+        fmt: str = "aiger",
+        num_iterations: Optional[int] = None,
+    ) -> QueryResponse:
+        request = QueryRequest(
+            circuit=circuit, fmt=fmt, num_iterations=num_iterations
+        )
+        reply = self._request("/query", request.to_json().encode("utf-8"))
+        if not isinstance(reply, QueryResponse):
+            raise ServeClientError(
+                f"expected {QueryResponse.TYPE_NAME}, got {reply.TYPE_NAME}",
+                kind="protocol_error",
+            )
+        return reply
+
+    def stats(self) -> StatsReply:
+        reply = self._request("/stats")
+        if not isinstance(reply, StatsReply):
+            raise ServeClientError(
+                f"expected {StatsReply.TYPE_NAME}, got {reply.TYPE_NAME}",
+                kind="protocol_error",
+            )
+        return reply
+
+    def health(self) -> bool:
+        reply = self._request("/healthz")
+        return isinstance(reply, HealthReply) and reply.status == "ok"

@@ -2,7 +2,7 @@
 
 from .balance import balance
 from .pipeline import has_constant_outputs, strip_constant_outputs, synthesize
-from .strash import StrashBuilder, strash
+from .strash import StrashBuilder, strash, structural_hash
 from .sweep import sweep
 from .transform import netlist_to_aig
 
@@ -13,6 +13,7 @@ __all__ = [
     "synthesize",
     "StrashBuilder",
     "strash",
+    "structural_hash",
     "sweep",
     "netlist_to_aig",
 ]

@@ -10,6 +10,7 @@ what gives the "optimised circuit" inductive bias the paper relies on.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from typing import Dict, List, Optional, Tuple
 
@@ -25,7 +26,7 @@ from ..aig.graph import (
     lit_var,
 )
 
-__all__ = ["StrashBuilder", "strash"]
+__all__ = ["StrashBuilder", "strash", "structural_hash"]
 
 
 class StrashBuilder:
@@ -219,3 +220,23 @@ def strash(aig: AIG) -> AIG:
     for o in aig.outputs:
         b.add_output(map_lit(o))
     return b.build()
+
+
+def structural_hash(aig: AIG, canonicalize: bool = True) -> str:
+    """Name-independent sha256 fingerprint of ``aig``'s structure.
+
+    The hash covers the PI count, the AND fan-in table and the output
+    literals — everything that defines the graph — and nothing else, so
+    two parses of the same circuit under different names collide (which is
+    the point: it is the compilation-cache key for ``repro serve``).  With
+    ``canonicalize`` (the default) the AIG is first rebuilt through
+    :func:`strash`, merging duplicate structure, so lightly redundant
+    variants of the same netlist also map to one key.
+    """
+    if canonicalize:
+        aig = strash(aig)
+    h = hashlib.sha256()
+    outputs = ",".join(str(int(o)) for o in aig.outputs)
+    h.update(f"aig1:{aig.num_pis}:{aig.num_ands}:{outputs}:".encode("ascii"))
+    h.update(np.ascontiguousarray(aig.ands, dtype=np.int64).tobytes())
+    return h.hexdigest()

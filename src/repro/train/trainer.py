@@ -243,6 +243,11 @@ class Trainer:
             "config": dataclasses.asdict(self.config),
             "model_class": type(self.model).__name__,
         }
+        config_fn = getattr(self.model, "config", None)
+        if callable(config_fn):
+            # lets tools reconstruct the architecture without the script
+            # that built it (model_from_config / repro serve)
+            meta["model_config"] = config_fn()
         save_checkpoint(path, arrays, meta)
 
     #: TrainConfig fields that determine the data order and update math; a

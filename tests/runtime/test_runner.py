@@ -214,3 +214,58 @@ class TestCorruptRunDirectories:
         loaded = load_record("counting", runs_dir=tmp_path)
         assert loaded is not None
         assert loaded.elapsed == 0.0
+
+
+@pytest.fixture
+def artifact_experiment():
+    """An experiment whose result publishes an extra artifact file."""
+
+    @experiment("artifact", spec=CountingSpec, title="Artifact experiment")
+    def run_artifact(spec):
+        result = ExperimentResult(
+            experiment="artifact",
+            rows=[{"knob": spec.knob}],
+            table="table",
+        )
+        result.extra_artifacts = {
+            "payload.bin": lambda path: path.write_bytes(b"\x01\x02")
+        }
+        result.manifest_extra = {"checkpoint": "payload.bin"}
+        return result
+
+    try:
+        yield
+    finally:
+        registry_module.unregister("artifact")
+
+
+class TestExtraArtifacts:
+    """Results can publish extra files + manifest entries (checkpoints)."""
+
+    def test_artifact_written_and_recorded(self, tmp_path, artifact_experiment):
+        record = execute("artifact", runs_dir=tmp_path)
+        assert (record.out_dir / "payload.bin").read_bytes() == b"\x01\x02"
+        manifest = json.loads((record.out_dir / MANIFEST_NAME).read_text())
+        assert manifest["checkpoint"] == "payload.bin"
+        assert "payload.bin" in manifest["files"].values()
+
+    def test_missing_artifact_invalidates_cache(
+        self, tmp_path, artifact_experiment
+    ):
+        first = execute("artifact", runs_dir=tmp_path)
+        assert execute("artifact", runs_dir=tmp_path).cache_hit
+        (first.out_dir / "payload.bin").unlink()
+        rerun = execute("artifact", runs_dir=tmp_path)
+        assert not rerun.cache_hit
+        assert (rerun.out_dir / "payload.bin").is_file()
+
+
+class TestTrainBackboneRegistration:
+    def test_registered_with_spec(self):
+        from repro.experiments import train_backbone  # noqa: F401
+        from repro.runtime.registry import get_experiment
+
+        entry = get_experiment("train_backbone")
+        spec = entry.spec_type()
+        assert spec.eval_fraction == pytest.approx(0.1)
+        assert spec.aggregator == "attention"

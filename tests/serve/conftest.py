@@ -1,0 +1,49 @@
+"""Shared fixtures: one tiny model and a pair of circuit texts."""
+
+import numpy as np
+import pytest
+
+from repro.aig import aiger, bench
+from repro.datagen.generators import comparator, ripple_adder
+from repro.models import DeepGate
+from repro.synth import netlist_to_aig
+
+
+@pytest.fixture(scope="session")
+def model():
+    return DeepGate(dim=12, num_iterations=2, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="session")
+def adder_netlist():
+    return ripple_adder(3)
+
+
+@pytest.fixture(scope="session")
+def adder_aag(adder_netlist):
+    return aiger.dumps(netlist_to_aig(adder_netlist))
+
+
+@pytest.fixture(scope="session")
+def adder_bench(adder_netlist):
+    return bench.dumps(adder_netlist)
+
+
+@pytest.fixture(scope="session")
+def comparator_aag():
+    return aiger.dumps(netlist_to_aig(comparator(3)))
+
+
+def rename_bench(text: str, prefix: str = "net_") -> str:
+    """The same .bench circuit with every signal renamed."""
+    names = set()
+    for line in text.splitlines():
+        head, _, rest = line.partition("=")
+        if rest:
+            names.add(head.strip())
+        elif "(" in line:
+            names.add(line.split("(", 1)[1].rstrip(")").strip())
+    renamed = text
+    for name in sorted(names, key=len, reverse=True):
+        renamed = renamed.replace(name, prefix + name)
+    return renamed

@@ -1,0 +1,181 @@
+"""Coalescing, ordering, failure isolation and shutdown of the batcher."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.batcher import BatcherClosed, MicroBatcher
+
+
+def submit_all(batcher, jobs):
+    """Submit jobs concurrently; returns results in submission order."""
+    results = [None] * len(jobs)
+    errors = [None] * len(jobs)
+    barrier = threading.Barrier(len(jobs))
+
+    def worker(i, job):
+        barrier.wait()
+        try:
+            results[i] = batcher.submit(job)
+        except Exception as exc:  # noqa: BLE001 - collected for asserts
+            errors[i] = exc
+
+    threads = [
+        threading.Thread(target=worker, args=(i, j))
+        for i, j in enumerate(jobs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results, errors
+
+
+class TestCoalescing:
+    def test_concurrent_jobs_coalesce_into_one_cycle(self):
+        cycles = []
+        batcher = MicroBatcher(
+            lambda jobs: cycles.append(list(jobs)) or [j * 2 for j in jobs],
+            max_batch_size=16,
+            max_wait_ms=200.0,
+        )
+        try:
+            results, errors = submit_all(batcher, [1, 2, 3, 4])
+        finally:
+            batcher.close()
+        assert errors == [None] * 4
+        assert results == [2, 4, 6, 8]
+        assert len(cycles) == 1
+        assert sorted(cycles[0]) == [1, 2, 3, 4]
+        assert batcher.batches == 1
+        assert batcher.jobs == 4
+        assert batcher.max_batch_observed == 4
+
+    def test_max_batch_size_bounds_a_cycle(self):
+        cycles = []
+        batcher = MicroBatcher(
+            lambda jobs: cycles.append(len(jobs)) or list(jobs),
+            max_batch_size=2,
+            max_wait_ms=200.0,
+        )
+        try:
+            _, errors = submit_all(batcher, list(range(6)))
+        finally:
+            batcher.close()
+        assert errors == [None] * 6
+        assert max(cycles) <= 2
+        assert sum(cycles) == 6
+
+    def test_lone_request_is_not_held_past_the_window(self):
+        batcher = MicroBatcher(lambda jobs: list(jobs), max_wait_ms=5.0)
+        try:
+            start = time.monotonic()
+            assert batcher.submit("x") == "x"
+            assert time.monotonic() - start < 2.0
+        finally:
+            batcher.close()
+
+    def test_zero_wait_means_serial_cycles(self):
+        batcher = MicroBatcher(lambda jobs: list(jobs), max_wait_ms=0.0)
+        try:
+            for i in range(4):
+                assert batcher.submit(i) == i
+        finally:
+            batcher.close()
+        assert batcher.batches == 4
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatcher(lambda jobs: jobs, max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            MicroBatcher(lambda jobs: jobs, max_wait_ms=-1.0)
+
+
+class TestFailures:
+    def test_exception_result_fails_only_that_job(self):
+        def run(jobs):
+            return [
+                ValueError(f"bad {j}") if j == "bad" else j for j in jobs
+            ]
+
+        batcher = MicroBatcher(run, max_wait_ms=200.0)
+        try:
+            results, errors = submit_all(batcher, ["ok", "bad", "ok2"])
+        finally:
+            batcher.close()
+        assert results[0] == "ok" and results[2] == "ok2"
+        assert isinstance(errors[1], ValueError)
+
+    def test_run_batch_raising_fails_the_cycle(self):
+        def run(jobs):
+            raise RuntimeError("cycle exploded")
+
+        batcher = MicroBatcher(run, max_wait_ms=200.0)
+        try:
+            _, errors = submit_all(batcher, [1, 2])
+        finally:
+            batcher.close()
+        assert all(isinstance(e, RuntimeError) for e in errors)
+
+    def test_length_mismatch_is_an_error(self):
+        batcher = MicroBatcher(lambda jobs: [], max_wait_ms=0.0)
+        try:
+            with pytest.raises(RuntimeError, match="results for"):
+                batcher.submit("x")
+        finally:
+            batcher.close()
+
+    def test_worker_survives_a_failed_cycle(self):
+        state = {"fail": True}
+
+        def run(jobs):
+            if state.pop("fail", False):
+                raise RuntimeError("first cycle fails")
+            return list(jobs)
+
+        batcher = MicroBatcher(run, max_wait_ms=0.0)
+        try:
+            with pytest.raises(RuntimeError):
+                batcher.submit("a")
+            assert batcher.submit("b") == "b"
+        finally:
+            batcher.close()
+
+
+class TestShutdown:
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(lambda jobs: list(jobs))
+        batcher.close()
+        with pytest.raises(BatcherClosed):
+            batcher.submit("x")
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(lambda jobs: list(jobs))
+        batcher.close()
+        batcher.close()
+
+    def test_close_drains_queued_work(self):
+        release = threading.Event()
+
+        def run(jobs):
+            release.wait(timeout=5)
+            return list(jobs)
+
+        batcher = MicroBatcher(run, max_wait_ms=0.0)
+        results, errors = [], []
+
+        def worker():
+            try:
+                results.append(batcher.submit("job"))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        time.sleep(0.05)
+        release.set()
+        batcher.close()
+        t.join(timeout=5)
+        assert results == ["job"]
+        assert errors == []

@@ -1,0 +1,95 @@
+"""LRU semantics, counters, and build-once behaviour of the cache."""
+
+import threading
+
+import pytest
+
+from repro.serve.cache import CompilationCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = CompilationCache(capacity=4)
+        entry, hit = cache.get_or_build("k", lambda: "built")
+        assert (entry, hit) == ("built", False)
+        entry, hit = cache.get_or_build("k", lambda: "rebuilt")
+        assert (entry, hit) == ("built", True)
+
+    def test_builder_runs_once_per_key(self):
+        cache = CompilationCache(capacity=4)
+        calls = []
+        for _ in range(5):
+            cache.get_or_build("k", lambda: calls.append(1) or "v")
+        assert len(calls) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            CompilationCache(capacity=0)
+
+    def test_peek_does_not_touch_counters(self):
+        cache = CompilationCache(capacity=2)
+        cache.get_or_build("a", lambda: 1)
+        assert cache.peek("a") == 1
+        assert cache.peek("missing") is None
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 1)
+
+    def test_clear(self):
+        cache = CompilationCache(capacity=2)
+        cache.get_or_build("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = CompilationCache(capacity=2)
+        cache.get_or_build("a", lambda: "A")
+        cache.get_or_build("b", lambda: "B")
+        cache.get_or_build("a", lambda: "A2")  # refresh a
+        cache.get_or_build("c", lambda: "C")  # evicts b, not a
+        assert cache.peek("a") == "A"
+        assert cache.peek("b") is None
+        assert cache.peek("c") == "C"
+
+    def test_eviction_counter(self):
+        cache = CompilationCache(capacity=1)
+        for key in "abc":
+            cache.get_or_build(key, lambda k=key: k)
+        stats = cache.stats()
+        assert stats.evictions == 2
+        assert stats.entries == 1
+        assert stats.capacity == 1
+
+    def test_counters_dict_mirrors_stats(self):
+        cache = CompilationCache(capacity=3)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("a", lambda: 1)
+        assert cache.counters() == {
+            "cache_hits": 1,
+            "cache_misses": 1,
+            "cache_evictions": 0,
+            "cache_entries": 1,
+            "cache_capacity": 3,
+        }
+
+
+class TestConcurrency:
+    def test_concurrent_same_key_builds_once(self):
+        cache = CompilationCache(capacity=4)
+        built = []
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            cache.get_or_build("k", lambda: built.append(1) or "v")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(built) == 1
+        stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.hits == 7

@@ -1,0 +1,128 @@
+"""Message round-trips, validation, and forward-compatibility rules."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MESSAGE_TYPES,
+    PROTOCOL_VERSION,
+    ErrorReply,
+    HealthReply,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    StatsReply,
+    parse_message,
+)
+
+SAMPLES = [
+    QueryRequest(circuit="aag 0 0 0 0 0\n"),
+    QueryRequest(circuit="INPUT(a)\n", fmt="bench", num_iterations=7),
+    QueryResponse(
+        structural_hash="ab" * 32,
+        num_nodes=3,
+        num_pis=2,
+        num_ands=1,
+        predictions=(0.5, 0.25, 0.125),
+        cache_hit=True,
+        coalesced=4,
+        model="DeepGate(dim=12)",
+        elapsed_ms=1.5,
+    ),
+    ErrorReply(error="parse_error", detail="line 3: bad literal", line=3),
+    ErrorReply(error="internal_error", detail="boom"),
+    StatsReply(model="m", requests=10, cache_hits=7, batch_mode="merged"),
+    HealthReply(),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "msg", SAMPLES, ids=lambda m: type(m).__name__
+    )
+    def test_json_roundtrip_equal(self, msg):
+        back = parse_message(msg.to_json())
+        assert back == msg
+        assert type(back) is type(msg)
+
+    def test_payload_is_self_describing(self):
+        payload = QueryRequest(circuit="x").to_payload()
+        assert payload["type_name"] == QueryRequest.TYPE_NAME
+        assert payload["version"] == PROTOCOL_VERSION
+
+    def test_tuples_serialise_as_lists(self):
+        msg = QueryResponse(num_nodes=1, predictions=(0.5,))
+        assert json.loads(msg.to_json())["predictions"] == [0.5]
+
+    def test_type_names_unique(self):
+        assert len(MESSAGE_TYPES) == 5
+
+
+class TestForwardCompat:
+    def test_unknown_payload_fields_ignored(self):
+        payload = QueryRequest(circuit="x").to_payload()
+        payload["wholly_new_field"] = {"nested": True}
+        assert parse_message(payload) == QueryRequest(circuit="x")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            parse_message({"type_name": "repro.serve.nope", "version": 1})
+
+    def test_newer_version_rejected(self):
+        payload = HealthReply().to_payload()
+        payload["version"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="newer than this server"):
+            parse_message(payload)
+
+    def test_missing_version_defaults_to_current(self):
+        payload = HealthReply().to_payload()
+        del payload["version"]
+        assert parse_message(payload) == HealthReply()
+
+
+class TestValidation:
+    def test_not_json(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            parse_message("{nope")
+
+    def test_non_object_payload(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_message("[1, 2]")
+
+    def test_no_type_name(self):
+        with pytest.raises(ProtocolError, match="no type_name"):
+            parse_message({"version": 1})
+
+    def test_payload_without_circuit_rejected(self):
+        with pytest.raises(ProtocolError, match="circuit"):
+            parse_message({"type_name": QueryRequest.TYPE_NAME, "version": 1})
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            QueryRequest(circuit="   ")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown circuit format"):
+            QueryRequest(circuit="x", fmt="vhdl")
+
+    def test_format_aliases_normalise(self):
+        assert QueryRequest(circuit="x", fmt="aag").fmt == "aiger"
+        assert QueryRequest(circuit="x", fmt="V").fmt == "verilog"
+
+    @pytest.mark.parametrize("bad", [0, -3, 1.5, True, "ten"])
+    def test_bad_num_iterations_rejected(self, bad):
+        with pytest.raises(ProtocolError, match="num_iterations"):
+            QueryRequest(circuit="x", num_iterations=bad)
+
+    def test_prediction_length_must_match(self):
+        with pytest.raises(ProtocolError, match="predictions for"):
+            QueryResponse(num_nodes=2, predictions=(0.5,))
+
+    def test_non_numeric_predictions_rejected(self):
+        with pytest.raises(ProtocolError, match="numbers"):
+            QueryResponse(num_nodes=1, predictions=("high",))
+
+    def test_bad_error_line_rejected(self):
+        with pytest.raises(ProtocolError, match="line"):
+            ErrorReply(error="parse_error", detail="x", line=0)

@@ -1,0 +1,226 @@
+"""InferenceService: strash-keyed reuse, batching determinism, errors."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import QueryRequest
+from repro.serve.service import (
+    CircuitRejected,
+    InferenceService,
+    canonicalize,
+    parse_circuit,
+)
+
+from .conftest import rename_bench
+
+
+@pytest.fixture
+def service(model):
+    svc = InferenceService(model, model_label="test", max_wait_ms=0.0)
+    yield svc
+    svc.close()
+
+
+def concurrent_queries(svc, texts, fmt="aiger"):
+    """Fire one query per text concurrently; responses in input order."""
+    results = [None] * len(texts)
+    errors = [None] * len(texts)
+    barrier = threading.Barrier(len(texts))
+
+    def worker(i, text):
+        barrier.wait()
+        try:
+            results[i] = svc.query(QueryRequest(circuit=text, fmt=fmt))
+        except Exception as exc:  # noqa: BLE001 - collected for asserts
+            errors[i] = exc
+
+    threads = [
+        threading.Thread(target=worker, args=(i, t))
+        for i, t in enumerate(texts)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == [None] * len(texts), errors
+    return results
+
+
+class TestCanonicalisation:
+    def test_renamed_bench_circuits_share_a_key(self, adder_bench):
+        key1, _ = canonicalize(parse_circuit(adder_bench, "bench"))
+        key2, _ = canonicalize(
+            parse_circuit(rename_bench(adder_bench), "bench")
+        )
+        assert key1 == key2
+
+    def test_distinct_circuits_get_distinct_keys(
+        self, adder_aag, comparator_aag
+    ):
+        key1, _ = canonicalize(parse_circuit(adder_aag, "aiger"))
+        key2, _ = canonicalize(parse_circuit(comparator_aag, "aiger"))
+        assert key1 != key2
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(CircuitRejected, match="format"):
+            parse_circuit("x", "vhdl")
+
+    def test_all_constant_circuit_rejected(self, service):
+        with pytest.raises(CircuitRejected, match="constant"):
+            service.query(QueryRequest(circuit="aag 0 0 0 1 0\n0\n"))
+
+
+class TestCacheIntegration:
+    def test_repeat_query_hits_and_matches(self, service, adder_aag):
+        first = service.query(QueryRequest(circuit=adder_aag))
+        second = service.query(QueryRequest(circuit=adder_aag))
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.predictions == first.predictions
+        assert second.structural_hash == first.structural_hash
+
+    def test_renamed_circuit_hits(self, service, adder_bench):
+        first = service.query(QueryRequest(circuit=adder_bench, fmt="bench"))
+        renamed = service.query(
+            QueryRequest(circuit=rename_bench(adder_bench), fmt="bench")
+        )
+        assert renamed.cache_hit
+        assert renamed.predictions == first.predictions
+
+    def test_predictions_cover_every_node(self, service, adder_aag):
+        resp = service.query(QueryRequest(circuit=adder_aag))
+        assert len(resp.predictions) == resp.num_nodes
+        assert resp.num_nodes > resp.num_pis + resp.num_ands  # NOT nodes too
+        assert all(0.0 <= p <= 1.0 for p in resp.predictions)
+
+
+class TestBatchingDeterminism:
+    def test_concurrent_bitwise_identical_to_serial(
+        self, model, adder_aag, comparator_aag
+    ):
+        serial = InferenceService(model, max_wait_ms=0.0)
+        try:
+            ref_a = serial.query(QueryRequest(circuit=adder_aag))
+            ref_c = serial.query(QueryRequest(circuit=comparator_aag))
+        finally:
+            serial.close()
+
+        svc = InferenceService(model, max_wait_ms=100.0, max_batch_size=32)
+        try:
+            texts = [adder_aag, comparator_aag] * 4
+            responses = concurrent_queries(svc, texts)
+        finally:
+            svc.close()
+        for text, resp in zip(texts, responses):
+            ref = ref_a if text is adder_aag else ref_c
+            assert resp.predictions == ref.predictions  # bitwise: floats equal
+        # the wide window coalesced at least some companions
+        assert max(r.coalesced for r in responses) >= 2
+
+    def test_merged_mode_close_to_serial(
+        self, model, adder_aag, comparator_aag
+    ):
+        serial = InferenceService(model, max_wait_ms=0.0)
+        try:
+            ref_a = serial.query(QueryRequest(circuit=adder_aag))
+            ref_c = serial.query(QueryRequest(circuit=comparator_aag))
+        finally:
+            serial.close()
+
+        svc = InferenceService(
+            model, max_wait_ms=100.0, max_batch_size=32, batch_mode="merged"
+        )
+        try:
+            texts = [adder_aag, comparator_aag] * 3
+            responses = concurrent_queries(svc, texts)
+        finally:
+            svc.close()
+        for text, resp in zip(texts, responses):
+            ref = ref_a if text is adder_aag else ref_c
+            diff = np.max(
+                np.abs(
+                    np.asarray(resp.predictions) - np.asarray(ref.predictions)
+                )
+            )
+            assert diff < 1e-6
+
+    def test_unknown_batch_mode_rejected(self, model):
+        with pytest.raises(ValueError, match="batch_mode"):
+            InferenceService(model, batch_mode="magic")
+
+
+class TestIterationOverride:
+    def test_override_changes_predictions(self, service, adder_aag):
+        default = service.query(QueryRequest(circuit=adder_aag))
+        deep = service.query(
+            QueryRequest(circuit=adder_aag, num_iterations=8)
+        )
+        assert deep.predictions != default.predictions
+
+    def test_override_groups_separately_from_default(self, model, adder_aag):
+        """Same circuit at different T must not share one fused pass."""
+        svc = InferenceService(model, max_wait_ms=100.0, max_batch_size=8)
+        try:
+            serial = InferenceService(model, max_wait_ms=0.0)
+            try:
+                ref = serial.query(
+                    QueryRequest(circuit=adder_aag, num_iterations=5)
+                )
+            finally:
+                serial.close()
+
+            results = [None, None]
+            barrier = threading.Barrier(2)
+
+            def q(i, iters):
+                barrier.wait()
+                results[i] = svc.query(
+                    QueryRequest(circuit=adder_aag, num_iterations=iters)
+                )
+
+            threads = [
+                threading.Thread(target=q, args=(0, 5)),
+                threading.Thread(target=q, args=(1, 2)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert results[0].predictions == ref.predictions
+            assert results[1].predictions != ref.predictions
+        finally:
+            svc.close()
+
+    def test_non_recurrent_model_rejects_override(self, adder_aag):
+        from repro.models.baselines import GCN
+
+        gcn = GCN(3, 8, 2, "conv_sum", np.random.default_rng(0))
+        svc = InferenceService(gcn, model_label="gcn", max_wait_ms=0.0)
+        try:
+            svc.query(QueryRequest(circuit=adder_aag))  # plain query fine
+            with pytest.raises(CircuitRejected, match="not recurrent"):
+                svc.query(
+                    QueryRequest(circuit=adder_aag, num_iterations=4)
+                )
+        finally:
+            svc.close()
+
+
+class TestStats:
+    def test_counters_track_requests_and_cache(self, service, adder_aag):
+        service.query(QueryRequest(circuit=adder_aag))
+        service.query(QueryRequest(circuit=adder_aag))
+        with pytest.raises(Exception):
+            service.query(QueryRequest(circuit="aag broken"))
+        stats = service.stats()
+        assert stats.requests == 3
+        assert stats.errors == 1
+        assert stats.cache_hits == 1
+        assert stats.cache_misses == 1
+        assert stats.cache_entries == 1
+        assert stats.batches == 2
+        assert stats.batch_mode == "exact"
+        assert stats.model == "test"
+        assert stats.uptime_s >= 0.0

@@ -143,3 +143,78 @@ class TestStrashPass:
             nl = random_netlist(rng, num_inputs=4, num_gates=15)
             aig = netlist_to_aig(nl)
             assert_functionally_equal(aig, strash(aig))
+
+
+class TestStructuralHash:
+    """structural_hash is the compilation-cache key for repro serve."""
+
+    def _adder_bench(self):
+        from repro.aig import bench
+        from repro.datagen.generators import ripple_adder
+
+        return bench.dumps(ripple_adder(3))
+
+    def _rename(self, text, prefix="net_"):
+        names = set()
+        for line in text.splitlines():
+            head, _, rest = line.partition("=")
+            if rest:
+                names.add(head.strip())
+            elif "(" in line:
+                names.add(line.split("(", 1)[1].rstrip(")").strip())
+        for name in sorted(names, key=len, reverse=True):
+            text = text.replace(name, prefix + name)
+        return text
+
+    def test_rename_invariant(self):
+        from repro.aig import bench
+        from repro.synth import netlist_to_aig, structural_hash
+
+        text = self._adder_bench()
+        a = netlist_to_aig(bench.loads(text))
+        b = netlist_to_aig(bench.loads(self._rename(text)))
+        assert structural_hash(a) == structural_hash(b)
+
+    def test_distinct_structures_differ(self):
+        from repro.datagen.generators import parity, ripple_adder
+        from repro.synth import netlist_to_aig, structural_hash
+
+        h1 = structural_hash(netlist_to_aig(ripple_adder(3)))
+        h2 = structural_hash(netlist_to_aig(parity(5)))
+        assert h1 != h2
+
+    def test_canonicalize_merges_redundancy(self):
+        from repro.synth import structural_hash
+
+        def build(duplicated):
+            b = AIGBuilder(num_pis=2)
+            g1 = b.add_and(b.pi_lit(0), b.pi_lit(1))
+            g2 = b.add_and(b.pi_lit(0), b.pi_lit(1)) if duplicated else g1
+            b.add_output(b.add_and(g1, g2))
+            return b.build()
+
+        lean, fat = build(False), build(True)
+        assert structural_hash(lean) == structural_hash(fat)
+        assert structural_hash(
+            lean, canonicalize=False
+        ) != structural_hash(fat, canonicalize=False)
+
+    def test_output_polarity_matters(self):
+        from repro.synth import structural_hash
+
+        def build(negate):
+            b = AIGBuilder(num_pis=2)
+            g = b.add_and(b.pi_lit(0), b.pi_lit(1))
+            b.add_output(lit_negate(g) if negate else g)
+            return b.build()
+
+        assert structural_hash(build(False)) != structural_hash(build(True))
+
+    def test_hash_is_hex_digest(self):
+        from repro.synth import structural_hash
+
+        b = AIGBuilder(num_pis=1)
+        b.add_output(b.pi_lit(0))
+        h = structural_hash(b.build())
+        assert len(h) == 64
+        int(h, 16)  # valid hex

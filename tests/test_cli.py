@@ -483,3 +483,91 @@ class TestBenchCLI:
         with pytest.raises(SystemExit, match="no such bench file"):
             main(["bench", "compare", str(tmp_path / "nope.json"),
                   str(tmp_path / "nope2.json")])
+
+
+class TestServeQueryCLI:
+    """Argument handling and a live serve round trip."""
+
+    @pytest.fixture
+    def running_server(self, tmp_path):
+        import threading
+
+        import numpy as np
+
+        from repro.models import DeepGate
+        from repro.nn.serialization import save_model_checkpoint
+        from repro.serve import ServeServer, service_from_checkpoint
+
+        ck = tmp_path / "ck.npz"
+        save_model_checkpoint(
+            DeepGate(dim=8, num_iterations=2, rng=np.random.default_rng(0)),
+            ck,
+        )
+        srv = ServeServer(service_from_checkpoint(ck, max_wait_ms=0.0), port=0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield f"http://{srv.host}:{srv.port}"
+        finally:
+            srv.shutdown()
+            thread.join(timeout=10)
+            srv.close()
+
+    def test_serve_requires_checkpoint_or_run(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_serve_unresolvable_run_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="train_backbone"):
+            main(["serve", "--run", "train_backbone",
+                  "--runs-dir", str(tmp_path)])
+
+    def test_query_requires_circuit_or_stats(self):
+        with pytest.raises(SystemExit, match="circuit file"):
+            main(["query", "--url", "http://127.0.0.1:9"])
+
+    def test_query_unknown_suffix_is_clean_error(self, tmp_path):
+        path = tmp_path / "circuit.txt"
+        path.write_text("whatever")
+        with pytest.raises(SystemExit, match="unsupported circuit format"):
+            main(["query", str(path), "--url", "http://127.0.0.1:9"])
+
+    def test_query_unreachable_server_exits_1(self, adder_bench, capsys):
+        assert main(["query", str(adder_bench),
+                     "--url", "http://127.0.0.1:9", "--timeout", "2"]) == 1
+        assert "transport_error" in capsys.readouterr().err
+
+    def test_query_round_trip_and_cache_hit(
+        self, running_server, adder_bench, capsys
+    ):
+        assert main(["query", str(adder_bench),
+                     "--url", running_server]) == 0
+        first = capsys.readouterr().out
+        assert "cache_hit=False" in first
+        assert main(["query", str(adder_bench),
+                     "--url", running_server]) == 0
+        assert "cache_hit=True" in capsys.readouterr().out
+
+    def test_query_json_format(self, running_server, adder_bench, capsys):
+        import json
+
+        assert main(["query", str(adder_bench), "--url", running_server,
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_nodes"] == len(payload["predictions"])
+
+    def test_query_stats(self, running_server, adder_bench, capsys):
+        assert main(["query", str(adder_bench),
+                     "--url", running_server]) == 0
+        capsys.readouterr()
+        assert main(["query", "--stats", "--url", running_server]) == 0
+        out = capsys.readouterr().out
+        assert "requests" in out and "cache:" in out
+
+    def test_query_parse_error_exits_1(
+        self, running_server, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.aag"
+        bad.write_text("aag 2 1 0 1\nnonsense\n")
+        assert main(["query", str(bad), "--url", running_server]) == 1
+        assert "parse_error" in capsys.readouterr().err

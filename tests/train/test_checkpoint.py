@@ -227,3 +227,118 @@ class TestStreamedShardTraining:
         cfg = TrainConfig(epochs=3, batch_size=2, lr=2e-3)
         history = Trainer(make_model(), cfg).fit(sharded)
         assert len(history.train_loss) == 3
+
+
+class TestModelCheckpoint:
+    """Self-describing checkpoints (save/load_model_checkpoint)."""
+
+    def test_roundtrip_rebuilds_identical_model(self, tmp_path):
+        from repro.nn.serialization import (
+            load_model_checkpoint,
+            save_model_checkpoint,
+        )
+
+        model = make_model(seed=3)
+        path = tmp_path / "model.npz"
+        save_model_checkpoint(model, path, meta={"note": "hi"})
+        back, meta = load_model_checkpoint(path)
+        assert type(back) is type(model)
+        assert_same_state(model, back)
+        assert meta["note"] == "hi"
+        assert meta["model_config"] == model.config()
+
+    def test_module_without_config_rejected(self, tmp_path):
+        from repro.nn.modules import Linear
+        from repro.nn.serialization import (
+            CheckpointError,
+            save_model_checkpoint,
+        )
+
+        lin = Linear(2, 3, rng=np.random.default_rng(0))
+        with pytest.raises(CheckpointError, match="config"):
+            save_model_checkpoint(lin, tmp_path / "x.npz")
+
+    def test_plain_checkpoint_rejected_with_hint(self, tmp_path):
+        from repro.nn.serialization import (
+            CheckpointError,
+            load_model_checkpoint,
+        )
+
+        path = tmp_path / "plain.npz"
+        save_checkpoint(path, {"w": np.zeros(2)}, meta={})
+        with pytest.raises(CheckpointError, match="model_config"):
+            load_model_checkpoint(path)
+
+    def test_wrong_architecture_names_the_mismatch(self, tmp_path):
+        from repro.nn.serialization import (
+            CheckpointStateError,
+            load_model_checkpoint,
+            save_model_checkpoint,
+        )
+
+        wide = DeepGate(
+            dim=12, num_iterations=2, rng=np.random.default_rng(0)
+        )
+        path = tmp_path / "model.npz"
+        save_model_checkpoint(wide, path)
+        # lie about the architecture: claim dim=10 over dim=12 arrays
+        from repro.nn.serialization import load_checkpoint
+
+        arrays, meta = load_checkpoint(path)
+        meta["model_config"]["dim"] = 10
+        save_checkpoint(path, arrays, meta)
+        with pytest.raises(CheckpointStateError, match="shape mismatch"):
+            load_model_checkpoint(path)
+
+    def test_trainer_checkpoint_is_loadable_standalone(self, tmp_path):
+        """Trainer checkpoints carry model_config for repro serve."""
+        from repro.nn.serialization import load_model_checkpoint
+
+        trainer = Trainer(
+            make_model(seed=5), TrainConfig(epochs=1, batch_size=2)
+        )
+        trainer.fit(tiny_dataset(4))
+        path = tmp_path / "trainer.npz"
+        trainer.save_checkpoint(path, epoch=0)
+        back, meta = load_model_checkpoint(path)
+        assert_same_state(trainer.model, back)
+        assert meta["model_config"] == trainer.model.config()
+
+
+class TestValidateStateDict:
+    def test_missing_and_unexpected_keys_named(self):
+        from repro.nn.serialization import (
+            CheckpointStateError,
+            validate_state_dict,
+        )
+
+        model = make_model()
+        state = model.state_dict()
+        first = sorted(state)[0]
+        state["bogus_key"] = np.zeros(1)
+        del state[first]
+        with pytest.raises(CheckpointStateError) as info:
+            validate_state_dict(model, state, source="test-ck")
+        msg = str(info.value)
+        assert "missing keys" in msg and first in msg
+        assert "unexpected keys" in msg and "bogus_key" in msg
+        assert "test-ck" in msg
+
+    def test_shape_mismatch_reports_both_shapes(self):
+        from repro.nn.serialization import (
+            CheckpointStateError,
+            validate_state_dict,
+        )
+
+        model = make_model()
+        state = model.state_dict()
+        key = sorted(state)[0]
+        state[key] = np.zeros(np.asarray(state[key]).shape + (1,))
+        with pytest.raises(CheckpointStateError, match="shape mismatch"):
+            validate_state_dict(model, state)
+
+    def test_matching_state_passes(self):
+        from repro.nn.serialization import validate_state_dict
+
+        model = make_model()
+        validate_state_dict(model, model.state_dict())
