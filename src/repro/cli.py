@@ -257,8 +257,19 @@ def cmd_dataset_info(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_run(args: argparse.Namespace) -> int:
-    from .bench import all_suite_names, run_benchmarks, write_bench_file
+    from .bench import (
+        all_suite_names,
+        merge_bench,
+        run_benchmarks,
+        write_bench_file,
+    )
+    from .nn.backends import KernelBackendError, set_backend
 
+    if args.backend:
+        try:
+            set_backend(args.backend)
+        except KernelBackendError as exc:
+            raise SystemExit(str(exc)) from exc
     known = all_suite_names()
     for suite in args.suite or []:
         if suite not in known:
@@ -275,6 +286,11 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
         variant="reference" if args.reference else "compiled",
     )
     out = args.output or f"BENCH_{args.name}.json"
+    if args.merge and Path(out).exists():
+        import json as _json
+
+        previous = _json.loads(Path(out).read_text())
+        payload = merge_bench(previous, payload)
     path = write_bench_file(payload, out)
     for suite, metrics in payload["suites"].items():
         print(
@@ -616,6 +632,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         service_from_checkpoint,
     )
 
+    if args.backend:
+        from .nn.backends import KernelBackendError, set_backend
+
+        try:
+            set_backend(args.backend)
+        except KernelBackendError as exc:
+            raise SystemExit(str(exc)) from exc
     ref = args.checkpoint or args.run
     try:
         path = resolve_checkpoint(ref, runs_dir=args.runs_dir)
@@ -808,11 +831,22 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--iterations", type=int, default=4,
                    help="propagation rounds per forward pass")
     q.add_argument("--repeats", type=int, default=3,
-                   help="timed repeats per metric (median reported)")
+                   help="timed repeats per metric (best-of reported)")
     q.add_argument("--epochs", type=int, default=2,
-                   help="training epochs timed (median reported)")
+                   help="training epochs timed (best-of reported)")
+    q.add_argument(
+        "--merge", action="store_true",
+        help="if the output file exists, pool with it (per-metric best "
+             "of both runs) instead of overwriting — interleave repeated "
+             "runs on a noisy machine to converge on the quiet floor",
+    )
     q.add_argument("--reference", action="store_true",
                    help="run the uncompiled reference propagation path")
+    q.add_argument(
+        "--backend", default=None,
+        help="kernel GEMM backend (numpy/threaded; default: "
+             "REPRO_KERNEL_BACKEND or numpy)",
+    )
     q.set_defaults(func=cmd_bench_run)
 
     q = bench_sub.add_parser(
@@ -997,6 +1031,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-mode", default="exact", choices=["exact", "merged"],
         help="exact: one pass per unique circuit (bitwise-reproducible); "
              "merged: fuse distinct circuits into one pass (~1 ulp)",
+    )
+    p.add_argument(
+        "--backend", default=None,
+        help="kernel GEMM backend (numpy/threaded; default: "
+             "REPRO_KERNEL_BACKEND or numpy)",
     )
     p.add_argument("--verbose", action="store_true",
                    help="log one line per request (http.server access log)")

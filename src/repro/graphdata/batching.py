@@ -31,6 +31,7 @@ __all__ = [
     "GatherSplit",
     "CompiledGroup",
     "CompiledSchedule",
+    "PassBlock",
 ]
 
 
@@ -294,6 +295,53 @@ class CompiledGroup:
     gather_plan: List[GatherSplit]
     x_rows: np.ndarray
     edge_attr: Optional[np.ndarray] = None
+    #: row offsets of this group within the pass-wide block layout (see
+    #: :class:`PassBlock`): nodes occupy ``[node_offset, node_offset +
+    #: len(nodes))`` of the written-node axis, edges likewise on the edge
+    #: axis
+    node_offset: int = 0
+    edge_offset: int = 0
+
+
+@dataclass
+class PassBlock:
+    """Packed per-pass block layout over a compiled schedule's groups.
+
+    The whole-pass runner's batched ("block") execution mode lays every
+    per-group quantity of a pass out contiguously, in group order, so the
+    work that does not depend on mid-pass state runs as ONE large GEMM
+    per pass instead of one tiny GEMM per level group:
+
+    * the static share of the GRU input transform
+      (``x_rows @ W_ih[d:] + b_ih``) is computed over ``x_rows`` up
+      front and sliced per group;
+    * every parameter gradient of the backward walk accumulates per-group
+      intermediates into ``(num_written, ·)`` / ``(num_edges, ·)``
+      buffers (contiguous slice writes, no scatter) and contracts them
+      against these concatenated inputs once per pass.
+
+    ``node_offsets``/``edge_offsets`` are ``(G+1,)`` cumulative sums;
+    group ``k``'s rows are ``[offsets[k], offsets[k+1])``.  ``written``
+    is the concatenation of the groups' node ids (the same array as
+    ``CompiledSchedule.written``), ``x_rows``/``edge_attr`` the
+    concatenated per-group feature/attribute blocks, and ``counts`` the
+    per-written-node fan-in counts (concatenated segment-layout counts).
+    """
+
+    node_offsets: np.ndarray
+    edge_offsets: np.ndarray
+    written: np.ndarray
+    x_rows: np.ndarray
+    counts: np.ndarray
+    edge_attr: Optional[np.ndarray]
+
+    @property
+    def num_written(self) -> int:
+        return int(self.node_offsets[-1])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_offsets[-1])
 
 
 class CompiledSchedule:
@@ -320,12 +368,51 @@ class CompiledSchedule:
         self.num_nodes = num_nodes
         #: all node ids written during the pass (unique by construction)
         self.written = written
+        self._block: Optional[PassBlock] = None
 
     def __iter__(self):
         return iter(self.groups)
 
     def __len__(self) -> int:
         return len(self.groups)
+
+    def block(self) -> PassBlock:
+        """The pass-wide :class:`PassBlock` layout, built once and cached.
+
+        Valid because group offsets are assigned at compile time and the
+        groups' arrays never change afterwards.
+        """
+        if self._block is None:
+            groups = self.groups
+            node_offsets = np.cumsum(
+                [0] + [len(g.nodes) for g in groups], dtype=np.int64
+            )
+            edge_offsets = np.cumsum(
+                [0] + [len(g.src) for g in groups], dtype=np.int64
+            )
+            feat = groups[0].x_rows.shape[1] if groups else 0
+            x_rows = (
+                np.concatenate([g.x_rows for g in groups])
+                if groups
+                else np.zeros((0, feat), np.float32)
+            )
+            counts = (
+                np.concatenate([g.seg_layout.counts for g in groups])
+                if groups
+                else np.zeros(0, np.float32)
+            )
+            edge_attr = None
+            if groups and groups[0].edge_attr is not None:
+                edge_attr = np.concatenate([g.edge_attr for g in groups])
+            self._block = PassBlock(
+                node_offsets=node_offsets,
+                edge_offsets=edge_offsets,
+                written=self.written,
+                x_rows=x_rows,
+                counts=counts,
+                edge_attr=edge_attr,
+            )
+        return self._block
 
     @classmethod
     def compile(
@@ -345,6 +432,8 @@ class CompiledSchedule:
         writer = np.full(num_nodes, -1, dtype=np.int64)
         local = np.zeros(num_nodes, dtype=np.int64)
         groups: List[CompiledGroup] = []
+        node_offset = 0
+        edge_offset = 0
         for gi, g in enumerate(schedule):
             if g.has_skip:
                 src = np.concatenate([g.src, g.skip_src])
@@ -381,8 +470,12 @@ class CompiledSchedule:
                     gather_plan=plan,
                     x_rows=np.ascontiguousarray(x[g.nodes]),
                     edge_attr=edge_attr,
+                    node_offset=node_offset,
+                    edge_offset=edge_offset,
                 )
             )
+            node_offset += len(g.nodes)
+            edge_offset += len(src)
             writer[g.nodes] = gi
             local[g.nodes] = np.arange(len(g.nodes))
         written = (

@@ -34,7 +34,9 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..graphdata.batching import PassBlock
 from ..nn import kernels
+from ..nn.backends import matmul as _mm
 from ..nn.functional import gather_rows, segment_softmax, segment_sum
 from ..nn.kernels import SegmentLayout, segment_sum_np
 from ..nn.modules import Linear, MLP, Module
@@ -66,9 +68,25 @@ class PassStepAggregator(Module):
     ``step_begin``    per-pass pre-projections over the full pass-input
                       state ``hd`` (e.g. attention's query scores)
     ``step_forward``  one group's message matrix + saved activations
-    ``step_sink``     zeroed per-pass parameter-gradient buffers
+    ``step_sink``     zeroed per-pass parameter-gradient buffers; when
+                      the runner executes the pass-wide block layout it
+                      passes the schedule's
+                      :class:`~repro.graphdata.batching.PassBlock` so
+                      the sink can allocate ``(num_written, ·)`` /
+                      ``(num_edges, ·)`` accumulation buffers
     ``step_backward`` one group's ``dh_src`` given ``dm``, accumulating
-                      parameter gradients into the sink
+                      parameter gradients into the sink (per-group
+                      layout: one small GEMM per parameter per group)
+    ``step_backward_block``
+                      the block-layout counterpart: write the group's
+                      intermediates into the sink's pass-wide buffers by
+                      contiguous slice (``group.node_offset`` /
+                      ``group.edge_offset``) and leave every parameter
+                      GEMM to ``step_end``.  The default falls back to
+                      ``step_backward``, so an aggregator implementing
+                      only the per-group hooks still runs (un-batched)
+                      under the block layout — provided its
+                      ``step_sink`` accepts the ``block`` argument.
     ``step_end``      fold the sink into the parameter tensors, and add
                       any batched contribution to ``dh`` (the pass-input
                       state gradient; ``None`` when not needed)
@@ -80,11 +98,18 @@ class PassStepAggregator(Module):
     def step_forward(self, group, h_src, ctx, edge_attr=None):
         raise NotImplementedError
 
-    def step_sink(self, hd: np.ndarray) -> Sink:
+    def step_sink(
+        self, hd: np.ndarray, block: Optional[PassBlock] = None
+    ) -> Sink:
         raise NotImplementedError
 
     def step_backward(self, group, dm, h_src, saved, sink, edge_attr=None):
         raise NotImplementedError
+
+    def step_backward_block(
+        self, group, dm, h_src, saved, sink, edge_attr=None
+    ):
+        return self.step_backward(group, dm, h_src, saved, sink, edge_attr)
 
     def step_end(
         self, hd: np.ndarray, sink: Sink, dh: Optional[np.ndarray]
@@ -137,10 +162,18 @@ class ConvSumAggregator(PassStepAggregator):
             h_src, lin.weight.data, lin.bias.data, group.seg_layout
         )
 
-    def step_sink(self, hd):
+    def step_sink(self, hd, block=None):
+        if block is None:
+            return {
+                "dw": np.zeros_like(self.linear.weight.data),
+                "db": np.zeros_like(self.linear.bias.data),
+            }
+        d_in, d_out = self.linear.weight.data.shape
+        n_w = block.num_written
         return {
-            "dw": np.zeros_like(self.linear.weight.data),
-            "db": np.zeros_like(self.linear.bias.data),
+            "s": np.empty((n_w, d_in), np.float32),
+            "dm": np.empty((n_w, d_out), np.float32),
+            "counts": block.counts,
         }
 
     def step_backward(self, group, dm, h_src, saved, sink, edge_attr=None):
@@ -151,9 +184,25 @@ class ConvSumAggregator(PassStepAggregator):
         sink["db"] += db
         return dh
 
+    def step_backward_block(self, group, dm, h_src, saved, sink,
+                            edge_attr=None):
+        o0 = group.node_offset
+        o1 = o0 + len(group.nodes)
+        sink["s"][o0:o1] = saved
+        sink["dm"][o0:o1] = dm
+        dh, _, _ = kernels.conv_sum_backward_np(
+            dm, saved, self.linear.weight.data, group.seg_layout,
+            need_w=False,
+        )
+        return dh
+
     def step_end(self, hd, sink, dh):
-        _acc(self.linear.weight, sink["dw"])
-        _acc(self.linear.bias, sink["db"])
+        if "dm" in sink:
+            _acc(self.linear.weight, _mm(sink["s"].T, sink["dm"]))
+            _acc(self.linear.bias, _mm(sink["counts"], sink["dm"]))
+        else:
+            _acc(self.linear.weight, sink["dw"])
+            _acc(self.linear.bias, sink["db"])
 
 
 class DeepSetAggregator(PassStepAggregator):
@@ -227,8 +276,22 @@ class DeepSetAggregator(PassStepAggregator):
             group.seg_layout,
         )
 
-    def step_sink(self, hd):
-        return {key: np.zeros_like(p.data) for key, p in self._step_params()}
+    def step_sink(self, hd, block=None):
+        if block is None:
+            return {
+                key: np.zeros_like(p.data) for key, p in self._step_params()
+            }
+        d = self.rho.weight.data.shape[0]
+        n_w, n_e = block.num_written, block.num_edges
+        return {
+            "s1": np.empty((n_w, d), np.float32),
+            "s2": np.empty((n_w, d), np.float32),
+            "dm": np.empty((n_w, self.rho.weight.data.shape[1]), np.float32),
+            "ds2": np.empty((n_w, d), np.float32),
+            "da1": np.empty((n_e, d), np.float32),
+            "h": np.empty((n_e, hd.shape[1]), np.float32),
+            "counts": block.counts,
+        }
 
     def step_backward(self, group, dm, h_src, saved, sink, edge_attr=None):
         lin1, lin2 = self.phi.layers
@@ -240,9 +303,38 @@ class DeepSetAggregator(PassStepAggregator):
             sink[key] += dp
         return dh
 
+    def step_backward_block(self, group, dm, h_src, saved, sink,
+                            edge_attr=None):
+        lin1, lin2 = self.phi.layers
+        r1, s1, s2 = saved
+        ds2 = _mm(dm, self.rho.weight.data.T)
+        dr1 = _mm(ds2, lin2.weight.data.T)[group.seg_layout.segment_ids]
+        da1 = dr1 * (r1 > 0)
+        o0 = group.node_offset
+        o1 = o0 + len(group.nodes)
+        e0 = group.edge_offset
+        e1 = e0 + len(group.src)
+        sink["s1"][o0:o1] = s1
+        sink["s2"][o0:o1] = s2
+        sink["dm"][o0:o1] = dm
+        sink["ds2"][o0:o1] = ds2
+        sink["da1"][e0:e1] = da1
+        sink["h"][e0:e1] = h_src
+        return _mm(da1, lin1.weight.data.T)
+
     def step_end(self, hd, sink, dh):
-        for key, p in self._step_params():
-            _acc(p, sink[key])
+        if "da1" in sink:
+            lin1, lin2 = self.phi.layers
+            da1, ds2, dm = sink["da1"], sink["ds2"], sink["dm"]
+            _acc(self.rho.weight, _mm(sink["s2"].T, dm))
+            _acc(self.rho.bias, dm.sum(axis=0))
+            _acc(lin2.weight, _mm(sink["s1"].T, ds2))
+            _acc(lin2.bias, _mm(sink["counts"], ds2))
+            _acc(lin1.weight, _mm(sink["h"].T, da1))
+            _acc(lin1.bias, da1.sum(axis=0))
+        else:
+            for key, p in self._step_params():
+                _acc(p, sink[key])
 
 
 class GatedSumAggregator(PassStepAggregator):
@@ -305,8 +397,17 @@ class GatedSumAggregator(PassStepAggregator):
             group.seg_layout,
         )
 
-    def step_sink(self, hd):
-        return {key: np.zeros_like(p.data) for key, p in self._step_params()}
+    def step_sink(self, hd, block=None):
+        if block is None:
+            return {
+                key: np.zeros_like(p.data) for key, p in self._step_params()
+            }
+        n_e = block.num_edges
+        return {
+            "dv": np.empty((n_e, self.value.weight.data.shape[1]), np.float32),
+            "dsg": np.empty((n_e, self.gate.weight.data.shape[1]), np.float32),
+            "h": np.empty((n_e, hd.shape[1]), np.float32),
+        }
 
     def step_backward(self, group, dm, h_src, saved, sink, edge_attr=None):
         dh, *dparams = kernels.gated_sum_backward_np(
@@ -317,9 +418,31 @@ class GatedSumAggregator(PassStepAggregator):
             sink[key] += dp
         return dh
 
+    def step_backward_block(self, group, dm, h_src, saved, sink,
+                            edge_attr=None):
+        g, v = saved
+        dgv = dm[group.seg_layout.segment_ids]
+        dv = dgv * g
+        dsg = dgv * v * g * (1.0 - g)
+        e0 = group.edge_offset
+        e1 = e0 + len(group.src)
+        sink["dv"][e0:e1] = dv
+        sink["dsg"][e0:e1] = dsg
+        sink["h"][e0:e1] = h_src
+        return _mm(dv, self.value.weight.data.T) + _mm(
+            dsg, self.gate.weight.data.T
+        )
+
     def step_end(self, hd, sink, dh):
-        for key, p in self._step_params():
-            _acc(p, sink[key])
+        if "dv" in sink:
+            h_all, dv, dsg = sink["h"], sink["dv"], sink["dsg"]
+            _acc(self.value.weight, _mm(h_all.T, dv))
+            _acc(self.value.bias, dv.sum(axis=0))
+            _acc(self.gate.weight, _mm(h_all.T, dsg))
+            _acc(self.gate.bias, dsg.sum(axis=0))
+        else:
+            for key, p in self._step_params():
+                _acc(p, sink[key])
 
 
 class AttentionAggregator(PassStepAggregator):
@@ -433,11 +556,21 @@ class AttentionAggregator(PassStepAggregator):
         )
         if edge_attr is not None:
             scores = scores + (edge_attr @ self.w_edge.weight.data).ravel()
-        alpha = kernels.segment_softmax_np(scores, layout)
-        m = segment_sum_np(h_src * alpha[:, None], layout)
-        return m, alpha
+        return kernels.segment_softmax_weighted_np(scores, h_src, layout)
 
-    def step_sink(self, hd):
+    def step_sink(self, hd, block=None):
+        if block is not None:
+            return {
+                "dqs_w": np.empty(block.num_written, np.float32),
+                "written": block.written,
+                "ds": np.empty(block.num_edges, np.float32),
+                "h": np.empty((block.num_edges, hd.shape[1]), np.float32),
+                **(
+                    {"attr": block.edge_attr}
+                    if self.w_edge is not None and block.edge_attr is not None
+                    else {}
+                ),
+            }
         sink = {
             "dqs": np.zeros(hd.shape[0], np.float32),
             "dwk": np.zeros_like(self.w_key.weight.data),
@@ -446,27 +579,70 @@ class AttentionAggregator(PassStepAggregator):
             sink["dwe"] = np.zeros_like(self.w_edge.weight.data)
         return sink
 
-    def step_backward(self, group, dm, h_src, saved, sink, edge_attr=None):
+    def _score_grads(self, group, dm, h_src, alpha):
+        """Shared per-group backward core: ``(dh_src, ds)``."""
         layout = group.seg_layout
-        alpha = saved
         seg = layout.segment_ids
         wk = self.w_key.weight.data
         dm_e = dm[seg]
         dh = alpha[:, None] * dm_e
         dalpha = np.einsum("ij,ij->i", h_src, dm_e)
         weighted = alpha * dalpha
-        ds = weighted - alpha * segment_sum_np(weighted, layout)[seg]
+        if layout.is_sorted:
+            sw = np.add.reduceat(weighted, layout.starts)
+            if layout.present.size == layout.num_segments:
+                # ids double as compressed ranks: take beats repeat
+                ds = weighted - alpha * sw[seg]
+            else:
+                ds = weighted - alpha * np.repeat(sw, layout.sizes)
+        else:
+            ds = weighted - alpha * segment_sum_np(weighted, layout)[seg]
         dh += ds[:, None] * wk.reshape(1, -1)
-        sink["dwk"] += (h_src.T @ ds).reshape(wk.shape)
-        sink["dqs"][group.nodes] += segment_sum_np(ds, layout)
+        return dh, ds
+
+    def step_backward(self, group, dm, h_src, saved, sink, edge_attr=None):
+        dh, ds = self._score_grads(group, dm, h_src, saved)
+        wk = self.w_key.weight.data
+        sink["dwk"] += _mm(h_src.T, ds).reshape(wk.shape)
+        sink["dqs"][group.nodes] += segment_sum_np(ds, group.seg_layout)
         if edge_attr is not None:
-            sink["dwe"] += (edge_attr.T @ ds).reshape(sink["dwe"].shape)
+            sink["dwe"] += _mm(edge_attr.T, ds).reshape(sink["dwe"].shape)
+        return dh
+
+    def step_backward_block(self, group, dm, h_src, saved, sink,
+                            edge_attr=None):
+        dh, ds = self._score_grads(group, dm, h_src, saved)
+        e0 = group.edge_offset
+        e1 = e0 + len(group.src)
+        o0 = group.node_offset
+        o1 = o0 + len(group.nodes)
+        sink["ds"][e0:e1] = ds
+        sink["h"][e0:e1] = h_src
+        sink["dqs_w"][o0:o1] = segment_sum_np(ds, group.seg_layout)
+        if edge_attr is not None:
+            sink["attr_used"] = True
         return dh
 
     def step_end(self, hd, sink, dh):
-        dqs = sink["dqs"]
         wq = self.w_query.weight
-        _acc(wq, (hd.T @ dqs).reshape(wq.data.shape))
+        if "ds" in sink:
+            # block layout: the per-query score grads sit in written-node
+            # order, so the wq contraction and the dh scatter touch only
+            # the written rows (unique — fancy += is exact)
+            dqs_w = sink["dqs_w"]
+            written = sink["written"]
+            _acc(wq, _mm(hd[written].T, dqs_w).reshape(wq.data.shape))
+            if dh is not None:
+                dh[written] += dqs_w[:, None] * wq.data.reshape(1, -1)
+            ds_all = sink["ds"]
+            wk = self.w_key.weight
+            _acc(wk, _mm(sink["h"].T, ds_all).reshape(wk.data.shape))
+            if sink.get("attr_used"):
+                we = self.w_edge.weight
+                _acc(we, _mm(sink["attr"].T, ds_all).reshape(we.data.shape))
+            return
+        dqs = sink["dqs"]
+        _acc(wq, _mm(hd.T, dqs).reshape(wq.data.shape))
         if dh is not None:
             dh += dqs[:, None] * wq.data.reshape(1, -1)
         _acc(self.w_key.weight, sink["dwk"])

@@ -92,7 +92,7 @@ class _LayeredModel(Module):
 
     def forward(self, batch: PreparedBatch) -> Tensor:
         h = self.embeddings(batch)
-        return self.regressor(h, batch.graph.node_type)
+        return self.regressor(h, batch.graph.node_type, fused=self.compiled)
 
 
 class GCN(_LayeredModel):

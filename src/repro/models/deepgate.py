@@ -151,7 +151,7 @@ class DeepGate(Module):
     ) -> Tensor:
         """Predicted probability per node, shape (N,)."""
         h = self.embeddings(batch, num_iterations)
-        return self.regressor(h, batch.graph.node_type)
+        return self.regressor(h, batch.graph.node_type, fused=self.compiled)
 
     # ------------------------------------------------------------------
     def _propagate_compiled(self, h, schedule, aggregate, combine, use_edge_attr):

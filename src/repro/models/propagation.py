@@ -25,6 +25,38 @@ pass as one autograd node:
   accumulate into flat numpy buffers and hit the parameter tensors once
   per pass.
 
+Two execution layouts (:data:`PASS_LAYOUTS`) decide how far the batching
+goes:
+
+* ``"block"`` (the default) runs over the schedule's
+  :class:`~repro.graphdata.batching.PassBlock` layout: the static share
+  of the GRU input transform (``x_rows @ W_ih[t:] + b_ih``) is ONE GEMM
+  per pass; per-group backward intermediates (gate-input gradients,
+  messages, aggregator activations) land in contiguous pass-wide
+  buffers via slice writes; and every parameter gradient contracts
+  those buffers in one GEMM per parameter at pass end instead of one
+  small GEMM per group.
+* ``"per_group"`` keeps the PR-5 behaviour — parameter-gradient GEMMs
+  per group, accumulated into flat sinks — and serves as the close-in
+  equivalence oracle for the block layout (both are checked against the
+  uncompiled reference).
+
+The layout is a per-process choice: ``REPRO_PASS_LAYOUT`` in the
+environment, :func:`set_pass_layout` from code, or the
+:func:`use_pass_layout` context manager in tests.  Every GEMM on either
+layout runs through the pluggable backend seam
+(:mod:`repro.nn.backends`).
+
+A note on *batch interleaving*: level groups are keyed by level value,
+so when a batch merges several circuits (``graphdata.merge`` /
+``merge_schedules``), nodes of different circuits at the same level
+share one group — the pass depth is the *maximum* circuit depth, not
+the sum.  Circuits never share edges, so this interleaving is exact,
+and it is already optimal: within one circuit every level-``L`` AND
+node has a fanin at level ``L-1``, so a circuit's own chain cannot be
+shortened.  (``tests/graphdata`` pins this with a merged-vs-single
+group-count test.)
+
 Both DeepGate's recurrent layers and the layered baselines run their
 passes through this module via an :class:`AggregateCombineStep` — the
 fused AGGREGATE (any of the paper's four Table II designs) + GRU COMBINE
@@ -35,17 +67,73 @@ remains the equivalence-test oracle.
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..graphdata.batching import CompiledGroup, CompiledSchedule
+from ..graphdata.batching import CompiledGroup, CompiledSchedule, PassBlock
 from ..nn import kernels
+from ..nn.backends import matmul as _mm
 from ..nn.kernels import segment_present_sum
 from ..nn.tensor import Tensor, is_grad_enabled
 from .aggregators import PassStepAggregator, Sink, _acc
 
-__all__ = ["run_pass", "AggregateCombineStep"]
+__all__ = [
+    "run_pass",
+    "AggregateCombineStep",
+    "PASS_LAYOUTS",
+    "LAYOUT_ENV_VAR",
+    "get_pass_layout",
+    "set_pass_layout",
+    "use_pass_layout",
+]
+
+#: the execution layouts run_pass understands
+PASS_LAYOUTS = ("block", "per_group")
+
+LAYOUT_ENV_VAR = "REPRO_PASS_LAYOUT"
+
+_active_layout: Optional[str] = None
+
+
+def _check_layout(name: str, source: str) -> str:
+    if name not in PASS_LAYOUTS:
+        raise ValueError(
+            f"unknown pass layout {name!r} (from {source}); "
+            f"valid layouts: {', '.join(PASS_LAYOUTS)}"
+        )
+    return name
+
+
+def get_pass_layout() -> str:
+    """The process's active layout, resolving the env var on first use."""
+    global _active_layout
+    if _active_layout is None:
+        name = os.environ.get(LAYOUT_ENV_VAR, "").strip()
+        _active_layout = (
+            _check_layout(name, f"${LAYOUT_ENV_VAR}") if name else "block"
+        )
+    return _active_layout
+
+
+def set_pass_layout(name: str) -> str:
+    """Activate a layout by name; returns it."""
+    global _active_layout
+    _active_layout = _check_layout(name, "set_pass_layout")
+    return _active_layout
+
+
+@contextmanager
+def use_pass_layout(name: str):
+    """Temporarily activate a layout; restores the previous one on exit."""
+    global _active_layout
+    previous = _active_layout
+    try:
+        yield set_pass_layout(name)
+    finally:
+        _active_layout = previous
 
 
 class AggregateCombineStep:
@@ -57,6 +145,12 @@ class AggregateCombineStep:
     ``fixed_x`` input mode); ``use_edge_attr`` feeds each group's
     precomputed edge-attribute block to the aggregator (skip
     connections; attention only).
+
+    The ``*_block`` variants implement the pass-wide block layout: the
+    static input-transform share is precomputed in :meth:`begin`, gate
+    gradients and messages land in contiguous pass buffers, and
+    :meth:`end_backward` contracts them into the parameter gradients
+    with one GEMM each.
     """
 
     def __init__(
@@ -83,10 +177,23 @@ class AggregateCombineStep:
             self.combine.w_hh, self.combine.b_hh,
         ]
 
-    def begin(self, hd: np.ndarray) -> Tuple[np.ndarray, object]:
-        """Per-pass pre-projections over the pass-input state."""
+    def begin(
+        self, hd: np.ndarray, block: Optional[PassBlock] = None
+    ) -> Tuple[np.ndarray, object, Optional[np.ndarray]]:
+        """Per-pass pre-projections over the pass-input state.
+
+        Returns ``(gh_full, agg_ctx, gi_static)``; on the block layout
+        with ``fixed_x``, ``gi_static`` is the whole pass's static GRU
+        input-transform share ``x_rows @ W_ih[d:] + b_ih`` in one GEMM
+        (sliced per group, replacing the per-group concatenate).
+        """
         c = self.combine
-        return hd @ c.w_hh.data + c.b_hh.data, self.aggregate.step_begin(hd)
+        gh_full = _mm(hd, c.w_hh.data) + c.b_hh.data
+        gi_static = None
+        if block is not None and self.fixed_x:
+            d = hd.shape[1]
+            gi_static = _mm(block.x_rows, c.w_ih.data[d:]) + c.b_ih.data
+        return gh_full, self.aggregate.step_begin(hd), gi_static
 
     def forward(
         self,
@@ -108,15 +215,59 @@ class AggregateCombineStep:
         )
         return out, (x_in, agg_saved, gru_saved)
 
-    def begin_backward(self, hd: np.ndarray) -> Tuple[Sink, Sink]:
+    def forward_block(
+        self,
+        group: CompiledGroup,
+        h_src: np.ndarray,
+        query: np.ndarray,
+        gh_rows: np.ndarray,
+        agg_ctx,
+        gi_static: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, tuple]:
+        """Block-layout group forward: the GRU input transform splits
+        into the precomputed static share plus a message-only GEMM."""
+        m, agg_saved = self.aggregate.step_forward(
+            group, h_src, agg_ctx, self._edge_attr(group)
+        )
+        c = self.combine
+        if gi_static is not None:
+            o0 = group.node_offset
+            d = query.shape[1]
+            gi = _mm(m, c.w_ih.data[:d]) + gi_static[o0:o0 + len(group.nodes)]
+        else:
+            gi = _mm(m, c.w_ih.data) + c.b_ih.data
+        out, gru_saved = kernels.gru_gates_np(gi, gh_rows, query)
+        # h_src is already a fresh gather the runner made for this group:
+        # retaining it trades a little saved-state memory for skipping the
+        # per-group re-gather in the reverse walk (the per_group layout
+        # keeps the memory-lean _regather_sources path)
+        return out, (m, agg_saved, gru_saved, h_src)
+
+    def begin_backward(
+        self, hd: np.ndarray, block: Optional[PassBlock] = None
+    ) -> Tuple[Sink, Sink]:
         """Zeroed per-pass gradient accumulation buffers."""
         c = self.combine
-        gru_sink: Sink = {
-            "dgh": np.zeros((hd.shape[0], c.w_hh.data.shape[1]), np.float32),
-            "dw_ih": np.zeros_like(c.w_ih.data),
-            "db_ih": np.zeros_like(c.b_ih.data),
-        }
-        return gru_sink, self.aggregate.step_sink(hd)
+        if block is None:
+            gru_sink: Sink = {
+                "dgh": np.zeros(
+                    (hd.shape[0], c.w_hh.data.shape[1]), np.float32
+                ),
+                "dw_ih": np.zeros_like(c.w_ih.data),
+                "db_ih": np.zeros_like(c.b_ih.data),
+            }
+        else:
+            # block layout: every per-group gradient lands in a contiguous
+            # pass-wide buffer (written-node order), scattered/contracted
+            # exactly once in end_backward
+            n_w = block.num_written
+            gru_sink = {
+                "dgh": np.empty((n_w, c.w_hh.data.shape[1]), np.float32),
+                "dgi": np.empty((n_w, c.w_ih.data.shape[1]), np.float32),
+                "m": np.empty((n_w, hd.shape[1]), np.float32),
+                "dq": np.empty((n_w, hd.shape[1]), np.float32),
+            }
+        return gru_sink, self.aggregate.step_sink(hd, block)
 
     def backward(
         self,
@@ -147,24 +298,80 @@ class AggregateCombineStep:
         )
         return dh_src, dquery
 
+    def backward_block(
+        self,
+        group: CompiledGroup,
+        grad: np.ndarray,
+        h_src: np.ndarray,
+        query: np.ndarray,
+        saved: tuple,
+        gru_sink: Sink,
+        agg_sink: Sink,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Block-layout group backward: gate-input gradients and messages
+        land in the pass buffers; no per-group parameter GEMMs."""
+        m, agg_saved, gru_saved, _ = saved
+        c = self.combine
+        o0 = group.node_offset
+        o1 = o0 + len(group.nodes)
+        dgi, _ = kernels.gru_gates_backward_np(
+            grad, query, gru_saved,
+            out_gi=gru_sink["dgi"][o0:o1],
+            out_gh=gru_sink["dgh"][o0:o1],
+        )
+        gru_sink["m"][o0:o1] = m
+        # the direct z*h query path, landed in the pass buffer and folded
+        # into dh once in end_backward
+        np.multiply(grad, gru_saved[1], out=gru_sink["dq"][o0:o1])
+        w_ih = c.w_ih.data
+        dm = _mm(dgi, w_ih[: query.shape[1]].T if self.fixed_x else w_ih.T)
+        dh_src = self.aggregate.step_backward_block(
+            group, dm, h_src, agg_saved, agg_sink, self._edge_attr(group)
+        )
+        return dh_src, None
+
     def end_backward(
         self,
         hd: np.ndarray,
         gru_sink: Sink,
         agg_sink: Sink,
         dh: Optional[np.ndarray],
+        block: Optional[PassBlock] = None,
     ) -> None:
         """Fold the batched per-pass gradients into the parameters (and,
         when the pass input needs one, the hidden-state gradient)."""
         c = self.combine
         dgh = gru_sink["dgh"]
-        _acc(c.w_hh, hd.T @ dgh)
+        if block is None:
+            _acc(c.w_hh, _mm(hd.T, dgh))
+            _acc(c.b_hh, dgh.sum(axis=0))
+            if dh is not None:
+                dh += _mm(dgh, c.w_hh.data.T)
+            self.aggregate.step_end(hd, agg_sink, dh)
+            _acc(c.w_ih, gru_sink["dw_ih"])
+            _acc(c.b_ih, gru_sink["db_ih"])
+            return
+        # dgh is (num_written, 3h) in written order: contract against the
+        # gathered query rows and scatter the recurrent grad back once
+        # (written nodes are unique, so fancy += is exact)
+        hdw = hd[block.written]
+        _acc(c.w_hh, _mm(hdw.T, dgh))
         _acc(c.b_hh, dgh.sum(axis=0))
         if dh is not None:
-            dh += dgh @ c.w_hh.data.T
+            dhw = _mm(dgh, c.w_hh.data.T)
+            dhw += gru_sink["dq"]  # per-group direct z*h query grads
+            dh[block.written] += dhw
         self.aggregate.step_end(hd, agg_sink, dh)
-        _acc(c.w_ih, gru_sink["dw_ih"])
-        _acc(c.b_ih, gru_sink["db_ih"])
+        dgi_all = gru_sink["dgi"]
+        dw_m = _mm(gru_sink["m"].T, dgi_all)
+        if self.fixed_x:
+            dw_ih = np.concatenate(
+                [dw_m, _mm(block.x_rows.T, dgi_all)], axis=0
+            )
+        else:
+            dw_ih = dw_m
+        _acc(c.w_ih, dw_ih)
+        _acc(c.b_ih, dgi_all.sum(axis=0))
 
 
 def _regather_sources(
@@ -191,31 +398,60 @@ def _regather_sources(
 
 
 def run_pass(
-    h: Tensor, schedule: CompiledSchedule, step: AggregateCombineStep
+    h: Tensor,
+    schedule: CompiledSchedule,
+    step: AggregateCombineStep,
+    layout: Optional[str] = None,
 ) -> Tensor:
-    """Run one compiled propagation pass as a single autograd node."""
+    """Run one compiled propagation pass as a single autograd node.
+
+    ``layout`` picks the execution layout (see :data:`PASS_LAYOUTS`);
+    ``None`` uses the process default from :func:`get_pass_layout`.
+    """
     if not schedule.groups:
         return h
+    if layout is None:
+        layout = get_pass_layout()
+    else:
+        _check_layout(layout, "run_pass")
+    block = schedule.block() if layout == "block" else None
     hd = h.data
     params = step.params()
     record = is_grad_enabled() and (
         h.requires_grad or any(p.requires_grad for p in params)
     )
-    gh_full, agg_ctx = step.begin(hd)
+    gh_full, agg_ctx, gi_static = step.begin(hd, block)
     work = hd.copy()
     saved_all: List[tuple] = []
-    for group in schedule.groups:
-        h_src = work[group.src]
-        query = hd[group.nodes]
-        out, saved = step.forward(group, h_src, query, gh_full, agg_ctx)
-        work[group.nodes] = out
-        if record:
-            saved_all.append(saved)
+    q_all: Optional[np.ndarray] = None
+    if block is not None:
+        # one batched gather each for the query rows and their recurrent
+        # pre-activations; groups then take contiguous views
+        q_all = hd[schedule.written]
+        gh_w = gh_full[schedule.written]
+        for group in schedule.groups:
+            o0 = group.node_offset
+            o1 = o0 + len(group.nodes)
+            h_src = work[group.src]
+            out, saved = step.forward_block(
+                group, h_src, q_all[o0:o1], gh_w[o0:o1], agg_ctx, gi_static
+            )
+            work[group.nodes] = out
+            if record:
+                saved_all.append(saved)
+    else:
+        for group in schedule.groups:
+            h_src = work[group.src]
+            query = hd[group.nodes]
+            out, saved = step.forward(group, h_src, query, gh_full, agg_ctx)
+            work[group.nodes] = out
+            if record:
+                saved_all.append(saved)
     groups = schedule.groups
     written = schedule.written
 
     def backward(grad: np.ndarray) -> None:
-        gru_sink, agg_sink = step.begin_backward(hd)
+        gru_sink, agg_sink = step.begin_backward(hd, block)
         # gwork[n] = running gradient w.r.t. whichever rows the pass's
         # working matrix held at the point each group read them; walking
         # groups in reverse means every later consumer has contributed
@@ -223,14 +459,24 @@ def run_pass(
         gwork = grad.copy()
         need_dh = h.requires_grad
         dh = np.zeros_like(hd) if need_dh else None
+        group_backward = (
+            step.backward_block if block is not None else step.backward
+        )
         for group, saved in zip(reversed(groups), reversed(saved_all)):
             g_out = gwork[group.nodes]
-            h_src = _regather_sources(hd, work, group)
-            query = hd[group.nodes]
-            dh_src, dquery = step.backward(
+            if block is not None:
+                # block forwards retain their gather; the per_group
+                # layout re-derives it to keep saved state lean
+                h_src = saved[3]
+                o0 = group.node_offset
+                query = q_all[o0:o0 + len(group.nodes)]
+            else:
+                h_src = _regather_sources(hd, work, group)
+                query = hd[group.nodes]
+            dh_src, dquery = group_backward(
                 group, g_out, h_src, query, saved, gru_sink, agg_sink
             )
-            if need_dh:
+            if need_dh and dquery is not None:
                 dh[group.nodes] += dquery
             for split in group.gather_plan:
                 g = (
@@ -244,7 +490,7 @@ def run_pass(
                         dh[rows] += sums
                 else:
                     gwork[groups[split.producer].nodes[rows]] += sums
-        step.end_backward(hd, gru_sink, agg_sink, dh)
+        step.end_backward(hd, gru_sink, agg_sink, dh, block)
         if need_dh:
             # rows never written flow straight through to the pass input
             gwork[written] = 0.0

@@ -3,6 +3,16 @@
 After ``T`` iterations the hidden state of every node is mapped to a scalar
 probability by an MLP whose weights are *shared among nodes of the same gate
 type* — i.e. one MLP per type, applied to that type's nodes.
+
+Two execution paths:
+
+* the **reference** composite path records one autograd node per gather /
+  linear / activation / scatter, per type — the equivalence oracle;
+* the **fused epilogue** (``fused=True``, used by the compiled models)
+  runs the whole readout as ONE autograd node with a closed-form
+  backward, so the final stage after a compiled pass stops being a chain
+  of ~10 small-tensor graph nodes per type.  Its GEMMs run through the
+  pluggable backend seam like the pass kernels.
 """
 
 from __future__ import annotations
@@ -10,9 +20,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..nn.backends import matmul as _mm
 from ..nn.functional import gather_rows, scatter_rows
 from ..nn.modules import MLP, Module
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, is_grad_enabled
+from .aggregators import _acc
 
 __all__ = ["PerTypeRegressor"]
 
@@ -34,8 +46,12 @@ class PerTypeRegressor(Module):
             for _ in range(num_types)
         ]
 
-    def forward(self, h: Tensor, node_type: np.ndarray) -> Tensor:
+    def forward(
+        self, h: Tensor, node_type: np.ndarray, fused: bool = False
+    ) -> Tensor:
         """Map (N, d) states to (N,) probabilities via the type-wise heads."""
+        if fused:
+            return self._forward_fused(h, node_type)
         n = h.shape[0]
         out = Tensor(np.zeros((n, 1), dtype=np.float32))
         for t in range(self.num_types):
@@ -45,3 +61,48 @@ class PerTypeRegressor(Module):
             pred = self.heads[t](gather_rows(h, idx))
             out = scatter_rows(out, idx, pred)
         return out.reshape(-1)
+
+    def _forward_fused(self, h: Tensor, node_type: np.ndarray) -> Tensor:
+        """The whole readout as one autograd node (closed-form backward)."""
+        hd = h.data
+        out = np.zeros(hd.shape[0], dtype=np.float32)
+        saved = []
+        for t in range(self.num_types):
+            idx = np.flatnonzero(node_type == t)
+            if idx.size == 0:
+                continue
+            lin1, lin2 = self.heads[t].layers
+            x = hd[idx]
+            r1 = np.maximum(
+                _mm(x, lin1.weight.data) + lin1.bias.data, 0.0
+            )
+            z = _mm(r1, lin2.weight.data) + lin2.bias.data
+            p = 1.0 / (1.0 + np.exp(-z))
+            out[idx] = p.ravel()
+            saved.append((t, idx, x, r1, p))
+        params = tuple(
+            p for head in self.heads for p in head.parameters()
+        )
+        if not (
+            is_grad_enabled()
+            and (h.requires_grad or any(p.requires_grad for p in params))
+        ):
+            return Tensor(out)
+
+        def backward(grad: np.ndarray) -> None:
+            need_h = h.requires_grad
+            dh = np.zeros_like(hd) if need_h else None
+            for t, idx, x, r1, p in saved:
+                lin1, lin2 = self.heads[t].layers
+                dz = grad[idx].reshape(-1, 1) * p * (1.0 - p)
+                _acc(lin2.weight, _mm(r1.T, dz))
+                _acc(lin2.bias, dz.sum(axis=0))
+                da1 = _mm(dz, lin2.weight.data.T) * (r1 > 0)
+                _acc(lin1.weight, _mm(x.T, da1))
+                _acc(lin1.bias, da1.sum(axis=0))
+                if need_h:
+                    dh[idx] = _mm(da1, lin1.weight.data.T)
+            if need_h:
+                h._accumulate(dh, own=True)
+
+        return Tensor._make(out, (h, *params), backward)

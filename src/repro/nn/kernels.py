@@ -24,12 +24,15 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .backends import matmul as _mm
+
 __all__ = [
     "SegmentLayout",
     "segment_sum_np",
     "segment_max_np",
     "segment_present_sum",
     "segment_softmax_np",
+    "segment_softmax_weighted_np",
     "attention_forward_np",
     "attention_backward_np",
     "conv_sum_forward_np",
@@ -39,6 +42,8 @@ __all__ = [
     "gated_sum_forward_np",
     "gated_sum_backward_np",
     "gru_forward_np",
+    "gru_gates_np",
+    "gru_gates_backward_np",
     "gru_backward_np",
     "gru_pre_forward_np",
     "gru_pre_backward_np",
@@ -52,14 +57,18 @@ class SegmentLayout:
     level group of a compiled schedule — and reused by every segment sum,
     max and softmax over those ids, forward and backward, every epoch.
 
-    ``order``    stable argsort of ``segment_ids``
-    ``starts``   start offset of each *present* segment within the sorted
-                 order (empty segments simply don't appear)
-    ``present``  the distinct segment ids, ascending, one per ``starts``
+    ``order``      stable argsort of ``segment_ids``
+    ``starts``     start offset of each *present* segment within the sorted
+                   order (empty segments simply don't appear)
+    ``present``    the distinct segment ids, ascending, one per ``starts``
+    ``is_sorted``  True when ``segment_ids`` is already non-decreasing —
+                   compiled level groups emit edges target-ordered, so the
+                   reduction kernels skip the permutation gather entirely
     """
 
     __slots__ = (
-        "segment_ids", "num_segments", "order", "starts", "present", "_counts"
+        "segment_ids", "num_segments", "order", "starts", "present",
+        "is_sorted", "_counts", "_sizes",
     )
 
     def __init__(self, segment_ids: np.ndarray, num_segments: int):
@@ -73,6 +82,7 @@ class SegmentLayout:
                 )
         self.segment_ids = ids
         self.num_segments = int(num_segments)
+        self.is_sorted = bool(ids.size < 2 or (ids[1:] >= ids[:-1]).all())
         self.order = np.argsort(ids, kind="stable")
         sorted_ids = ids[self.order]
         if ids.size:
@@ -85,6 +95,16 @@ class SegmentLayout:
             self.starts = np.zeros(0, np.int64)
             self.present = np.zeros(0, np.int64)
         self._counts: Optional[np.ndarray] = None
+        self._sizes: Optional[np.ndarray] = None
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Element count per *present* segment (``starts``-aligned), cached."""
+        if self._sizes is None:
+            self._sizes = np.diff(
+                np.append(self.starts, self.segment_ids.size)
+            )
+        return self._sizes
 
     @property
     def counts(self) -> np.ndarray:
@@ -119,15 +139,19 @@ def segment_present_sum(
     if not layout.present.size:
         empty = np.zeros((0,) + x.shape[1:], dtype=np.float32)
         return layout.present, empty
-    xs = np.ascontiguousarray(x[layout.order])
+    xs = x if layout.is_sorted else np.ascontiguousarray(x[layout.order])
     return layout.present, np.add.reduceat(xs, layout.starts, axis=0)
 
 
 def segment_sum_np(x: np.ndarray, layout: SegmentLayout) -> np.ndarray:
     """Dense segment sum: ``out[s] = sum_{k: ids[k]==s} x[k]``; zeros for
     empty segments."""
-    out = np.zeros((layout.num_segments,) + x.shape[1:], dtype=np.float32)
     present, sums = segment_present_sum(x, layout)
+    if present.size == layout.num_segments:
+        # every segment present: the reduceat output already IS the dense
+        # result, in segment order — skip the zeros + scatter round-trip
+        return np.asarray(sums, dtype=np.float32)
+    out = np.zeros((layout.num_segments,) + x.shape[1:], dtype=np.float32)
     if present.size:
         out[present] = sums
     return out
@@ -139,7 +163,7 @@ def segment_max_np(
     """Per-segment max of a 1-D array; empty segments take ``fill``."""
     out = np.full(layout.num_segments, fill, dtype=np.float32)
     if layout.present.size:
-        xs = np.ascontiguousarray(x[layout.order])
+        xs = x if layout.is_sorted else np.ascontiguousarray(x[layout.order])
         out[layout.present] = np.maximum.reduceat(xs, layout.starts)
     return out
 
@@ -164,6 +188,55 @@ def segment_softmax_np(
     return exps / denom[ids]
 
 
+def segment_softmax_weighted_np(
+    s: np.ndarray, x: np.ndarray, layout: SegmentLayout
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused ``alpha = segment_softmax(s)`` + ``m = segment_sum(alpha*x)``.
+
+    The attention pass-step runs this once per level group, so the whole
+    score → softmax → weighted-sum chain shares one permutation (none at
+    all on sorted layouts) and broadcasts the per-segment max/denominator
+    with ``np.repeat`` instead of dense scatter + gather round-trips.
+    Returns ``(m, alpha)`` with ``m`` dense ``(num_segments, d)``.
+    """
+    n = layout.num_segments
+    if layout.segment_ids.size == 0:
+        return (
+            np.zeros((n,) + x.shape[1:], dtype=np.float32),
+            np.zeros(0, dtype=np.float32),
+        )
+    if layout.is_sorted:
+        ss, xs = s, x
+    else:
+        ss = s[layout.order]
+        xs = np.ascontiguousarray(x[layout.order])
+    starts, sizes = layout.starts, layout.sizes
+    dense = layout.present.size == n
+    seg_max = np.maximum.reduceat(ss, starts)
+    if dense and layout.is_sorted:
+        # segment ids double as compressed ranks: broadcasting per-segment
+        # values by take is ~4x cheaper than repeat-by-counts
+        ids = layout.segment_ids
+        e = np.exp(ss - seg_max[ids])
+        denom = np.add.reduceat(e, starts)
+        a = e / denom[ids]
+    else:
+        e = np.exp(ss - np.repeat(seg_max, sizes))
+        denom = np.add.reduceat(e, starts)
+        a = e / np.repeat(denom, sizes)
+    msum = np.add.reduceat(xs * a[:, None], starts, axis=0)
+    if dense:
+        m = np.asarray(msum, dtype=np.float32)
+    else:
+        m = np.zeros((n,) + x.shape[1:], dtype=np.float32)
+        m[layout.present] = msum
+    if not layout.is_sorted:
+        alpha = np.empty_like(a)
+        alpha[layout.order] = a
+        a = alpha
+    return m, np.asarray(a, dtype=np.float32)
+
+
 # ---------------------------------------------------------------------------
 # fused additive attention (paper Eq. 5)
 # ---------------------------------------------------------------------------
@@ -186,9 +259,9 @@ def attention_forward_np(
     ``alpha`` saved for the backward.
     """
     seg = layout.segment_ids
-    scores = (q @ wq).reshape(-1)[seg] + (h_src @ wk).reshape(-1)
+    scores = _mm(q, wq).reshape(-1)[seg] + _mm(h_src, wk).reshape(-1)
     if we is not None:
-        scores = scores + (attr @ we).reshape(-1)
+        scores = scores + _mm(attr, we).reshape(-1)
     alpha = segment_softmax_np(scores, layout)
     m = segment_sum_np(h_src * alpha[:, None], layout)
     return m, alpha
@@ -218,11 +291,11 @@ def attention_backward_np(
     weighted = alpha * dalpha
     ds = weighted - alpha * segment_sum_np(weighted, layout)[seg]
     dh += ds[:, None] * wk.reshape(1, -1)
-    dwk = (h_src.T @ ds).reshape(wk.shape)
+    dwk = _mm(h_src.T, ds).reshape(wk.shape)
     ds_t = segment_sum_np(ds, layout)
     dq = ds_t[:, None] * wq.reshape(1, -1)
-    dwq = (q.T @ ds_t).reshape(wq.shape)
-    dwe = (attr.T @ ds).reshape(-1, 1) if need_edge else None
+    dwq = _mm(q.T, ds_t).reshape(wq.shape)
+    dwe = _mm(attr.T, ds).reshape(-1, 1) if need_edge else None
     return dh, dq, dwq, dwk, dwe
 
 
@@ -249,7 +322,7 @@ def conv_sum_forward_np(
     per-segment source sums) saved for the backward.
     """
     s = segment_sum_np(h_src, layout)
-    m = s @ w
+    m = _mm(s, w)
     if b is not None:
         m += layout.counts[:, None] * b
     return m.astype(np.float32, copy=False), s
@@ -268,10 +341,10 @@ def conv_sum_backward_np(
     Returns ``(dh_src, dw, db)``; the weight/bias pair is ``None`` unless
     ``need_w``.
     """
-    dh = (dm @ w.T)[layout.segment_ids] if need_h else None
+    dh = _mm(dm, w.T)[layout.segment_ids] if need_h else None
     if need_w:
-        dw = s.T @ dm
-        db = layout.counts @ dm
+        dw = _mm(s.T, dm)
+        db = _mm(layout.counts, dm)
     else:
         dw = db = None
     return dh, dw, db
@@ -295,15 +368,15 @@ def deepset_forward_np(
     ``(m, saved)`` with the ReLU output, its segment sums and rho's input
     saved for the backward.
     """
-    a1 = h_src @ w1
+    a1 = _mm(h_src, w1)
     if b1 is not None:
         a1 += b1
     r1 = np.maximum(a1, 0.0)
     s1 = segment_sum_np(r1, layout)
-    s2 = s1 @ w2
+    s2 = _mm(s1, w2)
     if b2 is not None:
         s2 += layout.counts[:, None] * b2
-    m = s2 @ wr
+    m = _mm(s2, wr)
     if br is not None:
         m = m + br
     return m.astype(np.float32, copy=False), (r1, s1, s2)
@@ -326,16 +399,16 @@ def deepset_backward_np(
     gradients are ``None`` unless ``need_w``.
     """
     r1, s1, s2 = saved
-    ds2 = dm @ wr.T
-    dr1 = (ds2 @ w2.T)[layout.segment_ids]
+    ds2 = _mm(dm, wr.T)
+    dr1 = _mm(ds2, w2.T)[layout.segment_ids]
     da1 = dr1 * (r1 > 0)
-    dh = da1 @ w1.T if need_h else None
+    dh = _mm(da1, w1.T) if need_h else None
     if need_w:
-        dwr = s2.T @ dm
+        dwr = _mm(s2.T, dm)
         dbr = dm.sum(axis=0)
-        dw2 = s1.T @ ds2
-        db2 = layout.counts @ ds2
-        dw1 = h_src.T @ da1
+        dw2 = _mm(s1.T, ds2)
+        db2 = _mm(layout.counts, ds2)
+        dw1 = _mm(h_src.T, da1)
         db1 = da1.sum(axis=0)
     else:
         dw1 = db1 = dw2 = db2 = dwr = dbr = None
@@ -357,11 +430,11 @@ def gated_sum_forward_np(
     graph (two linears, sigmoid, product, segment sum) into one node with
     the gate and value activations saved.
     """
-    g = h_src @ wg
+    g = _mm(h_src, wg)
     if bg is not None:
         g += bg
     g = _sigmoid(g)
-    v = h_src @ wv
+    v = _mm(h_src, wv)
     if bv is not None:
         v += bv
     m = segment_sum_np(g * v, layout)
@@ -387,11 +460,11 @@ def gated_sum_backward_np(
     dgv = dm[layout.segment_ids]
     dv = dgv * g
     dsg = dgv * v * g * (1.0 - g)
-    dh = (dv @ wv.T + dsg @ wg.T) if need_h else None
+    dh = (_mm(dv, wv.T) + _mm(dsg, wg.T)) if need_h else None
     if need_w:
-        dwv = h_src.T @ dv
+        dwv = _mm(h_src.T, dv)
         dbv = dv.sum(axis=0)
-        dwg = h_src.T @ dsg
+        dwg = _mm(h_src.T, dsg)
         dbg = dsg.sum(axis=0)
     else:
         dwg = dbg = dwv = dbv = None
@@ -403,30 +476,78 @@ def gated_sum_backward_np(
 # ---------------------------------------------------------------------------
 
 
-def _gru_gates(
+def gru_gates_np(
     gi: np.ndarray, gh: np.ndarray, h: np.ndarray
 ) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
-    """Gate math shared by the full and pre-projected GRU forwards."""
+    """GRU gate math given BOTH pre-activations.
+
+    The whole-pass runner's block layout batches the input transform
+    ``gi`` itself (static part once per pass, message part per group), so
+    only the gate nonlinearity is left per group.  Returns
+    ``(h_new, saved)`` like the fused forwards.
+    """
     d = h.shape[1]
-    r = _sigmoid(gi[:, :d] + gh[:, :d])
-    z = _sigmoid(gi[:, d:2 * d] + gh[:, d:2 * d])
+    g = gi + gh  # one (n, 3h) add instead of three gate-sliced ones
+    r = _sigmoid(g[:, :d])
+    z = _sigmoid(g[:, d:2 * d])
     hn = gh[:, 2 * d:]
     n = np.tanh(gi[:, 2 * d:] + r * hn)
-    out = (1.0 - z) * n + z * h
+    out = h - n
+    out *= z
+    out += n           # n + z * (h - n), one temporary instead of two
     return out.astype(np.float32, copy=False), (r, z, n, hn)
 
 
-def _gru_gate_grads(
-    grad: np.ndarray, h: np.ndarray, saved: Tuple[np.ndarray, ...]
+def gru_gates_backward_np(
+    grad: np.ndarray,
+    h: np.ndarray,
+    saved: Tuple[np.ndarray, ...],
+    out_gi: Optional[np.ndarray] = None,
+    out_gh: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Pre-activation gradients ``(dgi, dgh)`` shared by both backwards."""
+    """Pre-activation gradients ``(dgi, dgh)`` of :func:`gru_gates_np`.
+
+    ``out_gi``/``out_gh`` let the caller land the gradients directly in
+    slices of pass-wide accumulation buffers instead of fresh
+    per-group allocations.
+    """
     r, z, n, hn = saved
-    dz = grad * (h - n) * z * (1.0 - z)
-    dn = grad * (1.0 - z) * (1.0 - n * n)
-    dr = dn * hn * r * (1.0 - r)
-    dgi = np.concatenate([dr, dz, dn], axis=1)
-    dgh = np.concatenate([dr, dz, dn * r], axis=1)
+    # in-place chains: these run once per level group on small matrices,
+    # where temporary allocation is a measurable share of the cost
+    dz = h - n
+    dz *= grad
+    dz *= z
+    omz = 1.0 - z
+    dz *= omz          # grad * (h - n) * z * (1 - z)
+    dn = omz
+    dn *= grad         # omz is dead past here; reuse its buffer
+    t = n * n
+    np.subtract(1.0, t, out=t)
+    dn *= t            # grad * (1 - z) * (1 - n^2)
+    dr = hn * dn
+    dr *= r
+    np.subtract(1.0, r, out=t)
+    dr *= t            # dn * hn * r * (1 - r)
+    d = h.shape[1]
+    if out_gi is None:
+        dgi = np.concatenate([dr, dz, dn], axis=1)
+    else:
+        dgi = out_gi
+        dgi[:, :d] = dr
+        dgi[:, d:2 * d] = dz
+        dgi[:, 2 * d:] = dn
+    if out_gh is None:
+        dgh = np.concatenate([dr, dz, dn * r], axis=1)
+    else:
+        dgh = out_gh
+        dgh[:, :d] = dr
+        dgh[:, d:2 * d] = dz
+        np.multiply(dn, r, out=dgh[:, 2 * d:])
     return dgi, dgh
+
+
+_gru_gates = gru_gates_np
+_gru_gate_grads = gru_gates_backward_np
 
 
 def gru_forward_np(
@@ -442,8 +563,8 @@ def gru_forward_np(
     ``h' = (1 - z) * n + z * h`` with ``r = sigmoid(W_r x + U_r h)``,
     ``z`` alike, and ``n = tanh(W_n x + r * (U_n h))`` (biases folded in).
     """
-    gi = x @ w_ih + b_ih
-    gh = h @ w_hh + b_hh
+    gi = _mm(x, w_ih) + b_ih
+    gh = _mm(h, w_hh) + b_hh
     return _gru_gates(gi, gh, h)
 
 
@@ -465,11 +586,11 @@ def gru_backward_np(
     """
     z = saved[1]
     dgi, dgh = _gru_gate_grads(grad, h, saved)
-    dx = dgi @ w_ih.T if need_x else None
-    dh = (dgh @ w_hh.T + grad * z) if need_h else None
+    dx = _mm(dgi, w_ih.T) if need_x else None
+    dh = (_mm(dgh, w_hh.T) + grad * z) if need_h else None
     if need_w:
-        dw_ih = x.T @ dgi
-        dw_hh = h.T @ dgh
+        dw_ih = _mm(x.T, dgi)
+        dw_hh = _mm(h.T, dgh)
         db_ih = dgi.sum(axis=0)
         db_hh = dgh.sum(axis=0)
     else:
@@ -490,7 +611,7 @@ def gru_pre_forward_np(
     pass runner computes it ONCE over the full pass-input state and hands
     each level group its rows, instead of paying a small matmul per group.
     """
-    gi = x @ w_ih + b_ih
+    gi = _mm(x, w_ih) + b_ih
     return _gru_gates(gi, gh, h)
 
 
@@ -514,12 +635,12 @@ def gru_pre_backward_np(
     """
     z = saved[1]
     dgi, dgh = _gru_gate_grads(grad, h, saved)
-    dx = dgi @ w_ih.T if need_x else None
+    dx = _mm(dgi, w_ih.T) if need_x else None
     dh = grad * z if need_h else None
     if not need_gh:
         dgh = None
     if need_w:
-        dw_ih = x.T @ dgi
+        dw_ih = _mm(x.T, dgi)
         db_ih = dgi.sum(axis=0)
     else:
         dw_ih = db_ih = None

@@ -75,13 +75,38 @@ class MicroBatcher:
         return future.result()
 
     def close(self, timeout: float = 10.0) -> None:
-        """Stop accepting work, finish queued jobs, join the worker."""
+        """Stop accepting work, finish queued jobs, join the worker.
+
+        If the worker does not exit within ``timeout`` (``run_batch``
+        wedged mid-cycle), every job still sitting in the queue has its
+        future failed with :class:`BatcherClosed` so no submitter blocks
+        forever on a result that will never come.  Jobs already handed to
+        the wedged ``run_batch`` cannot be recovered here — their futures
+        stay with the cycle that owns them.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             self._queue.put(None)
         self._worker.join(timeout=timeout)
+        if not self._worker.is_alive():
+            return
+        # drain whatever the wedged worker will never reach
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                continue
+            _, future = item
+            future.set_exception(
+                BatcherClosed("micro-batcher closed before the job ran")
+            )
+        # leave a sentinel so a worker that eventually un-wedges exits
+        # instead of blocking forever on an empty queue
+        self._queue.put(None)
 
     # -- worker side ----------------------------------------------------
     def _drain(self) -> List[tuple]:

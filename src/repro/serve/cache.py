@@ -32,14 +32,26 @@ class CacheStats:
     capacity: int
 
 
+class _InFlight:
+    """A build in progress: waiters block on the event, not the cache lock."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: object = None
+        self.error: Optional[BaseException] = None
+
+
 class CompilationCache(Generic[T]):
     """Bounded LRU mapping structural hash → compiled circuit entry.
 
-    ``get_or_build`` runs the builder under the lock, so concurrent
-    requests for the same new circuit compile it exactly once (the
-    second request blocks briefly and then hits).  Compilation is
-    milliseconds against a model pass, so the simplicity beats a
-    per-key future dance.
+    ``get_or_build`` runs the builder OUTSIDE the cache lock: the first
+    requester for a key registers an in-flight marker and builds; later
+    requesters for the *same* key wait on that marker (build-once, and a
+    wait still counts as a hit), while requests for *other* keys proceed
+    unblocked — a slow compile never head-of-line blocks the rest of the
+    cache.
     """
 
     def __init__(self, capacity: int = 128):
@@ -48,6 +60,7 @@ class CompilationCache(Generic[T]):
         self.capacity = capacity
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, T]" = OrderedDict()
+        self._building: Dict[str, _InFlight] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -62,13 +75,42 @@ class CompilationCache(Generic[T]):
                 self._entries.move_to_end(key)
                 self._hits += 1
                 return entry, True
-            self._misses += 1
+            flight = self._building.get(key)
+            if flight is None:
+                # we own the build for this key
+                flight = self._building[key] = _InFlight()
+                self._misses += 1
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                # the owner inserted before signalling; refresh LRU order
+                # unless the entry was already evicted under pressure
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                self._hits += 1
+            return flight.value, True  # type: ignore[return-value]
+        try:
             entry = builder()
+        except BaseException as exc:
+            with self._lock:
+                self._building.pop(key, None)
+            flight.error = exc
+            flight.done.set()
+            raise
+        with self._lock:
             self._entries[key] = entry
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
-            return entry, False
+            self._building.pop(key, None)
+        flight.value = entry
+        flight.done.set()
+        return entry, False
 
     def peek(self, key: str) -> Optional[T]:
         """The entry for ``key`` without touching LRU order or counters."""

@@ -5,7 +5,8 @@ Endpoints:
 * ``POST /query`` — a :class:`~repro.serve.protocol.QueryRequest`
   payload; answers 200 with a ``QueryResponse``, 400 with a structured
   ``ErrorReply`` for protocol/parse/circuit faults (parse errors carry
-  the offending line), 500 for anything unexpected.
+  the offending line), 503 when the batcher is shutting down, 500 for
+  anything unexpected.
 * ``GET /stats`` — cache/batcher/request counters (``StatsReply``).
 * ``GET /healthz`` — liveness probe.
 
@@ -20,6 +21,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from ..aig.errors import CircuitParseError
+from .batcher import BatcherClosed
 from .protocol import (
     ErrorReply,
     HealthReply,
@@ -98,6 +100,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_reply(400, "parse_error", str(exc), line=exc.line)
         except CircuitRejected as exc:
             self._send_error_reply(400, "circuit_error", str(exc))
+        except BatcherClosed as exc:
+            # shutdown race, not a server fault: the client may retry
+            # against a live replica
+            self._send_error_reply(503, "unavailable", str(exc))
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             self._send_error_reply(
                 500, "internal_error", f"{type(exc).__name__}: {exc}"

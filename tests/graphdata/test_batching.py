@@ -389,3 +389,87 @@ class TestMergeSchedules:
 
         with pytest.raises(ValueError, match="empty"):
             merge_schedules([], [])
+
+
+class TestPassBlock:
+    """The compiled schedule's packed per-pass block layout."""
+
+    def _schedule(self, include_skip=True):
+        batch = prepare([graph_of(ripple_adder(5))])
+        return batch.compiled_forward_schedule(include_skip, 4)
+
+    def test_offsets_are_group_cumsums(self):
+        cs = self._schedule()
+        block = cs.block()
+        node_sizes = [len(g.nodes) for g in cs]
+        edge_sizes = [len(g.src) for g in cs]
+        np.testing.assert_array_equal(
+            block.node_offsets, np.cumsum([0] + node_sizes)
+        )
+        np.testing.assert_array_equal(
+            block.edge_offsets, np.cumsum([0] + edge_sizes)
+        )
+        for group in cs:
+            assert block.node_offsets[0] == 0
+            o = group.node_offset
+            np.testing.assert_array_equal(
+                block.written[o:o + len(group.nodes)], group.nodes
+            )
+
+    def test_buffers_concatenate_group_data(self):
+        cs = self._schedule()
+        block = cs.block()
+        assert block.num_written == sum(len(g.nodes) for g in cs)
+        assert block.num_edges == sum(len(g.src) for g in cs)
+        np.testing.assert_array_equal(
+            block.x_rows, np.concatenate([g.x_rows for g in cs])
+        )
+        np.testing.assert_array_equal(
+            block.counts,
+            np.concatenate([g.seg_layout.counts for g in cs]),
+        )
+        np.testing.assert_array_equal(
+            block.edge_attr, np.concatenate([g.edge_attr for g in cs])
+        )
+        np.testing.assert_array_equal(block.written, cs.written)
+
+    def test_cached_and_no_attr_without_skip(self):
+        cs = self._schedule()
+        assert cs.block() is cs.block()
+        no_skip = self._schedule(include_skip=False)
+        assert no_skip.block().edge_attr is None
+
+
+class TestBatchInterleaving:
+    """Level-keyed groups interleave independent circuits: a merged
+    batch's pass depth is the MAX circuit depth, not the sum."""
+
+    def test_merged_group_count_is_max_of_parts(self):
+        g_deep = graph_of(ripple_adder(6))
+        g_shallow = graph_of(parity(4))
+        deep_cs = prepare([g_deep]).compiled_forward_schedule(False, 0)
+        shallow_cs = prepare([g_shallow]).compiled_forward_schedule(False, 0)
+        assert len(shallow_cs.groups) < len(deep_cs.groups)
+        merged_cs = prepare([g_deep, g_shallow]).compiled_forward_schedule(
+            False, 0
+        )
+        assert len(merged_cs.groups) == max(
+            len(deep_cs.groups), len(shallow_cs.groups)
+        )
+
+    def test_same_level_nodes_share_groups(self):
+        g1 = graph_of(ripple_adder(4))
+        g2 = graph_of(ripple_adder(4), seed=1)
+        merged = prepare([g1, g2])
+        cs = merged.compiled_forward_schedule(False, 0)
+        levels = merged.graph.levels
+        boundary = g1.num_nodes
+        crossing = sum(
+            1
+            for group in cs
+            if (group.nodes < boundary).any()
+            and (group.nodes >= boundary).any()
+        )
+        assert crossing > 0  # both circuits genuinely share level groups
+        for group in cs:
+            assert np.unique(levels[group.nodes]).size == 1

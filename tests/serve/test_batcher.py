@@ -179,3 +179,47 @@ class TestShutdown:
         t.join(timeout=5)
         assert results == ["job"]
         assert errors == []
+
+    def test_wedged_worker_fails_queued_futures(self):
+        """If run_batch never returns, close() must not leave later
+        submitters blocked forever on futures nobody will resolve."""
+        wedged = threading.Event()
+        release = threading.Event()
+
+        def run(jobs):
+            wedged.set()
+            # simulate a hung model pass (released during cleanup so the
+            # daemon thread does not outlive the test)
+            release.wait(timeout=30)
+            return list(jobs)
+
+        batcher = MicroBatcher(run, max_wait_ms=0.0, max_batch_size=1)
+        outcomes = {}
+
+        def worker(name):
+            try:
+                outcomes[name] = ("ok", batcher.submit(name))
+            except Exception as exc:  # noqa: BLE001
+                outcomes[name] = ("err", exc)
+
+        first = threading.Thread(target=worker, args=("wedged-job",))
+        first.start()
+        assert wedged.wait(timeout=5)
+        # these land in the queue behind the wedged cycle
+        queued = [
+            threading.Thread(target=worker, args=(f"queued-{i}",))
+            for i in range(3)
+        ]
+        for t in queued:
+            t.start()
+        time.sleep(0.05)
+        batcher.close(timeout=0.2)
+        for t in queued:
+            t.join(timeout=5)
+            assert not t.is_alive(), "queued submitter still blocked"
+        for i in range(3):
+            kind, value = outcomes[f"queued-{i}"]
+            assert kind == "err"
+            assert isinstance(value, BatcherClosed)
+        release.set()
+        first.join(timeout=5)

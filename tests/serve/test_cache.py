@@ -75,6 +75,76 @@ class TestLRU:
 
 
 class TestConcurrency:
+    def test_slow_build_does_not_block_other_keys(self):
+        """A slow compile on one key must not head-of-line block a cache
+        hit (or an independent build) on a different key."""
+        cache = CompilationCache(capacity=4)
+        cache.get_or_build("fast", lambda: "ready")
+        slow_started = threading.Event()
+        release_slow = threading.Event()
+        slow_result = []
+
+        def slow_builder():
+            slow_started.set()
+            assert release_slow.wait(timeout=5.0)
+            return "slow-value"
+
+        slow_thread = threading.Thread(
+            target=lambda: slow_result.append(
+                cache.get_or_build("slow", slow_builder)
+            )
+        )
+        slow_thread.start()
+        assert slow_started.wait(timeout=5.0)
+        # while 'slow' is mid-build, a different key answers immediately
+        done = threading.Event()
+        hit_result = []
+
+        def other_key():
+            hit_result.append(cache.get_or_build("fast", lambda: "?"))
+            done.set()
+
+        threading.Thread(target=other_key).start()
+        assert done.wait(timeout=2.0), (
+            "hit on a different key blocked behind an in-flight build"
+        )
+        assert hit_result == [("ready", True)]
+        release_slow.set()
+        slow_thread.join(timeout=5.0)
+        assert slow_result == [("slow-value", False)]
+
+    def test_same_key_waiters_get_owner_value(self):
+        cache = CompilationCache(capacity=4)
+        release = threading.Event()
+        results = []
+
+        def builder():
+            assert release.wait(timeout=5.0)
+            return "v"
+
+        def request():
+            results.append(cache.get_or_build("k", builder))
+
+        threads = [threading.Thread(target=request) for _ in range(4)]
+        threads[0].start()
+        while "k" not in cache._building:  # owner registered
+            pass
+        for t in threads[1:]:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert sorted(results) == [("v", False)] + [("v", True)] * 3
+
+    def test_failed_build_propagates_and_allows_retry(self):
+        cache = CompilationCache(capacity=4)
+        with pytest.raises(RuntimeError, match="boom"):
+            cache.get_or_build("k", lambda: (_ for _ in ()).throw(
+                RuntimeError("boom")
+            ))
+        # the failure is not cached: a retry builds fresh
+        assert cache.get_or_build("k", lambda: "ok") == ("ok", False)
+
     def test_concurrent_same_key_builds_once(self):
         cache = CompilationCache(capacity=4)
         built = []

@@ -172,6 +172,26 @@ class TestClient:
 
 
 class TestShutdown:
+    def test_closed_batcher_maps_to_503(self, model, adder_aag):
+        """A query racing shutdown gets 503 (retryable), not a 500."""
+        service = InferenceService(model, max_wait_ms=0.0)
+        srv = ServeServer(service, port=0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            service.batcher.close()
+            client = ServeClient(
+                f"http://{srv.host}:{srv.port}", timeout=10.0
+            )
+            with pytest.raises(ServeClientError) as info:
+                client.query(adder_aag)
+            assert info.value.status == 503
+            assert info.value.kind == "unavailable"
+        finally:
+            srv.shutdown()
+            thread.join(timeout=10)
+            srv.close()
+
     def test_close_stops_the_service(self, model):
         service = InferenceService(model, max_wait_ms=0.0)
         srv = ServeServer(service, port=0)
