@@ -16,6 +16,8 @@ Subcommands cover the library's workflow end to end::
     python -m repro experiment compare runs/table2/<hash-a> runs/table2/<hash-b>
     python -m repro experiment capture sat_oracle --scale smoke
     python -m repro experiment verify
+    python -m repro experiment run table2 --scale smoke --dist --workers 4
+    python -m repro worker experiment table2 --scale smoke
 
 Circuit formats are chosen by suffix: ``.bench`` (ISCAS), ``.v``
 (structural Verilog) and ``.aag`` (ASCII AIGER).
@@ -179,13 +181,14 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_dataset_build(args: argparse.Namespace) -> int:
-    from .datagen.pipeline import (
-        PipelineConfig,
-        build_shards,
-        default_workers,
-        plan_shards,
-    )
+def _pipeline_config_from_args(args: argparse.Namespace):
+    """The dataset ``PipelineConfig`` for build/worker CLI arguments.
+
+    One constructor for ``dataset build`` and ``worker dataset`` so a
+    standalone worker computes the exact config (hence config hash,
+    shard plan and lease namespace) of the build it is joining.
+    """
+    from .datagen.pipeline import PipelineConfig
     from .experiments.common import get_scale
 
     try:
@@ -217,14 +220,63 @@ def cmd_dataset_build(args: argparse.Namespace) -> int:
             config = dataclasses.replace(config, **overrides)
     except ValueError as exc:
         raise SystemExit(str(exc))
+    return config
 
+
+def _dist_config(args: argparse.Namespace):
+    """A ``DistConfig`` from env knobs plus any explicit CLI overrides."""
+    from .dist import DistConfig
+
+    try:
+        return DistConfig.from_env(
+            lease_ttl=args.lease_ttl,
+            heartbeat_interval=args.heartbeat_interval,
+            max_attempts=args.max_attempts,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _dist_progress(event) -> None:
+    """One live line per distributed work-item event on stderr."""
+    detail = event.get("detail") or ""
+    print(
+        f"[dist] {event['status']}: {event['label']}"
+        + (f" ({detail})" if detail else ""),
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def cmd_dataset_build(args: argparse.Namespace) -> int:
+    from .datagen.pipeline import build_shards, default_workers, plan_shards
+
+    config = _pipeline_config_from_args(args)
     workers = args.workers or default_workers()
+    mode = "distributed workers" if args.dist else "workers"
     print(
         f"building {sum(c for _, c in config.suites)} circuits "
-        f"({len(plan_shards(config))} shards, {workers} workers) "
+        f"({len(plan_shards(config))} shards, {workers} {mode}) "
         f"-> {args.out}"
     )
-    result = build_shards(config, args.out, workers=workers, force=args.force)
+    if args.dist:
+        from .dist import PoisonedWorkError, build_shards_distributed
+
+        try:
+            result = build_shards_distributed(
+                config,
+                args.out,
+                workers=workers,
+                cfg=_dist_config(args),
+                force=args.force,
+                progress=_dist_progress,
+            )
+        except PoisonedWorkError as exc:
+            raise SystemExit(str(exc))
+    else:
+        result = build_shards(
+            config, args.out, workers=workers, force=args.force
+        )
     status = "cache hit" if result.cache_hit else "built"
     print(
         f"{status}: {result.total_circuits} circuits in "
@@ -375,14 +427,30 @@ def cmd_experiment_run(args: argparse.Namespace) -> int:
     exp, spec = _experiment_spec(args)
     workers = args.workers if args.workers else default_workers()
     try:
-        record = execute_parallel(
-            args.name,
-            spec,
-            runs_dir=args.runs_dir,
-            workers=workers,
-            force=args.force,
-            progress=None if args.quiet else _unit_progress,
-        )
+        if args.dist:
+            from .dist import PoisonedWorkError, execute_distributed
+
+            try:
+                record = execute_distributed(
+                    args.name,
+                    spec,
+                    runs_dir=args.runs_dir,
+                    workers=workers,
+                    cfg=_dist_config(args),
+                    force=args.force,
+                    progress=None if args.quiet else _dist_progress,
+                )
+            except PoisonedWorkError as exc:
+                raise SystemExit(str(exc))
+        else:
+            record = execute_parallel(
+                args.name,
+                spec,
+                runs_dir=args.runs_dir,
+                workers=workers,
+                force=args.force,
+                progress=None if args.quiet else _unit_progress,
+            )
     except ValueError as exc:  # bad spec values surface at run time
         raise SystemExit(str(exc))
     status = "cache hit" if record.cache_hit else "ran"
@@ -609,6 +677,52 @@ def cmd_experiment_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_worker_until_signalled(source, args: argparse.Namespace) -> int:
+    """Drive one standalone worker loop with a SIGTERM/SIGINT drain."""
+    import signal
+    import threading
+
+    from .dist import run_worker
+
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: stop.set())
+    report = run_worker(
+        source,
+        _dist_config(args),
+        stop_event=stop,
+        progress=None if args.quiet else _dist_progress,
+    )
+    drained = " (drained on signal)" if report.drained else ""
+    print(
+        f"worker {report.owner}: {len(report.completed)} completed, "
+        f"{report.skipped_done} already done, {report.failed} failed, "
+        f"{report.abandoned} abandoned, {len(report.poisoned)} "
+        f"poisoned{drained}"
+    )
+    return 0
+
+
+def cmd_worker_experiment(args: argparse.Namespace) -> int:
+    from .dist import ExperimentWorkSource
+    from .runtime.runner import default_runs_dir
+
+    _, spec = _experiment_spec(args)
+    root = Path(args.runs_dir) if args.runs_dir else default_runs_dir()
+    try:
+        source = ExperimentWorkSource(args.name, spec, root)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    return _run_worker_until_signalled(source, args)
+
+
+def cmd_worker_dataset(args: argparse.Namespace) -> int:
+    from .dist import DatasetWorkSource
+
+    source = DatasetWorkSource(_pipeline_config_from_args(args), args.out)
+    return _run_worker_until_signalled(source, args)
+
+
 def _circuit_format(path: str) -> str:
     """Map a circuit file suffix onto a serve protocol format name."""
     if path.endswith(".bench"):
@@ -650,6 +764,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             max_batch_size=args.max_batch_size,
             max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
             batch_mode=args.batch_mode,
         )
     except ValueError as exc:
@@ -680,7 +795,9 @@ def cmd_query(args: argparse.Namespace) -> int:
 
     from .serve import ServeClient, ServeClientError
 
-    client = ServeClient(args.url, timeout=args.timeout)
+    client = ServeClient(
+        args.url, timeout=args.timeout, retries=args.retries
+    )
     try:
         if args.stats:
             reply = client.stats()
@@ -781,29 +898,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dataset_sub = p.add_subparsers(dest="dataset_command", required=True)
 
+    def _add_dataset_config_args(q: argparse.ArgumentParser) -> None:
+        q.add_argument("--out", required=True, help="dataset directory")
+        q.add_argument(
+            "--scale", default="smoke", choices=["smoke", "default", "paper"],
+            help="base config (circuit counts, pattern budget, size window)",
+        )
+        q.add_argument(
+            "--suite", action="append", metavar="NAME=COUNT",
+            help="override suite counts, e.g. --suite EPFL=100 --suite ITC99=50",
+        )
+        q.add_argument("--seed", type=int, default=None)
+        q.add_argument("--patterns", type=int, default=0,
+                       help="simulation patterns per circuit")
+        q.add_argument("--shard-size", type=int, default=8,
+                       help="circuits per shard file")
+
+    def _add_dist_args(q: argparse.ArgumentParser) -> None:
+        q.add_argument(
+            "--lease-ttl", type=float, default=None,
+            help="seconds without a heartbeat before a lease is "
+                 "reclaimable (default: REPRO_LEASE_TTL or 15)",
+        )
+        q.add_argument(
+            "--heartbeat-interval", type=float, default=None,
+            help="seconds between lease renewals "
+                 "(default: REPRO_HEARTBEAT_INTERVAL or 2)",
+        )
+        q.add_argument(
+            "--max-attempts", type=int, default=None,
+            help="claims before a failing item is quarantined "
+                 "(default: REPRO_MAX_ATTEMPTS or 3)",
+        )
+
     p = dataset_sub.add_parser(
         "build", help="build (or reuse) a sharded labelled dataset"
     )
-    p.add_argument("--out", required=True, help="dataset directory")
-    p.add_argument(
-        "--scale", default="smoke", choices=["smoke", "default", "paper"],
-        help="base config (circuit counts, pattern budget, size window)",
-    )
-    p.add_argument(
-        "--suite", action="append", metavar="NAME=COUNT",
-        help="override suite counts, e.g. --suite EPFL=100 --suite ITC99=50",
-    )
+    _add_dataset_config_args(p)
     p.add_argument(
         "--workers", type=int, default=0,
         help="worker processes (0 = REPRO_WORKERS env var or CPU count)",
     )
-    p.add_argument("--seed", type=int, default=None)
-    p.add_argument("--patterns", type=int, default=0,
-                   help="simulation patterns per circuit")
-    p.add_argument("--shard-size", type=int, default=8,
-                   help="circuits per shard file")
     p.add_argument("--force", action="store_true",
                    help="rebuild even on a cache hit")
+    p.add_argument(
+        "--dist", action="store_true",
+        help="build on the fault-tolerant lease-based worker fleet "
+             "(extra `repro worker dataset` processes may join)",
+    )
+    _add_dist_args(p)
     p.set_defaults(func=cmd_dataset_build)
 
     p = dataset_sub.add_parser("info", help="summarise a dataset directory")
@@ -903,6 +1046,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("--quiet", action="store_true",
                    help="suppress per-unit progress lines")
+    q.add_argument(
+        "--dist", action="store_true",
+        help="run on the fault-tolerant lease-based worker fleet "
+             "(extra `repro worker experiment` processes may join)",
+    )
+    _add_dist_args(q)
     q.set_defaults(func=cmd_experiment_run)
 
     q = exp_sub.add_parser("list", help="list registered experiments")
@@ -1028,6 +1177,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-wait-ms", type=float, default=2.0,
                    help="coalescing window after the first queued request")
     p.add_argument(
+        "--max-queue", type=int, default=128,
+        help="jobs in flight before requests are shed with 503 + "
+             "Retry-After",
+    )
+    p.add_argument(
         "--batch-mode", default="exact", choices=["exact", "merged"],
         help="exact: one pass per unique circuit (bitwise-reproducible); "
              "merged: fuse distinct circuits into one pass (~1 ulp)",
@@ -1062,7 +1216,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10,
                    help="predictions shown in text mode (0 = all)")
     p.add_argument("--timeout", type=float, default=60.0)
+    p.add_argument(
+        "--retries", type=int, default=0,
+        help="retry 503/transport failures this many times with "
+             "exponential backoff (honours Retry-After)",
+    )
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "worker",
+        help="join an in-flight --dist run as an extra lease-based worker",
+    )
+    worker_sub = p.add_subparsers(dest="worker_command", required=True)
+
+    q = worker_sub.add_parser(
+        "experiment",
+        help="work experiment units (same spec args as `experiment run`)",
+    )
+    _add_spec_args(q)
+    q.add_argument("--quiet", action="store_true",
+                   help="suppress per-item progress lines")
+    _add_dist_args(q)
+    q.set_defaults(func=cmd_worker_experiment)
+
+    q = worker_sub.add_parser(
+        "dataset",
+        help="work dataset shards (same config args as `dataset build`)",
+    )
+    _add_dataset_config_args(q)
+    q.add_argument("--quiet", action="store_true",
+                   help="suppress per-item progress lines")
+    _add_dist_args(q)
+    q.set_defaults(func=cmd_worker_dataset)
 
     return parser
 

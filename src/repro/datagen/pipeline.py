@@ -68,6 +68,8 @@ __all__ = [
     "plan_shards",
     "generate_shard",
     "generate_suite",
+    "shard_metadata",
+    "write_manifest",
     "build_shards",
     "load_manifest",
     "manifest_is_current",
@@ -249,6 +251,26 @@ def generate_suite(config: PipelineConfig, suite: str) -> List[CircuitGraph]:
 # ---------------------------------------------------------------------------
 
 
+def shard_metadata(
+    spec: ShardSpec, graphs: List[CircuitGraph], sha: str
+) -> Dict[str, object]:
+    """The manifest entry for one written shard.
+
+    One canonical constructor, shared by the pool builder and the
+    distributed workers, so manifests assembled from either path are
+    byte-identical for the same shards.
+    """
+    return {
+        "filename": spec.filename,
+        "suite": spec.suite,
+        "shard_index": spec.index,
+        "num_circuits": len(graphs),
+        "num_nodes": int(sum(g.num_nodes for g in graphs)),
+        "circuits": [g.name for g in graphs],
+        "sha256": sha,
+    }
+
+
 def _build_one(
     args: Tuple[Dict[str, object], str, str, int, int]
 ) -> Dict[str, object]:
@@ -263,15 +285,7 @@ def _build_one(
     graphs = generate_shard(config, spec)
     path = Path(out_dir) / spec.filename
     sha = write_shard(path, graphs)
-    return {
-        "filename": spec.filename,
-        "suite": spec.suite,
-        "shard_index": spec.index,
-        "num_circuits": len(graphs),
-        "num_nodes": int(sum(g.num_nodes for g in graphs)),
-        "circuits": [g.name for g in graphs],
-        "sha256": sha,
-    }
+    return shard_metadata(spec, graphs, sha)
 
 
 def manifest_is_current(
@@ -292,9 +306,10 @@ def manifest_is_current(
     return True
 
 
-def _write_manifest(
+def write_manifest(
     out_dir: Path, config: PipelineConfig, shards: List[Dict[str, object]]
 ) -> Dict[str, object]:
+    """Write the certifying dataset manifest (atomically, always last)."""
     manifest: Dict[str, object] = {
         "format_version": MANIFEST_FORMAT_VERSION,
         "shard_format_version": SHARD_FORMAT_VERSION,
@@ -380,7 +395,7 @@ def build_shards(
     # manifest order == plan order regardless of completion order
     order = {(s.suite, s.index): k for k, s in enumerate(specs)}
     metas.sort(key=lambda m: order[(m["suite"], m["shard_index"])])
-    manifest = _write_manifest(out_dir, config, metas)
+    manifest = write_manifest(out_dir, config, metas)
     return BuildResult(
         manifest=manifest,
         out_dir=out_dir,

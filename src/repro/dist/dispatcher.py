@@ -1,0 +1,357 @@
+"""Fleet supervision and the high-level distributed entry points.
+
+:func:`run_distributed` spawns N worker processes over one
+:class:`~repro.dist.work.WorkSource` and babysits them:
+
+* a worker that exits cleanly has nothing left to claim — the fleet is
+  simply done, or draining;
+* a worker that *dies* (crash, ``kill -9``, injected fault) is reaped,
+  counted, and respawned while the respawn budget lasts; past the
+  budget the fleet degrades gracefully to fewer workers;
+* if every subprocess is gone and work remains, the dispatcher runs the
+  worker loop **inline** as a floor — a run never stalls just because
+  its fleet died, it just gets slower;
+* items that burned through their retry budget surface as
+  :class:`PoisonedWorkError` listing every quarantined key and its last
+  error, instead of hanging the run forever.
+
+Because workers coordinate purely through lease files in the shared
+layout, supervision is optional: standalone ``repro worker`` processes
+(possibly on other hosts sharing the filesystem) join and leave the
+same run freely, and the dispatcher treats their progress exactly like
+its own fleet's.
+
+On top of the generic loop sit the two user-facing wrappers —
+:func:`execute_distributed` (mirrors
+:func:`repro.runtime.parallel.execute_parallel`, including the run
+cache and byte-identical ``result.json``) and
+:func:`build_shards_distributed` (mirrors
+:func:`repro.datagen.pipeline.build_shards`, including manifest
+equality for any worker count).
+"""
+
+from __future__ import annotations
+
+import shutil
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..datagen.pipeline import (
+    BuildResult,
+    PipelineConfig,
+    load_manifest,
+    manifest_is_current,
+    write_manifest,
+)
+from ..runtime.parallel import UNITS_DIR_NAME, _pool_context
+from ..runtime.registry import ExperimentSpec
+from ..runtime.runner import (
+    RunRecord,
+    default_runs_dir,
+    load_cached_record,
+    write_run_artifacts,
+)
+from .config import DistConfig
+from .leases import LeaseStore, new_owner_id
+from .work import DatasetWorkSource, ExperimentWorkSource, WorkSource
+from .worker import WorkerProgress, run_worker
+
+__all__ = [
+    "PoisonedWorkError",
+    "DistSummary",
+    "run_distributed",
+    "execute_distributed",
+    "build_shards_distributed",
+]
+
+
+class PoisonedWorkError(RuntimeError):
+    """Work items exhausted their retry budget and were quarantined."""
+
+    def __init__(self, source_name: str, poisoned: Dict[str, Dict[str, object]]):
+        self.poisoned = poisoned
+        lines = [
+            f"{len(poisoned)} work item(s) of {source_name} poisoned after "
+            "repeated failures:"
+        ]
+        for key, record in sorted(poisoned.items()):
+            lines.append(
+                f"  - {key} (attempts={record.get('attempts', '?')}): "
+                f"{record.get('last_error', '') or 'no recorded error'}"
+            )
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class DistSummary:
+    """What the supervision loop observed for one distributed run."""
+
+    workers: int
+    worker_deaths: int = 0
+    respawns: int = 0
+    ran_inline: bool = False
+    poisoned: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        return self.worker_deaths > self.respawns or self.ran_inline
+
+
+def _worker_proc_main(
+    source: WorkSource, cfg: DistConfig, index: int
+) -> None:
+    """Subprocess entry: one worker loop with a SIGTERM drain handler."""
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    run_worker(
+        source,
+        cfg,
+        owner=new_owner_id(f"worker{index}"),
+        stop_event=stop,
+    )
+
+
+def _resolved(source: WorkSource, store: LeaseStore) -> bool:
+    poisoned = store.poisoned()
+    return all(
+        item.is_done() or item.key in poisoned for item in source.items()
+    )
+
+
+def run_distributed(
+    source: WorkSource,
+    workers: int = 2,
+    cfg: Optional[DistConfig] = None,
+    progress: Optional[WorkerProgress] = None,
+    respawn_budget: Optional[int] = None,
+) -> DistSummary:
+    """Drive ``source`` to resolution with a supervised worker fleet.
+
+    Blocks until every item is committed or quarantined.  Dead workers
+    are respawned up to ``respawn_budget`` times (default: one refill
+    per slot); beyond that the fleet degrades, down to an inline
+    fallback in this process.  Does **not** raise for poisoned items —
+    callers inspect ``summary.poisoned`` and decide (the high-level
+    wrappers raise :class:`PoisonedWorkError`).
+    """
+    cfg = DistConfig() if cfg is None else cfg
+    workers = max(1, int(workers))
+    budget = workers if respawn_budget is None else max(0, respawn_budget)
+    start = time.perf_counter()
+
+    store = LeaseStore(source.coordination_dir(), ttl=cfg.lease_ttl)
+    summary = DistSummary(workers=workers)
+    if _resolved(source, store):
+        summary.poisoned = store.poisoned()
+        summary.elapsed = time.perf_counter() - start
+        return summary
+
+    ctx = _pool_context()
+
+    def spawn(index: int):
+        proc = ctx.Process(
+            target=_worker_proc_main,
+            args=(source, cfg, index),
+            name=f"repro-dist-worker-{index}",
+            daemon=False,
+        )
+        proc.start()
+        return proc
+
+    procs: List[Optional[object]] = [spawn(i) for i in range(workers)]
+    try:
+        while not _resolved(source, store):
+            for i, proc in enumerate(procs):
+                if proc is None or proc.is_alive():
+                    continue
+                proc.join()
+                if proc.exitcode == 0:
+                    # clean exit: that worker saw nothing left to claim
+                    procs[i] = None
+                    continue
+                summary.worker_deaths += 1
+                if progress is not None:
+                    progress(
+                        {
+                            "status": "worker-died",
+                            "key": proc.name,
+                            "label": proc.name,
+                            "detail": f"exit code {proc.exitcode}",
+                        }
+                    )
+                if summary.respawns < budget:
+                    summary.respawns += 1
+                    procs[i] = spawn(i)
+                else:
+                    procs[i] = None  # degraded: run on with fewer workers
+            if all(p is None for p in procs):
+                if _resolved(source, store):
+                    break
+                # every subprocess is gone (dead past the respawn budget,
+                # or finished while a lease was still settling): finish
+                # the job inline rather than stall the run
+                summary.ran_inline = True
+                run_worker(
+                    source, cfg, owner=new_owner_id("dispatcher"),
+                    progress=progress,
+                )
+                break
+            time.sleep(cfg.poll_interval)
+    finally:
+        for proc in procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()  # SIGTERM: workers drain and release
+        for proc in procs:
+            if proc is not None:
+                proc.join()
+
+    summary.poisoned = store.poisoned()
+    summary.elapsed = time.perf_counter() - start
+    return summary
+
+
+def _dist_manifest_extra(
+    summary: DistSummary, cfg: DistConfig
+) -> Dict[str, object]:
+    return {
+        "mode": "distributed",
+        "workers": summary.workers,
+        "worker_deaths": summary.worker_deaths,
+        "respawns": summary.respawns,
+        "ran_inline": summary.ran_inline,
+        "lease_ttl": cfg.lease_ttl,
+        "heartbeat_interval": cfg.heartbeat_interval,
+        "max_attempts": cfg.max_attempts,
+    }
+
+
+def execute_distributed(
+    name: str,
+    spec: Optional[ExperimentSpec] = None,
+    runs_dir: Optional[Union[str, Path]] = None,
+    workers: int = 2,
+    cfg: Optional[DistConfig] = None,
+    force: bool = False,
+    progress: Optional[WorkerProgress] = None,
+) -> RunRecord:
+    """Run experiment ``name`` on a fault-tolerant worker fleet.
+
+    Same cache semantics and byte-identical ``result.json`` as
+    :func:`repro.runtime.parallel.execute_parallel`; only the manifest's
+    execution metadata differs.  Raises :class:`PoisonedWorkError` when
+    any unit exhausts its retry budget.
+    """
+    cfg = DistConfig() if cfg is None else cfg
+    root = Path(runs_dir) if runs_dir is not None else default_runs_dir()
+    source = ExperimentWorkSource(name, spec, root)
+
+    start = time.perf_counter()
+    if not force:
+        cached = load_cached_record(
+            name,
+            source.spec,
+            source.out_dir,
+            source.digest,
+            elapsed=time.perf_counter() - start,
+        )
+        if cached is not None:
+            return cached
+    else:
+        # recompute everything: drop unit caches and coordination state
+        shutil.rmtree(source.out_dir / UNITS_DIR_NAME, ignore_errors=True)
+        shutil.rmtree(source.coordination_dir(), ignore_errors=True)
+
+    summary = run_distributed(
+        source, workers=workers, cfg=cfg, progress=progress
+    )
+    if summary.poisoned:
+        raise PoisonedWorkError(name, summary.poisoned)
+
+    # every unit committed: the coordination state is spent.  Drop it so
+    # the finished run dir matches a serial run tree-for-tree (late
+    # workers recreate .dist/ lazily and find nothing left to claim)
+    shutil.rmtree(source.coordination_dir(), ignore_errors=True)
+
+    result_obj = source.exp.merge(source.spec, source.unit_results())
+    elapsed = time.perf_counter() - start
+    return write_run_artifacts(
+        source.exp,
+        source.spec,
+        source.digest,
+        source.out_dir,
+        result_obj,
+        elapsed,
+        manifest_extra={
+            "units": {
+                u.key: d[:16]
+                for u, d in zip(source.units, source.digests)
+            },
+            "dist": _dist_manifest_extra(summary, cfg),
+        },
+    )
+
+
+def build_shards_distributed(
+    config: PipelineConfig,
+    out_dir: Union[str, Path],
+    workers: int = 2,
+    cfg: Optional[DistConfig] = None,
+    force: bool = False,
+    progress: Optional[WorkerProgress] = None,
+) -> BuildResult:
+    """Build a sharded dataset on a fault-tolerant worker fleet.
+
+    Cache, shard bytes and manifest match
+    :func:`repro.datagen.pipeline.build_shards` exactly — the manifest
+    is assembled from per-shard meta records in plan order, through the
+    same :func:`~repro.datagen.pipeline.write_manifest`.
+    """
+    cfg = DistConfig() if cfg is None else cfg
+    out_dir = Path(out_dir)
+    start = time.perf_counter()
+    if not force and manifest_is_current(out_dir, config):
+        manifest = load_manifest(out_dir)
+        assert manifest is not None
+        return BuildResult(
+            manifest=manifest,
+            out_dir=out_dir,
+            cache_hit=True,
+            elapsed=time.perf_counter() - start,
+        )
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    source = DatasetWorkSource(config, out_dir)
+    if force:
+        shutil.rmtree(source.coordination_dir(), ignore_errors=True)
+    # drop shards from a previous (now stale) build so the directory
+    # never mixes generations — same rule as the pool builder
+    stale = load_manifest(out_dir)
+    if stale is not None and stale.get("config_hash") != config.config_hash():
+        for shard in stale.get("shards", []):
+            try:
+                (out_dir / shard["filename"]).unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    summary = run_distributed(
+        source, workers=workers, cfg=cfg, progress=progress
+    )
+    if summary.poisoned:
+        raise PoisonedWorkError(source.name, summary.poisoned)
+
+    manifest = write_manifest(out_dir, config, source.shard_metas())
+    # manifest written from the per-shard meta records: the coordination
+    # state is spent.  Drop it so the dataset dir diffs clean against a
+    # serial build
+    shutil.rmtree(source.coordination_dir(), ignore_errors=True)
+    return BuildResult(
+        manifest=manifest,
+        out_dir=out_dir,
+        cache_hit=False,
+        elapsed=time.perf_counter() - start,
+    )

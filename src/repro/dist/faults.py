@@ -1,0 +1,168 @@
+"""Deterministic fault injection for the distributed execution layer.
+
+The chaos suite (and the CI ``chaos`` job) needs workers that fail *on
+purpose, at an exact protocol point, exactly once* — a random
+fault-injection sleep would make the byte-identical-results assertion
+flaky.  ``REPRO_FAULT_PLAN`` names the faults::
+
+    REPRO_FAULT_PLAN="crash_before_commit@gcn/conv_sum;stall_past_lease@*"
+
+Each clause is ``<kind>@<work-item key>`` (``*`` matches any item), with
+clauses separated by ``;``.  Kinds:
+
+* ``crash_before_commit`` — the worker dies (``os._exit``) after
+  computing a unit but before publishing it: the run must recover by
+  lease expiry and a retry, and no partial artifact may exist;
+* ``crash_after_commit`` — the worker dies between the atomic commit
+  and the lease release: the run must recognise the committed unit and
+  clean up without re-executing it;
+* ``stall_past_lease`` — the worker wedges (heartbeats suspended)
+  until its lease expires, then wakes: it must notice the lost lease
+  and abandon its result instead of double-publishing;
+* ``torn_write`` — the worker writes a truncated artifact *in place*
+  (the failure mode atomic commits exist to prevent) and dies: readers
+  must treat the torn state as a cache miss and the retry must clear it.
+
+Every fault fires **once per (kind, key) per run**, coordinated across
+worker processes by an atomic marker file under the run's coordination
+directory — so a crashed-and-retried unit completes on the second
+attempt instead of crash-looping.  The plan travels by environment
+variable, so it reaches dispatcher-spawned workers and standalone
+``repro worker`` processes alike.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "CRASH_EXIT_CODE",
+    "FaultPlanError",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+FAULT_KINDS = (
+    "crash_before_commit",
+    "crash_after_commit",
+    "stall_past_lease",
+    "torn_write",
+)
+
+#: exit status of an injected crash — distinguishable from a real fault
+CRASH_EXIT_CODE = 57
+
+FIRED_DIR = "faults-fired"
+
+
+class FaultPlanError(ValueError):
+    """``REPRO_FAULT_PLAN`` does not parse."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: a kind aimed at a work-item key (or ``*``)."""
+
+    kind: str
+    key: str
+
+    def matches(self, key: str) -> bool:
+        return self.key == "*" or self.key == key
+
+    @property
+    def marker(self) -> str:
+        digest = hashlib.sha256(
+            f"{self.kind}@{self.key}".encode("utf-8")
+        ).hexdigest()
+        return f"{self.kind}.{digest[:16]}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed ``REPRO_FAULT_PLAN`` value."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        specs = []
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            kind, sep, key = clause.partition("@")
+            if not sep or not key:
+                raise FaultPlanError(
+                    f"bad fault clause {clause!r}: use <kind>@<key>"
+                )
+            if kind not in FAULT_KINDS:
+                raise FaultPlanError(
+                    f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}"
+                )
+            specs.append(FaultSpec(kind=kind, key=key))
+        return cls(specs=tuple(specs))
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "FaultPlan":
+        env = os.environ if env is None else env
+        return cls.parse(env.get(FAULT_PLAN_ENV, ""))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def planned(self, kind: str, key: str) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.kind == kind and spec.matches(key):
+                return spec
+        return None
+
+
+class FaultInjector:
+    """Fire planned faults exactly once per run, across processes.
+
+    ``take(kind, key)`` returns True when this call (in this process,
+    among all cooperating processes) owns the firing of a planned fault.
+    The once-only guarantee comes from ``O_CREAT|O_EXCL`` on a marker
+    file under ``state_dir`` — whichever process creates it fires; every
+    later taker sees the marker and declines.
+    """
+
+    def __init__(self, plan: FaultPlan, state_dir: Union[str, Path]):
+        self.plan = plan
+        self.state_dir = Path(state_dir) / FIRED_DIR
+
+    @classmethod
+    def from_env(
+        cls,
+        state_dir: Union[str, Path],
+        env: Optional[Mapping[str, str]] = None,
+    ) -> "FaultInjector":
+        return cls(FaultPlan.from_env(env), state_dir)
+
+    def take(self, kind: str, key: str) -> bool:
+        spec = self.plan.planned(kind, key)
+        if spec is None:
+            return False
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        marker = self.state_dir / spec.marker
+        try:
+            fd = os.open(marker, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as fh:
+            fh.write(f"{kind}@{key}\n")
+        return True
+
+    @staticmethod
+    def crash() -> None:  # pragma: no cover - kills the test process
+        """Die the way ``kill -9`` does: no cleanup, no lease release."""
+        os._exit(CRASH_EXIT_CODE)

@@ -1,0 +1,306 @@
+"""Lease files: crash-safe mutual exclusion over a shared cache layout.
+
+A *lease* is one JSON file under ``<coordination dir>/leases/<key>.json``
+claiming one work item (an experiment unit, a dataset shard) for one
+worker.  The protocol is designed so that a worker killed with ``kill
+-9`` at any instant leaves either a reclaimable lease or no lease — a
+lease can never deadlock a run:
+
+* **acquire** — the lease content is written to a temp file first and
+  hard-linked into place (`os.link` fails atomically if the lease
+  exists), so a lease file is always complete: creation *is* the
+  critical section;
+* **heartbeat** — the holder periodically rewrites the lease (atomic
+  temp + ``os.replace``) with a fresh wall-clock timestamp; a lease
+  whose heartbeat is older than its TTL is *stale*;
+* **reclaim** — a stale lease is renamed to a claimant-unique tombstone
+  first; ``os.rename`` of one source succeeds for exactly one of N
+  racing claimants, so contention resolves to a single winner, which
+  then acquires freshly (carrying the attempt count forward).
+
+Leases provide *efficiency* (no duplicated work, crash recovery); they
+are deliberately not the correctness boundary.  Every commit in this
+repo is idempotent and atomic, and workers re-verify ownership before
+committing, so even a pathological double-claim (e.g. extreme clock
+skew between hosts) degrades to wasted work, never to a torn artifact.
+
+Next to the leases live two sibling records, both written atomically by
+the current lease holder only:
+
+* ``attempts/<key>.json`` — how many times the item has been claimed and
+  when it is next eligible (the exponential-backoff clock), plus the
+  last error message;
+* ``poisoned/<key>.json`` — the quarantine marker written once an item
+  has burned through ``max_attempts``; poisoned items are skipped by
+  every worker and reported loudly by the dispatcher.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..utils import atomic_write_json
+
+__all__ = [
+    "LEASE_FORMAT_VERSION",
+    "Lease",
+    "AttemptRecord",
+    "LeaseStore",
+    "new_owner_id",
+]
+
+LEASE_FORMAT_VERSION = 1
+
+LEASES_DIR = "leases"
+ATTEMPTS_DIR = "attempts"
+POISONED_DIR = "poisoned"
+
+
+def new_owner_id(role: str = "worker") -> str:
+    """A globally-unique worker identity: ``role@host:pid:nonce``."""
+    return (
+        f"{role}@{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+    )
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claim: who holds the item, since when, and how fresh."""
+
+    key: str
+    owner: str
+    attempt: int
+    acquired_at: float
+    heartbeat_at: float
+    ttl: float
+
+    def is_stale(self, now: Optional[float] = None) -> bool:
+        now = time.time() if now is None else now
+        return (now - self.heartbeat_at) > self.ttl
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "lease_format_version": LEASE_FORMAT_VERSION,
+            "key": self.key,
+            "owner": self.owner,
+            "attempt": self.attempt,
+            "acquired_at": self.acquired_at,
+            "heartbeat_at": self.heartbeat_at,
+            "ttl": self.ttl,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> Optional["Lease"]:
+        try:
+            if data.get("lease_format_version") != LEASE_FORMAT_VERSION:
+                return None
+            return cls(
+                key=str(data["key"]),
+                owner=str(data["owner"]),
+                attempt=int(data["attempt"]),
+                acquired_at=float(data["acquired_at"]),
+                heartbeat_at=float(data["heartbeat_at"]),
+                ttl=float(data["ttl"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """Retry accounting for one item (written by its lease holder)."""
+
+    count: int = 0
+    next_eligible_at: float = 0.0
+    last_error: str = ""
+
+
+class LeaseStore:
+    """Lease/attempt/poison records rooted at one coordination directory."""
+
+    def __init__(self, root: Union[str, Path], ttl: float):
+        self.root = Path(root)
+        self.ttl = float(ttl)
+        self._leases = self.root / LEASES_DIR
+        self._attempts = self.root / ATTEMPTS_DIR
+        self._poisoned = self.root / POISONED_DIR
+
+    # -- low-level file helpers -----------------------------------------
+    def lease_path(self, key: str) -> Path:
+        return self._leases / f"{key}.json"
+
+    @staticmethod
+    def _read_json(path: Path) -> Optional[Dict[str, object]]:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    # -- leases ----------------------------------------------------------
+    def read(self, key: str) -> Optional[Lease]:
+        """The current lease on ``key``, or ``None`` (absent/corrupt)."""
+        data = self._read_json(self.lease_path(key))
+        return None if data is None else Lease.from_dict(data)
+
+    def _create_excl(self, lease: Lease) -> bool:
+        """Atomically create a complete lease file; False if one exists.
+
+        Write-then-link: the content is fully written to a temp file and
+        ``os.link`` publishes it under the lease name in one atomic step
+        (failing with ``FileExistsError`` if any lease is present), so a
+        reader can never observe a half-written lease.
+        """
+        path = self.lease_path(lease.key)
+        self._leases.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.{lease.owner.rsplit(':', 1)[-1]}.tmp"
+        tmp.write_text(
+            json.dumps(lease.to_dict(), sort_keys=True, indent=2) + "\n"
+        )
+        try:
+            os.link(tmp, path)
+            return True
+        except FileExistsError:
+            return False
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def try_acquire(
+        self, key: str, owner: str, now: Optional[float] = None
+    ) -> Optional[Lease]:
+        """Claim ``key`` for ``owner``; ``None`` when someone holds it.
+
+        A fresh foreign lease loses immediately.  A stale (or corrupt)
+        lease is reclaimed by the tombstone-rename CAS: of N claimants
+        racing on the same stale lease, exactly one acquires.
+        """
+        now = time.time() if now is None else now
+        path = self.lease_path(key)
+        attempt = 1
+        if path.exists():
+            existing = self.read(key)
+            if existing is not None and not existing.is_stale(now):
+                return None
+            # stale or corrupt: exactly one claimant wins this rename
+            tomb = path.parent / f".{path.name}.reclaim.{uuid.uuid4().hex[:8]}"
+            try:
+                os.rename(path, tomb)
+            except OSError:
+                return None  # another claimant won the reclaim
+            tomb.unlink(missing_ok=True)
+            if existing is not None:
+                attempt = existing.attempt + 1
+        lease = Lease(
+            key=key,
+            owner=owner,
+            attempt=attempt,
+            acquired_at=now,
+            heartbeat_at=now,
+            ttl=self.ttl,
+        )
+        return lease if self._create_excl(lease) else None
+
+    def heartbeat(self, key: str, owner: str) -> bool:
+        """Renew ``owner``'s lease on ``key``; False when it was lost."""
+        lease = self.read(key)
+        if lease is None or lease.owner != owner:
+            return False
+        renewed = Lease(
+            key=lease.key,
+            owner=lease.owner,
+            attempt=lease.attempt,
+            acquired_at=lease.acquired_at,
+            heartbeat_at=time.time(),
+            ttl=self.ttl,
+        )
+        atomic_write_json(self.lease_path(key), renewed.to_dict())
+        return True
+
+    def owns(self, key: str, owner: str) -> bool:
+        lease = self.read(key)
+        return lease is not None and lease.owner == owner
+
+    def release(self, key: str, owner: str) -> bool:
+        """Drop ``owner``'s lease; False when it was no longer held."""
+        if not self.owns(key, owner):
+            return False
+        self.lease_path(key).unlink(missing_ok=True)
+        return True
+
+    def active_leases(self) -> List[Lease]:
+        """Every parseable lease file under the store (fresh and stale)."""
+        if not self._leases.is_dir():
+            return []
+        leases = []
+        for path in sorted(self._leases.glob("*.json")):
+            data = self._read_json(path)
+            lease = None if data is None else Lease.from_dict(data)
+            if lease is not None:
+                leases.append(lease)
+        return leases
+
+    # -- attempts (retry/backoff accounting) -----------------------------
+    def attempts(self, key: str) -> AttemptRecord:
+        data = self._read_json(self._attempts / f"{key}.json")
+        if data is None:
+            return AttemptRecord()
+        try:
+            return AttemptRecord(
+                count=int(data.get("count", 0)),
+                next_eligible_at=float(data.get("next_eligible_at", 0.0)),
+                last_error=str(data.get("last_error", "")),
+            )
+        except (TypeError, ValueError):
+            return AttemptRecord()
+
+    def record_attempt(
+        self,
+        key: str,
+        count: int,
+        next_eligible_at: float,
+        last_error: str = "",
+    ) -> None:
+        self._attempts.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(
+            self._attempts / f"{key}.json",
+            {
+                "count": count,
+                "next_eligible_at": next_eligible_at,
+                "last_error": last_error,
+            },
+        )
+
+    # -- poisoned-item quarantine ----------------------------------------
+    def poison(self, key: str, attempts: int, last_error: str) -> None:
+        """Quarantine ``key`` after exhausting its retry budget."""
+        self._poisoned.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(
+            self._poisoned / f"{key}.json",
+            {
+                "key": key,
+                "attempts": attempts,
+                "last_error": last_error,
+                "poisoned_at": time.time(),
+            },
+        )
+
+    def is_poisoned(self, key: str) -> bool:
+        return (self._poisoned / f"{key}.json").is_file()
+
+    def poisoned(self) -> Dict[str, Dict[str, object]]:
+        """Quarantine records by key (empty dict when none)."""
+        if not self._poisoned.is_dir():
+            return {}
+        out: Dict[str, Dict[str, object]] = {}
+        for path in sorted(self._poisoned.glob("*.json")):
+            data = self._read_json(path)
+            if data is not None:
+                out[str(data.get("key", path.stem))] = data
+        return out

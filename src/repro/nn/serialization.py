@@ -23,11 +23,13 @@ cause.
 from __future__ import annotations
 
 import json
-import os
+import zipfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 import numpy as np
+
+from ..utils import atomic_output
 
 if TYPE_CHECKING:  # pragma: no cover
     from .modules import Module
@@ -95,18 +97,42 @@ def validate_state_dict(
         )
 
 
+def _open_npz(path: Union[str, Path]):
+    """``np.load`` that reports unreadable archives as checkpoint errors.
+
+    ``np.load`` surfaces a truncated, torn or plain-garbage ``.npz`` as a
+    grab-bag of low-level exceptions (``zipfile.BadZipFile``, ``OSError``,
+    ``EOFError``, bare ``ValueError``) far from any mention of the file;
+    here they all become a :class:`CheckpointError` naming the path.
+    """
+    try:
+        return np.load(path)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError) as exc:
+        raise CheckpointError(
+            f"{path} is not a readable .npz checkpoint "
+            f"(truncated or corrupt?): {exc}"
+        ) from exc
+
+
 def save_module(module: "Module", path) -> None:
-    """Write ``module.state_dict()`` to ``path`` (``.npz``)."""
-    np.savez(path, **module.state_dict())
+    """Write ``module.state_dict()`` to ``path`` (``.npz``), atomically."""
+    with atomic_output(path) as tmp:
+        # hand np.savez an open handle: given a *path* without an .npz
+        # suffix it would silently append one and miss the temp name
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **module.state_dict())
 
 
 def load_module(module: "Module", path) -> None:
     """Restore parameters saved by :func:`save_module` into ``module``.
 
     Raises :class:`CheckpointStateError` (naming the file and the
-    offending keys/shapes) if the archive does not match the module.
+    offending keys/shapes) if the archive does not match the module, and
+    plain :class:`CheckpointError` if the file is not a readable ``.npz``.
     """
-    with np.load(path) as archive:
+    with _open_npz(path) as archive:
         state = {k: archive[k] for k in archive.files}
     validate_state_dict(module, state, source=str(path))
     module.load_state_dict(state)
@@ -132,12 +158,9 @@ def save_checkpoint(
         json.dumps(payload, sort_keys=True).encode("utf-8"), dtype=np.uint8
     )
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp.npz"
-    try:
-        np.savez(tmp, **arrays, **{_META_KEY: blob})
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
+    with atomic_output(path) as tmp:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **arrays, **{_META_KEY: blob})
 
 
 def load_checkpoint(
@@ -145,10 +168,11 @@ def load_checkpoint(
 ) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
     """Read back ``(arrays, meta)`` written by :func:`save_checkpoint`.
 
-    Raises :class:`CheckpointError` when the file is not a checkpoint or
-    is of an unsupported format version.
+    Raises :class:`CheckpointError` when the file is not a checkpoint
+    (including a truncated or otherwise unreadable archive) or is of an
+    unsupported format version.
     """
-    with np.load(path) as archive:
+    with _open_npz(path) as archive:
         if _META_KEY not in archive.files:
             raise CheckpointError(f"{path} is not a checkpoint (no metadata)")
         payload = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))

@@ -9,10 +9,13 @@ processes and cache each one separately::
     runs/<experiment>/<spec_hash[:16]>/
         manifest.json  result.json  report.txt  report.md   (whole run)
         units/<unit_hash[:16]>/
-            result.json    the unit's JSON payload — written first
-            unit.json      unit manifest — written last, certifies it
+            result.json    the unit's JSON payload
+            unit.json      unit manifest — certifies the directory
 
-Semantics mirror the run-level cache one level down:
+Unit directories are published atomically: :func:`commit_unit` stages
+the whole directory under a temp name and renames it into place, so a
+worker killed at any instant leaves either no unit directory or a
+complete one.  Semantics mirror the run-level cache one level down:
 
 * a unit directory is a **hit** when ``unit.json`` exists, matches the
   unit hash and format version, and ``result.json`` parses; anything
@@ -34,13 +37,14 @@ from __future__ import annotations
 import hashlib
 import json
 import multiprocessing
+import os
 import shutil
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
-from ..utils import atomic_write_text as _write_text
+from ..utils import atomic_replace_dir
 from .registry import (
     Experiment,
     ExperimentSpec,
@@ -67,6 +71,7 @@ __all__ = [
     "unit_hash",
     "unit_dir_for",
     "load_unit_result",
+    "commit_unit",
     "execute_parallel",
 ]
 
@@ -136,37 +141,52 @@ def load_unit_result(
     return result if isinstance(result, dict) else None
 
 
-def _write_unit(
+def commit_unit(
     unit_dir: Path,
     unit: UnitSpec,
     digest: str,
     result: Dict[str, object],
     elapsed: float,
 ) -> None:
-    """Persist one completed unit (result first, manifest last)."""
-    unit_dir.mkdir(parents=True, exist_ok=True)
-    (unit_dir / UNIT_MANIFEST_NAME).unlink(missing_ok=True)
-    _write_text(
-        unit_dir / UNIT_RESULT_NAME,
-        json.dumps(result, sort_keys=True, indent=2) + "\n",
-    )
-    _write_text(
-        unit_dir / UNIT_MANIFEST_NAME,
-        json.dumps(
-            {
-                "unit_format_version": UNIT_FORMAT_VERSION,
-                "unit_hash": digest,
-                "key": unit.key,
-                "title": unit.title,
-                "params": unit.params_dict(),
-                "status": "complete",
-                "elapsed": elapsed,
-            },
-            sort_keys=True,
-            indent=2,
+    """Atomically publish one completed unit directory.
+
+    The whole directory (result + certifying manifest) is staged under a
+    writer-unique temp name and renamed into place in one step, so a
+    ``kill -9`` at any instant leaves either no unit directory or a
+    complete one — never the truncated ``result.json`` states the cache
+    reader has to defend against.  A stale target (e.g. a torn partial
+    from a legacy in-place writer) is cleared by the rename helper.
+    This is the one commit seam shared by the in-process pool executor
+    and the distributed lease-based workers.
+    """
+    unit_dir = Path(unit_dir)
+    unit_dir.parent.mkdir(parents=True, exist_ok=True)
+    tmp = unit_dir.parent / f".{unit_dir.name}.{os.getpid()}.tmp"
+    shutil.rmtree(tmp, ignore_errors=True)
+    try:
+        tmp.mkdir()
+        (tmp / UNIT_RESULT_NAME).write_text(
+            json.dumps(result, sort_keys=True, indent=2) + "\n"
         )
-        + "\n",
-    )
+        (tmp / UNIT_MANIFEST_NAME).write_text(
+            json.dumps(
+                {
+                    "unit_format_version": UNIT_FORMAT_VERSION,
+                    "unit_hash": digest,
+                    "key": unit.key,
+                    "title": unit.title,
+                    "params": unit.params_dict(),
+                    "status": "complete",
+                    "elapsed": elapsed,
+                },
+                sort_keys=True,
+                indent=2,
+            )
+            + "\n"
+        )
+        atomic_replace_dir(tmp, unit_dir)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
 
 
 def _pool_context():
@@ -198,7 +218,7 @@ def _run_one_unit(
     start = time.perf_counter()
     result = canonical_unit_result(exp.run_unit(spec, unit))
     elapsed = time.perf_counter() - start
-    _write_unit(Path(unit_dir_str), unit, digest, result, elapsed)
+    commit_unit(Path(unit_dir_str), unit, digest, result, elapsed)
     return result, elapsed
 
 

@@ -1,7 +1,7 @@
 """Persistent inference serving: HTTP server, strash-keyed compilation
 cache, and async micro-batching over a trained checkpoint."""
 
-from .batcher import BatcherClosed, MicroBatcher
+from .batcher import BatcherClosed, BatcherSaturated, MicroBatcher
 from .cache import CacheStats, CompilationCache
 from .checkpoints import CheckpointNotFound, resolve_checkpoint
 from .client import ServeClient, ServeClientError
@@ -29,6 +29,7 @@ from .service import (
 __all__ = [
     "BATCH_MODES",
     "BatcherClosed",
+    "BatcherSaturated",
     "CIRCUIT_FORMATS",
     "CacheStats",
     "CheckpointNotFound",

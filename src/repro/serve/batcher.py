@@ -6,7 +6,11 @@ callable.  Two knobs bound the coalescing window: ``max_batch_size``
 (drain at most this many jobs per cycle) and ``max_wait_ms`` (after the
 first job arrives, wait at most this long for companions).  A lone
 request therefore pays at most ``max_wait_ms`` extra latency, and a
-burst of concurrent requests is fused into one cycle.
+burst of concurrent requests is fused into one cycle.  A third knob,
+``max_queue``, bounds the backlog: once that many jobs are in flight,
+``submit`` raises :class:`BatcherSaturated` immediately instead of
+queueing, so overload turns into fast 503s rather than an unbounded
+pile of blocked handler threads.
 
 The single worker thread is also the concurrency-correctness boundary:
 the autograd engine's ``no_grad`` flag is process-global, so *all* model
@@ -22,13 +26,17 @@ import time
 from concurrent.futures import Future
 from typing import Callable, List, Sequence, TypeVar
 
-__all__ = ["MicroBatcher", "BatcherClosed"]
+__all__ = ["MicroBatcher", "BatcherClosed", "BatcherSaturated"]
 
 J = TypeVar("J")
 
 
 class BatcherClosed(RuntimeError):
     """Submit after (or during) shutdown."""
+
+
+class BatcherSaturated(RuntimeError):
+    """Submit while the queue is at ``max_queue`` — shed load, retry later."""
 
 
 class MicroBatcher:
@@ -44,21 +52,29 @@ class MicroBatcher:
         run_batch: Callable[[List[object]], Sequence[object]],
         max_batch_size: int = 16,
         max_wait_ms: float = 2.0,
+        max_queue: int = 128,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
+        self.max_queue = max_queue
         self._run_batch = run_batch
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._closed = False
         self._lock = threading.Lock()
-        # cycle counters (written only by the worker thread)
+        # jobs submitted but not yet resolved; guarded by _lock
+        self._pending = 0
+        # cycle counters (written only by the worker thread, except
+        # rejected, which submitters bump under _lock)
         self.batches = 0
         self.jobs = 0
         self.max_batch_observed = 0
+        self.rejected = 0
         self._worker = threading.Thread(
             target=self._loop, name="repro-serve-batcher", daemon=True
         )
@@ -66,13 +82,30 @@ class MicroBatcher:
 
     # -- producer side -------------------------------------------------
     def submit(self, job: object):
-        """Run ``job`` in some upcoming batch; block for its result."""
+        """Run ``job`` in some upcoming batch; block for its result.
+
+        Raises :class:`BatcherSaturated` (without queueing) when
+        ``max_queue`` jobs are already in flight — the HTTP layer maps
+        this to 503 + ``Retry-After`` so overload sheds quickly instead
+        of stacking blocked handler threads without bound.
+        """
         with self._lock:
             if self._closed:
                 raise BatcherClosed("micro-batcher is closed")
+            if self._pending >= self.max_queue:
+                self.rejected += 1
+                raise BatcherSaturated(
+                    f"micro-batcher queue is full "
+                    f"({self._pending}/{self.max_queue} jobs in flight)"
+                )
+            self._pending += 1
             future: "Future" = Future()
             self._queue.put((job, future))
-        return future.result()
+        try:
+            return future.result()
+        finally:
+            with self._lock:
+                self._pending -= 1
 
     def close(self, timeout: float = 10.0) -> None:
         """Stop accepting work, finish queued jobs, join the worker.

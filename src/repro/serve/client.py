@@ -4,11 +4,18 @@
 error bodies are parsed back into :class:`~repro.serve.protocol.ErrorReply`
 and surfaced as :class:`ServeClientError` carrying the structured kind,
 detail, and (for parse errors) line number.
+
+The client can optionally retry transient failures: construct it with
+``retries > 0`` and 503 answers (server saturated or shutting down) and
+transport errors are retried with exponential backoff, honouring the
+server's ``Retry-After`` header when it suggests a longer wait.
+Non-transient errors (4xx, 500) are never retried.
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import Optional
@@ -35,6 +42,7 @@ class ServeClientError(RuntimeError):
         kind: str = "transport_error",
         status: Optional[int] = None,
         line: Optional[int] = None,
+        retry_after: Optional[float] = None,
     ):
         prefix = f"[{kind}" + (f"/{status}" if status is not None else "") + "] "
         super().__init__(prefix + detail)
@@ -42,16 +50,55 @@ class ServeClientError(RuntimeError):
         self.status = status
         self.detail = detail
         self.line = line
+        #: the server's Retry-After suggestion in seconds, when it sent one
+        self.retry_after = retry_after
+
+    @property
+    def retryable(self) -> bool:
+        """Transient by construction: worth retrying with backoff."""
+        return self.status == 503 or self.status is None
+
+
+def _retry_after_seconds(headers) -> Optional[float]:
+    """Parse a numeric ``Retry-After`` header (HTTP-date form is rare
+    enough from our own server to ignore)."""
+    if headers is None:
+        return None
+    value = headers.get("Retry-After")
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None
 
 
 class ServeClient:
-    """Blocking HTTP client bound to one server base URL."""
+    """Blocking HTTP client bound to one server base URL.
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    ``retries`` is the number of *extra* attempts after the first for
+    transient failures (503, connection errors); waits grow as
+    ``backoff_base * 2**n`` capped at ``backoff_cap``, and a server
+    ``Retry-After`` hint raises (never lowers below) the computed wait.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retries: int = 0,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 5.0,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
 
-    def _request(self, path: str, body: Optional[bytes] = None):
+    def _request_once(self, path: str, body: Optional[bytes] = None):
         req = urllib.request.Request(
             self.base_url + path,
             data=body,
@@ -63,11 +110,14 @@ class ServeClient:
                 text = resp.read().decode("utf-8")
         except urllib.error.HTTPError as exc:
             raw = exc.read().decode("utf-8", errors="replace")
+            retry_after = _retry_after_seconds(exc.headers)
             try:
                 reply = parse_message(raw)
             except (ProtocolError, json.JSONDecodeError):
                 raise ServeClientError(
-                    raw.strip() or str(exc), status=exc.code
+                    raw.strip() or str(exc),
+                    status=exc.code,
+                    retry_after=retry_after,
                 ) from exc
             if isinstance(reply, ErrorReply):
                 raise ServeClientError(
@@ -75,11 +125,29 @@ class ServeClient:
                     kind=reply.error,
                     status=exc.code,
                     line=reply.line,
+                    retry_after=retry_after,
                 ) from exc
-            raise ServeClientError(raw.strip(), status=exc.code) from exc
+            raise ServeClientError(
+                raw.strip(), status=exc.code, retry_after=retry_after
+            ) from exc
         except urllib.error.URLError as exc:
             raise ServeClientError(str(exc.reason)) from exc
         return parse_message(text)
+
+    def _request(self, path: str, body: Optional[bytes] = None):
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(path, body)
+            except ServeClientError as exc:
+                if attempt >= self.retries or not exc.retryable:
+                    raise
+                wait = min(
+                    self.backoff_cap, self.backoff_base * (2 ** attempt)
+                )
+                if exc.retry_after is not None:
+                    wait = max(wait, exc.retry_after)
+                time.sleep(wait)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def query(
         self,

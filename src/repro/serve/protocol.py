@@ -230,6 +230,8 @@ class StatsReply(Message):
     max_batch_observed: int = 0
     max_batch_size: int = 0
     max_wait_ms: float = 0.0
+    max_queue: int = 0
+    rejected: int = 0
     batch_mode: str = "exact"
 
 

@@ -5,8 +5,9 @@ Endpoints:
 * ``POST /query`` — a :class:`~repro.serve.protocol.QueryRequest`
   payload; answers 200 with a ``QueryResponse``, 400 with a structured
   ``ErrorReply`` for protocol/parse/circuit faults (parse errors carry
-  the offending line), 503 when the batcher is shutting down, 500 for
-  anything unexpected.
+  the offending line), 503 when the batcher is shutting down or its
+  queue is full (with a ``Retry-After`` header inviting a backed-off
+  retry), 500 for anything unexpected.
 * ``GET /stats`` — cache/batcher/request counters (``StatsReply``).
 * ``GET /healthz`` — liveness probe.
 
@@ -21,7 +22,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from ..aig.errors import CircuitParseError
-from .batcher import BatcherClosed
+from .batcher import BatcherClosed, BatcherSaturated
 from .protocol import (
     ErrorReply,
     HealthReply,
@@ -35,6 +36,10 @@ from .service import CircuitRejected, InferenceService
 __all__ = ["ServeServer"]
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Retry-After seconds sent with saturation 503s — one micro-batch
+#: window is usually enough for the queue to drain below the bound
+RETRY_AFTER_S = 1
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -50,18 +55,34 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(format, *args)
 
-    def _send(self, status: int, message: Message) -> None:
+    def _send(
+        self,
+        status: int,
+        message: Message,
+        retry_after: Optional[int] = None,
+    ) -> None:
         body = (message.to_json() + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_reply(
-        self, status: int, kind: str, detail: str, line: Optional[int] = None
+        self,
+        status: int,
+        kind: str,
+        detail: str,
+        line: Optional[int] = None,
+        retry_after: Optional[int] = None,
     ) -> None:
-        self._send(status, ErrorReply(error=kind, detail=detail, line=line))
+        self._send(
+            status,
+            ErrorReply(error=kind, detail=detail, line=line),
+            retry_after=retry_after,
+        )
 
     # -- endpoints ------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
@@ -100,6 +121,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_reply(400, "parse_error", str(exc), line=exc.line)
         except CircuitRejected as exc:
             self._send_error_reply(400, "circuit_error", str(exc))
+        except BatcherSaturated as exc:
+            # deliberate load shedding: the queue is full right now, and
+            # Retry-After tells well-behaved clients when to come back
+            self._send_error_reply(
+                503, "saturated", str(exc), retry_after=RETRY_AFTER_S
+            )
         except BatcherClosed as exc:
             # shutdown race, not a server fault: the client may retry
             # against a live replica

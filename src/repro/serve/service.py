@@ -120,6 +120,7 @@ class InferenceService:
         cache_size: int = 128,
         max_batch_size: int = 16,
         max_wait_ms: float = 2.0,
+        max_queue: int = 128,
         batch_mode: str = "exact",
     ):
         if batch_mode not in BATCH_MODES:
@@ -135,6 +136,7 @@ class InferenceService:
             self._run_cycle,
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
+            max_queue=max_queue,
         )
         self._started = time.monotonic()
         self._counter_lock = threading.Lock()
@@ -263,6 +265,8 @@ class InferenceService:
             max_batch_observed=self.batcher.max_batch_observed,
             max_batch_size=self.batcher.max_batch_size,
             max_wait_ms=self.batcher.max_wait_ms,
+            max_queue=self.batcher.max_queue,
+            rejected=self.batcher.rejected,
             batch_mode=self.batch_mode,
             **cache,
         )

@@ -1,0 +1,161 @@
+"""Dispatcher supervision and the high-level distributed entry points."""
+
+import pytest
+
+from repro.dist.config import DistConfig
+from repro.dist.dispatcher import (
+    PoisonedWorkError,
+    build_shards_distributed,
+    execute_distributed,
+    run_distributed,
+)
+from repro.dist.work import ExperimentWorkSource
+from repro.dist.worker import run_worker
+from repro.runtime import execute_parallel
+from repro.runtime import registry as registry_module
+from repro.datagen.pipeline import build_shards
+
+from ..helpers import (
+    GridSpec,
+    count_unit_executions,
+    register_grid_experiment,
+    tiny_pipeline_config,
+)
+
+FAST = DistConfig(
+    lease_ttl=5.0,
+    heartbeat_interval=0.2,
+    max_attempts=2,
+    backoff_base=0.05,
+    backoff_cap=0.1,
+    poll_interval=0.02,
+)
+
+
+@pytest.fixture
+def grid(tmp_path):
+    log_dir = tmp_path / "log"
+    log_dir.mkdir()
+    name = register_grid_experiment("fake-grid", log_dir=log_dir)
+    try:
+        yield name, log_dir
+    finally:
+        registry_module.unregister(name)
+
+
+def result_bytes(record):
+    return (record.out_dir / "result.json").read_bytes()
+
+
+class TestExecuteDistributed:
+    def test_byte_identical_to_serial(self, tmp_path, grid):
+        name, _ = grid
+        serial = execute_parallel(
+            name, GridSpec(), runs_dir=tmp_path / "serial", workers=1
+        )
+        dist = execute_distributed(
+            name,
+            GridSpec(),
+            runs_dir=tmp_path / "dist",
+            workers=2,
+            cfg=FAST,
+        )
+        assert not dist.cache_hit
+        assert result_bytes(serial) == result_bytes(dist)
+
+    def test_cache_hit_on_rerun(self, tmp_path, grid):
+        name, log_dir = grid
+        first = execute_distributed(
+            name, GridSpec(), runs_dir=tmp_path / "runs", workers=2, cfg=FAST
+        )
+        executions = count_unit_executions(log_dir)
+        again = execute_distributed(
+            name, GridSpec(), runs_dir=tmp_path / "runs", workers=2, cfg=FAST
+        )
+        assert again.cache_hit
+        assert result_bytes(first) == result_bytes(again)
+        assert count_unit_executions(log_dir) == executions
+
+    def test_poisoned_unit_raises_with_context(self, tmp_path, grid):
+        name, _ = grid
+        with pytest.raises(PoisonedWorkError) as excinfo:
+            execute_distributed(
+                name,
+                GridSpec(rows=("alpha", "explode")),
+                runs_dir=tmp_path / "runs",
+                workers=1,
+                cfg=FAST,
+            )
+        assert len(excinfo.value.poisoned) == 1
+        assert "unit exploded" in str(excinfo.value)
+
+    def test_manifest_records_dist_metadata(self, tmp_path, grid):
+        import json
+
+        name, _ = grid
+        record = execute_distributed(
+            name, GridSpec(), runs_dir=tmp_path / "runs", workers=2, cfg=FAST
+        )
+        manifest = json.loads((record.out_dir / "manifest.json").read_text())
+        dist = manifest["dist"]
+        assert dist["mode"] == "distributed"
+        assert dist["workers"] == 2
+        assert dist["max_attempts"] == FAST.max_attempts
+
+
+class TestRunDistributed:
+    def test_already_resolved_source_returns_immediately(
+        self, tmp_path, grid
+    ):
+        name, log_dir = grid
+        source = ExperimentWorkSource(name, None, tmp_path / "runs")
+        run_worker(source, FAST)
+        executions = count_unit_executions(log_dir)
+        summary = run_distributed(source, workers=2, cfg=FAST)
+        assert summary.worker_deaths == 0
+        assert not summary.degraded
+        assert count_unit_executions(log_dir) == executions
+
+    def test_crashed_worker_is_reaped_and_fleet_recovers(
+        self, tmp_path, grid, monkeypatch
+    ):
+        # one worker, told to die right before committing beta: the
+        # dispatcher must reap the corpse and respawn (or fall back
+        # inline) so the run still resolves without operator action
+        name, _ = grid
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "crash_before_commit@beta")
+        source = ExperimentWorkSource(name, None, tmp_path / "runs")
+        summary = run_distributed(source, workers=1, cfg=FAST)
+        assert summary.worker_deaths >= 1
+        assert summary.respawns >= 1 or summary.ran_inline
+        assert summary.poisoned == {}
+        assert all(item.is_done() for item in source.items())
+
+
+class TestBuildShardsDistributed:
+    def test_identical_to_pool_build(self, tmp_path):
+        config = tiny_pipeline_config()
+        serial = build_shards(config, tmp_path / "serial", workers=1)
+        dist = build_shards_distributed(
+            config, tmp_path / "dist", workers=2, cfg=FAST
+        )
+        assert not dist.cache_hit
+        assert dist.manifest == serial.manifest
+        for shard in serial.manifest["shards"]:
+            a = (tmp_path / "serial" / shard["filename"]).read_bytes()
+            b = (tmp_path / "dist" / shard["filename"]).read_bytes()
+            assert a == b
+        # and the manifest files are byte-identical on disk too
+        assert (tmp_path / "serial" / "manifest.json").read_bytes() == (
+            tmp_path / "dist" / "manifest.json"
+        ).read_bytes()
+
+    def test_cache_hit_on_rebuild(self, tmp_path):
+        config = tiny_pipeline_config()
+        build_shards_distributed(
+            config, tmp_path / "data", workers=2, cfg=FAST
+        )
+        again = build_shards_distributed(
+            config, tmp_path / "data", workers=2, cfg=FAST
+        )
+        assert again.cache_hit

@@ -1,0 +1,108 @@
+"""Fault-plan parsing and the once-per-run fault injector."""
+
+import multiprocessing
+
+import pytest
+
+from repro.dist.faults import (
+    CRASH_EXIT_CODE,
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+)
+
+
+class TestFaultPlanParse:
+    def test_single_clause(self):
+        plan = FaultPlan.parse("crash_before_commit@beta")
+        assert len(plan.specs) == 1
+        assert plan.specs[0].kind == "crash_before_commit"
+        assert plan.specs[0].key == "beta"
+
+    def test_multiple_clauses_and_whitespace(self):
+        plan = FaultPlan.parse(
+            " crash_after_commit@alpha ; torn_write@* ;"
+        )
+        assert [(s.kind, s.key) for s in plan.specs] == [
+            ("crash_after_commit", "alpha"),
+            ("torn_write", "*"),
+        ]
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.parse("")
+        assert FaultPlan.parse("stall_past_lease@x")
+
+    def test_bad_clause_raises(self):
+        with pytest.raises(FaultPlanError, match="bad fault clause"):
+            FaultPlan.parse("crash_before_commit")
+        with pytest.raises(FaultPlanError, match="bad fault clause"):
+            FaultPlan.parse("crash_before_commit@")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultPlan.parse("set_on_fire@beta")
+
+    def test_from_env(self):
+        plan = FaultPlan.from_env({FAULT_PLAN_ENV: "torn_write@shard-0"})
+        assert plan.planned("torn_write", "shard-0") is not None
+        assert FaultPlan.from_env({}) == FaultPlan()
+
+    def test_planned_matching(self):
+        plan = FaultPlan.parse("crash_before_commit@beta;torn_write@*")
+        assert plan.planned("crash_before_commit", "beta") is not None
+        assert plan.planned("crash_before_commit", "alpha") is None
+        assert plan.planned("torn_write", "anything") is not None
+        assert plan.planned("stall_past_lease", "beta") is None
+
+
+def _take_in_subprocess(state_dir, queue):
+    injector = FaultInjector(
+        FaultPlan.parse("crash_before_commit@beta"), state_dir
+    )
+    queue.put(injector.take("crash_before_commit", "beta"))
+
+
+class TestFaultInjector:
+    def test_fires_exactly_once_in_process(self, tmp_path):
+        injector = FaultInjector(
+            FaultPlan.parse("crash_before_commit@beta"), tmp_path
+        )
+        assert injector.take("crash_before_commit", "beta")
+        assert not injector.take("crash_before_commit", "beta")
+
+    def test_unplanned_fault_never_fires(self, tmp_path):
+        injector = FaultInjector(FaultPlan(), tmp_path)
+        for kind in FAULT_KINDS:
+            assert not injector.take(kind, "beta")
+        planned = FaultInjector(
+            FaultPlan.parse("torn_write@alpha"), tmp_path
+        )
+        assert not planned.take("torn_write", "beta")
+        assert not planned.take("crash_before_commit", "alpha")
+
+    def test_wildcard_fires_once_total(self, tmp_path):
+        # '*' is one planned fault, not one per item: the marker is keyed
+        # by the spec, so the first matching item takes the only firing
+        injector = FaultInjector(FaultPlan.parse("torn_write@*"), tmp_path)
+        assert injector.take("torn_write", "alpha")
+        assert not injector.take("torn_write", "beta")
+
+    def test_fires_exactly_once_across_processes(self, tmp_path):
+        injector = FaultInjector(
+            FaultPlan.parse("crash_before_commit@beta"), tmp_path
+        )
+        assert injector.take("crash_before_commit", "beta")
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        proc = ctx.Process(
+            target=_take_in_subprocess, args=(tmp_path, queue)
+        )
+        proc.start()
+        fired = queue.get(timeout=30)
+        proc.join(timeout=30)
+        assert fired is False
+
+    def test_crash_exit_code_is_distinguishable(self):
+        assert CRASH_EXIT_CODE == 57

@@ -79,14 +79,19 @@ class GridSpec(ExperimentSpec):
 
 
 def register_grid_experiment(
-    name: str = "fake-grid", log_dir: Optional[Path] = None
+    name: str = "fake-grid",
+    log_dir: Optional[Path] = None,
+    unit_sleep: float = 0.0,
 ) -> str:
     """Register a cheap unit experiment; returns its name.
 
     When ``log_dir`` is given, every ``run_unit`` execution drops a
     marker file there — countable across worker processes, which is how
-    the parallel tests assert "this unit ran / was cached".  Callers
-    must ``repro.runtime.registry.unregister(name)`` when done.
+    the parallel tests assert "this unit ran / was cached".
+    ``unit_sleep`` makes every unit take that many seconds — the
+    distributed tests use it to outlive a short lease TTL and prove
+    heartbeats keep slow units alive.  Callers must
+    ``repro.runtime.registry.unregister(name)`` when done.
     """
 
     def units(spec: GridSpec):
@@ -95,6 +100,8 @@ def register_grid_experiment(
     def run_unit(spec: GridSpec, unit: UnitSpec):
         if unit.key == "explode":
             raise RuntimeError("unit exploded")
+        if unit_sleep > 0:
+            time.sleep(unit_sleep)
         if log_dir is not None:
             marker = (
                 Path(log_dir)

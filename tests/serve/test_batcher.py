@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from repro.serve.batcher import BatcherClosed, MicroBatcher
+from repro.serve.batcher import BatcherClosed, BatcherSaturated, MicroBatcher
 
 
 def submit_all(batcher, jobs):
@@ -90,6 +90,67 @@ class TestCoalescing:
             MicroBatcher(lambda jobs: jobs, max_batch_size=0)
         with pytest.raises(ValueError, match="max_wait_ms"):
             MicroBatcher(lambda jobs: jobs, max_wait_ms=-1.0)
+        with pytest.raises(ValueError, match="max_queue"):
+            MicroBatcher(lambda jobs: jobs, max_queue=0)
+
+
+class TestSaturation:
+    def test_overflow_submits_are_rejected_not_queued(self):
+        # wedge the worker so submitted jobs stay in flight, then push
+        # more than max_queue: the overflow must fail fast, not block
+        wedged = threading.Event()
+        release = threading.Event()
+
+        def run(jobs):
+            wedged.set()
+            release.wait(timeout=30)
+            return list(jobs)
+
+        batcher = MicroBatcher(
+            run, max_wait_ms=0.0, max_batch_size=1, max_queue=2
+        )
+        try:
+            outcomes = {}
+
+            def worker(i):
+                try:
+                    outcomes[i] = ("ok", batcher.submit(i))
+                except Exception as exc:  # noqa: BLE001
+                    outcomes[i] = ("err", exc)
+
+            first = threading.Thread(target=worker, args=(0,))
+            first.start()
+            assert wedged.wait(timeout=5)
+            second = threading.Thread(target=worker, args=(1,))
+            second.start()
+            time.sleep(0.05)  # let job 1 land in the queue
+            # in-flight count is now at max_queue: these must bounce
+            for i in (2, 3, 4):
+                worker(i)
+            assert all(
+                isinstance(outcomes[i][1], BatcherSaturated)
+                for i in (2, 3, 4)
+            )
+            assert batcher.rejected == 3
+            release.set()
+            first.join(timeout=5)
+            second.join(timeout=5)
+            assert outcomes[0] == ("ok", 0)
+            assert outcomes[1] == ("ok", 1)
+        finally:
+            release.set()
+            batcher.close()
+
+    def test_capacity_frees_up_after_completion(self):
+        batcher = MicroBatcher(
+            lambda jobs: list(jobs), max_wait_ms=0.0, max_queue=1
+        )
+        try:
+            for i in range(5):
+                assert batcher.submit(i) == i
+            assert batcher.rejected == 0
+        finally:
+            batcher.close()
 
 
 class TestFailures:

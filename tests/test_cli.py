@@ -186,6 +186,47 @@ class TestExperimentCLI:
         assert "[unit" not in capsys.readouterr().err
 
 
+class TestDistCLI:
+    def test_dist_run_matches_serial(self, capsys, tmp_path):
+        serial = ["experiment", "run", "table1", "--scale", "smoke",
+                  "--runs-dir", str(tmp_path / "serial"), "--quiet"]
+        assert main(serial) == 0
+        first = capsys.readouterr()
+
+        dist = ["experiment", "run", "table1", "--scale", "smoke",
+                "--runs-dir", str(tmp_path / "dist"), "--dist",
+                "--workers", "2", "--lease-ttl", "10",
+                "--heartbeat-interval", "1"]
+        assert main(dist) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+
+        a = (tmp_path / "serial").glob("table1/*/result.json")
+        b = (tmp_path / "dist").glob("table1/*/result.json")
+        assert next(iter(a)).read_bytes() == next(iter(b)).read_bytes()
+
+    def test_standalone_worker_joins_and_reports(self, capsys, tmp_path):
+        # against an already-resolved run the worker exits immediately
+        # with an all-zero report — the mid-run case is covered by the
+        # dist chaos suite, where timing is controllable
+        run = ["experiment", "run", "table1", "--scale", "smoke",
+               "--runs-dir", str(tmp_path), "--dist", "--quiet"]
+        assert main(run) == 0
+        capsys.readouterr()
+        worker = ["worker", "experiment", "table1", "--scale", "smoke",
+                  "--runs-dir", str(tmp_path), "--quiet"]
+        assert main(worker) == 0
+        out = capsys.readouterr().out
+        assert "0 completed" in out
+        assert "0 failed" in out
+
+    def test_bad_dist_knob_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["experiment", "run", "table1", "--scale", "smoke",
+                  "--runs-dir", str(tmp_path), "--dist",
+                  "--lease-ttl", "-3"])
+
+
 class TestExperimentCompareCLI:
     def _run(self, tmp_path, seed):
         args = ["experiment", "run", "table1", "--scale", "smoke",

@@ -65,6 +65,67 @@ class TestCheckpointFile:
         assert list(tmp_path.iterdir()) == [path]  # no temp litter
 
 
+class TestCorruptArchive:
+    """Unreadable files surface as CheckpointError naming the path."""
+
+    def corrupt(self, tmp_path, payload=b"this is not a zip archive"):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(payload)
+        return path
+
+    def test_garbage_bytes_load_checkpoint(self, tmp_path):
+        from repro.nn.serialization import CheckpointError
+
+        path = self.corrupt(tmp_path)
+        with pytest.raises(CheckpointError, match=str(path)):
+            load_checkpoint(path)
+
+    def test_garbage_bytes_load_model_checkpoint(self, tmp_path):
+        from repro.nn.serialization import (
+            CheckpointError,
+            load_model_checkpoint,
+        )
+
+        path = self.corrupt(tmp_path)
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            load_model_checkpoint(path)
+
+    def test_garbage_bytes_load_module(self, tmp_path):
+        from repro.nn.serialization import CheckpointError, load_module
+
+        path = self.corrupt(tmp_path)
+        with pytest.raises(CheckpointError, match=str(path)):
+            load_module(make_model(), path)
+
+    def test_truncated_checkpoint_rejected(self, tmp_path):
+        from repro.nn.serialization import CheckpointError
+
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, {"w": np.zeros(8)}, meta={"epoch": 1})
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "never-written.npz")
+
+    def test_save_module_writes_exact_path(self, tmp_path):
+        # np.savez silently appends '.npz' when handed a suffix-less
+        # *path*; the atomic save must not fall into that trap
+        from repro.nn.serialization import load_module, save_module
+
+        path = tmp_path / "weights"  # no .npz suffix on purpose
+        model = make_model(seed=3)
+        save_module(model, path)
+        assert path.is_file()
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+        other = make_model(seed=4)
+        load_module(other, path)
+        assert_same_state(model, other)
+
+
 class TestTrainerCheckpoint:
     def test_save_load_roundtrip_bitwise(self, tmp_path):
         ds = tiny_dataset()
