@@ -57,7 +57,12 @@ from ..runtime.runner import (
 )
 from .config import DistConfig
 from .leases import LeaseStore, new_owner_id
-from .work import DatasetWorkSource, ExperimentWorkSource, WorkSource
+from .work import (
+    DatasetWorkSource,
+    ExperimentWorkSource,
+    WorkSource,
+    rebuild_source,
+)
 from .worker import WorkerProgress, run_worker
 
 __all__ = [
@@ -103,9 +108,16 @@ class DistSummary:
 
 
 def _worker_proc_main(
-    source: WorkSource, cfg: DistConfig, index: int
+    source_kind: str, source_args: tuple, cfg: DistConfig, index: int
 ) -> None:
-    """Subprocess entry: one worker loop with a SIGTERM drain handler."""
+    """Subprocess entry: one worker loop with a SIGTERM drain handler.
+
+    Receives the source as ``(kind, primitives)`` from
+    :meth:`~repro.dist.work.WorkSource.subprocess_payload` and rebuilds
+    it here, so a spawn start method (platforms without fork) never has
+    to pickle an Experiment object holding user callables.
+    """
+    source = rebuild_source(source_kind, source_args)
     stop = threading.Event()
     signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
     run_worker(
@@ -121,6 +133,24 @@ def _resolved(source: WorkSource, store: LeaseStore) -> bool:
     return all(
         item.is_done() or item.key in poisoned for item in source.items()
     )
+
+
+def _source_poisoned(
+    source: WorkSource, store: LeaseStore
+) -> Dict[str, Dict[str, object]]:
+    """Quarantine records for *this source's* items only.
+
+    The coordination directory can hold poison markers keyed for other
+    work (e.g. an aborted dataset build of a different config, whose
+    keys embed a different config hash); those are dead state, not this
+    run's failures, and must not fail this run.
+    """
+    keys = {item.key for item in source.items()}
+    return {
+        key: record
+        for key, record in store.poisoned().items()
+        if key in keys
+    }
 
 
 def run_distributed(
@@ -147,16 +177,17 @@ def run_distributed(
     store = LeaseStore(source.coordination_dir(), ttl=cfg.lease_ttl)
     summary = DistSummary(workers=workers)
     if _resolved(source, store):
-        summary.poisoned = store.poisoned()
+        summary.poisoned = _source_poisoned(source, store)
         summary.elapsed = time.perf_counter() - start
         return summary
 
     ctx = _pool_context()
+    source_kind, source_args = source.subprocess_payload()
 
     def spawn(index: int):
         proc = ctx.Process(
             target=_worker_proc_main,
-            args=(source, cfg, index),
+            args=(source_kind, source_args, cfg, index),
             name=f"repro-dist-worker-{index}",
             daemon=False,
         )
@@ -210,7 +241,7 @@ def run_distributed(
             if proc is not None:
                 proc.join()
 
-    summary.poisoned = store.poisoned()
+    summary.poisoned = _source_poisoned(source, store)
     summary.elapsed = time.perf_counter() - start
     return summary
 
@@ -337,6 +368,11 @@ def build_shards_distributed(
                 (out_dir / shard["filename"]).unlink(missing_ok=True)
             except OSError:
                 pass
+        # the old build's coordination state (leases, attempt counts,
+        # quarantine markers, meta records) describes work that no
+        # longer exists; item keys embed the config hash so it could
+        # not wedge this build anyway, but there is no reason to keep it
+        shutil.rmtree(source.coordination_dir(), ignore_errors=True)
 
     summary = run_distributed(
         source, workers=workers, cfg=cfg, progress=progress

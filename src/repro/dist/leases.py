@@ -13,10 +13,16 @@ lease can never deadlock a run:
 * **heartbeat** — the holder periodically rewrites the lease (atomic
   temp + ``os.replace``) with a fresh wall-clock timestamp; a lease
   whose heartbeat is older than its TTL is *stale*;
-* **reclaim** — a stale lease is renamed to a claimant-unique tombstone
-  first; ``os.rename`` of one source succeeds for exactly one of N
-  racing claimants, so contention resolves to a single winner, which
-  then acquires freshly (carrying the attempt count forward).
+* **reclaim** — a claimant first publishes a *reclaim marker*
+  (create-excl, content-stamped with its creation time) so only one
+  claimant reclaims at a time and the transient no-lease-file window
+  mid-reclaim is recognisable as such; it then renames the stale lease
+  to a claimant-unique tombstone (``os.rename`` of one source succeeds
+  exactly once, the hard CAS under the marker), re-reads the tombstone
+  to undo a rename that caught a heartbeat-resurrected fresh lease, and
+  acquires freshly, carrying the attempt count forward.  A marker older
+  than the TTL is an orphan from a reclaimer that died mid-reclaim and
+  is swept by the next claimant.
 
 Leases provide *efficiency* (no duplicated work, crash recovery); they
 are deliberately not the correctness boundary.  Every commit in this
@@ -172,35 +178,130 @@ class LeaseStore:
         finally:
             tmp.unlink(missing_ok=True)
 
+    def _reclaim_marker(self, key: str) -> Path:
+        return self._leases / f".{key}.json.reclaiming"
+
+    def _claim_reclaim_marker(
+        self, marker: Path, owner: str, now: float
+    ) -> bool:
+        """Atomically become the one claimant allowed to reclaim.
+
+        The marker carries its creation time in its *content* (never fs
+        metadata, which rename/link handle inconsistently); a marker
+        older than the TTL is an orphan from a reclaimer that died
+        mid-reclaim and is swept so the item cannot wedge.
+        """
+        for _ in range(2):
+            self._leases.mkdir(parents=True, exist_ok=True)
+            tmp = marker.parent / f"{marker.name}.{uuid.uuid4().hex[:8]}.tmp"
+            tmp.write_text(json.dumps({"owner": owner, "at": now}) + "\n")
+            try:
+                os.link(tmp, marker)
+                return True
+            except FileExistsError:
+                data = self._read_json(marker)
+                try:
+                    at = float(data["at"]) if data is not None else None
+                except (KeyError, TypeError, ValueError):
+                    at = None
+                if at is not None and (now - at) < self.ttl:
+                    return False  # a live reclaim is in flight
+                marker.unlink(missing_ok=True)  # orphan: sweep and retry
+            finally:
+                tmp.unlink(missing_ok=True)
+        return False
+
+    def _reclaim_pending(self, key: str, now: float) -> bool:
+        """Is a live reclaim of ``key`` mid-flight (young marker)?
+
+        An orphaned marker (older than the TTL, or unreadable) is swept
+        on the way through so a reclaimer that died mid-reclaim leaves
+        no litter behind.
+        """
+        marker = self._reclaim_marker(key)
+        data = self._read_json(marker)
+        if data is None:
+            if marker.is_file():
+                marker.unlink(missing_ok=True)
+            return False
+        try:
+            at = float(data["at"])
+        except (KeyError, TypeError, ValueError):
+            at = None
+        if at is not None and (now - at) < self.ttl:
+            return True
+        marker.unlink(missing_ok=True)
+        return False
+
     def try_acquire(
         self, key: str, owner: str, now: Optional[float] = None
     ) -> Optional[Lease]:
         """Claim ``key`` for ``owner``; ``None`` when someone holds it.
 
         A fresh foreign lease loses immediately.  A stale (or corrupt)
-        lease is reclaimed by the tombstone-rename CAS: of N claimants
-        racing on the same stale lease, exactly one acquires.
+        lease is reclaimed under a reclaim marker plus the
+        tombstone-rename CAS: of N claimants racing on the same stale
+        lease, exactly one acquires, and it carries the attempt count
+        forward.  The marker exists before the stale file is renamed
+        away and is removed after the new lease is published, so the
+        transient no-lease-file window of a reclaim in flight is never
+        mistaken for a brand-new item (which would reset the attempt
+        count — or worse, hand a second claimant a win).
         """
         now = time.time() if now is None else now
         path = self.lease_path(key)
-        attempt = 1
+        marker = self._reclaim_marker(key)
         if path.exists():
             existing = self.read(key)
             if existing is not None and not existing.is_stale(now):
                 return None
-            # stale or corrupt: exactly one claimant wins this rename
-            tomb = path.parent / f".{path.name}.reclaim.{uuid.uuid4().hex[:8]}"
+            # stale or corrupt: exactly one claimant may reclaim at a
+            # time, and it announces itself before touching the file
+            if not self._claim_reclaim_marker(marker, owner, now):
+                return None
             try:
-                os.rename(path, tomb)
-            except OSError:
-                return None  # another claimant won the reclaim
-            tomb.unlink(missing_ok=True)
-            if existing is not None:
-                attempt = existing.attempt + 1
+                tomb = (
+                    path.parent
+                    / f".{path.name}.reclaim.{uuid.uuid4().hex[:8]}"
+                )
+                try:
+                    os.rename(path, tomb)
+                except OSError:
+                    return None  # the lease was released meanwhile
+                # verify the rename took the lease we judged stale: the
+                # holder may have heartbeat-resurrected it between the
+                # read and the rename.  A fresh lease goes back.
+                data = self._read_json(tomb)
+                renamed = None if data is None else Lease.from_dict(data)
+                if renamed is not None and not renamed.is_stale(now):
+                    try:
+                        os.link(tomb, path)
+                    except OSError:
+                        pass  # another lease appeared meanwhile — defer
+                    tomb.unlink(missing_ok=True)
+                    return None
+                tomb.unlink(missing_ok=True)
+                carried = renamed if renamed is not None else existing
+                lease = Lease(
+                    key=key,
+                    owner=owner,
+                    attempt=(carried.attempt + 1 if carried else 1),
+                    acquired_at=now,
+                    heartbeat_at=now,
+                    ttl=self.ttl,
+                )
+                return lease if self._create_excl(lease) else None
+            finally:
+                marker.unlink(missing_ok=True)
+        if self._reclaim_pending(key, now):
+            # no lease file, but a reclaim is mid-flight: the reclaimer
+            # owns this window — creating here would reset the attempt
+            # count and race its publish
+            return None
         lease = Lease(
             key=key,
             owner=owner,
-            attempt=attempt,
+            attempt=1,
             acquired_at=now,
             heartbeat_at=now,
             ttl=self.ttl,
@@ -208,7 +309,19 @@ class LeaseStore:
         return lease if self._create_excl(lease) else None
 
     def heartbeat(self, key: str, owner: str) -> bool:
-        """Renew ``owner``'s lease on ``key``; False when it was lost."""
+        """Renew ``owner``'s lease on ``key``; False when it was lost.
+
+        Renewal is read-check-write, not compare-and-swap: between the
+        ownership read and the rewrite, a rival may reclaim the lease
+        (possible only once it has already gone stale — a live holder
+        heartbeats well inside the TTL) and this write then resurrects
+        the old lease over the rival's fresh one.  POSIX offers no
+        atomic content-CAS on a file, so this window is accepted per the
+        efficiency-only design above: commits stay idempotent and
+        ownership is re-verified before publishing, so the worst case is
+        the rival's claim being erased and reclaim delayed by up to one
+        more TTL — wasted time, never a torn artifact.
+        """
         lease = self.read(key)
         if lease is None or lease.owner != owner:
             return False
@@ -228,7 +341,13 @@ class LeaseStore:
         return lease is not None and lease.owner == owner
 
     def release(self, key: str, owner: str) -> bool:
-        """Drop ``owner``'s lease; False when it was no longer held."""
+        """Drop ``owner``'s lease; False when it was no longer held.
+
+        Same read-check-act window as :meth:`heartbeat`: a rival that
+        reclaims a stale lease between the ownership read and the unlink
+        loses its fresh lease file — it simply re-acquires on its next
+        scan (retry state lives in the attempt record, not the lease).
+        """
         if not self.owns(key, owner):
             return False
         self.lease_path(key).unlink(missing_ok=True)

@@ -66,6 +66,7 @@ __all__ = [
     "WorkSource",
     "ExperimentWorkSource",
     "DatasetWorkSource",
+    "rebuild_source",
 ]
 
 #: coordination dot-directory inside the run / dataset directory
@@ -103,6 +104,34 @@ class WorkSource:
 
     def items(self) -> List[WorkItem]:
         raise NotImplementedError
+
+    def subprocess_payload(self) -> "tuple[str, tuple]":
+        """``(kind, args)`` understood by :func:`rebuild_source`.
+
+        What the dispatcher ships to subprocess workers instead of the
+        source object itself: under a spawn start method the args must
+        pickle, so the built-in sources override this with plain
+        primitives (name/spec/config/paths) and rebuild on the far side
+        — mirroring how ``execute_parallel`` ships unit args — so an
+        :class:`~repro.runtime.registry.Experiment` holding user
+        callables never has to cross the process boundary.  The default
+        ships the source itself, for custom sources that do pickle.
+        """
+        return ("pickle", (self,))
+
+
+def rebuild_source(kind: str, args: tuple) -> "WorkSource":
+    """Reconstruct a :class:`WorkSource` from its subprocess payload."""
+    if kind == "experiment":
+        name, spec, runs_dir = args
+        return ExperimentWorkSource(name, spec, runs_dir)
+    if kind == "dataset":
+        config, out_dir = args
+        return DatasetWorkSource(config, out_dir)
+    if kind == "pickle":
+        (source,) = args
+        return source
+    raise ValueError(f"unknown work-source kind {kind!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -168,13 +197,20 @@ class ExperimentWorkSource(WorkSource):
             )
         self.spec = self.exp.validate_spec(spec)
         self.name = name
+        self.runs_dir = Path(runs_dir)
         self.digest = spec_hash(name, self.spec)
-        self.out_dir = run_dir_for(Path(runs_dir), name, self.digest)
+        self.out_dir = run_dir_for(self.runs_dir, name, self.digest)
         self.units = self.exp.units(self.spec)
         self.digests = [unit_hash(self.digest, u) for u in self.units]
 
     def coordination_dir(self) -> Path:
         return self.out_dir / COORD_DIR_NAME
+
+    def subprocess_payload(self) -> "tuple[str, tuple]":
+        # the spec already pickles across the pool boundary; the
+        # Experiment (with its user callables) is re-looked-up by name
+        # in the subprocess, exactly like execute_parallel's unit args
+        return ("experiment", (self.name, self.spec, str(self.runs_dir)))
 
     def items(self) -> List[WorkItem]:
         return [
@@ -223,7 +259,13 @@ class _ShardItem(WorkItem):
         self.spec = spec
         self.out_dir = out_dir
         self.meta_path = meta_path
-        self.key = f"{spec.suite.lower()}-{spec.index:05d}"
+        # the config hash is part of the key so lease/attempt/poison
+        # records left by an aborted build of a *different* config can
+        # never block or quarantine this build's shards
+        self.key = (
+            f"{spec.suite.lower()}-{spec.index:05d}"
+            f"-{config.config_hash()[:12]}"
+        )
         self.label = spec.filename
 
     @property
@@ -278,6 +320,9 @@ class DatasetWorkSource(WorkSource):
 
     def coordination_dir(self) -> Path:
         return self.out_dir / COORD_DIR_NAME
+
+    def subprocess_payload(self) -> "tuple[str, tuple]":
+        return ("dataset", (self.config, str(self.out_dir)))
 
     def _meta_path(self, spec: ShardSpec) -> Path:
         return self.coordination_dir() / "meta" / f"{spec.filename}.json"

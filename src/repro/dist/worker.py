@@ -5,8 +5,11 @@ unresolved items and, for each one it can claim, runs the full
 claim → execute → commit → release protocol:
 
 1. skip items that are committed, quarantined, or inside their
-   retry-backoff window; quarantine items that burned through
-   ``max_attempts``;
+   retry-backoff window; an item that burned through ``max_attempts``
+   is quarantined — but only under the item's lease (attempts are
+   recorded *before* execution, so an exhausted-looking count may
+   describe a final attempt still running on a peer: a fresh foreign
+   lease always blocks poisoning);
 2. :meth:`~repro.dist.leases.LeaseStore.try_acquire` a lease (losing a
    race is normal — move on);
 3. re-check ``is_done()`` *after* acquiring: a predecessor that crashed
@@ -164,9 +167,10 @@ def run_worker(
             now = time.time()
             rec = store.attempts(item.key)
             if rec.count >= cfg.max_attempts:
-                store.poison(item.key, rec.count, rec.last_error)
-                report.poisoned.append(item.key)
-                _emit(progress, "poisoned", item, rec.last_error)
+                progressed = (
+                    _quarantine(item, store, cfg, report, progress, owner)
+                    or progressed
+                )
                 continue
             if now < rec.next_eligible_at:
                 continue
@@ -198,6 +202,46 @@ def run_worker(
             time.sleep(cfg.poll_interval)
 
 
+def _quarantine(
+    item: WorkItem,
+    store: LeaseStore,
+    cfg: DistConfig,
+    report: WorkerReport,
+    progress: Optional[WorkerProgress],
+    owner: str,
+) -> bool:
+    """Poison an item whose retry budget is spent — lease in hand.
+
+    ``count == max_attempts`` in the attempt record also describes an
+    item whose *final* attempt is executing right now on another worker
+    (attempts are recorded before execution), so quarantining is gated
+    on acquiring the item's lease: a fresh foreign lease means a live
+    holder whose attempt may yet commit, and the scan moves on.
+    Acquiring proves nothing is in flight — the holder either poisoned
+    the item itself (see :func:`_run_item`) or died before it could —
+    and keeps the invariant that poison records are written only by the
+    current lease holder.  Returns True when the scan made progress.
+    """
+    lease = store.try_acquire(item.key, owner)
+    if lease is None:
+        return False  # live holder on its final attempt — not ours to judge
+    try:
+        if item.is_done():
+            # the final attempt committed, then its worker died before
+            # releasing: the item is resolved, nothing to poison
+            report.skipped_done += 1
+            return True
+        rec = store.attempts(item.key)
+        if rec.count < cfg.max_attempts:
+            return False  # record changed underfoot; let the rescan decide
+        store.poison(item.key, rec.count, rec.last_error)
+        report.poisoned.append(item.key)
+        _emit(progress, "poisoned", item, rec.last_error)
+        return True
+    finally:
+        store.release(item.key, owner)
+
+
 def _run_item(
     item: WorkItem,
     store: LeaseStore,
@@ -224,6 +268,13 @@ def _run_item(
             )
             report.failed += 1
             _emit(progress, "failed", item, error)
+            if count >= cfg.max_attempts and store.owns(item.key, owner):
+                # that was the final permitted attempt and the lease is
+                # still ours: quarantine here, under the lease, instead
+                # of leaving it to a scan (which would have to reclaim)
+                store.poison(item.key, count, error)
+                report.poisoned.append(item.key)
+                _emit(progress, "poisoned", item, error)
             return False
 
         if injector.take("stall_past_lease", item.label):

@@ -1,5 +1,7 @@
 """Dispatcher supervision and the high-level distributed entry points."""
 
+import pickle
+
 import pytest
 
 from repro.dist.config import DistConfig
@@ -9,7 +11,12 @@ from repro.dist.dispatcher import (
     execute_distributed,
     run_distributed,
 )
-from repro.dist.work import ExperimentWorkSource
+from repro.dist.leases import LeaseStore
+from repro.dist.work import (
+    DatasetWorkSource,
+    ExperimentWorkSource,
+    rebuild_source,
+)
 from repro.dist.worker import run_worker
 from repro.runtime import execute_parallel
 from repro.runtime import registry as registry_module
@@ -159,3 +166,58 @@ class TestBuildShardsDistributed:
             config, tmp_path / "data", workers=2, cfg=FAST
         )
         assert again.cache_hit
+
+    def test_stale_config_coordination_state_cannot_wedge_build(
+        self, tmp_path
+    ):
+        # an aborted build of a *different* config leaves attempt counts
+        # and quarantine markers in .dist (and, crashing pre-manifest,
+        # no stale manifest to trip the cleanup); item keys embed the
+        # config hash, so a later build must sail past them
+        old = tiny_pipeline_config(seed=11)
+        new = tiny_pipeline_config(seed=12)
+        out = tmp_path / "data"
+        old_source = DatasetWorkSource(old, out)
+        store = LeaseStore(old_source.coordination_dir(), ttl=5.0)
+        for item in old_source.items():
+            store.poison(item.key, attempts=3, last_error="boom")
+        old_keys = {item.key for item in old_source.items()}
+        new_keys = {item.key for item in DatasetWorkSource(new, out).items()}
+        assert old_keys.isdisjoint(new_keys)
+        result = build_shards_distributed(new, out, workers=1, cfg=FAST)
+        assert not result.cache_hit
+        assert result.manifest["config_hash"] == new.config_hash()
+
+
+class TestSubprocessPayload:
+    def test_experiment_payload_ships_primitives(self, tmp_path, grid):
+        # the Experiment behind a dynamically registered source holds
+        # closure callables that cannot pickle — exactly what a spawn
+        # start method would have to ship if the source object itself
+        # crossed the process boundary
+        name, _ = grid
+        source = ExperimentWorkSource(name, GridSpec(), tmp_path / "runs")
+        with pytest.raises((pickle.PicklingError, AttributeError)):
+            pickle.dumps(source)
+        kind, args = source.subprocess_payload()
+        kind, args = pickle.loads(pickle.dumps((kind, args)))
+        rebuilt = rebuild_source(kind, args)
+        assert [i.key for i in rebuilt.items()] == [
+            i.key for i in source.items()
+        ]
+        assert rebuilt.coordination_dir() == source.coordination_dir()
+
+    def test_dataset_payload_round_trips(self, tmp_path):
+        config = tiny_pipeline_config()
+        source = DatasetWorkSource(config, tmp_path / "data")
+        kind, args = pickle.loads(
+            pickle.dumps(source.subprocess_payload())
+        )
+        rebuilt = rebuild_source(kind, args)
+        assert [i.key for i in rebuilt.items()] == [
+            i.key for i in source.items()
+        ]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown work-source kind"):
+            rebuild_source("nonsense", ())

@@ -124,6 +124,31 @@ class TestStaleReclaim:
         assert store.read("k").owner == wins[0]
         assert store.read("k").attempt == 2
 
+    def test_young_reclaim_marker_blocks_fresh_acquire(self, tmp_path):
+        # a reclaim mid-flight shows as no lease file plus a young
+        # marker; acquiring fresh in that window would reset the attempt
+        # count and race the reclaimer's publish
+        store = make_store(tmp_path, ttl=5.0)
+        leases = tmp_path / "coord" / "leases"
+        leases.mkdir(parents=True)
+        (leases / ".k.json.reclaiming").write_text(
+            json.dumps({"owner": "reclaimer", "at": 1000.0})
+        )
+        assert store.try_acquire("k", "owner-b", now=1002.0) is None
+
+    def test_orphaned_reclaim_marker_is_swept(self, tmp_path):
+        # reclaimer died between marker and publish: past the TTL the
+        # marker is an orphan — it must not wedge the item, and it is
+        # cleaned up on the way through
+        store = make_store(tmp_path, ttl=5.0)
+        leases = tmp_path / "coord" / "leases"
+        leases.mkdir(parents=True)
+        marker = leases / ".k.json.reclaiming"
+        marker.write_text(json.dumps({"owner": "reclaimer", "at": 1000.0}))
+        lease = store.try_acquire("k", "owner-b", now=2000.0)
+        assert lease is not None and lease.owner == "owner-b"
+        assert not marker.exists()
+
     def test_reclaim_leaves_no_tombstone_litter(self, tmp_path):
         store = make_store(tmp_path, ttl=1.0)
         store.try_acquire("k", "dead-owner", now=0.0)

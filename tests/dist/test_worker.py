@@ -1,6 +1,7 @@
 """The claim/execute/commit worker loop: heartbeats, drain, quarantine."""
 
 import threading
+import time
 
 import pytest
 
@@ -167,6 +168,102 @@ class TestRunWorker:
         # a second worker sees a fully-resolved source and returns at once
         again = run_worker(source, FAST)
         assert again.completed == [] and again.failed == 0
+
+    def test_final_attempt_in_flight_is_not_poisoned_by_peers(self, tmp_path):
+        # attempts are recorded before execution, so while one worker
+        # runs an item's *final* permitted attempt its count already
+        # reads max_attempts; a scanning peer must not quarantine it out
+        # from under the live lease.  max_attempts=1 makes every first
+        # claim a final attempt, and slow units widen the window.
+        log_dir = tmp_path / "log"
+        log_dir.mkdir()
+        name = register_grid_experiment(
+            "fake-grid-final", log_dir=log_dir, unit_sleep=0.4
+        )
+        cfg = DistConfig(
+            lease_ttl=5.0,
+            heartbeat_interval=0.1,
+            max_attempts=1,
+            backoff_base=0.05,
+            backoff_cap=0.1,
+            poll_interval=0.02,
+        )
+        try:
+            source = make_source(name, tmp_path)
+            reports = []
+            threads = [
+                threading.Thread(
+                    target=lambda i=i: reports.append(
+                        run_worker(source, cfg, owner=f"w{i}@test")
+                    )
+                )
+                for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            registry_module.unregister(name)
+        assert all(item.is_done() for item in source.items())
+        assert all(r.poisoned == [] for r in reports)
+        store = LeaseStore(source.coordination_dir(), ttl=cfg.lease_ttl)
+        assert store.poisoned() == {}
+        for row in ("alpha", "beta", "gamma"):
+            assert count_unit_executions(log_dir, row) == 1
+
+    def test_orphaned_exhausted_item_is_quarantined(self, tmp_path, grid):
+        # a worker that crashed mid-final-attempt leaves count ==
+        # max_attempts, no poison record and (eventually) no fresh
+        # lease: the next scan must still converge by acquiring the
+        # lease and quarantining — never by re-executing
+        name, log_dir = grid
+        spec = GridSpec(rows=("alpha", "explode"))
+        source = make_source(name, tmp_path, spec)
+        store = LeaseStore(source.coordination_dir(), ttl=FAST.lease_ttl)
+        (explode,) = [i for i in source.items() if i.label == "explode"]
+        store.record_attempt(
+            explode.key,
+            FAST.max_attempts,
+            next_eligible_at=0.0,
+            last_error="RuntimeError: unit exploded",
+        )
+        report = run_worker(source, FAST)
+        assert report.poisoned == [explode.key]
+        assert report.failed == 0
+        assert count_unit_executions(log_dir, "explode") == 0
+        record = store.poisoned()[explode.key]
+        assert record["attempts"] == FAST.max_attempts
+        assert store.active_leases() == []
+
+    def test_quarantine_blocked_by_live_foreign_lease(self, tmp_path, grid):
+        # an exhausted-looking item under a *fresh* foreign lease is a
+        # final attempt in flight: the scan must leave it alone
+        name, _ = grid
+        spec = GridSpec(rows=("alpha",))
+        source = make_source(name, tmp_path, spec)
+        (item,) = source.items()
+        store = LeaseStore(source.coordination_dir(), ttl=FAST.lease_ttl)
+        store.record_attempt(
+            item.key, FAST.max_attempts, next_eligible_at=0.0
+        )
+        assert store.try_acquire(item.key, "rival@host:1:aa") is not None
+        stop = threading.Event()
+        out = []
+        worker = threading.Thread(
+            target=lambda: out.append(
+                run_worker(source, FAST, stop_event=stop)
+            )
+        )
+        worker.start()
+        time.sleep(0.3)  # several scan rounds against the held item
+        assert store.poisoned() == {}
+        stop.set()
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+        assert out[0].drained and out[0].poisoned == []
+        # the rival's lease was never disturbed
+        assert store.owns(item.key, "rival@host:1:aa")
 
     def test_unitless_experiment_rejected(self, tmp_path):
         from repro.runtime import ExperimentResult, experiment
