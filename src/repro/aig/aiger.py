@@ -10,7 +10,7 @@ Header: ``aag M I L O A`` with ``M`` = max variable index, ``I`` inputs,
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 import numpy as np
 
@@ -31,24 +31,28 @@ def _ints(line: str, lineno: int) -> List[int]:
         raise AigerError(f"expected integers, got {line!r}", line=lineno)
 
 
-def loads(text: str, name: str = "aiger") -> AIG:
-    """Parse ASCII AIGER text into an :class:`AIG`.
-
-    Input variables must be numbered ``1..I`` and AND variables
-    ``I+1..I+A`` in topological order (the normal form ABC emits).
-    Malformed input raises :class:`AigerError` with the offending
-    1-based line number.
-    """
-    lines: List[Tuple[int, str]] = []
-    for lineno, raw in enumerate(text.splitlines(), start=1):
+def _statements(lines: Iterable[str]) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, stripped)`` for each non-blank line before ``c``."""
+    for lineno, raw in enumerate(lines, start=1):
         ln = raw.strip()
         if ln == "c":  # comment section runs to end of file
-            break
+            return
         if ln:
-            lines.append((lineno, ln))
-    if not lines:
+            yield lineno, ln
+
+
+def _parse_lines(lines: Iterable[str], name: str) -> AIG:
+    """Streaming parser core: consumes lines one at a time.
+
+    Each statement is validated as it arrives and only the decoded AND
+    table is retained, so peak memory is one line of text plus the
+    ``(A, 2)`` output array — not a second copy of the file.
+    """
+    it = _statements(lines)
+    header_item = next(it, None)
+    if header_item is None:
         raise AigerError("empty AIGER input")
-    header_line, header_text = lines[0]
+    header_line, header_text = header_item
     header = header_text.split()
     if len(header) != 6 or header[0] != "aag":
         raise AigerError(
@@ -65,16 +69,24 @@ def loads(text: str, name: str = "aiger") -> AIG:
         )
     if m < i + a:
         raise AigerError(f"header M={m} smaller than I+A={i + a}", line=header_line)
-    body = lines[1:]
-    if len(body) < i + o + a:
-        last = body[-1][0] if body else header_line
-        raise AigerError(
-            f"truncated AIGER body: {len(body)} lines for I+O+A={i + o + a}",
-            line=last,
-        )
+
+    seen = 0
+    last = header_line
+
+    def next_body() -> Tuple[int, str]:
+        nonlocal seen, last
+        item = next(it, None)
+        if item is None:
+            raise AigerError(
+                f"truncated AIGER body: {seen} lines for I+O+A={i + o + a}",
+                line=last,
+            )
+        seen += 1
+        last = item[0]
+        return item
 
     for k in range(i):
-        lineno, ln = body[k]
+        lineno, ln = next_body()
         lits = _ints(ln, lineno)
         if len(lits) != 1 or lits[0] != 2 * (k + 1):
             raise AigerError(
@@ -83,14 +95,14 @@ def loads(text: str, name: str = "aiger") -> AIG:
             )
     outputs = []
     for k in range(o):
-        lineno, ln = body[i + k]
+        lineno, ln = next_body()
         lits = _ints(ln, lineno)
         if len(lits) != 1:
             raise AigerError(f"bad output line {ln!r}", line=lineno)
         outputs.append(lits[0])
-    ands: List[List[int]] = []
+    ands = np.empty((a, 2), dtype=np.int64)
     for k in range(a):
-        lineno, ln = body[i + o + k]
+        lineno, ln = next_body()
         lits = _ints(ln, lineno)
         if len(lits) != 3:
             raise AigerError(f"bad AND line {ln!r}", line=lineno)
@@ -100,13 +112,23 @@ def loads(text: str, name: str = "aiger") -> AIG:
                 f"AND {k} has literal {lhs}; expected canonical {2 * (i + 1 + k)}",
                 line=lineno,
             )
-        ands.append([rhs0, rhs1])
+        ands[k, 0] = rhs0
+        ands[k, 1] = rhs1
     try:
-        return AIG(
-            i, np.asarray(ands, dtype=np.int64).reshape(-1, 2), outputs, name
-        )
+        return AIG(i, ands, outputs, name)
     except ValueError as exc:
         raise AigerError(str(exc)) from exc
+
+
+def loads(text: str, name: str = "aiger") -> AIG:
+    """Parse ASCII AIGER text into an :class:`AIG`.
+
+    Input variables must be numbered ``1..I`` and AND variables
+    ``I+1..I+A`` in topological order (the normal form ABC emits).
+    Malformed input raises :class:`AigerError` with the offending
+    1-based line number.
+    """
+    return _parse_lines(text.splitlines(), name)
 
 
 def dumps(aig: AIG) -> str:
@@ -125,9 +147,14 @@ def dumps(aig: AIG) -> str:
 
 
 def load(path) -> AIG:
-    """Read an ``.aag`` file from ``path``."""
+    """Read an ``.aag`` file from ``path``.
+
+    The file is streamed line by line — parse memory stays O(one line)
+    plus the decoded AND table, so multi-hundred-MB AIGER dumps never
+    hold two text copies in RAM.
+    """
     with open(path, "r", encoding="utf-8") as f:
-        return loads(f.read(), name=str(path))
+        return _parse_lines(f, name=str(path))
 
 
 def dump(aig: AIG, path) -> None:

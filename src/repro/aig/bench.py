@@ -15,7 +15,7 @@ draws circuits from (ISCAS, ITC'99 distributions).  Example::
 from __future__ import annotations
 
 import re
-from typing import List
+from typing import Iterable, List
 
 from .netlist import GateType, Netlist, NetlistError
 
@@ -62,16 +62,16 @@ _TYPE_TO_OP = {
 }
 
 
-def loads(text: str, name: str = "bench") -> Netlist:
-    """Parse ``.bench`` source text into a :class:`Netlist`.
+def _parse_lines(lines: Iterable[str], name: str) -> Netlist:
+    """Streaming parser core shared by :func:`loads` and :func:`load`.
 
-    Malformed input raises :class:`NetlistError` carrying the 1-based
-    line number of the offending statement (netlist-level faults found
-    only at final validation — undriven nets, cycles — have none).
+    Consumes raw lines one at a time (a file object or ``splitlines``
+    list both work) so parse memory is one line of text plus the
+    growing :class:`Netlist` — never a second copy of the source.
     """
     netlist = Netlist(name)
     outputs: List[str] = []
-    for lineno, raw in enumerate(text.splitlines(), start=1):
+    for lineno, raw in enumerate(lines, start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
@@ -100,6 +100,16 @@ def loads(text: str, name: str = "bench") -> Netlist:
     return netlist
 
 
+def loads(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` source text into a :class:`Netlist`.
+
+    Malformed input raises :class:`NetlistError` carrying the 1-based
+    line number of the offending statement (netlist-level faults found
+    only at final validation — undriven nets, cycles — have none).
+    """
+    return _parse_lines(text.splitlines(), name)
+
+
 def dumps(netlist: Netlist) -> str:
     """Serialise a :class:`Netlist` to ``.bench`` source text."""
     lines = [f"# {netlist.name}"]
@@ -117,9 +127,14 @@ def dumps(netlist: Netlist) -> str:
 
 
 def load(path) -> Netlist:
-    """Read a ``.bench`` file from ``path``."""
+    """Read a ``.bench`` file from ``path``.
+
+    Streams the file line by line — parse memory is O(one line) plus
+    the netlist itself, with error line numbers identical to
+    :func:`loads` on the same content.
+    """
     with open(path, "r", encoding="utf-8") as f:
-        return loads(f.read(), name=str(path))
+        return _parse_lines(f, name=str(path))
 
 
 def dump(netlist: Netlist, path) -> None:

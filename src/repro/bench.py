@@ -35,8 +35,10 @@ tracked in CI.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import resource
+import subprocess
 import sys
 import time
 import tracemalloc
@@ -57,10 +59,13 @@ from .synth import synthesize
 __all__ = [
     "BENCH_SUITES",
     "AGGREGATOR_SUITES",
+    "HUGE_SUITE",
     "all_suite_names",
+    "bench_huge_suite",
     "run_benchmarks",
     "write_bench_file",
     "compare_bench",
+    "max_rss_regression",
     "render_compare",
 ]
 
@@ -106,8 +111,19 @@ AGGREGATOR_SUITES: Dict[str, str] = {
 }
 
 
+#: the streaming-scale suite: a generated ~10^5-gate circuit run through
+#: the windowed propagation path.  Opt-in only (never part of the default
+#: "run everything" sweep — it is a memory-regime benchmark, not a speed
+#: micro-benchmark, and takes minutes at full size).
+HUGE_SUITE = "huge"
+
+
 def all_suite_names() -> List[str]:
-    """Every runnable suite, circuit regimes first."""
+    """Every default-runnable suite, circuit regimes first.
+
+    :data:`HUGE_SUITE` is deliberately excluded — it only runs when named
+    explicitly (``repro bench run --suite huge``).
+    """
     return sorted(BENCH_SUITES) + sorted(AGGREGATOR_SUITES)
 
 
@@ -293,6 +309,198 @@ def bench_suite(
     return metrics
 
 
+# ---------------------------------------------------------------------------
+# huge suite (windowed streaming path)
+# ---------------------------------------------------------------------------
+
+_PROBE_CHILD = """\
+import json, os, resource, sys
+status, err = "completed", ""
+try:
+    os.environ.pop("REPRO_WINDOW_BUDGET", None)
+    from repro.bench import _make_model, _rss_kb
+    from repro.datagen.generators import huge_circuit
+    from repro.graphdata import prepare
+    from repro.nn.functional import l1_loss
+
+    graph = huge_circuit({num_gates}, seed={seed})
+    batch = prepare([graph])
+    model = _make_model({dim}, {iterations}, "compiled",
+                        aggregator="attention")
+    # cap the address space at (what is mapped now) + the allowance the
+    # windowed path is given; only the pass itself runs under the cap
+    page = os.sysconf("SC_PAGE_SIZE")
+    with open("/proc/self/statm") as fh:
+        vm = int(fh.read().split()[0]) * page
+    limit = vm + {budget_bytes}
+    _, hard = resource.getrlimit(resource.RLIMIT_AS)
+    # soft limit only: the hard limit cannot be raised back afterwards
+    resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    model.zero_grad()
+    loss = l1_loss(model(batch), batch.labels)
+    loss.backward()
+except MemoryError:
+    status = "memory_error"
+except Exception as exc:  # noqa: BLE001 - report, don't crash the parent
+    status, err = "failed", f"{{type(exc).__name__}}: {{exc}}"
+_, hard = resource.getrlimit(resource.RLIMIT_AS)
+resource.setrlimit(resource.RLIMIT_AS, (hard, hard))
+print(json.dumps({{"status": status, "error": err,
+                   "peak_rss_kb": _rss_kb()}}))
+"""
+
+
+def probe_full_path(
+    num_gates: int,
+    seed: int,
+    dim: int,
+    iterations: int,
+    budget_mb: float,
+    timeout_s: float = 1800.0,
+) -> Dict[str, object]:
+    """Run the FULL (non-windowed) pass in a subprocess under a memory cap.
+
+    The child prepares the batch unrestricted, then clamps its address
+    space to ``current + budget_mb`` before the forward+backward — the
+    same allowance the windowed path works within.  Returns a status dict:
+    ``completed`` means the full path fit (the bound is too generous to
+    discriminate), ``memory_error``/``failed`` means it did not — which is
+    the expected outcome that motivates streaming windows.
+    """
+    if not Path("/proc/self/statm").exists():
+        return {"status": "skipped", "error": "no /proc; probe is Linux-only"}
+    src_root = Path(__file__).resolve().parents[1]
+    child = _PROBE_CHILD.format(
+        num_gates=int(num_gates), seed=int(seed), dim=int(dim),
+        iterations=int(iterations),
+        budget_bytes=int(budget_mb * 1024 * 1024),
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c", child], capture_output=True, text=True,
+            env=env, timeout=timeout_s,
+        )
+    except subprocess.TimeoutExpired:
+        return {"status": "timeout", "error": f"no result in {timeout_s}s"}
+    for line in reversed(proc.stdout.splitlines()):
+        line = line.strip()
+        if line.startswith("{"):
+            try:
+                return json.loads(line)
+            except json.JSONDecodeError:
+                break
+    # a hard crash (e.g. allocator abort inside BLAS under the rlimit)
+    # never reaches the JSON print; that still answers the question
+    return {
+        "status": "failed",
+        "error": f"exit {proc.returncode}: {proc.stderr.strip()[-300:]}",
+    }
+
+
+def bench_huge_suite(
+    num_gates: int = 100_000,
+    window_budget: int = 8192,
+    dim: int = 32,
+    iterations: int = 1,
+    repeats: int = 1,
+    seed: int = 0,
+    full_check: bool = False,
+    full_budget_mb: float = 512.0,
+    dump_path: Optional[Path] = None,
+) -> Dict[str, object]:
+    """Benchmark the windowed streaming path on a generated huge circuit.
+
+    Unlike the speed suites this is a *memory-regime* benchmark: the
+    interesting outputs are ``peak_rss_kb`` (gated in CI via
+    ``--max-rss-kb``), the window/frontier statistics, and — with
+    ``full_check`` — a subprocess probe showing the non-windowed path
+    cannot run the same pass inside the same allowance.
+
+    ``dump_path``, when set, writes the model's (untrained, seed-pinned)
+    forward predictions as a deterministic ``.npz``: two runs at
+    different ``window_budget`` values must produce byte-identical files,
+    which is how CI enforces the bitwise windowed==full criterion at
+    scale.
+    """
+    from .datagen.generators import huge_circuit
+    from .graphdata.shards import write_npz_deterministic
+    from .models.propagation import (
+        get_window_stats,
+        reset_window_stats,
+        use_window_budget,
+    )
+
+    rss_before_kb = _rss_kb()
+    graph = huge_circuit(num_gates, seed=seed)
+    batch = prepare([graph])
+    model = _make_model(dim, iterations, "compiled", aggregator="attention")
+    reset_window_stats()
+
+    with use_window_budget(int(window_budget)):
+        def forward() -> None:
+            with no_grad():
+                model(batch)
+
+        if dump_path is not None:
+            # dump BEFORE any gradient step: forward outputs are bitwise
+            # identical across window budgets, trained weights are only
+            # round-off equal
+            with no_grad():
+                pred = model(batch).data
+            write_npz_deterministic(
+                Path(dump_path), {"pred": np.ascontiguousarray(pred)}
+            )
+        else:
+            forward()  # warm-up: schedule windowing happens off the clock
+        forward_s = _time(forward, repeats)
+
+        def backward() -> None:
+            model.zero_grad()
+            loss = l1_loss(model(batch), batch.labels)
+            loss.backward()
+
+        backward()
+        backward_s = _time(backward, repeats)
+
+        optimizer = Adam(model.parameters(), lr=1e-4)
+        t0 = time.perf_counter()
+        optimizer.zero_grad()
+        loss = l1_loss(model(batch), batch.labels)
+        loss.backward()
+        clip_grad_norm(model.parameters(), 5.0)
+        optimizer.step()
+        train_epoch_s = time.perf_counter() - t0
+
+    stats = get_window_stats()
+    num_nodes = batch.graph.num_nodes
+    metrics: Dict[str, object] = {
+        "circuits": 1,
+        "nodes": int(num_nodes),
+        "edges": int(batch.graph.num_edges),
+        "levels": int(batch.graph.levels.max(initial=0)),
+        "forward_s": forward_s,
+        "backward_s": backward_s,
+        "train_epoch_s": train_epoch_s,
+        "nodes_per_s": float(num_nodes / train_epoch_s),
+        "peak_rss_kb": _rss_kb(),
+        "peak_rss_delta_kb": max(0, _rss_kb() - rss_before_kb),
+        "window_budget": int(window_budget),
+        "window_stats": {k: int(v) for k, v in stats.items()},
+    }
+    if full_check:
+        metrics["full_path_probe"] = dict(
+            probe_full_path(
+                num_gates, seed, dim, iterations, full_budget_mb
+            ),
+            budget_mb=float(full_budget_mb),
+        )
+    return metrics
+
+
 def run_benchmarks(
     suites: Optional[Sequence[str]] = None,
     name: str = "bench",
@@ -301,11 +509,18 @@ def run_benchmarks(
     repeats: int = 3,
     epochs: int = 2,
     variant: str = "compiled",
+    huge: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """Run the suites and assemble the ``BENCH_<name>.json`` payload."""
+    """Run the suites and assemble the ``BENCH_<name>.json`` payload.
+
+    The :data:`HUGE_SUITE` runs only when explicitly named in ``suites``;
+    ``huge`` carries its keyword arguments (see :func:`bench_huge_suite`).
+    """
     chosen = list(suites) if suites else all_suite_names()
     results = {
-        suite: bench_suite(
+        suite: bench_huge_suite(**(huge or {}))
+        if suite == HUGE_SUITE
+        else bench_suite(
             suite, dim=dim, iterations=iterations, repeats=repeats,
             epochs=epochs, variant=variant,
         )
@@ -428,6 +643,30 @@ def compare_bench(
             "new_only": sorted(set(new_suites) - set(old_suites)),
         },
     }
+
+
+def max_rss_regression(diff: Dict[str, object]) -> Optional[Dict[str, object]]:
+    """Worst peak-RSS growth ratio (new/old) across compared suites.
+
+    Fuel for the ``--max-rss-regression`` CI gate: returns ``{"suite",
+    "ratio", "old", "new"}`` for the suite whose ``peak_rss_delta_kb``
+    grew the most, or ``None`` when no compared suite carries the metric.
+    Old values are floored at 1024 KB so a near-zero baseline delta (a
+    suite that fit in pre-warmed memory) cannot turn jitter into a
+    thousand-fold "regression".
+    """
+    worst: Optional[Dict[str, object]] = None
+    for r in diff["rows"]:
+        if r["metric"] != "peak_rss_delta_kb":
+            continue
+        old = max(float(r["old"]), 1024.0)
+        ratio = float(r["new"]) / old
+        if worst is None or ratio > float(worst["ratio"]):
+            worst = {
+                "suite": r["suite"], "ratio": ratio,
+                "old": r["old"], "new": r["new"],
+            }
+    return worst
 
 
 def render_compare(diff: Dict[str, object]) -> str:

@@ -310,6 +310,7 @@ def cmd_dataset_info(args: argparse.Namespace) -> int:
 
 def cmd_bench_run(args: argparse.Namespace) -> int:
     from .bench import (
+        HUGE_SUITE,
         all_suite_names,
         merge_bench,
         run_benchmarks,
@@ -322,12 +323,22 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
             set_backend(args.backend)
         except KernelBackendError as exc:
             raise SystemExit(str(exc)) from exc
-    known = all_suite_names()
+    known = all_suite_names() + [HUGE_SUITE]
     for suite in args.suite or []:
         if suite not in known:
             raise SystemExit(
                 f"unknown bench suite {suite!r}; choose from {known}"
             )
+    huge_kwargs = {
+        "num_gates": args.huge_gates,
+        "window_budget": args.window_budget,
+        "full_check": args.full_check,
+        "full_budget_mb": args.full_budget_mb,
+    }
+    if args.dump_outputs:
+        dump_dir = Path(args.dump_outputs)
+        dump_dir.mkdir(parents=True, exist_ok=True)
+        huge_kwargs["dump_path"] = dump_dir / "huge.npz"
     payload = run_benchmarks(
         suites=args.suite,
         name=args.name,
@@ -336,6 +347,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         epochs=args.epochs,
         variant="reference" if args.reference else "compiled",
+        huge=huge_kwargs,
     )
     out = args.output or f"BENCH_{args.name}.json"
     if args.merge and Path(out).exists():
@@ -351,7 +363,40 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
             f"epoch {metrics['train_epoch_s']:.4f}s  "
             f"({metrics['nodes_per_s']:.0f} nodes/s)"
         )
+        if suite == HUGE_SUITE:
+            stats = metrics.get("window_stats", {})
+            print(
+                f"{'':18s} rss {metrics['peak_rss_kb']} KB "
+                f"(delta {metrics['peak_rss_delta_kb']} KB)  "
+                f"budget {metrics['window_budget']}  "
+                f"windows {stats.get('windows', 0)}  "
+                f"spills {stats.get('spills', 0)}"
+            )
+            probe = metrics.get("full_path_probe")
+            if probe:
+                print(
+                    f"{'':18s} full-path probe: {probe['status']} "
+                    f"under {probe['budget_mb']:.0f} MB "
+                    f"(rss {probe.get('peak_rss_kb', '?')} KB) "
+                    f"{probe.get('error', '')}".rstrip()
+                )
     print(f"wrote {path} (variant: {payload['variant']})")
+    if args.max_rss_kb:
+        worst = max(
+            (
+                (int(m["peak_rss_kb"]), suite)
+                for suite, m in payload["suites"].items()
+                if "peak_rss_kb" in m
+            ),
+            default=None,
+        )
+        if worst and worst[0] > args.max_rss_kb:
+            print(
+                f"peak RSS {worst[0]} KB (suite {worst[1]}) exceeds "
+                f"--max-rss-kb {args.max_rss_kb}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -382,6 +427,19 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.max_rss_regression:
+        from .bench import max_rss_regression
+
+        worst = max_rss_regression(diff)
+        if worst is not None and worst["ratio"] > args.max_rss_regression:
+            print(
+                f"peak-RSS regression {worst['ratio']:.2f}x on suite "
+                f"{worst['suite']} ({worst['old']:.0f} -> {worst['new']:.0f} "
+                f"KB) exceeds --max-rss-regression "
+                f"{args.max_rss_regression:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -990,6 +1048,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel GEMM backend (numpy/threaded; default: "
              "REPRO_KERNEL_BACKEND or numpy)",
     )
+    q.add_argument(
+        "--huge-gates", type=int, default=100_000,
+        help="gate count for the opt-in 'huge' suite (--suite huge)",
+    )
+    q.add_argument(
+        "--window-budget", type=int, default=8192,
+        help="written-nodes-per-window budget for the 'huge' suite's "
+             "streaming propagation",
+    )
+    q.add_argument(
+        "--full-check", action="store_true",
+        help="'huge' suite: also probe the non-windowed path in a "
+             "subprocess under a --full-budget-mb address-space cap",
+    )
+    q.add_argument(
+        "--full-budget-mb", type=float, default=512.0,
+        help="memory allowance for the --full-check probe (MB)",
+    )
+    q.add_argument(
+        "--dump-outputs", default=None, metavar="DIR",
+        help="'huge' suite: write untrained forward predictions to "
+             "DIR/huge.npz as a deterministic npz (byte-comparable "
+             "across window budgets)",
+    )
+    q.add_argument(
+        "--max-rss-kb", type=int, default=0,
+        help="exit non-zero if any suite's peak RSS exceeds this many "
+             "KB (0 disables the gate)",
+    )
     q.set_defaults(func=cmd_bench_run)
 
     q = bench_sub.add_parser(
@@ -1002,6 +1089,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-speedup", type=float, default=0.0,
         help="exit non-zero if deep-circuit training speedup falls below "
              "this factor (0 disables the gate)",
+    )
+    q.add_argument(
+        "--max-rss-regression", type=float, default=0.0,
+        help="exit non-zero if any suite's peak_rss_delta_kb grew by "
+             "more than this factor (new/old, old floored at 1024 KB; "
+             "0 disables the gate)",
     )
     q.set_defaults(func=cmd_bench_compare)
 

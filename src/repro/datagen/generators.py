@@ -38,6 +38,8 @@ __all__ = [
     "incrementer",
     "random_control",
     "processor_like",
+    "iter_huge_circuit_levels",
+    "huge_circuit",
     "GENERATOR_CATALOG",
 ]
 
@@ -595,6 +597,139 @@ def processor_like(width: int, rng: Optional[np.random.Generator] = None) -> Net
     equal = _reduce_tree(nl, GateType.AND, eq_bits, "p_equal")
     nl.set_outputs(result + [zero, sign, equal, carry])
     return nl
+
+
+# ---------------------------------------------------------------------------
+# industrial-scale synthetic netlists (streaming ingest)
+# ---------------------------------------------------------------------------
+
+
+def iter_huge_circuit_levels(
+    num_gates: int,
+    seed: int = 0,
+    width: int = 512,
+    num_pis: Optional[int] = None,
+    not_frac: float = 0.15,
+    fanin_window: int = 4096,
+):
+    """Stream a levelized synthetic AIG-style netlist, one level at a time.
+
+    The scalable ingest path for 10^5–10^6-gate circuits: no ``Netlist``
+    name dictionaries or Python object graphs are ever built — each yield
+    is a tuple of numpy arrays ``(node_type, levels, labels, edges)`` for
+    one topological level (the natural streaming chunk), with globally
+    numbered node ids and edges pointing at strictly smaller ids.
+
+    Structure: level 0 holds ``num_pis`` primary inputs; every following
+    level holds up to ``width`` gates, each an AND (two fanins) or — with
+    probability ``not_frac`` — a NOT (one fanin).  A gate's first fanin
+    is drawn from the immediately preceding level, pinning its logic
+    level; an AND's second fanin is drawn from a trailing locality window
+    of ``fanin_window`` earlier nodes (bounded fan-in reach keeps the
+    frontier cut sets of windowed propagation bounded too, like placed
+    netlists).  Labels are signal probabilities under the independence
+    approximation (PI ``0.5``, AND ``p_a * p_b``, NOT ``1 - p_a``).
+
+    Determinism: each level draws from
+    ``default_rng([seed, level])``, so the stream's bytes depend only on
+    the parameters — never on how many levels a consumer materialises at
+    once, which process builds them, or any global RNG state.
+
+    ``num_gates`` counts *all* nodes (PIs included), matching
+    ``CircuitGraph.num_nodes``.
+    """
+    num_pis = int(width if num_pis is None else num_pis)
+    num_gates = int(num_gates)
+    width = int(width)
+    if num_pis < 1:
+        raise ValueError(f"num_pis must be >= 1, got {num_pis}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if num_gates <= num_pis:
+        raise ValueError(
+            f"num_gates ({num_gates}) must exceed num_pis ({num_pis})"
+        )
+    if not 0.0 <= not_frac <= 1.0:
+        raise ValueError(f"not_frac must be in [0, 1], got {not_frac}")
+    if fanin_window < 1:
+        raise ValueError(f"fanin_window must be >= 1, got {fanin_window}")
+    # level 0: primary inputs
+    yield (
+        np.zeros(num_pis, np.int64),
+        np.zeros(num_pis, np.int64),
+        np.full(num_pis, 0.5, np.float32),
+        np.zeros((0, 2), np.int64),
+    )
+    # running probabilities of every node emitted so far: the only state
+    # the generator carries (4 bytes per node)
+    probs = np.full(num_pis, 0.5, np.float32)
+    base = num_pis
+    prev_lo, prev_hi = 0, num_pis
+    level = 0
+    while base < num_gates:
+        level += 1
+        w = min(width, num_gates - base)
+        rng = np.random.default_rng([seed, level])
+        is_not = rng.random(w) < not_frac
+        fan_a = rng.integers(prev_lo, prev_hi, size=w)
+        win_lo = max(0, base - fanin_window)
+        fan_b = rng.integers(win_lo, base, size=w)
+        ids = np.arange(base, base + w, dtype=np.int64)
+        node_type = np.where(is_not, 2, 1).astype(np.int64)  # AND=1, NOT=2
+        levels = np.full(w, level, np.int64)
+        p = np.where(
+            is_not,
+            1.0 - probs[fan_a],
+            probs[fan_a] * probs[fan_b],
+        ).astype(np.float32)
+        edges_a = np.stack([fan_a, ids], axis=1)
+        edges_b = np.stack([fan_b[~is_not], ids[~is_not]], axis=1)
+        edges = np.concatenate([edges_a, edges_b], axis=0)
+        yield node_type, levels, p, edges
+        probs = np.concatenate([probs, p])
+        prev_lo, prev_hi = base, base + w
+        base += w
+
+
+def huge_circuit(
+    num_gates: int,
+    seed: int = 0,
+    width: int = 512,
+    num_pis: Optional[int] = None,
+    not_frac: float = 0.15,
+    fanin_window: int = 4096,
+):
+    """Materialise :func:`iter_huge_circuit_levels` as a ``CircuitGraph``.
+
+    Array-only construction (one concatenate per field) — no per-gate
+    Python objects, so a million-gate circuit costs megabytes, not
+    gigabytes.  Returned graphs carry no skip edges.
+    """
+    from ..graphdata.features import AIG_TYPE_NAMES, CircuitGraph
+
+    types, levels, labels, edges = [], [], [], []
+    for t, lv, p, e in iter_huge_circuit_levels(
+        num_gates,
+        seed=seed,
+        width=width,
+        num_pis=num_pis,
+        not_frac=not_frac,
+        fanin_window=fanin_window,
+    ):
+        types.append(t)
+        levels.append(lv)
+        labels.append(p)
+        edges.append(e)
+    return CircuitGraph(
+        node_type=np.concatenate(types),
+        type_names=AIG_TYPE_NAMES,
+        edges=np.concatenate(edges),
+        levels=np.concatenate(levels),
+        labels=np.concatenate(labels),
+        skip_edges=np.zeros((0, 2), np.int64),
+        skip_level_diff=np.zeros(0, np.int64),
+        name=f"huge_{num_gates}g_s{seed}",
+    )
 
 
 #: name -> (factory, default kwargs); used by suites and the CLI examples

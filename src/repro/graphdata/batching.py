@@ -32,7 +32,17 @@ __all__ = [
     "CompiledGroup",
     "CompiledSchedule",
     "PassBlock",
+    "PASS_INPUT",
+    "FRONTIER",
+    "Window",
+    "WindowedSchedule",
 ]
+
+#: :class:`GatherSplit` producer sentinel — rows come from the pass input
+PASS_INPUT = -1
+#: :class:`GatherSplit` producer sentinel — rows come from an earlier
+#: window's output (the frontier cut set; see :class:`WindowedSchedule`)
+FRONTIER = -2
 
 
 def _level_runs(levels: np.ndarray) -> List[Tuple[int, np.ndarray]]:
@@ -265,17 +275,43 @@ def merge_schedules(
 class GatherSplit:
     """One producer's share of a group's source gather.
 
-    ``producer`` is the index of the level group (within the same pass)
-    whose output the rows come from, or ``-1`` for the pass's input state.
-    ``positions`` selects the entries of the group's ``src`` array that
-    read from this producer (``None`` = all of them); ``layout`` is the
-    segment layout over the *producer-local* row indices used to pre-reduce
-    repeated rows before scattering gradients back.
+    ``producer`` is the index of the level group (within the same pass —
+    window-local when compiled per window) whose output the rows come
+    from, :data:`PASS_INPUT` (``-1``) for the pass's input state, or
+    :data:`FRONTIER` (``-2``) for rows produced by an *earlier window*
+    of a :class:`WindowedSchedule` (read from the window's frontier cut
+    set rather than a full working matrix).  ``positions`` selects the
+    entries of the group's ``src`` array that read from this producer
+    (``None`` = all of them); ``layout`` is the segment layout over the
+    producer-local row indices used to pre-reduce repeated rows before
+    scattering gradients back.
+
+    ``layout.segment_ids`` doubles as the forward gather index array in
+    position order: global node ids for :data:`PASS_INPUT`, rows into
+    the window's ``ext_rows`` snapshot for :data:`FRONTIER`, and
+    producer-local output rows for in-pass producers.
     """
 
     producer: int
     positions: Optional[np.ndarray]
     layout: SegmentLayout
+
+
+def _fold_skip(
+    g: LevelGroup, edge_attr_dim: Optional[int]
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Concatenate a group's real and skip edges (and attribute block)."""
+    if g.has_skip:
+        src = np.concatenate([g.src, g.skip_src])
+        seg = np.concatenate([g.seg, g.skip_seg])
+    else:
+        src, seg = g.src, g.seg
+    edge_attr = None
+    if edge_attr_dim is not None:
+        edge_attr = np.zeros((len(src), edge_attr_dim), np.float32)
+        if g.has_skip:
+            edge_attr[len(g.src):] = g.skip_attr
+    return src, seg, edge_attr
 
 
 @dataclass
@@ -435,16 +471,7 @@ class CompiledSchedule:
         node_offset = 0
         edge_offset = 0
         for gi, g in enumerate(schedule):
-            if g.has_skip:
-                src = np.concatenate([g.src, g.skip_src])
-                seg = np.concatenate([g.seg, g.skip_seg])
-            else:
-                src, seg = g.src, g.seg
-            edge_attr = None
-            if edge_attr_dim is not None:
-                edge_attr = np.zeros((len(src), edge_attr_dim), np.float32)
-                if g.has_skip:
-                    edge_attr[len(g.src):] = g.skip_attr
+            src, seg, edge_attr = _fold_skip(g, edge_attr_dim)
             prov = writer[src]
             plan: List[GatherSplit] = []
             for p in np.unique(prov) if src.size else ():
@@ -484,3 +511,224 @@ class CompiledSchedule:
             else np.zeros(0, np.int64)
         )
         return cls(groups, num_nodes, written)
+
+
+# ---------------------------------------------------------------------------
+# windowed schedules (bounded-memory streaming propagation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Window:
+    """One bounded slice of a pass: consecutive level groups compiled
+    together, plus the frontier cut set they read from earlier windows.
+
+    ``compiled`` is a per-window :class:`CompiledSchedule` whose
+    ``gather_plan`` producers are *window-local* group indices (or the
+    :data:`PASS_INPUT`/:data:`FRONTIER` sentinels) and whose block
+    layout (:meth:`CompiledSchedule.block`) therefore packs only this
+    window's rows.  ``ext_rows`` is the sorted array of global node ids
+    written by earlier windows and read by this one — the rows whose
+    values cross the window boundary and must be carried (or spilled)
+    between windows.  ``written_start``/``written_stop`` locate this
+    window's written nodes inside the pass-global written-node axis.
+    """
+
+    index: int
+    compiled: CompiledSchedule
+    ext_rows: np.ndarray
+    written_start: int
+    written_stop: int
+
+    @property
+    def num_written(self) -> int:
+        return self.written_stop - self.written_start
+
+
+class WindowedSchedule:
+    """A level schedule partitioned into windows of bounded size.
+
+    Greedy partition of the level groups into consecutive windows whose
+    written-node count stays within ``node_budget`` (and, optionally,
+    whose folded edge count stays within ``edge_budget``); a window
+    always takes at least one group, so a single oversized level group
+    becomes its own window rather than failing.  Each window compiles
+    exactly like :meth:`CompiledSchedule.compile` — the provenance
+    ``writer``/``local`` maps are shared across windows, so a source
+    row's producer is classified as in-window (window-local index),
+    earlier-window (:data:`FRONTIER`, resolved through the window's
+    ``ext_rows`` cut set), or the pass input (:data:`PASS_INPUT`).
+
+    The windowed pass runner streams windows in level order, keeping
+    only the current window's state plus the bounded frontier rows —
+    see :func:`repro.models.propagation.run_pass`.  ``x`` (the batch
+    feature matrix) is retained so the runner can recompute the static
+    GRU input-transform share per window with pass-global GEMM chunk
+    extents (the bitwise-identity convention of the execute layer).
+    """
+
+    def __init__(
+        self,
+        windows: List[Window],
+        num_nodes: int,
+        written: np.ndarray,
+        x: np.ndarray,
+        node_budget: int,
+        edge_budget: Optional[int] = None,
+    ):
+        self.windows = windows
+        self.num_nodes = num_nodes
+        #: all node ids written during the pass, in window/group order
+        self.written = written
+        self.x = x
+        self.node_budget = node_budget
+        self.edge_budget = edge_budget
+
+    def __iter__(self):
+        return iter(self.windows)
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    @property
+    def num_groups(self) -> int:
+        return sum(len(w.compiled.groups) for w in self.windows)
+
+    @property
+    def max_frontier_rows(self) -> int:
+        return max((len(w.ext_rows) for w in self.windows), default=0)
+
+    @classmethod
+    def build(
+        cls,
+        schedule: LevelSchedule,
+        x: np.ndarray,
+        node_budget: int,
+        edge_attr_dim: Optional[int] = None,
+        edge_budget: Optional[int] = None,
+    ) -> "WindowedSchedule":
+        """Partition and compile ``schedule`` into bounded windows."""
+        node_budget = int(node_budget)
+        if node_budget < 1:
+            raise ValueError(f"node_budget must be >= 1, got {node_budget}")
+        if edge_budget is not None and edge_budget < 1:
+            raise ValueError(f"edge_budget must be >= 1, got {edge_budget}")
+        num_nodes = schedule.num_nodes
+        folded = [_fold_skip(g, edge_attr_dim) for g in schedule]
+        nodes_per_group = [len(g.nodes) for g in schedule]
+        # greedy spans: [g0, g1) per window, >= 1 group each
+        spans: List[Tuple[int, int]] = []
+        g0 = 0
+        while g0 < len(folded):
+            n_sum = nodes_per_group[g0]
+            e_sum = len(folded[g0][0])
+            g1 = g0 + 1
+            while g1 < len(folded):
+                n_next = n_sum + nodes_per_group[g1]
+                e_next = e_sum + len(folded[g1][0])
+                if n_next > node_budget:
+                    break
+                if edge_budget is not None and e_next > edge_budget:
+                    break
+                n_sum, e_sum = n_next, e_next
+                g1 += 1
+            spans.append((g0, g1))
+            g0 = g1
+        # pass-global provenance, shared across windows
+        writer = np.full(num_nodes, -1, dtype=np.int64)
+        local = np.zeros(num_nodes, dtype=np.int64)
+        windows: List[Window] = []
+        written_parts: List[np.ndarray] = []
+        w_start = 0
+        for wi, (a, b) in enumerate(spans):
+            # first sweep: record each group's provenance, then mark the
+            # group as written so later groups in this window see it
+            provs: List[np.ndarray] = []
+            for k in range(a, b):
+                g = schedule.groups[k]
+                src = folded[k][0]
+                provs.append(writer[src])
+                writer[g.nodes] = k
+                local[g.nodes] = np.arange(len(g.nodes))
+            ext_parts = [
+                src[(prov >= 0) & (prov < a)]
+                for (src, _, _), prov in zip(folded[a:b], provs)
+            ]
+            ext_cat = (
+                np.concatenate(ext_parts)
+                if ext_parts
+                else np.zeros(0, np.int64)
+            )
+            ext_rows = np.unique(ext_cat)
+            # second sweep: build the window's compiled groups with
+            # window-local producers and frontier splits
+            cgroups: List[CompiledGroup] = []
+            node_offset = 0
+            edge_offset = 0
+            for k in range(a, b):
+                g = schedule.groups[k]
+                src, seg, edge_attr = folded[k]
+                prov = provs[k - a]
+                plan: List[GatherSplit] = []
+                for p in np.unique(prov) if src.size else ():
+                    if prov.size and (prov == p).all():
+                        positions = None
+                        chosen = src
+                    else:
+                        positions = np.flatnonzero(prov == p)
+                        chosen = src[positions]
+                    if p < 0:
+                        producer = PASS_INPUT
+                        rows, size = chosen, num_nodes
+                    elif p < a:
+                        producer = FRONTIER
+                        rows = np.searchsorted(ext_rows, chosen)
+                        size = len(ext_rows)
+                    else:
+                        producer = int(p - a)
+                        rows = local[chosen]
+                        size = nodes_per_group[p]
+                    plan.append(
+                        GatherSplit(
+                            producer, positions, SegmentLayout(rows, size)
+                        )
+                    )
+                cgroups.append(
+                    CompiledGroup(
+                        nodes=g.nodes,
+                        src=src,
+                        seg=seg,
+                        seg_layout=SegmentLayout(seg, len(g.nodes)),
+                        gather_plan=plan,
+                        x_rows=np.ascontiguousarray(x[g.nodes]),
+                        edge_attr=edge_attr,
+                        node_offset=node_offset,
+                        edge_offset=edge_offset,
+                    )
+                )
+                node_offset += len(g.nodes)
+                edge_offset += len(src)
+            win_written = (
+                np.concatenate([cg.nodes for cg in cgroups])
+                if cgroups
+                else np.zeros(0, np.int64)
+            )
+            written_parts.append(win_written)
+            windows.append(
+                Window(
+                    index=wi,
+                    compiled=CompiledSchedule(cgroups, num_nodes, win_written),
+                    ext_rows=ext_rows,
+                    written_start=w_start,
+                    written_stop=w_start + len(win_written),
+                )
+            )
+            w_start += len(win_written)
+        written = (
+            np.concatenate(written_parts)
+            if written_parts
+            else np.zeros(0, np.int64)
+        )
+        return cls(
+            windows, num_nodes, written, x, node_budget, edge_budget
+        )

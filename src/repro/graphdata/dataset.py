@@ -19,9 +19,15 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .batching import CompiledSchedule, LevelSchedule, merge, merge_schedules
+from .batching import (
+    CompiledSchedule,
+    LevelSchedule,
+    WindowedSchedule,
+    merge,
+    merge_schedules,
+)
 from .features import CircuitGraph
-from .shards import load_manifest, read_shard
+from .shards import iter_shard, load_manifest, read_shard
 
 __all__ = [
     "PreparedBatch",
@@ -48,6 +54,9 @@ class PreparedBatch:
         self._reverse: Optional[LevelSchedule] = None
         self._undirected: Optional[LevelSchedule] = None
         self._compiled: Dict[Tuple[str, bool, int], CompiledSchedule] = {}
+        self._windowed: Dict[
+            Tuple[str, bool, int, int], WindowedSchedule
+        ] = {}
 
     @property
     def num_nodes(self) -> int:
@@ -108,6 +117,35 @@ class PreparedBatch:
                 self.undirected_schedule(), self.x
             )
         return self._compiled[key]
+
+    # -- windowed (streaming) schedules --------------------------------
+    def windowed_forward_schedule(
+        self,
+        node_budget: int,
+        include_skip: bool = False,
+        pe_levels: int = 8,
+    ) -> WindowedSchedule:
+        """Forward schedule partitioned into bounded windows (cached per
+        budget) — the streaming propagation plan of
+        :func:`repro.models.propagation.run_pass`."""
+        key = ("forward", include_skip, pe_levels, int(node_budget))
+        if key not in self._windowed:
+            attr_dim = 2 * pe_levels + 1 if include_skip else None
+            self._windowed[key] = WindowedSchedule.build(
+                self.forward_schedule(include_skip, pe_levels),
+                self.x,
+                node_budget,
+                edge_attr_dim=attr_dim,
+            )
+        return self._windowed[key]
+
+    def windowed_reverse_schedule(self, node_budget: int) -> WindowedSchedule:
+        key = ("reverse", False, 0, int(node_budget))
+        if key not in self._windowed:
+            self._windowed[key] = WindowedSchedule.build(
+                self.reverse_schedule(), self.x, node_budget
+            )
+        return self._windowed[key]
 
 
 def prepare(graphs: Sequence[CircuitGraph]) -> PreparedBatch:
@@ -299,8 +337,24 @@ class ShardedCircuitDataset:
         return self._load_shard(shard_number)[local]
 
     def __iter__(self) -> Iterator[CircuitGraph]:
+        """Stream graphs one at a time.
+
+        Cached shards are served from the LRU; un-cached shards stream
+        through :func:`repro.graphdata.shards.iter_shard` *without*
+        materialising the whole shard, so a sequential scan's memory is
+        bounded by one graph (plus whatever the cache already holds),
+        not by shard size.
+        """
         for shard_number in range(len(self._shards)):
-            yield from self._load_shard(shard_number)
+            with self._cache_lock:
+                cached = self._cache.get(shard_number)
+                if cached is not None:
+                    self._cache.move_to_end(shard_number)
+            if cached is not None:
+                yield from cached
+            else:
+                path = self.root / str(self._shards[shard_number]["filename"])
+                yield from iter_shard(path)
 
     def batches(
         self, batch_size: int, seed: Optional[int] = None
@@ -310,21 +364,30 @@ class ShardedCircuitDataset:
         Shuffling is *shard-local*: the shard order and the order within
         each shard are permuted, but consecutive indices stay on the same
         shard, so an epoch decodes every shard exactly once instead of
-        thrashing the LRU cache with a global permutation.
+        thrashing the LRU cache with a global permutation.  The
+        unshuffled path streams lazily per graph and never decodes a
+        whole shard at once.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if seed is None:
-            order = np.arange(len(self))
-        else:
-            rng = np.random.default_rng(seed)
-            counts = [int(s["num_circuits"]) for s in self._shards]
-            starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
-            parts = [
-                starts[s] + rng.permutation(counts[s])
-                for s in rng.permutation(len(self._shards))
-            ]
-            order = np.concatenate(parts) if parts else np.arange(0)
+            chunk: List[CircuitGraph] = []
+            for graph in self:
+                chunk.append(graph)
+                if len(chunk) == batch_size:
+                    yield prepare(chunk)
+                    chunk = []
+            if chunk:
+                yield prepare(chunk)
+            return
+        rng = np.random.default_rng(seed)
+        counts = [int(s["num_circuits"]) for s in self._shards]
+        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        parts = [
+            starts[s] + rng.permutation(counts[s])
+            for s in rng.permutation(len(self._shards))
+        ]
+        order = np.concatenate(parts) if parts else np.arange(0)
         for start in range(0, len(order), batch_size):
             chunk = [self[int(i)] for i in order[start : start + batch_size]]
             yield prepare(chunk)

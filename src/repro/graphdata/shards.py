@@ -44,6 +44,7 @@ __all__ = [
     "write_npz_deterministic",
     "write_shard",
     "read_shard",
+    "iter_shard",
     "load_manifest",
     "file_sha256",
 ]
@@ -111,8 +112,14 @@ def write_shard(path: Union[str, Path], graphs: List[CircuitGraph]) -> str:
     return file_sha256(path)
 
 
-def read_shard(path: Union[str, Path]) -> List[CircuitGraph]:
-    """Load a shard back into a list of :class:`CircuitGraph`."""
+def iter_shard(path: Union[str, Path]):
+    """Yield a shard's graphs one at a time without materialising all.
+
+    ``np.load`` on an ``.npz`` is lazy per key, so each graph's arrays
+    are decoded only when its turn comes and nothing pins the previous
+    graphs — a scan's memory is bounded by one graph, not the shard.
+    The archive stays open until the generator is exhausted or closed.
+    """
     with np.load(path, allow_pickle=False) as data:
         version = int(data["format_version"])
         if version != SHARD_FORMAT_VERSION:
@@ -120,18 +127,19 @@ def read_shard(path: Union[str, Path]) -> List[CircuitGraph]:
                 f"shard {path} has format version {version}, "
                 f"expected {SHARD_FORMAT_VERSION}"
             )
-        graphs: List[CircuitGraph] = []
         for i in range(int(data["num_graphs"])):
             prefix = f"g{i}/"
             fields = {f: data[prefix + f] for f in _ARRAY_FIELDS}
-            graphs.append(
-                CircuitGraph(
-                    **fields,
-                    name=str(data[prefix + "name"]),
-                    type_names=tuple(data[prefix + "type_names"].tolist()),
-                )
+            yield CircuitGraph(
+                **fields,
+                name=str(data[prefix + "name"]),
+                type_names=tuple(data[prefix + "type_names"].tolist()),
             )
-    return graphs
+
+
+def read_shard(path: Union[str, Path]) -> List[CircuitGraph]:
+    """Load a shard back into a list of :class:`CircuitGraph`."""
+    return list(iter_shard(path))
 
 
 def load_manifest(out_dir: Union[str, Path]):

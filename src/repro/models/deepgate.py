@@ -35,7 +35,7 @@ from ..nn.functional import concat, gather_rows, scatter_rows
 from ..nn.modules import GRUCell, Linear, Module
 from ..nn.tensor import Tensor
 from .aggregators import build_aggregator
-from .propagation import AggregateCombineStep, run_pass
+from .propagation import AggregateCombineStep, get_window_budget, run_pass
 from .regressor import PerTypeRegressor
 
 __all__ = ["DeepGate"]
@@ -122,10 +122,27 @@ class DeepGate(Module):
         iterations = num_iterations or self.num_iterations
         h = self.initial_state(batch)
         if self.compiled:
-            fwd = batch.compiled_forward_schedule(self.use_skip, self.pe_levels)
-            rev = (
-                batch.compiled_reverse_schedule() if self.use_reverse else None
-            )
+            budget = get_window_budget()
+            if budget is not None:
+                # streaming mode: bounded windows instead of whole-pass
+                # compilation — bitwise-identical outputs, bounded state
+                fwd = batch.windowed_forward_schedule(
+                    budget, self.use_skip, self.pe_levels
+                )
+                rev = (
+                    batch.windowed_reverse_schedule(budget)
+                    if self.use_reverse
+                    else None
+                )
+            else:
+                fwd = batch.compiled_forward_schedule(
+                    self.use_skip, self.pe_levels
+                )
+                rev = (
+                    batch.compiled_reverse_schedule()
+                    if self.use_reverse
+                    else None
+                )
             for _ in range(iterations):
                 h = self._propagate_compiled(
                     h, fwd, self.fwd_aggregate, self.fwd_combine,

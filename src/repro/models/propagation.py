@@ -69,16 +69,25 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..graphdata.batching import CompiledGroup, CompiledSchedule, PassBlock
+from ..graphdata.batching import (
+    FRONTIER,
+    PASS_INPUT,
+    CompiledGroup,
+    CompiledSchedule,
+    PassBlock,
+    Window,
+    WindowedSchedule,
+)
 from ..nn import kernels
 from ..nn.backends import matmul as _mm
 from ..nn.kernels import segment_present_sum
 from ..nn.tensor import Tensor, is_grad_enabled
 from .aggregators import PassStepAggregator, Sink, _acc
+from .statestore import StateStore
 
 __all__ = [
     "run_pass",
@@ -88,6 +97,13 @@ __all__ = [
     "get_pass_layout",
     "set_pass_layout",
     "use_pass_layout",
+    "WINDOW_ENV_VAR",
+    "get_window_budget",
+    "set_window_budget",
+    "use_window_budget",
+    "get_window_stats",
+    "reset_window_stats",
+    "GEMM_CHUNK_ROWS",
 ]
 
 #: the execution layouts run_pass understands
@@ -134,6 +150,205 @@ def use_pass_layout(name: str):
         yield set_pass_layout(name)
     finally:
         _active_layout = previous
+
+
+# ---------------------------------------------------------------------------
+# window budget (streaming propagation knob)
+# ---------------------------------------------------------------------------
+
+WINDOW_ENV_VAR = "REPRO_WINDOW_BUDGET"
+
+_UNSET = object()
+_active_window_budget: object = _UNSET
+
+
+def _check_window_budget(value: Optional[int], source: str) -> Optional[int]:
+    if value is None:
+        return None
+    budget = int(value)
+    if budget < 1:
+        raise ValueError(
+            f"window budget must be >= 1 or None (from {source}); "
+            f"got {value!r}"
+        )
+    return budget
+
+
+def get_window_budget() -> Optional[int]:
+    """The process's window node budget; ``None`` = full (unwindowed).
+
+    Resolves ``REPRO_WINDOW_BUDGET`` on first use: unset, empty, ``0``,
+    ``off`` or ``full`` disable windowing; a positive integer caps the
+    written-node count per window.
+    """
+    global _active_window_budget
+    if _active_window_budget is _UNSET:
+        raw = os.environ.get(WINDOW_ENV_VAR, "").strip()
+        if not raw or raw.lower() in ("0", "off", "full", "none"):
+            _active_window_budget = None
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"${WINDOW_ENV_VAR} must be an integer node budget, "
+                    f"got {raw!r}"
+                ) from None
+            _active_window_budget = _check_window_budget(
+                value, f"${WINDOW_ENV_VAR}"
+            )
+    return _active_window_budget  # type: ignore[return-value]
+
+
+def set_window_budget(budget: Optional[int]) -> Optional[int]:
+    """Activate a window node budget (``None`` disables windowing)."""
+    global _active_window_budget
+    _active_window_budget = _check_window_budget(budget, "set_window_budget")
+    return _active_window_budget
+
+
+@contextmanager
+def use_window_budget(budget: Optional[int]):
+    """Temporarily activate a window budget; restores the previous one."""
+    global _active_window_budget
+    previous = _active_window_budget
+    try:
+        yield set_window_budget(budget)
+    finally:
+        _active_window_budget = previous
+
+
+#: streaming-pass counters since the last :func:`reset_window_stats`
+_WINDOW_STATS: Dict[str, int] = {}
+
+
+def reset_window_stats() -> None:
+    """Zero the cumulative windowed-pass counters."""
+    _WINDOW_STATS.update(
+        passes=0,
+        windows=0,
+        frontier_rows=0,
+        frontier_bytes=0,
+        spills=0,
+        reloads=0,
+        store_peak_bytes=0,
+    )
+
+
+reset_window_stats()
+
+
+def get_window_stats() -> Dict[str, int]:
+    """Cumulative windowed-pass counters (passes, windows, frontier rows
+    and bytes carried, store spills/reloads, peak store residency)."""
+    return dict(_WINDOW_STATS)
+
+
+# ---------------------------------------------------------------------------
+# fixed-extent GEMM chunking (the windowed/full bitwise convention)
+# ---------------------------------------------------------------------------
+
+#: Row-chunk size for pass-wide affine pre-projections (``h @ W_hh +
+#: b_hh`` over the node axis, ``x_rows @ W_ih[d:] + b_ih`` over the
+#: written axis).  Both the full and the windowed runners compute these
+#: through identical globally-aligned chunk extents — never through
+#: window-sized GEMMs — because BLAS results for a row subset of a GEMM
+#: are only guaranteed bitwise-equal to the full product when the chunk
+#: extents match exactly.  The constant is budget-independent, so every
+#: window budget reproduces the full pass's output bits; every existing
+#: suite has fewer rows than one chunk, so the full path's bits are
+#: unchanged from the single-GEMM code it replaces.
+GEMM_CHUNK_ROWS = 32768
+
+
+def _affine_chunked(a: np.ndarray, w: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ w + b`` computed in :data:`GEMM_CHUNK_ROWS` row chunks.
+
+    For ``len(a) <= GEMM_CHUNK_ROWS`` this is exactly the single GEMM
+    the full path always ran.
+    """
+    chunk = GEMM_CHUNK_ROWS
+    n = a.shape[0]
+    if n <= chunk:
+        return _mm(a, w) + b
+    out = np.empty((n, w.shape[1]), np.float32)
+    for c0 in range(0, n, chunk):
+        c1 = min(c0 + chunk, n)
+        out[c0:c1] = _mm(a[c0:c1], w) + b
+    return out
+
+
+class _ChunkedAffine:
+    """On-demand rows of ``rows(c0, c1) @ w + b`` in fixed chunk extents.
+
+    The windowed runner's view of a pass-wide affine pre-projection:
+    chunks are computed lazily with the same globally-aligned extents as
+    :func:`_affine_chunked` (so any access pattern sees the same bits as
+    the full path) and a small FIFO cache holds recent chunks — window
+    access is approximately monotone over the row axis, so in practice
+    each chunk is computed about once per pass while residency stays
+    bounded at ``max_cached`` chunks.
+    """
+
+    def __init__(
+        self,
+        row_source: Callable[[int, int], np.ndarray],
+        num_rows: int,
+        w: np.ndarray,
+        b: np.ndarray,
+        max_cached: int = 4,
+    ):
+        self._row_source = row_source
+        self._num_rows = num_rows
+        self._w = w
+        self._b = b
+        self._max_cached = max(1, max_cached)
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def _chunk(self, ci: int) -> np.ndarray:
+        cached = self._cache.get(ci)
+        if cached is not None:
+            return cached
+        chunk = GEMM_CHUNK_ROWS
+        c0 = ci * chunk
+        c1 = min(c0 + chunk, self._num_rows)
+        value = _mm(self._row_source(c0, c1), self._w) + self._b
+        while len(self._cache) >= self._max_cached:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[ci] = value
+        return value
+
+    def rows(self, ids: np.ndarray) -> np.ndarray:
+        """The projected rows ``ids`` (arbitrary order, with repeats)."""
+        chunk = GEMM_CHUNK_ROWS
+        ci = ids // chunk
+        unique_ci = np.unique(ci)
+        if len(unique_ci) == 1:
+            base = int(unique_ci[0]) * chunk
+            return self._chunk(int(unique_ci[0]))[ids - base]
+        out = np.empty((len(ids), self._w.shape[1]), np.float32)
+        for u in unique_ci:
+            mask = ci == u
+            out[mask] = self._chunk(int(u))[ids[mask] - int(u) * chunk]
+        return out
+
+    def row_range(self, r0: int, r1: int) -> np.ndarray:
+        """The projected rows ``[r0, r1)`` (a contiguous row range)."""
+        chunk = GEMM_CHUNK_ROWS
+        if r1 <= r0:
+            return np.zeros((0, self._w.shape[1]), np.float32)
+        first = r0 // chunk
+        last = (r1 - 1) // chunk
+        if first == last:
+            base = first * chunk
+            return self._chunk(first)[r0 - base:r1 - base]
+        out = np.empty((r1 - r0, self._w.shape[1]), np.float32)
+        for ci in range(first, last + 1):
+            c0 = ci * chunk
+            c1 = min(c0 + chunk, self._num_rows)
+            a0, a1 = max(c0, r0), min(c1, r1)
+            out[a0 - r0:a1 - r0] = self._chunk(ci)[a0 - c0:a1 - c0]
+        return out
 
 
 class AggregateCombineStep:
@@ -188,11 +403,13 @@ class AggregateCombineStep:
         (sliced per group, replacing the per-group concatenate).
         """
         c = self.combine
-        gh_full = _mm(hd, c.w_hh.data) + c.b_hh.data
+        gh_full = _affine_chunked(hd, c.w_hh.data, c.b_hh.data)
         gi_static = None
         if block is not None and self.fixed_x:
             d = hd.shape[1]
-            gi_static = _mm(block.x_rows, c.w_ih.data[d:]) + c.b_ih.data
+            gi_static = _affine_chunked(
+                block.x_rows, c.w_ih.data[d:], c.b_ih.data
+            )
         return gh_full, self.aggregate.step_begin(hd), gi_static
 
     def forward(
@@ -200,7 +417,7 @@ class AggregateCombineStep:
         group: CompiledGroup,
         h_src: np.ndarray,
         query: np.ndarray,
-        gh_full: np.ndarray,
+        gh_rows: np.ndarray,
         agg_ctx,
     ) -> Tuple[np.ndarray, tuple]:
         m, agg_saved = self.aggregate.step_forward(
@@ -211,7 +428,7 @@ class AggregateCombineStep:
         )
         c = self.combine
         out, gru_saved = kernels.gru_pre_forward_np(
-            x_in, query, gh_full[group.nodes], c.w_ih.data, c.b_ih.data
+            x_in, query, gh_rows, c.w_ih.data, c.b_ih.data
         )
         return out, (x_in, agg_saved, gru_saved)
 
@@ -373,6 +590,72 @@ class AggregateCombineStep:
         _acc(c.w_ih, dw_ih)
         _acc(c.b_ih, dgi_all.sum(axis=0))
 
+    # -- windowed (streaming) per_group variants -----------------------
+
+    def backward_windowed(
+        self,
+        group: CompiledGroup,
+        grad: np.ndarray,
+        h_src: np.ndarray,
+        query: np.ndarray,
+        saved: tuple,
+        gru_sink: Sink,
+        agg_sink: Sink,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`backward`, but the ``dgh`` sink is window-sized
+        and indexed by the group's window-local node offset (the
+        aggregator sink stays pass-global)."""
+        x_in, agg_saved, gru_saved = saved
+        c = self.combine
+        dx, dquery, dgh, dw_ih, db_ih = kernels.gru_pre_backward_np(
+            grad, x_in, query, c.w_ih.data, gru_saved
+        )
+        o0 = group.node_offset
+        gru_sink["dgh"][o0:o0 + len(group.nodes)] = dgh
+        gru_sink["dw_ih"] += dw_ih
+        gru_sink["db_ih"] += db_ih
+        dm = (
+            np.ascontiguousarray(dx[:, : query.shape[1]])
+            if self.fixed_x
+            else dx
+        )
+        dh_src = self.aggregate.step_backward(
+            group, dm, h_src, agg_saved, agg_sink, self._edge_attr(group)
+        )
+        return dh_src, dquery
+
+    def end_window(
+        self,
+        q_w: np.ndarray,
+        win_written: np.ndarray,
+        gru_sink: Sink,
+        dh: Optional[np.ndarray],
+    ) -> None:
+        """Contract one window's per_group ``dgh`` into the recurrent
+        parameters and the hidden-state gradient (windows write disjoint
+        node sets, so the fancy ``+=`` is exact)."""
+        c = self.combine
+        dgh = gru_sink["dgh"]
+        _acc(c.w_hh, _mm(q_w.T, dgh))
+        _acc(c.b_hh, dgh.sum(axis=0))
+        if dh is not None:
+            dh[win_written] += _mm(dgh, c.w_hh.data.T)
+
+    def end_pass_windowed(
+        self,
+        hd: np.ndarray,
+        gru_sink: Sink,
+        agg_sink: Sink,
+        dh: Optional[np.ndarray],
+    ) -> None:
+        """Fold the pass-global accumulators of a windowed per_group
+        backward (aggregator sink, GRU input-transform grads) into the
+        parameters, once per pass."""
+        self.aggregate.step_end(hd, agg_sink, dh)
+        c = self.combine
+        _acc(c.w_ih, gru_sink["dw_ih"])
+        _acc(c.b_ih, gru_sink["db_ih"])
+
 
 def _regather_sources(
     hd: np.ndarray, work: np.ndarray, group: CompiledGroup
@@ -399,7 +682,7 @@ def _regather_sources(
 
 def run_pass(
     h: Tensor,
-    schedule: CompiledSchedule,
+    schedule: Union[CompiledSchedule, WindowedSchedule],
     step: AggregateCombineStep,
     layout: Optional[str] = None,
 ) -> Tensor:
@@ -407,13 +690,18 @@ def run_pass(
 
     ``layout`` picks the execution layout (see :data:`PASS_LAYOUTS`);
     ``None`` uses the process default from :func:`get_pass_layout`.
+    A :class:`~repro.graphdata.batching.WindowedSchedule` runs the
+    streaming bounded-memory path (:func:`_run_pass_windowed`), which
+    produces bitwise-identical outputs to the full pass.
     """
-    if not schedule.groups:
-        return h
     if layout is None:
         layout = get_pass_layout()
     else:
         _check_layout(layout, "run_pass")
+    if isinstance(schedule, WindowedSchedule):
+        return _run_pass_windowed(h, schedule, step, layout)
+    if not schedule.groups:
+        return h
     block = schedule.block() if layout == "block" else None
     hd = h.data
     params = step.params()
@@ -443,7 +731,9 @@ def run_pass(
         for group in schedule.groups:
             h_src = work[group.src]
             query = hd[group.nodes]
-            out, saved = step.forward(group, h_src, query, gh_full, agg_ctx)
+            out, saved = step.forward(
+                group, h_src, query, gh_full[group.nodes], agg_ctx
+            )
             work[group.nodes] = out
             if record:
                 saved_all.append(saved)
@@ -494,6 +784,287 @@ def run_pass(
         if need_dh:
             # rows never written flow straight through to the pass input
             gwork[written] = 0.0
+            dh += gwork
+            h._accumulate(dh, own=True)
+
+    return Tensor._make(work, (h, *params), backward)
+
+
+# ---------------------------------------------------------------------------
+# windowed (streaming) pass execution
+# ---------------------------------------------------------------------------
+
+
+def _gather_window_sources(
+    hd: np.ndarray,
+    ext_vals: Optional[np.ndarray],
+    wouts: List[np.ndarray],
+    group: CompiledGroup,
+) -> np.ndarray:
+    """Reconstruct a group's source rows from window-bounded state only.
+
+    Rows come from the pass input (``hd``), the window's frontier
+    snapshot (``ext_vals`` — the rows earlier windows carried across the
+    boundary) or the outputs of earlier groups *in this window*
+    (``wouts``) — never from a full ``(N, d)`` working matrix, which is
+    what makes the reverse re-stream's resident state bounded.  The
+    splits' ``layout.segment_ids`` double as the gather index arrays.
+    """
+    plan = group.gather_plan
+    if len(plan) == 1 and plan[0].positions is None:
+        split = plan[0]
+        if split.producer == PASS_INPUT:
+            return hd[group.src]
+        if split.producer == FRONTIER:
+            return ext_vals[split.layout.segment_ids]
+        return wouts[split.producer][split.layout.segment_ids]
+    out = np.empty((len(group.src),) + hd.shape[1:], hd.dtype)
+    for split in plan:
+        idx = split.layout.segment_ids
+        if split.producer == PASS_INPUT:
+            vals = hd[idx]
+        elif split.producer == FRONTIER:
+            vals = ext_vals[idx]
+        else:
+            vals = wouts[split.producer][idx]
+        out[split.positions] = vals
+    return out
+
+
+def _route_window_grads(
+    group: CompiledGroup,
+    dh_src: np.ndarray,
+    win: Window,
+    gwork: np.ndarray,
+    dh: Optional[np.ndarray],
+    need_dh: bool,
+) -> None:
+    """Scatter a group's source gradients to their producers.
+
+    Identical to the full runner's routing, except frontier splits land
+    on the global rows named by the window's ``ext_rows`` cut set (those
+    producers live in earlier windows, visited later in the reverse
+    stream) and in-window producers are window-local.
+    """
+    for split in group.gather_plan:
+        g = dh_src if split.positions is None else dh_src[split.positions]
+        rows, sums = segment_present_sum(g, split.layout)
+        if split.producer == PASS_INPUT:
+            if need_dh:
+                dh[rows] += sums
+        elif split.producer == FRONTIER:
+            gwork[win.ext_rows[rows]] += sums
+        else:
+            gwork[win.compiled.groups[split.producer].nodes[rows]] += sums
+
+
+def _run_pass_windowed(
+    h: Tensor,
+    wsched: WindowedSchedule,
+    step: AggregateCombineStep,
+    layout: str,
+) -> Tensor:
+    """Run one pass streaming over a :class:`WindowedSchedule`.
+
+    The forward walks windows in level order; per-window transients
+    (query/pre-activation rows, group outputs) are discarded as soon as
+    the window's nodes are written, and the rows each later window reads
+    across a boundary are parked in a :class:`StateStore` (in-memory,
+    optionally spilling to disk).  No per-group saved state is retained:
+    the reverse walk re-streams windows in reverse order, *recomputing*
+    each window's forward from the pass input plus its frontier snapshot,
+    then running the window's backward — still one autograd node per
+    pass.
+
+    Outputs are bitwise identical to the full runner for every window
+    budget: the pass-wide affine pre-projections go through the
+    fixed-extent chunk convention (:data:`GEMM_CHUNK_ROWS`), and all
+    remaining forward arithmetic is per-group in both runners.
+    Parameter/hidden-state gradients contract per window (window-sized
+    GEMM extents), so they match the full pass to float32 round-off
+    rather than bitwise; the equivalence suite pins both properties.
+    """
+    if not wsched.windows:
+        return h
+    use_block = layout == "block"
+    hd = h.data
+    params = step.params()
+    record = is_grad_enabled() and (
+        h.requires_grad or any(p.requires_grad for p in params)
+    )
+    agg_ctx = step.aggregate.step_begin(hd)
+    c = step.combine
+    d = hd.shape[1]
+    written_all = wsched.written
+    x = wsched.x
+
+    def _make_gh() -> _ChunkedAffine:
+        return _ChunkedAffine(
+            lambda c0, c1: hd[c0:c1], hd.shape[0], c.w_hh.data, c.b_hh.data
+        )
+
+    def _make_gi() -> Optional[_ChunkedAffine]:
+        if not (use_block and step.fixed_x):
+            return None
+        return _ChunkedAffine(
+            lambda c0, c1: x[written_all[c0:c1]],
+            len(written_all),
+            c.w_ih.data[d:],
+            c.b_ih.data,
+        )
+
+    store = StateStore.from_env() if record else None
+    gh = _make_gh()
+    gi = _make_gi()
+    work = hd.copy()
+    frontier_rows = 0
+    frontier_bytes = 0
+    for win in wsched.windows:
+        ws = win.compiled
+        if store is not None and win.ext_rows.size:
+            # rows from earlier windows are final (each node is written
+            # once per pass), so the snapshot can be taken up front
+            chunk = work[win.ext_rows]
+            store.put(win.index, chunk)
+            frontier_rows += len(win.ext_rows)
+            frontier_bytes += chunk.nbytes
+        gh_w = gh.rows(ws.written)
+        if use_block:
+            q_w = hd[ws.written]
+            gi_w = (
+                gi.row_range(win.written_start, win.written_stop)
+                if gi is not None
+                else None
+            )
+            for group in ws.groups:
+                o0 = group.node_offset
+                o1 = o0 + len(group.nodes)
+                out, _ = step.forward_block(
+                    group, work[group.src], q_w[o0:o1], gh_w[o0:o1],
+                    agg_ctx, gi_w,
+                )
+                work[group.nodes] = out
+        else:
+            for group in ws.groups:
+                o0 = group.node_offset
+                o1 = o0 + len(group.nodes)
+                out, _ = step.forward(
+                    group, work[group.src], hd[group.nodes], gh_w[o0:o1],
+                    agg_ctx,
+                )
+                work[group.nodes] = out
+    _WINDOW_STATS["passes"] += 1
+    _WINDOW_STATS["windows"] += len(wsched.windows)
+    _WINDOW_STATS["frontier_rows"] += frontier_rows
+    _WINDOW_STATS["frontier_bytes"] += frontier_bytes
+
+    def backward(grad: np.ndarray) -> None:
+        gwork = grad.copy()
+        need_dh = h.requires_grad
+        dh = np.zeros_like(hd) if need_dh else None
+        gh_b = _make_gh()
+        gi_b = _make_gi()
+        if not use_block:
+            # pass-global accumulators: the aggregator sink (param-shaped,
+            # plus attention's dense query-score grads) and the GRU
+            # input-transform grads fold into the parameters once per pass
+            agg_sink = step.aggregate.step_sink(hd, None)
+            gru_acc: Sink = {
+                "dw_ih": np.zeros_like(c.w_ih.data),
+                "db_ih": np.zeros_like(c.b_ih.data),
+            }
+        for win in reversed(wsched.windows):
+            ws = win.compiled
+            ext_vals = (
+                store.get(win.index)
+                if store is not None and win.ext_rows.size
+                else None
+            )
+            gh_w = gh_b.rows(ws.written)
+            q_w = hd[ws.written]
+            wouts: List[np.ndarray] = []
+            saveds: List[tuple] = []
+            if use_block:
+                gi_w = (
+                    gi_b.row_range(win.written_start, win.written_stop)
+                    if gi_b is not None
+                    else None
+                )
+                for group in ws.groups:
+                    o0 = group.node_offset
+                    o1 = o0 + len(group.nodes)
+                    h_src = _gather_window_sources(hd, ext_vals, wouts, group)
+                    out, saved = step.forward_block(
+                        group, h_src, q_w[o0:o1], gh_w[o0:o1], agg_ctx, gi_w
+                    )
+                    wouts.append(out)
+                    saveds.append(saved)
+                wblock = ws.block()
+                gru_sink, agg_sink_w = step.begin_backward(hd, wblock)
+                for group, saved in zip(reversed(ws.groups), reversed(saveds)):
+                    o0 = group.node_offset
+                    dh_src, _ = step.backward_block(
+                        group,
+                        gwork[group.nodes],
+                        saved[3],
+                        q_w[o0:o0 + len(group.nodes)],
+                        saved,
+                        gru_sink,
+                        agg_sink_w,
+                    )
+                    _route_window_grads(group, dh_src, win, gwork, dh, need_dh)
+                step.end_backward(hd, gru_sink, agg_sink_w, dh, wblock)
+            else:
+                srcs: List[np.ndarray] = []
+                for group in ws.groups:
+                    o0 = group.node_offset
+                    o1 = o0 + len(group.nodes)
+                    h_src = _gather_window_sources(hd, ext_vals, wouts, group)
+                    out, saved = step.forward(
+                        group, h_src, hd[group.nodes], gh_w[o0:o1], agg_ctx
+                    )
+                    wouts.append(out)
+                    saveds.append(saved)
+                    srcs.append(h_src)
+                gru_sink = {
+                    "dgh": np.empty(
+                        (len(ws.written), c.w_hh.data.shape[1]), np.float32
+                    ),
+                    "dw_ih": gru_acc["dw_ih"],
+                    "db_ih": gru_acc["db_ih"],
+                }
+                for group, saved, h_src in zip(
+                    reversed(ws.groups), reversed(saveds), reversed(srcs)
+                ):
+                    dh_src, dquery = step.backward_windowed(
+                        group,
+                        gwork[group.nodes],
+                        h_src,
+                        hd[group.nodes],
+                        saved,
+                        gru_sink,
+                        agg_sink,
+                    )
+                    if need_dh and dquery is not None:
+                        dh[group.nodes] += dquery
+                    _route_window_grads(group, dh_src, win, gwork, dh, need_dh)
+                step.end_window(q_w, ws.written, gru_sink, dh)
+            if store is not None and win.ext_rows.size:
+                store.drop(win.index)
+        if not use_block:
+            step.end_pass_windowed(hd, gru_acc, agg_sink, dh)
+        if store is not None:
+            stats = store.stats
+            _WINDOW_STATS["spills"] += stats["spills"]
+            _WINDOW_STATS["reloads"] += stats["reloads"]
+            _WINDOW_STATS["store_peak_bytes"] = max(
+                _WINDOW_STATS["store_peak_bytes"],
+                stats["peak_resident_bytes"],
+            )
+            store.clear()
+        if need_dh:
+            # rows never written flow straight through to the pass input
+            gwork[written_all] = 0.0
             dh += gwork
             h._accumulate(dh, own=True)
 

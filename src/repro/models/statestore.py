@@ -1,0 +1,180 @@
+"""Bounded frontier state storage for the windowed propagation runner.
+
+A windowed pass (see :func:`repro.models.propagation.run_pass` over a
+:class:`~repro.graphdata.batching.WindowedSchedule`) keeps only the
+current window's state resident.  Rows that cross a window boundary —
+the frontier cut sets — are parked here between the forward stream and
+the reverse re-stream.  The store is in-memory by default; give it a
+``spill_dir`` and a byte budget and it spills the coldest chunks to
+uncompressed ``.npz`` files, reloading them on demand.
+
+Eviction is oldest-window-first: the reverse walk consumes chunks in
+descending window order, so the smallest window index is always the
+furthest future use (Belady's rule for this access pattern) — spilling
+it first minimises reloads.
+
+Process defaults come from the environment:
+
+* ``REPRO_SPILL_DIR`` — directory for spill files (created on demand);
+  unset disables disk spill (the budget then becomes advisory).
+* ``REPRO_STORE_BUDGET_MB`` — resident byte budget before spilling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import shutil
+import tempfile
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["StateStore", "SPILL_DIR_ENV_VAR", "STORE_BUDGET_ENV_VAR"]
+
+SPILL_DIR_ENV_VAR = "REPRO_SPILL_DIR"
+STORE_BUDGET_ENV_VAR = "REPRO_STORE_BUDGET_MB"
+
+#: distinguishes the spill sub-directories of concurrent stores in one
+#: process (several passes per training step each own a store)
+_STORE_IDS = itertools.count()
+
+
+class StateStore:
+    """Keyed store of frontier row chunks with optional disk spill.
+
+    ``put(key, rows)`` takes ownership of ``rows``; ``get(key)`` returns
+    exactly the bytes that were put (reloading from disk if the chunk
+    was spilled); ``drop(key)`` releases a chunk and its spill file.
+    ``stats`` counts puts/spills/reloads and tracks resident and peak
+    resident bytes so benches and tests can assert boundedness.
+    """
+
+    def __init__(
+        self,
+        spill_dir: Optional[str] = None,
+        budget_bytes: Optional[int] = None,
+    ):
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError(f"budget_bytes must be >= 0, got {budget_bytes}")
+        self._resident: Dict[int, np.ndarray] = {}
+        self._spilled: Dict[int, str] = {}
+        self.budget_bytes = budget_bytes
+        self._spill_root = spill_dir
+        self._spill_sub: Optional[str] = None
+        self.stats = {
+            "puts": 0,
+            "spills": 0,
+            "reloads": 0,
+            "resident_bytes": 0,
+            "peak_resident_bytes": 0,
+            "spilled_bytes": 0,
+        }
+
+    @classmethod
+    def from_env(cls) -> "StateStore":
+        """A store configured from the process environment."""
+        spill_dir = os.environ.get(SPILL_DIR_ENV_VAR, "").strip() or None
+        raw = os.environ.get(STORE_BUDGET_ENV_VAR, "").strip()
+        budget = None
+        if raw:
+            try:
+                budget = int(float(raw) * 1024 * 1024)
+            except ValueError:
+                raise ValueError(
+                    f"${STORE_BUDGET_ENV_VAR} must be a number of MiB, "
+                    f"got {raw!r}"
+                ) from None
+        return cls(spill_dir=spill_dir, budget_bytes=budget)
+
+    # ------------------------------------------------------------------
+    def _spill_path(self, key: int) -> str:
+        if self._spill_sub is None:
+            root = self._spill_root
+            assert root is not None
+            os.makedirs(root, exist_ok=True)
+            self._spill_sub = tempfile.mkdtemp(
+                prefix=f"store{os.getpid()}_{next(_STORE_IDS)}_", dir=root
+            )
+        return os.path.join(self._spill_sub, f"frontier_{key:08d}.npz")
+
+    def _bump_resident(self, delta: int) -> None:
+        s = self.stats
+        s["resident_bytes"] += delta
+        if s["resident_bytes"] > s["peak_resident_bytes"]:
+            s["peak_resident_bytes"] = s["resident_bytes"]
+
+    def _maybe_spill(self) -> None:
+        if self.budget_bytes is None or self._spill_root is None:
+            return
+        # oldest window first: the reverse walk reads keys in descending
+        # order, so the smallest key has the furthest future use
+        while (
+            self.stats["resident_bytes"] > self.budget_bytes
+            and len(self._resident) > 1
+        ):
+            key = min(self._resident)
+            rows = self._resident.pop(key)
+            path = self._spill_path(key)
+            np.savez(path, rows=rows)
+            self._spilled[key] = path
+            self.stats["spills"] += 1
+            self.stats["spilled_bytes"] += rows.nbytes
+            self._bump_resident(-rows.nbytes)
+
+    # ------------------------------------------------------------------
+    def put(self, key: int, rows: np.ndarray) -> None:
+        if key in self._resident or key in self._spilled:
+            raise KeyError(f"chunk {key} already stored")
+        self._resident[key] = rows
+        self.stats["puts"] += 1
+        self._bump_resident(rows.nbytes)
+        self._maybe_spill()
+
+    def get(self, key: int) -> np.ndarray:
+        rows = self._resident.get(key)
+        if rows is not None:
+            return rows
+        path = self._spilled.get(key)
+        if path is None:
+            raise KeyError(f"chunk {key} not stored")
+        with np.load(path) as data:
+            rows = data["rows"]
+        self.stats["reloads"] += 1
+        # keep it resident until dropped: the reverse walk reads a chunk
+        # exactly once per window, then drops it
+        del self._spilled[key]
+        os.unlink(path)
+        self._resident[key] = rows
+        self._bump_resident(rows.nbytes)
+        return rows
+
+    def drop(self, key: int) -> None:
+        rows = self._resident.pop(key, None)
+        if rows is not None:
+            self._bump_resident(-rows.nbytes)
+            return
+        path = self._spilled.pop(key, None)
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        for key in list(self._resident):
+            self.drop(key)
+        for key in list(self._spilled):
+            self.drop(key)
+        if self._spill_sub is not None:
+            shutil.rmtree(self._spill_sub, ignore_errors=True)
+            self._spill_sub = None
+
+    def __len__(self) -> int:
+        return len(self._resident) + len(self._spilled)
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.clear()
+        except Exception:
+            pass

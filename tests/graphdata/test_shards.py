@@ -9,6 +9,7 @@ from repro.datagen.generators import parity, ripple_adder
 from repro.graphdata import from_aig, read_shard, write_shard
 from repro.graphdata.shards import (
     file_sha256,
+    iter_shard,
     load_manifest,
     write_npz_deterministic,
 )
@@ -90,3 +91,34 @@ class TestLoadManifest:
     def test_unknown_version(self, tmp_path):
         (tmp_path / "manifest.json").write_text('{"format_version": 99}')
         assert load_manifest(tmp_path) is None
+
+
+class TestIterShard:
+    def test_matches_read_shard(self, tmp_path):
+        graphs = sample_graphs()
+        write_shard(tmp_path / "s.npz", graphs)
+        streamed = list(iter_shard(tmp_path / "s.npz"))
+        loaded = read_shard(tmp_path / "s.npz")
+        assert len(streamed) == len(loaded) == len(graphs)
+        for a, b in zip(streamed, loaded):
+            assert a.name == b.name
+            assert np.array_equal(a.edges, b.edges)
+            assert np.array_equal(a.labels, b.labels)
+
+    def test_lazy_one_graph_at_a_time(self, tmp_path):
+        # the generator yields without materialising the whole shard:
+        # taking one graph and abandoning the iterator must not decode
+        # (or leak) the rest
+        write_shard(tmp_path / "s.npz", sample_graphs(3))
+        it = iter_shard(tmp_path / "s.npz")
+        first = next(it)
+        first.validate()
+        it.close()  # releases the archive cleanly mid-scan
+
+    def test_version_checked_before_first_yield(self, tmp_path):
+        write_npz_deterministic(
+            tmp_path / "bad.npz",
+            {"format_version": np.int64(99), "num_graphs": np.int64(0)},
+        )
+        with pytest.raises(ValueError, match="format version"):
+            next(iter_shard(tmp_path / "bad.npz"))

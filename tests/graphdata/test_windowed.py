@@ -1,0 +1,159 @@
+"""WindowedSchedule partition invariants (the streaming compile layer).
+
+The windowed pass runner's correctness rests on structural guarantees of
+:class:`~repro.graphdata.batching.WindowedSchedule`: every level group
+lands in exactly one window in schedule order, written-node budgets are
+respected (a single oversized group becomes its own window rather than
+failing), and each window's ``ext_rows`` cut set names exactly the
+earlier-window rows its gather plans read through the
+:data:`~repro.graphdata.batching.FRONTIER` sentinel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen.generators import parity, ripple_adder
+from repro.graphdata import LevelSchedule, from_aig, prepare
+from repro.graphdata.batching import FRONTIER, PASS_INPUT, WindowedSchedule
+from repro.synth import synthesize
+
+
+def make_batch():
+    g1 = from_aig(synthesize(ripple_adder(6)), num_patterns=128, seed=0)
+    g2 = from_aig(synthesize(parity(5)), num_patterns=128, seed=1)
+    return prepare([g1, g2])
+
+
+def build(budget, edge_budget=None, include_skip=False):
+    batch = make_batch()
+    sched = LevelSchedule.forward(
+        batch.graph, include_skip=include_skip, pe_levels=4
+    )
+    attr_dim = 2 * 4 + 1 if include_skip else None
+    return sched, WindowedSchedule.build(
+        sched, batch.x, budget,
+        edge_attr_dim=attr_dim, edge_budget=edge_budget,
+    )
+
+
+class TestPartition:
+    @pytest.mark.parametrize("budget", [1, 5, 17, 10**9])
+    def test_windows_cover_all_groups_in_order(self, budget):
+        sched, ws = build(budget)
+        assert ws.num_groups == len(sched.groups)
+        windowed_nodes = np.concatenate(
+            [cg.nodes for w in ws for cg in w.compiled.groups]
+        )
+        full_nodes = np.concatenate([g.nodes for g in sched])
+        np.testing.assert_array_equal(windowed_nodes, full_nodes)
+        np.testing.assert_array_equal(ws.written, full_nodes)
+
+    @pytest.mark.parametrize("budget", [5, 17, 64])
+    def test_node_budget_respected(self, budget):
+        _, ws = build(budget)
+        for w in ws:
+            if len(w.compiled.groups) > 1:
+                assert w.num_written <= budget
+
+    def test_budget_one_isolates_every_group(self):
+        sched, ws = build(1)
+        assert len(ws) == len(sched.groups)
+        for w in ws:
+            assert len(w.compiled.groups) == 1
+
+    def test_huge_budget_single_window(self):
+        _, ws = build(10**9)
+        assert len(ws) == 1
+        assert len(ws.windows[0].ext_rows) == 0
+
+    def test_edge_budget_respected(self):
+        _, ws = build(10**9, edge_budget=24)
+        assert len(ws) > 1
+        for w in ws:
+            if len(w.compiled.groups) > 1:
+                edges = sum(len(cg.src) for cg in w.compiled.groups)
+                assert edges <= 24
+
+    def test_written_offsets_are_contiguous(self):
+        _, ws = build(9)
+        stop = 0
+        for w in ws:
+            assert w.written_start == stop
+            assert w.num_written == sum(
+                len(cg.nodes) for cg in w.compiled.groups
+            )
+            stop = w.written_stop
+        assert stop == len(ws.written)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_bad_node_budget_rejected(self, bad):
+        batch = make_batch()
+        sched = LevelSchedule.forward(batch.graph)
+        with pytest.raises(ValueError, match="node_budget"):
+            WindowedSchedule.build(sched, batch.x, bad)
+
+    def test_bad_edge_budget_rejected(self):
+        batch = make_batch()
+        sched = LevelSchedule.forward(batch.graph)
+        with pytest.raises(ValueError, match="edge_budget"):
+            WindowedSchedule.build(sched, batch.x, 8, edge_budget=0)
+
+
+class TestFrontier:
+    @pytest.mark.parametrize("budget", [1, 5, 17])
+    def test_ext_rows_sorted_unique_and_written_earlier(self, budget):
+        _, ws = build(budget)
+        written_before = np.zeros(0, np.int64)
+        for w in ws:
+            ext = w.ext_rows
+            assert (np.diff(ext) > 0).all()  # sorted, unique
+            assert np.isin(ext, written_before).all()
+            written_before = np.concatenate(
+                [written_before]
+                + [cg.nodes for cg in w.compiled.groups]
+            )
+
+    @pytest.mark.parametrize("include_skip", [False, True])
+    def test_gather_plans_reference_valid_producers(self, include_skip):
+        _, ws = build(5, include_skip=include_skip)
+        for w in ws:
+            groups = w.compiled.groups
+            for gi, cg in enumerate(groups):
+                for split in cg.gather_plan:
+                    if split.producer == PASS_INPUT:
+                        assert split.layout.num_segments == ws.num_nodes
+                    elif split.producer == FRONTIER:
+                        assert split.layout.num_segments == len(w.ext_rows)
+                        rows = split.layout.segment_ids
+                        assert (rows >= 0).all()
+                        assert (rows < len(w.ext_rows)).all()
+                    else:
+                        # in-window producer: strictly earlier group
+                        assert 0 <= split.producer < gi
+                        assert split.layout.num_segments == len(
+                            groups[split.producer].nodes
+                        )
+
+    def test_frontier_rows_resolve_to_global_ids(self):
+        # searchsorted-compressed FRONTIER rows must map back through
+        # ext_rows to exactly the global source ids of the split
+        sched, ws = build(5)
+        for w in ws:
+            for cg in w.compiled.groups:
+                for split in cg.gather_plan:
+                    if split.producer != FRONTIER:
+                        continue
+                    chosen = (
+                        cg.src
+                        if split.positions is None
+                        else cg.src[split.positions]
+                    )
+                    np.testing.assert_array_equal(
+                        w.ext_rows[split.layout.segment_ids], chosen
+                    )
+
+    def test_max_frontier_rows_bounded_by_schedule(self):
+        _, ws = build(5)
+        assert ws.max_frontier_rows == max(
+            len(w.ext_rows) for w in ws
+        )

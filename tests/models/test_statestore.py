@@ -1,0 +1,135 @@
+"""StateStore unit tests: keyed frontier chunks with bounded residency.
+
+The store is the windowed pass's only carrier of cross-window state, so
+its invariants are load-bearing: ``get`` returns exactly the bytes that
+were ``put`` (through a disk round trip when the resident budget forces
+a spill), eviction picks the *oldest* key (the one the reverse walk
+needs last), and ``clear`` leaves nothing behind on disk.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.statestore import (
+    SPILL_DIR_ENV_VAR,
+    STORE_BUDGET_ENV_VAR,
+    StateStore,
+)
+
+
+def chunk(seed, shape=(16, 8)):
+    return np.random.default_rng(seed).normal(size=shape).astype(np.float32)
+
+
+class TestInMemory:
+    def test_put_get_drop_roundtrip(self):
+        store = StateStore()
+        rows = chunk(0)
+        store.put(3, rows)
+        assert len(store) == 1
+        np.testing.assert_array_equal(store.get(3), rows)
+        store.drop(3)
+        assert len(store) == 0
+
+    def test_duplicate_put_rejected(self):
+        store = StateStore()
+        store.put(1, chunk(0))
+        with pytest.raises(KeyError, match="already stored"):
+            store.put(1, chunk(1))
+
+    def test_get_missing_rejected(self):
+        with pytest.raises(KeyError, match="not stored"):
+            StateStore().get(9)
+
+    def test_drop_missing_is_noop(self):
+        StateStore().drop(9)
+
+    def test_budget_without_spill_dir_is_advisory(self):
+        store = StateStore(budget_bytes=1)
+        store.put(0, chunk(0))
+        store.put(1, chunk(1))
+        assert store.stats["spills"] == 0
+        assert len(store) == 2
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget_bytes"):
+            StateStore(budget_bytes=-1)
+
+    def test_resident_accounting(self):
+        store = StateStore()
+        a, b = chunk(0), chunk(1)
+        store.put(0, a)
+        store.put(1, b)
+        assert store.stats["resident_bytes"] == a.nbytes + b.nbytes
+        assert store.stats["peak_resident_bytes"] == a.nbytes + b.nbytes
+        store.drop(0)
+        assert store.stats["resident_bytes"] == b.nbytes
+        assert store.stats["peak_resident_bytes"] == a.nbytes + b.nbytes
+
+
+class TestSpill:
+    def test_oldest_key_spills_first(self, tmp_path):
+        store = StateStore(spill_dir=str(tmp_path), budget_bytes=1)
+        store.put(0, chunk(0))
+        store.put(1, chunk(1))
+        store.put(2, chunk(2))
+        # keys 0 and 1 went to disk; the newest stays resident (the
+        # store always keeps at least one chunk in memory)
+        assert store.stats["spills"] == 2
+        assert sorted(store._spilled) == [0, 1]
+        assert list(store._resident) == [2]
+
+    def test_get_reloads_and_deletes_spill_file(self, tmp_path):
+        store = StateStore(spill_dir=str(tmp_path), budget_bytes=1)
+        rows = chunk(7)
+        store.put(0, rows.copy())
+        store.put(1, chunk(1))
+        assert store.stats["spills"] >= 1
+        spill_files = list(tmp_path.rglob("*.npz"))
+        assert spill_files
+        np.testing.assert_array_equal(store.get(0), rows)
+        assert store.stats["reloads"] == 1
+        # the file is consumed by the reload
+        assert all(not p.exists() for p in spill_files)
+
+    def test_clear_removes_spill_directory(self, tmp_path):
+        store = StateStore(spill_dir=str(tmp_path), budget_bytes=1)
+        for k in range(4):
+            store.put(k, chunk(k))
+        store.clear()
+        assert len(store) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_two_stores_share_a_spill_root(self, tmp_path):
+        # per-store unique subdirectories: concurrent stores (e.g. tests
+        # running in one process) never collide on chunk file names
+        s1 = StateStore(spill_dir=str(tmp_path), budget_bytes=1)
+        s2 = StateStore(spill_dir=str(tmp_path), budget_bytes=1)
+        for s, seed in ((s1, 0), (s2, 100)):
+            s.put(0, chunk(seed))
+            s.put(1, chunk(seed + 1))
+        np.testing.assert_array_equal(s1.get(0), chunk(0))
+        np.testing.assert_array_equal(s2.get(0), chunk(100))
+        s1.clear()
+        s2.clear()
+
+
+class TestFromEnv:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv(SPILL_DIR_ENV_VAR, raising=False)
+        monkeypatch.delenv(STORE_BUDGET_ENV_VAR, raising=False)
+        store = StateStore.from_env()
+        assert store.budget_bytes is None
+        assert store._spill_root is None
+
+    def test_configured(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SPILL_DIR_ENV_VAR, str(tmp_path))
+        monkeypatch.setenv(STORE_BUDGET_ENV_VAR, "2.5")
+        store = StateStore.from_env()
+        assert store.budget_bytes == int(2.5 * 1024 * 1024)
+        assert store._spill_root == str(tmp_path)
+
+    def test_bad_budget_rejected(self, monkeypatch):
+        monkeypatch.setenv(STORE_BUDGET_ENV_VAR, "lots")
+        with pytest.raises(ValueError, match=STORE_BUDGET_ENV_VAR):
+            StateStore.from_env()

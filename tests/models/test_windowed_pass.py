@@ -1,0 +1,225 @@
+"""Windowed streaming propagation vs the full compiled pass.
+
+The streaming contract, checked over every aggregator × layout × budget:
+
+* forward outputs (and therefore the loss) are **bitwise identical** to
+  the full compiled pass for every window budget — including budgets of
+  one level group and budgets larger than the whole circuit — because
+  both paths compute their pass-wide affine pre-projections through the
+  same globally-aligned :data:`GEMM_CHUNK_ROWS` extents;
+* parameter and input gradients agree to round-off (window-sized GEMMs
+  change summation order, so grads are ``allclose``, not bitwise);
+* a finite-difference probe validates the recompute-based backward
+  through a window boundary end to end;
+* with a spill directory and a tiny store budget the frontier chunks
+  round-trip through disk without changing any gradient.
+"""
+
+import numpy as np
+import pytest
+
+import repro.models.propagation as P
+from repro.datagen.generators import parity, ripple_adder
+from repro.graphdata import from_aig, prepare
+from repro.models import DeepGate
+from repro.models.propagation import (
+    PASS_LAYOUTS,
+    WINDOW_ENV_VAR,
+    get_window_budget,
+    get_window_stats,
+    reset_window_stats,
+    set_window_budget,
+    use_pass_layout,
+    use_window_budget,
+)
+from repro.nn import Tensor, no_grad
+from repro.synth import synthesize
+
+BUDGETS = [1, 7, 64, 10**9]
+AGG_CONFIGS = [
+    {"aggregator": "attention", "use_skip": True},
+    {"aggregator": "conv_sum", "use_skip": False},
+    {"aggregator": "deepset", "use_skip": False},
+    {"aggregator": "gated_sum", "use_skip": False},
+]
+AGG_IDS = [c["aggregator"] for c in AGG_CONFIGS]
+
+
+def make_batch():
+    g1 = from_aig(synthesize(ripple_adder(6)), num_patterns=256, seed=0)
+    g2 = from_aig(synthesize(parity(5)), num_patterns=256, seed=1)
+    return prepare([g1, g2])
+
+
+def make_model(**kwargs):
+    defaults = dict(
+        dim=8, num_iterations=2, rng=np.random.default_rng(0),
+        compiled=True,
+    )
+    defaults.update(kwargs)
+    return DeepGate(**defaults)
+
+
+def grads_of(model):
+    return {
+        name: np.array(p.grad)
+        for name, p in model.named_parameters()
+        if p.grad is not None
+    }
+
+
+@pytest.mark.parametrize("layout", PASS_LAYOUTS)
+@pytest.mark.parametrize("config", AGG_CONFIGS, ids=AGG_IDS)
+class TestBitwiseForward:
+    @pytest.mark.parametrize("budget", BUDGETS)
+    def test_forward_bits_match_full(self, layout, config, budget):
+        batch = make_batch()
+        model = make_model(**config)
+        with use_pass_layout(layout), no_grad():
+            expected = model(batch).data
+            with use_window_budget(budget):
+                actual = model(batch).data
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_gradients_match_full(self, layout, config):
+        batch = make_batch()
+        full = make_model(**config)
+        windowed = make_model(**config)
+        weights = Tensor(
+            np.linspace(-1.0, 1.0, batch.num_nodes).astype(np.float32)
+        )
+        with use_pass_layout(layout):
+            (full(batch) * weights).sum().backward()
+            with use_window_budget(7):
+                (windowed(batch) * weights).sum().backward()
+        g_full, g_win = grads_of(full), grads_of(windowed)
+        assert g_full.keys() == g_win.keys()
+        for name in g_full:
+            np.testing.assert_allclose(
+                g_win[name], g_full[name], rtol=2e-4, atol=2e-5,
+                err_msg=f"gradient mismatch for {name} ({layout})",
+            )
+
+
+class TestChunkConvention:
+    def test_multi_chunk_forward_stays_bitwise(self, monkeypatch):
+        # force the pass-wide affine pre-projections through several
+        # chunks: the windowed/full bitwise identity must survive
+        monkeypatch.setattr(P, "GEMM_CHUNK_ROWS", 64)
+        batch = make_batch()
+        model = make_model()
+        with no_grad():
+            expected = model(batch).data
+            with use_window_budget(16):
+                actual = model(batch).data
+        np.testing.assert_array_equal(actual, expected)
+
+
+@pytest.mark.parametrize("layout", PASS_LAYOUTS)
+class TestFiniteDifference:
+    def test_parameter_gradients_across_window_boundary(self, layout):
+        g = from_aig(synthesize(ripple_adder(3)), num_patterns=128, seed=0)
+        batch = prepare([g])
+        model = make_model(dim=6)
+        weights = Tensor(
+            np.linspace(0.2, 1.0, batch.num_nodes).astype(np.float32)
+        )
+
+        def loss_value() -> float:
+            with no_grad():
+                return float((model(batch).data * weights.data).sum())
+
+        # budget 4: every pass crosses several window boundaries, so the
+        # FD probe exercises frontier save/recompute, not just one window
+        with use_pass_layout(layout), use_window_budget(4):
+            model.zero_grad()
+            (model(batch) * weights).sum().backward()
+            rng = np.random.default_rng(7)
+            eps = 2e-3
+            for name, p in model.named_parameters():
+                assert p.grad is not None, name
+                flat = p.data.reshape(-1)
+                gflat = np.asarray(p.grad).reshape(-1)
+                idx = int(rng.integers(flat.size))
+                orig = flat[idx]
+                flat[idx] = orig + eps
+                fp = loss_value()
+                flat[idx] = orig - eps
+                fm = loss_value()
+                flat[idx] = orig
+                numeric = (fp - fm) / (2.0 * eps)
+                np.testing.assert_allclose(
+                    gflat[idx], numeric, atol=2e-2, rtol=8e-2,
+                    err_msg=f"FD mismatch for {name}[{idx}] ({layout})",
+                )
+
+
+class TestSpill:
+    def test_spill_reload_roundtrip_preserves_gradients(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        # a few hundred bytes: every frontier chunk beyond the newest is
+        # forced through disk
+        monkeypatch.setenv("REPRO_STORE_BUDGET_MB", "0.0003")
+        batch = make_batch()
+        full = make_model()
+        spilled = make_model()
+        weights = Tensor(
+            np.linspace(-1.0, 1.0, batch.num_nodes).astype(np.float32)
+        )
+        (full(batch) * weights).sum().backward()
+        reset_window_stats()
+        with use_window_budget(7):
+            (spilled(batch) * weights).sum().backward()
+        stats = get_window_stats()
+        assert stats["spills"] > 0
+        assert stats["reloads"] > 0
+        g_full, g_win = grads_of(full), grads_of(spilled)
+        for name in g_full:
+            np.testing.assert_allclose(
+                g_win[name], g_full[name], rtol=2e-4, atol=2e-5,
+                err_msg=f"gradient mismatch after spill for {name}",
+            )
+        # every store cleans its spill subdirectory up after the pass
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestStatsAndKnob:
+    def test_window_stats_accumulate(self):
+        batch = make_batch()
+        model = make_model()
+        reset_window_stats()
+        with use_window_budget(7):
+            model.zero_grad()
+            model(batch).sum().backward()
+        stats = get_window_stats()
+        # 2 iterations x (forward + reverse) = 4 windowed passes
+        assert stats["passes"] == 4
+        assert stats["windows"] > stats["passes"]
+        assert stats["frontier_bytes"] >= stats["frontier_rows"] * 4
+        assert get_window_stats() == stats  # returns a copy, not a view
+
+    def test_set_window_budget_validates(self):
+        with pytest.raises(ValueError, match="window budget"):
+            set_window_budget(0)
+        assert set_window_budget(None) is None
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv(WINDOW_ENV_VAR, "7")
+        monkeypatch.setattr(P, "_active_window_budget", P._UNSET)
+        assert get_window_budget() == 7
+        for off in ("", "0", "off", "full", "none"):
+            monkeypatch.setenv(WINDOW_ENV_VAR, off)
+            monkeypatch.setattr(P, "_active_window_budget", P._UNSET)
+            assert get_window_budget() is None
+        monkeypatch.setenv(WINDOW_ENV_VAR, "not-a-number")
+        monkeypatch.setattr(P, "_active_window_budget", P._UNSET)
+        with pytest.raises(ValueError, match=WINDOW_ENV_VAR):
+            get_window_budget()
+
+    def test_use_window_budget_restores(self):
+        before = get_window_budget()
+        with use_window_budget(5):
+            assert get_window_budget() == 5
+        assert get_window_budget() == before

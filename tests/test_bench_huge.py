@@ -1,0 +1,144 @@
+"""The opt-in ``huge`` bench suite and its CLI gates, at toy scale.
+
+The suite itself is exercised with a ~1k-gate circuit (the real thing
+runs 100k+ gates in CI's ``huge-smoke`` job); what these tests pin down
+is the *machinery*: metric schema, deterministic output dumps that are
+byte-identical across window budgets, the ``--max-rss-kb`` run gate and
+the ``--max-rss-regression`` compare gate, and the huge suite staying
+out of the default suite sweep.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    HUGE_SUITE,
+    all_suite_names,
+    bench_huge_suite,
+    compare_bench,
+    max_rss_regression,
+    run_benchmarks,
+)
+from repro.cli import main
+
+TINY = dict(num_gates=800, window_budget=128, dim=8, iterations=1, repeats=1)
+
+
+class TestHugeSuite:
+    def test_not_in_default_sweep(self):
+        assert HUGE_SUITE not in all_suite_names()
+
+    def test_metrics_schema(self):
+        m = bench_huge_suite(**TINY)
+        for key in (
+            "circuits", "nodes", "edges", "levels", "forward_s",
+            "backward_s", "train_epoch_s", "nodes_per_s", "peak_rss_kb",
+            "peak_rss_delta_kb", "window_budget", "window_stats",
+        ):
+            assert key in m, key
+        assert m["nodes"] == 800
+        assert m["window_budget"] == 128
+        stats = m["window_stats"]
+        assert stats["passes"] > 0
+        assert stats["windows"] >= stats["passes"]
+
+    def test_dump_identical_across_budgets(self, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        bench_huge_suite(**dict(TINY, dump_path=a))
+        bench_huge_suite(**dict(TINY, window_budget=32, dump_path=b))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_run_benchmarks_dispatches_huge(self):
+        payload = run_benchmarks(suites=[HUGE_SUITE], huge=TINY)
+        assert set(payload["suites"]) == {HUGE_SUITE}
+        assert payload["suites"][HUGE_SUITE]["nodes"] == 800
+
+    def test_full_check_probe_completes_at_toy_scale(self):
+        # with a generous allowance the full path fits: the probe's
+        # subprocess plumbing (env, JSON hand-off, rlimit) is what this
+        # checks — the memory_error outcome is CI's to demonstrate
+        m = bench_huge_suite(
+            **dict(TINY, full_check=True, full_budget_mb=2048)
+        )
+        probe = m["full_path_probe"]
+        assert probe["status"] == "completed", probe
+        assert probe["budget_mb"] == 2048.0
+        assert probe["peak_rss_kb"] > 0
+
+
+class TestMaxRssRegression:
+    def _payload(self, delta):
+        return {
+            "name": "x", "variant": "compiled",
+            "suites": {"huge": {
+                "forward_s": 1.0, "backward_s": 1.0, "train_epoch_s": 1.0,
+                "peak_rss_delta_kb": delta,
+            }},
+        }
+
+    def test_ratio_and_floor(self):
+        diff = compare_bench(self._payload(2048), self._payload(4096))
+        worst = max_rss_regression(diff)
+        assert worst["suite"] == "huge"
+        assert worst["ratio"] == pytest.approx(2.0)
+        # old deltas below the 1024 KB floor cannot manufacture huge
+        # ratios out of jitter
+        diff = compare_bench(self._payload(1), self._payload(512))
+        assert max_rss_regression(diff)["ratio"] == pytest.approx(0.5)
+
+    def test_none_without_the_metric(self):
+        a = {"suites": {"s": {"forward_s": 1.0}}}
+        diff = compare_bench(a, a)
+        assert max_rss_regression(diff) is None
+
+
+class TestCli:
+    def run_tiny(self, tmp_path, *extra):
+        out = tmp_path / "BENCH_t.json"
+        args = [
+            "bench", "run", "--suite", "huge", "--huge-gates", "800",
+            "--window-budget", "128", "-o", str(out), "--name", "t",
+        ] + list(extra)
+        return main(args), out
+
+    def test_run_and_dump(self, tmp_path, capsys):
+        code, out = self.run_tiny(
+            tmp_path, "--dump-outputs", str(tmp_path / "dump")
+        )
+        assert code == 0
+        assert (tmp_path / "dump" / "huge.npz").exists()
+        payload = json.loads(out.read_text())
+        assert "huge" in payload["suites"]
+        assert "windows" in capsys.readouterr().out
+
+    def test_max_rss_gate_fails(self, tmp_path, capsys):
+        code, _ = self.run_tiny(tmp_path, "--max-rss-kb", "1")
+        assert code == 1
+        assert "exceeds --max-rss-kb" in capsys.readouterr().err
+
+    def test_max_rss_gate_passes(self, tmp_path):
+        code, _ = self.run_tiny(tmp_path, "--max-rss-kb", "10000000")
+        assert code == 0
+
+    def test_unknown_suite_still_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown bench suite"):
+            main(["bench", "run", "--suite", "nope",
+                  "-o", str(tmp_path / "x.json")])
+
+    def test_compare_rss_regression_gate(self, tmp_path, capsys):
+        _, out_a = self.run_tiny(tmp_path)
+        out_b = tmp_path / "BENCH_u.json"
+        # pin both deltas: the measured value is 0 whenever the process
+        # RSS high-water predates the suite (e.g. mid-pytest-session)
+        payload = json.loads(out_a.read_text())
+        payload["suites"]["huge"]["peak_rss_delta_kb"] = 2048
+        out_a.write_text(json.dumps(payload))
+        payload = json.loads(out_a.read_text())
+        payload["suites"]["huge"]["peak_rss_delta_kb"] = 204800
+        out_b.write_text(json.dumps(payload))
+        assert main(["bench", "compare", str(out_a), str(out_b),
+                     "--max-rss-regression", "200.0"]) == 0
+        assert main(["bench", "compare", str(out_a), str(out_b),
+                     "--max-rss-regression", "1.5"]) == 1
+        assert "peak-RSS regression" in capsys.readouterr().err
